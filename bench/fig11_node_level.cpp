@@ -1,0 +1,68 @@
+// Paper Fig. 11: node-level performance of each optimization stage on the
+// Piz Daint node — SNB alone, K20X alone, and heterogeneous SNB+K20X with
+// its parallel efficiency — plus the host-measured stage speedups.
+//
+// Expected shape: each stage substantially faster than the previous on every
+// device; heterogeneous ~ 85-90% of the sum; naive-CPU -> optimized
+// heterogeneous > 10x; naive-GPU -> optimized heterogeneous ~ 3.1x.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cluster/node_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kpm;
+  bench::print_host_banner();
+
+  const auto node = cluster::piz_daint_node();
+  const int r = 32;
+
+  std::printf("\n=== Fig. 11 (model): node-level performance per stage, "
+              "R = %d ===\n", r);
+  Table t;
+  t.columns({"version", "SNB", "K20X", "SNB+K20X", "par.eff."});
+  for (auto stage : {core::OptimizationStage::naive,
+                     core::OptimizationStage::aug_spmv,
+                     core::OptimizationStage::aug_spmmv}) {
+    const double cpu = cluster::cpu_gflops(node, stage, r);
+    const double gpu = cluster::gpu_gflops(node, stage, r);
+    const double het = cluster::heterogeneous_gflops(node, stage, r);
+    t.row({std::string(core::stage_name(stage)), cpu, gpu, het,
+           het / (cpu + gpu)});
+  }
+  t.precision(3);
+  t.print(std::cout);
+
+  {
+    const double naive_cpu =
+        cluster::cpu_gflops(node, core::OptimizationStage::naive, r);
+    const double naive_gpu =
+        cluster::gpu_gflops(node, core::OptimizationStage::naive, r);
+    const double het_opt = cluster::heterogeneous_gflops(
+        node, core::OptimizationStage::aug_spmmv, r);
+    std::printf("\nspeedups: naive CPU -> optimized heterogeneous: %.1fx "
+                "(paper: >10x)\n",
+                het_opt / naive_cpu);
+    std::printf("          naive GPU -> optimized heterogeneous: %.1fx "
+                "(paper: 2.3x * 1.36 ~ 3.1x)\n",
+                het_opt / naive_gpu);
+  }
+
+  std::printf("\n=== host measurement: stage-to-stage speedups on this "
+              "machine ===\n");
+  const auto h = bench::benchmark_matrix();
+  const double g_naive = bench::measure_naive_gflops(h);
+  const double g_stage1 = bench::measure_aug_spmmv_gflops(h, 1);
+  const double g_stage2 = bench::measure_aug_spmmv_gflops(h, r);
+  Table m;
+  m.columns({"version", "host Gflop/s", "vs naive"});
+  m.row({std::string("naive (Fig. 3)"), g_naive, 1.0});
+  m.row({std::string("aug_spmv (Fig. 4)"), g_stage1, g_stage1 / g_naive});
+  m.row({std::string("aug_spmmv R=32 (Fig. 5)"), g_stage2,
+         g_stage2 / g_naive});
+  m.precision(3);
+  m.print(std::cout);
+  return 0;
+}

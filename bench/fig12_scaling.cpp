@@ -1,0 +1,70 @@
+// Paper Fig. 12: weak and strong scaling of the full KPM solver on a
+// Piz Daint class system (model), for the "Square" and "Bar" test cases,
+// up to 1024 heterogeneous nodes.
+//
+// Expected shape: weak scaling near-linear with a small efficiency dip when
+// the process grid acquires a y extent (Square, 4 nodes); >100 Tflop/s at
+// 1024 nodes for a matrix with > 6.5e9 rows; strong scaling flattens.
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/scaling.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kpm;
+  const auto node = cluster::piz_daint_node();
+  const cluster::NetworkSpec net;
+  cluster::RunParams run;  // R = 32, M = 2000, aug_spmmv, reduce at end
+
+  auto print_series = [](const char* title,
+                         const std::vector<cluster::ScalingPoint>& series) {
+    std::printf("\n--- %s ---\n", title);
+    Table t;
+    t.columns({"nodes", "domain", "grid", "Tflop/s", "par.eff."});
+    for (const auto& p : series) {
+      char domain[48], grid[24];
+      std::snprintf(domain, sizeof(domain), "%lldx%lldx%lld", p.domain.nx,
+                    p.domain.ny, p.domain.nz);
+      std::snprintf(grid, sizeof(grid), "%dx%d", p.grid_x, p.grid_y);
+      t.row({static_cast<long long>(p.nodes), std::string(domain),
+             std::string(grid), p.tflops, p.parallel_efficiency});
+    }
+    t.precision(4);
+    t.print(std::cout);
+  };
+
+  std::printf("=== Fig. 12: scaling on the Piz Daint model (R=32, M=2000) "
+              "===\n");
+  print_series("weak scaling, Square (fixed Nz=40, growing tile)",
+               cluster::weak_scaling(node, net, run, cluster::ScalingCase::square,
+                                     1024));
+  print_series("weak scaling, Bar (fixed Ny=100, Nz=40, growing Nx)",
+               cluster::weak_scaling(node, net, run, cluster::ScalingCase::bar,
+                                     1024));
+  print_series(
+      "strong scaling, Square 400x400x40 (first weak-scaling point at 4 nodes)",
+      cluster::strong_scaling(node, net, run, cluster::ScalingCase::square,
+                              {400, 400, 40}, 256));
+  print_series(
+      "strong scaling, Bar 800x100x40",
+      cluster::strong_scaling(node, net, run, cluster::ScalingCase::bar,
+                              {800, 100, 40}, 128));
+
+  // Outlook optimization (paper Sec. VII): pipelined GPU-CPU-MPI halo
+  // exchange — PCIe downloads overlap with network transfers.
+  cluster::NetworkSpec piped = net;
+  piped.pipelined_halo = true;
+  print_series("weak scaling, Square, PIPELINED halo (paper outlook)",
+               cluster::weak_scaling(node, piped, run,
+                                     cluster::ScalingCase::square, 1024));
+
+  const auto last = cluster::weak_scaling(node, net, run,
+                                          cluster::ScalingCase::square, 1024)
+                        .back();
+  std::printf("\nlargest system: %lld x %lld x %lld -> N = %.3g rows, "
+              "%.1f Tflop/s on %d nodes (paper: >100 Tflop/s, N > 6.5e9)\n",
+              last.domain.nx, last.domain.ny, last.domain.nz,
+              last.domain.dimension(), last.tflops, last.nodes);
+  return 0;
+}

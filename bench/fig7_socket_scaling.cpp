@@ -1,0 +1,61 @@
+// Paper Fig. 7: intra-socket scaling of aug_spmv vs aug_spmmv (R = 32) on
+// IVB, with the roofline prediction.
+//
+// Two series are printed:
+//  * the IVB model (exactly Fig. 7: memory-bound aug_spmv saturates at the
+//    roofline, the blocked kernel scales with the core count), and
+//  * a host measurement across OpenMP thread counts (shape comparison; on a
+//    single-core machine only the 1-thread point is informative).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cluster/node_model.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kpm;
+  bench::print_host_banner();
+
+  const auto& ivb = perfmodel::machine_ivb();
+  const double omega = 1.28;  // paper Fig. 8 annotation at R = 32
+  const double b_spmv =
+      cluster::stage_balance(core::OptimizationStage::aug_spmv, 1);
+
+  std::printf("\n=== Fig. 7 (model): socket scaling on IVB, 100x100x40 "
+              "domain ===\n");
+  Table t;
+  t.columns({"cores", "aug_spmv (Gflop/s)", "aug_spmmv R=32 (Gflop/s)",
+             "roofline aug_spmv"});
+  const double socket_cap = cluster::cpu_gflops(
+      cluster::emmy_node(), core::OptimizationStage::aug_spmmv, 32);
+  for (int c = 1; c <= ivb.cores; ++c) {
+    // aug_spmv: memory bound — saturates at the roofline.  aug_spmmv:
+    // decoupled from memory — in-core/cache bound, scales with the cores.
+    const double spmv = perfmodel::roofline_cores(ivb, c, b_spmv);
+    const double spmmv = socket_cap * c / ivb.cores;
+    t.row({static_cast<long long>(c), spmv, spmmv,
+           perfmodel::roofline_cores(ivb, c, b_spmv * omega)});
+  }
+  t.print(std::cout);
+  std::printf("(aug_spmv saturates at b/B = %.0f/%.2f ~ %.1f Gflop/s; the "
+              "blocked kernel scales nearly linearly — the Fig. 7 shape)\n",
+              ivb.mem_bw_gbs, b_spmv, ivb.mem_bw_gbs / b_spmv);
+
+  std::printf("\n=== Fig. 7 (host measurement): thread scaling ===\n");
+  const auto h = bench::benchmark_matrix();
+  Table m;
+  m.columns({"threads", "aug_spmv (Gflop/s)", "aug_spmmv R=32 (Gflop/s)"});
+  const int max_t = max_threads();
+  for (int threads = 1; threads <= max_t; threads *= 2) {
+    set_threads(threads);
+    const double spmv = bench::measure_aug_spmmv_gflops(h, 1);
+    const double spmmv = bench::measure_aug_spmmv_gflops(h, 32);
+    m.row({static_cast<long long>(threads), spmv, spmmv});
+  }
+  set_threads(max_t);
+  m.print(std::cout);
+  return 0;
+}

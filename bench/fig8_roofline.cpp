@@ -1,0 +1,61 @@
+// Paper Fig. 8: custom roofline model for the augmented SpM(M)V kernel on
+// IVB across the block width R, with the traffic-excess factor Omega
+// measured by the cache simulator and the host-measured performance series.
+//
+// Expected shape: P*_MEM grows ~linearly with R (code balance shrinks) until
+// it crosses P*_LLC; measured performance follows P*_MEM at small R and
+// flattens at the LLC/in-core limit at large R, dipping where Omega grows.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "memsim/traced_kernels.hpp"
+#include "perfmodel/balance.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kpm;
+  bench::print_host_banner();
+
+  // Omega from the cache simulator (1/32-scaled IVB hierarchy, so the
+  // capacity ratio problem:LLC matches the paper's 100x100x40 case).
+  const auto trace_matrix = bench::benchmark_matrix(32, 32, 10);
+  perfmodel::KpmWorkload tw;
+  tw.n = static_cast<double>(trace_matrix.nrows());
+  tw.nnz = static_cast<double>(trace_matrix.nnz());
+  tw.num_moments = 2;
+
+  const auto host_matrix = bench::benchmark_matrix();
+  const auto& ivb = perfmodel::machine_ivb();
+  // LLC-side balance of the decoupled kernel (gathered rows + stream tail).
+  const double b_llc = (13.0 * 16.0 + 3.0 * 16.0) / 138.0;
+
+  std::printf("\n=== Fig. 8: custom roofline for aug_spmmv on IVB ===\n");
+  Table t;
+  t.columns({"R", "Bmin", "Omega(sim)", "B=Omega*Bmin", "P*_MEM", "P*_LLC",
+             "min(model)", "host Gflop/s"});
+  for (int r : {1, 2, 4, 8, 16, 32}) {
+    tw.num_random = r;
+    auto hier = memsim::make_scaled_ivb_hierarchy(32);
+    const auto traced = memsim::trace_aug_spmmv(trace_matrix, r, hier);
+    const double omega =
+        perfmodel::omega(static_cast<double>(traced.dram_bytes),
+                         perfmodel::traffic_aug_spmmv(tw));
+    const double bmin = perfmodel::bmin(13.0, r);
+    const double b = omega * bmin;
+    const double p_mem = perfmodel::roofline_mem(ivb, b);
+    const double p_llc = perfmodel::roofline_llc(ivb, b_llc);
+    const double host = bench::measure_aug_spmmv_gflops(host_matrix, r);
+    t.row({static_cast<long long>(r), bmin, omega, b, p_mem, p_llc,
+           std::min(p_mem, p_llc), host});
+  }
+  t.precision(3);
+  t.print(std::cout);
+  std::printf("\npaper reference points: Omega = 1.16 / 1.28 / 1.54 in the "
+              "mid/large R range; measured plateau ~75-80 Gflop/s on IVB;\n"
+              "the refined model min(P*_MEM, P*_LLC) deviates < 15%% from "
+              "the measurement (paper Sec. V-A).\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Google-benchmark microbenchmarks of the hot kernels: BLAS-1, SpMV/SpMMV
+// in CRS and SELL-C-sigma, and the fused augmented kernels across block
+// widths.  Counters report Gflop/s and effective bandwidth.
+#include <benchmark/benchmark.h>
+
+#include "blas/block_ops.hpp"
+#include "blas/level1.hpp"
+#include "core/kubo.hpp"
+#include "core/propagator.hpp"
+#include "physics/anderson.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+
+namespace {
+
+using namespace kpm;
+
+const sparse::CrsMatrix& matrix() {
+  static const sparse::CrsMatrix m = [] {
+    physics::TIParams p;
+    p.nx = 32;
+    p.ny = 32;
+    p.nz = 16;
+    return physics::build_ti_hamiltonian(p);
+  }();
+  return m;
+}
+
+aligned_vector<complex_t> vec(std::size_t n) {
+  aligned_vector<complex_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {1.0 / (1.0 + static_cast<double>(i)), 0.25};
+  }
+  return v;
+}
+
+blas::BlockVector block(global_index n, int width) {
+  blas::BlockVector b(n, width);
+  for (global_index i = 0; i < n; ++i) {
+    for (int r = 0; r < width; ++r) {
+      b(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.25};
+    }
+  }
+  return b;
+}
+
+void BM_axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = vec(n);
+  auto y = vec(n);
+  for (auto _ : state) {
+    blas::axpy({0.5, 0.25}, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_axpy)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = vec(n);
+  auto y = vec(n);
+  complex_t acc{};
+  for (auto _ : state) {
+    acc += blas::dot(x, y);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_dot)->Arg(1 << 14)->Arg(1 << 21);
+
+void BM_spmv_crs(benchmark::State& state) {
+  const auto& a = matrix();
+  auto x = vec(static_cast<std::size_t>(a.ncols()));
+  aligned_vector<complex_t> y(static_cast<std::size_t>(a.nrows()));
+  for (auto _ : state) {
+    sparse::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * a.nnz() * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_spmv_crs);
+
+void BM_spmv_sell(benchmark::State& state) {
+  const auto& a = matrix();
+  static const sparse::SellMatrix sell(a, static_cast<int>(state.range(0)),
+                                       128);
+  auto x = vec(static_cast<std::size_t>(a.ncols()));
+  aligned_vector<complex_t> y(static_cast<std::size_t>(a.nrows()));
+  for (auto _ : state) {
+    sparse::spmv(sell, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * a.nnz() * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_spmv_sell)->Arg(32);
+
+void BM_spmmv_crs(benchmark::State& state) {
+  const auto& a = matrix();
+  const int width = static_cast<int>(state.range(0));
+  auto x = block(a.ncols(), width);
+  blas::BlockVector y(a.nrows(), width);
+  for (auto _ : state) {
+    sparse::spmmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * a.nnz() * width * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_spmmv_crs)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_aug_spmmv_full(benchmark::State& state) {
+  const auto& a = matrix();
+  const int width = static_cast<int>(state.range(0));
+  auto v = block(a.ncols(), width);
+  auto w = block(a.nrows(), width);
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width)),
+      dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
+  for (auto _ : state) {
+    sparse::aug_spmmv(a, rec, v, w, dvv, dwv);
+    benchmark::DoNotOptimize(w.data());
+  }
+  const double flops_per_sweep =
+      width * (static_cast<double>(a.nnz()) * 8.0 +
+               static_cast<double>(a.nrows()) * 34.0);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops_per_sweep / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_aug_spmmv_full)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_aug_spmmv_nodots(benchmark::State& state) {
+  const auto& a = matrix();
+  const int width = static_cast<int>(state.range(0));
+  auto v = block(a.ncols(), width);
+  auto w = block(a.nrows(), width);
+  const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
+  for (auto _ : state) {
+    sparse::aug_spmmv(a, rec, v, w, {}, {});
+    benchmark::DoNotOptimize(w.data());
+  }
+  const double flops_per_sweep =
+      width * (static_cast<double>(a.nnz()) * 8.0 +
+               static_cast<double>(a.nrows()) * 22.0);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops_per_sweep / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_aug_spmmv_nodots)->Arg(32);
+
+void BM_column_dots(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const global_index n = 1 << 18;
+  auto x = block(n, width);
+  auto y = block(n, width);
+  std::vector<complex_t> dots(static_cast<std::size_t>(width));
+  for (auto _ : state) {
+    blas::column_dots(x, y, dots);
+    benchmark::DoNotOptimize(dots.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * width * 8.0 / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_column_dots)->Arg(4)->Arg(32);
+
+void BM_propagator(benchmark::State& state) {
+  const auto& a = matrix();
+  static const physics::Scaling s =
+      physics::make_scaling(physics::gershgorin_bounds(a), 0.05);
+  auto v = vec(static_cast<std::size_t>(a.nrows()));
+  aligned_vector<complex_t> out(v.size());
+  core::PropagatorParams p;
+  p.time = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    core::propagate(a, s, p, v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["order"] = static_cast<double>(
+      core::required_order(p.time / s.a, p.tolerance));
+}
+BENCHMARK(BM_propagator)->Arg(1)->Arg(8);
+
+void BM_kubo_moments(benchmark::State& state) {
+  physics::AndersonParams ap;
+  ap.nx = 12;
+  ap.ny = 12;
+  ap.nz = 4;
+  static const auto h = physics::build_anderson_hamiltonian(ap);
+  static const auto j = core::current_operator_x(ap);
+  static const physics::Scaling s =
+      physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::KuboParams kp;
+  kp.num_moments = static_cast<int>(state.range(0));
+  kp.num_random = 1;
+  for (auto _ : state) {
+    const auto m = core::kubo_moments(h, s, j, kp);
+    benchmark::DoNotOptimize(m.mu.data());
+  }
+}
+BENCHMARK(BM_kubo_moments)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

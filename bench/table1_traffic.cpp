@@ -1,0 +1,115 @@
+// Table I + Table II + Eqs. (4)-(7): the analytic traffic/flop accounting of
+// the paper, cross-checked against the cache-simulator measurement of the
+// actual kernel address streams.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "memsim/traced_kernels.hpp"
+#include "perfmodel/balance.hpp"
+#include "perfmodel/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kpm;
+
+  std::printf("=== Reproduction of paper Table II (machine data) ===\n");
+  {
+    Table t;
+    t.columns({"Machine", "Clock(MHz)", "SIMD(B)", "Cores/SMX", "b(GB/s)",
+               "LLC(MiB)", "Ppeak(Gflop/s)"});
+    for (const auto* m : perfmodel::table2_machines()) {
+      t.row({m->name, m->clock_mhz, static_cast<long long>(m->simd_bytes),
+             static_cast<long long>(m->cores), m->mem_bw_gbs, m->llc_mib,
+             m->peak_gflops});
+    }
+    t.print(std::cout);
+  }
+
+  // Paper Table I for the node-level test case (100 x 100 x 40).
+  perfmodel::KpmWorkload w;
+  w.n = 4.0 * 100 * 100 * 40;
+  w.nnz = 13.0 * w.n;
+  w.num_random = 1;
+  w.num_moments = 2000;
+  std::printf("\n=== Reproduction of paper Table I (min bytes / flops per "
+              "call), R=1, M=%d, N=%.2g ===\n",
+              w.num_moments, w.n);
+  {
+    Table t;
+    t.columns({"Funct.", "#Calls", "Min.Bytes/Call", "Flops/Call",
+               "Total GB", "Total Gflop"});
+    for (const auto& row : perfmodel::table1(w)) {
+      t.row({row.name, row.calls, row.min_bytes_per_call, row.flops_per_call,
+             row.total_bytes() / 1e9, row.total_flops() / 1e9});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n=== Eq. (4): solver traffic V_KPM per optimization stage "
+              "(R=32) ===\n");
+  {
+    w.num_random = 32;
+    Table t;
+    t.columns({"stage", "V_KPM (GB)", "vs naive"});
+    const double v0 = perfmodel::traffic_naive(w);
+    const double v1 = perfmodel::traffic_aug_spmv(w);
+    const double v2 = perfmodel::traffic_aug_spmmv(w);
+    t.row({std::string("naive (Fig. 3)"), v0 / 1e9, 1.0});
+    t.row({std::string("aug_spmv (Fig. 4)"), v1 / 1e9, v1 / v0});
+    t.row({std::string("aug_spmmv (Fig. 5)"), v2 / 1e9, v2 / v0});
+    t.print(std::cout);
+  }
+
+  std::printf("\n=== Eqs. (5)-(7): minimum code balance Bmin(R) ===\n");
+  {
+    Table t;
+    t.columns({"R", "Bmin (B/F)", "paper"});
+    t.row({static_cast<long long>(1), perfmodel::bmin(13.0, 1),
+           std::string("2.23 (Eq. 6)")});
+    for (int r : {2, 4, 8, 16, 32, 64}) {
+      t.row({static_cast<long long>(r), perfmodel::bmin(13.0, r),
+             std::string("")});
+    }
+    t.row({static_cast<long long>(1 << 20), perfmodel::bmin(13.0, 1 << 20),
+           std::string("-> 0.35 (Eq. 7)")});
+    t.print(std::cout);
+  }
+
+  std::printf("\n=== Cross-check: analytic V_KPM vs cache-simulated kernel "
+              "streams (per inner iteration) ===\n");
+  {
+    const auto h = bench::benchmark_matrix(32, 32, 10);
+    perfmodel::KpmWorkload cw;
+    cw.n = static_cast<double>(h.nrows());
+    cw.nnz = static_cast<double>(h.nnz());
+    cw.num_moments = 2;  // one iteration
+    Table t;
+    t.columns({"kernel", "model MB", "simulated MB", "Omega"});
+    {
+      cw.num_random = 1;
+      auto hier = memsim::make_scaled_ivb_hierarchy(32);
+      const auto naive = memsim::trace_naive_iteration(h, hier);
+      t.row({std::string("naive chain"),
+             perfmodel::traffic_naive(cw) / 1e6,
+             static_cast<double>(naive.dram_bytes) / 1e6,
+             perfmodel::omega(static_cast<double>(naive.dram_bytes),
+                              perfmodel::traffic_naive(cw))});
+    }
+    for (int r : {1, 4, 16}) {
+      cw.num_random = r;
+      auto hier = memsim::make_scaled_ivb_hierarchy(32);
+      const auto fused = memsim::trace_aug_spmmv(h, r, hier);
+      char label[32];
+      std::snprintf(label, sizeof(label), "aug_spmmv R=%d", r);
+      t.row({std::string(label), perfmodel::traffic_aug_spmmv(cw) / 1e6,
+             static_cast<double>(fused.dram_bytes) / 1e6,
+             perfmodel::omega(static_cast<double>(fused.dram_bytes),
+                              perfmodel::traffic_aug_spmmv(cw))});
+    }
+    t.print(std::cout);
+    std::printf("(simulated on the 1/32-scaled IVB hierarchy; Omega >= 1 is "
+                "the paper's traffic-excess factor, Eq. 8)\n");
+  }
+  return 0;
+}

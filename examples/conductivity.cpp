@@ -1,0 +1,58 @@
+// Kubo-Greenwood conductivity of the disordered Anderson model.
+//
+// Demonstrates the 2D-moment KPM machinery (core/kubo): sigma(E) for a 3D
+// Anderson lattice at several disorder strengths.  Increasing disorder
+// suppresses the conductivity across the band — the precursor of the
+// Anderson metal-insulator transition.
+//
+// Usage: conductivity [L M R]
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/kubo.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+  const int extent = argc > 1 ? std::atoi(argv[1]) : 10;
+  core::KuboParams kp;
+  kp.num_moments = argc > 2 ? std::atoi(argv[2]) : 48;
+  kp.num_random = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  std::printf("Kubo-Greenwood sigma(E), %d^3 Anderson lattice, M = %d, "
+              "R = %d\n",
+              extent, kp.num_moments, kp.num_random);
+
+  const std::vector<double> disorders = {0.0, 2.0, 6.0};
+  std::vector<core::ConductivityCurve> curves;
+  for (const double w : disorders) {
+    physics::AndersonParams ap;
+    ap.nx = ap.ny = ap.nz = extent;
+    ap.disorder = w;
+    ap.periodic = true;
+    const auto h = physics::build_anderson_hamiltonian(ap);
+    const auto j = core::current_operator_x(ap);
+    const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+    const auto moments = core::kubo_moments(h, s, j, kp);
+    core::ConductivityParams cp;
+    cp.num_points = 33;
+    curves.push_back(core::kubo_conductivity(moments, s, cp));
+    std::printf("  W = %.1f done\n", w);
+  }
+
+  Table t("sigma(E) in arbitrary units");
+  t.columns({"E", "W=0", "W=2", "W=6"});
+  for (std::size_t k = 0; k < curves[0].energy.size(); k += 2) {
+    t.row({curves[0].energy[k], curves[0].sigma[k], curves[1].sigma[k],
+           curves[2].sigma[k]});
+  }
+  t.precision(4);
+  std::ostringstream os;
+  t.print(os);
+  std::printf("%s", os.str().c_str());
+  std::printf("\ndisorder suppresses sigma across the band (Anderson "
+              "localization precursor).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Eigenvalue counting with KPM (paper Sec. I: "eigenvalue counting for
+// predetermination of sub-space sizes in projection-based eigensolvers").
+//
+// A FEAST-type solver needs to know how many eigenvalues lie in its search
+// interval before allocating the projection subspace.  KPM answers that with
+// a handful of fused SpMMV sweeps; this example compares the KPM estimate
+// against exact counts (dense diagonalization) on an Anderson model small
+// enough to diagonalize.
+//
+// Usage: eigenvalue_count [L M R]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/eigcount.hpp"
+#include "core/moments.hpp"
+#include "physics/anderson.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kpm;
+
+  physics::AndersonParams ap;
+  const int extent = argc > 1 ? std::atoi(argv[1]) : 6;
+  ap.nx = ap.ny = ap.nz = extent;
+  ap.disorder = 3.0;
+  core::MomentParams mp;
+  mp.num_moments = argc > 2 ? std::atoi(argv[2]) : 512;
+  mp.num_random = argc > 3 ? std::atoi(argv[3]) : 32;
+
+  const auto h = physics::build_anderson_hamiltonian(ap);
+  std::printf("Anderson model, L = %d (N = %lld), disorder W = %.1f\n",
+              extent, static_cast<long long>(h.nrows()), ap.disorder);
+
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto moments = core::moments_aug_spmmv(h, s, mp);
+  const auto exact = physics::sparse_eigenvalues(h);
+
+  auto exact_count = [&](double lo, double hi) {
+    return static_cast<double>(
+        std::upper_bound(exact.begin(), exact.end(), hi) -
+        std::lower_bound(exact.begin(), exact.end(), lo));
+  };
+
+  Table t("eigenvalue counts: KPM estimate vs exact");
+  t.columns({"interval", "KPM", "exact", "rel.err"});
+  const double lo_edge = s.to_energy(-1.0);
+  const struct {
+    double lo, hi;
+  } windows[] = {{-7.0, -3.0}, {-3.0, -1.0}, {-1.0, 1.0},
+                 {1.0, 3.0},   {3.0, 7.0},   {lo_edge, 0.0}};
+  for (const auto& w : windows) {
+    const double kpm = core::eigenvalue_count(
+        moments.mu, s, static_cast<double>(h.nrows()), w.lo, w.hi);
+    const double ex = exact_count(w.lo, w.hi);
+    char label[48];
+    std::snprintf(label, sizeof(label), "[%.2f, %.2f]", w.lo, w.hi);
+    t.row({std::string(label), kpm, ex,
+           ex > 0 ? std::abs(kpm - ex) / ex : std::abs(kpm)});
+  }
+  t.precision(4);
+  std::ostringstream os;
+  t.print(os);
+  std::printf("%s", os.str().c_str());
+
+  std::printf("\nKPM cost: %lld matrix sweeps (blocked, width %d); dense "
+              "diagonalization cost O(N^3) = %g flops.\n",
+              static_cast<long long>(moments.ops.matrix_streams),
+              mp.num_random,
+              std::pow(static_cast<double>(h.nrows()), 3));
+  return 0;
+}

@@ -1,0 +1,213 @@
+// kpm_tool — command-line front end for the KPM library.
+//
+//   kpm_tool dos    <matrix.mtx> [--moments M] [--random R] [--points K]
+//                   [--out dos.csv] [--stage naive|aug_spmv|aug_spmmv]
+//   kpm_tool count  <matrix.mtx> --from E1 --to E2 [--moments M] [--random R]
+//   kpm_tool info   <matrix.mtx>
+//   kpm_tool make   ti|anderson|graphene|ssh <out.mtx> [--size L]
+//
+// Brings user matrices (Matrix Market) into the KPM pipeline without writing
+// C++ — the adoption path for downstream users.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/eigcount.hpp"
+#include "core/solver.hpp"
+#include "physics/anderson.hpp"
+#include "physics/graphene.hpp"
+#include "physics/ssh_chain.hpp"
+#include "physics/ti_model.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kpm;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  kpm_tool dos   <matrix.mtx> [--moments M] [--random R] "
+               "[--points K] [--out file.csv] [--stage S]\n"
+               "  kpm_tool count <matrix.mtx> --from E1 --to E2 [--moments M] "
+               "[--random R]\n"
+               "  kpm_tool info  <matrix.mtx>\n"
+               "  kpm_tool make  ti|anderson|graphene|ssh <out.mtx> "
+               "[--size L]\n");
+  return 2;
+}
+
+struct Args {
+  std::string positional[2];
+  int npos = 0;
+  int moments = 512;
+  int random = 16;
+  int points = 512;
+  double from = 0.0, to = 0.0;
+  bool has_from = false, has_to = false;
+  int size = 16;
+  std::string out;
+  std::string stage = "aug_spmmv";
+
+  bool parse(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (a == "--moments") {
+        const char* v = next();
+        if (!v) return false;
+        moments = std::atoi(v);
+      } else if (a == "--random") {
+        const char* v = next();
+        if (!v) return false;
+        random = std::atoi(v);
+      } else if (a == "--points") {
+        const char* v = next();
+        if (!v) return false;
+        points = std::atoi(v);
+      } else if (a == "--from") {
+        const char* v = next();
+        if (!v) return false;
+        from = std::atof(v);
+        has_from = true;
+      } else if (a == "--to") {
+        const char* v = next();
+        if (!v) return false;
+        to = std::atof(v);
+        has_to = true;
+      } else if (a == "--size") {
+        const char* v = next();
+        if (!v) return false;
+        size = std::atoi(v);
+      } else if (a == "--out") {
+        const char* v = next();
+        if (!v) return false;
+        out = v;
+      } else if (a == "--stage") {
+        const char* v = next();
+        if (!v) return false;
+        stage = v;
+      } else if (npos < 2) {
+        positional[npos++] = a;
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+core::OptimizationStage parse_stage(const std::string& s) {
+  if (s == "naive") return core::OptimizationStage::naive;
+  if (s == "aug_spmv") return core::OptimizationStage::aug_spmv;
+  return core::OptimizationStage::aug_spmmv;
+}
+
+int cmd_info(const Args& args) {
+  const auto a = sparse::read_matrix_market_file(args.positional[0]);
+  const auto st = sparse::analyze(a);
+  std::cout << st << "\n";
+  std::printf("storage: %.2f MB (values + 32-bit indices)\n",
+              a.storage_bytes() / 1e6);
+  return st.hermitian ? 0 : 1;
+}
+
+int cmd_dos(const Args& args) {
+  const auto a = sparse::read_matrix_market_file(args.positional[0]);
+  core::DosParams p;
+  p.moments.num_moments = args.moments;
+  p.moments.num_random = args.random;
+  p.reconstruct.num_points = args.points;
+  p.stage = parse_stage(args.stage);
+  const auto res = core::compute_dos(a, p);
+  std::printf("# N=%lld M=%d R=%d stage=%s time=%.2fs interval=[%.4f,%.4f]\n",
+              static_cast<long long>(a.nrows()), args.moments, args.random,
+              core::stage_name(p.stage), res.seconds,
+              res.scaling.to_energy(-1.0), res.scaling.to_energy(1.0));
+  Table t;
+  t.columns({"E", "DOS"});
+  for (std::size_t k = 0; k < res.spectrum.energy.size(); ++k) {
+    t.row({res.spectrum.energy[k], res.spectrum.density[k]});
+  }
+  t.precision(8);
+  if (args.out.empty()) {
+    t.print_csv(std::cout);
+  } else {
+    std::ofstream os(args.out);
+    t.print_csv(os);
+    std::printf("wrote %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_count(const Args& args) {
+  if (!args.has_from || !args.has_to) return usage();
+  const auto a = sparse::read_matrix_market_file(args.positional[0]);
+  core::DosParams p;
+  p.moments.num_moments = args.moments;
+  p.moments.num_random = args.random;
+  const auto res = core::compute_dos(a, p);
+  const double count = core::eigenvalue_count(
+      res.moments.mu, res.scaling, static_cast<double>(a.nrows()), args.from,
+      args.to);
+  std::printf("eigenvalues in [%.6g, %.6g]: %.1f (of %lld)\n", args.from,
+              args.to, count, static_cast<long long>(a.nrows()));
+  return 0;
+}
+
+int cmd_make(const Args& args) {
+  const std::string& kind = args.positional[0];
+  const std::string& path = args.positional[1];
+  sparse::CrsMatrix a;
+  if (kind == "ti") {
+    physics::TIParams p;
+    p.nx = p.ny = args.size;
+    p.nz = std::max(2, args.size / 4);
+    a = physics::build_ti_hamiltonian(p);
+  } else if (kind == "anderson") {
+    physics::AndersonParams p;
+    p.nx = p.ny = p.nz = args.size;
+    p.disorder = 2.0;
+    a = physics::build_anderson_hamiltonian(p);
+  } else if (kind == "graphene") {
+    physics::GrapheneParams p;
+    p.ncells_x = p.ncells_y = args.size;
+    a = physics::build_graphene_hamiltonian(p);
+  } else if (kind == "ssh") {
+    physics::SshParams p;
+    p.ncells = args.size;
+    a = physics::build_ssh_hamiltonian(p);
+  } else {
+    return usage();
+  }
+  sparse::write_matrix_market_file(path, a);
+  std::printf("wrote %s: N=%lld nnz=%lld\n", path.c_str(),
+              static_cast<long long>(a.nrows()),
+              static_cast<long long>(a.nnz()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  Args args;
+  if (!args.parse(argc, argv)) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && args.npos == 1) return cmd_info(args);
+    if (cmd == "dos" && args.npos == 1) return cmd_dos(args);
+    if (cmd == "count" && args.npos == 1) return cmd_count(args);
+    if (cmd == "make" && args.npos == 2) return cmd_make(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,93 @@
+// Chebyshev time evolution — wave-packet spreading in the Anderson model.
+//
+// The paper's outlook proposes applying the blocked fused kernels "to other
+// blocked sparse linear algebra algorithms besides KPM"; the Chebyshev
+// propagator e^{-iHt} is the canonical next customer: it runs on the very
+// same aug_spmmv recurrence.  This example launches a localized wave packet
+// in a 3D Anderson model and tracks its mean-square displacement — ballistic
+// (r^2 ~ t^2) in the clean lattice, strongly suppressed at large disorder
+// (Anderson localization).
+//
+// Usage: time_evolution [L W tmax]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/propagator.hpp"
+#include "physics/anderson.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kpm;
+
+double mean_square_displacement(std::span<const complex_t> psi, int extent,
+                                int cx, int cy, int cz) {
+  double r2 = 0.0;
+  std::size_t idx = 0;
+  for (int z = 0; z < extent; ++z) {
+    for (int y = 0; y < extent; ++y) {
+      for (int x = 0; x < extent; ++x, ++idx) {
+        const double dx = x - cx, dy = y - cy, dz = z - cz;
+        r2 += std::norm(psi[idx]) * (dx * dx + dy * dy + dz * dz);
+      }
+    }
+  }
+  return r2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int extent = argc > 1 ? std::atoi(argv[1]) : 20;
+  const double disorder = argc > 2 ? std::atof(argv[2]) : 0.0;
+  const double tmax = argc > 3 ? std::atof(argv[3]) : 6.0;
+
+  std::printf("wave packet in a %d^3 Anderson lattice, W = %.1f\n", extent,
+              disorder);
+
+  const double w_cmp = disorder > 0 ? disorder : 6.0;
+  char disorder_label[24];
+  std::snprintf(disorder_label, sizeof(disorder_label), "W=%.1f", w_cmp);
+  Table t("mean-square displacement <r^2>(t)");
+  t.columns({"t", "clean", std::string(disorder_label)});
+  std::vector<double> rows_clean, rows_disordered;
+  for (double w : {0.0, w_cmp}) {
+    physics::AndersonParams ap;
+    ap.nx = ap.ny = ap.nz = extent;
+    ap.disorder = w;
+    ap.periodic = true;
+    const auto h = physics::build_anderson_hamiltonian(ap);
+    const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+
+    const int c = extent / 2;
+    aligned_vector<complex_t> psi(static_cast<std::size_t>(h.nrows()),
+                                  complex_t{});
+    psi[static_cast<std::size_t>(c + extent * (c + extent * c))] = {1.0, 0.0};
+    aligned_vector<complex_t> next(psi.size());
+
+    auto& series = w == 0.0 ? rows_clean : rows_disordered;
+    series.push_back(0.0);
+    const double dt = tmax / 12.0;
+    core::PropagatorParams pp;
+    pp.time = dt;
+    for (int step = 1; step <= 12; ++step) {
+      core::propagate(h, s, pp, psi, next);
+      std::swap(psi, next);
+      series.push_back(mean_square_displacement(psi, extent, c, c, c));
+    }
+  }
+  for (std::size_t k = 0; k < rows_clean.size(); ++k) {
+    t.row({tmax * static_cast<double>(k) / 12.0, rows_clean[k],
+           rows_disordered[k]});
+  }
+  t.precision(4);
+  std::ostringstream os;
+  t.print(os);
+  std::printf("%s", os.str().c_str());
+  std::printf("\nclean lattice: <r^2> ~ t^2 (ballistic); strong disorder "
+              "suppresses the spreading (Anderson localization).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "blas/block_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::blas {
+namespace {
+
+void require_same_shape(const BlockVector& x, const BlockVector& y) {
+  require(x.rows() == y.rows() && x.width() == y.width() &&
+              x.layout() == y.layout(),
+          "block vectors must have identical shape and layout");
+}
+
+}  // namespace
+
+void column_dots(const BlockVector& x, const BlockVector& y,
+                 std::span<complex_t> out) {
+  require_same_shape(x, y);
+  require(out.size() == static_cast<std::size_t>(x.width()),
+          "column_dots: output width mismatch");
+  const int width = x.width();
+  const global_index rows = x.rows();
+  std::fill(out.begin(), out.end(), complex_t{});
+  if (x.layout() == Layout::row_major) {
+    const complex_t* __restrict__ xp = x.data();
+    const complex_t* __restrict__ yp = y.data();
+#pragma omp parallel
+    {
+      std::vector<complex_t> local(static_cast<std::size_t>(width));
+#pragma omp for schedule(static) nowait
+      for (global_index i = 0; i < rows; ++i) {
+        const std::size_t base = static_cast<std::size_t>(i) * width;
+        for (int r = 0; r < width; ++r) {
+          local[r] += std::conj(xp[base + r]) * yp[base + r];
+        }
+      }
+#pragma omp critical(kpm_column_dots)
+      for (int r = 0; r < width; ++r) out[r] += local[r];
+    }
+  } else {
+    for (int r = 0; r < width; ++r) {
+      complex_t acc{};
+      for (global_index i = 0; i < rows; ++i) acc += std::conj(x(i, r)) * y(i, r);
+      out[r] = acc;
+    }
+  }
+}
+
+void column_norms2(const BlockVector& x, std::span<double> out) {
+  require(out.size() == static_cast<std::size_t>(x.width()),
+          "column_norms2: output width mismatch");
+  std::vector<complex_t> dots(static_cast<std::size_t>(x.width()));
+  column_dots(x, x, dots);
+  for (std::size_t r = 0; r < dots.size(); ++r) out[r] = dots[r].real();
+}
+
+void block_axpy(complex_t a, const BlockVector& x, BlockVector& y) {
+  require_same_shape(x, y);
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+}
+
+void block_scal(complex_t a, BlockVector& x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  complex_t* __restrict__ xp = x.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) xp[i] *= a;
+}
+
+void block_copy(const BlockVector& x, BlockVector& y) {
+  require_same_shape(x, y);
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i];
+}
+
+double max_abs_diff(const BlockVector& x, const BlockVector& y) {
+  require(x.rows() == y.rows() && x.width() == y.width(),
+          "max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (global_index i = 0; i < x.rows(); ++i) {
+    for (int r = 0; r < x.width(); ++r) {
+      worst = std::max(worst, std::abs(x(i, r) - y(i, r)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace kpm::blas

@@ -1,0 +1,34 @@
+// Blocked (column-wise) level-1 operations on block vectors.
+//
+// These are the building blocks for the blocked KPM (Fig. 5): every eta
+// moment becomes a vector of R column-wise dot products of two block vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "blas/block_vector.hpp"
+#include "util/types.hpp"
+
+namespace kpm::blas {
+
+/// out[r] = <X_r|Y_r> for every column r; `out` must have width entries.
+void column_dots(const BlockVector& x, const BlockVector& y,
+                 std::span<complex_t> out);
+
+/// out[r] = <X_r|X_r> (real) for every column r.
+void column_norms2(const BlockVector& x, std::span<double> out);
+
+/// Y <- a*X + Y column-uniform axpy on the whole block.
+void block_axpy(complex_t a, const BlockVector& x, BlockVector& y);
+
+/// X <- a*X.
+void block_scal(complex_t a, BlockVector& x);
+
+/// Y <- X (must have identical shape and layout).
+void block_copy(const BlockVector& x, BlockVector& y);
+
+/// Maximum |X(i,r) - Y(i,r)| over the whole block.
+[[nodiscard]] double max_abs_diff(const BlockVector& x, const BlockVector& y);
+
+}  // namespace kpm::blas

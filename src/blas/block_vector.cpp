@@ -1,0 +1,53 @@
+#include "blas/block_vector.hpp"
+
+#include "util/check.hpp"
+
+namespace kpm::blas {
+
+BlockVector::BlockVector(global_index rows, int width, Layout layout)
+    : rows_(rows), width_(width), layout_(layout) {
+  require(rows >= 0 && width > 0, "BlockVector: invalid shape");
+  data_.assign(static_cast<std::size_t>(rows) * width, complex_t{});
+}
+
+std::span<complex_t> BlockVector::row(global_index i) {
+  require(layout_ == Layout::row_major, "row(): row-major layout required");
+  return {data_.data() + static_cast<std::size_t>(i) * width_,
+          static_cast<std::size_t>(width_)};
+}
+
+std::span<const complex_t> BlockVector::row(global_index i) const {
+  require(layout_ == Layout::row_major, "row(): row-major layout required");
+  return {data_.data() + static_cast<std::size_t>(i) * width_,
+          static_cast<std::size_t>(width_)};
+}
+
+void BlockVector::extract_column(int r, std::span<complex_t> out) const {
+  require(r >= 0 && r < width_, "extract_column: column out of range");
+  require(out.size() == static_cast<std::size_t>(rows_),
+          "extract_column: output size mismatch");
+  for (global_index i = 0; i < rows_; ++i) out[i] = (*this)(i, r);
+}
+
+void BlockVector::set_column(int r, std::span<const complex_t> in) {
+  require(r >= 0 && r < width_, "set_column: column out of range");
+  require(in.size() == static_cast<std::size_t>(rows_),
+          "set_column: input size mismatch");
+  for (global_index i = 0; i < rows_; ++i) (*this)(i, r) = in[i];
+}
+
+void BlockVector::fill(complex_t value) {
+  for (auto& x : data_) x = value;
+}
+
+BlockVector BlockVector::transposed_layout() const {
+  const Layout other =
+      layout_ == Layout::row_major ? Layout::col_major : Layout::row_major;
+  BlockVector out(rows_, width_, other);
+  for (global_index i = 0; i < rows_; ++i) {
+    for (int r = 0; r < width_; ++r) out(i, r) = (*this)(i, r);
+  }
+  return out;
+}
+
+}  // namespace kpm::blas

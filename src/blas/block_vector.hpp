@@ -1,0 +1,70 @@
+// Block vectors (multiple right-hand sides).
+//
+// The paper's optimization stage 2 (Fig. 5) interprets the R random vectors
+// of the stochastic trace as a single block vector of width R.  For SIMD/SIMT
+// efficiency the block must be stored *row-major* ("interleaved", Sec. IV-A):
+// element (i, r) lives at i*R + r, so the R values of one matrix row are
+// contiguous and a vectorized kernel streams them with unit stride.
+// A column-major layout is provided as well for the layout ablation bench.
+#pragma once
+
+#include <span>
+
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace kpm::blas {
+
+enum class Layout { row_major, col_major };
+
+/// Dense rows x width complex block vector with 64-byte aligned storage.
+class BlockVector {
+ public:
+  BlockVector() = default;
+  BlockVector(global_index rows, int width, Layout layout = Layout::row_major);
+
+  [[nodiscard]] global_index rows() const noexcept { return rows_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] complex_t& operator()(global_index i, int r) noexcept {
+    return data_[index(i, r)];
+  }
+  [[nodiscard]] const complex_t& operator()(global_index i, int r) const noexcept {
+    return data_[index(i, r)];
+  }
+
+  [[nodiscard]] std::span<complex_t> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const complex_t> span() const noexcept { return data_; }
+  [[nodiscard]] complex_t* data() noexcept { return data_.data(); }
+  [[nodiscard]] const complex_t* data() const noexcept { return data_.data(); }
+
+  /// Contiguous row i (row-major layout only).
+  [[nodiscard]] std::span<complex_t> row(global_index i);
+  [[nodiscard]] std::span<const complex_t> row(global_index i) const;
+
+  /// Copies column r into `out` (any layout).
+  void extract_column(int r, std::span<complex_t> out) const;
+  /// Overwrites column r from `in` (any layout).
+  void set_column(int r, std::span<const complex_t> in);
+
+  void fill(complex_t value);
+
+  /// Returns a copy converted to the other storage layout.
+  [[nodiscard]] BlockVector transposed_layout() const;
+
+ private:
+  [[nodiscard]] std::size_t index(global_index i, int r) const noexcept {
+    return layout_ == Layout::row_major
+               ? static_cast<std::size_t>(i) * width_ + r
+               : static_cast<std::size_t>(r) * rows_ + i;
+  }
+
+  global_index rows_ = 0;
+  int width_ = 0;
+  Layout layout_ = Layout::row_major;
+  aligned_vector<complex_t> data_;
+};
+
+}  // namespace kpm::blas

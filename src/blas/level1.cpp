@@ -1,0 +1,68 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace kpm::blas {
+
+void axpy(complex_t a, std::span<const complex_t> x, std::span<complex_t> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+}
+
+void scal(complex_t a, std::span<complex_t> x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  complex_t* __restrict__ xp = x.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) xp[i] *= a;
+}
+
+void copy(std::span<const complex_t> x, std::span<complex_t> y) {
+  require(x.size() == y.size(), "copy: size mismatch");
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i];
+}
+
+complex_t dot(std::span<const complex_t> x, std::span<const complex_t> y) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  const complex_t* __restrict__ yp = y.data();
+  double re = 0.0, im = 0.0;
+#pragma omp parallel for simd schedule(static) reduction(+ : re, im)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const complex_t p = std::conj(xp[i]) * yp[i];
+    re += p.real();
+    im += p.imag();
+  }
+  return {re, im};
+}
+
+double dot_self(std::span<const complex_t> x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const complex_t* __restrict__ xp = x.data();
+  double acc = 0.0;
+#pragma omp parallel for simd schedule(static) reduction(+ : acc)
+  for (std::int64_t i = 0; i < n; ++i) acc += std::norm(xp[i]);
+  return acc;
+}
+
+double nrm2(std::span<const complex_t> x) { return std::sqrt(dot_self(x)); }
+
+void set_zero(std::span<complex_t> x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  complex_t* __restrict__ xp = x.data();
+#pragma omp parallel for simd schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) xp[i] = complex_t{};
+}
+
+}  // namespace kpm::blas

@@ -1,0 +1,38 @@
+// Complex BLAS level-1 kernels.
+//
+// These are exactly the primitives the *naive* KPM-DOS implementation (paper
+// Fig. 3) is composed of: axpy, scal, nrm2, dot.  They are implemented here
+// rather than taken from a vendor BLAS so that (a) the repository is
+// self-contained and (b) the traced variants in src/memsim can replay the
+// same access patterns.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace kpm::blas {
+
+/// y <- a*x + y
+void axpy(complex_t a, std::span<const complex_t> x, std::span<complex_t> y);
+
+/// x <- a*x
+void scal(complex_t a, std::span<complex_t> x);
+
+/// y <- x
+void copy(std::span<const complex_t> x, std::span<complex_t> y);
+
+/// <x|y> = sum_i conj(x_i) * y_i
+[[nodiscard]] complex_t dot(std::span<const complex_t> x,
+                            std::span<const complex_t> y);
+
+/// ||x||_2
+[[nodiscard]] double nrm2(std::span<const complex_t> x);
+
+/// <x|x> as a real number (nrm2 squared, but without the sqrt round trip).
+[[nodiscard]] double dot_self(std::span<const complex_t> x);
+
+/// x <- 0
+void set_zero(std::span<complex_t> x);
+
+}  // namespace kpm::blas

@@ -1,0 +1,44 @@
+#include "cluster/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::cluster {
+
+double allreduce_seconds(const NetworkSpec& net, int nodes, double bytes) {
+  if (nodes <= 1) return 0.0;
+  const double stages = 2.0 * std::ceil(std::log2(static_cast<double>(nodes)));
+  return stages * (net.latency_us * 1e-6 + bytes / (net.link_bw_gbs * 1e9));
+}
+
+double halo_exchange_seconds(const NetworkSpec& net, int neighbors,
+                             double bytes_per_neighbor, bool through_pcie) {
+  if (neighbors <= 0) return 0.0;
+  const double total_bytes = neighbors * bytes_per_neighbor;
+  double t = neighbors * net.latency_us * 1e-6 +
+             total_bytes / (net.link_bw_gbs * 1e9);
+  if (through_pcie) {
+    // Download of the assembled buffers plus upload of the received halo.
+    t += 2.0 * total_bytes / (net.pcie_bw_gbs * 1e9);
+  }
+  return t;
+}
+
+double halo_exchange_pipelined_seconds(const NetworkSpec& net, int neighbors,
+                                       double bytes_per_neighbor, int chunks) {
+  require(chunks >= 1, "pipelined exchange: chunks >= 1");
+  if (neighbors <= 0) return 0.0;
+  const double total_bytes = neighbors * bytes_per_neighbor;
+  // Per-chunk stage times: PCIe download, network transfer, PCIe upload.
+  const double chunk_pcie = total_bytes / chunks / (net.pcie_bw_gbs * 1e9);
+  const double chunk_net = total_bytes / chunks / (net.link_bw_gbs * 1e9) +
+                           neighbors * net.latency_us * 1e-6 / chunks;
+  // Three-stage pipeline: fill (first chunk through all stages) + the
+  // remaining chunks at the rate of the slowest stage.
+  const double slowest = std::max({chunk_pcie, chunk_net});
+  return 2.0 * chunk_pcie + chunk_net + (chunks - 1) * slowest;
+}
+
+}  // namespace kpm::cluster

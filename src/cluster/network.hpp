@@ -1,0 +1,45 @@
+// Interconnect model of a Cray XC30 (Aries dragonfly) class system.
+#pragma once
+
+#include <cstdint>
+
+namespace kpm::cluster {
+
+struct NetworkSpec {
+  double link_bw_gbs = 9.0;   ///< per-node injection bandwidth
+  double latency_us = 1.8;    ///< point-to-point MPI latency
+  double pcie_bw_gbs = 6.0;   ///< host <-> device transfer bandwidth
+  /// Synchronization overhead of a *per-iteration* global reduction as a
+  /// fraction of the iteration time — load imbalance and OS jitter amplified
+  /// at every sync point.  Calibrated to the paper's measured 8% cost of
+  /// reducing in each iteration instead of once at the end (Table III).
+  double per_iteration_sync_fraction = 0.08;
+  /// Overlap PCIe downloads with network transfers (the paper's outlook
+  /// pipeline optimization); see halo_exchange_pipelined_seconds().
+  bool pipelined_halo = false;
+};
+
+/// Time of one MPI_Allreduce of `bytes` across `nodes` (binary-tree model:
+/// 2 log2(P) latency-dominated stages).
+[[nodiscard]] double allreduce_seconds(const NetworkSpec& net, int nodes,
+                                       double bytes);
+
+/// Time to exchange `bytes_per_neighbor` with `neighbors` peers (sends and
+/// receives overlap; injection bandwidth is the constraint).
+[[nodiscard]] double halo_exchange_seconds(const NetworkSpec& net,
+                                           int neighbors,
+                                           double bytes_per_neighbor,
+                                           bool through_pcie);
+
+/// Pipelined GPU-CPU-MPI exchange — the paper's outlook optimization
+/// ("download parts of the communication buffer to the host and transfer
+/// previous chunks via the network at the same time").  The buffer is split
+/// into `chunks`; after the first chunk's PCIe download, PCIe and network
+/// stages overlap, so the cost approaches max(PCIe, network) instead of
+/// their sum.
+[[nodiscard]] double halo_exchange_pipelined_seconds(const NetworkSpec& net,
+                                                     int neighbors,
+                                                     double bytes_per_neighbor,
+                                                     int chunks = 8);
+
+}  // namespace kpm::cluster

@@ -1,0 +1,117 @@
+#include "cluster/node_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "gpusim/throughput.hpp"
+#include "memsim/hierarchies.hpp"
+#include "perfmodel/balance.hpp"
+#include "perfmodel/roofline.hpp"
+#include "physics/ti_model.hpp"
+#include "util/check.hpp"
+
+namespace kpm::cluster {
+namespace {
+
+constexpr double sd = bytes_per_element;
+constexpr double si = bytes_per_index;
+constexpr double fa = flops_complex_add;
+constexpr double fm = flops_complex_mul;
+
+double flops_per_row_col(double nnzr) {
+  return nnzr * (fa + fm) + 7.0 * fa / 2.0 + 9.0 * fm / 2.0;
+}
+
+/// Representative down-scaled TI matrix for the traced GPU predictions
+/// (large enough that matrix and block vectors exceed the L2 by far).
+const sparse::CrsMatrix& reference_matrix() {
+  static const sparse::CrsMatrix m = [] {
+    physics::TIParams p;
+    p.nx = 48;
+    p.ny = 48;
+    p.nz = 10;
+    return physics::build_ti_hamiltonian(p);
+  }();
+  return m;
+}
+
+/// Cached traced GPU kernel predictions, keyed by (machine, kernel, width).
+double traced_gpu_gflops(const perfmodel::MachineSpec& spec,
+                         gpusim::GpuKernel kernel, int width) {
+  using Key = std::tuple<std::string, int, int>;
+  static std::map<Key, double> cache;
+  const Key key{spec.name, static_cast<int>(kernel), width};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto hierarchy = spec.name == "K20X" ? memsim::make_k20x_hierarchy()
+                                       : memsim::make_k20m_hierarchy();
+  const auto traffic =
+      gpusim::trace_gpu_kernel(reference_matrix(), width, kernel, hierarchy);
+  const auto pred = gpusim::predict_kernel(traffic, spec);
+  cache[key] = pred.gflops;
+  return pred.gflops;
+}
+
+}  // namespace
+
+NodeConfig piz_daint_node() {
+  return NodeConfig{.cpu = &perfmodel::machine_snb(),
+                    .gpu = &perfmodel::machine_k20x()};
+}
+
+NodeConfig emmy_node() {
+  return NodeConfig{.cpu = &perfmodel::machine_ivb(),
+                    .gpu = &perfmodel::machine_k20m()};
+}
+
+double stage_balance(core::OptimizationStage stage, int width, double nnzr) {
+  require(width >= 1, "stage_balance: width >= 1");
+  const double flops = flops_per_row_col(nnzr);
+  switch (stage) {
+    case core::OptimizationStage::naive:
+      // Eq. 4 top line: matrix plus 13 vector transfers per iteration.
+      return (nnzr * (sd + si) + 13.0 * sd) / flops;
+    case core::OptimizationStage::aug_spmv:
+      return (nnzr * (sd + si) + 3.0 * sd) / flops;
+    case core::OptimizationStage::aug_spmmv:
+      return perfmodel::bmin(nnzr, width);
+  }
+  return 0.0;
+}
+
+double cpu_gflops(const NodeConfig& node, core::OptimizationStage stage,
+                  int width, double nnzr) {
+  const auto& m = *node.cpu;
+  const int r = stage == core::OptimizationStage::aug_spmmv ? width : 1;
+  const double b_mem = stage_balance(stage, r, nnzr) * node.omega_cpu;
+  const double p_mem = m.mem_bw_gbs / b_mem;
+  // LLC-side balance in the decoupled regime: the cache must deliver the
+  // gathered input-vector rows (nnzr touches) plus the streaming tail.
+  const double b_llc = (nnzr * sd + 3.0 * sd) / flops_per_row_col(nnzr);
+  const double p_llc = m.llc_bw_gbs / b_llc;
+  return std::min({p_mem, p_llc * node.kernel_efficiency_cpu,
+                   m.peak_gflops * node.kernel_efficiency_cpu});
+}
+
+double gpu_gflops(const NodeConfig& node, core::OptimizationStage stage,
+                  int width, double nnzr) {
+  const auto& m = *node.gpu;
+  if (stage == core::OptimizationStage::naive) {
+    // Memory bound on any modern device (B ~ 3.4 B/F): classic roofline.
+    const double b = stage_balance(stage, 1, nnzr) * node.omega_gpu;
+    return std::min(m.peak_gflops * node.kernel_efficiency_gpu,
+                    m.mem_bw_gbs / b);
+  }
+  const int r = stage == core::OptimizationStage::aug_spmmv ? width : 1;
+  return traced_gpu_gflops(m, gpusim::GpuKernel::aug_full, r);
+}
+
+double heterogeneous_gflops(const NodeConfig& node,
+                            core::OptimizationStage stage, int width,
+                            double nnzr) {
+  return (cpu_gflops(node, stage, width, nnzr) +
+          gpu_gflops(node, stage, width, nnzr)) *
+         node.heterogeneous_efficiency;
+}
+
+}  // namespace kpm::cluster

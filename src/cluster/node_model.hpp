@@ -1,0 +1,58 @@
+// Single-node performance model for the heterogeneous Piz Daint node
+// (SNB + K20X) and the Emmy node (IVB + K20m) — the inputs of the scaling
+// study (Figs. 11, 12, Table III).
+//
+// CPU rates come from the roofline model (Eqs. 9-11) with the code balance
+// of the respective optimization stage and calibrated Omega; GPU rates come
+// from the same machinery with the device's bandwidths.  Heterogeneous
+// execution sums the device rates and applies the measured parallel
+// efficiency (paper Fig. 11: 85-90%), which accounts for PCIe transfers and
+// the CPU core sacrificed to GPU management.
+#pragma once
+
+#include "core/solver.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace kpm::cluster {
+
+struct NodeConfig {
+  const perfmodel::MachineSpec* cpu;
+  const perfmodel::MachineSpec* gpu;
+  double omega_cpu = 1.3;   ///< traffic excess at large R (Fig. 8 range)
+  double omega_gpu = 1.25;
+  /// Fraction of the roofline bound real fused kernels reach (in-core
+  /// inefficiencies: complex arithmetic port pressure, remainder loops).
+  double kernel_efficiency_cpu = 0.85;
+  double kernel_efficiency_gpu = 0.80;
+  /// Extra penalty of the fully augmented kernel's on-the-fly reductions
+  /// in the decoupled regime (paper Fig. 10c: latency-bound).
+  double dot_latency_penalty_gpu = 0.55;
+  /// Heterogeneous parallel efficiency (Fig. 11 annotation: 85-90%).
+  double heterogeneous_efficiency = 0.875;
+};
+
+/// Piz Daint node: SNB + K20X (production system of Sec. VI-C).
+[[nodiscard]] NodeConfig piz_daint_node();
+/// Emmy node: IVB + K20m (node-level analysis system of Sec. V).
+[[nodiscard]] NodeConfig emmy_node();
+
+/// Sustained Gflop/s of one device for a given optimization stage and block
+/// width.  `nnzr` defaults to the TI matrix population (13).
+[[nodiscard]] double cpu_gflops(const NodeConfig& node,
+                                core::OptimizationStage stage, int width,
+                                double nnzr = 13.0);
+[[nodiscard]] double gpu_gflops(const NodeConfig& node,
+                                core::OptimizationStage stage, int width,
+                                double nnzr = 13.0);
+/// CPU+GPU simultaneous execution.
+[[nodiscard]] double heterogeneous_gflops(const NodeConfig& node,
+                                          core::OptimizationStage stage,
+                                          int width, double nnzr = 13.0);
+
+/// Code balance (bytes/flop) of a stage at block width `width` — the
+/// naive stage streams 13 vectors, stage 1 streams 3, stage 2 amortizes the
+/// matrix over the block (Eq. 4 divided by the flops).
+[[nodiscard]] double stage_balance(core::OptimizationStage stage, int width,
+                                   double nnzr = 13.0);
+
+}  // namespace kpm::cluster

@@ -1,0 +1,184 @@
+#include "cluster/scaling.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::cluster {
+namespace {
+
+constexpr double fa = flops_complex_add;
+constexpr double fm = flops_complex_mul;
+
+double solver_flops(const RunParams& run, const Domain& d) {
+  const double n = d.dimension();
+  const double nnz = run.nnzr * n;
+  return run.num_random * (run.num_moments / 2.0) *
+         (nnz * (fa + fm) + n * (7.0 * fa / 2.0 + 9.0 * fm / 2.0));
+}
+
+}  // namespace
+
+ScalingPoint evaluate_point(const NodeConfig& node, const NetworkSpec& net,
+                            const RunParams& run, Domain domain, int grid_x,
+                            int grid_y) {
+  require(grid_x >= 1 && grid_y >= 1, "evaluate_point: invalid grid");
+  const int nodes = grid_x * grid_y;
+  const double lx = static_cast<double>(domain.nx) / grid_x;
+  const double ly = static_cast<double>(domain.ny) / grid_y;
+  const double lz = static_cast<double>(domain.nz);
+  const double n_local = 4.0 * lx * ly * lz;
+  const double nnz_local = run.nnzr * n_local;
+
+  // Effective block width of the running kernel.
+  const int width = run.throughput_mode
+                        ? 1
+                        : (run.stage == core::OptimizationStage::aug_spmmv
+                               ? run.num_random
+                               : 1);
+  const double node_rate =
+      heterogeneous_gflops(node, run.stage, run.num_random, run.nnzr) * 1e9;
+
+  // One Chebyshev step of the running kernel on this node.
+  const double flops_step =
+      width * (nnz_local * (fa + fm) +
+               n_local * (7.0 * fa / 2.0 + 9.0 * fm / 2.0));
+  const double t_compute = flops_step / node_rate;
+
+  // Halo exchange: boundary planes of the (periodic in x, y) domain.  With a
+  // single process along a periodic direction the neighbour is the process
+  // itself — no network traffic.
+  const double bytes_x = ly * lz * 4.0 * width * bytes_per_element;
+  const double bytes_y = lx * lz * 4.0 * width * bytes_per_element;
+  double t_comm = 0.0;
+  auto exchange = [&](double bytes) {
+    return net.pipelined_halo
+               ? halo_exchange_pipelined_seconds(net, 2, bytes)
+               : halo_exchange_seconds(net, 2, bytes, /*through_pcie=*/true);
+  };
+  if (grid_x > 1) t_comm += exchange(bytes_x);
+  if (grid_y > 1) t_comm += exchange(bytes_y);
+
+  double t_step = t_compute + t_comm;
+  if (run.reduction == core::ReductionMode::per_iteration && nodes > 1) {
+    // Small payload (2R dot products) but a full synchronization point.
+    t_step += allreduce_seconds(net, nodes,
+                                2.0 * run.num_random * bytes_per_element);
+    t_step *= 1.0 + net.per_iteration_sync_fraction;
+  }
+
+  double steps = run.num_moments / 2.0;
+  if (run.throughput_mode) steps *= run.num_random;  // R independent runs
+
+  double total = steps * t_step;
+  if (run.reduction == core::ReductionMode::at_end && nodes > 1) {
+    total += allreduce_seconds(
+        net, nodes, static_cast<double>(run.num_random) * run.num_moments * 8.0);
+  }
+
+  ScalingPoint p;
+  p.nodes = nodes;
+  p.domain = domain;
+  p.grid_x = grid_x;
+  p.grid_y = grid_y;
+  p.seconds = total;
+  p.tflops = solver_flops(run, domain) / total / 1e12;
+  p.parallel_efficiency = p.tflops * 1e12 / (nodes * node_rate);
+  return p;
+}
+
+std::vector<ScalingPoint> weak_scaling(const NodeConfig& node,
+                                       const NetworkSpec& net,
+                                       const RunParams& run, ScalingCase which,
+                                       int max_nodes) {
+  std::vector<ScalingPoint> out;
+  if (which == ScalingCase::square) {
+    // 1 node: 400 x 100 x 40, then y -> 400 at 4 nodes, then x and y double
+    // as the node count quadruples (paper Sec. VI-C).
+    out.push_back(evaluate_point(node, net, run, {400, 100, 40}, 1, 1));
+    Domain d{400, 400, 40};
+    int gx = 1;
+    int gy = 4;
+    while (gx * gy <= max_nodes) {
+      out.push_back(evaluate_point(node, net, run, d, gx, gy));
+      d.nx *= 2;
+      d.ny *= 2;
+      gx *= 2;
+      gy *= 2;
+    }
+  } else {
+    for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+      const Domain d{400LL * nodes, 100, 40};
+      out.push_back(evaluate_point(node, net, run, d, nodes, 1));
+    }
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> strong_scaling(const NodeConfig& node,
+                                         const NetworkSpec& net,
+                                         const RunParams& run,
+                                         ScalingCase which, Domain fixed,
+                                         int max_nodes) {
+  std::vector<ScalingPoint> out;
+  if (which == ScalingCase::square) {
+    int gx = 1;
+    int gy = 1;
+    while (gx * gy <= max_nodes) {
+      out.push_back(evaluate_point(node, net, run, fixed, gx, gy));
+      if (gx * gy == 1) {
+        gy = 4;
+      } else {
+        gx *= 2;
+        gy *= 2;
+      }
+    }
+  } else {
+    for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+      out.push_back(evaluate_point(node, net, run, fixed, nodes, 1));
+    }
+  }
+  return out;
+}
+
+double node_power_watts(const NodeConfig& node, double blade_overhead_watts) {
+  return node.cpu->tdp_watts + node.gpu->tdp_watts + blade_overhead_watts;
+}
+
+std::vector<ResourceUsage> table3(const NodeConfig& node,
+                                  const NetworkSpec& net) {
+  // Largest Square system: 6400 x 6400 x 40 (N > 6.5e9), R = 32, M = 2000.
+  const Domain big{6400, 6400, 40};
+  std::vector<ResourceUsage> rows;
+
+  // Row 1: non-blocked aug_spmv in throughput mode on 288 nodes.
+  {
+    RunParams run;
+    run.stage = core::OptimizationStage::aug_spmv;
+    run.throughput_mode = true;
+    const auto p = evaluate_point(node, net, run, big, 16, 18);
+    rows.push_back({"aug_spmv (throughput)", p.tflops, p.nodes,
+                    p.nodes * p.seconds / 3600.0,
+                    p.nodes * p.seconds * node_power_watts(node) / 1e6});
+  }
+  // Row 2: blocked aug_spmmv with a global reduction every iteration.
+  {
+    RunParams run;
+    run.reduction = core::ReductionMode::per_iteration;
+    const auto p = evaluate_point(node, net, run, big, 16, 64);
+    rows.push_back({"aug_spmmv* (per-iteration reduction)", p.tflops, p.nodes,
+                    p.nodes * p.seconds / 3600.0,
+                    p.nodes * p.seconds * node_power_watts(node) / 1e6});
+  }
+  // Row 3: the optimal variant — one reduction at the very end.
+  {
+    RunParams run;
+    const auto p = evaluate_point(node, net, run, big, 16, 64);
+    rows.push_back({"aug_spmmv (single final reduction)", p.tflops, p.nodes,
+                    p.nodes * p.seconds / 3600.0,
+                    p.nodes * p.seconds * node_power_watts(node) / 1e6});
+  }
+  return rows;
+}
+
+}  // namespace kpm::cluster

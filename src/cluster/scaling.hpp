@@ -1,0 +1,95 @@
+// Weak/strong scaling and resource-usage predictions (paper Fig. 12 and
+// Table III) for the topological-insulator KPM on a Piz Daint class system.
+//
+// The model combines the node performance (src/cluster/node_model) with the
+// interconnect model (src/cluster/network) over the paper's domain
+// decompositions:
+//  * "Square": fixed Nz = 40 slab, process grid in (x, y); the domain grows
+//    400x100 -> 400x400 at 4 nodes, then x and y double as nodes quadruple.
+//  * "Bar": fixed Ny = 100, Nz = 40, one node per 400-site slice in x.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/network.hpp"
+#include "cluster/node_model.hpp"
+
+namespace kpm::cluster {
+
+struct Domain {
+  long long nx = 0;
+  long long ny = 0;
+  long long nz = 0;
+
+  [[nodiscard]] double sites() const {
+    return static_cast<double>(nx) * ny * nz;
+  }
+  /// Matrix dimension N = 4 Nx Ny Nz.
+  [[nodiscard]] double dimension() const { return 4.0 * sites(); }
+};
+
+enum class ScalingCase { square, bar };
+
+struct RunParams {
+  int num_random = 32;  ///< R
+  int num_moments = 2000;
+  double nnzr = 13.0;
+  core::OptimizationStage stage = core::OptimizationStage::aug_spmmv;
+  core::ReductionMode reduction = core::ReductionMode::at_end;
+  /// Throughput mode: R independent single-vector runs (Table III row 1).
+  bool throughput_mode = false;
+};
+
+struct ScalingPoint {
+  int nodes = 0;
+  Domain domain;
+  int grid_x = 1;  ///< process grid extent in x
+  int grid_y = 1;
+  double tflops = 0.0;
+  double seconds = 0.0;             ///< whole-solver wall time
+  double parallel_efficiency = 0.0; ///< vs. nodes * single-node rate
+};
+
+/// Whole-solver model: time and sustained Tflop/s for `domain` distributed
+/// over a `grid_x x grid_y` process grid of heterogeneous nodes.
+[[nodiscard]] ScalingPoint evaluate_point(const NodeConfig& node,
+                                          const NetworkSpec& net,
+                                          const RunParams& run, Domain domain,
+                                          int grid_x, int grid_y);
+
+/// Weak scaling series (Fig. 12): node counts 1, 4, 16, ..., max_nodes for
+/// the Square case; 1, 2, 4, ... for the Bar case.
+[[nodiscard]] std::vector<ScalingPoint> weak_scaling(const NodeConfig& node,
+                                                     const NetworkSpec& net,
+                                                     const RunParams& run,
+                                                     ScalingCase which,
+                                                     int max_nodes);
+
+/// Strong scaling from the domain of `base` upward to max_nodes.
+[[nodiscard]] std::vector<ScalingPoint> strong_scaling(const NodeConfig& node,
+                                                       const NetworkSpec& net,
+                                                       const RunParams& run,
+                                                       ScalingCase which,
+                                                       Domain fixed,
+                                                       int max_nodes);
+
+struct ResourceUsage {
+  std::string version;
+  double tflops = 0.0;
+  int nodes = 0;
+  double node_hours = 0.0;
+  double megajoules = 0.0;  ///< energy to solution (TDP-based node power)
+};
+
+/// TDP-based power of one heterogeneous node (CPU + GPU + blade overhead);
+/// the paper's introduction motivates simultaneous use of all devices with
+/// "performance and energy efficiency".
+[[nodiscard]] double node_power_watts(const NodeConfig& node,
+                                      double blade_overhead_watts = 100.0);
+
+/// Table III: the three solver variants on the largest Square system.
+[[nodiscard]] std::vector<ResourceUsage> table3(const NodeConfig& node,
+                                                const NetworkSpec& net);
+
+}  // namespace kpm::cluster

@@ -1,0 +1,53 @@
+#include "core/damping.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace kpm::core {
+
+std::vector<double> damping_coefficients(DampingKernel kernel, int num_moments,
+                                         double lorentz_lambda) {
+  require(num_moments >= 1, "damping: need at least one moment");
+  std::vector<double> g(static_cast<std::size_t>(num_moments));
+  const int big_m = num_moments;
+  switch (kernel) {
+    case DampingKernel::dirichlet:
+      for (auto& x : g) x = 1.0;
+      break;
+    case DampingKernel::jackson: {
+      const double q = pi / (big_m + 1.0);
+      for (int m = 0; m < big_m; ++m) {
+        g[static_cast<std::size_t>(m)] =
+            ((big_m - m + 1.0) * std::cos(q * m) +
+             std::sin(q * m) / std::tan(q)) /
+            (big_m + 1.0);
+      }
+      break;
+    }
+    case DampingKernel::lorentz: {
+      const double denom = std::sinh(lorentz_lambda);
+      for (int m = 0; m < big_m; ++m) {
+        g[static_cast<std::size_t>(m)] =
+            std::sinh(lorentz_lambda * (1.0 - static_cast<double>(m) / big_m)) /
+            denom;
+      }
+      break;
+    }
+  }
+  return g;
+}
+
+void apply_damping(DampingKernel kernel, std::span<double> mu,
+                   double lorentz_lambda) {
+  const auto g = damping_coefficients(kernel, static_cast<int>(mu.size()),
+                                      lorentz_lambda);
+  for (std::size_t m = 0; m < mu.size(); ++m) mu[m] *= g[m];
+}
+
+double jackson_resolution(int num_moments) {
+  return pi / static_cast<double>(num_moments);
+}
+
+}  // namespace kpm::core

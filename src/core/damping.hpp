@@ -1,0 +1,32 @@
+// Damping kernels for the truncated Chebyshev expansion (Weisse et al.,
+// Rev. Mod. Phys. 78, 275 (2006) — the "kernel" in Kernel Polynomial Method).
+//
+// Truncating the expansion at M moments produces Gibbs oscillations; the
+// moments are multiplied by kernel coefficients g_m that turn the truncated
+// series into a positive, resolution-broadened approximation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace kpm::core {
+
+enum class DampingKernel {
+  dirichlet,  ///< g_m = 1 (no damping; oscillatory, for diagnostics)
+  jackson,    ///< optimal for DOS: positive, resolution ~ pi/M
+  lorentz,    ///< exponential kernel for Green functions (lambda parameter)
+};
+
+/// Kernel coefficients g_0 .. g_{M-1}.
+[[nodiscard]] std::vector<double> damping_coefficients(
+    DampingKernel kernel, int num_moments, double lorentz_lambda = 4.0);
+
+/// In-place application: mu[m] *= g_m.
+void apply_damping(DampingKernel kernel, std::span<double> mu,
+                   double lorentz_lambda = 4.0);
+
+/// Energy resolution (FWHM-like broadening in the Chebyshev variable) that
+/// the Jackson kernel delivers at M moments: sigma ~ pi / M.
+[[nodiscard]] double jackson_resolution(int num_moments);
+
+}  // namespace kpm::core

@@ -1,0 +1,33 @@
+#include "core/eigcount.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace kpm::core {
+
+double eigenvalue_count(std::span<const double> mu, const physics::Scaling& s,
+                        double dimension, double e_lo, double e_hi,
+                        DampingKernel kernel) {
+  require(!mu.empty(), "eigenvalue_count: empty moments");
+  require(e_hi > e_lo, "eigenvalue_count: invalid interval");
+  const double x1 = std::clamp(s.to_unit(e_lo), -1.0, 1.0);
+  const double x2 = std::clamp(s.to_unit(e_hi), -1.0, 1.0);
+  const double theta1 = std::acos(x1);  // theta decreases with x
+  const double theta2 = std::acos(x2);
+
+  std::vector<double> damped(mu.begin(), mu.end());
+  apply_damping(kernel, damped);
+
+  double acc = damped[0] * (theta1 - theta2) / pi;
+  for (std::size_t m = 1; m < damped.size(); ++m) {
+    const double dm = static_cast<double>(m);
+    acc += 2.0 * damped[m] *
+           (std::sin(dm * theta1) - std::sin(dm * theta2)) / (dm * pi);
+  }
+  return dimension * acc;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,27 @@
+// Eigenvalue counting in an interval via KPM (paper Sec. I: "eigenvalue
+// counting for predetermination of sub-space sizes in projection-based
+// eigensolvers", di Napoli/Polizzi/Saad 2013).
+//
+// The count is the integral of the KPM density over [e_lo, e_hi], evaluated
+// analytically from the damped moments:
+//   integral of T_m(x) / (pi sqrt(1-x^2)) over [x1, x2]
+//     = (theta1 - theta2)/pi                   for m = 0
+//     = (sin(m theta1) - sin(m theta2))/(m pi) for m >= 1,   theta = arccos x.
+#pragma once
+
+#include <span>
+
+#include "core/damping.hpp"
+#include "physics/spectral_bounds.hpp"
+
+namespace kpm::core {
+
+/// Expected number of eigenvalues in [e_lo, e_hi] from averaged moments of
+/// unit-normalized random vectors; `dimension` is the matrix size N.
+[[nodiscard]] double eigenvalue_count(std::span<const double> mu,
+                                      const physics::Scaling& s,
+                                      double dimension, double e_lo,
+                                      double e_hi,
+                                      DampingKernel kernel = DampingKernel::jackson);
+
+}  // namespace kpm::core

@@ -1,0 +1,103 @@
+#include "core/ftlm.hpp"
+
+#include <cmath>
+
+#include "blas/level1.hpp"
+#include "physics/dense_eigen.hpp"
+#include "sparse/spmv.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+
+Spectrum FtlmResult::density(double e_min, double e_max, int points,
+                             double broadening) const {
+  require(points >= 2 && e_max > e_min && broadening > 0.0,
+          "FtlmResult::density: invalid grid");
+  Spectrum out;
+  out.energy.resize(static_cast<std::size_t>(points));
+  out.density.assign(static_cast<std::size_t>(points), 0.0);
+  const double norm = 1.0 / (broadening * std::sqrt(2.0 * pi));
+  for (int k = 0; k < points; ++k) {
+    const double e = e_min + (e_max - e_min) * k / (points - 1);
+    out.energy[static_cast<std::size_t>(k)] = e;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < ritz_values.size(); ++j) {
+      const double d = (e - ritz_values[j]) / broadening;
+      if (std::abs(d) < 8.0) acc += weights[j] * std::exp(-0.5 * d * d);
+    }
+    out.density[static_cast<std::size_t>(k)] = acc * norm;
+  }
+  return out;
+}
+
+FtlmResult ftlm_dos(const sparse::CrsMatrix& h, const FtlmParams& p) {
+  require(h.nrows() == h.ncols(), "ftlm_dos: square matrix required");
+  require(p.lanczos_steps >= 2 && p.num_random >= 1,
+          "ftlm_dos: need >= 2 Lanczos steps and >= 1 random vector");
+  const auto n = static_cast<std::size_t>(h.nrows());
+  const int k_max = static_cast<int>(
+      std::min<global_index>(p.lanczos_steps, h.nrows()));
+
+  FtlmResult out;
+  out.dimension = h.nrows();
+  RandomVectorSource rng(p.seed, p.vector_kind);
+
+  aligned_vector<complex_t> q(n), q_prev(n), w(n);
+  std::vector<aligned_vector<complex_t>> basis;
+  for (int r = 0; r < p.num_random; ++r) {
+    rng.fill(q);
+    std::fill(q_prev.begin(), q_prev.end(), complex_t{});
+    basis.clear();
+    if (p.full_reorthogonalization) basis.push_back(q);
+    std::vector<double> alpha;
+    std::vector<double> beta;
+    for (int j = 0; j < k_max; ++j) {
+      sparse::spmv(h, q, w);
+      const complex_t a = blas::dot(q, w);
+      alpha.push_back(a.real());
+      blas::axpy(-a, q, w);
+      if (j > 0) blas::axpy({-beta.back(), 0.0}, q_prev, w);
+      if (p.full_reorthogonalization) {
+        for (const auto& v : basis) {
+          const complex_t overlap = blas::dot(v, w);
+          blas::axpy(-overlap, v, w);
+        }
+      }
+      const double b = blas::nrm2(w);
+      if (b < 1e-13 || j == k_max - 1) break;
+      beta.push_back(b);
+      q_prev = q;
+      for (std::size_t i = 0; i < n; ++i) q[i] = w[i] / b;
+      if (p.full_reorthogonalization) basis.push_back(q);
+    }
+    // Ritz decomposition of the tridiagonal: theta_j and the squared first
+    // components give delta(E - H) in the Krylov space.
+    const int m = static_cast<int>(alpha.size());
+    std::vector<double> tri(static_cast<std::size_t>(m) * m, 0.0);
+    for (int i = 0; i < m; ++i) {
+      tri[static_cast<std::size_t>(i) * m + i] =
+          alpha[static_cast<std::size_t>(i)];
+      if (i + 1 < m) {
+        tri[static_cast<std::size_t>(i) * m + i + 1] =
+            beta[static_cast<std::size_t>(i)];
+        tri[static_cast<std::size_t>(i + 1) * m + i] =
+            beta[static_cast<std::size_t>(i)];
+      }
+    }
+    const auto es = physics::eigensystem_symmetric(std::move(tri), m);
+    for (int j = 0; j < m; ++j) {
+      const double first =
+          es.eigenvectors[static_cast<std::size_t>(j) * m + 0];
+      out.ritz_values.push_back(es.eigenvalues[static_cast<std::size_t>(j)]);
+      // <r|r> = 1: weight per vector sums to 1; scale so the total is N/R
+      // per vector => N overall.
+      out.weights.push_back(first * first *
+                            static_cast<double>(h.nrows()) /
+                            static_cast<double>(p.num_random));
+    }
+  }
+  return out;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,48 @@
+#include "core/greens.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::core {
+
+std::vector<complex_t> greens_function(std::span<const double> mu,
+                                       const physics::Scaling& s,
+                                       std::span<const double> energies,
+                                       const GreensParams& p) {
+  require(!mu.empty(), "greens_function: empty moments");
+  require(p.branch == 1 || p.branch == -1,
+          "greens_function: branch must be +1 or -1");
+  std::vector<double> damped(mu.begin(), mu.end());
+  apply_damping(p.kernel, damped, p.lorentz_lambda);
+
+  std::vector<complex_t> out;
+  out.reserve(energies.size());
+  const double sign = static_cast<double>(p.branch);
+  for (const double e : energies) {
+    const double x = s.to_unit(e);
+    require(std::abs(x) < 1.0,
+            "greens_function: energy outside the spectral interval");
+    const double theta = std::acos(x);
+    complex_t acc{};
+    for (std::size_t m = 0; m < damped.size(); ++m) {
+      const double weight = (m == 0 ? 1.0 : 2.0) * damped[m];
+      // -+ i e^{-+ i m theta} = -+i cos(m theta) - sign * ... expanded:
+      const double c = std::cos(static_cast<double>(m) * theta);
+      const double si = std::sin(static_cast<double>(m) * theta);
+      acc += weight * complex_t{-si, -sign * c};
+    }
+    // Jacobian of the rescaling: G_H(E) = a G_x(a(E - b)).
+    out.push_back(s.a * acc / std::sqrt(1.0 - x * x));
+  }
+  return out;
+}
+
+complex_t greens_function_at(std::span<const double> mu,
+                             const physics::Scaling& s, double energy,
+                             const GreensParams& p) {
+  const double e[1] = {energy};
+  return greens_function(mu, s, e, p)[0];
+}
+
+}  // namespace kpm::core

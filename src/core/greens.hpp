@@ -1,0 +1,41 @@
+// KPM Green's function (resolvent) — Weisse et al., Rev. Mod. Phys. 78,
+// 275, Sec. II.C: with x = cos(theta) in the rescaled variable,
+//
+//   G(x -+ i0)  =  -+ i / sqrt(1 - x^2) * sum_m (2 - delta_m0) g_m mu_m
+//                   e^{-+ i m theta},
+//
+// whose imaginary part is -pi * rho(x) (retarded branch) — the resolvent and
+// the DOS come from the *same* moment sequence.  The Lorentz kernel is the
+// natural damping here: it corresponds to a finite imaginary broadening
+// eta ~ lambda / M in the rescaled variable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/damping.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/types.hpp"
+
+namespace kpm::core {
+
+struct GreensParams {
+  DampingKernel kernel = DampingKernel::lorentz;
+  double lorentz_lambda = 4.0;
+  /// +1: retarded G(E + i0) (Im G <= 0); -1: advanced G(E - i0).
+  int branch = +1;
+};
+
+/// Retarded/advanced trace Green's function tr[G(E)]/N at the given
+/// energies (each must map strictly inside (-1, 1)).
+[[nodiscard]] std::vector<complex_t> greens_function(
+    std::span<const double> mu, const physics::Scaling& s,
+    std::span<const double> energies, const GreensParams& p = {});
+
+/// Single-energy convenience.
+[[nodiscard]] complex_t greens_function_at(std::span<const double> mu,
+                                           const physics::Scaling& s,
+                                           double energy,
+                                           const GreensParams& p = {});
+
+}  // namespace kpm::core

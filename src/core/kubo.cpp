@@ -1,0 +1,177 @@
+#include "core/kubo.hpp"
+
+#include <cmath>
+
+#include "blas/level1.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/spmv.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+namespace {
+
+/// Accumulates mu_nm contributions of one start vector |r>:
+///   chi_m = J T_m(H~) J |r>   (precomputed, M vectors)
+///   psi_n = T_n(H~) |r>       (recurrence)
+///   mu_nm += Re <psi_n | chi_m>
+void accumulate_vector(const sparse::CrsMatrix& h, const physics::Scaling& s,
+                       const sparse::CrsMatrix& j,
+                       std::span<const complex_t> r, int order,
+                       std::vector<double>& mu) {
+  const auto n_dim = r.size();
+  const auto startup = sparse::AugScalars::startup(s.a, s.b);
+  const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
+
+  // chi_m = J T_m(H~) (J |r>).
+  std::vector<aligned_vector<complex_t>> chi(
+      static_cast<std::size_t>(order));
+  {
+    aligned_vector<complex_t> v(n_dim), w(n_dim);
+    sparse::spmv(j, r, v);  // v = T_0 J |r>
+    chi[0].resize(n_dim);
+    sparse::spmv(j, v, chi[0]);
+    if (order > 1) {
+      sparse::aug_spmv(h, startup, v, w, nullptr, nullptr);  // w = T_1 J|r>
+      chi[1].resize(n_dim);
+      sparse::spmv(j, w, chi[1]);
+    }
+    for (int m = 2; m < order; ++m) {
+      std::swap(v, w);
+      sparse::aug_spmv(h, rec, v, w, nullptr, nullptr);
+      chi[static_cast<std::size_t>(m)].resize(n_dim);
+      sparse::spmv(j, w, chi[static_cast<std::size_t>(m)]);
+    }
+  }
+  // psi_n recurrence with on-the-fly dots against every chi_m.
+  aligned_vector<complex_t> v(r.begin(), r.end());
+  aligned_vector<complex_t> w(n_dim);
+  auto accumulate_row = [&](int n, const aligned_vector<complex_t>& psi) {
+    for (int m = 0; m < order; ++m) {
+      mu[static_cast<std::size_t>(n) * order + static_cast<std::size_t>(m)] +=
+          blas::dot(psi, chi[static_cast<std::size_t>(m)]).real();
+    }
+  };
+  accumulate_row(0, v);
+  if (order > 1) {
+    sparse::aug_spmv(h, startup, v, w, nullptr, nullptr);
+    accumulate_row(1, w);
+  }
+  for (int n = 2; n < order; ++n) {
+    std::swap(v, w);
+    sparse::aug_spmv(h, rec, v, w, nullptr, nullptr);
+    accumulate_row(n, w);
+  }
+}
+
+}  // namespace
+
+KuboMoments kubo_moments(const sparse::CrsMatrix& h,
+                         const physics::Scaling& s, const sparse::CrsMatrix& j,
+                         const KuboParams& p) {
+  require(h.nrows() == h.ncols() && j.nrows() == h.nrows() &&
+              j.ncols() == h.ncols(),
+          "kubo_moments: H and J must be square and conformant");
+  require(p.num_moments >= 1, "kubo_moments: num_moments >= 1");
+  require(p.deterministic_full_trace || p.num_random >= 1,
+          "kubo_moments: num_random >= 1");
+  const auto n_dim = static_cast<std::size_t>(h.nrows());
+  KuboMoments out;
+  out.order = p.num_moments;
+  out.dimension = h.nrows();
+  out.mu.assign(static_cast<std::size_t>(p.num_moments) * p.num_moments, 0.0);
+
+  if (p.deterministic_full_trace) {
+    require(h.nrows() <= 4096,
+            "kubo_moments: deterministic trace is for validation sizes");
+    aligned_vector<complex_t> e(n_dim);
+    for (global_index i = 0; i < h.nrows(); ++i) {
+      std::fill(e.begin(), e.end(), complex_t{});
+      e[static_cast<std::size_t>(i)] = {1.0, 0.0};
+      accumulate_vector(h, s, j, e, p.num_moments, out.mu);
+    }
+    for (auto& x : out.mu) x /= static_cast<double>(h.nrows());
+  } else {
+    RandomVectorSource rng(p.seed, p.vector_kind);
+    aligned_vector<complex_t> r(n_dim);
+    for (int sample = 0; sample < p.num_random; ++sample) {
+      rng.fill(r);  // normalized: <r|A|r> estimates tr[A]/N
+      accumulate_vector(h, s, j, r, p.num_moments, out.mu);
+    }
+    for (auto& x : out.mu) x /= static_cast<double>(p.num_random);
+  }
+  return out;
+}
+
+ConductivityCurve kubo_conductivity(const KuboMoments& moments,
+                                    const physics::Scaling& s,
+                                    const ConductivityParams& p) {
+  require(moments.order >= 1, "kubo_conductivity: empty moments");
+  require(p.num_points >= 2, "kubo_conductivity: need >= 2 points");
+  require(p.edge_margin > 0.0 && p.edge_margin < 0.5,
+          "kubo_conductivity: edge margin in (0, 0.5)");
+  const int order = moments.order;
+  const auto g = damping_coefficients(p.kernel, order);
+
+  ConductivityCurve out;
+  out.energy.resize(static_cast<std::size_t>(p.num_points));
+  out.sigma.resize(static_cast<std::size_t>(p.num_points));
+  std::vector<double> t(static_cast<std::size_t>(order));
+  for (int k = 0; k < p.num_points; ++k) {
+    const double x =
+        -1.0 + p.edge_margin +
+        (2.0 - 2.0 * p.edge_margin) * k / static_cast<double>(p.num_points - 1);
+    out.energy[static_cast<std::size_t>(k)] = s.to_energy(x);
+    // T_n(x) table, then the damped double sum.
+    const double theta = std::acos(x);
+    for (int n = 0; n < order; ++n) {
+      t[static_cast<std::size_t>(n)] = std::cos(n * theta);
+    }
+    double acc = 0.0;
+    for (int n = 0; n < order; ++n) {
+      const double wn = (n == 0 ? 1.0 : 2.0) * g[static_cast<std::size_t>(n)] *
+                        t[static_cast<std::size_t>(n)];
+      double inner = 0.0;
+      for (int m = 0; m < order; ++m) {
+        const double wm = (m == 0 ? 1.0 : 2.0) *
+                          g[static_cast<std::size_t>(m)] *
+                          t[static_cast<std::size_t>(m)];
+        inner += wm * moments.at(n, m);
+      }
+      acc += wn * inner;
+    }
+    out.sigma[static_cast<std::size_t>(k)] =
+        acc / (pi * pi * (1.0 - x * x));
+  }
+  return out;
+}
+
+sparse::CrsMatrix current_operator_x(const physics::AndersonParams& p) {
+  const global_index dim = p.dimension();
+  sparse::CooMatrix coo(dim, dim);
+  auto index = [&](int x, int y, int z) {
+    return static_cast<global_index>(x) +
+           static_cast<global_index>(p.nx) *
+               (y + static_cast<global_index>(p.ny) * z);
+  };
+  for (int z = 0; z < p.nz; ++z) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        int xn = x + 1;
+        if (xn >= p.nx) {
+          if (!p.periodic) continue;
+          xn = 0;
+        }
+        // J contribution of the bond (i, i+x): +i t at (i+x, i), Hermitian
+        // partner -i t at (i, i+x).
+        coo.add_hermitian_pair(index(xn, y, z), index(x, y, z),
+                               {0.0, p.t});
+      }
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,121 @@
+#include "core/propagator.hpp"
+
+#include <cmath>
+
+#include "blas/block_ops.hpp"
+#include "blas/level1.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+namespace {
+
+double bessel_j(int m, double z) {
+  // J_m(-z) = (-1)^m J_m(z); std::cyl_bessel_j requires z >= 0.
+  const double value = std::cyl_bessel_j(m, std::abs(z));
+  return z < 0.0 && m % 2 != 0 ? -value : value;
+}
+
+complex_t minus_i_pow(int m) {
+  switch (m % 4) {
+    case 0: return {1.0, 0.0};
+    case 1: return {0.0, -1.0};
+    case 2: return {-1.0, 0.0};
+    default: return {0.0, 1.0};
+  }
+}
+
+}  // namespace
+
+int required_order(double z, double tolerance) {
+  require(tolerance > 0.0, "required_order: tolerance must be positive");
+  const int start = static_cast<int>(std::ceil(std::abs(z))) + 1;
+  constexpr int cap = 100000;
+  int consecutive_small = 0;
+  for (int m = start; m < cap; ++m) {
+    if (std::abs(bessel_j(m, z)) < tolerance) {
+      if (++consecutive_small == 4) return m - 2;  // past the tail onset
+    } else {
+      consecutive_small = 0;
+    }
+  }
+  return cap;
+}
+
+std::vector<complex_t> chebyshev_time_coefficients(double z, int order) {
+  require(order >= 1, "chebyshev_time_coefficients: order >= 1");
+  std::vector<complex_t> c(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    const double jm = bessel_j(m, z);
+    c[static_cast<std::size_t>(m)] =
+        minus_i_pow(m) * complex_t{jm, 0.0} * (m == 0 ? 1.0 : 2.0);
+  }
+  return c;
+}
+
+void propagate(const sparse::CrsMatrix& h, const physics::Scaling& s,
+               const PropagatorParams& p, std::span<const complex_t> in,
+               std::span<complex_t> out) {
+  require(in.size() == static_cast<std::size_t>(h.nrows()) &&
+              out.size() == in.size(),
+          "propagate: size mismatch");
+  const double zz = p.time / s.a;  // z = t / a in H~ units
+  const int order =
+      p.order > 0 ? p.order : required_order(zz, p.tolerance);
+  const auto c = chebyshev_time_coefficients(zz, order);
+  // Global phase from the spectral shift: e^{-i b t}.
+  const complex_t phase = std::polar(1.0, -s.b * p.time);
+
+  const auto n = in.size();
+  aligned_vector<complex_t> v(in.begin(), in.end());  // T_0 |in>
+  aligned_vector<complex_t> w(n);                     // T_1 |in>
+  // out = c_0 T_0 |in>
+  for (std::size_t i = 0; i < n; ++i) out[i] = c[0] * in[i];
+  if (order == 1) {
+    blas::scal(phase, out);
+    return;
+  }
+  sparse::aug_spmv(h, sparse::AugScalars::startup(s.a, s.b), v, w, nullptr,
+                   nullptr);
+  blas::axpy(c[1], w, out);
+  const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
+  for (int m = 2; m < order; ++m) {
+    std::swap(v, w);  // v = T_{m-1}, w = T_{m-2}
+    sparse::aug_spmv(h, rec, v, w, nullptr, nullptr);  // w <- T_m
+    blas::axpy(c[static_cast<std::size_t>(m)], w, out);
+  }
+  blas::scal(phase, out);
+}
+
+void propagate(const sparse::CrsMatrix& h, const physics::Scaling& s,
+               const PropagatorParams& p, const blas::BlockVector& in,
+               blas::BlockVector& out) {
+  require(in.rows() == h.nrows() && out.rows() == in.rows() &&
+              in.width() == out.width(),
+          "propagate(block): shape mismatch");
+  const double zz = p.time / s.a;
+  const int order =
+      p.order > 0 ? p.order : required_order(zz, p.tolerance);
+  const auto c = chebyshev_time_coefficients(zz, order);
+  const complex_t phase = std::polar(1.0, -s.b * p.time);
+
+  blas::BlockVector v(in.rows(), in.width());
+  blas::block_copy(in, v);
+  blas::BlockVector w(in.rows(), in.width());
+  out.fill({0.0, 0.0});
+  blas::block_axpy(c[0], in, out);
+  if (order > 1) {
+    sparse::aug_spmmv(h, sparse::AugScalars::startup(s.a, s.b), v, w, {}, {});
+    blas::block_axpy(c[1], w, out);
+    const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
+    for (int m = 2; m < order; ++m) {
+      std::swap(v, w);
+      sparse::aug_spmmv(h, rec, v, w, {}, {});
+      blas::block_axpy(c[static_cast<std::size_t>(m)], w, out);
+    }
+  }
+  blas::block_scal(phase, out);
+}
+
+}  // namespace kpm::core

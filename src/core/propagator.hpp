@@ -1,0 +1,56 @@
+// Chebyshev time propagation — the paper's outlook ("apply our findings and
+// code to other blocked sparse linear algebra algorithms besides KPM").
+//
+// The evolution operator of the Schroedinger equation expands in Chebyshev
+// polynomials of the rescaled Hamiltonian H~ = a(H - b·1) (Weisse et al.,
+// Rev. Mod. Phys. 78, 275, Sec. "Time evolution"):
+//
+//   e^{-iHt} = e^{-ibt} [ c_0(z) + 2 sum_{m>=1} c_m(z) T_m(H~) ],
+//   c_m(z) = (-i)^m J_m(z),   z = t / a,
+//
+// with Bessel functions J_m.  The T_m|v> terms come from the same two-term
+// recurrence as KPM, so the same fused aug_spmv / aug_spmmv kernels drive
+// it — including the blocked version that propagates many states at once
+// (e.g. a wave-packet ensemble), which enjoys exactly the SpMMV traffic
+// amortization of optimization stage 2.
+#pragma once
+
+#include <vector>
+
+#include "blas/block_vector.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "sparse/crs.hpp"
+
+namespace kpm::core {
+
+struct PropagatorParams {
+  double time = 1.0;  ///< physical time step t
+  /// Expansion order; 0 = automatic (z + safety margin, converges
+  /// super-exponentially beyond m > z = t/a).
+  int order = 0;
+  /// Series terms below this magnitude are dropped (auto order).
+  double tolerance = 1e-12;
+};
+
+/// Chebyshev approximation of |out> = e^{-iHt} |in> for Hermitian H with
+/// spec(a(H-b)) in [-1,1].
+void propagate(const sparse::CrsMatrix& h, const physics::Scaling& s,
+               const PropagatorParams& p, std::span<const complex_t> in,
+               std::span<complex_t> out);
+
+/// Blocked version: propagates every column of `in` simultaneously through
+/// the fused SpMMV recurrence (one matrix read per expansion order for the
+/// whole block).
+void propagate(const sparse::CrsMatrix& h, const physics::Scaling& s,
+               const PropagatorParams& p, const blas::BlockVector& in,
+               blas::BlockVector& out);
+
+/// Expansion coefficients c_m(z) = (-i)^m J_m(z) for m = 0..order-1.
+[[nodiscard]] std::vector<complex_t> chebyshev_time_coefficients(double z,
+                                                                 int order);
+
+/// Automatic expansion order for time parameter z = t/a and tolerance eps:
+/// Bessel tails decay like (z/2)^m / m!, so a small margin past |z| suffices.
+[[nodiscard]] int required_order(double z, double tolerance);
+
+}  // namespace kpm::core

@@ -1,0 +1,64 @@
+#include "core/reconstruct.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace kpm::core {
+
+double Spectrum::integral() const { return trapezoid(energy, density); }
+
+double chebyshev_series(std::span<const double> damped_mu, double x) {
+  // Clenshaw for sum_m c_m T_m(x) with c_0 = mu_0, c_m = 2 mu_m (m >= 1).
+  double b1 = 0.0;
+  double b2 = 0.0;
+  for (std::size_t m = damped_mu.size(); m-- > 1;) {
+    const double b0 = 2.0 * damped_mu[m] + 2.0 * x * b1 - b2;
+    b2 = b1;
+    b1 = b0;
+  }
+  return damped_mu.empty() ? 0.0 : damped_mu[0] + x * b1 - b2;
+}
+
+Spectrum reconstruct_density(std::span<const double> mu,
+                             const physics::Scaling& s,
+                             const ReconstructParams& p) {
+  require(!mu.empty(), "reconstruct: empty moment vector");
+  require(p.num_points >= 2, "reconstruct: need at least 2 grid points");
+
+  std::vector<double> damped(mu.begin(), mu.end());
+  apply_damping(p.kernel, damped, p.lorentz_lambda);
+
+  double e_min = p.e_min;
+  double e_max = p.e_max;
+  if (e_min == 0.0 && e_max == 0.0) {
+    // Stay strictly inside the scaled interval: |x| <= 0.999 keeps the
+    // 1/sqrt(1-x^2) envelope finite.
+    e_min = s.to_energy(-0.999);
+    e_max = s.to_energy(0.999);
+  }
+  require(e_max > e_min, "reconstruct: invalid energy window");
+
+  Spectrum out;
+  out.energy.resize(static_cast<std::size_t>(p.num_points));
+  out.density.resize(static_cast<std::size_t>(p.num_points));
+  for (int k = 0; k < p.num_points; ++k) {
+    const double e =
+        e_min + (e_max - e_min) * k / static_cast<double>(p.num_points - 1);
+    const double x = s.to_unit(e);
+    out.energy[static_cast<std::size_t>(k)] = e;
+    if (std::abs(x) >= 1.0) {
+      out.density[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    const double series = chebyshev_series(damped, x);
+    // Jacobian dx/dE = a maps the unit-interval density to energy space.
+    out.density[static_cast<std::size_t>(k)] =
+        p.normalization * s.a * series / (pi * std::sqrt(1.0 - x * x));
+  }
+  return out;
+}
+
+}  // namespace kpm::core

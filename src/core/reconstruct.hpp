@@ -1,0 +1,48 @@
+// Reconstruction of spectral densities from Chebyshev moments.
+//
+// rho(x) = 1/(pi sqrt(1-x^2)) [ g_0 mu_0 + 2 sum_{m>=1} g_m mu_m T_m(x) ]
+// in the Chebyshev variable x = a(E - b); the energy-space density carries
+// the Jacobian a.  With unit-normalized random vectors mu_0 = 1 and the
+// density integrates to 1; multiply by the matrix dimension N to count
+// eigenvalues.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/damping.hpp"
+#include "physics/spectral_bounds.hpp"
+
+namespace kpm::core {
+
+struct Spectrum {
+  std::vector<double> energy;
+  std::vector<double> density;
+
+  /// Trapezoid integral of the density over the energy grid.
+  [[nodiscard]] double integral() const;
+};
+
+struct ReconstructParams {
+  int num_points = 1024;
+  DampingKernel kernel = DampingKernel::jackson;
+  double lorentz_lambda = 4.0;
+  /// Multiplies the density (e.g. N for an eigenvalue count density).
+  double normalization = 1.0;
+  /// Energy window; if both zero the full scaled interval is used (with a
+  /// small margin to avoid the 1/sqrt(1-x^2) endpoints).
+  double e_min = 0.0;
+  double e_max = 0.0;
+};
+
+/// Evaluates the damped Chebyshev series of the density on an energy grid.
+[[nodiscard]] Spectrum reconstruct_density(std::span<const double> mu,
+                                           const physics::Scaling& s,
+                                           const ReconstructParams& p);
+
+/// Chebyshev series value sum_m (2 - delta_m0) g_m mu_m T_m(x) at one x
+/// (without the 1/(pi sqrt(1-x^2)) envelope); Clenshaw recurrence.
+[[nodiscard]] double chebyshev_series(std::span<const double> damped_mu,
+                                      double x);
+
+}  // namespace kpm::core

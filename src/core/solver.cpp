@@ -1,0 +1,52 @@
+#include "core/solver.hpp"
+
+#include "util/timer.hpp"
+
+namespace kpm::core {
+
+const char* stage_name(OptimizationStage stage) {
+  switch (stage) {
+    case OptimizationStage::naive:
+      return "naive";
+    case OptimizationStage::aug_spmv:
+      return "aug_spmv";
+    case OptimizationStage::aug_spmmv:
+      return "aug_spmmv";
+  }
+  return "?";
+}
+
+DosResult compute_dos(const sparse::CrsMatrix& h, DosParams p,
+                      std::optional<physics::Scaling> scaling) {
+  DosResult out;
+  if (scaling.has_value()) {
+    out.scaling = *scaling;
+  } else {
+    const auto iv = physics::lanczos_bounds(h);
+    out.scaling = physics::make_scaling(iv, p.scaling_epsilon);
+  }
+  if (p.reconstruct.normalization == 1.0) {
+    p.reconstruct.normalization = static_cast<double>(h.nrows());
+  }
+
+  Timer t;
+  t.start();
+  switch (p.stage) {
+    case OptimizationStage::naive:
+      out.moments = moments_naive(h, out.scaling, p.moments);
+      break;
+    case OptimizationStage::aug_spmv:
+      out.moments = moments_aug_spmv(h, out.scaling, p.moments);
+      break;
+    case OptimizationStage::aug_spmmv:
+      out.moments = moments_aug_spmmv(h, out.scaling, p.moments);
+      break;
+  }
+  t.stop();
+  out.seconds = t.seconds();
+  out.spectrum = reconstruct_density(out.moments.mu, out.scaling,
+                                     p.reconstruct);
+  return out;
+}
+
+}  // namespace kpm::core

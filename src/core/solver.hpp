@@ -1,0 +1,41 @@
+// High-level KPM-DOS driver: matrix in, density of states out.
+#pragma once
+
+#include <optional>
+
+#include "core/moments.hpp"
+#include "core/reconstruct.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "sparse/crs.hpp"
+
+namespace kpm::core {
+
+/// The paper's three implementation stages (Figs. 3-5).
+enum class OptimizationStage { naive, aug_spmv, aug_spmmv };
+
+[[nodiscard]] const char* stage_name(OptimizationStage stage);
+
+struct DosParams {
+  MomentParams moments;
+  ReconstructParams reconstruct;
+  OptimizationStage stage = OptimizationStage::aug_spmmv;
+  /// Safety margin for the automatic (Lanczos-based) spectral interval.
+  double scaling_epsilon = 0.05;
+};
+
+struct DosResult {
+  Spectrum spectrum;
+  MomentsResult moments;
+  physics::Scaling scaling;
+  double seconds = 0.0;  ///< wall time of the moment computation
+};
+
+/// Runs the KPM-DOS pipeline.  If `scaling` is not supplied it is derived
+/// from a few Lanczos sweeps widened by `scaling_epsilon` (paper Sec. II).
+/// The reconstruction normalization defaults to the matrix dimension N, so
+/// the resulting density counts eigenvalues per unit energy.
+[[nodiscard]] DosResult compute_dos(
+    const sparse::CrsMatrix& h, DosParams p,
+    std::optional<physics::Scaling> scaling = std::nullopt);
+
+}  // namespace kpm::core

@@ -1,0 +1,100 @@
+#include "core/spectral.hpp"
+
+#include <cmath>
+
+#include "blas/block_vector.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+namespace {
+
+Spectrum reconstruct_with(const std::vector<double>& mu,
+                          const physics::Scaling& s,
+                          const ReconstructParams& p) {
+  return reconstruct_density(mu, s, p);
+}
+
+}  // namespace
+
+std::vector<Spectrum> local_dos(const sparse::CrsMatrix& h,
+                                const physics::Scaling& s,
+                                std::span<const global_index> basis_indices,
+                                const LdosParams& p) {
+  require(p.block_width >= 1, "local_dos: block_width >= 1");
+  std::vector<Spectrum> out;
+  out.reserve(basis_indices.size());
+  for (std::size_t begin = 0; begin < basis_indices.size();
+       begin += static_cast<std::size_t>(p.block_width)) {
+    const std::size_t batch =
+        std::min<std::size_t>(p.block_width, basis_indices.size() - begin);
+    blas::BlockVector v0(h.nrows(), static_cast<int>(batch));
+    for (std::size_t c = 0; c < batch; ++c) {
+      const global_index idx = basis_indices[begin + c];
+      require(idx >= 0 && idx < h.nrows(), "local_dos: index out of range");
+      v0(idx, static_cast<int>(c)) = {1.0, 0.0};
+    }
+    const auto mu = moments_of_block(h, s, v0, p.num_moments);
+    for (std::size_t c = 0; c < batch; ++c) {
+      out.push_back(reconstruct_with(mu[c], s, p.reconstruct));
+    }
+  }
+  return out;
+}
+
+Spectrum site_ldos(const sparse::CrsMatrix& h, const physics::Scaling& s,
+                   const physics::TIParams& lattice,
+                   const physics::Site& site, const LdosParams& p) {
+  std::vector<global_index> indices;
+  indices.reserve(4);
+  for (int orb = 0; orb < 4; ++orb) {
+    indices.push_back(physics::site_index(lattice, site, orb));
+  }
+  const auto spectra = local_dos(h, s, indices, p);
+  Spectrum sum = spectra.front();
+  for (std::size_t c = 1; c < spectra.size(); ++c) {
+    for (std::size_t k = 0; k < sum.density.size(); ++k) {
+      sum.density[k] += spectra[c].density[k];
+    }
+  }
+  return sum;
+}
+
+std::vector<Spectrum> spectral_function(const sparse::CrsMatrix& h,
+                                        const physics::Scaling& s,
+                                        const physics::TIParams& lattice,
+                                        std::span<const KPoint> kpoints,
+                                        const SpectralFunctionParams& p) {
+  const global_index nsites =
+      static_cast<global_index>(lattice.nx) * lattice.ny * lattice.nz;
+  require(4 * nsites == h.nrows(), "spectral_function: lattice/matrix mismatch");
+  const double norm = 1.0 / std::sqrt(static_cast<double>(nsites));
+
+  std::vector<Spectrum> out;
+  out.reserve(kpoints.size());
+  for (const auto& k : kpoints) {
+    // One block of 4 orbital plane waves per k point.
+    blas::BlockVector v0(h.nrows(), 4);
+    for (int z = 0; z < lattice.nz; ++z) {
+      for (int y = 0; y < lattice.ny; ++y) {
+        for (int x = 0; x < lattice.nx; ++x) {
+          const double phase = k.kx * x + k.ky * y + k.kz * z;
+          const complex_t amp = std::polar(norm, phase);
+          const physics::Site site{x, y, z};
+          for (int orb = 0; orb < 4; ++orb) {
+            v0(physics::site_index(lattice, site, orb), orb) = amp;
+          }
+        }
+      }
+    }
+    const auto mu = moments_of_block(h, s, v0, p.num_moments);
+    // A(k, E) = sum over the orbital channels.
+    std::vector<double> mu_sum(mu.front().size(), 0.0);
+    for (const auto& column : mu) {
+      for (std::size_t m = 0; m < mu_sum.size(); ++m) mu_sum[m] += column[m];
+    }
+    out.push_back(reconstruct_with(mu_sum, s, p.reconstruct));
+  }
+  return out;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,58 @@
+// Local DOS and momentum-resolved spectral functions (paper Fig. 2).
+//
+// Both quantities are KPM runs with *prescribed* start vectors instead of
+// random ones:
+//   LDOS rho_i(E)   : start vector |i> (unit vector at one basis state)
+//   A(k, E)         : start vector |k> (plane wave over the lattice)
+// Batches of start vectors are processed through the blocked aug_spmmv
+// kernel, which is precisely the SpMMV usage pattern the paper advocates.
+#pragma once
+
+#include <vector>
+
+#include "core/moments.hpp"
+#include "core/reconstruct.hpp"
+#include "physics/ti_model.hpp"
+
+namespace kpm::core {
+
+struct LdosParams {
+  int num_moments = 512;
+  int block_width = 32;  ///< start vectors processed per aug_spmmv batch
+  ReconstructParams reconstruct;
+};
+
+/// LDOS at the given basis indices: result[s] is the spectrum for
+/// `basis_indices[s]`.  Indices address single basis states; sum consecutive
+/// orbitals externally for a per-site LDOS.
+[[nodiscard]] std::vector<Spectrum> local_dos(
+    const sparse::CrsMatrix& h, const physics::Scaling& s,
+    std::span<const global_index> basis_indices, const LdosParams& p);
+
+/// LDOS of one site of the TI lattice (sums the 4 orbital components).
+[[nodiscard]] Spectrum site_ldos(const sparse::CrsMatrix& h,
+                                 const physics::Scaling& s,
+                                 const physics::TIParams& lattice,
+                                 const physics::Site& site,
+                                 const LdosParams& p);
+
+struct SpectralFunctionParams {
+  int num_moments = 1024;
+  ReconstructParams reconstruct;
+};
+
+/// Momentum-resolved spectral function A(k, E) for the TI lattice: one
+/// spectrum per k point, each the sum over the 4 orbital plane waves
+/// (k given in units of the Brillouin zone: k = 2*pi*(nx_k/Nx, ...)).
+struct KPoint {
+  double kx = 0.0;
+  double ky = 0.0;
+  double kz = 0.0;
+};
+
+[[nodiscard]] std::vector<Spectrum> spectral_function(
+    const sparse::CrsMatrix& h, const physics::Scaling& s,
+    const physics::TIParams& lattice, std::span<const KPoint> kpoints,
+    const SpectralFunctionParams& p);
+
+}  // namespace kpm::core

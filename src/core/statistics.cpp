@@ -1,0 +1,63 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::core {
+
+double MomentStatistics::worst_error() const {
+  return standard_error.empty()
+             ? 0.0
+             : *std::max_element(standard_error.begin(),
+                                 standard_error.end());
+}
+
+MomentStatistics moment_statistics(const MomentsResult& result) {
+  require(!result.per_vector.empty(),
+          "moment_statistics: per-vector moments required");
+  const auto r = result.per_vector.size();
+  const auto m_count = result.mu.size();
+  MomentStatistics out;
+  out.mean = result.mu;
+  out.num_random = static_cast<int>(r);
+  out.standard_error.assign(m_count, 0.0);
+  if (r < 2) return out;  // no variance estimate from one sample
+  for (std::size_t m = 0; m < m_count; ++m) {
+    double var = 0.0;
+    for (const auto& column : result.per_vector) {
+      const double d = column[m] - result.mu[m];
+      var += d * d;
+    }
+    var /= static_cast<double>(r - 1);
+    out.standard_error[m] = std::sqrt(var / static_cast<double>(r));
+  }
+  return out;
+}
+
+SpectrumWithErrors reconstruct_with_errors(const MomentsResult& result,
+                                           const physics::Scaling& s,
+                                           const ReconstructParams& p) {
+  require(!result.per_vector.empty(),
+          "reconstruct_with_errors: per-vector moments required");
+  SpectrumWithErrors out;
+  out.mean = reconstruct_density(result.mu, s, p);
+  const auto r = result.per_vector.size();
+  out.sigma.assign(out.mean.density.size(), 0.0);
+  if (r < 2) return out;
+  // Pointwise variance over the per-vector reconstructions.
+  for (const auto& column : result.per_vector) {
+    const auto spec = reconstruct_density(column, s, p);
+    for (std::size_t k = 0; k < out.sigma.size(); ++k) {
+      const double d = spec.density[k] - out.mean.density[k];
+      out.sigma[k] += d * d;
+    }
+  }
+  for (auto& sg : out.sigma) {
+    sg = std::sqrt(sg / static_cast<double>(r - 1) / static_cast<double>(r));
+  }
+  return out;
+}
+
+}  // namespace kpm::core

@@ -1,0 +1,38 @@
+// Stochastic-trace error estimation.
+//
+// The KPM trace tr[A]/N ~ (1/R) sum_r <v_r|A|v_r> carries a statistical
+// error ~ 1/sqrt(R N) (paper Sec. II; Weisse et al. Sec. II.D).  The blocked
+// solver keeps the per-vector moment columns, so the standard error of each
+// averaged moment — and a pointwise error band of the reconstructed density
+// — comes for free.
+#pragma once
+
+#include "core/moments.hpp"
+#include "core/reconstruct.hpp"
+
+namespace kpm::core {
+
+struct MomentStatistics {
+  std::vector<double> mean;            ///< = MomentsResult::mu
+  std::vector<double> standard_error;  ///< per-moment sigma / sqrt(R)
+  int num_random = 0;
+
+  /// Largest standard error over all moments (headline accuracy figure).
+  [[nodiscard]] double worst_error() const;
+};
+
+/// Per-moment statistics over the R per-vector columns.
+[[nodiscard]] MomentStatistics moment_statistics(const MomentsResult& result);
+
+/// Reconstructed density with a pointwise one-sigma error band, obtained by
+/// reconstructing mean +- error moments (kernel damping applied as usual).
+struct SpectrumWithErrors {
+  Spectrum mean;
+  std::vector<double> sigma;  ///< pointwise one-sigma band
+};
+
+[[nodiscard]] SpectrumWithErrors reconstruct_with_errors(
+    const MomentsResult& result, const physics::Scaling& s,
+    const ReconstructParams& p);
+
+}  // namespace kpm::core

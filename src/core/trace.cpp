@@ -1,0 +1,72 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace kpm::core {
+
+std::vector<double> chebyshev_coefficients(
+    const std::function<double(double)>& f, const physics::Scaling& s,
+    int order, int quadrature_points) {
+  require(order >= 1, "chebyshev_coefficients: order >= 1");
+  const int k_points =
+      quadrature_points > 0 ? quadrature_points : 4 * order;
+  require(k_points >= order,
+          "chebyshev_coefficients: quadrature must resolve the order");
+  // Chebyshev-Gauss nodes x_k = cos(pi (k + 1/2) / K): the weight
+  // 1/sqrt(1-x^2) is absorbed, so c_m = (1/K) sum_k f(x_k) T_m(x_k) ... with
+  // T_m(x_k) = cos(m theta_k).
+  std::vector<double> c(static_cast<std::size_t>(order), 0.0);
+  for (int k = 0; k < k_points; ++k) {
+    const double theta = pi * (k + 0.5) / k_points;
+    const double fx = f(s.to_energy(std::cos(theta)));
+    for (int m = 0; m < order; ++m) {
+      c[static_cast<std::size_t>(m)] += fx * std::cos(m * theta);
+    }
+  }
+  for (auto& x : c) x /= static_cast<double>(k_points);
+  return c;
+}
+
+double trace_function(std::span<const double> mu, const physics::Scaling& s,
+                      double dimension,
+                      const std::function<double(double)>& f,
+                      const TraceParams& p) {
+  require(!mu.empty(), "trace_function: empty moments");
+  const int order = static_cast<int>(mu.size());
+  const auto c =
+      chebyshev_coefficients(f, s, order, p.quadrature_points);
+  const auto g = damping_coefficients(p.kernel, order, p.lorentz_lambda);
+  double acc = 0.0;
+  for (int m = 0; m < order; ++m) {
+    acc += (m == 0 ? 1.0 : 2.0) * g[static_cast<std::size_t>(m)] *
+           mu[static_cast<std::size_t>(m)] * c[static_cast<std::size_t>(m)];
+  }
+  return dimension * acc;
+}
+
+double partition_function(std::span<const double> mu,
+                          const physics::Scaling& s, double dimension,
+                          double beta, const TraceParams& p) {
+  return trace_function(
+      mu, s, dimension, [beta](double e) { return std::exp(-beta * e); }, p);
+}
+
+double fermi_occupation(std::span<const double> mu, const physics::Scaling& s,
+                        double dimension, double e_fermi, double beta,
+                        const TraceParams& p) {
+  return trace_function(
+      mu, s, dimension,
+      [beta, e_fermi](double e) {
+        const double arg = beta * (e - e_fermi);
+        // Avoid overflow for deep/far states.
+        if (arg > 500.0) return 0.0;
+        if (arg < -500.0) return 1.0;
+        return 1.0 / (1.0 + std::exp(arg));
+      },
+      p);
+}
+
+}  // namespace kpm::core

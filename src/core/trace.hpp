@@ -1,0 +1,58 @@
+// Trace of arbitrary matrix functions from KPM moments.
+//
+// For any f whose Chebyshev expansion converges on the spectral interval,
+//
+//   tr[f(H)] / N  =  sum_m (2 - delta_m0) g_m mu_m c_m[f],
+//   c_m[f] = 1/pi * integral f(E(x)) T_m(x) / sqrt(1-x^2) dx,
+//
+// with the coefficients computed by Chebyshev-Gauss quadrature (exact for
+// polynomial f up to the quadrature order).  One moment sequence therefore
+// yields tr[H], tr[H^2], partition functions tr[e^{-beta H}], Fermi-Dirac
+// occupations, etc. — the "spectral quantities reconstructed from these
+// scalar products in a computationally inexpensive second step" of the
+// paper's Sec. II, generalized beyond the DOS.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/damping.hpp"
+#include "physics/spectral_bounds.hpp"
+
+namespace kpm::core {
+
+struct TraceParams {
+  DampingKernel kernel = DampingKernel::jackson;
+  double lorentz_lambda = 4.0;
+  /// Chebyshev-Gauss quadrature nodes for the coefficient integrals
+  /// (0 = automatic: 4x the moment count).
+  int quadrature_points = 0;
+};
+
+/// tr[f(H)] estimated from averaged moments of unit-normalized random
+/// vectors; `dimension` is N.  `f` is evaluated at physical energies.
+[[nodiscard]] double trace_function(std::span<const double> mu,
+                                    const physics::Scaling& s,
+                                    double dimension,
+                                    const std::function<double(double)>& f,
+                                    const TraceParams& p = {});
+
+/// Chebyshev coefficients c_m[f] for m = 0..order-1 (Gauss quadrature).
+[[nodiscard]] std::vector<double> chebyshev_coefficients(
+    const std::function<double(double)>& f, const physics::Scaling& s,
+    int order, int quadrature_points = 0);
+
+/// Canonical partition function tr[e^{-beta H}].
+[[nodiscard]] double partition_function(std::span<const double> mu,
+                                        const physics::Scaling& s,
+                                        double dimension, double beta,
+                                        const TraceParams& p = {});
+
+/// Number of states below the Fermi energy at inverse temperature beta:
+/// tr[ 1 / (1 + e^{beta (H - e_fermi)}) ].
+[[nodiscard]] double fermi_occupation(std::span<const double> mu,
+                                      const physics::Scaling& s,
+                                      double dimension, double e_fermi,
+                                      double beta, const TraceParams& p = {});
+
+}  // namespace kpm::core

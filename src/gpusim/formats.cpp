@@ -1,0 +1,219 @@
+#include "gpusim/formats.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kpm::gpusim {
+namespace {
+
+constexpr int warp_size = 32;
+constexpr std::uint32_t sd = bytes_per_element;
+constexpr std::uint32_t si = bytes_per_index;
+
+struct Map {
+  memsim::addr_t col_idx = 2ull << 30;
+  memsim::addr_t values = 4ull << 30;
+  memsim::addr_t vec_v = 8ull << 30;
+  memsim::addr_t vec_w = 12ull << 30;
+};
+
+/// Scalar-CRS SpMV: warp of 32 threads covers 32 consecutive rows; at inner
+/// step j each active lane loads its own (value, index, x[col]) — three
+/// scattered transactions per lane.
+void sweep_spmv_crs_scalar(const sparse::CrsMatrix& a,
+                           memsim::GpuHierarchy& h,
+                           std::uint64_t& transactions) {
+  const Map map;
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  auto& ro = *h.readonly_path;
+  auto& gl = *h.global_path;
+  for (global_index warp_begin = 0; warp_begin < a.nrows();
+       warp_begin += warp_size) {
+    const global_index warp_end =
+        std::min<global_index>(warp_begin + warp_size, a.nrows());
+    local_index max_len = 0;
+    for (global_index i = warp_begin; i < warp_end; ++i) {
+      max_len = std::max(
+          max_len, static_cast<local_index>(row_ptr[i + 1] - row_ptr[i]));
+    }
+    for (local_index j = 0; j < max_len; ++j) {
+      for (global_index i = warp_begin; i < warp_end; ++i) {
+        const global_index k = row_ptr[i] + j;
+        if (k >= row_ptr[i + 1]) continue;  // lane predicated off
+        ro.read(map.values + static_cast<memsim::addr_t>(k) * sd, sd);
+        ro.read(map.col_idx + static_cast<memsim::addr_t>(k) * si, si);
+        ro.read(map.vec_v + static_cast<memsim::addr_t>(col[k]) * sd, sd);
+        transactions += 3;  // fully scattered: one per lane and operand
+      }
+    }
+    for (global_index i = warp_begin; i < warp_end; ++i) {
+      gl.write(map.vec_w + static_cast<memsim::addr_t>(i) * sd, sd);
+    }
+    transactions +=
+        (static_cast<std::uint64_t>(warp_end - warp_begin) * sd + 31) / 32;
+  }
+}
+
+/// SELL-32 SpMV: the chunk stores its values column-major, so one warp-step
+/// is a single fully coalesced load of 32 values (and 32 indices); only the
+/// x gather stays scattered.
+void sweep_spmv_sell_warp(const sparse::SellMatrix& s,
+                          memsim::GpuHierarchy& h,
+                          std::uint64_t& transactions) {
+  const Map map;
+  const auto cptr = s.chunk_ptr();
+  const auto clen = s.chunk_len();
+  const auto col = s.col_idx();
+  const int chunk = s.chunk_height();
+  auto& ro = *h.readonly_path;
+  auto& gl = *h.global_path;
+  for (global_index c = 0; c < s.num_chunks(); ++c) {
+    const global_index base = cptr[c];
+    const int lanes = static_cast<int>(
+        std::min<global_index>(chunk, s.nrows() - c * chunk));
+    for (local_index j = 0; j < clen[c]; ++j) {
+      const global_index off = base + static_cast<global_index>(j) * chunk;
+      // Coalesced: one contiguous value segment and one index segment.
+      ro.read(map.values + static_cast<memsim::addr_t>(off) * sd,
+              static_cast<std::uint32_t>(lanes) * sd);
+      ro.read(map.col_idx + static_cast<memsim::addr_t>(off) * si,
+              static_cast<std::uint32_t>(lanes) * si);
+      transactions += (static_cast<std::uint64_t>(lanes) * sd + 31) / 32 +
+                      (static_cast<std::uint64_t>(lanes) * si + 31) / 32;
+      // x gather stays per-lane (scattered columns).
+      for (int lane = 0; lane < lanes; ++lane) {
+        ro.read(map.vec_v +
+                    static_cast<memsim::addr_t>(col[off + lane]) * sd,
+                sd);
+      }
+      transactions += static_cast<std::uint64_t>(lanes);
+    }
+    for (int lane = 0; lane < lanes; ++lane) {
+      gl.write(map.vec_w +
+                   static_cast<memsim::addr_t>(c * chunk + lane) * sd,
+               sd);
+    }
+    transactions += (static_cast<std::uint64_t>(lanes) * sd + 31) / 32;
+  }
+}
+
+/// SELL-32-style SpMMV: warp lanes own 32 different rows; each lane streams
+/// its own block-vector row slice, so the R-wide accesses of the 32 lanes
+/// scatter over 32 distinct rows instead of coalescing along one.
+void sweep_spmmv_sell_warp(const sparse::CrsMatrix& a, int width,
+                           memsim::GpuHierarchy& h,
+                           std::uint64_t& transactions) {
+  const Map map;
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  const std::uint32_t row_bytes = static_cast<std::uint32_t>(width) * sd;
+  auto& ro = *h.readonly_path;
+  auto& gl = *h.global_path;
+  for (global_index warp_begin = 0; warp_begin < a.nrows();
+       warp_begin += warp_size) {
+    const global_index warp_end =
+        std::min<global_index>(warp_begin + warp_size, a.nrows());
+    local_index max_len = 0;
+    for (global_index i = warp_begin; i < warp_end; ++i) {
+      max_len = std::max(
+          max_len, static_cast<local_index>(row_ptr[i + 1] - row_ptr[i]));
+    }
+    for (local_index j = 0; j < max_len; ++j) {
+      for (global_index i = warp_begin; i < warp_end; ++i) {
+        const global_index k = row_ptr[i] + j;
+        if (k >= row_ptr[i + 1]) continue;
+        ro.read(map.values + static_cast<memsim::addr_t>(k) * sd, sd);
+        ro.read(map.col_idx + static_cast<memsim::addr_t>(k) * si, si);
+        // The lane walks its private block row: R sequential scalar loads
+        // that do NOT coalesce with the other lanes' rows — one transaction
+        // per 16 B element plus the two scattered matrix operands.
+        ro.read(map.vec_v + static_cast<memsim::addr_t>(col[k]) * row_bytes,
+                row_bytes);
+        transactions += 2 + static_cast<std::uint64_t>(width);
+      }
+    }
+    for (global_index i = warp_begin; i < warp_end; ++i) {
+      gl.write(map.vec_w + static_cast<memsim::addr_t>(i) * row_bytes,
+               row_bytes);
+      transactions += static_cast<std::uint64_t>(width);
+    }
+  }
+}
+
+double spmv_flops(const sparse::CrsMatrix& a) {
+  return static_cast<double>(a.nnz()) *
+         (flops_complex_add + flops_complex_mul);
+}
+
+}  // namespace
+
+const char* format_name(GpuMatrixFormat f) {
+  switch (f) {
+    case GpuMatrixFormat::crs_scalar:
+      return "CRS(scalar)";
+    case GpuMatrixFormat::sell_warp:
+      return "SELL-32";
+  }
+  return "?";
+}
+
+GpuTraffic trace_gpu_spmv_format(const sparse::CrsMatrix& a,
+                                 GpuMatrixFormat format,
+                                 memsim::GpuHierarchy& h, int warmup) {
+  h.reset();
+  // SELL built once outside the timed region (setup cost, not traffic).
+  const sparse::SellMatrix sell =
+      format == GpuMatrixFormat::sell_warp
+          ? sparse::SellMatrix(a, warp_size, warp_size * 4)
+          : sparse::SellMatrix();
+  std::uint64_t transactions = 0;
+  auto run = [&] {
+    if (format == GpuMatrixFormat::crs_scalar) {
+      sweep_spmv_crs_scalar(a, h, transactions);
+    } else {
+      sweep_spmv_sell_warp(sell, h, transactions);
+    }
+  };
+  for (int i = 0; i < warmup; ++i) run();
+  const auto tex0 = h.tex_bytes();
+  const auto l20 = h.l2_bytes();
+  const auto dram0 = h.dram_bytes();
+  transactions = 0;
+  run();
+  GpuTraffic t;
+  t.tex_bytes = h.tex_bytes() - tex0;
+  t.l2_bytes = h.l2_bytes() - l20;
+  t.dram_bytes = h.dram_bytes() - dram0;
+  t.flops = spmv_flops(a);
+  t.load_transactions = transactions;
+  return t;
+}
+
+GpuTraffic trace_gpu_spmmv_format(const sparse::CrsMatrix& a, int width,
+                                  GpuMatrixFormat format,
+                                  memsim::GpuHierarchy& h, int warmup) {
+  require(width >= 1, "trace_gpu_spmmv_format: width >= 1");
+  if (format == GpuMatrixFormat::crs_scalar) {
+    // Block-row mapping = the paper's kernel (trace_gpu_kernel).
+    return trace_gpu_kernel(a, width, GpuKernel::simple_spmmv, h, warmup);
+  }
+  h.reset();
+  std::uint64_t transactions = 0;
+  for (int i = 0; i < warmup; ++i) sweep_spmmv_sell_warp(a, width, h, transactions);
+  const auto tex0 = h.tex_bytes();
+  const auto l20 = h.l2_bytes();
+  const auto dram0 = h.dram_bytes();
+  transactions = 0;
+  sweep_spmmv_sell_warp(a, width, h, transactions);
+  GpuTraffic t;
+  t.tex_bytes = h.tex_bytes() - tex0;
+  t.l2_bytes = h.l2_bytes() - l20;
+  t.dram_bytes = h.dram_bytes() - dram0;
+  t.flops = spmv_flops(a) * width;
+  t.load_transactions = transactions;
+  return t;
+}
+
+}  // namespace kpm::gpusim

@@ -1,0 +1,47 @@
+// GPU sparse-format comparison models (paper Sec. IV-A):
+//
+//  * For single-vector SpMV on SIMT hardware, a scalar CRS kernel (one
+//    thread per row) reads matrix values/indices with a 32-way scattered
+//    pattern, while SELL-32 stores the chunk column-major so a warp's loads
+//    coalesce — the motivation for SELL-C-sigma in the first place.
+//  * For SpMMV with row-major block vectors the roles invert: "CRS/SELL-1
+//    may yield even better SpMMV performance than a SIMD-aware storage
+//    format for SpMV like SELL-32, because matrix elements within a row are
+//    stored consecutively" — the warp vectorizes across the block columns
+//    and the matrix scalar is broadcast, whereas SELL-32 lanes straddle 32
+//    different rows and their block-row accesses scatter.
+//
+// These models replay both access patterns through the Kepler cache model
+// so the claim becomes a measurable ablation (bench/ablation_formats).
+#pragma once
+
+#include "gpusim/simt.hpp"
+#include "sparse/sell.hpp"
+
+namespace kpm::gpusim {
+
+enum class GpuMatrixFormat {
+  crs_scalar,  ///< CRS, one thread per row (scattered matrix access)
+  sell_warp,   ///< SELL-32: chunk-column-major, warp-coalesced matrix access
+};
+
+[[nodiscard]] const char* format_name(GpuMatrixFormat f);
+
+/// Replays a single-vector SpMV sweep in the given format.
+[[nodiscard]] GpuTraffic trace_gpu_spmv_format(const sparse::CrsMatrix& a,
+                                               GpuMatrixFormat format,
+                                               memsim::GpuHierarchy& h,
+                                               int warmup = 1);
+
+/// Replays a block SpMMV sweep at width R: `sell_warp` assigns warp lanes to
+/// 32 consecutive *rows* (as a SpMV-tuned SELL-32 kernel would), which
+/// scatters the block-vector reads; `crs_scalar` here denotes the paper's
+/// block-row mapping (lanes across the R columns, matrix broadcast) — the
+/// layout of trace_gpu_kernel.
+[[nodiscard]] GpuTraffic trace_gpu_spmmv_format(const sparse::CrsMatrix& a,
+                                                int width,
+                                                GpuMatrixFormat format,
+                                                memsim::GpuHierarchy& h,
+                                                int warmup = 1);
+
+}  // namespace kpm::gpusim

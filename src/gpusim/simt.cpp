@@ -1,0 +1,134 @@
+#include "gpusim/simt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::gpusim {
+namespace {
+
+constexpr int warp_size = 32;
+constexpr std::uint32_t sd = bytes_per_element;  // 16
+constexpr std::uint32_t si = bytes_per_index;    // 4
+
+struct Map {
+  memsim::addr_t col_idx = 2ull << 30;
+  memsim::addr_t values = 4ull << 30;
+  memsim::addr_t vec_v = 8ull << 30;
+  memsim::addr_t vec_w = 12ull << 30;
+};
+
+void sweep(const sparse::CrsMatrix& a, int width, GpuKernel kernel,
+           memsim::GpuHierarchy& h, GpuTraffic* out) {
+  const Map map;
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  const std::uint32_t row_bytes = static_cast<std::uint32_t>(width) * sd;
+  // R >= 32: each scalar matrix element is requested once per covering warp.
+  const int broadcast_requests = std::max(1, width / warp_size);
+  auto& ro = *h.readonly_path;
+  auto& gl = *h.global_path;
+
+  std::uint64_t transactions = 0;
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      for (int g = 0; g < broadcast_requests; ++g) {
+        ro.read(map.values + static_cast<memsim::addr_t>(k) * sd, sd);
+        ro.read(map.col_idx + static_cast<memsim::addr_t>(k) * si, si);
+        transactions += 2;  // one broadcast transaction per operand
+      }
+      // Coalesced read of the input block-vector row (read-only path).
+      ro.read(map.vec_v + static_cast<memsim::addr_t>(col[k]) * row_bytes,
+              row_bytes);
+      transactions += (row_bytes + 31) / 32;
+    }
+    switch (kernel) {
+      case GpuKernel::simple_spmmv:
+        // y = A x: store the result row.
+        gl.write(map.vec_w + static_cast<memsim::addr_t>(i) * row_bytes,
+                 row_bytes);
+        break;
+      case GpuKernel::aug_no_dots:
+      case GpuKernel::aug_full:
+        // w = alpha A v + beta v + gamma w: read v_i (read-only), read-modify-
+        // write w_i through the global path.
+        ro.read(map.vec_v + static_cast<memsim::addr_t>(i) * row_bytes,
+                row_bytes);
+        gl.read(map.vec_w + static_cast<memsim::addr_t>(i) * row_bytes,
+                row_bytes);
+        gl.write(map.vec_w + static_cast<memsim::addr_t>(i) * row_bytes,
+                 row_bytes);
+        break;
+    }
+    switch (kernel) {
+      case GpuKernel::simple_spmmv:
+        transactions += (row_bytes + 31) / 32;  // store of the result row
+        break;
+      case GpuKernel::aug_no_dots:
+      case GpuKernel::aug_full:
+        transactions += 3 * ((row_bytes + 31) / 32);  // v_i read, w_i r+w
+        break;
+    }
+    if (kernel == GpuKernel::aug_full && out != nullptr) {
+      // Two dot products, log2(lanes-per-row) shuffle rounds each, amortized
+      // over the 32/lanes rows a warp covers (Sec. IV-C steps 2-3).
+      const int lanes = std::min(width, warp_size);
+      const double rounds = 2.0 * std::log2(static_cast<double>(lanes)) *
+                            static_cast<double>(width) / warp_size;
+      out->warp_reductions += rounds;
+    }
+  }
+  if (out != nullptr) out->load_transactions += transactions;
+}
+
+double kernel_flops(const sparse::CrsMatrix& a, int width, GpuKernel kernel) {
+  const double fa = flops_complex_add;
+  const double fm = flops_complex_mul;
+  const double spmmv =
+      static_cast<double>(a.nnz()) * width * (fa + fm);
+  if (kernel == GpuKernel::simple_spmmv) return spmmv;
+  const double n = static_cast<double>(a.nrows()) * width;
+  // Fused tail: axpy-like update (2 mul + 2 add complex ops folded into
+  // 7Fa/2 + 9Fm/2 per element for the full kernel, Table I).
+  if (kernel == GpuKernel::aug_no_dots) {
+    return spmmv + n * (2.0 * (fa + fm) + fm);
+  }
+  return spmmv + n * (7.0 * fa / 2.0 + 9.0 * fm / 2.0);
+}
+
+}  // namespace
+
+const char* kernel_name(GpuKernel k) {
+  switch (k) {
+    case GpuKernel::simple_spmmv:
+      return "spmmv";
+    case GpuKernel::aug_no_dots:
+      return "aug_spmmv_nodots";
+    case GpuKernel::aug_full:
+      return "aug_spmmv";
+  }
+  return "?";
+}
+
+GpuTraffic trace_gpu_kernel(const sparse::CrsMatrix& a, int width,
+                            GpuKernel kernel, memsim::GpuHierarchy& h,
+                            int warmup) {
+  require(width >= 1, "trace_gpu_kernel: width >= 1");
+  require(width <= warp_size || width % warp_size == 0,
+          "trace_gpu_kernel: width must be <= 32 or a multiple of 32");
+  h.reset();
+  for (int i = 0; i < warmup; ++i) sweep(a, width, kernel, h, nullptr);
+  const std::uint64_t tex0 = h.tex_bytes();
+  const std::uint64_t l20 = h.l2_bytes();
+  const std::uint64_t dram0 = h.dram_bytes();
+  GpuTraffic t;
+  sweep(a, width, kernel, h, &t);
+  t.tex_bytes = h.tex_bytes() - tex0;
+  t.l2_bytes = h.l2_bytes() - l20;
+  t.dram_bytes = h.dram_bytes() - dram0;
+  t.flops = kernel_flops(a, width, kernel);
+  return t;
+}
+
+}  // namespace kpm::gpusim

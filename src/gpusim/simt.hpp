@@ -1,0 +1,61 @@
+// SIMT execution model of the GPU aug_spmmv kernel (paper Sec. IV-C, Fig. 6).
+//
+// The model replays the warp-level memory behaviour of the Kepler kernels
+// through the memsim cache hierarchy:
+//
+//  * Warps are arranged along block-vector rows.  For R >= warpSize each
+//    matrix element is requested by R/32 warps (the "broadcast" that makes
+//    texture traffic scale linearly with R, Fig. 9); for R < warpSize one
+//    warp covers 32/R matrix rows at a time.
+//  * Matrix values, column indices and the input block vector are read-only
+//    and flow through the per-SMX texture cache (32 B transactions); the
+//    output block vector (and the old w for the augmented kernels) uses the
+//    ordinary global path through the shared L2 (128 B transactions).
+//  * The on-the-fly dot products of the fully augmented kernel operate on
+//    register-resident data (warp shuffles) — they add *no* memory traffic,
+//    only instruction latency, which is why Fig. 10(c) shows the same
+//    volumes at lower bandwidth levels.
+#pragma once
+
+#include "memsim/hierarchies.hpp"
+#include "sparse/crs.hpp"
+
+namespace kpm::gpusim {
+
+/// The three kernels of paper Fig. 10.
+enum class GpuKernel {
+  simple_spmmv,   ///< (a) plain SpMMV
+  aug_no_dots,    ///< (b) augmented SpMMV without on-the-fly dot products
+  aug_full,       ///< (c) fully augmented SpMMV (shift, scale, dots)
+};
+
+[[nodiscard]] const char* kernel_name(GpuKernel k);
+
+/// Per-sweep traffic volumes of the GPU memory system components, bytes.
+struct GpuTraffic {
+  std::uint64_t tex_bytes = 0;   ///< delivered by the read-only cache
+  std::uint64_t l2_bytes = 0;    ///< requested of the shared L2
+  std::uint64_t dram_bytes = 0;  ///< transferred to/from device memory
+  double flops = 0.0;            ///< kernel flops of the sweep
+  /// Shuffle-reduction rounds executed.  Per matrix row and dot product the
+  /// kernel runs log2(min(R, 32)) rounds on each covering warp; with R < 32
+  /// a warp covers 32/R rows at once, so the per-row cost is
+  /// 2 * log2(min(R, 32)) * R / 32 (zero at R = 1: one lane per row needs
+  /// no shuffling).
+  double warp_reductions = 0.0;
+  /// 32-byte load transactions issued (nvprof gld_transactions analogue):
+  /// a fully coalesced S-byte warp load issues ceil(S/32); a scattered
+  /// per-lane access issues one transaction per lane regardless of how few
+  /// of its 32 bytes are used.  Compare against useful-bytes/32 for the
+  /// load efficiency.
+  std::uint64_t load_transactions = 0;
+};
+
+/// Replays one sweep of `kernel` at block width `width` (R) and returns the
+/// traffic.  `warmup` sweeps precede the measurement (KPM steady state).
+[[nodiscard]] GpuTraffic trace_gpu_kernel(const sparse::CrsMatrix& a,
+                                          int width, GpuKernel kernel,
+                                          memsim::GpuHierarchy& h,
+                                          int warmup = 1);
+
+}  // namespace kpm::gpusim

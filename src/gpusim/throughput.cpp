@@ -1,0 +1,51 @@
+#include "gpusim/throughput.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kpm::gpusim {
+
+GpuKernelPrediction predict_kernel(const GpuTraffic& t,
+                                   const perfmodel::MachineSpec& m) {
+  require(m.is_gpu, "predict_kernel: GPU machine spec required");
+  const double giga = 1.0e9;
+  const double t_dram = static_cast<double>(t.dram_bytes) / (m.mem_bw_gbs * giga);
+  const double t_l2 = static_cast<double>(t.l2_bytes) / (m.llc_bw_gbs * giga);
+  const double t_tex = static_cast<double>(t.tex_bytes) / (m.tex_bw_gbs * giga);
+  const double t_compute = t.flops / (compute_efficiency * m.peak_gflops * giga);
+  // Shuffle reductions execute on the SMX array at clock rate; they do not
+  // overlap with the dependent accumulation chain.
+  const double t_reduce =
+      static_cast<double>(t.warp_reductions) * reduction_cycles /
+      (static_cast<double>(m.cores) * m.clock_mhz * 1.0e6);
+
+  GpuKernelPrediction p;
+  p.seconds = t_dram;
+  p.bottleneck = "DRAM";
+  if (t_l2 > p.seconds) {
+    p.seconds = t_l2;
+    p.bottleneck = "L2";
+  }
+  if (t_tex > p.seconds) {
+    p.seconds = t_tex;
+    p.bottleneck = "TEX";
+  }
+  if (t_compute > p.seconds) {
+    p.seconds = t_compute;
+    p.bottleneck = "compute";
+  }
+  // Latency cost adds to (does not hide behind) the streaming time once the
+  // kernel is no longer bandwidth-saturated.
+  if (t_reduce > 0.0) {
+    p.seconds += t_reduce;
+    if (t_reduce > 0.5 * p.seconds) p.bottleneck = "latency";
+  }
+  p.gflops = t.flops / p.seconds / giga;
+  p.dram_bw_gbs = static_cast<double>(t.dram_bytes) / p.seconds / giga;
+  p.l2_bw_gbs = static_cast<double>(t.l2_bytes) / p.seconds / giga;
+  p.tex_bw_gbs = static_cast<double>(t.tex_bytes) / p.seconds / giga;
+  return p;
+}
+
+}  // namespace kpm::gpusim

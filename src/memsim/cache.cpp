@@ -1,0 +1,97 @@
+#include "memsim/cache.hpp"
+
+#include "util/check.hpp"
+
+namespace kpm::memsim {
+
+CacheLevel::CacheLevel(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  require(cfg_.line_bytes > 0 && (cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0,
+          "cache line size must be a power of two");
+  require(cfg_.size_bytes % cfg_.line_bytes == 0,
+          "cache size must be a multiple of the line size");
+  const std::uint64_t lines = cfg_.size_bytes / cfg_.line_bytes;
+  assoc_ = cfg_.associativity;
+  require(assoc_ >= 1 && lines % assoc_ == 0,
+          "cache lines must divide evenly into ways");
+  num_sets_ = lines / assoc_;
+  ways_.assign(num_sets_ * assoc_, Way{});
+}
+
+bool CacheLevel::access_line(addr_t line_addr, bool write,
+                             addr_t& evicted_dirty) {
+  evicted_dirty = ~addr_t{0};
+  ++stats_.accesses;
+  stats_.bytes_requested += cfg_.line_bytes;
+  const addr_t line_index = line_addr / cfg_.line_bytes;
+  const std::uint64_t set = line_index % num_sets_;
+  Way* base = ways_.data() + set * assoc_;
+  ++tick_;
+  // Hit?
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (base[w].tag == line_index) {
+      base[w].lru = tick_;
+      base[w].dirty = base[w].dirty || write;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  // Miss: pick LRU victim.
+  ++stats_.misses;
+  std::uint32_t victim = 0;
+  for (std::uint32_t w = 1; w < assoc_; ++w) {
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  if (base[victim].tag != ~addr_t{0} && base[victim].dirty) {
+    evicted_dirty = base[victim].tag * cfg_.line_bytes;
+    ++stats_.writebacks;
+    stats_.bytes_written_back += cfg_.line_bytes;
+  }
+  base[victim] = {line_index, write, tick_};
+  stats_.bytes_filled += cfg_.line_bytes;
+  return false;
+}
+
+void CacheLevel::reset() {
+  for (auto& w : ways_) w = Way{};
+  stats_ = {};
+  tick_ = 0;
+}
+
+CachePath::CachePath(std::vector<CacheLevel*> levels, DramStats* dram)
+    : levels_(std::move(levels)), dram_(dram) {
+  require(dram_ != nullptr, "CachePath: DRAM sink required");
+}
+
+void CachePath::access(addr_t addr, std::uint32_t size, bool write) {
+  access_from(0, addr, size, write);
+}
+
+void CachePath::access_from(std::size_t level, addr_t addr, std::uint32_t size,
+                            bool write) {
+  if (level >= levels_.size()) {
+    if (write) {
+      dram_->bytes_written += size;
+    } else {
+      dram_->bytes_read += size;
+    }
+    return;
+  }
+  CacheLevel& cache = *levels_[level];
+  const std::uint64_t line = cache.config().line_bytes;
+  addr_t begin = addr / line * line;
+  const addr_t end = addr + size;
+  for (addr_t a = begin; a < end; a += line) {
+    addr_t evicted = ~addr_t{0};
+    const bool hit = cache.access_line(a, write, evicted);
+    if (!hit) {
+      // Fill from the level below (read the whole line).
+      access_from(level + 1, a, static_cast<std::uint32_t>(line), false);
+    }
+    if (evicted != ~addr_t{0}) {
+      // Dirty eviction: write the line to the level below.
+      access_from(level + 1, evicted, static_cast<std::uint32_t>(line), true);
+    }
+  }
+}
+
+}  // namespace kpm::memsim

@@ -1,0 +1,105 @@
+// Set-associative cache simulator.
+//
+// Replaces the hardware counters the paper reads with LIKWID (CPU) and
+// nvprof (GPU): kernels are replayed as address streams through a model
+// hierarchy and the per-level transfer volumes V_meas are counted, from
+// which Omega = V_meas / V_KPM (Eq. 8) follows.
+//
+// Model: write-back, write-allocate, true-LRU set-associative levels.
+// Levels are composable into paths (e.g. the GPU's read-only data goes
+// TEX -> L2 -> DRAM while ordinary loads go L2 -> DRAM, sharing the L2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kpm::memsim {
+
+using addr_t = std::uint64_t;
+
+struct CacheConfig {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;       ///< line-granular requests received
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;     ///< dirty lines evicted
+  std::uint64_t bytes_requested = 0;///< bytes asked of this level
+  std::uint64_t bytes_filled = 0;   ///< bytes fetched from the level below
+  std::uint64_t bytes_written_back = 0;
+
+  /// Total traffic between this level and the one below it.
+  [[nodiscard]] std::uint64_t bytes_below() const {
+    return bytes_filled + bytes_written_back;
+  }
+};
+
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig cfg);
+
+  /// Looks up one *line-aligned* address.  On a miss the line is filled
+  /// (allocated); an evicted dirty line address is reported through
+  /// `evicted_dirty` (line address, or ~0 if none).  Returns true on hit.
+  /// Traffic accounting is line-granular: every access moves a full line
+  /// internally (a 32 B texture fill activates a whole 128 B L2 line),
+  /// which is what hardware counters such as nvprof's L2 throughput report.
+  bool access_line(addr_t line_addr, bool write, addr_t& evicted_dirty);
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] CacheStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  struct Way {
+    addr_t tag = ~addr_t{0};
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t num_sets_ = 0;
+  std::uint32_t assoc_ = 0;
+  std::vector<Way> ways_;  // num_sets * assoc
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+/// Traffic into/out of the final backing store (DRAM).
+struct DramStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return bytes_read + bytes_written; }
+};
+
+/// A path of cache levels in front of DRAM.  Several paths may share levels
+/// (pass the same CacheLevel pointers); the DramStats sink may be shared too.
+class CachePath {
+ public:
+  CachePath(std::vector<CacheLevel*> levels, DramStats* dram);
+
+  /// Byte-granular access; split into the first level's lines.
+  void access(addr_t addr, std::uint32_t size, bool write);
+
+  void read(addr_t addr, std::uint32_t size) { access(addr, size, false); }
+  void write(addr_t addr, std::uint32_t size) { access(addr, size, true); }
+
+ private:
+  void access_from(std::size_t level, addr_t addr, std::uint32_t size,
+                   bool write);
+
+  std::vector<CacheLevel*> levels_;
+  DramStats* dram_;
+};
+
+}  // namespace kpm::memsim

@@ -1,0 +1,82 @@
+#include "memsim/hierarchies.hpp"
+
+#include "util/check.hpp"
+
+namespace kpm::memsim {
+namespace {
+
+/// Rounds a capacity down to a multiple of line * associativity (the
+/// CacheLevel granularity), with at least one set.
+std::uint64_t legal_size(std::uint64_t bytes, std::uint32_t line,
+                         std::uint32_t assoc) {
+  const std::uint64_t quantum = static_cast<std::uint64_t>(line) * assoc;
+  return bytes < quantum ? quantum : bytes / quantum * quantum;
+}
+
+CpuHierarchy make_cpu(std::uint64_t l1_bytes, std::uint64_t l2_bytes,
+                      std::uint64_t l3_bytes) {
+  CpuHierarchy h;
+  h.l1 = std::make_unique<CacheLevel>(
+      CacheConfig{"L1", legal_size(l1_bytes, 64, 8), 64, 8});
+  h.l2 = std::make_unique<CacheLevel>(
+      CacheConfig{"L2", legal_size(l2_bytes, 64, 8), 64, 8});
+  h.l3 = std::make_unique<CacheLevel>(
+      CacheConfig{"L3", legal_size(l3_bytes, 64, 20), 64, 20});
+  h.path = std::make_unique<CachePath>(
+      std::vector<CacheLevel*>{h.l1.get(), h.l2.get(), h.l3.get()}, &h.dram);
+  return h;
+}
+
+GpuHierarchy make_gpu(std::uint64_t l2_bytes) {
+  GpuHierarchy h;
+  // Read-only data cache: 48 KiB, 32 B transaction granularity (Kepler
+  // texture loads), modest associativity.
+  h.tex = std::make_unique<CacheLevel>(
+      CacheConfig{"TEX", 48ull * 1024, 32, 8});
+  h.l2 = std::make_unique<CacheLevel>(
+      CacheConfig{"L2", l2_bytes, 128, 16});
+  h.readonly_path = std::make_unique<CachePath>(
+      std::vector<CacheLevel*>{h.tex.get(), h.l2.get()}, &h.dram);
+  h.global_path = std::make_unique<CachePath>(
+      std::vector<CacheLevel*>{h.l2.get()}, &h.dram);
+  return h;
+}
+
+}  // namespace
+
+void CpuHierarchy::reset() {
+  l1->reset();
+  l2->reset();
+  l3->reset();
+  dram = {};
+}
+
+void GpuHierarchy::reset() {
+  tex->reset();
+  l2->reset();
+  dram = {};
+}
+
+CpuHierarchy make_ivb_hierarchy() {
+  return make_cpu(32ull * 1024, 256ull * 1024, 25ull * 1024 * 1024);
+}
+
+CpuHierarchy make_snb_hierarchy() {
+  return make_cpu(32ull * 1024, 256ull * 1024, 20ull * 1024 * 1024);
+}
+
+CpuHierarchy make_scaled_ivb_hierarchy(int divisor) {
+  require(divisor >= 1, "scaled hierarchy: divisor >= 1");
+  return make_cpu(32ull * 1024 / divisor, 256ull * 1024 / divisor,
+                  25ull * 1024 * 1024 / divisor);
+}
+
+GpuHierarchy make_k20m_hierarchy() {
+  return make_gpu(1280ull * 1024);  // 1.25 MiB
+}
+
+GpuHierarchy make_k20x_hierarchy() {
+  return make_gpu(1536ull * 1024);  // 1.5 MiB
+}
+
+}  // namespace kpm::memsim

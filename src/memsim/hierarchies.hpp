@@ -1,0 +1,63 @@
+// Pre-configured cache hierarchies for the Table II machines.
+#pragma once
+
+#include <memory>
+
+#include "memsim/cache.hpp"
+
+namespace kpm::memsim {
+
+/// Three-level CPU hierarchy (per-socket aggregate L1/L2 + shared L3).
+/// The simulation is single-stream, so the per-core L1/L2 are modelled at
+/// their per-core sizes (one core's working point) while the shared L3
+/// carries the socket capacity that governs Omega.
+struct CpuHierarchy {
+  std::unique_ptr<CacheLevel> l1;
+  std::unique_ptr<CacheLevel> l2;
+  std::unique_ptr<CacheLevel> l3;
+  DramStats dram;
+  std::unique_ptr<CachePath> path;
+
+  void reset();
+  /// DRAM traffic in bytes (the LIKWID-equivalent measurement).
+  [[nodiscard]] std::uint64_t dram_bytes() const { return dram.total(); }
+};
+
+/// Ivy Bridge (IVB): 32 KiB L1 / 256 KiB L2 per core, 25 MiB shared L3.
+[[nodiscard]] CpuHierarchy make_ivb_hierarchy();
+/// IVB hierarchy with every capacity divided by `divisor` (associativities
+/// and line size unchanged).  Shrinking problem and caches by the same
+/// factor preserves the capacity *ratios* that govern Omega while keeping
+/// trace-based experiments fast.
+[[nodiscard]] CpuHierarchy make_scaled_ivb_hierarchy(int divisor);
+/// Sandy Bridge (SNB): 32 KiB / 256 KiB / 20 MiB.
+[[nodiscard]] CpuHierarchy make_snb_hierarchy();
+
+/// Kepler GPU memory system: per-SMX 48 KiB read-only (texture) cache in
+/// front of the shared L2 for read-only data, plus a direct L2 path for
+/// ordinary global loads/stores.
+struct GpuHierarchy {
+  std::unique_ptr<CacheLevel> tex;  ///< one representative SMX's RO cache
+  std::unique_ptr<CacheLevel> l2;
+  DramStats dram;
+  std::unique_ptr<CachePath> readonly_path;  ///< TEX -> L2 -> DRAM
+  std::unique_ptr<CachePath> global_path;    ///< L2 -> DRAM
+
+  void reset();
+  [[nodiscard]] std::uint64_t dram_bytes() const { return dram.total(); }
+  /// Bytes served by the texture cache to the SMX (Fig. 9 "TEX").
+  [[nodiscard]] std::uint64_t tex_bytes() const {
+    return tex->stats().bytes_requested;
+  }
+  /// Bytes requested of the L2 (texture misses + global traffic, Fig. 9 "L2").
+  [[nodiscard]] std::uint64_t l2_bytes() const {
+    return l2->stats().bytes_requested;
+  }
+};
+
+/// K20m: 48 KiB texture per SMX, 1.25 MiB shared L2, 128 B L2 lines.
+[[nodiscard]] GpuHierarchy make_k20m_hierarchy();
+/// K20X: 1.5 MiB L2.
+[[nodiscard]] GpuHierarchy make_k20x_hierarchy();
+
+}  // namespace kpm::memsim

@@ -1,0 +1,111 @@
+#include "memsim/traced_kernels.hpp"
+
+#include "util/check.hpp"
+
+namespace kpm::memsim {
+namespace {
+
+constexpr std::uint32_t sd = bytes_per_element;  // 16
+constexpr std::uint32_t si = bytes_per_index;    // 4
+
+void sweep_aug_spmmv(const sparse::CrsMatrix& a, int width,
+                     const AddressMap& map, CachePath& path) {
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  const std::uint32_t row_bytes = static_cast<std::uint32_t>(width) * sd;
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    path.read(map.row_ptr + static_cast<addr_t>(i) * 8, 16);  // ptr[i], ptr[i+1]
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      path.read(map.col_idx + static_cast<addr_t>(k) * si, si);
+      path.read(map.values + static_cast<addr_t>(k) * sd, sd);
+      path.read(map.vec_v + static_cast<addr_t>(col[k]) * row_bytes, row_bytes);
+    }
+    // Fused tail: read v_i (dot), read-modify-write w_i.
+    path.read(map.vec_v + static_cast<addr_t>(i) * row_bytes, row_bytes);
+    path.read(map.vec_w + static_cast<addr_t>(i) * row_bytes, row_bytes);
+    path.write(map.vec_w + static_cast<addr_t>(i) * row_bytes, row_bytes);
+  }
+}
+
+void sweep_naive(const sparse::CrsMatrix& a, const AddressMap& map,
+                 CachePath& path) {
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  const global_index n = a.nrows();
+  // spmv: u = H v
+  for (global_index i = 0; i < n; ++i) {
+    path.read(map.row_ptr + static_cast<addr_t>(i) * 8, 16);
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      path.read(map.col_idx + static_cast<addr_t>(k) * si, si);
+      path.read(map.values + static_cast<addr_t>(k) * sd, sd);
+      path.read(map.vec_v + static_cast<addr_t>(col[k]) * sd, sd);
+    }
+    path.write(map.vec_u + static_cast<addr_t>(i) * sd, sd);
+  }
+  auto stream = [&](addr_t base, bool write) {
+    for (global_index i = 0; i < n; ++i) {
+      if (write) {
+        path.write(base + static_cast<addr_t>(i) * sd, sd);
+      } else {
+        path.read(base + static_cast<addr_t>(i) * sd, sd);
+      }
+    }
+  };
+  // axpy: u = u - b v          (read u, read v, write u)
+  stream(map.vec_u, false);
+  stream(map.vec_v, false);
+  stream(map.vec_u, true);
+  // scal: w = -w               (read w, write w)
+  stream(map.vec_w, false);
+  stream(map.vec_w, true);
+  // axpy: w = w + 2a u         (read w, read u, write w)
+  stream(map.vec_w, false);
+  stream(map.vec_u, false);
+  stream(map.vec_w, true);
+  // nrm2: <v|v>                (read v)
+  stream(map.vec_v, false);
+  // dot: <w|v>                 (read w, read v)
+  stream(map.vec_w, false);
+  stream(map.vec_v, false);
+}
+
+TrafficReport snapshot(const CpuHierarchy& h) {
+  TrafficReport r;
+  r.dram_bytes = h.dram.total();
+  r.l3_bytes = h.l3->stats().bytes_requested;
+  r.l2_bytes = h.l2->stats().bytes_requested;
+  r.l1_bytes = h.l1->stats().bytes_requested;
+  return r;
+}
+
+TrafficReport delta(const TrafficReport& after, const TrafficReport& before) {
+  return {after.dram_bytes - before.dram_bytes,
+          after.l3_bytes - before.l3_bytes,
+          after.l2_bytes - before.l2_bytes,
+          after.l1_bytes - before.l1_bytes};
+}
+
+}  // namespace
+
+TrafficReport trace_aug_spmmv(const sparse::CrsMatrix& a, int width,
+                              CpuHierarchy& h, int warmup) {
+  require(width >= 1, "trace_aug_spmmv: width >= 1");
+  h.reset();
+  const AddressMap map;
+  for (int i = 0; i < warmup; ++i) sweep_aug_spmmv(a, width, map, *h.path);
+  const auto before = snapshot(h);
+  sweep_aug_spmmv(a, width, map, *h.path);
+  return delta(snapshot(h), before);
+}
+
+TrafficReport trace_naive_iteration(const sparse::CrsMatrix& a,
+                                    CpuHierarchy& h, int warmup) {
+  h.reset();
+  const AddressMap map;
+  for (int i = 0; i < warmup; ++i) sweep_naive(a, map, *h.path);
+  const auto before = snapshot(h);
+  sweep_naive(a, map, *h.path);
+  return delta(snapshot(h), before);
+}
+
+}  // namespace kpm::memsim

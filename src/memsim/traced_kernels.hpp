@@ -1,0 +1,48 @@
+// Address-stream replay of the KPM kernels through a simulated CPU cache
+// hierarchy.
+//
+// The replay touches the same bytes in the same order as the real kernels
+// in src/sparse (one representative core's stream); the resulting DRAM
+// volume is the modelled LIKWID measurement V_meas from which
+// Omega = V_meas / V_KPM follows (paper Sec. III-A and Fig. 8).
+#pragma once
+
+#include "memsim/hierarchies.hpp"
+#include "sparse/crs.hpp"
+
+namespace kpm::memsim {
+
+/// Per-iteration traffic of a kernel sweep (bytes).
+struct TrafficReport {
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t l3_bytes = 0;  ///< bytes requested of the LLC
+  std::uint64_t l2_bytes = 0;
+  std::uint64_t l1_bytes = 0;
+};
+
+/// Synthetic base addresses of the kernel operands (1 GiB apart, so regions
+/// never overlap for any realistic problem size).
+struct AddressMap {
+  addr_t row_ptr = 1ull << 30;
+  addr_t col_idx = 2ull << 30;
+  addr_t values = 4ull << 30;
+  addr_t vec_v = 8ull << 30;
+  addr_t vec_w = 12ull << 30;
+  addr_t vec_u = 16ull << 30;
+};
+
+/// Replays one fused aug_spmmv sweep (stage 1 for width == 1, stage 2
+/// otherwise) and returns the traffic.  The hierarchy is reset, then warmed
+/// with `warmup` sweeps before the measured sweep (default: one warm-up so
+/// the cache state is the steady state of the KPM loop).
+[[nodiscard]] TrafficReport trace_aug_spmmv(const sparse::CrsMatrix& a,
+                                            int width, CpuHierarchy& h,
+                                            int warmup = 1);
+
+/// Replays one inner iteration of the naive pipeline (Fig. 3): SpMV into a
+/// temporary plus the axpy/scal/axpy/nrm2/dot chain.
+[[nodiscard]] TrafficReport trace_naive_iteration(const sparse::CrsMatrix& a,
+                                                  CpuHierarchy& h,
+                                                  int warmup = 1);
+
+}  // namespace kpm::memsim

@@ -1,0 +1,78 @@
+#include "perfmodel/balance.hpp"
+
+#include "util/check.hpp"
+
+namespace kpm::perfmodel {
+namespace {
+
+constexpr double sd = bytes_per_element;   // 16
+constexpr double si = bytes_per_index;     // 4
+constexpr double fa = flops_complex_add;   // 2
+constexpr double fm = flops_complex_mul;   // 6
+
+}  // namespace
+
+std::vector<FunctionCost> table1(const KpmWorkload& w) {
+  require(w.n > 0 && w.nnz > 0 && w.num_random >= 1 && w.num_moments >= 2,
+          "table1: invalid workload");
+  const double r = w.num_random;
+  const double half_m = w.inner_iterations();
+  std::vector<FunctionCost> rows;
+  rows.push_back({"spmv", r * half_m, w.nnz * (sd + si) + 2.0 * w.n * sd,
+                  w.nnz * (fa + fm)});
+  rows.push_back({"axpy", 2.0 * r * half_m, 3.0 * w.n * sd,
+                  w.n * (fa + fm)});
+  rows.push_back({"scal", r * half_m, 2.0 * w.n * sd, w.n * fm});
+  rows.push_back({"nrm2", r * half_m, w.n * sd, w.n * (fa / 2.0 + fm / 2.0)});
+  rows.push_back({"dot", r * half_m, 2.0 * w.n * sd, w.n * (fa + fm)});
+  rows.push_back({"KPM", 1.0,
+                  r * half_m * (w.nnz * (sd + si) + 13.0 * w.n * sd),
+                  kpm_total_flops(w)});
+  return rows;
+}
+
+double kpm_total_flops(const KpmWorkload& w) {
+  return w.num_random * w.inner_iterations() *
+         (w.nnz * (fa + fm) + w.n * (7.0 * fa / 2.0 + 9.0 * fm / 2.0));
+}
+
+double traffic_naive(const KpmWorkload& w) {
+  return w.num_random * w.inner_iterations() *
+         (w.nnz * (sd + si) + 13.0 * w.n * sd);
+}
+
+double traffic_aug_spmv(const KpmWorkload& w) {
+  return w.num_random * w.inner_iterations() *
+         (w.nnz * (sd + si) + 3.0 * w.n * sd);
+}
+
+double traffic_aug_spmmv(const KpmWorkload& w) {
+  return w.inner_iterations() *
+         (w.nnz * (sd + si) + 3.0 * w.num_random * w.n * sd);
+}
+
+double bmin(double nnzr, int num_random) {
+  require(nnzr > 0 && num_random >= 1, "bmin: invalid arguments");
+  const double bytes = nnzr / num_random * (sd + si) + 3.0 * sd;
+  const double flops = nnzr * (fa + fm) + 7.0 * fa / 2.0 + 9.0 * fm / 2.0;
+  return bytes / flops;
+}
+
+double bmin_limit(double nnzr) {
+  const double flops = nnzr * (fa + fm) + 7.0 * fa / 2.0 + 9.0 * fm / 2.0;
+  return 3.0 * sd / flops;
+}
+
+double omega(double measured_bytes, double model_bytes) {
+  require(model_bytes > 0, "omega: model traffic must be positive");
+  return measured_bytes / model_bytes;
+}
+
+double general_spmv_balance(double data_bytes, double index_bytes,
+                            double flops_per_entry) {
+  require(data_bytes > 0 && index_bytes >= 0 && flops_per_entry > 0,
+          "general_spmv_balance: invalid arguments");
+  return (data_bytes + index_bytes) / flops_per_entry;
+}
+
+}  // namespace kpm::perfmodel

@@ -1,0 +1,69 @@
+// Data traffic and code balance models — paper Table I and Eqs. (4)-(7).
+//
+// All quantities are *minimum* values: every operand touched exactly once.
+// Sd = 16 B (complex double), Si = 4 B (32-bit index), Fa = 2, Fm = 6 flops
+// for complex add/multiply (src/util/types.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace kpm::perfmodel {
+
+/// Problem size parameters of a KPM run.
+struct KpmWorkload {
+  double n = 0.0;        ///< matrix dimension N
+  double nnz = 0.0;      ///< stored non-zeros
+  int num_random = 1;    ///< R
+  int num_moments = 0;   ///< M (the paper counts M/2 inner iterations)
+
+  [[nodiscard]] double nnzr() const { return nnz / n; }
+  [[nodiscard]] double inner_iterations() const { return num_moments / 2.0; }
+};
+
+/// One row of paper Table I.
+struct FunctionCost {
+  std::string name;
+  double calls = 0.0;          ///< total invocations for the whole solver
+  double min_bytes_per_call = 0.0;
+  double flops_per_call = 0.0;
+
+  [[nodiscard]] double total_bytes() const { return calls * min_bytes_per_call; }
+  [[nodiscard]] double total_flops() const { return calls * flops_per_call; }
+};
+
+/// The rows of Table I (spmv, axpy, scal, nrm2, dot, and the KPM total).
+[[nodiscard]] std::vector<FunctionCost> table1(const KpmWorkload& w);
+
+/// Total flops of the solver (identical for all three stages):
+/// RM/2 [ Nnz(Fa+Fm) + N(7Fa/2 + 9Fm/2) ].
+[[nodiscard]] double kpm_total_flops(const KpmWorkload& w);
+
+/// Minimum solver traffic V_KPM in bytes for each optimization stage (Eq. 4).
+[[nodiscard]] double traffic_naive(const KpmWorkload& w);
+[[nodiscard]] double traffic_aug_spmv(const KpmWorkload& w);
+[[nodiscard]] double traffic_aug_spmmv(const KpmWorkload& w);
+
+/// Minimum code balance Bmin(R) in bytes/flop (Eq. 5) for the blocked
+/// kernel, given the average row population Nnzr.
+[[nodiscard]] double bmin(double nnzr, int num_random);
+
+/// Asymptotic balance lim R->inf (Eq. 7).
+[[nodiscard]] double bmin_limit(double nnzr);
+
+/// Traffic excess factor Omega = V_measured / V_KPM (Eq. 8 context).
+[[nodiscard]] double omega(double measured_bytes, double model_bytes);
+
+/// Minimum code balance of a *general* SpMV (no special matrix properties):
+/// one value + one index per non-zero, streamed once, against one
+/// multiply-add per non-zero.  The paper's introduction quotes the limits
+/// 6 bytes/flop (double) and 2.5 bytes/flop (double complex), which this
+/// reproduces with (data_bytes, index_bytes, flops) = (8, 4, 2) and
+/// (16, 4, 8).  Vector traffic is neglected (nnzr >> 1 regime).
+[[nodiscard]] double general_spmv_balance(double data_bytes,
+                                          double index_bytes,
+                                          double flops_per_entry);
+
+}  // namespace kpm::perfmodel

@@ -1,0 +1,108 @@
+#include "perfmodel/machine.hpp"
+
+namespace kpm::perfmodel {
+
+// Table II of the paper; the llc/tex bandwidth figures are calibrated
+// estimates consistent with the measured saturation levels in Figs. 8-10
+// (IVB L3 ~ 220 GB/s sustained; K20m L2 ~ 650 GB/s, texture ~ 950 GB/s).
+
+const MachineSpec& machine_ivb() {
+  static const MachineSpec m{
+      .name = "IVB",
+      .clock_mhz = 2200,
+      .simd_bytes = 32,
+      .cores = 10,
+      .mem_bw_gbs = 50,
+      .llc_mib = 25,
+      .peak_gflops = 176,
+      .is_gpu = false,
+      .llc_bw_gbs = 165,
+      .tex_bw_gbs = 0,
+      .l2_line_bytes = 64,
+      .pcie_bw_gbs = 6.0,
+      .tdp_watts = 95.0,
+  };
+  return m;
+}
+
+const MachineSpec& machine_snb() {
+  static const MachineSpec m{
+      .name = "SNB",
+      .clock_mhz = 2600,
+      .simd_bytes = 32,
+      .cores = 8,
+      .mem_bw_gbs = 48,
+      .llc_mib = 20,
+      .peak_gflops = 166.4,
+      .is_gpu = false,
+      .llc_bw_gbs = 95,
+      .tex_bw_gbs = 0,
+      .l2_line_bytes = 64,
+      .pcie_bw_gbs = 6.0,
+      .tdp_watts = 115.0,
+  };
+  return m;
+}
+
+const MachineSpec& machine_k20m() {
+  static const MachineSpec m{
+      .name = "K20m",
+      .clock_mhz = 706,
+      .simd_bytes = 512,  // 32 threads x 16 B
+      .cores = 13,        // SMX units
+      .mem_bw_gbs = 150,
+      .llc_mib = 1.25,
+      .peak_gflops = 1174,
+      .is_gpu = true,
+      .llc_bw_gbs = 650,
+      .tex_bw_gbs = 950,
+      .l2_line_bytes = 128,
+      .pcie_bw_gbs = 6.0,
+      .tdp_watts = 225.0,
+  };
+  return m;
+}
+
+const MachineSpec& machine_k20x() {
+  static const MachineSpec m{
+      .name = "K20X",
+      .clock_mhz = 732,
+      .simd_bytes = 512,
+      .cores = 14,
+      .mem_bw_gbs = 170,
+      .llc_mib = 1.5,
+      .peak_gflops = 1311,
+      .is_gpu = true,
+      .llc_bw_gbs = 680,
+      .tex_bw_gbs = 1000,
+      .l2_line_bytes = 128,
+      .pcie_bw_gbs = 6.0,
+      .tdp_watts = 235.0,
+  };
+  return m;
+}
+
+const MachineSpec& machine_knc() {
+  static const MachineSpec m{
+      .name = "KNC",
+      .clock_mhz = 1053,
+      .simd_bytes = 64,
+      .cores = 60,
+      .mem_bw_gbs = 160,
+      .llc_mib = 30,  // aggregated per-core L2
+      .peak_gflops = 1011,
+      .is_gpu = false,
+      .llc_bw_gbs = 450,
+      .tex_bw_gbs = 0,
+      .l2_line_bytes = 64,
+      .pcie_bw_gbs = 6.0,
+      .tdp_watts = 225.0,
+  };
+  return m;
+}
+
+std::vector<const MachineSpec*> table2_machines() {
+  return {&machine_ivb(), &machine_snb(), &machine_k20m(), &machine_k20x()};
+}
+
+}  // namespace kpm::perfmodel

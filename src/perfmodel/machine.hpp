@@ -1,0 +1,51 @@
+// Machine descriptions — paper Table II plus derived cache-bandwidth
+// parameters used by the refined roofline and the GPU throughput model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kpm::perfmodel {
+
+struct MachineSpec {
+  std::string name;
+  double clock_mhz = 0.0;
+  int simd_bytes = 0;       ///< SIMD width (CPU) / warp granularity (GPU)
+  int cores = 0;            ///< cores (CPU) or SMX count (GPU)
+  double mem_bw_gbs = 0.0;  ///< attainable main memory bandwidth b, GB/s
+  double llc_mib = 0.0;     ///< last level cache capacity
+  double peak_gflops = 0.0; ///< double precision peak
+  bool is_gpu = false;
+
+  // Derived / calibrated parameters (not in Table II; documented estimates
+  // used by the refined models).
+  double llc_bw_gbs = 0.0;   ///< sustained LLC bandwidth (P*_LLC input)
+  double tex_bw_gbs = 0.0;   ///< GPU read-only/texture cache bandwidth
+  double l2_line_bytes = 128;///< transaction granularity of the GPU L2
+  double pcie_bw_gbs = 6.0;  ///< host<->device transfer bandwidth
+  double tdp_watts = 0.0;    ///< thermal design power (energy model input)
+
+  /// Peak of a single core (CPU) for the socket-scaling model.
+  [[nodiscard]] double core_peak_gflops() const {
+    return cores > 0 ? peak_gflops / cores : peak_gflops;
+  }
+};
+
+/// Intel Xeon E5-2660 v2 "IvyBridge", fixed 2.2 GHz (paper Table II).
+[[nodiscard]] const MachineSpec& machine_ivb();
+/// Intel Xeon E5-2670 "SandyBridge", turbo (Piz Daint host CPU).
+[[nodiscard]] const MachineSpec& machine_snb();
+/// NVIDIA Tesla K20m, ECC disabled (Emmy GPU).
+[[nodiscard]] const MachineSpec& machine_k20m();
+/// NVIDIA Tesla K20X, ECC enabled (Piz Daint GPU).
+[[nodiscard]] const MachineSpec& machine_k20x();
+
+/// Intel Xeon Phi 5110P (KNC) — not in Table II; the paper's outlook notes
+/// the coprocessor "is already supported in our software" and defers its
+/// model-driven analysis to future work.  Included for roofline projections.
+[[nodiscard]] const MachineSpec& machine_knc();
+
+/// All four Table II machines.
+[[nodiscard]] std::vector<const MachineSpec*> table2_machines();
+
+}  // namespace kpm::perfmodel

@@ -1,0 +1,37 @@
+#include "perfmodel/roofline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kpm::perfmodel {
+
+double roofline(const MachineSpec& m, double code_balance) {
+  require(code_balance > 0, "roofline: balance must be positive");
+  return std::min(m.peak_gflops, m.mem_bw_gbs / code_balance);
+}
+
+double roofline_mem(const MachineSpec& m, double code_balance) {
+  require(code_balance > 0, "roofline_mem: balance must be positive");
+  return m.mem_bw_gbs / code_balance;
+}
+
+double roofline_llc(const MachineSpec& m, double llc_balance) {
+  require(llc_balance > 0, "roofline_llc: balance must be positive");
+  require(m.llc_bw_gbs > 0, "roofline_llc: machine lacks an LLC bandwidth");
+  return std::min(m.peak_gflops, m.llc_bw_gbs / llc_balance);
+}
+
+double roofline_refined(const MachineSpec& m, double mem_balance,
+                        double llc_balance) {
+  return std::min(roofline_mem(m, mem_balance), roofline_llc(m, llc_balance));
+}
+
+double roofline_cores(const MachineSpec& m, int cores, double code_balance) {
+  require(cores >= 1 && cores <= m.cores, "roofline_cores: invalid core count");
+  // Memory bandwidth is a shared socket resource; peak scales with cores.
+  const double peak = m.core_peak_gflops() * cores;
+  return std::min(peak, m.mem_bw_gbs / code_balance);
+}
+
+}  // namespace kpm::perfmodel

@@ -1,0 +1,31 @@
+// Roofline performance models — paper Eqs. (9)-(11).
+#pragma once
+
+#include "perfmodel/balance.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace kpm::perfmodel {
+
+/// Classic roofline (Eq. 9): P* = min(Ppeak, b / B), Gflop/s for B in B/F
+/// and b in GB/s.
+[[nodiscard]] double roofline(const MachineSpec& m, double code_balance);
+
+/// Memory-bandwidth bound alone (Eq. 10): P*_MEM = b / B.
+[[nodiscard]] double roofline_mem(const MachineSpec& m, double code_balance);
+
+/// LLC-bandwidth bound for decoupled kernels: P*_LLC = b_LLC / B_LLC.
+/// `llc_balance` is the code balance with respect to LLC traffic; when the
+/// working set streams through the LLC it equals the memory balance.
+[[nodiscard]] double roofline_llc(const MachineSpec& m, double llc_balance);
+
+/// Refined model (Eq. 11): P* = min(P*_MEM, P*_LLC), with P*_MEM computed
+/// from the DRAM-side balance and P*_LLC from the cache-side balance.
+[[nodiscard]] double roofline_refined(const MachineSpec& m,
+                                      double mem_balance, double llc_balance);
+
+/// Socket-scaling prediction for `cores` active cores: bandwidth is shared
+/// (saturating), in-core capability scales linearly.
+[[nodiscard]] double roofline_cores(const MachineSpec& m, int cores,
+                                    double code_balance);
+
+}  // namespace kpm::perfmodel

@@ -1,0 +1,72 @@
+#include "physics/anderson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::physics {
+
+sparse::CrsMatrix build_anderson_hamiltonian(const AndersonParams& p) {
+  require(p.nx >= 1 && p.ny >= 1 && p.nz >= 1, "Anderson: extents >= 1");
+  require(!p.periodic || (p.nx > 2 && p.ny > 2 && p.nz > 2),
+          "Anderson: periodic BCs need extents > 2");
+  const global_index dim = p.dimension();
+  sparse::CooMatrix coo(dim, dim);
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> eps(-p.disorder / 2.0,
+                                             p.disorder / 2.0);
+
+  auto index = [&](int x, int y, int z) {
+    return static_cast<global_index>(x) +
+           static_cast<global_index>(p.nx) *
+               (y + static_cast<global_index>(p.ny) * z);
+  };
+
+  for (int z = 0; z < p.nz; ++z) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        const global_index n = index(x, y, z);
+        if (p.disorder > 0.0) coo.add(n, n, {eps(rng), 0.0});
+        const int coords[3] = {x, y, z};
+        const int extents[3] = {p.nx, p.ny, p.nz};
+        for (int j = 0; j < 3; ++j) {
+          int nb[3] = {x, y, z};
+          nb[j] = coords[j] + 1;
+          if (nb[j] >= extents[j]) {
+            if (!p.periodic) continue;
+            nb[j] = 0;
+          }
+          const global_index m = index(nb[0], nb[1], nb[2]);
+          coo.add_hermitian_pair(m, n, {-p.t, 0.0});
+        }
+      }
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+std::vector<double> exact_anderson_spectrum_clean(const AndersonParams& p) {
+  require(p.disorder == 0.0 && p.periodic,
+          "exact spectrum: clean periodic model only");
+  std::vector<double> evals;
+  evals.reserve(static_cast<std::size_t>(p.dimension()));
+  for (int ix = 0; ix < p.nx; ++ix) {
+    for (int iy = 0; iy < p.ny; ++iy) {
+      for (int iz = 0; iz < p.nz; ++iz) {
+        const double e = -2.0 * p.t *
+                         (std::cos(2.0 * pi * ix / p.nx) +
+                          std::cos(2.0 * pi * iy / p.ny) +
+                          std::cos(2.0 * pi * iz / p.nz));
+        evals.push_back(e);
+      }
+    }
+  }
+  std::sort(evals.begin(), evals.end());
+  return evals;
+}
+
+}  // namespace kpm::physics

@@ -1,0 +1,39 @@
+// 3D Anderson model of localization: scalar tight-binding Hamiltonian on a
+// simple cubic lattice with uniform on-site disorder,
+//
+//   H = -t sum_<n,m> |n><m|  +  sum_n eps_n |n><n|,   eps_n ~ U[-W/2, W/2].
+//
+// A second application matrix (7-point stencil, real entries promoted to
+// complex) exercising the KPM library beyond the TI scenario.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/crs.hpp"
+#include "util/types.hpp"
+
+namespace kpm::physics {
+
+struct AndersonParams {
+  int nx = 16;
+  int ny = 16;
+  int nz = 16;
+  double t = 1.0;
+  double disorder = 0.0;  ///< W: disorder strength
+  std::uint64_t seed = 42;
+  bool periodic = true;
+
+  [[nodiscard]] global_index dimension() const {
+    return static_cast<global_index>(nx) * ny * nz;
+  }
+};
+
+[[nodiscard]] sparse::CrsMatrix build_anderson_hamiltonian(
+    const AndersonParams& p);
+
+/// Exact eigenvalues of the clean (W = 0), fully periodic model:
+/// E(k) = -2t (cos kx + cos ky + cos kz).  Sorted ascending.
+[[nodiscard]] std::vector<double> exact_anderson_spectrum_clean(
+    const AndersonParams& p);
+
+}  // namespace kpm::physics

@@ -1,0 +1,225 @@
+#include "physics/dense_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::physics {
+
+namespace {
+
+/// Cyclic Jacobi; if `vectors` is non-null it accumulates the rotations
+/// (columns become the eigenvectors, initialised to identity here).
+std::vector<double> jacobi_symmetric(std::vector<double> a, int n, double tol,
+                                     int max_sweeps,
+                                     std::vector<double>* vectors) {
+  require(n >= 0 && a.size() == static_cast<std::size_t>(n) * n,
+          "eigenvalues_symmetric: bad dimensions");
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(i) * n + j];
+  };
+  if (vectors != nullptr) {
+    vectors->assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) (*vectors)[static_cast<std::size_t>(i) * n + i] = 1.0;
+  }
+  // Symmetrize (the upper triangle is authoritative).
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) at(j, i) = at(i, j);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+    if (std::sqrt(off) <= tol * (1.0 + std::sqrt(off))) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p, q.
+        for (int k = 0; k < n; ++k) {
+          const double akp = at(k, p);
+          const double akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = at(p, k);
+          const double aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+        if (vectors != nullptr) {
+          // Accumulate: V <- V * G(p, q, theta).
+          for (int k = 0; k < n; ++k) {
+            double& vkp = (*vectors)[static_cast<std::size_t>(k) * n + p];
+            double& vkq = (*vectors)[static_cast<std::size_t>(k) * n + q];
+            const double a0 = vkp;
+            const double b0 = vkq;
+            vkp = c * a0 - s * b0;
+            vkq = s * a0 + c * b0;
+          }
+        }
+      }
+    }
+  }
+  std::vector<double> evals(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) evals[static_cast<std::size_t>(i)] = at(i, i);
+  if (vectors == nullptr) std::sort(evals.begin(), evals.end());
+  return evals;  // unsorted when vectors are requested (caller sorts both)
+}
+
+}  // namespace
+
+std::vector<double> eigenvalues_symmetric(std::vector<double> a, int n,
+                                          double tol, int max_sweeps) {
+  return jacobi_symmetric(std::move(a), n, tol, max_sweeps, nullptr);
+}
+
+SymmetricEigenSystem eigensystem_symmetric(std::vector<double> a, int n,
+                                           double tol, int max_sweeps) {
+  std::vector<double> vectors;
+  const auto evals =
+      jacobi_symmetric(std::move(a), n, tol, max_sweeps, &vectors);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return evals[static_cast<std::size_t>(x)] <
+           evals[static_cast<std::size_t>(y)];
+  });
+  SymmetricEigenSystem out;
+  out.n = n;
+  out.eigenvalues.reserve(static_cast<std::size_t>(n));
+  out.eigenvectors.resize(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    const int col = order[static_cast<std::size_t>(j)];
+    out.eigenvalues.push_back(evals[static_cast<std::size_t>(col)]);
+    for (int i = 0; i < n; ++i) {
+      out.eigenvectors[static_cast<std::size_t>(j) * n + i] =
+          vectors[static_cast<std::size_t>(i) * n + col];
+    }
+  }
+  return out;
+}
+
+std::vector<double> eigenvalues_hermitian(const std::vector<complex_t>& a,
+                                          int n, double tol, int max_sweeps) {
+  require(n >= 0 && a.size() == static_cast<std::size_t>(n) * n,
+          "eigenvalues_hermitian: bad dimensions");
+  // Real-symmetric embedding: B = [[Re(A), -Im(A)], [Im(A), Re(A)]].
+  const int m = 2 * n;
+  std::vector<double> b(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const complex_t z = a[static_cast<std::size_t>(i) * n + j];
+      b[static_cast<std::size_t>(i) * m + j] = z.real();
+      b[static_cast<std::size_t>(i) * m + (j + n)] = -z.imag();
+      b[static_cast<std::size_t>(i + n) * m + j] = z.imag();
+      b[static_cast<std::size_t>(i + n) * m + (j + n)] = z.real();
+    }
+  }
+  std::vector<double> doubled = eigenvalues_symmetric(std::move(b), m, tol,
+                                                      max_sweeps);
+  // Every eigenvalue of A appears twice in the embedding.
+  std::vector<double> evals(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) evals[static_cast<std::size_t>(i)] =
+      0.5 * (doubled[2 * static_cast<std::size_t>(i)] +
+             doubled[2 * static_cast<std::size_t>(i) + 1]);
+  return evals;
+}
+
+std::vector<complex_t> to_dense(const sparse::CrsMatrix& a) {
+  const auto n = static_cast<std::size_t>(a.nrows());
+  require(n <= 4096, "to_dense: matrix too large for densification");
+  std::vector<complex_t> dense(n * static_cast<std::size_t>(a.ncols()));
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(a.ncols()) +
+            static_cast<std::size_t>(cols[k])] = vals[k];
+    }
+  }
+  return dense;
+}
+
+std::vector<double> sparse_eigenvalues(const sparse::CrsMatrix& a) {
+  require(a.nrows() == a.ncols(), "sparse_eigenvalues: square matrix required");
+  return eigenvalues_hermitian(to_dense(a), static_cast<int>(a.nrows()));
+}
+
+EigenSystem eigensystem_hermitian(const std::vector<complex_t>& a, int n,
+                                  double tol, int max_sweeps) {
+  require(n >= 0 && a.size() == static_cast<std::size_t>(n) * n,
+          "eigensystem_hermitian: bad dimensions");
+  const int m = 2 * n;
+  std::vector<double> b(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const complex_t z = a[static_cast<std::size_t>(i) * n + j];
+      b[static_cast<std::size_t>(i) * m + j] = z.real();
+      b[static_cast<std::size_t>(i) * m + (j + n)] = -z.imag();
+      b[static_cast<std::size_t>(i + n) * m + j] = z.imag();
+      b[static_cast<std::size_t>(i + n) * m + (j + n)] = z.real();
+    }
+  }
+  std::vector<double> vectors;
+  const auto evals =
+      jacobi_symmetric(std::move(b), m, tol, max_sweeps, &vectors);
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return evals[static_cast<std::size_t>(x)] < evals[static_cast<std::size_t>(y)];
+  });
+
+  // Every complex eigenvector appears twice in the embedding (u and iu);
+  // Gram-Schmidt against the accepted set keeps one representative per
+  // complex dimension, including inside degenerate eigenspaces.
+  EigenSystem out;
+  out.n = n;
+  out.eigenvalues.reserve(static_cast<std::size_t>(n));
+  out.eigenvectors.reserve(static_cast<std::size_t>(n) * n);
+  std::vector<complex_t> candidate(static_cast<std::size_t>(n));
+  for (const int col : order) {
+    if (static_cast<int>(out.eigenvalues.size()) == n) break;
+    for (int i = 0; i < n; ++i) {
+      candidate[static_cast<std::size_t>(i)] = {
+          vectors[static_cast<std::size_t>(i) * m + col],
+          vectors[static_cast<std::size_t>(i + n) * m + col]};
+    }
+    // Project out all accepted vectors (cheap at validation sizes).
+    for (std::size_t j = 0; j < out.eigenvalues.size(); ++j) {
+      const complex_t* v = out.eigenvectors.data() + j * static_cast<std::size_t>(n);
+      complex_t overlap{};
+      for (int i = 0; i < n; ++i) {
+        overlap += std::conj(v[i]) * candidate[static_cast<std::size_t>(i)];
+      }
+      for (int i = 0; i < n; ++i) {
+        candidate[static_cast<std::size_t>(i)] -= overlap * v[i];
+      }
+    }
+    double norm2 = 0.0;
+    for (const auto& z : candidate) norm2 += std::norm(z);
+    if (norm2 < 1e-12) continue;  // the iu partner of an accepted vector
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& z : candidate) z *= inv;
+    out.eigenvalues.push_back(evals[static_cast<std::size_t>(col)]);
+    out.eigenvectors.insert(out.eigenvectors.end(), candidate.begin(),
+                            candidate.end());
+  }
+  require(static_cast<int>(out.eigenvalues.size()) == n,
+          "eigensystem_hermitian: failed to extract a complete basis");
+  return out;
+}
+
+EigenSystem sparse_eigensystem(const sparse::CrsMatrix& a) {
+  require(a.nrows() == a.ncols(), "sparse_eigensystem: square matrix required");
+  return eigensystem_hermitian(to_dense(a), static_cast<int>(a.nrows()));
+}
+
+}  // namespace kpm::physics

@@ -1,0 +1,67 @@
+// Dense eigensolvers for validation.
+//
+// Used only in tests and small examples to compare KPM spectral estimates
+// against exact eigenvalues; the solvers are plain cyclic Jacobi — O(n^3)
+// per sweep, adequate for n up to a few hundred.
+#pragma once
+
+#include <vector>
+
+#include "sparse/crs.hpp"
+#include "util/types.hpp"
+
+namespace kpm::physics {
+
+/// Eigenvalues of a real symmetric n x n matrix (row-major, upper triangle
+/// authoritative), sorted ascending.  Cyclic Jacobi.
+[[nodiscard]] std::vector<double> eigenvalues_symmetric(
+    std::vector<double> a, int n, double tol = 1e-12, int max_sweeps = 60);
+
+/// Eigenvalues of a complex Hermitian n x n matrix (row-major), sorted
+/// ascending.  Solved through the 2n x 2n real-symmetric embedding
+/// [[Re, -Im], [Im, Re]], whose spectrum is the complex spectrum doubled.
+[[nodiscard]] std::vector<double> eigenvalues_hermitian(
+    const std::vector<complex_t>& a, int n, double tol = 1e-12,
+    int max_sweeps = 60);
+
+/// Full real-symmetric eigensystem (sorted ascending; vectors[j*n + i] is
+/// component i of eigenvector j).
+struct SymmetricEigenSystem {
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;
+  int n = 0;
+};
+
+[[nodiscard]] SymmetricEigenSystem eigensystem_symmetric(
+    std::vector<double> a, int n, double tol = 1e-12, int max_sweeps = 60);
+
+/// Densifies a sparse matrix (row-major) — for validation-sized problems.
+[[nodiscard]] std::vector<complex_t> to_dense(const sparse::CrsMatrix& a);
+
+/// Exact eigenvalues of a (small) sparse Hermitian matrix.
+[[nodiscard]] std::vector<double> sparse_eigenvalues(const sparse::CrsMatrix& a);
+
+/// Full eigensystem of a complex Hermitian matrix.
+struct EigenSystem {
+  std::vector<double> eigenvalues;        ///< sorted ascending
+  /// Orthonormal eigenvectors, column j in vectors[j*n .. j*n+n).
+  std::vector<complex_t> eigenvectors;
+  int n = 0;
+
+  [[nodiscard]] std::span<const complex_t> vector(int j) const {
+    return {eigenvectors.data() + static_cast<std::size_t>(j) * n,
+            static_cast<std::size_t>(n)};
+  }
+};
+
+/// Eigenvalues *and* eigenvectors via cyclic Jacobi on the real-symmetric
+/// embedding; the doubled embedding eigenvectors are reduced to an
+/// orthonormal complex set (validation workloads only, O(n^3) per sweep).
+[[nodiscard]] EigenSystem eigensystem_hermitian(
+    const std::vector<complex_t>& a, int n, double tol = 1e-12,
+    int max_sweeps = 60);
+
+/// Convenience: eigensystem of a small sparse Hermitian matrix.
+[[nodiscard]] EigenSystem sparse_eigensystem(const sparse::CrsMatrix& a);
+
+}  // namespace kpm::physics

@@ -1,0 +1,119 @@
+#include "physics/dirac.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::physics {
+namespace {
+
+constexpr complex_t c0{0.0, 0.0};
+constexpr complex_t c1{1.0, 0.0};
+constexpr complex_t ci{0.0, 1.0};
+
+Mat4 make_gamma(int a) {
+  Mat4 g{};
+  switch (a) {
+    case 0:  // identity
+      for (int i = 0; i < 4; ++i) g[i][i] = c1;
+      break;
+    case 1:  // tau_z (x) I2 = diag(1, 1, -1, -1)
+      g[0][0] = c1;
+      g[1][1] = c1;
+      g[2][2] = -c1;
+      g[3][3] = -c1;
+      break;
+    case 2:  // tau_x (x) sigma_x
+      g[0][3] = c1;
+      g[1][2] = c1;
+      g[2][1] = c1;
+      g[3][0] = c1;
+      break;
+    case 3:  // tau_x (x) sigma_y
+      g[0][3] = -ci;
+      g[1][2] = ci;
+      g[2][1] = -ci;
+      g[3][0] = ci;
+      break;
+    case 4:  // tau_x (x) sigma_z
+      g[0][2] = c1;
+      g[1][3] = -c1;
+      g[2][0] = c1;
+      g[3][1] = -c1;
+      break;
+    default:
+      require(false, "gamma index must be in {0..4}");
+  }
+  return g;
+}
+
+}  // namespace
+
+const Mat4& gamma(int a) {
+  require(a >= 0 && a <= 4, "gamma index must be in {0..4}");
+  static const std::array<Mat4, 5> cache = {
+      make_gamma(0), make_gamma(1), make_gamma(2), make_gamma(3),
+      make_gamma(4)};
+  return cache[static_cast<std::size_t>(a)];
+}
+
+Mat4 add(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) out[i][j] = a[i][j] + b[i][j];
+  return out;
+}
+
+Mat4 scale(complex_t s, const Mat4& a) {
+  Mat4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) out[i][j] = s * a[i][j];
+  return out;
+}
+
+Mat4 multiply(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      complex_t acc = c0;
+      for (int k = 0; k < 4; ++k) acc += a[i][k] * b[k][j];
+      out[i][j] = acc;
+    }
+  }
+  return out;
+}
+
+Mat4 adjoint(const Mat4& a) {
+  Mat4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) out[i][j] = std::conj(a[j][i]);
+  return out;
+}
+
+Mat4 anticommutator(const Mat4& a, const Mat4& b) {
+  return add(multiply(a, b), multiply(b, a));
+}
+
+bool approx_equal(const Mat4& a, const Mat4& b, double tol) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (std::abs(a[i][j] - b[i][j]) > tol) return false;
+  return true;
+}
+
+Mat4 identity4() { return gamma(0); }
+Mat4 zero4() { return Mat4{}; }
+
+Mat4 hopping_block(int j, double t) {
+  require(j >= 1 && j <= 3, "hopping direction must be 1, 2 or 3");
+  // T_j = -t (Gamma1 - i Gamma_{j+1}) / 2
+  return scale({-t / 2.0, 0.0}, add(gamma(1), scale(-ci, gamma(j + 1))));
+}
+
+Mat4 onsite_block(double potential, double t) {
+  // V * Gamma0 + 2t * Gamma1 (the Wilson mass term scales with the hopping).
+  return add(scale({potential, 0.0}, gamma(0)),
+             scale({2.0 * t, 0.0}, gamma(1)));
+}
+
+}  // namespace kpm::physics

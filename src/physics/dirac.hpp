@@ -1,0 +1,44 @@
+// 4x4 Dirac Gamma matrices for the topological-insulator Hamiltonian (Eq. 1).
+//
+// We use the representation
+//   Gamma0 = I4,
+//   Gamma1 = tau_z (x) I2,
+//   Gamma2 = tau_x (x) sigma_x,
+//   Gamma3 = tau_x (x) sigma_y,
+//   Gamma4 = tau_x (x) sigma_z,
+// which satisfies the Clifford algebra {Gamma_a, Gamma_b} = 2 delta_ab for
+// a, b in {1..4}.  The four internal components per lattice site combine the
+// orbital (tau) and spin (sigma) degrees of freedom.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace kpm::physics {
+
+/// Dense 4x4 complex matrix, row-major.
+using Mat4 = std::array<std::array<complex_t, 4>, 4>;
+
+/// Gamma matrix for index a in {0,1,2,3,4} (0 = identity).
+[[nodiscard]] const Mat4& gamma(int a);
+
+[[nodiscard]] Mat4 add(const Mat4& a, const Mat4& b);
+[[nodiscard]] Mat4 scale(complex_t s, const Mat4& a);
+[[nodiscard]] Mat4 multiply(const Mat4& a, const Mat4& b);
+[[nodiscard]] Mat4 adjoint(const Mat4& a);
+[[nodiscard]] Mat4 anticommutator(const Mat4& a, const Mat4& b);
+[[nodiscard]] bool approx_equal(const Mat4& a, const Mat4& b,
+                                double tol = 1e-14);
+[[nodiscard]] Mat4 identity4();
+[[nodiscard]] Mat4 zero4();
+
+/// Nearest-neighbour hopping block in direction j (1=x, 2=y, 3=z):
+/// T_j = -t (Gamma1 - i Gamma_{j+1}) / 2.  H contains Psi^dag_{n+e_j} T_j
+/// Psi_n plus the Hermitian conjugate.
+[[nodiscard]] Mat4 hopping_block(int j, double t);
+
+/// On-site block V * Gamma0 + 2 t * Gamma1.
+[[nodiscard]] Mat4 onsite_block(double potential, double t);
+
+}  // namespace kpm::physics

@@ -1,0 +1,78 @@
+#include "physics/graphene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::physics {
+
+sparse::CrsMatrix build_graphene_hamiltonian(const GrapheneParams& p) {
+  require(p.ncells_x >= 1 && p.ncells_y >= 1, "graphene: extents >= 1");
+  require(!p.periodic || (p.ncells_x > 2 && p.ncells_y > 2),
+          "graphene: periodic BCs need extents > 2");
+  const global_index dim = p.dimension();
+  sparse::CooMatrix coo(dim, dim);
+
+  auto index = [&](int cx, int cy, int sub) {
+    return 2 * (static_cast<global_index>(cx) +
+                static_cast<global_index>(p.ncells_x) * cy) +
+           sub;
+  };
+  auto wrap = [&](int c, int extent, bool& valid) {
+    if (c >= 0 && c < extent) return c;
+    if (!p.periodic) {
+      valid = false;
+      return 0;
+    }
+    return (c % extent + extent) % extent;
+  };
+
+  for (int cy = 0; cy < p.ncells_y; ++cy) {
+    for (int cx = 0; cx < p.ncells_x; ++cx) {
+      for (int sub = 0; sub < 2; ++sub) {
+        if (p.potential) {
+          const double v = p.potential(cx, cy, sub);
+          if (v != 0.0) coo.add(index(cx, cy, sub), index(cx, cy, sub),
+                                {v, 0.0});
+        }
+      }
+      // Sublattice A (sub=0) couples to B (sub=1) in the same cell and the
+      // cells at (-1, 0) and (0, -1).
+      const global_index a = index(cx, cy, 0);
+      const int nb[3][2] = {{cx, cy}, {cx - 1, cy}, {cx, cy - 1}};
+      for (const auto& n : nb) {
+        bool valid = true;
+        const int bx = wrap(n[0], p.ncells_x, valid);
+        const int by = wrap(n[1], p.ncells_y, valid);
+        if (!valid) continue;
+        coo.add_hermitian_pair(a, index(bx, by, 1), {-p.t, 0.0});
+      }
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+std::vector<double> exact_graphene_spectrum_clean(const GrapheneParams& p) {
+  require(!p.potential && p.periodic, "exact spectrum: clean periodic sheet");
+  std::vector<double> evals;
+  evals.reserve(static_cast<std::size_t>(p.dimension()));
+  for (int ix = 0; ix < p.ncells_x; ++ix) {
+    for (int iy = 0; iy < p.ncells_y; ++iy) {
+      const double k1 = 2.0 * pi * ix / p.ncells_x;
+      const double k2 = 2.0 * pi * iy / p.ncells_y;
+      const std::complex<double> f =
+          1.0 + std::polar(1.0, k1) + std::polar(1.0, k2);
+      const double e = p.t * std::abs(f);
+      evals.push_back(-e);
+      evals.push_back(e);
+    }
+  }
+  std::sort(evals.begin(), evals.end());
+  return evals;
+}
+
+}  // namespace kpm::physics

@@ -1,0 +1,37 @@
+// Graphene honeycomb lattice, nearest-neighbour tight binding.
+//
+// The paper's introduction cites graphene quantum-dot superlattices
+// (Pieper et al., PRB 89, 165121) as a companion application; this builder
+// provides the honeycomb Hamiltonian with an optional dot potential so the
+// examples can exercise the KPM pipeline on a second realistic lattice.
+#pragma once
+
+#include <functional>
+
+#include "sparse/crs.hpp"
+#include "util/types.hpp"
+
+namespace kpm::physics {
+
+struct GrapheneParams {
+  int ncells_x = 32;       ///< unit cells along a1
+  int ncells_y = 32;       ///< unit cells along a2
+  double t = 1.0;          ///< hopping
+  bool periodic = true;
+  /// Optional potential evaluated at (cell_x, cell_y, sublattice in {0,1}).
+  std::function<double(int, int, int)> potential;
+
+  [[nodiscard]] global_index dimension() const {
+    return 2LL * ncells_x * ncells_y;
+  }
+};
+
+[[nodiscard]] sparse::CrsMatrix build_graphene_hamiltonian(
+    const GrapheneParams& p);
+
+/// Exact spectrum of the clean periodic sheet:
+/// E(k) = +-t |1 + e^{ik·a1} + e^{ik·a2}|.  Sorted ascending.
+[[nodiscard]] std::vector<double> exact_graphene_spectrum_clean(
+    const GrapheneParams& p);
+
+}  // namespace kpm::physics

@@ -1,0 +1,106 @@
+#include "physics/spectral_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "physics/dense_eigen.hpp"
+#include "sparse/spmv.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace kpm::physics {
+
+SpectralInterval gershgorin_bounds(const sparse::CrsMatrix& h) {
+  require(h.nrows() == h.ncols(), "gershgorin: square matrix required");
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (global_index i = 0; i < h.nrows(); ++i) {
+    const auto cols = h.row_cols(i);
+    const auto vals = h.row_values(i);
+    double center = 0.0;
+    double radius = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        // Hermitian => real diagonal.
+        center = vals[k].real();
+      } else {
+        radius += std::abs(vals[k]);
+      }
+    }
+    if (first || center - radius < lo) lo = center - radius;
+    if (first || center + radius > hi) hi = center + radius;
+    first = false;
+  }
+  return {lo, hi};
+}
+
+SpectralInterval lanczos_bounds(const sparse::CrsMatrix& h, int sweeps,
+                                std::uint64_t seed) {
+  require(h.nrows() == h.ncols(), "lanczos: square matrix required");
+  require(sweeps >= 2, "lanczos: need at least 2 sweeps");
+  const auto n = static_cast<std::size_t>(h.nrows());
+  sweeps = static_cast<int>(
+      std::min<global_index>(sweeps, h.nrows()));
+
+  aligned_vector<complex_t> q_prev(n, complex_t{});
+  aligned_vector<complex_t> q(n);
+  aligned_vector<complex_t> w(n);
+  RandomVectorSource rng(seed);
+  rng.fill(q);
+
+  std::vector<aligned_vector<complex_t>> basis;  // full reorthogonalization
+  basis.push_back(q);
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples q_j and q_{j+1}
+
+  for (int j = 0; j < sweeps; ++j) {
+    sparse::spmv(h, q, w);
+    const complex_t a = blas::dot(q, w);
+    alpha.push_back(a.real());
+    // w <- w - alpha q - beta q_prev
+    blas::axpy(-a, q, w);
+    if (j > 0) blas::axpy({-beta.back(), 0.0}, q_prev, w);
+    // Full reorthogonalization for numerical robustness at small n.
+    for (const auto& v : basis) {
+      const complex_t overlap = blas::dot(v, w);
+      blas::axpy(-overlap, v, w);
+    }
+    const double b = blas::nrm2(w);
+    if (b < 1e-13 || j == sweeps - 1) break;
+    beta.push_back(b);
+    q_prev = q;
+    for (std::size_t i = 0; i < n; ++i) q[i] = w[i] / b;
+    basis.push_back(q);
+  }
+
+  // Eigenvalues of the tridiagonal Rayleigh matrix via the dense solver.
+  const int m = static_cast<int>(alpha.size());
+  std::vector<double> tri(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    tri[static_cast<std::size_t>(i) * m + i] = alpha[static_cast<std::size_t>(i)];
+    if (i + 1 < m) {
+      tri[static_cast<std::size_t>(i) * m + i + 1] =
+          beta[static_cast<std::size_t>(i)];
+      tri[static_cast<std::size_t>(i + 1) * m + i] =
+          beta[static_cast<std::size_t>(i)];
+    }
+  }
+  const auto ritz = eigenvalues_symmetric(std::move(tri), m);
+  return {ritz.front(), ritz.back()};
+}
+
+Scaling make_scaling(const SpectralInterval& iv, double epsilon) {
+  require(iv.upper > iv.lower, "make_scaling: empty spectral interval");
+  require(epsilon > 0.0 && epsilon < 1.0, "make_scaling: epsilon in (0,1)");
+  Scaling s;
+  s.b = iv.center();
+  s.a = (1.0 - epsilon / 2.0) / iv.half_width();
+  return s;
+}
+
+}  // namespace kpm::physics

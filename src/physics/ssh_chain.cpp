@@ -1,0 +1,45 @@
+#include "physics/ssh_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::physics {
+
+sparse::CrsMatrix build_ssh_hamiltonian(const SshParams& p) {
+  require(p.ncells >= 1, "SSH: at least one unit cell");
+  require(!p.periodic || p.ncells > 2, "SSH: periodic chain needs > 2 cells");
+  const global_index dim = p.dimension();
+  sparse::CooMatrix coo(dim, dim);
+  auto a_site = [](int cell) { return 2LL * cell; };
+  auto b_site = [](int cell) { return 2LL * cell + 1; };
+  for (int cell = 0; cell < p.ncells; ++cell) {
+    coo.add_hermitian_pair(b_site(cell), a_site(cell), {p.t1, 0.0});
+    if (cell + 1 < p.ncells) {
+      coo.add_hermitian_pair(a_site(cell + 1), b_site(cell), {p.t2, 0.0});
+    } else if (p.periodic) {
+      coo.add_hermitian_pair(a_site(0), b_site(cell), {p.t2, 0.0});
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+std::vector<double> exact_ssh_spectrum_periodic(const SshParams& p) {
+  require(p.periodic, "exact SSH spectrum: periodic chain only");
+  std::vector<double> evals;
+  evals.reserve(static_cast<std::size_t>(p.dimension()));
+  for (int ik = 0; ik < p.ncells; ++ik) {
+    const double k = 2.0 * pi * ik / p.ncells;
+    const double e = std::abs(p.t1 + p.t2 * std::polar(1.0, k));
+    evals.push_back(-e);
+    evals.push_back(e);
+  }
+  std::sort(evals.begin(), evals.end());
+  return evals;
+}
+
+}  // namespace kpm::physics

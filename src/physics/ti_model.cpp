@@ -1,0 +1,114 @@
+#include "physics/ti_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/dirac.hpp"
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::physics {
+
+double DotLattice::potential(const Site& s) const {
+  if (s.z >= surface_depth) return 0.0;
+  // Distance to the nearest dot centre of the square superlattice.
+  const double cx = std::round(s.x / period) * period;
+  const double cy = std::round(s.y / period) * period;
+  const double dx = s.x - cx;
+  const double dy = s.y - cy;
+  return dx * dx + dy * dy <= radius * radius ? depth : 0.0;
+}
+
+global_index site_index(const TIParams& p, const Site& s, int orbital) {
+  return 4LL * (s.x + static_cast<global_index>(p.nx) *
+                          (s.y + static_cast<global_index>(p.ny) * s.z)) +
+         orbital;
+}
+
+sparse::CrsMatrix build_ti_hamiltonian(const TIParams& p) {
+  require(p.nx >= 1 && p.ny >= 1 && p.nz >= 1, "TI: lattice extents >= 1");
+  require(!p.periodic_x || p.nx > 2, "TI: periodic x needs Nx > 2");
+  require(!p.periodic_y || p.ny > 2, "TI: periodic y needs Ny > 2");
+  require(!p.periodic_z || p.nz > 2, "TI: periodic z needs Nz > 2");
+  const global_index dim = p.dimension();
+  sparse::CooMatrix coo(dim, dim);
+
+  const std::array<Mat4, 3> hop = {hopping_block(1, p.t), hopping_block(2, p.t),
+                                   hopping_block(3, p.t)};
+
+  auto add_block = [&](global_index row_base, global_index col_base,
+                       const Mat4& block) {
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) {
+        if (block[a][b] != complex_t{}) {
+          coo.add(row_base + a, col_base + b, block[a][b]);
+        }
+      }
+    }
+  };
+
+  for (int z = 0; z < p.nz; ++z) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        const Site s{x, y, z};
+        const global_index base = site_index(p, s, 0);
+        const double v = p.potential ? p.potential(s) : 0.0;
+        add_block(base, base, onsite_block(v, p.t));
+
+        // Hopping n -> n+e_j contributes T_j at (n+e_j, n) and T_j^dag at
+        // (n, n+e_j).
+        const std::array<Site, 3> neighbor = {
+            Site{x + 1, y, z}, Site{x, y + 1, z}, Site{x, y, z + 1}};
+        const std::array<bool, 3> periodic = {p.periodic_x, p.periodic_y,
+                                              p.periodic_z};
+        const std::array<int, 3> extent = {p.nx, p.ny, p.nz};
+        for (int j = 0; j < 3; ++j) {
+          Site nb = neighbor[j];
+          int& coord = j == 0 ? nb.x : (j == 1 ? nb.y : nb.z);
+          if (coord >= extent[j]) {
+            if (!periodic[j]) continue;
+            coord = 0;
+          }
+          const global_index nb_base = site_index(p, nb, 0);
+          add_block(nb_base, base, hop[j]);
+          add_block(base, nb_base, adjoint(hop[j]));
+        }
+      }
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+std::vector<double> exact_ti_spectrum_periodic(const TIParams& p) {
+  require(p.periodic_x && p.periodic_y && p.periodic_z && !p.potential,
+          "exact spectrum: fully periodic, potential-free case only");
+  // H(k) = Gamma1 (2t - t sum_j cos k_j) + t sum_j Gamma_{j+1} sin k_j
+  // => E(k) = +- sqrt( (2t - t sum cos)^2 + t^2 sum sin^2 ), each twice.
+  std::vector<double> evals;
+  evals.reserve(static_cast<std::size_t>(p.dimension()));
+  for (int ix = 0; ix < p.nx; ++ix) {
+    for (int iy = 0; iy < p.ny; ++iy) {
+      for (int iz = 0; iz < p.nz; ++iz) {
+        const double kx = 2.0 * pi * ix / p.nx;
+        const double ky = 2.0 * pi * iy / p.ny;
+        const double kz = 2.0 * pi * iz / p.nz;
+        const double mass =
+            2.0 * p.t - p.t * (std::cos(kx) + std::cos(ky) + std::cos(kz));
+        const double kin2 =
+            p.t * p.t * (std::sin(kx) * std::sin(kx) +
+                         std::sin(ky) * std::sin(ky) +
+                         std::sin(kz) * std::sin(kz));
+        const double e = std::sqrt(mass * mass + kin2);
+        evals.push_back(-e);
+        evals.push_back(-e);
+        evals.push_back(e);
+        evals.push_back(e);
+      }
+    }
+  }
+  std::sort(evals.begin(), evals.end());
+  return evals;
+}
+
+}  // namespace kpm::physics

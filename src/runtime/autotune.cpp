@@ -1,0 +1,92 @@
+#include "runtime/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/dist_matrix.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace kpm::runtime {
+namespace {
+
+/// One timed probe: sweeps of the fused block kernel on this rank's
+/// partition, returning seconds per sweep.
+double probe_seconds(Communicator& comm, const sparse::CrsMatrix& global,
+                     const RowPartition& part, const AutoTuneParams& p) {
+  DistributedMatrix dist(comm, global, part);
+  blas::BlockVector v(dist.extended_rows(), p.block_width);
+  blas::BlockVector w(dist.extended_rows(), p.block_width);
+  for (global_index i = 0; i < dist.local_rows(); ++i) {
+    for (int r = 0; r < p.block_width; ++r) {
+      v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.5};
+    }
+  }
+  std::vector<complex_t> dvv(static_cast<std::size_t>(p.block_width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(p.block_width));
+  const auto rec = sparse::AugScalars::recurrence(0.25, 0.0);
+  // Warm-up (also fills the halo once so the timed sweeps are pure kernel).
+  dist.exchange_halo(comm, v);
+  sparse::aug_spmmv(dist.local(), rec, v, w, dvv, dwv);
+
+  Timer t;
+  t.start();
+  for (int sweep = 0; sweep < p.sweeps_per_probe; ++sweep) {
+    sparse::aug_spmmv(dist.local(), rec, v, w, dvv, dwv);
+  }
+  t.stop();
+  // Optional simulated slower device (testing heterogeneity without one).
+  const double slowdown =
+      static_cast<std::size_t>(comm.rank()) < p.slowdown.size()
+          ? p.slowdown[static_cast<std::size_t>(comm.rank())]
+          : 1.0;
+  return slowdown * t.seconds() / p.sweeps_per_probe;
+}
+
+}  // namespace
+
+AutoTuneResult auto_tune_weights(Communicator& comm,
+                                 const sparse::CrsMatrix& global,
+                                 const AutoTuneParams& p) {
+  require(p.block_width >= 1 && p.sweeps_per_probe >= 1 &&
+              p.max_iterations >= 1,
+          "auto_tune_weights: invalid parameters");
+  const int size = comm.size();
+  AutoTuneResult out;
+  out.weights.assign(static_cast<std::size_t>(size), 1.0 / size);
+  out.partition = RowPartition::weighted(global.nrows(), out.weights);
+
+  for (int iter = 0; iter < p.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    const double mine = probe_seconds(comm, global, out.partition, p);
+    // Gather every rank's probe time via one allreduce of a one-hot vector.
+    std::vector<double> times(static_cast<std::size_t>(size), 0.0);
+    times[static_cast<std::size_t>(comm.rank())] = mine;
+    comm.allreduce_sum(times);
+
+    const double worst = *std::max_element(times.begin(), times.end());
+    const double best = *std::min_element(times.begin(), times.end());
+    out.imbalance = worst > 0.0 ? (worst - best) / worst : 0.0;
+    if (out.imbalance < p.imbalance_tolerance) break;
+
+    // Device speed = rows per second; new weights proportional to speed.
+    double total = 0.0;
+    for (int r = 0; r < size; ++r) {
+      const double rows =
+          static_cast<double>(out.partition.local_rows(r));
+      const double t = std::max(times[static_cast<std::size_t>(r)], 1e-9);
+      out.weights[static_cast<std::size_t>(r)] = rows / t;
+      total += out.weights[static_cast<std::size_t>(r)];
+    }
+    for (auto& w : out.weights) w = std::max(w / total, 1e-3);
+    out.partition = RowPartition::weighted(global.nrows(), out.weights);
+  }
+  // Normalize for reporting.
+  double total = 0.0;
+  for (const double w : out.weights) total += w;
+  for (auto& w : out.weights) w /= total;
+  return out;
+}
+
+}  // namespace kpm::runtime

@@ -1,0 +1,44 @@
+// Automatic determination of heterogeneous process weights — the paper's
+// first outlook item ("determine the process weights for heterogeneous
+// execution automatically and take this burden away from the user").
+//
+// Strategy: start from equal (or user-provided) weights, run a few timed
+// sweeps of the fused block kernel on each rank's partition, and rebalance
+//   w_r  <-  local_rows_r / time_r   (rows per second = device speed)
+// until the measured per-rank times agree within a tolerance.  Convergence
+// is geometric because the kernel cost is linear in the row count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+#include "sparse/crs.hpp"
+
+namespace kpm::runtime {
+
+struct AutoTuneParams {
+  int block_width = 8;        ///< R used for the probe sweeps
+  int sweeps_per_probe = 2;   ///< timed kernel sweeps per iteration
+  int max_iterations = 8;
+  double imbalance_tolerance = 0.05;  ///< stop when (max-min)/max < tol
+  /// Artificial per-rank slowdown factors (testing / simulating slower
+  /// devices); empty = none.
+  std::vector<double> slowdown;
+};
+
+struct AutoTuneResult {
+  std::vector<double> weights;       ///< normalized to sum 1
+  RowPartition partition;            ///< partition built from the weights
+  double imbalance = 0.0;            ///< final (max-min)/max of probe times
+  int iterations = 0;
+};
+
+/// Collective: measures the per-rank kernel speed on `global` and returns
+/// balanced weights.  Deterministic across ranks (times are allreduced).
+[[nodiscard]] AutoTuneResult auto_tune_weights(Communicator& comm,
+                                               const sparse::CrsMatrix& global,
+                                               const AutoTuneParams& p = {});
+
+}  // namespace kpm::runtime

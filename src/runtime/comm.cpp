@@ -1,0 +1,197 @@
+#include "runtime/comm.hpp"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace kpm::runtime {
+
+MessageHub::MessageHub(int size) : size_(size), boxes_(size) {
+  require(size >= 1, "MessageHub: need at least one rank");
+}
+
+void MessageHub::send(int src, int dst, int tag,
+                      std::vector<std::byte> payload) {
+  require(dst >= 0 && dst < size_, "send: destination out of range");
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.m);
+    bytes_sent_ += static_cast<std::int64_t>(payload.size());
+    box.queue.push_back({src, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> MessageHub::recv(int dst, int src, int tag) {
+  require(dst >= 0 && dst < size_, "recv: rank out of range");
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.m);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        std::vector<std::byte> payload = std::move(it->payload);
+        box.queue.erase(it);
+        return payload;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void MessageHub::barrier() {
+  std::unique_lock lock(sync_m_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    sync_cv_.notify_all();
+  } else {
+    sync_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+void MessageHub::allreduce_sum(int rank, std::span<double> data) {
+  (void)rank;
+  std::unique_lock lock(sync_m_);
+  // Phase 0: wait until every reader of the previous reduction has left, so
+  // a fast rank re-entering cannot corrupt a buffer still being read.
+  sync_cv_.wait(lock, [&] { return readers_remaining_ == 0; });
+  // Phase 1: accumulate.
+  if (reduce_count_ == 0) {
+    reduce_buffer_.assign(data.begin(), data.end());
+  } else {
+    require(reduce_buffer_.size() == data.size(),
+            "allreduce: mismatched lengths across ranks");
+    for (std::size_t i = 0; i < data.size(); ++i) reduce_buffer_[i] += data[i];
+  }
+  const std::uint64_t gen = reduce_generation_;
+  if (++reduce_count_ == size_) {
+    reduce_count_ = 0;
+    readers_remaining_ = size_;
+    ++reductions_done_;
+    ++reduce_generation_;
+    sync_cv_.notify_all();
+  } else {
+    sync_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  }
+  // Phase 2: read the total back and drain.
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = reduce_buffer_[i];
+  if (--readers_remaining_ == 0) {
+    reduce_buffer_.clear();
+    sync_cv_.notify_all();
+  }
+}
+
+std::int64_t MessageHub::reduction_count() const noexcept {
+  return reductions_done_;
+}
+
+std::int64_t MessageHub::bytes_sent() const noexcept { return bytes_sent_; }
+
+namespace {
+
+template <class T>
+std::vector<std::byte> pack(std::span<const T> data) {
+  std::vector<std::byte> bytes(data.size_bytes());
+  std::memcpy(bytes.data(), data.data(), data.size_bytes());
+  return bytes;
+}
+
+}  // namespace
+
+void Communicator::send_bytes(int dst, int tag,
+                              std::span<const std::byte> data) {
+  hub_->send(rank_, dst, tag, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {
+  return hub_->recv(rank_, src, tag);
+}
+
+void Communicator::send(int dst, int tag, std::span<const complex_t> data) {
+  hub_->send(rank_, dst, tag, pack(data));
+}
+
+void Communicator::recv(int src, int tag, std::span<complex_t> out) {
+  const auto bytes = hub_->recv(rank_, src, tag);
+  require(bytes.size() == out.size_bytes(), "recv: unexpected message size");
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+}
+
+void Communicator::send(int dst, int tag, std::span<const global_index> data) {
+  hub_->send(rank_, dst, tag, pack(data));
+}
+
+std::vector<global_index> Communicator::recv_indices(int src, int tag) {
+  const auto bytes = hub_->recv(rank_, src, tag);
+  require(bytes.size() % sizeof(global_index) == 0,
+          "recv_indices: unexpected message size");
+  std::vector<global_index> out(bytes.size() / sizeof(global_index));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+void Communicator::allreduce_sum(std::span<complex_t> data) {
+  // complex_t is two contiguous doubles.
+  hub_->allreduce_sum(
+      rank_, std::span<double>(reinterpret_cast<double*>(data.data()),
+                               data.size() * 2));
+}
+
+void Communicator::broadcast(int root, std::span<complex_t> data) {
+  require(root >= 0 && root < size(), "broadcast: root out of range");
+  constexpr int tag_bcast = -100;
+  if (rank_ == root) {
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer != root) send(peer, tag_bcast, data);
+    }
+  } else {
+    recv(root, tag_bcast, data);
+  }
+}
+
+void Communicator::allgather(std::span<complex_t> data) {
+  const int p = size();
+  require(p > 0 && data.size() % static_cast<std::size_t>(p) == 0,
+          "allgather: data size must be a multiple of the rank count");
+  const std::size_t chunk = data.size() / static_cast<std::size_t>(p);
+  constexpr int tag_gather = -101;
+  const auto mine = data.subspan(static_cast<std::size_t>(rank_) * chunk, chunk);
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer != rank_) {
+      send(peer, tag_gather, std::span<const complex_t>(mine));
+    }
+  }
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer != rank_) {
+      recv(peer, tag_gather,
+           data.subspan(static_cast<std::size_t>(peer) * chunk, chunk));
+    }
+  }
+}
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+  require(nranks >= 1, "run_ranks: need at least one rank");
+  MessageHub hub(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(hub, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace kpm::runtime

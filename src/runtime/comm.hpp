@@ -1,0 +1,115 @@
+// In-process message-passing runtime ("mini-MPI").
+//
+// The paper's heterogeneous execution uses MPI with one process per device
+// (Sec. VI-A).  This runtime reproduces the message-passing structure —
+// point-to-point sends/receives with tag matching, barriers and reductions —
+// with ranks as threads of one process, so the distributed algorithms in
+// src/runtime are *executed*, not modelled.  The communication pattern
+// (who sends what to whom, how many global reductions) is identical to an
+// MPI deployment; only the transport differs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace kpm::runtime {
+
+/// Shared state behind all communicators of one run (transport + barriers
+/// + reduction scratch).  Created by run_ranks().
+class MessageHub {
+ public:
+  explicit MessageHub(int size);
+
+  void send(int src, int dst, int tag, std::vector<std::byte> payload);
+  /// Blocks until a message with matching (src, tag) arrives at `dst`.
+  [[nodiscard]] std::vector<std::byte> recv(int dst, int src, int tag);
+
+  void barrier();
+  /// Element-wise sum across ranks; every rank passes its contribution and
+  /// receives the total.  Internally one synchronizing reduction event.
+  void allreduce_sum(int rank, std::span<double> data);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  /// Number of allreduce events completed (Table III accounting).
+  [[nodiscard]] std::int64_t reduction_count() const noexcept;
+  /// Total payload bytes moved through point-to-point messages.
+  [[nodiscard]] std::int64_t bytes_sent() const noexcept;
+
+ private:
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int size_;
+  std::vector<Mailbox> boxes_;
+
+  std::mutex sync_m_;
+  std::condition_variable sync_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::vector<double> reduce_buffer_;
+  int reduce_count_ = 0;
+  int readers_remaining_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  std::int64_t reductions_done_ = 0;
+  std::atomic<std::int64_t> bytes_sent_{0};
+};
+
+/// Per-rank handle (the MPI_Comm analogue).
+class Communicator {
+ public:
+  Communicator(MessageHub& hub, int rank) : hub_(&hub), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return hub_->size(); }
+
+  void send_bytes(int dst, int tag, std::span<const std::byte> data);
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Typed convenience wrappers.
+  void send(int dst, int tag, std::span<const complex_t> data);
+  void recv(int src, int tag, std::span<complex_t> out);
+  void send(int dst, int tag, std::span<const global_index> data);
+  [[nodiscard]] std::vector<global_index> recv_indices(int src, int tag);
+
+  void barrier() { hub_->barrier(); }
+  void allreduce_sum(std::span<double> data) {
+    hub_->allreduce_sum(rank_, data);
+  }
+  void allreduce_sum(std::span<complex_t> data);
+
+  /// Broadcast from `root`: every rank leaves with root's `data` contents.
+  void broadcast(int root, std::span<complex_t> data);
+  /// Allgather: rank r contributes data[r*chunk .. (r+1)*chunk); afterwards
+  /// every rank holds all contributions.  `data.size()` must be
+  /// size() * chunk with chunk = data.size() / size().
+  void allgather(std::span<complex_t> data);
+
+  [[nodiscard]] MessageHub& hub() noexcept { return *hub_; }
+
+ private:
+  MessageHub* hub_;
+  int rank_;
+};
+
+/// Spawns `nranks` threads, each running `body` with its own Communicator,
+/// and joins them.  Exceptions in any rank are re-thrown after the join.
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body);
+
+}  // namespace kpm::runtime

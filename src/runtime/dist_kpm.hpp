@@ -1,0 +1,36 @@
+// Distributed blocked KPM-DOS solver (the paper's production configuration:
+// data-parallel aug_spmmv over weighted row blocks with halo exchange and a
+// single global reduction at the end of the inner loop).
+#pragma once
+
+#include "core/moments.hpp"
+#include "runtime/dist_matrix.hpp"
+
+namespace kpm::runtime {
+
+struct DistMomentsResult {
+  std::vector<double> mu;  ///< identical on every rank after the reduction
+  core::OpCounters ops;    ///< this rank's counters
+  std::int64_t halo_bytes_sent = 0;  ///< this rank's halo payload total
+};
+
+/// Collective: computes the blocked KPM moments of the distributed operator.
+/// Every rank draws the same random start vectors (same seed stream as the
+/// serial solver) and keeps its own rows, so the result matches
+/// core::moments_aug_spmmv on the undistributed matrix up to reduction
+/// round-off.
+[[nodiscard]] DistMomentsResult distributed_moments(
+    Communicator& comm, const DistributedMatrix& dist,
+    const physics::Scaling& s, const core::MomentParams& p);
+
+/// Overlapped variant: every Chebyshev step posts its halo sends, processes
+/// the interior rows (which reference no halo column) while the messages
+/// are in flight, then receives and finishes the boundary rows — the
+/// communication/computation overlap the paper's outlook proposes.
+/// Bit-compatible dot products are NOT guaranteed (summation order differs),
+/// but moments agree to reduction round-off.
+[[nodiscard]] DistMomentsResult distributed_moments_overlapped(
+    Communicator& comm, const DistributedMatrix& dist,
+    const physics::Scaling& s, const core::MomentParams& p);
+
+}  // namespace kpm::runtime

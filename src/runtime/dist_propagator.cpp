@@ -1,0 +1,53 @@
+#include "runtime/dist_propagator.hpp"
+
+#include "blas/block_ops.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "util/check.hpp"
+
+namespace kpm::runtime {
+
+void distributed_propagate(Communicator& comm, const DistributedMatrix& dist,
+                           const physics::Scaling& s,
+                           const core::PropagatorParams& p,
+                           const blas::BlockVector& in,
+                           blas::BlockVector& out) {
+  const global_index nlocal = dist.local_rows();
+  require(in.rows() == nlocal && out.rows() == nlocal &&
+              in.width() == out.width(),
+          "distributed_propagate: local block shape mismatch");
+  const int width = in.width();
+  const double z = p.time / s.a;
+  const int order = p.order > 0 ? p.order : core::required_order(z, p.tolerance);
+  const auto c = core::chebyshev_time_coefficients(z, order);
+  const complex_t phase = std::polar(1.0, -s.b * p.time);
+
+  // Halo-extended ping-pong blocks; accumulation happens on owned rows only.
+  blas::BlockVector v(dist.extended_rows(), width);
+  blas::BlockVector w(dist.extended_rows(), width);
+  for (global_index i = 0; i < nlocal; ++i) {
+    for (int r = 0; r < width; ++r) v(i, r) = in(i, r);
+  }
+  auto accumulate = [&](const blas::BlockVector& term, complex_t coeff) {
+    for (global_index i = 0; i < nlocal; ++i) {
+      for (int r = 0; r < width; ++r) out(i, r) += coeff * term(i, r);
+    }
+  };
+  out.fill({0.0, 0.0});
+  accumulate(v, c[0]);
+  if (order > 1) {
+    dist.exchange_halo(comm, v);
+    sparse::aug_spmmv(dist.local(), sparse::AugScalars::startup(s.a, s.b), v,
+                      w, {}, {});
+    accumulate(w, c[1]);
+    const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
+    for (int m = 2; m < order; ++m) {
+      std::swap(v, w);
+      dist.exchange_halo(comm, v);
+      sparse::aug_spmmv(dist.local(), rec, v, w, {}, {});
+      accumulate(w, c[static_cast<std::size_t>(m)]);
+    }
+  }
+  blas::block_scal(phase, out);
+}
+
+}  // namespace kpm::runtime

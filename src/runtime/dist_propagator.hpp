@@ -1,0 +1,21 @@
+// Distributed Chebyshev time propagation: the block propagator of
+// src/core/propagator.hpp over a weighted row partition with per-order halo
+// exchanges — the "other blocked sparse algorithms" of the paper's outlook,
+// running on the same distributed fused-kernel machinery as the KPM solver.
+#pragma once
+
+#include "core/propagator.hpp"
+#include "runtime/dist_matrix.hpp"
+
+namespace kpm::runtime {
+
+/// Collective: |out> = e^{-iHt} |in> on the locally owned rows.  `in` and
+/// `out` hold the owned rows only (local_rows() x width, row-major); halo
+/// storage is managed internally.
+void distributed_propagate(Communicator& comm, const DistributedMatrix& dist,
+                           const physics::Scaling& s,
+                           const core::PropagatorParams& p,
+                           const blas::BlockVector& in,
+                           blas::BlockVector& out);
+
+}  // namespace kpm::runtime

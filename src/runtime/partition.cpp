@@ -1,0 +1,61 @@
+#include "runtime/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm::runtime {
+
+RowPartition RowPartition::uniform(global_index n, int ranks) {
+  require(ranks >= 1 && n >= 0, "uniform partition: invalid arguments");
+  RowPartition p;
+  p.offsets_.resize(static_cast<std::size_t>(ranks) + 1);
+  for (int r = 0; r <= ranks; ++r) {
+    p.offsets_[static_cast<std::size_t>(r)] =
+        n * static_cast<global_index>(r) / ranks;
+  }
+  return p;
+}
+
+RowPartition RowPartition::weighted(global_index n,
+                                    std::span<const double> weights) {
+  require(!weights.empty(), "weighted partition: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w > 0.0, "weighted partition: weights must be positive");
+    total += w;
+  }
+  RowPartition p;
+  p.offsets_.resize(weights.size() + 1, 0);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < weights.size(); ++r) {
+    acc += weights[r];
+    p.offsets_[r + 1] = static_cast<global_index>(
+        std::llround(static_cast<double>(n) * acc / total));
+  }
+  p.offsets_.back() = n;  // guard against rounding drift
+  for (std::size_t r = 1; r < p.offsets_.size(); ++r) {
+    p.offsets_[r] = std::max(p.offsets_[r], p.offsets_[r - 1]);
+  }
+  return p;
+}
+
+global_index RowPartition::begin(int rank) const {
+  require(rank >= 0 && rank < ranks(), "partition: rank out of range");
+  return offsets_[static_cast<std::size_t>(rank)];
+}
+
+global_index RowPartition::end(int rank) const {
+  require(rank >= 0 && rank < ranks(), "partition: rank out of range");
+  return offsets_[static_cast<std::size_t>(rank) + 1];
+}
+
+int RowPartition::owner(global_index row) const {
+  require(row >= 0 && row < total_rows(), "partition: row out of range");
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), row);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+}  // namespace kpm::runtime

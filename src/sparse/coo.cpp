@@ -1,0 +1,66 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+
+CooMatrix::CooMatrix(global_index nrows, global_index ncols)
+    : nrows_(nrows), ncols_(ncols) {
+  require(nrows >= 0 && ncols >= 0, "CooMatrix: negative dimension");
+}
+
+void CooMatrix::add(global_index row, global_index col, complex_t value) {
+  require(row >= 0 && row < nrows_ && col >= 0 && col < ncols_,
+          "CooMatrix::add: index out of range");
+  entries_.push_back({row, col, value});
+  compressed_ = false;
+}
+
+void CooMatrix::add_hermitian_pair(global_index row, global_index col,
+                                   complex_t value) {
+  add(row, col, value);
+  if (row != col) add(col, row, std::conj(value));
+}
+
+void CooMatrix::compress(double drop_tol) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const auto& t : entries_) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  if (drop_tol > 0.0) {
+    std::erase_if(merged, [drop_tol](const Triplet& t) {
+      return std::abs(t.value) <= drop_tol;
+    });
+  }
+  entries_ = std::move(merged);
+  compressed_ = true;
+}
+
+bool CooMatrix::is_hermitian(double tol) const {
+  require(compressed_, "is_hermitian: call compress() first");
+  if (nrows_ != ncols_) return false;
+  std::map<std::pair<global_index, global_index>, complex_t> lookup;
+  for (const auto& t : entries_) lookup[{t.row, t.col}] = t.value;
+  for (const auto& t : entries_) {
+    const auto it = lookup.find({t.col, t.row});
+    const complex_t transposed = it == lookup.end() ? complex_t{} : it->second;
+    if (std::abs(t.value - std::conj(transposed)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace kpm::sparse

@@ -1,0 +1,50 @@
+// Coordinate-format assembly buffer.
+//
+// Matrix generators (src/physics) emit (row, col, value) triplets; the
+// builder sorts them, merges duplicates, drops explicit zeros and converts
+// to CRS / SELL-C-sigma.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+struct Triplet {
+  global_index row;
+  global_index col;
+  complex_t value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix(global_index nrows, global_index ncols);
+
+  void add(global_index row, global_index col, complex_t value);
+  /// add(row, col, v) and add(col, row, conj(v)) in one call.
+  void add_hermitian_pair(global_index row, global_index col, complex_t value);
+
+  /// Sorts by (row, col), merges duplicate coordinates by summation and
+  /// removes entries whose merged magnitude is below `drop_tol`.
+  void compress(double drop_tol = 0.0);
+
+  [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] global_index ncols() const noexcept { return ncols_; }
+  [[nodiscard]] const std::vector<Triplet>& triplets() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+
+  /// True if compress() has been called and the matrix equals its conjugate
+  /// transpose within `tol`.
+  [[nodiscard]] bool is_hermitian(double tol = 1e-12) const;
+
+ private:
+  global_index nrows_;
+  global_index ncols_;
+  std::vector<Triplet> entries_;
+  bool compressed_ = false;
+};
+
+}  // namespace kpm::sparse

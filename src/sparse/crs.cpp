@@ -1,0 +1,64 @@
+#include "sparse/crs.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+
+CrsMatrix::CrsMatrix(const CooMatrix& coo)
+    : nrows_(coo.nrows()), ncols_(coo.ncols()) {
+  require(coo.ncols() <= std::numeric_limits<local_index>::max(),
+          "CRS: column count exceeds local (32-bit) index range");
+  row_ptr_.assign(static_cast<std::size_t>(nrows_) + 1, 0);
+  col_idx_.reserve(coo.nnz());
+  values_.reserve(coo.nnz());
+  global_index prev_row = -1;
+  global_index prev_col = -1;
+  for (const auto& t : coo.triplets()) {
+    require(t.row > prev_row || (t.row == prev_row && t.col > prev_col),
+            "CRS: COO input must be compressed (sorted, duplicate-free)");
+    prev_row = t.row;
+    prev_col = t.col;
+    ++row_ptr_[static_cast<std::size_t>(t.row) + 1];
+    col_idx_.push_back(static_cast<local_index>(t.col));
+    values_.push_back(t.value);
+  }
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    row_ptr_[i] += row_ptr_[i - 1];
+  }
+}
+
+double CrsMatrix::avg_nnz_per_row() const noexcept {
+  return nrows_ == 0 ? 0.0
+                     : static_cast<double>(nnz()) / static_cast<double>(nrows_);
+}
+
+std::span<const local_index> CrsMatrix::row_cols(global_index i) const {
+  require(i >= 0 && i < nrows_, "row_cols: row out of range");
+  const auto begin = static_cast<std::size_t>(row_ptr_[i]);
+  const auto end = static_cast<std::size_t>(row_ptr_[i + 1]);
+  return {col_idx_.data() + begin, end - begin};
+}
+
+std::span<const complex_t> CrsMatrix::row_values(global_index i) const {
+  require(i >= 0 && i < nrows_, "row_values: row out of range");
+  const auto begin = static_cast<std::size_t>(row_ptr_[i]);
+  const auto end = static_cast<std::size_t>(row_ptr_[i + 1]);
+  return {values_.data() + begin, end - begin};
+}
+
+complex_t CrsMatrix::at(global_index row, global_index col) const {
+  const auto cols = row_cols(row);
+  const auto vals = row_values(row);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == col) return vals[k];
+  }
+  return {};
+}
+
+double CrsMatrix::storage_bytes() const noexcept {
+  return static_cast<double>(nnz()) * (bytes_per_element + bytes_per_index);
+}
+
+}  // namespace kpm::sparse

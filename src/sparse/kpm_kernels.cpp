@@ -1,0 +1,357 @@
+#include "sparse/kpm_kernels.hpp"
+
+#include <array>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+// The kernels accept rectangular matrices with ncols >= nrows: a
+// distributed-memory partition owns `nrows` rows but reads a halo-extended
+// input of `ncols` entries (src/runtime).  Only the first nrows entries of
+// v/w enter the on-the-fly dot products — exactly the locally owned rows.
+void check_single(const global_index nrows, const global_index ncols,
+                  std::span<const complex_t> v, std::span<complex_t> w) {
+  require(ncols >= nrows, "aug_spmv: ncols must be >= nrows");
+  require(v.size() == static_cast<std::size_t>(ncols) &&
+              w.size() >= static_cast<std::size_t>(nrows),
+          "aug_spmv: vector sizes must match the matrix shape");
+}
+
+void check_block(const global_index nrows, const global_index ncols,
+                 const blas::BlockVector& v, const blas::BlockVector& w,
+                 std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  require(ncols >= nrows, "aug_spmmv: ncols must be >= nrows");
+  require(v.rows() == ncols && w.rows() >= nrows && v.width() == w.width(),
+          "aug_spmmv: shape mismatch");
+  require(v.layout() == blas::Layout::row_major &&
+              w.layout() == blas::Layout::row_major,
+          "aug_spmmv: row-major block vectors required");
+  require(dot_vv.empty() || dot_vv.size() == static_cast<std::size_t>(v.width()),
+          "aug_spmmv: dot_vv must be empty or match the block width");
+  require(dot_wv.empty() || dot_wv.size() == static_cast<std::size_t>(v.width()),
+          "aug_spmmv: dot_wv must be empty or match the block width");
+  require(dot_vv.empty() == dot_wv.empty(),
+          "aug_spmmv: pass both dot outputs or neither");
+}
+
+// Fused block row update + optional on-the-fly dots, compile-time width.
+template <int R, bool WithDots>
+void aug_spmmv_crs_fixed(const CrsMatrix& a, const AugScalars& s,
+                         const complex_t* __restrict__ v,
+                         complex_t* __restrict__ w, complex_t* dot_vv,
+                         complex_t* dot_wv) {
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+#pragma omp parallel
+  {
+    std::array<complex_t, R> local_vv{};
+    std::array<complex_t, R> local_wv{};
+#pragma omp for schedule(static) nowait
+    for (global_index i = 0; i < nrows; ++i) {
+      std::array<complex_t, R> acc{};
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const complex_t m = val[k];
+        const complex_t* __restrict__ vr =
+            v + static_cast<std::size_t>(col[k]) * R;
+#pragma omp simd
+        for (int r = 0; r < R; ++r) acc[r] += m * vr[r];
+      }
+      const complex_t* __restrict__ vi = v + static_cast<std::size_t>(i) * R;
+      complex_t* __restrict__ wi = w + static_cast<std::size_t>(i) * R;
+#pragma omp simd
+      for (int r = 0; r < R; ++r) {
+        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+        wi[r] = wnew;
+        if constexpr (WithDots) {
+          local_vv[r] += std::conj(vi[r]) * vi[r];
+          local_wv[r] += std::conj(wnew) * vi[r];
+        }
+      }
+    }
+    if constexpr (WithDots) {
+#pragma omp critical(kpm_aug_spmmv_dots)
+      for (int r = 0; r < R; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+template <bool WithDots>
+void aug_spmmv_crs_generic(const CrsMatrix& a, const AugScalars& s,
+                           const complex_t* __restrict__ v,
+                           complex_t* __restrict__ w, int width,
+                           complex_t* dot_vv, complex_t* dot_wv) {
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+    std::vector<complex_t> local_vv(WithDots ? width : 0);
+    std::vector<complex_t> local_wv(WithDots ? width : 0);
+#pragma omp for schedule(static) nowait
+    for (global_index i = 0; i < nrows; ++i) {
+      std::fill(acc.begin(), acc.end(), complex_t{});
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const complex_t m = val[k];
+        const complex_t* __restrict__ vr =
+            v + static_cast<std::size_t>(col[k]) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
+      }
+      const complex_t* __restrict__ vi =
+          v + static_cast<std::size_t>(i) * width;
+      complex_t* __restrict__ wi = w + static_cast<std::size_t>(i) * width;
+      for (int r = 0; r < width; ++r) {
+        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+        wi[r] = wnew;
+        if constexpr (WithDots) {
+          local_vv[r] += std::conj(vi[r]) * vi[r];
+          local_wv[r] += std::conj(wnew) * vi[r];
+        }
+      }
+    }
+    if constexpr (WithDots) {
+#pragma omp critical(kpm_aug_spmmv_dots_gen)
+      for (int r = 0; r < width; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+template <bool WithDots>
+void dispatch_crs(const CrsMatrix& a, const AugScalars& s, const complex_t* v,
+                  complex_t* w, int width, complex_t* vv, complex_t* wv) {
+  switch (width) {
+    case 1: aug_spmmv_crs_fixed<1, WithDots>(a, s, v, w, vv, wv); return;
+    case 2: aug_spmmv_crs_fixed<2, WithDots>(a, s, v, w, vv, wv); return;
+    case 4: aug_spmmv_crs_fixed<4, WithDots>(a, s, v, w, vv, wv); return;
+    case 8: aug_spmmv_crs_fixed<8, WithDots>(a, s, v, w, vv, wv); return;
+    case 16: aug_spmmv_crs_fixed<16, WithDots>(a, s, v, w, vv, wv); return;
+    case 32: aug_spmmv_crs_fixed<32, WithDots>(a, s, v, w, vv, wv); return;
+    case 64: aug_spmmv_crs_fixed<64, WithDots>(a, s, v, w, vv, wv); return;
+    default:
+      aug_spmmv_crs_generic<WithDots>(a, s, v, w, width, vv, wv);
+      return;
+  }
+}
+
+}  // namespace
+
+void aug_spmv(const CrsMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv) {
+  check_single(a.nrows(), a.ncols(), v, w);
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  double vv_re = 0.0;
+  double wv_re = 0.0, wv_im = 0.0;
+#pragma omp parallel for schedule(static) \
+    reduction(+ : vv_re, wv_re, wv_im)
+  for (global_index i = 0; i < nrows; ++i) {
+    complex_t acc{};
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      acc += val[k] * vp[col[k]];
+    }
+    const complex_t wnew = alpha * acc + beta * vp[i] + gamma * wp[i];
+    wp[i] = wnew;
+    vv_re += std::norm(vp[i]);
+    const complex_t wv = std::conj(wnew) * vp[i];
+    wv_re += wv.real();
+    wv_im += wv.imag();
+  }
+  if (dot_vv != nullptr) *dot_vv = {vv_re, 0.0};
+  if (dot_wv != nullptr) *dot_wv = {wv_re, wv_im};
+}
+
+void aug_spmv(const SellMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv) {
+  check_single(a.nrows(), a.ncols(), v, w);
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  double vv_re = 0.0;
+  double wv_re = 0.0, wv_im = 0.0;
+#pragma omp parallel for schedule(static) \
+    reduction(+ : vv_re, wv_re, wv_im)
+  for (global_index c = 0; c < nchunks; ++c) {
+    const global_index base = cptr[c];
+    const int lanes =
+        static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+    for (int lane = 0; lane < lanes; ++lane) {
+      const global_index i = c * chunk + lane;
+      complex_t acc{};
+      for (local_index j = 0; j < clen[c]; ++j) {
+        const global_index off = base + static_cast<global_index>(j) * chunk;
+        acc += val[off + lane] * vp[col[off + lane]];
+      }
+      const complex_t wnew = alpha * acc + beta * vp[i] + gamma * wp[i];
+      wp[i] = wnew;
+      vv_re += std::norm(vp[i]);
+      const complex_t wv = std::conj(wnew) * vp[i];
+      wv_re += wv.real();
+      wv_im += wv.imag();
+    }
+  }
+  if (dot_vv != nullptr) *dot_vv = {vv_re, 0.0};
+  if (dot_wv != nullptr) *dot_wv = {wv_re, wv_im};
+}
+
+void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int width = v.width();
+  if (dot_vv.empty()) {
+    dispatch_crs<false>(a, s, v.data(), w.data(), width, nullptr, nullptr);
+  } else {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+    dispatch_crs<true>(a, s, v.data(), w.data(), width, dot_vv.data(),
+                       dot_wv.data());
+  }
+}
+
+void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  require(row_begin >= 0 && row_begin <= row_end && row_end <= a.nrows(),
+          "aug_spmmv_rows: invalid row interval");
+  const int width = v.width();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  const bool with_dots = !dot_vv.empty();
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+    std::vector<complex_t> local_vv(with_dots ? width : 0);
+    std::vector<complex_t> local_wv(with_dots ? width : 0);
+#pragma omp for schedule(static) nowait
+    for (global_index i = row_begin; i < row_end; ++i) {
+      std::fill(acc.begin(), acc.end(), complex_t{});
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const complex_t m = val[k];
+        const complex_t* __restrict__ vr =
+            vp + static_cast<std::size_t>(col[k]) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
+      }
+      const complex_t* __restrict__ vi =
+          vp + static_cast<std::size_t>(i) * width;
+      complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
+      for (int r = 0; r < width; ++r) {
+        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+        wi[r] = wnew;
+        if (with_dots) {
+          local_vv[r] += std::conj(vi[r]) * vi[r];
+          local_wv[r] += std::conj(wnew) * vi[r];
+        }
+      }
+    }
+    if (with_dots) {
+#pragma omp critical(kpm_aug_spmmv_rows_dots)
+      for (int r = 0; r < width; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+void aug_spmmv(const SellMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const int width = v.width();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  const bool with_dots = !dot_vv.empty();
+  if (with_dots) {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+  }
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+    std::vector<complex_t> local_vv(with_dots ? width : 0);
+    std::vector<complex_t> local_wv(with_dots ? width : 0);
+#pragma omp for schedule(static) nowait
+    for (global_index c = 0; c < nchunks; ++c) {
+      const global_index base = cptr[c];
+      const int lanes =
+          static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+      for (int lane = 0; lane < lanes; ++lane) {
+        const global_index i = c * chunk + lane;
+        std::fill(acc.begin(), acc.end(), complex_t{});
+        for (local_index j = 0; j < clen[c]; ++j) {
+          const global_index off =
+              base + static_cast<global_index>(j) * chunk + lane;
+          const complex_t m = val[off];
+          const complex_t* __restrict__ vr =
+              vp + static_cast<std::size_t>(col[off]) * width;
+#pragma omp simd
+          for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
+        }
+        const complex_t* __restrict__ vi =
+            vp + static_cast<std::size_t>(i) * width;
+        complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
+        for (int r = 0; r < width; ++r) {
+          const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+          wi[r] = wnew;
+          if (with_dots) {
+            local_vv[r] += std::conj(vi[r]) * vi[r];
+            local_wv[r] += std::conj(wnew) * vi[r];
+          }
+        }
+      }
+    }
+    if (with_dots) {
+#pragma omp critical(kpm_aug_spmmv_sell_dots)
+      for (int r = 0; r < width; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+}  // namespace kpm::sparse

@@ -1,0 +1,78 @@
+// Augmented (fused) KPM kernels — the paper's central contribution.
+//
+// Optimization stage 1, aug_spmv() (paper Fig. 4), fuses the whole inner
+// iteration into one sweep:
+//
+//     |w>  <-  alpha * A|v>  +  beta * |v>  +  gamma * |w>
+//     eta_even  = <v|v>          (computed on the fly)
+//     eta_odd   = <w_new|v>      (computed on the fly)
+//
+// With alpha = 2a, beta = -2ab, gamma = -1 this is exactly
+// |w> = 2a(H - b1)|v> - |w> of the Chebyshev recurrence; the generic scalars
+// also cover the start-up step |v1> = a(H - b1)|v0> (gamma = 0).
+//
+// Optimization stage 2, aug_spmmv() (paper Fig. 5), is the same operation on
+// row-major block vectors of width R, turning the R loosely-coupled outer
+// iterations into a single matrix read per Chebyshev step.
+//
+// Passing empty dot spans skips the on-the-fly reductions — that is the
+// "augmented SpMMV without dot products" kernel of paper Fig. 10(b).
+#pragma once
+
+#include <span>
+
+#include "blas/block_vector.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/sell.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+/// Scalars of the augmented operation w <- alpha*A*v + beta*v + gamma*w.
+struct AugScalars {
+  complex_t alpha{1.0, 0.0};
+  complex_t beta{0.0, 0.0};
+  complex_t gamma{0.0, 0.0};
+
+  /// Chebyshev recurrence step for H~ = a(H - b1): w = 2a(H-b1)v - w.
+  [[nodiscard]] static AugScalars recurrence(double a, double b) {
+    return {{2.0 * a, 0.0}, {-2.0 * a * b, 0.0}, {-1.0, 0.0}};
+  }
+  /// Start-up step v1 = a(H - b1)v0.
+  [[nodiscard]] static AugScalars startup(double a, double b) {
+    return {{a, 0.0}, {-a * b, 0.0}, {0.0, 0.0}};
+  }
+};
+
+/// Stage-1 fused kernel on a single vector (CRS).  `dot_vv`/`dot_wv`
+/// receive <v|v> and <w_new|v>; pass nullptr to skip either reduction.
+void aug_spmv(const CrsMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv);
+
+/// Stage-1 fused kernel (SELL-C-sigma, permuted vectors).
+void aug_spmv(const SellMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv);
+
+/// Stage-2 fused block kernel (CRS).  `dot_vv`/`dot_wv` must be empty (skip
+/// the on-the-fly dots) or hold one entry per block column.
+void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Stage-2 fused block kernel (SELL-C-sigma, permuted block vectors).
+void aug_spmmv(const SellMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Row-interval variant of the CRS blocked kernel, for overlapping the
+/// halo exchange with interior computation: processes rows
+/// [row_begin, row_end) only and *adds* its dot contributions to the
+/// accumulators (zero them before the first partial call of a sweep).
+void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+}  // namespace kpm::sparse

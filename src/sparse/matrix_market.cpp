@@ -1,0 +1,119 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CrsMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw matrix_market_error("matrix market: empty stream");
+  }
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%matrixmarket" || object != "matrix") {
+    throw matrix_market_error("matrix market: bad banner: " + line);
+  }
+  if (format != "coordinate") {
+    throw matrix_market_error("matrix market: only coordinate format supported");
+  }
+  const bool complex_field = field == "complex";
+  if (!complex_field && field != "real" && field != "integer") {
+    throw matrix_market_error("matrix market: unsupported field: " + field);
+  }
+  const bool hermitian = symmetry == "hermitian" || symmetry == "symmetric";
+  if (!hermitian && symmetry != "general") {
+    throw matrix_market_error("matrix market: unsupported symmetry: " +
+                              symmetry);
+  }
+
+  // Skip comments, read the size line.
+  long long rows = 0, cols = 0, entries = 0;
+  for (;;) {
+    if (!std::getline(in, line)) {
+      throw matrix_market_error("matrix market: missing size line");
+    }
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> entries)) {
+      throw matrix_market_error("matrix market: bad size line: " + line);
+    }
+    break;
+  }
+  if (rows < 0 || cols < 0 || entries < 0) {
+    throw matrix_market_error("matrix market: negative sizes");
+  }
+
+  CooMatrix coo(rows, cols);
+  for (long long e = 0; e < entries; ++e) {
+    if (!std::getline(in, line)) {
+      throw matrix_market_error("matrix market: truncated entry list");
+    }
+    if (line.empty() || line[0] == '%') {
+      --e;
+      continue;
+    }
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    double re = 0.0, im = 0.0;
+    if (!(entry >> i >> j >> re)) {
+      throw matrix_market_error("matrix market: bad entry: " + line);
+    }
+    if (complex_field && !(entry >> im)) {
+      throw matrix_market_error("matrix market: missing imaginary part: " +
+                                line);
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw matrix_market_error("matrix market: index out of range: " + line);
+    }
+    const complex_t value{re, im};
+    coo.add(i - 1, j - 1, value);
+    if (hermitian && i != j) coo.add(j - 1, i - 1, std::conj(value));
+  }
+  coo.compress();
+  return CrsMatrix(coo);
+}
+
+CrsMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw matrix_market_error("matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CrsMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate complex general\n";
+  out << "% written by kpm-pe\n";
+  out << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << i + 1 << ' ' << cols[k] + 1 << ' ' << vals[k].real() << ' '
+          << vals[k].imag() << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CrsMatrix& a) {
+  std::ofstream out(path);
+  if (!out) throw matrix_market_error("matrix market: cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace kpm::sparse

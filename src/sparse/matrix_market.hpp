@@ -1,0 +1,31 @@
+// Matrix Market (.mtx) I/O for complex sparse matrices.
+//
+// Lets downstream users bring their own application matrices into the KPM
+// pipeline (and export generated Hamiltonians).  Supported flavour:
+// "%%MatrixMarket matrix coordinate complex general|hermitian" with
+// 1-based indices; `real` files are promoted to complex on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/crs.hpp"
+
+namespace kpm::sparse {
+
+/// Parse error with line information.
+class matrix_market_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads a coordinate-format Matrix Market stream.  For `hermitian` files
+/// the stored lower triangle is mirrored.
+[[nodiscard]] CrsMatrix read_matrix_market(std::istream& in);
+[[nodiscard]] CrsMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes coordinate complex general format (all stored entries).
+void write_matrix_market(std::ostream& out, const CrsMatrix& a);
+void write_matrix_market_file(const std::string& path, const CrsMatrix& a);
+
+}  // namespace kpm::sparse

@@ -1,0 +1,58 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace kpm::sparse {
+
+MatrixStats analyze(const CrsMatrix& a, double herm_tol) {
+  MatrixStats s;
+  s.nrows = a.nrows();
+  s.nnz = a.nnz();
+  s.avg_nnz_per_row = a.avg_nnz_per_row();
+  s.min_row_len = std::numeric_limits<local_index>::max();
+  s.max_row_len = 0;
+  global_index dominant_rows = 0;
+  bool hermitian = a.nrows() == a.ncols();
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    s.min_row_len =
+        std::min(s.min_row_len, static_cast<local_index>(cols.size()));
+    s.max_row_len =
+        std::max(s.max_row_len, static_cast<local_index>(cols.size()));
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      s.bandwidth = std::max(
+          s.bandwidth, std::abs(static_cast<global_index>(cols[k]) - i));
+      if (cols[k] == i) {
+        diag = std::abs(vals[k]);
+      } else {
+        off += std::abs(vals[k]);
+      }
+      if (hermitian && std::abs(vals[k] - std::conj(a.at(cols[k], i))) >
+                           herm_tol) {
+        hermitian = false;
+      }
+    }
+    if (diag >= off) ++dominant_rows;
+  }
+  if (a.nrows() == 0) s.min_row_len = 0;
+  s.diag_dominance = a.nrows() == 0 ? 0.0
+                                    : static_cast<double>(dominant_rows) /
+                                          static_cast<double>(a.nrows());
+  s.hermitian = hermitian;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const MatrixStats& s) {
+  return os << "N=" << s.nrows << " nnz=" << s.nnz
+            << " nnzr=" << s.avg_nnz_per_row << " rowlen=[" << s.min_row_len
+            << "," << s.max_row_len << "]"
+            << " bw=" << s.bandwidth << " hermitian=" << (s.hermitian ? "yes" : "no");
+}
+
+}  // namespace kpm::sparse

@@ -1,0 +1,26 @@
+// Structural statistics of sparse matrices, used by the performance model
+// (Nnzr enters the code balance) and by the benchmark reports.
+#pragma once
+
+#include <iosfwd>
+
+#include "sparse/crs.hpp"
+
+namespace kpm::sparse {
+
+struct MatrixStats {
+  global_index nrows = 0;
+  global_index nnz = 0;
+  double avg_nnz_per_row = 0.0;  ///< Nnzr in the paper
+  local_index min_row_len = 0;
+  local_index max_row_len = 0;
+  global_index bandwidth = 0;    ///< max |i - j| over stored entries
+  double diag_dominance = 0.0;   ///< fraction of rows with |a_ii| >= sum off-diag
+  bool hermitian = false;
+};
+
+[[nodiscard]] MatrixStats analyze(const CrsMatrix& a, double herm_tol = 1e-12);
+
+std::ostream& operator<<(std::ostream& os, const MatrixStats& s);
+
+}  // namespace kpm::sparse

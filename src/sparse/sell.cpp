@@ -1,0 +1,132 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+
+SellMatrix::SellMatrix(const CrsMatrix& crs, int chunk, int sigma)
+    : nrows_(crs.nrows()),
+      ncols_(crs.ncols()),
+      nnz_(crs.nnz()),
+      chunk_(chunk),
+      sigma_(sigma) {
+  require(chunk >= 1, "SELL: chunk height must be >= 1");
+  require(sigma == 1 || sigma % chunk == 0,
+          "SELL: sigma must be 1 or a multiple of the chunk height");
+
+  // Sort rows by descending length within each sigma window.
+  perm_.resize(static_cast<std::size_t>(nrows_));
+  std::iota(perm_.begin(), perm_.end(), global_index{0});
+  if (sigma_ > 1) {
+    for (global_index begin = 0; begin < nrows_; begin += sigma_) {
+      const global_index end = std::min<global_index>(begin + sigma_, nrows_);
+      std::stable_sort(perm_.begin() + begin, perm_.begin() + end,
+                       [&](global_index a, global_index b) {
+                         return crs.row_cols(a).size() > crs.row_cols(b).size();
+                       });
+    }
+  }
+  inv_perm_.resize(perm_.size());
+  for (std::size_t n = 0; n < perm_.size(); ++n) {
+    inv_perm_[static_cast<std::size_t>(perm_[n])] = static_cast<global_index>(n);
+  }
+
+  const global_index nchunks = (nrows_ + chunk_ - 1) / chunk_;
+  chunk_len_.resize(static_cast<std::size_t>(nchunks));
+  chunk_ptr_.resize(static_cast<std::size_t>(nchunks) + 1);
+  chunk_ptr_[0] = 0;
+  for (global_index c = 0; c < nchunks; ++c) {
+    local_index len = 0;
+    for (int lane = 0; lane < chunk_; ++lane) {
+      const global_index new_row = c * chunk_ + lane;
+      if (new_row >= nrows_) break;
+      len = std::max(len, static_cast<local_index>(
+                              crs.row_cols(perm_[new_row]).size()));
+    }
+    chunk_len_[c] = len;
+    chunk_ptr_[c + 1] = chunk_ptr_[c] + static_cast<global_index>(len) * chunk_;
+  }
+
+  values_.assign(static_cast<std::size_t>(chunk_ptr_[nchunks]), complex_t{});
+  // Padding lanes point at the row's own (permuted) index with value zero so
+  // gathers stay in bounds and never fault.
+  col_idx_.resize(values_.size());
+  for (global_index c = 0; c < nchunks; ++c) {
+    const global_index base = chunk_ptr_[c];
+    for (int lane = 0; lane < chunk_; ++lane) {
+      const global_index new_row = c * chunk_ + lane;
+      const global_index safe_col =
+          new_row < nrows_ ? new_row : global_index{0};
+      for (local_index j = 0; j < chunk_len_[c]; ++j) {
+        col_idx_[base + static_cast<global_index>(j) * chunk_ + lane] =
+            static_cast<local_index>(safe_col);
+      }
+      if (new_row >= nrows_) continue;
+      const global_index old_row = perm_[new_row];
+      const auto cols = crs.row_cols(old_row);
+      const auto vals = crs.row_values(old_row);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const auto slot = base + static_cast<global_index>(j) * chunk_ + lane;
+        col_idx_[slot] =
+            static_cast<local_index>(inv_perm_[static_cast<std::size_t>(cols[j])]);
+        values_[slot] = vals[j];
+      }
+    }
+  }
+}
+
+double SellMatrix::fill_in_ratio() const noexcept {
+  return nnz_ == 0 ? 1.0
+                   : static_cast<double>(padded_elements()) /
+                         static_cast<double>(nnz_);
+}
+
+void SellMatrix::permute(std::span<const complex_t> x,
+                         std::span<complex_t> x_perm) const {
+  require(x.size() == perm_.size() && x_perm.size() == perm_.size(),
+          "permute: size mismatch");
+  for (std::size_t n = 0; n < perm_.size(); ++n) {
+    x_perm[n] = x[static_cast<std::size_t>(perm_[n])];
+  }
+}
+
+void SellMatrix::unpermute(std::span<const complex_t> x_perm,
+                           std::span<complex_t> x) const {
+  require(x.size() == perm_.size() && x_perm.size() == perm_.size(),
+          "unpermute: size mismatch");
+  for (std::size_t n = 0; n < perm_.size(); ++n) {
+    x[static_cast<std::size_t>(perm_[n])] = x_perm[n];
+  }
+}
+
+void SellMatrix::permute(const blas::BlockVector& x,
+                         blas::BlockVector& x_perm) const {
+  require(x.rows() == nrows_ && x_perm.rows() == nrows_ &&
+              x.width() == x_perm.width(),
+          "permute(block): shape mismatch");
+  for (global_index n = 0; n < nrows_; ++n) {
+    const global_index old_row = perm_[static_cast<std::size_t>(n)];
+    for (int r = 0; r < x.width(); ++r) x_perm(n, r) = x(old_row, r);
+  }
+}
+
+void SellMatrix::unpermute(const blas::BlockVector& x_perm,
+                           blas::BlockVector& x) const {
+  require(x.rows() == nrows_ && x_perm.rows() == nrows_ &&
+              x.width() == x_perm.width(),
+          "unpermute(block): shape mismatch");
+  for (global_index n = 0; n < nrows_; ++n) {
+    const global_index old_row = perm_[static_cast<std::size_t>(n)];
+    for (int r = 0; r < x.width(); ++r) x(old_row, r) = x_perm(n, r);
+  }
+}
+
+double SellMatrix::storage_bytes() const noexcept {
+  return static_cast<double>(padded_elements()) *
+         (bytes_per_element + bytes_per_index);
+}
+
+}  // namespace kpm::sparse

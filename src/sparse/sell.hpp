@@ -1,0 +1,93 @@
+// SELL-C-sigma storage (Kreutzer et al., SIAM J. Sci. Comput. 36(5), 2014).
+//
+// Rows are grouped into chunks of height C; within a sorting window of sigma
+// rows, rows are ordered by descending length to reduce zero fill-in.  All
+// rows of a chunk are padded to the chunk's maximum length and stored
+// column-major inside the chunk, so a SIMD unit of width C processes C rows
+// in lockstep.  CRS is the degenerate case C = 1.
+//
+// The row sorting is a symmetric permutation: column indices are remapped to
+// the permuted numbering, so SELL kernels consume and produce *permuted*
+// vectors.  Use permute()/unpermute() to cross between orderings.
+#pragma once
+
+#include <span>
+
+#include "blas/block_vector.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/crs.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+  /// Builds SELL-C-sigma from CRS.  `sigma` must be a multiple of `chunk`
+  /// (or 1 for no sorting); `chunk` is C, typically the SIMD width.
+  SellMatrix(const CrsMatrix& crs, int chunk, int sigma);
+
+  [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] global_index ncols() const noexcept { return ncols_; }
+  [[nodiscard]] global_index nnz() const noexcept { return nnz_; }
+  [[nodiscard]] int chunk_height() const noexcept { return chunk_; }
+  [[nodiscard]] int sigma() const noexcept { return sigma_; }
+  [[nodiscard]] global_index num_chunks() const noexcept {
+    return static_cast<global_index>(chunk_len_.size());
+  }
+
+  /// Stored elements including zero padding.
+  [[nodiscard]] global_index padded_elements() const noexcept {
+    return static_cast<global_index>(values_.size());
+  }
+  /// Fill-in ratio beta = padded / nnz (>= 1; 1 means no padding waste).
+  [[nodiscard]] double fill_in_ratio() const noexcept;
+
+  [[nodiscard]] std::span<const global_index> chunk_ptr() const noexcept {
+    return chunk_ptr_;
+  }
+  [[nodiscard]] std::span<const local_index> chunk_len() const noexcept {
+    return chunk_len_;
+  }
+  [[nodiscard]] std::span<const local_index> col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const complex_t> values() const noexcept {
+    return values_;
+  }
+  /// perm()[new_row] == old_row; inverse_perm()[old_row] == new_row.
+  [[nodiscard]] std::span<const global_index> perm() const noexcept {
+    return perm_;
+  }
+  [[nodiscard]] std::span<const global_index> inverse_perm() const noexcept {
+    return inv_perm_;
+  }
+
+  /// x_perm[new] = x[perm[new]]  (original -> permuted ordering).
+  void permute(std::span<const complex_t> x, std::span<complex_t> x_perm) const;
+  /// x[old] = x_perm[inv_perm[old]] (permuted -> original ordering).
+  void unpermute(std::span<const complex_t> x_perm,
+                 std::span<complex_t> x) const;
+  /// Row-wise permutation of a row-major block vector.
+  void permute(const blas::BlockVector& x, blas::BlockVector& x_perm) const;
+  void unpermute(const blas::BlockVector& x_perm, blas::BlockVector& x) const;
+
+  /// Total bytes of value + index data incl. padding (streamed per SpMV).
+  [[nodiscard]] double storage_bytes() const noexcept;
+
+ private:
+  global_index nrows_ = 0;
+  global_index ncols_ = 0;
+  global_index nnz_ = 0;
+  int chunk_ = 1;
+  int sigma_ = 1;
+  aligned_vector<global_index> chunk_ptr_;   // element offset per chunk
+  aligned_vector<local_index> chunk_len_;    // max row length per chunk
+  aligned_vector<local_index> col_idx_;      // permuted column indices
+  aligned_vector<complex_t> values_;
+  aligned_vector<global_index> perm_;
+  aligned_vector<global_index> inv_perm_;
+};
+
+}  // namespace kpm::sparse

@@ -1,0 +1,199 @@
+#include "sparse/spmv.hpp"
+
+#include <array>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+// Fully unrolled SpMMV row kernel for compile-time block width R.  This
+// mirrors the paper's code-generator approach (Sec. IV-B): one instantiation
+// per block width, accumulators held in registers.
+template <int R>
+void spmmv_crs_fixed(const CrsMatrix& a, const complex_t* __restrict__ x,
+                     complex_t* __restrict__ y) {
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+#pragma omp parallel for schedule(static)
+  for (global_index i = 0; i < nrows; ++i) {
+    std::array<complex_t, R> acc{};
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const complex_t m = val[k];
+      const complex_t* __restrict__ xr =
+          x + static_cast<std::size_t>(col[k]) * R;
+#pragma omp simd
+      for (int r = 0; r < R; ++r) acc[r] += m * xr[r];
+    }
+    complex_t* __restrict__ yr = y + static_cast<std::size_t>(i) * R;
+#pragma omp simd
+    for (int r = 0; r < R; ++r) yr[r] = acc[r];
+  }
+}
+
+void spmmv_crs_generic(const CrsMatrix& a, const complex_t* __restrict__ x,
+                       complex_t* __restrict__ y, int width) {
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+#pragma omp for schedule(static)
+    for (global_index i = 0; i < nrows; ++i) {
+      std::fill(acc.begin(), acc.end(), complex_t{});
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const complex_t m = val[k];
+        const complex_t* __restrict__ xr =
+            x + static_cast<std::size_t>(col[k]) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) acc[r] += m * xr[r];
+      }
+      complex_t* __restrict__ yr = y + static_cast<std::size_t>(i) * width;
+#pragma omp simd
+      for (int r = 0; r < width; ++r) yr[r] = acc[r];
+    }
+  }
+}
+
+}  // namespace
+
+void spmv(const CrsMatrix& a, std::span<const complex_t> x,
+          std::span<complex_t> y) {
+  // y may be halo-extended (>= nrows) in distributed use; only the first
+  // nrows entries are written.
+  require(x.size() == static_cast<std::size_t>(a.ncols()) &&
+              y.size() >= static_cast<std::size_t>(a.nrows()),
+          "spmv(CRS): size mismatch");
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (global_index i = 0; i < nrows; ++i) {
+    complex_t acc{};
+    for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      acc += val[k] * xp[col[k]];
+    }
+    yp[i] = acc;
+  }
+}
+
+void spmv(const SellMatrix& a, std::span<const complex_t> x,
+          std::span<complex_t> y) {
+  require(x.size() == static_cast<std::size_t>(a.ncols()) &&
+              y.size() == static_cast<std::size_t>(a.nrows()),
+          "spmv(SELL): size mismatch");
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (global_index c = 0; c < nchunks; ++c) {
+    const global_index base = cptr[c];
+    const int lanes =
+        static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+    for (int lane = 0; lane < lanes; ++lane) yp[c * chunk + lane] = complex_t{};
+    for (local_index j = 0; j < clen[c]; ++j) {
+      const global_index off = base + static_cast<global_index>(j) * chunk;
+#pragma omp simd
+      for (int lane = 0; lane < lanes; ++lane) {
+        yp[c * chunk + lane] += val[off + lane] * xp[col[off + lane]];
+      }
+    }
+  }
+}
+
+void spmmv(const CrsMatrix& a, const blas::BlockVector& x,
+           blas::BlockVector& y) {
+  require(x.rows() == a.ncols() && y.rows() >= a.nrows() &&
+              x.width() == y.width(),
+          "spmmv(CRS): shape mismatch");
+  require(x.layout() == blas::Layout::row_major &&
+              y.layout() == blas::Layout::row_major,
+          "spmmv(CRS): row-major block vectors required");
+  switch (x.width()) {
+    case 1: spmmv_crs_fixed<1>(a, x.data(), y.data()); return;
+    case 2: spmmv_crs_fixed<2>(a, x.data(), y.data()); return;
+    case 4: spmmv_crs_fixed<4>(a, x.data(), y.data()); return;
+    case 8: spmmv_crs_fixed<8>(a, x.data(), y.data()); return;
+    case 16: spmmv_crs_fixed<16>(a, x.data(), y.data()); return;
+    case 32: spmmv_crs_fixed<32>(a, x.data(), y.data()); return;
+    case 64: spmmv_crs_fixed<64>(a, x.data(), y.data()); return;
+    default: spmmv_crs_generic(a, x.data(), y.data(), x.width()); return;
+  }
+}
+
+void spmmv(const SellMatrix& a, const blas::BlockVector& x,
+           blas::BlockVector& y) {
+  require(x.rows() == a.ncols() && y.rows() == a.nrows() &&
+              x.width() == y.width(),
+          "spmmv(SELL): shape mismatch");
+  require(x.layout() == blas::Layout::row_major &&
+              y.layout() == blas::Layout::row_major,
+          "spmmv(SELL): row-major block vectors required");
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const int width = x.width();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ xp = x.data();
+  complex_t* __restrict__ yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (global_index c = 0; c < nchunks; ++c) {
+    const global_index base = cptr[c];
+    const int lanes =
+        static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+    for (int lane = 0; lane < lanes; ++lane) {
+      complex_t* __restrict__ yr =
+          yp + static_cast<std::size_t>(c * chunk + lane) * width;
+      for (int r = 0; r < width; ++r) yr[r] = complex_t{};
+    }
+    for (local_index j = 0; j < clen[c]; ++j) {
+      const global_index off = base + static_cast<global_index>(j) * chunk;
+      for (int lane = 0; lane < lanes; ++lane) {
+        const complex_t m = val[off + lane];
+        const complex_t* __restrict__ xr =
+            xp + static_cast<std::size_t>(col[off + lane]) * width;
+        complex_t* __restrict__ yr =
+            yp + static_cast<std::size_t>(c * chunk + lane) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) yr[r] += m * xr[r];
+      }
+    }
+  }
+}
+
+void spmmv_colmajor(const CrsMatrix& a, const blas::BlockVector& x,
+                    blas::BlockVector& y) {
+  require(x.rows() == a.ncols() && y.rows() == a.nrows() &&
+              x.width() == y.width(),
+          "spmmv_colmajor: shape mismatch");
+  require(x.layout() == blas::Layout::col_major &&
+              y.layout() == blas::Layout::col_major,
+          "spmmv_colmajor: column-major block vectors required");
+  // One SpMV per column — the access pattern the paper's row-major layout
+  // is designed to avoid (matrix read R times instead of once).
+  const int width = x.width();
+  const std::size_t stride = static_cast<std::size_t>(x.rows());
+  for (int r = 0; r < width; ++r) {
+    spmv(a, std::span<const complex_t>(x.data() + r * stride, stride),
+         std::span<complex_t>(y.data() + r * stride, stride));
+  }
+}
+
+}  // namespace kpm::sparse

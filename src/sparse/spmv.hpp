@@ -1,0 +1,39 @@
+// Plain sparse matrix (block) vector multiplication kernels.
+//
+// These kernels implement the un-augmented operations used by the naive
+// KPM-DOS pipeline (paper Fig. 3) and by the kernel-level benchmarks.  The
+// SpMMV variants operate on row-major (interleaved) block vectors so the
+// innermost loop streams the R right-hand sides with unit stride — the
+// vectorization strategy of paper Sec. IV-A.
+#pragma once
+
+#include <span>
+
+#include "blas/block_vector.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/sell.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+/// y = A x  (CRS).
+void spmv(const CrsMatrix& a, std::span<const complex_t> x,
+          std::span<complex_t> y);
+
+/// y = A x  (SELL-C-sigma, permuted vectors).
+void spmv(const SellMatrix& a, std::span<const complex_t> x,
+          std::span<complex_t> y);
+
+/// Y = A X on row-major block vectors (CRS).
+void spmmv(const CrsMatrix& a, const blas::BlockVector& x,
+           blas::BlockVector& y);
+
+/// Y = A X on row-major block vectors (SELL-C-sigma, permuted vectors).
+void spmmv(const SellMatrix& a, const blas::BlockVector& x,
+           blas::BlockVector& y);
+
+/// Column-major SpMMV reference (layout ablation; deliberately strided).
+void spmmv_colmajor(const CrsMatrix& a, const blas::BlockVector& x,
+                    blas::BlockVector& y);
+
+}  // namespace kpm::sparse

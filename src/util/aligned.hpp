@@ -1,0 +1,56 @@
+// Cache-line / SIMD aligned storage.
+//
+// Block vectors must be aligned so that a row of R complex elements starts on
+// a vector-register boundary; 64-byte alignment covers AVX-512 and the cache
+// line size of every architecture in Table II.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace kpm {
+
+inline constexpr std::size_t kpm_alignment = 64;
+
+/// Minimal C++17 aligned allocator (Core Guidelines R.1: ownership via RAII).
+template <class T, std::size_t Alignment = kpm_alignment>
+struct aligned_allocator {
+  using value_type = T;
+
+  // Explicit rebind: the non-type Alignment parameter defeats libstdc++'s
+  // automatic template-argument replacement.
+  template <class U>
+  struct rebind {
+    using other = aligned_allocator<U, Alignment>;
+  };
+
+  aligned_allocator() noexcept = default;
+  template <class U>
+  aligned_allocator(const aligned_allocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const aligned_allocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+/// Vector with 64-byte aligned storage, used for all matrix/vector payloads.
+template <class T>
+using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+}  // namespace kpm

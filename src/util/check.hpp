@@ -1,0 +1,26 @@
+// Lightweight precondition checking (Core Guidelines I.6/E.12 style: throw on
+// contract violation, no macros in the public interface).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace kpm {
+
+/// Error thrown on violated preconditions / invariants inside kpm-pe.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws kpm::contract_error with file:line context unless `cond` holds.
+inline void require(bool cond, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw contract_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + what);
+  }
+}
+
+}  // namespace kpm

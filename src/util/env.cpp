@@ -1,0 +1,55 @@
+#include "util/env.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace kpm {
+
+int max_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_threads(int n) noexcept {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+namespace {
+
+std::string format_scaled(double value, const char* unit,
+                          const std::array<const char*, 5>& prefixes,
+                          double base) {
+  int idx = 0;
+  while (std::abs(value) >= base && idx + 1 < static_cast<int>(prefixes.size())) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s%s", value, prefixes[idx], unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_flops(double flops_per_second) {
+  return format_scaled(flops_per_second, "flop/s", {"", "K", "M", "G", "T"},
+                       1000.0);
+}
+
+std::string format_bytes(double bytes) {
+  return format_scaled(bytes, "iB", {"", "K", "M", "G", "T"}, 1024.0);
+}
+
+}  // namespace kpm

@@ -1,0 +1,21 @@
+// Execution-environment helpers (thread counts, flop-rate formatting).
+#pragma once
+
+#include <string>
+
+namespace kpm {
+
+/// Number of OpenMP threads the kernels will use (1 if OpenMP is disabled).
+[[nodiscard]] int max_threads() noexcept;
+
+/// Sets the OpenMP thread count for subsequent parallel regions (no-op
+/// without OpenMP).
+void set_threads(int n) noexcept;
+
+/// Formats a flop/s rate as e.g. "12.3 Gflop/s".
+[[nodiscard]] std::string format_flops(double flops_per_second);
+
+/// Formats a byte volume as e.g. "1.5 GiB".
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace kpm

@@ -1,0 +1,58 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+complex_t draw(std::mt19937_64& eng, RandomVectorKind kind) {
+  switch (kind) {
+    case RandomVectorKind::phase: {
+      std::uniform_real_distribution<double> dist(0.0, 2.0 * pi);
+      const double phi = dist(eng);
+      return {std::cos(phi), std::sin(phi)};
+    }
+    case RandomVectorKind::rademacher: {
+      std::bernoulli_distribution dist(0.5);
+      return {dist(eng) ? 1.0 : -1.0, 0.0};
+    }
+    case RandomVectorKind::gaussian: {
+      std::normal_distribution<double> dist(0.0, 1.0);
+      return {dist(eng), dist(eng)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void RandomVectorSource::fill(std::span<complex_t> v) {
+  require(!v.empty(), "random vector must be non-empty");
+  double norm2 = 0.0;
+  for (auto& x : v) {
+    x = draw(engine_, kind_);
+    norm2 += std::norm(x);
+  }
+  const double scale = 1.0 / std::sqrt(norm2);
+  for (auto& x : v) x *= scale;
+}
+
+void RandomVectorSource::fill_column(std::span<complex_t> block, int width,
+                                     int col) {
+  require(width > 0 && col >= 0 && col < width, "invalid block column");
+  require(block.size() % static_cast<std::size_t>(width) == 0,
+          "block size must be a multiple of width");
+  const std::size_t rows = block.size() / static_cast<std::size_t>(width);
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto& x = block[i * width + col];
+    x = draw(engine_, kind_);
+    norm2 += std::norm(x);
+  }
+  const double scale = 1.0 / std::sqrt(norm2);
+  for (std::size_t i = 0; i < rows; ++i) block[i * width + col] *= scale;
+}
+
+}  // namespace kpm

@@ -1,0 +1,43 @@
+// Random starting vectors for the stochastic trace estimator.
+//
+// KPM approximates tr[A] ~ (1/R) sum_r <v_r|A|v_r> over R independent random
+// vectors (paper Sec. II).  Standard choices are complex random-phase vectors
+// (|v_i| = 1/sqrt(N), uniformly random phase) and Rademacher (+-1) vectors;
+// random-phase gives the lowest variance for complex Hermitian problems.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace kpm {
+
+enum class RandomVectorKind {
+  phase,       ///< e^{i phi}/sqrt(N), phi uniform in [0, 2pi)
+  rademacher,  ///< +-1/sqrt(N) real entries
+  gaussian,    ///< complex normal, normalized
+};
+
+/// Deterministic, seedable generator of stochastic-trace starting vectors.
+class RandomVectorSource {
+ public:
+  explicit RandomVectorSource(std::uint64_t seed,
+                              RandomVectorKind kind = RandomVectorKind::phase)
+      : engine_(seed), kind_(kind) {}
+
+  /// Fills `v` with a fresh random vector, normalized to <v|v> = 1.
+  void fill(std::span<complex_t> v);
+
+  /// Fills column `col` of a row-major block vector of width `width`.
+  void fill_column(std::span<complex_t> block, int width, int col);
+
+  [[nodiscard]] RandomVectorKind kind() const noexcept { return kind_; }
+
+ private:
+  std::mt19937_64 engine_;
+  RandomVectorKind kind_;
+};
+
+}  // namespace kpm

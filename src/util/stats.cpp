@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kpm {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double relative_error(double a, double b) noexcept {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / scale;
+}
+
+double trapezoid(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "trapezoid: size mismatch");
+  if (x.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    acc += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return acc;
+}
+
+}  // namespace kpm

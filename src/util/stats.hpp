@@ -1,0 +1,28 @@
+// Small statistics helpers for benchmark reporting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace kpm {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/stddev/median of a sample (copies for the median).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Relative deviation |a-b| / max(|a|,|b|, eps).
+[[nodiscard]] double relative_error(double a, double b) noexcept;
+
+/// Simple trapezoid-rule integral of y(x) over equally indexed samples.
+[[nodiscard]] double trapezoid(std::span<const double> x,
+                               std::span<const double> y);
+
+}  // namespace kpm

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+std::string render(const Cell& c, int precision) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::get<double>(c);
+  return os.str();
+}
+
+}  // namespace
+
+Table& Table::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<Cell> cells) {
+  require(header_.empty() || cells.size() == header_.size(),
+          "table row width must match the header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<std::string> rendered;
+    rendered.reserve(r.size());
+    for (const auto& c : r) rendered.push_back(render(c, precision_));
+    cells.push_back(std::move(rendered));
+  }
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  for (const auto& r : cells) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      if (j >= width.size()) width.resize(j + 1, 0);
+      width[j] = std::max(width[j], r[j].size());
+    }
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      os << std::left << std::setw(static_cast<int>(width[j]) + 2) << r[j];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : cells) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      if (j) os << ',';
+      os << r[j];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> rendered;
+    rendered.reserve(r.size());
+    for (const auto& c : r) rendered.push_back(render(c, precision_));
+    emit(rendered);
+  }
+}
+
+}  // namespace kpm

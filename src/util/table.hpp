@@ -1,0 +1,39 @@
+// Console table / CSV writer used by the benchmark harness to print the
+// rows and series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kpm {
+
+/// A cell is a string, an integer, or a double (formatted with %.4g-ish
+/// precision unless a column format overrides it).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+  Table& row(std::vector<Cell> cells);
+  /// Digits of precision for double cells (default 4).
+  Table& precision(int digits);
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Renders comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace kpm

@@ -1,0 +1,33 @@
+#include "util/timer.hpp"
+
+namespace kpm {
+
+void Timer::start() noexcept {
+  begin_ = clock::now();
+  running_ = true;
+}
+
+void Timer::stop() noexcept {
+  if (!running_) return;
+  accumulated_ += clock::now() - begin_;
+  running_ = false;
+  ++intervals_;
+}
+
+void Timer::reset() noexcept {
+  accumulated_ = {};
+  intervals_ = 0;
+  running_ = false;
+}
+
+double Timer::seconds() const noexcept {
+  auto total = accumulated_;
+  if (running_) total += clock::now() - begin_;
+  return std::chrono::duration<double>(total).count();
+}
+
+double Timer::now() noexcept {
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace kpm

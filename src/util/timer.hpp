@@ -1,0 +1,53 @@
+// Wall-clock timing utilities for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace kpm {
+
+/// Monotonic wall-clock timer with start/stop accumulation.
+class Timer {
+ public:
+  void start() noexcept;
+  /// Stops the current interval and adds it to the accumulated total.
+  void stop() noexcept;
+  void reset() noexcept;
+
+  /// Accumulated time over all start/stop intervals, in seconds.
+  [[nodiscard]] double seconds() const noexcept;
+  [[nodiscard]] std::int64_t intervals() const noexcept { return intervals_; }
+
+  /// Seconds since the epoch of the steady clock; cheap convenience.
+  [[nodiscard]] static double now() noexcept;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point begin_{};
+  clock::duration accumulated_{};
+  std::int64_t intervals_ = 0;
+  bool running_ = false;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` elapsed (at least
+/// `min_reps` repetitions) and returns the best (minimum) time per call.
+template <class Fn>
+double time_best(Fn&& fn, double min_seconds = 0.05, int min_reps = 3) {
+  Timer t;
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while (total < min_seconds || reps < min_reps) {
+    t.reset();
+    t.start();
+    fn();
+    t.stop();
+    const double s = t.seconds();
+    best = s < best ? s : best;
+    total += s;
+    ++reps;
+  }
+  return best;
+}
+
+}  // namespace kpm

@@ -1,0 +1,35 @@
+// Fundamental scalar and index types used throughout kpm-pe.
+//
+// The paper (Sec. III-A) works in complex double precision: one data element
+// is Sd = 16 bytes, kernel-local indices are Si = 4 bytes, while global
+// quantities in large-scale runs use 8-byte indices.  We mirror that split:
+// `local_index` indexes inside a kernel / one rank's partition, `global_index`
+// addresses the whole (possibly distributed) problem.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace kpm {
+
+using complex_t = std::complex<double>;
+using real_t = double;
+
+/// Index type used inside kernels (column indices of a local sparse matrix).
+using local_index = std::int32_t;
+/// Index type for global row counts and distributed offsets.
+using global_index = std::int64_t;
+
+/// Bytes per matrix/vector data element (complex double), Sd in the paper.
+inline constexpr int bytes_per_element = 16;
+/// Bytes per kernel-local index element, Si in the paper.
+inline constexpr int bytes_per_index = 4;
+
+/// Flops per complex addition (Fa in the paper).
+inline constexpr int flops_complex_add = 2;
+/// Flops per complex multiplication (Fm in the paper).
+inline constexpr int flops_complex_mul = 6;
+
+inline constexpr real_t pi = 3.14159265358979323846;
+
+}  // namespace kpm

@@ -1,0 +1,130 @@
+// Tests for the automatic weight determination (paper outlook) and the
+// pipelined halo-exchange model.
+#include <gtest/gtest.h>
+
+#include "cluster/network.hpp"
+#include "cluster/scaling.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/autotune.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix tune_matrix() {
+  physics::TIParams p;
+  p.nx = 12;
+  p.ny = 12;
+  p.nz = 6;
+  return physics::build_ti_hamiltonian(p);
+}
+
+TEST(AutoTune, HomogeneousRanksStayBalanced) {
+  const auto h = tune_matrix();
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.max_iterations = 4;
+    p.imbalance_tolerance = 0.5;  // identical threads: converges immediately
+    const auto res = runtime::auto_tune_weights(c, h, p);
+    ASSERT_EQ(res.weights.size(), 2u);
+    EXPECT_NEAR(res.weights[0] + res.weights[1], 1.0, 1e-12);
+    // Same hardware on both ranks: weights stay roughly even.
+    EXPECT_GT(res.weights[0], 0.2);
+    EXPECT_GT(res.weights[1], 0.2);
+    EXPECT_EQ(res.partition.total_rows(), h.nrows());
+  });
+}
+
+TEST(AutoTune, SlowRankGetsFewerRows) {
+  const auto h = tune_matrix();
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.max_iterations = 6;
+    p.imbalance_tolerance = 0.10;
+    p.slowdown = {3.0, 1.0};  // rank 0 simulates a 3x slower device
+    const auto res = runtime::auto_tune_weights(c, h, p);
+    // The slow rank must end up with roughly a third of the fast rank's
+    // share (3x speed difference).
+    const double ratio = res.weights[1] / res.weights[0];
+    EXPECT_GT(ratio, 1.8) << "w0=" << res.weights[0] << " w1=" << res.weights[1];
+    EXPECT_LT(ratio, 5.0);
+    EXPECT_LT(res.partition.local_rows(0), res.partition.local_rows(1));
+  });
+}
+
+TEST(AutoTune, TunedPartitionStillComputesCorrectMoments) {
+  const auto h = tune_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 16;
+  mp.num_random = 2;
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+  runtime::run_ranks(3, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.max_iterations = 3;
+    p.slowdown = {1.0, 2.0, 4.0};
+    const auto tuned = runtime::auto_tune_weights(c, h, p);
+    runtime::DistributedMatrix dist(c, h, tuned.partition);
+    const auto res = runtime::distributed_moments(c, dist, s, mp);
+    for (std::size_t m = 0; m < res.mu.size(); ++m) {
+      EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-9);
+    }
+  });
+}
+
+TEST(AutoTune, InvalidParamsThrow) {
+  const auto h = tune_matrix();
+  runtime::run_ranks(1, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.block_width = 0;
+    EXPECT_THROW(runtime::auto_tune_weights(c, h, p), contract_error);
+  });
+}
+
+TEST(PipelinedHalo, FasterThanSequentialForLargeBuffers) {
+  cluster::NetworkSpec net;
+  const double bytes = 64.0e6;  // 64 MB per neighbor
+  const double sequential =
+      cluster::halo_exchange_seconds(net, 2, bytes, /*through_pcie=*/true);
+  const double pipelined =
+      cluster::halo_exchange_pipelined_seconds(net, 2, bytes);
+  EXPECT_LT(pipelined, sequential);
+  // With PCIe ~ 6 GB/s as the slowest stage and both directions previously
+  // serialized, the pipeline saves roughly the network time.
+  EXPECT_GT(sequential / pipelined, 1.15);
+}
+
+TEST(PipelinedHalo, ApproachesSlowestStage) {
+  cluster::NetworkSpec net;
+  const double bytes = 128.0e6;
+  const double pipelined =
+      cluster::halo_exchange_pipelined_seconds(net, 1, bytes, 64);
+  const double pcie_floor = bytes / (net.pcie_bw_gbs * 1e9);
+  EXPECT_GT(pipelined, pcie_floor);
+  EXPECT_LT(pipelined, 1.2 * pcie_floor);
+}
+
+TEST(PipelinedHalo, ZeroNeighborsCostNothing) {
+  cluster::NetworkSpec net;
+  EXPECT_DOUBLE_EQ(cluster::halo_exchange_pipelined_seconds(net, 0, 1e9), 0.0);
+  EXPECT_THROW(cluster::halo_exchange_pipelined_seconds(net, 2, 1e6, 0),
+               contract_error);
+}
+
+TEST(PipelinedHalo, ImprovesWeakScalingEfficiency) {
+  const auto node = cluster::piz_daint_node();
+  cluster::RunParams run;
+  cluster::NetworkSpec plain;
+  cluster::NetworkSpec piped;
+  piped.pipelined_halo = true;
+  const auto base =
+      cluster::weak_scaling(node, plain, run, cluster::ScalingCase::square, 256);
+  const auto fast =
+      cluster::weak_scaling(node, piped, run, cluster::ScalingCase::square, 256);
+  ASSERT_EQ(base.size(), fast.size());
+  EXPECT_GT(fast.back().parallel_efficiency, base.back().parallel_efficiency);
+}
+
+}  // namespace
+}  // namespace kpm

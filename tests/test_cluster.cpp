@@ -1,0 +1,163 @@
+// Tests for the cluster-scale model: node rates, network primitives, and
+// the qualitative shapes of Fig. 11, Fig. 12 and Table III.
+#include <gtest/gtest.h>
+
+#include "cluster/network.hpp"
+#include "cluster/node_model.hpp"
+#include "cluster/scaling.hpp"
+
+namespace kpm::cluster {
+namespace {
+
+TEST(NodeModel, StageBalancesMatchPaper) {
+  EXPECT_NEAR(stage_balance(core::OptimizationStage::naive, 1), 3.39, 0.01);
+  EXPECT_NEAR(stage_balance(core::OptimizationStage::aug_spmv, 1), 2.23, 0.01);
+  EXPECT_NEAR(stage_balance(core::OptimizationStage::aug_spmmv, 32),
+              (260.0 / 32 + 48.0) / 138.0, 1e-9);
+}
+
+TEST(NodeModel, StageOrderingOnEveryDevice) {
+  // Each optimization stage must be faster than the previous one, on CPU,
+  // GPU and the heterogeneous node (Fig. 11 bars).
+  const auto node = piz_daint_node();
+  const int r = 32;
+  const double c0 = cpu_gflops(node, core::OptimizationStage::naive, r);
+  const double c1 = cpu_gflops(node, core::OptimizationStage::aug_spmv, r);
+  const double c2 = cpu_gflops(node, core::OptimizationStage::aug_spmmv, r);
+  EXPECT_LT(c0, c1);
+  EXPECT_LT(c1, c2);
+  const double g0 = gpu_gflops(node, core::OptimizationStage::naive, r);
+  const double g1 = gpu_gflops(node, core::OptimizationStage::aug_spmv, r);
+  const double g2 = gpu_gflops(node, core::OptimizationStage::aug_spmmv, r);
+  EXPECT_LT(g0, g1);
+  EXPECT_LT(g1, g2);
+  const double h2 = heterogeneous_gflops(node, core::OptimizationStage::aug_spmmv, r);
+  EXPECT_GT(h2, c2);
+  EXPECT_GT(h2, g2);
+  EXPECT_LT(h2, c2 + g2);  // efficiency < 100%
+}
+
+TEST(NodeModel, SpeedupsMatchPaperMagnitudes) {
+  // Paper Sec. VI-B: naive CPU -> fully optimized heterogeneous > 10x;
+  // naive GPU -> optimized heterogeneous ~ 2.3 x 1.36 ~ 3.1x.
+  const auto node = piz_daint_node();
+  const double naive_cpu =
+      cpu_gflops(node, core::OptimizationStage::naive, 32);
+  const double het_opt =
+      heterogeneous_gflops(node, core::OptimizationStage::aug_spmmv, 32);
+  EXPECT_GT(het_opt / naive_cpu, 8.0);
+  EXPECT_LT(het_opt / naive_cpu, 20.0);
+  const double naive_gpu =
+      gpu_gflops(node, core::OptimizationStage::naive, 32);
+  EXPECT_GT(het_opt / naive_gpu, 2.0);
+  EXPECT_LT(het_opt / naive_gpu, 6.0);
+}
+
+TEST(NodeModel, HeterogeneousNodeNearPaperRate) {
+  // 116 Tflop/s on 1024 nodes => ~113 Gflop/s per node; the model should
+  // land within ~25%.
+  const auto node = piz_daint_node();
+  const double het =
+      heterogeneous_gflops(node, core::OptimizationStage::aug_spmmv, 32);
+  EXPECT_GT(het, 85.0);
+  EXPECT_LT(het, 150.0);
+}
+
+TEST(Network, AllreduceGrowsLogarithmically) {
+  NetworkSpec net;
+  const double t2 = allreduce_seconds(net, 2, 64);
+  const double t1024 = allreduce_seconds(net, 1024, 64);
+  EXPECT_GT(t1024, t2);
+  EXPECT_NEAR(t1024 / t2, 10.0, 0.5);  // log2(1024)/log2(2)
+  EXPECT_DOUBLE_EQ(allreduce_seconds(net, 1, 64), 0.0);
+}
+
+TEST(Network, HaloTimeHasBandwidthAndLatencyParts) {
+  NetworkSpec net;
+  const double small = halo_exchange_seconds(net, 2, 10.0, false);
+  EXPECT_NEAR(small, 2 * net.latency_us * 1e-6, 1e-7);  // latency dominated
+  const double big = halo_exchange_seconds(net, 2, 1e9, false);
+  EXPECT_NEAR(big, 2e9 / (net.link_bw_gbs * 1e9), 0.01);  // bandwidth dominated
+  EXPECT_GT(halo_exchange_seconds(net, 2, 1e9, true), big);  // PCIe adds cost
+  EXPECT_DOUBLE_EQ(halo_exchange_seconds(net, 0, 1e9, true), 0.0);
+}
+
+TEST(Scaling, WeakScalingIsNearLinear) {
+  const auto node = piz_daint_node();
+  const NetworkSpec net;
+  RunParams run;
+  const auto series =
+      weak_scaling(node, net, run, ScalingCase::square, 1024);
+  ASSERT_GE(series.size(), 5u);
+  EXPECT_EQ(series.front().nodes, 1);
+  EXPECT_EQ(series.back().nodes, 1024);
+  // Fig. 12: performance grows with node count; efficiency stays high but
+  // below one once communication appears.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].tflops, series[i - 1].tflops);
+  }
+  EXPECT_NEAR(series.front().parallel_efficiency, 1.0, 1e-9);
+  EXPECT_GT(series.back().parallel_efficiency, 0.7);
+  EXPECT_LT(series.back().parallel_efficiency, 1.0);
+}
+
+TEST(Scaling, LargestSystemReachesPaperScale) {
+  const auto node = piz_daint_node();
+  const NetworkSpec net;
+  RunParams run;
+  const auto series = weak_scaling(node, net, run, ScalingCase::square, 1024);
+  const auto& last = series.back();
+  // >100 Tflop/s and a matrix with over 6.5e9 rows (paper Sec. VI-C).
+  EXPECT_GT(last.tflops, 80.0);
+  EXPECT_GT(last.domain.dimension(), 6.5e9);
+}
+
+TEST(Scaling, BarCaseScalesTo1024) {
+  const auto node = piz_daint_node();
+  const NetworkSpec net;
+  RunParams run;
+  const auto series = weak_scaling(node, net, run, ScalingCase::bar, 1024);
+  EXPECT_EQ(series.back().nodes, 1024);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].tflops, series[i - 1].tflops);
+  }
+}
+
+TEST(Scaling, StrongScalingEfficiencyDecays) {
+  const auto node = piz_daint_node();
+  const NetworkSpec net;
+  RunParams run;
+  const auto series = strong_scaling(node, net, run, ScalingCase::square,
+                                     {400, 400, 40}, 256);
+  ASSERT_GE(series.size(), 3u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].tflops, series[i - 1].tflops);         // still gains
+    EXPECT_LT(series[i].parallel_efficiency,
+              series[i - 1].parallel_efficiency + 1e-12);      // but decays
+  }
+}
+
+TEST(Table3, ReproducesResourceRanking) {
+  const auto node = piz_daint_node();
+  const NetworkSpec net;
+  const auto rows = table3(node, net);
+  ASSERT_EQ(rows.size(), 3u);
+  const auto& throughput = rows[0];
+  const auto& per_iter = rows[1];
+  const auto& optimal = rows[2];
+  // Paper Table III: the embarrassingly parallel version costs more than
+  // 2x the node hours of the optimal blocked version.
+  EXPECT_GT(throughput.node_hours / optimal.node_hours, 1.7);
+  // Reducing once at the end (vs. every iteration) saves roughly 8%.
+  const double gain = per_iter.node_hours / optimal.node_hours;
+  EXPECT_GT(gain, 1.03);
+  EXPECT_LT(gain, 1.15);
+  // Tflop/s ranking matches: optimal > per-iteration > throughput.
+  EXPECT_GT(optimal.tflops, per_iter.tflops);
+  EXPECT_GT(per_iter.tflops, throughput.tflops);
+  EXPECT_EQ(optimal.nodes, 1024);
+  EXPECT_EQ(throughput.nodes, 288);
+}
+
+}  // namespace
+}  // namespace kpm::cluster

@@ -1,0 +1,293 @@
+// Tests for damping kernels, density reconstruction, the high-level DOS
+// driver, eigenvalue counting, LDOS and the spectral function.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/damping.hpp"
+#include "core/eigcount.hpp"
+#include "core/reconstruct.hpp"
+#include "core/solver.hpp"
+#include "core/spectral.hpp"
+#include "physics/anderson.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/ti_model.hpp"
+
+namespace kpm::core {
+namespace {
+
+TEST(Damping, JacksonCoefficientsDecreaseFromOne) {
+  const auto g = damping_coefficients(DampingKernel::jackson, 64);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  for (std::size_t m = 1; m < g.size(); ++m) {
+    EXPECT_LE(g[m], g[m - 1] + 1e-12);
+    EXPECT_GE(g[m], -1e-12);
+  }
+  EXPECT_LT(g.back(), 0.01);  // strong damping of the highest moment
+}
+
+TEST(Damping, DirichletIsIdentity) {
+  const auto g = damping_coefficients(DampingKernel::dirichlet, 16);
+  for (const double x : g) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Damping, LorentzIsMonotoneIn01) {
+  const auto g = damping_coefficients(DampingKernel::lorentz, 32, 3.0);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  for (std::size_t m = 1; m < g.size(); ++m) {
+    EXPECT_LT(g[m], g[m - 1]);
+    EXPECT_GT(g[m], 0.0);
+  }
+}
+
+TEST(Damping, ApplyScalesMoments) {
+  std::vector<double> mu(8, 2.0);
+  apply_damping(DampingKernel::jackson, mu);
+  const auto g = damping_coefficients(DampingKernel::jackson, 8);
+  for (std::size_t m = 0; m < mu.size(); ++m) {
+    EXPECT_NEAR(mu[m], 2.0 * g[m], 1e-12);
+  }
+}
+
+TEST(Reconstruct, ChebyshevSeriesMatchesDirectSum) {
+  const std::vector<double> mu = {1.0, 0.5, -0.25, 0.125};
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 0.99}) {
+    double direct = mu[0];
+    for (std::size_t m = 1; m < mu.size(); ++m) {
+      direct += 2.0 * mu[m] * std::cos(m * std::acos(x));
+    }
+    EXPECT_NEAR(chebyshev_series(mu, x), direct, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Reconstruct, FlatMomentsGiveArcsineEnvelope) {
+  // mu = (1, 0, 0, ...) is the semicircle-free case: rho(x) = 1/(pi sqrt(1-x^2)).
+  std::vector<double> mu(32, 0.0);
+  mu[0] = 1.0;
+  physics::Scaling s{1.0, 0.0};
+  ReconstructParams p;
+  p.kernel = DampingKernel::dirichlet;
+  p.num_points = 5;
+  p.e_min = -0.5;
+  p.e_max = 0.5;
+  const auto spec = reconstruct_density(mu, s, p);
+  for (std::size_t k = 0; k < spec.energy.size(); ++k) {
+    const double x = spec.energy[k];
+    EXPECT_NEAR(spec.density[k], 1.0 / (pi * std::sqrt(1.0 - x * x)), 1e-10);
+  }
+}
+
+TEST(Reconstruct, DensityIntegratesToDimension) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 128;
+  p.moments.num_random = 8;
+  p.reconstruct.num_points = 2048;
+  const auto res = compute_dos(h, p);
+  EXPECT_NEAR(res.spectrum.integral(), static_cast<double>(h.nrows()),
+              0.02 * static_cast<double>(h.nrows()));
+}
+
+TEST(Reconstruct, JacksonDensityIsNonNegative) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 64;
+  p.moments.num_random = 4;
+  const auto res = compute_dos(h, p);
+  for (const double d : res.spectrum.density) {
+    EXPECT_GE(d, -1e-9);  // Jackson kernel guarantees positivity
+  }
+}
+
+TEST(Dos, MatchesExactHistogram) {
+  // Compare the KPM DOS against a smoothed histogram of exact eigenvalues.
+  physics::AndersonParams ap;
+  ap.nx = 4;
+  ap.ny = 4;
+  ap.nz = 4;
+  ap.disorder = 2.0;
+  const auto h = physics::build_anderson_hamiltonian(ap);
+  const auto evals = physics::sparse_eigenvalues(h);
+
+  DosParams p;
+  p.moments.num_moments = 256;
+  p.moments.num_random = 32;
+  p.reconstruct.num_points = 512;
+  const auto res = compute_dos(h, p);
+
+  // Cumulative eigenvalue count at several energies: KPM integral vs exact.
+  for (double e : {-4.0, -2.0, 0.0, 1.5, 3.5}) {
+    const double exact = static_cast<double>(
+        std::lower_bound(evals.begin(), evals.end(), e) - evals.begin());
+    const double kpm_count = eigenvalue_count(
+        res.moments.mu, res.scaling, static_cast<double>(h.nrows()),
+        res.scaling.to_energy(-1.0), e);
+    EXPECT_NEAR(kpm_count, exact, 0.06 * static_cast<double>(h.nrows()))
+        << "E=" << e;
+  }
+}
+
+TEST(Dos, AllStagesGiveSameSpectrum) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 64;
+  p.moments.num_random = 4;
+  const physics::Scaling s =
+      physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  p.stage = OptimizationStage::naive;
+  const auto d0 = compute_dos(h, p, s);
+  p.stage = OptimizationStage::aug_spmv;
+  const auto d1 = compute_dos(h, p, s);
+  p.stage = OptimizationStage::aug_spmmv;
+  const auto d2 = compute_dos(h, p, s);
+  for (std::size_t k = 0; k < d0.spectrum.density.size(); ++k) {
+    EXPECT_NEAR(d0.spectrum.density[k], d1.spectrum.density[k], 1e-6);
+    EXPECT_NEAR(d0.spectrum.density[k], d2.spectrum.density[k], 1e-6);
+  }
+}
+
+TEST(EigCount, FullIntervalCountsAllStates) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 128;
+  p.moments.num_random = 16;
+  const auto res = compute_dos(h, p);
+  const double n = eigenvalue_count(res.moments.mu, res.scaling,
+                                    static_cast<double>(h.nrows()),
+                                    res.scaling.to_energy(-1.0),
+                                    res.scaling.to_energy(1.0));
+  EXPECT_NEAR(n, static_cast<double>(h.nrows()),
+              0.01 * static_cast<double>(h.nrows()));
+}
+
+TEST(EigCount, SymmetricSpectrumSplitsEvenly) {
+  // The clean TI spectrum is particle-hole symmetric: half the states
+  // below E = 0.
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 4;
+  tp.periodic_z = true;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 256;
+  p.moments.num_random = 16;
+  const auto res = compute_dos(h, p);
+  const double below = eigenvalue_count(res.moments.mu, res.scaling,
+                                        static_cast<double>(h.nrows()),
+                                        res.scaling.to_energy(-1.0), 0.0);
+  EXPECT_NEAR(below, static_cast<double>(h.nrows()) / 2.0,
+              0.03 * static_cast<double>(h.nrows()));
+}
+
+TEST(Ldos, SumOverAllSitesGivesTotalDos) {
+  physics::AndersonParams ap;
+  ap.nx = 3;
+  ap.ny = 3;
+  ap.nz = 3;
+  ap.disorder = 1.0;
+  const auto h = physics::build_anderson_hamiltonian(ap);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  std::vector<global_index> all(static_cast<std::size_t>(h.nrows()));
+  for (global_index i = 0; i < h.nrows(); ++i) all[static_cast<std::size_t>(i)] = i;
+  LdosParams lp;
+  lp.num_moments = 64;
+  lp.reconstruct.num_points = 256;
+  const auto spectra = local_dos(h, s, all, lp);
+  ASSERT_EQ(spectra.size(), static_cast<std::size_t>(h.nrows()));
+  // Sum of all LDOS curves integrates to N (each integrates to 1).
+  double total = 0.0;
+  for (const auto& sp : spectra) total += sp.integral();
+  EXPECT_NEAR(total, static_cast<double>(h.nrows()),
+              0.02 * static_cast<double>(h.nrows()));
+}
+
+TEST(Ldos, TranslationInvarianceOfCleanPeriodicSystem) {
+  physics::AndersonParams ap;
+  ap.nx = 4;
+  ap.ny = 4;
+  ap.nz = 4;
+  const auto h = physics::build_anderson_hamiltonian(ap);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  LdosParams lp;
+  lp.num_moments = 64;
+  lp.reconstruct.num_points = 128;
+  const std::vector<global_index> sites = {0, 7, 21, 63};
+  const auto spectra = local_dos(h, s, sites, lp);
+  for (std::size_t c = 1; c < spectra.size(); ++c) {
+    for (std::size_t k = 0; k < spectra[0].density.size(); ++k) {
+      EXPECT_NEAR(spectra[c].density[k], spectra[0].density[k], 1e-8);
+    }
+  }
+}
+
+TEST(SpectralFunction, PeaksAtBlochEnergy) {
+  physics::TIParams tp;
+  tp.nx = 8;
+  tp.ny = 4;
+  tp.nz = 4;
+  tp.periodic_z = true;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  // k = (2pi/8, 0, 0): Bloch energies +-sqrt(mass^2 + sin^2 kx).
+  const double kx = 2.0 * pi / 8.0;
+  const double mass = 2.0 - (std::cos(kx) + 2.0);
+  const double e_bloch = std::sqrt(mass * mass + std::sin(kx) * std::sin(kx));
+  SpectralFunctionParams sp;
+  sp.num_moments = 512;
+  sp.reconstruct.num_points = 1024;
+  const std::vector<KPoint> ks = {{kx, 0.0, 0.0}};
+  const auto a = spectral_function(h, s, tp, ks, sp);
+  ASSERT_EQ(a.size(), 1u);
+  // Locate the maximum at positive energy; it must sit near +e_bloch.
+  double best_e = 0.0;
+  double best_v = -1.0;
+  for (std::size_t k = 0; k < a[0].energy.size(); ++k) {
+    if (a[0].energy[k] > 0.1 && a[0].density[k] > best_v) {
+      best_v = a[0].density[k];
+      best_e = a[0].energy[k];
+    }
+  }
+  EXPECT_NEAR(best_e, e_bloch, 0.1);
+}
+
+TEST(Solver, StageNames) {
+  EXPECT_STREQ(stage_name(OptimizationStage::naive), "naive");
+  EXPECT_STREQ(stage_name(OptimizationStage::aug_spmv), "aug_spmv");
+  EXPECT_STREQ(stage_name(OptimizationStage::aug_spmmv), "aug_spmmv");
+}
+
+TEST(Solver, AutoScalingContainsSpectrum) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  DosParams p;
+  p.moments.num_moments = 32;
+  p.moments.num_random = 2;
+  const auto res = compute_dos(h, p);
+  const auto evals = physics::sparse_eigenvalues(h);
+  EXPECT_LE(std::abs(res.scaling.to_unit(evals.front())), 1.0);
+  EXPECT_LE(std::abs(res.scaling.to_unit(evals.back())), 1.0);
+}
+
+}  // namespace
+}  // namespace kpm::core

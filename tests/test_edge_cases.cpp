@@ -1,0 +1,291 @@
+// Cross-module edge cases and failure injection: degenerate matrices, empty
+// rows, single-element systems, invalid windows/parameters, boundary
+// conditions of every public API.
+#include <gtest/gtest.h>
+
+#include "blas/block_ops.hpp"
+#include "blas/level1.hpp"
+#include "core/damping.hpp"
+#include "core/eigcount.hpp"
+#include "core/propagator.hpp"
+#include "core/reconstruct.hpp"
+#include "core/solver.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix diagonal_matrix(std::vector<double> diag) {
+  sparse::CooMatrix coo(static_cast<global_index>(diag.size()),
+                        static_cast<global_index>(diag.size()));
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    coo.add(static_cast<global_index>(i), static_cast<global_index>(i),
+            {diag[i], 0.0});
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+sparse::CrsMatrix with_empty_rows() {
+  // 6x6 with rows 1 and 4 completely empty.
+  sparse::CooMatrix coo(6, 6);
+  coo.add(0, 0, {1.0, 0.0});
+  coo.add_hermitian_pair(2, 3, {0.5, 0.25});
+  coo.add(5, 5, {-2.0, 0.0});
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+TEST(EdgeCase, OneByOneMatrixKpm) {
+  const auto h = diagonal_matrix({0.7});
+  const physics::Scaling s{1.0, 0.0};
+  core::MomentParams p;
+  p.num_moments = 16;
+  p.num_random = 2;
+  const auto res = core::moments_aug_spmmv(h, s, p);
+  // mu_m = T_m(0.7) exactly (single eigenvalue).
+  for (int m = 0; m < p.num_moments; ++m) {
+    EXPECT_NEAR(res.mu[static_cast<std::size_t>(m)],
+                std::cos(m * std::acos(0.7)), 1e-10)
+        << "m=" << m;
+  }
+}
+
+TEST(EdgeCase, DiagonalMatrixDosPeaks) {
+  const auto h = diagonal_matrix({-0.5, -0.5, 0.5, 0.5});
+  core::DosParams p;
+  p.moments.num_moments = 256;
+  p.moments.num_random = 8;
+  p.reconstruct.num_points = 801;
+  const auto res = core::compute_dos(h, p, physics::Scaling{0.9, 0.0});
+  // Two symmetric delta peaks: density maximal near +-0.5, tiny at 0.
+  const auto& sp = res.spectrum;
+  double at_zero = 0.0, at_peak = 0.0;
+  for (std::size_t k = 0; k < sp.energy.size(); ++k) {
+    if (std::abs(sp.energy[k]) < 0.02) at_zero = std::max(at_zero, sp.density[k]);
+    if (std::abs(std::abs(sp.energy[k]) - 0.5) < 0.02) {
+      at_peak = std::max(at_peak, sp.density[k]);
+    }
+  }
+  EXPECT_GT(at_peak, 20.0 * at_zero);
+}
+
+TEST(EdgeCase, EmptyRowsSpmvGivesZero) {
+  const auto h = with_empty_rows();
+  aligned_vector<complex_t> x(6, {1.0, 1.0});
+  aligned_vector<complex_t> y(6, {9.0, 9.0});
+  sparse::spmv(h, x, y);
+  EXPECT_EQ(y[1], complex_t{});
+  EXPECT_EQ(y[4], complex_t{});
+  EXPECT_NE(y[0], complex_t{});
+}
+
+TEST(EdgeCase, EmptyRowsSellRoundTrip) {
+  const auto h = with_empty_rows();
+  for (int chunk : {1, 2, 4, 8}) {
+    const sparse::SellMatrix s(h, chunk, chunk * 2);
+    EXPECT_EQ(s.nnz(), h.nnz());
+    aligned_vector<complex_t> x(6, {0.5, -0.5}), xp(6), yp(6), y(6), y_ref(6);
+    sparse::spmv(h, x, y_ref);
+    s.permute(x, xp);
+    sparse::spmv(s, xp, yp);
+    s.unpermute(yp, y);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(i)] -
+                           y_ref[static_cast<std::size_t>(i)]),
+                  0.0, 1e-14);
+    }
+  }
+}
+
+TEST(EdgeCase, EmptyRowsAugSpmmvDots) {
+  const auto h = with_empty_rows();
+  blas::BlockVector v(6, 2), w(6, 2);
+  for (global_index i = 0; i < 6; ++i) {
+    v(i, 0) = {1.0, 0.0};
+    v(i, 1) = {0.0, 1.0};
+  }
+  std::vector<complex_t> dvv(2), dwv(2);
+  sparse::aug_spmmv(h, sparse::AugScalars::recurrence(0.2, 0.0), v, w, dvv,
+                    dwv);
+  // <v|v> = 6 for both columns regardless of empty matrix rows.
+  EXPECT_NEAR(dvv[0].real(), 6.0, 1e-12);
+  EXPECT_NEAR(dvv[1].real(), 6.0, 1e-12);
+}
+
+TEST(EdgeCase, MatrixStatsOnEmptyRows) {
+  const auto st = sparse::analyze(with_empty_rows());
+  EXPECT_EQ(st.min_row_len, 0);
+  EXPECT_EQ(st.max_row_len, 1);
+  EXPECT_TRUE(st.hermitian);
+}
+
+TEST(EdgeCase, ReconstructInvalidWindowThrows) {
+  std::vector<double> mu = {1.0, 0.0};
+  physics::Scaling s{1.0, 0.0};
+  core::ReconstructParams p;
+  p.e_min = 0.5;
+  p.e_max = -0.5;
+  EXPECT_THROW(core::reconstruct_density(mu, s, p), contract_error);
+  p.e_min = 0.0;
+  p.e_max = 0.0;
+  p.num_points = 1;
+  EXPECT_THROW(core::reconstruct_density(mu, s, p), contract_error);
+}
+
+TEST(EdgeCase, ReconstructOutsideSpectrumIsZero) {
+  std::vector<double> mu(64, 0.0);
+  mu[0] = 1.0;
+  physics::Scaling s{1.0, 0.0};
+  core::ReconstructParams p;
+  p.e_min = 2.0;  // entirely outside [-1, 1]
+  p.e_max = 3.0;
+  p.num_points = 16;
+  const auto spec = core::reconstruct_density(mu, s, p);
+  for (const double d : spec.density) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(EdgeCase, EigenvalueCountDegenerateWindows) {
+  std::vector<double> mu(32, 0.0);
+  mu[0] = 1.0;  // flat density
+  physics::Scaling s{1.0, 0.0};
+  // Interval fully outside the spectrum on the right: ~0 states.
+  EXPECT_NEAR(core::eigenvalue_count(mu, s, 100.0, 2.0, 3.0), 0.0, 1e-9);
+  // Full interval: all states.
+  EXPECT_NEAR(core::eigenvalue_count(mu, s, 100.0, -1.0, 1.0), 100.0, 1e-9);
+  EXPECT_THROW(core::eigenvalue_count(mu, s, 100.0, 1.0, -1.0),
+               contract_error);
+}
+
+TEST(EdgeCase, DampingRequiresMoments) {
+  EXPECT_THROW(core::damping_coefficients(core::DampingKernel::jackson, 0),
+               contract_error);
+  const auto g1 = core::damping_coefficients(core::DampingKernel::jackson, 1);
+  EXPECT_NEAR(g1[0], 1.0, 1e-12);
+}
+
+TEST(EdgeCase, MakeScalingRejectsEmptyInterval) {
+  EXPECT_THROW(physics::make_scaling({1.0, 1.0}), contract_error);
+  EXPECT_THROW(physics::make_scaling({0.0, 1.0}, 0.0), contract_error);
+  EXPECT_THROW(physics::make_scaling({0.0, 1.0}, 1.0), contract_error);
+}
+
+TEST(EdgeCase, GershgorinOnDiagonalMatrixIsTight) {
+  const auto h = diagonal_matrix({-3.0, 1.0, 2.5});
+  const auto iv = physics::gershgorin_bounds(h);
+  EXPECT_DOUBLE_EQ(iv.lower, -3.0);
+  EXPECT_DOUBLE_EQ(iv.upper, 2.5);
+}
+
+TEST(EdgeCase, LanczosOnTinyMatrix) {
+  const auto h = diagonal_matrix({-1.0, 0.0, 1.0});
+  const auto iv = physics::lanczos_bounds(h, 10);
+  EXPECT_NEAR(iv.lower, -1.0, 1e-8);
+  EXPECT_NEAR(iv.upper, 1.0, 1e-8);
+}
+
+TEST(EdgeCase, PropagatorSizeMismatchThrows) {
+  const auto h = diagonal_matrix({0.0, 1.0});
+  const physics::Scaling s{0.5, 0.5};
+  aligned_vector<complex_t> in(2), out(3);
+  core::PropagatorParams p;
+  EXPECT_THROW(core::propagate(h, s, p, in, out), contract_error);
+}
+
+TEST(EdgeCase, PropagatorOnDiagonalMatrixIsExactPhase) {
+  const auto h = diagonal_matrix({0.25, -0.5});
+  const physics::Scaling s{1.0, 0.0};
+  aligned_vector<complex_t> in = {{1.0, 0.0}, {1.0, 0.0}};
+  aligned_vector<complex_t> out(2);
+  core::PropagatorParams p;
+  p.time = 2.0;
+  core::propagate(h, s, p, in, out);
+  EXPECT_NEAR(std::abs(out[0] - std::polar(1.0, -0.25 * 2.0)), 0.0, 1e-11);
+  EXPECT_NEAR(std::abs(out[1] - std::polar(1.0, 0.5 * 2.0)), 0.0, 1e-11);
+}
+
+TEST(EdgeCase, SinglePartitionHasNoHaloAndNoTraffic) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 1);
+  runtime::run_ranks(1, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    EXPECT_EQ(dist.halo_size(), 0);
+    EXPECT_EQ(dist.send_bytes_per_exchange(8), 0);
+    const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+    core::MomentParams mp;
+    mp.num_moments = 8;
+    mp.num_random = 2;
+    const auto res = runtime::distributed_moments(c, dist, s, mp);
+    const auto serial = core::moments_aug_spmmv(h, s, mp);
+    for (std::size_t m = 0; m < res.mu.size(); ++m) {
+      EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-12);
+    }
+  });
+}
+
+TEST(EdgeCase, MoreRanksThanConvenientRowsStillWorks) {
+  // 6-row matrix over 5 ranks: some ranks own 1 row, the halo machinery
+  // must still be exact.
+  const auto h = with_empty_rows();
+  const auto s = physics::Scaling{0.3, 0.0};
+  core::MomentParams mp;
+  mp.num_moments = 8;
+  mp.num_random = 2;
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 5);
+  runtime::run_ranks(5, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    const auto res = runtime::distributed_moments(c, dist, s, mp);
+    for (std::size_t m = 0; m < res.mu.size(); ++m) {
+      EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-11);
+    }
+  });
+}
+
+TEST(EdgeCase, BlockVectorSingleRow) {
+  blas::BlockVector b(1, 4);
+  b(0, 3) = {2.0, -1.0};
+  std::vector<complex_t> dots(4);
+  blas::column_dots(b, b, dots);
+  EXPECT_NEAR(dots[3].real(), 5.0, 1e-14);
+  EXPECT_NEAR(dots[0].real(), 0.0, 1e-14);
+}
+
+TEST(EdgeCase, SellOfDiagonalMatrixFillIn) {
+  // Row count divisible by the chunk: no padding at all.
+  const auto h8 =
+      diagonal_matrix({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  EXPECT_DOUBLE_EQ(sparse::SellMatrix(h8, 4, 4).fill_in_ratio(), 1.0);
+  // 5 rows in chunks of 4: the trailing partial chunk pads 3 lanes.
+  const auto h5 = diagonal_matrix({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(sparse::SellMatrix(h5, 4, 4).fill_in_ratio(), 8.0 / 5.0);
+}
+
+TEST(EdgeCase, DenseEigenOnOneByOne) {
+  const auto e = physics::eigenvalues_hermitian({{3.5, 0.0}}, 1);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_NEAR(e[0], 3.5, 1e-14);
+}
+
+TEST(EdgeCase, MomentsOfZeroVectorAreZero) {
+  const auto h = diagonal_matrix({0.1, 0.2, 0.3});
+  const physics::Scaling s{1.0, 0.0};
+  aligned_vector<complex_t> zero(3, complex_t{});
+  const auto mu = core::moments_of_vector(h, s, zero, 8);
+  for (const double m : mu) EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+}  // namespace
+}  // namespace kpm

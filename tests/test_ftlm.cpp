@@ -1,0 +1,132 @@
+// Tests for the FTLM baseline: Ritz decomposition properties, agreement
+// with exact spectra and with the KPM DOS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/eigcount.hpp"
+#include "core/ftlm.hpp"
+#include "core/solver.hpp"
+#include "physics/anderson.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+namespace {
+
+sparse::CrsMatrix test_matrix() {
+  physics::AndersonParams p;
+  p.nx = 5;
+  p.ny = 5;
+  p.nz = 4;
+  p.disorder = 2.0;
+  p.periodic = false;
+  return physics::build_anderson_hamiltonian(p);
+}
+
+TEST(Ftlm, WeightsArePositiveAndSumToN) {
+  const auto h = test_matrix();
+  FtlmParams p;
+  p.lanczos_steps = 40;
+  p.num_random = 6;
+  const auto res = ftlm_dos(h, p);
+  double total = 0.0;
+  for (const double w : res.weights) {
+    EXPECT_GE(w, -1e-12);
+    total += w;
+  }
+  EXPECT_NEAR(total, static_cast<double>(h.nrows()),
+              1e-8 * static_cast<double>(h.nrows()));
+}
+
+TEST(Ftlm, RitzValuesInsideExactSpectrum) {
+  const auto h = test_matrix();
+  const auto exact = physics::sparse_eigenvalues(h);
+  FtlmParams p;
+  p.lanczos_steps = 30;
+  p.num_random = 4;
+  const auto res = ftlm_dos(h, p);
+  for (const double theta : res.ritz_values) {
+    EXPECT_GE(theta, exact.front() - 1e-8);
+    EXPECT_LE(theta, exact.back() + 1e-8);
+  }
+}
+
+TEST(Ftlm, FullKrylovReproducesSpectrumExactly) {
+  // k = N with reorthogonalization: the Ritz values ARE the eigenvalues.
+  physics::AndersonParams ap;
+  ap.nx = 4;
+  ap.ny = 3;
+  ap.nz = 2;
+  ap.disorder = 1.0;
+  ap.periodic = false;
+  const auto h = physics::build_anderson_hamiltonian(ap);
+  const auto exact = physics::sparse_eigenvalues(h);
+  FtlmParams p;
+  p.lanczos_steps = static_cast<int>(h.nrows());
+  p.num_random = 1;
+  auto res = ftlm_dos(h, p);
+  std::sort(res.ritz_values.begin(), res.ritz_values.end());
+  ASSERT_EQ(res.ritz_values.size(), exact.size());
+  for (std::size_t j = 0; j < exact.size(); ++j) {
+    EXPECT_NEAR(res.ritz_values[j], exact[j], 1e-7);
+  }
+}
+
+TEST(Ftlm, DensityIntegratesToN) {
+  const auto h = test_matrix();
+  FtlmParams p;
+  p.lanczos_steps = 40;
+  p.num_random = 8;
+  const auto res = ftlm_dos(h, p);
+  const auto iv = physics::gershgorin_bounds(h);
+  const auto spec = res.density(iv.lower - 1.0, iv.upper + 1.0, 2048, 0.15);
+  EXPECT_NEAR(spec.integral(), static_cast<double>(h.nrows()),
+              0.02 * static_cast<double>(h.nrows()));
+}
+
+TEST(Ftlm, AgreesWithKpmDos) {
+  // Both stochastic methods estimate the same density: compare cumulative
+  // counts at the quartiles.
+  const auto h = test_matrix();
+  const auto exact = physics::sparse_eigenvalues(h);
+
+  FtlmParams fp;
+  fp.lanczos_steps = 60;
+  fp.num_random = 24;
+  const auto ftlm = ftlm_dos(h, fp);
+
+  DosParams kp;
+  kp.moments.num_moments = 256;
+  kp.moments.num_random = 24;
+  const auto kpm = compute_dos(h, kp);
+
+  const double n = static_cast<double>(h.nrows());
+  for (double q : {0.25, 0.5, 0.75}) {
+    const double e = exact[static_cast<std::size_t>(q * (exact.size() - 1))];
+    double ftlm_count = 0.0;
+    for (std::size_t j = 0; j < ftlm.ritz_values.size(); ++j) {
+      if (ftlm.ritz_values[j] <= e) ftlm_count += ftlm.weights[j];
+    }
+    const double kpm_count =
+        eigenvalue_count(kpm.moments.mu, kpm.scaling, n,
+                         kpm.scaling.to_energy(-1.0), e);
+    EXPECT_NEAR(ftlm_count, kpm_count, 0.08 * n) << "quartile " << q;
+  }
+}
+
+TEST(Ftlm, InvalidParamsThrow) {
+  const auto h = test_matrix();
+  FtlmParams p;
+  p.lanczos_steps = 1;
+  EXPECT_THROW(ftlm_dos(h, p), contract_error);
+  p.lanczos_steps = 10;
+  p.num_random = 0;
+  EXPECT_THROW(ftlm_dos(h, p), contract_error);
+  FtlmResult empty;
+  EXPECT_THROW(empty.density(1.0, -1.0, 10, 0.1), contract_error);
+}
+
+}  // namespace
+}  // namespace kpm::core

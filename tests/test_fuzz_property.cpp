@@ -1,0 +1,170 @@
+// Randomized property sweep (TEST_P over seeds): for arbitrary random
+// Hermitian matrices, the algebraic invariants of the whole pipeline must
+// hold — operator linearity and self-adjointness, format equivalence with
+// random SELL parameters, stage equivalence of the moments, DOS
+// normalization, collective-communication round trips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/moments.hpp"
+#include "core/solver.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "runtime/comm.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+#include "util/random.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix random_hermitian(std::mt19937_64& rng, global_index n,
+                                   int avg_offdiag) {
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<global_index> col(0, n - 1);
+  sparse::CooMatrix coo(n, n);
+  for (global_index i = 0; i < n; ++i) {
+    coo.add(i, i, {val(rng), 0.0});
+    for (int k = 0; k < avg_offdiag; ++k) {
+      const global_index j = col(rng);
+      if (j != i) coo.add_hermitian_pair(i, j, {val(rng), val(rng)});
+    }
+  }
+  coo.compress();
+  return sparse::CrsMatrix(coo);
+}
+
+class FuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzProperty, SpmvIsLinearAndSelfAdjoint) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<global_index> size(20, 150);
+  const global_index n = size(rng);
+  const auto a = random_hermitian(rng, n, 4);
+  RandomVectorSource src(GetParam() + 1);
+  aligned_vector<complex_t> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n)), ax(x.size()), ay(x.size()),
+      combo(x.size()), acombo(x.size());
+  src.fill(x);
+  src.fill(y);
+  const complex_t alpha{0.7, -0.3}, beta{-0.2, 1.1};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    combo[i] = alpha * x[i] + beta * y[i];
+  }
+  sparse::spmv(a, x, ax);
+  sparse::spmv(a, y, ay);
+  sparse::spmv(a, combo, acombo);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(acombo[i] - (alpha * ax[i] + beta * ay[i])), 0.0,
+                1e-11);
+  }
+  // Self-adjointness: <y|Ax> = <Ay|x>.
+  complex_t lhs{}, rhs{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    lhs += std::conj(y[i]) * ax[i];
+    rhs += std::conj(ay[i]) * x[i];
+  }
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-11);
+}
+
+TEST_P(FuzzProperty, RandomSellParametersPreserveOperator) {
+  std::mt19937_64 rng(GetParam() * 13 + 5);
+  std::uniform_int_distribution<global_index> size(30, 120);
+  std::uniform_int_distribution<int> chunk_pick(0, 4);
+  const global_index n = size(rng);
+  const auto a = random_hermitian(rng, n, 3);
+  const int chunks[] = {1, 2, 4, 8, 32};
+  const int chunk = chunks[chunk_pick(rng)];
+  std::uniform_int_distribution<int> sigma_mult(1, 5);
+  const int sigma = chunk == 1 ? 1 : chunk * sigma_mult(rng);
+  const sparse::SellMatrix s(a, chunk, sigma);
+  EXPECT_EQ(s.nnz(), a.nnz());
+  aligned_vector<complex_t> x(static_cast<std::size_t>(n)),
+      y_ref(x.size()), xp(x.size()), yp(x.size()), y(x.size());
+  RandomVectorSource src(GetParam() + 2);
+  src.fill(x);
+  sparse::spmv(a, x, y_ref);
+  s.permute(x, xp);
+  sparse::spmv(s, xp, yp);
+  s.unpermute(yp, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - y_ref[i]), 0.0, 1e-11)
+        << "chunk=" << chunk << " sigma=" << sigma;
+  }
+}
+
+TEST_P(FuzzProperty, StageEquivalenceOnRandomMatrices) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  std::uniform_int_distribution<global_index> size(24, 96);
+  const global_index n = size(rng);
+  const auto a = random_hermitian(rng, n, 3);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(a), 0.05);
+  core::MomentParams p;
+  p.num_moments = 32;
+  p.num_random = 3;
+  p.seed = GetParam();
+  const auto naive = core::moments_naive(a, s, p);
+  const auto fused = core::moments_aug_spmv(a, s, p);
+  const auto blocked = core::moments_aug_spmmv(a, s, p);
+  for (std::size_t m = 0; m < naive.mu.size(); ++m) {
+    EXPECT_NEAR(naive.mu[m], fused.mu[m], 1e-10);
+    EXPECT_NEAR(naive.mu[m], blocked.mu[m], 1e-10);
+    EXPECT_LE(std::abs(blocked.mu[m]), 1.0 + 1e-9);
+  }
+}
+
+TEST_P(FuzzProperty, DosIntegratesToDimension) {
+  std::mt19937_64 rng(GetParam() * 17 + 3);
+  std::uniform_int_distribution<global_index> size(40, 140);
+  const global_index n = size(rng);
+  const auto a = random_hermitian(rng, n, 4);
+  core::DosParams p;
+  p.moments.num_moments = 96;
+  p.moments.num_random = 16;
+  p.moments.seed = GetParam();
+  p.reconstruct.num_points = 512;
+  const auto res = core::compute_dos(a, p);
+  EXPECT_NEAR(res.spectrum.integral(), static_cast<double>(n),
+              0.05 * static_cast<double>(n));
+  for (const double d : res.spectrum.density) EXPECT_GE(d, -1e-9);
+}
+
+TEST_P(FuzzProperty, CollectivesRoundTrip) {
+  const int nranks = 1 + static_cast<int>(GetParam() % 5);
+  runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+    // broadcast
+    std::vector<complex_t> data(8, complex_t{});
+    if (c.rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = {static_cast<double>(i), static_cast<double>(GetParam())};
+      }
+    }
+    c.broadcast(0, data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i],
+                (complex_t{static_cast<double>(i),
+                           static_cast<double>(GetParam())}));
+    }
+    // allgather
+    std::vector<complex_t> gathered(static_cast<std::size_t>(nranks) * 2);
+    gathered[static_cast<std::size_t>(c.rank()) * 2] = {
+        static_cast<double>(c.rank()), 0.0};
+    gathered[static_cast<std::size_t>(c.rank()) * 2 + 1] = {
+        0.0, static_cast<double>(c.rank())};
+    c.allgather(gathered);
+    for (int r = 0; r < nranks; ++r) {
+      ASSERT_EQ(gathered[static_cast<std::size_t>(r) * 2],
+                (complex_t{static_cast<double>(r), 0.0}));
+      ASSERT_EQ(gathered[static_cast<std::size_t>(r) * 2 + 1],
+                (complex_t{0.0, static_cast<double>(r)}));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace kpm

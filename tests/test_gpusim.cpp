@@ -1,0 +1,155 @@
+// Tests for the SIMT/GPU model: traffic shapes of Fig. 9, bandwidth/bottleneck
+// shifts of Fig. 10, and the throughput predictor.
+#include <gtest/gtest.h>
+
+#include "gpusim/simt.hpp"
+#include "gpusim/throughput.hpp"
+#include "perfmodel/balance.hpp"
+#include "perfmodel/machine.hpp"
+#include "physics/ti_model.hpp"
+#include "util/check.hpp"
+
+namespace kpm::gpusim {
+namespace {
+
+const sparse::CrsMatrix& test_matrix() {
+  static const sparse::CrsMatrix m = [] {
+    physics::TIParams p;
+    p.nx = 40;
+    p.ny = 40;
+    p.nz = 10;
+    return physics::build_ti_hamiltonian(p);
+  }();
+  return m;
+}
+
+GpuTraffic traced(int width, GpuKernel k) {
+  auto h = memsim::make_k20m_hierarchy();
+  return trace_gpu_kernel(test_matrix(), width, k, h);
+}
+
+TEST(Simt, KernelNames) {
+  EXPECT_STREQ(kernel_name(GpuKernel::simple_spmmv), "spmmv");
+  EXPECT_STREQ(kernel_name(GpuKernel::aug_full), "aug_spmmv");
+}
+
+TEST(Simt, InvalidWidthThrows) {
+  auto h = memsim::make_k20m_hierarchy();
+  EXPECT_THROW(trace_gpu_kernel(test_matrix(), 48, GpuKernel::aug_full, h),
+               contract_error);
+  EXPECT_THROW(trace_gpu_kernel(test_matrix(), 0, GpuKernel::aug_full, h),
+               contract_error);
+}
+
+TEST(Simt, DramVolumePerColumnDecreasesWithR) {
+  // Fig. 9: the accumulated volume *per block vector* shrinks as R grows
+  // because the matrix impact is amortized.
+  double prev = 1e300;
+  for (int r : {1, 8, 16, 32, 64}) {
+    const auto t = traced(r, GpuKernel::simple_spmmv);
+    const double per_col = static_cast<double>(t.dram_bytes) / r;
+    EXPECT_LT(per_col, prev) << "R=" << r;
+    prev = per_col;
+  }
+}
+
+TEST(Simt, TexTrafficScalesLinearlyAtLargeR) {
+  // Fig. 9: texture traffic scales with R once each scalar matrix element
+  // is broadcast to R/32 warps.
+  const auto t32 = traced(32, GpuKernel::simple_spmmv);
+  const auto t64 = traced(64, GpuKernel::simple_spmmv);
+  const double ratio = static_cast<double>(t64.tex_bytes) /
+                       static_cast<double>(t32.tex_bytes);
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(Simt, DramVolumeNearModelMinimum) {
+  // For the augmented kernel the DRAM volume must be close to (and above)
+  // the Eq. 4 per-iteration minimum.
+  for (int r : {1, 16, 32}) {
+    const auto t = traced(r, GpuKernel::aug_full);
+    perfmodel::KpmWorkload w;
+    w.n = static_cast<double>(test_matrix().nrows());
+    w.nnz = static_cast<double>(test_matrix().nnz());
+    w.num_random = r;
+    w.num_moments = 2;
+    const double model = perfmodel::traffic_aug_spmmv(w);
+    const double omega = static_cast<double>(t.dram_bytes) / model;
+    EXPECT_GE(omega, 0.9) << "R=" << r;
+    EXPECT_LE(omega, 2.0) << "R=" << r;
+  }
+}
+
+TEST(Simt, AugKernelAddsFusedTailWork) {
+  // The augmented kernel reads v_i and the old w_i on top of the plain
+  // SpMMV; at DRAM level the extra reads largely hit in L2 (the diagonal
+  // gather just touched v_i), so volumes are >= but close, while the flop
+  // count strictly grows.
+  const auto simple = traced(16, GpuKernel::simple_spmmv);
+  const auto aug = traced(16, GpuKernel::aug_no_dots);
+  EXPECT_GE(aug.dram_bytes, simple.dram_bytes);
+  EXPECT_GT(aug.flops, simple.flops);
+  EXPECT_GT(aug.tex_bytes, simple.tex_bytes);  // the extra read-only v_i pass
+}
+
+TEST(Simt, DotProductsAddNoTrafficOnlyReductions) {
+  const auto no_dots = traced(32, GpuKernel::aug_no_dots);
+  const auto full = traced(32, GpuKernel::aug_full);
+  EXPECT_EQ(no_dots.dram_bytes, full.dram_bytes);
+  EXPECT_EQ(no_dots.tex_bytes, full.tex_bytes);
+  EXPECT_DOUBLE_EQ(no_dots.warp_reductions, 0.0);
+  EXPECT_GT(full.warp_reductions, 0.0);
+}
+
+TEST(Throughput, MemoryBoundAtR1) {
+  // Fig. 10: at R = 1 every kernel is DRAM-bandwidth bound.
+  const auto t = traced(1, GpuKernel::simple_spmmv);
+  const auto p = predict_kernel(t, perfmodel::machine_k20m());
+  EXPECT_STREQ(p.bottleneck, "DRAM");
+  EXPECT_NEAR(p.dram_bw_gbs, perfmodel::machine_k20m().mem_bw_gbs, 1.0);
+}
+
+TEST(Throughput, BottleneckShiftsToCacheAtLargeR) {
+  // Fig. 10(a)/(b): at R = 1 the plain kernel saturates DRAM; at large R
+  // the augmented kernel's bottleneck moves to the L2 — its achieved DRAM
+  // bandwidth desaturates while the L2 runs at its limit.
+  const auto& m = perfmodel::machine_k20m();
+  const auto p1 = predict_kernel(traced(1, GpuKernel::simple_spmmv), m);
+  const auto p64 = predict_kernel(traced(64, GpuKernel::aug_no_dots), m);
+  EXPECT_STREQ(p1.bottleneck, "DRAM");
+  EXPECT_NEAR(p1.dram_bw_gbs, m.mem_bw_gbs, 1.0);
+  EXPECT_STREQ(p64.bottleneck, "L2");
+  EXPECT_LT(p64.dram_bw_gbs, 0.995 * m.mem_bw_gbs);
+  EXPECT_NEAR(p64.l2_bw_gbs, m.llc_bw_gbs, 0.02 * m.llc_bw_gbs);
+  EXPECT_GT(p64.gflops, p1.gflops);
+}
+
+TEST(Throughput, FullAugKernelIsSlowerThanNoDots) {
+  // Fig. 10(c): same volumes, lower bandwidths — the reductions cost time.
+  const auto nd = traced(32, GpuKernel::aug_no_dots);
+  const auto full = traced(32, GpuKernel::aug_full);
+  const auto& m = perfmodel::machine_k20m();
+  const auto p_nd = predict_kernel(nd, m);
+  const auto p_full = predict_kernel(full, m);
+  EXPECT_GT(p_full.seconds, p_nd.seconds);
+  EXPECT_LT(p_full.dram_bw_gbs, p_nd.dram_bw_gbs);
+  EXPECT_LT(p_full.l2_bw_gbs, p_nd.l2_bw_gbs);
+}
+
+TEST(Throughput, PerformanceRisesWithRForFullKernel) {
+  // The headline effect: blocking decouples the kernel from DRAM bandwidth
+  // and raises sustained performance well above the R = 1 level.
+  const auto& m = perfmodel::machine_k20m();
+  const double p1 = predict_kernel(traced(1, GpuKernel::aug_full), m).gflops;
+  const double p32 = predict_kernel(traced(32, GpuKernel::aug_full), m).gflops;
+  EXPECT_GT(p32, 1.5 * p1);
+}
+
+TEST(Throughput, RequiresGpuSpec) {
+  const auto t = traced(1, GpuKernel::simple_spmmv);
+  EXPECT_THROW(predict_kernel(t, perfmodel::machine_ivb()), contract_error);
+}
+
+}  // namespace
+}  // namespace kpm::gpusim

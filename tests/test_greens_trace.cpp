@@ -1,0 +1,183 @@
+// Tests for the KPM Green's function and the generic trace-of-function
+// estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greens.hpp"
+#include "core/moments.hpp"
+#include "core/reconstruct.hpp"
+#include "core/trace.hpp"
+#include "physics/anderson.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+namespace {
+
+struct Setup {
+  sparse::CrsMatrix h;
+  physics::Scaling s;
+  MomentsResult moments;
+  std::vector<double> evals;
+};
+
+const Setup& setup() {
+  static const Setup instance = [] {
+    physics::AndersonParams p;
+    p.nx = 5;
+    p.ny = 5;
+    p.nz = 4;
+    p.disorder = 1.5;
+    p.periodic = false;
+    Setup st{physics::build_anderson_hamiltonian(p), {}, {}, {}};
+    st.s = physics::make_scaling(physics::gershgorin_bounds(st.h), 0.05);
+    MomentParams mp;
+    mp.num_moments = 128;
+    mp.num_random = 64;
+    st.moments = moments_aug_spmmv(st.h, st.s, mp);
+    st.evals = physics::sparse_eigenvalues(st.h);
+    return st;
+  }();
+  return instance;
+}
+
+TEST(Greens, ImaginaryPartIsMinusPiTimesDos) {
+  const auto& st = setup();
+  GreensParams gp;
+  ReconstructParams rp;
+  rp.kernel = DampingKernel::lorentz;
+  rp.num_points = 33;
+  rp.e_min = st.s.to_energy(-0.9);
+  rp.e_max = st.s.to_energy(0.9);
+  rp.normalization = 1.0;  // density per state
+  const auto dos = reconstruct_density(st.moments.mu, st.s, rp);
+  const auto g = greens_function(st.moments.mu, st.s, dos.energy, gp);
+  for (std::size_t k = 0; k < dos.energy.size(); ++k) {
+    EXPECT_NEAR(g[k].imag(), -pi * dos.density[k],
+                1e-9 + 1e-9 * std::abs(g[k].imag()))
+        << "E=" << dos.energy[k];
+  }
+}
+
+TEST(Greens, MatchesExactResolventWithBroadening) {
+  // tr[G(E + i eta)]/N with eta matched to the Lorentz kernel broadening
+  // (eta = lambda / (a M) in energy units).
+  const auto& st = setup();
+  GreensParams gp;
+  const double eta =
+      gp.lorentz_lambda / (st.s.a * static_cast<double>(st.moments.mu.size()));
+  for (double e : {-3.0, -1.0, 0.0, 1.5, 3.5}) {
+    const auto g = greens_function_at(st.moments.mu, st.s, e, gp);
+    complex_t exact{};
+    for (const double lambda : st.evals) {
+      exact += 1.0 / complex_t{e - lambda, eta};
+    }
+    exact /= static_cast<double>(st.evals.size());
+    // Stochastic trace + kernel-shape differences: generous tolerance.
+    EXPECT_NEAR(std::abs(g - exact), 0.0, 0.12 * std::abs(exact) + 0.02)
+        << "E=" << e;
+  }
+}
+
+TEST(Greens, RetardedAndAdvancedAreConjugates) {
+  const auto& st = setup();
+  GreensParams ret;
+  GreensParams adv;
+  adv.branch = -1;
+  for (double e : {-2.0, 0.3, 2.2}) {
+    const auto gr = greens_function_at(st.moments.mu, st.s, e, ret);
+    const auto ga = greens_function_at(st.moments.mu, st.s, e, adv);
+    EXPECT_NEAR(std::abs(gr - std::conj(ga)), 0.0, 1e-12);
+    EXPECT_LE(gr.imag(), 1e-12);  // retarded: Im G <= 0
+  }
+}
+
+TEST(Greens, RejectsEnergiesOutsideInterval) {
+  const auto& st = setup();
+  EXPECT_THROW(
+      greens_function_at(st.moments.mu, st.s, st.s.to_energy(1.5)),
+      contract_error);
+}
+
+TEST(Trace, ConstantFunctionCountsStates) {
+  const auto& st = setup();
+  const double n = static_cast<double>(st.h.nrows());
+  const double tr = trace_function(st.moments.mu, st.s, n,
+                                   [](double) { return 1.0; });
+  EXPECT_NEAR(tr, n, 1e-8 * n);
+}
+
+TEST(Trace, LinearFunctionGivesTraceOfH) {
+  const auto& st = setup();
+  const double n = static_cast<double>(st.h.nrows());
+  double exact = 0.0;
+  for (const double e : st.evals) exact += e;
+  const double tr = trace_function(st.moments.mu, st.s, n,
+                                   [](double e) { return e; });
+  // Stochastic error scales with the spectral width.
+  EXPECT_NEAR(tr, exact, 0.03 * n);
+}
+
+TEST(Trace, QuadraticFunctionGivesFrobeniusNorm) {
+  const auto& st = setup();
+  const double n = static_cast<double>(st.h.nrows());
+  double exact = 0.0;
+  for (const double e : st.evals) exact += e * e;
+  const double tr = trace_function(st.moments.mu, st.s, n,
+                                   [](double e) { return e * e; });
+  EXPECT_NEAR(tr, exact, 0.03 * exact);
+}
+
+TEST(Trace, PartitionFunctionMatchesExactSpectrum) {
+  const auto& st = setup();
+  const double n = static_cast<double>(st.h.nrows());
+  for (double beta : {0.1, 0.5, 1.0}) {
+    double exact = 0.0;
+    for (const double e : st.evals) exact += std::exp(-beta * e);
+    const double z = partition_function(st.moments.mu, st.s, n, beta);
+    EXPECT_NEAR(z, exact, 0.05 * exact) << "beta=" << beta;
+  }
+}
+
+TEST(Trace, FermiOccupationInterpolatesCounts) {
+  const auto& st = setup();
+  const double n = static_cast<double>(st.h.nrows());
+  // At very low temperature the occupation equals the eigenvalue count
+  // below the Fermi level.
+  const double e_fermi = 0.5;
+  double exact = 0.0;
+  for (const double e : st.evals) exact += e < e_fermi ? 1.0 : 0.0;
+  const double occ =
+      fermi_occupation(st.moments.mu, st.s, n, e_fermi, /*beta=*/50.0);
+  EXPECT_NEAR(occ, exact, 0.05 * n);
+  // Infinite temperature: half filling of a symmetric band ~ N/2... beta->0
+  // limit is exactly N/2 for f = 1/2 everywhere.
+  const double occ_hot =
+      fermi_occupation(st.moments.mu, st.s, n, 0.0, /*beta=*/1e-9);
+  EXPECT_NEAR(occ_hot, n / 2.0, 1e-6 * n);
+}
+
+TEST(Trace, ChebyshevCoefficientsOfPolynomials) {
+  // f(E) = T_2(x(E)) must give c_2 = 1/2, everything else ~ 0 (the
+  // quadrature is exact for polynomials).
+  physics::Scaling s{1.0, 0.0};
+  const auto c = chebyshev_coefficients(
+      [](double e) { return 2.0 * e * e - 1.0; }, s, 6);
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+  EXPECT_NEAR(c[2], 0.5, 1e-12);
+  EXPECT_NEAR(c[3], 0.0, 1e-12);
+}
+
+TEST(Trace, InvalidInputsThrow) {
+  physics::Scaling s{1.0, 0.0};
+  EXPECT_THROW(trace_function({}, s, 1.0, [](double) { return 1.0; }),
+               contract_error);
+  EXPECT_THROW(chebyshev_coefficients([](double) { return 1.0; }, s, 0),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace kpm::core

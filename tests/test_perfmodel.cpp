@@ -1,0 +1,166 @@
+// Tests for the performance model: Table I/II data, traffic formulas
+// (Eq. 4), code balance (Eqs. 5-7) and the roofline variants (Eqs. 9-11).
+#include <gtest/gtest.h>
+
+#include "perfmodel/balance.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/check.hpp"
+
+namespace kpm::perfmodel {
+namespace {
+
+KpmWorkload paper_workload(int r) {
+  // The paper's node-level test case: 100 x 100 x 40 TI domain.
+  KpmWorkload w;
+  w.n = 4.0 * 100 * 100 * 40;
+  w.nnz = 13.0 * w.n;
+  w.num_random = r;
+  w.num_moments = 2000;
+  return w;
+}
+
+TEST(Machine, Table2Values) {
+  const auto& ivb = machine_ivb();
+  EXPECT_EQ(ivb.cores, 10);
+  EXPECT_DOUBLE_EQ(ivb.mem_bw_gbs, 50);
+  EXPECT_DOUBLE_EQ(ivb.peak_gflops, 176);
+  EXPECT_FALSE(ivb.is_gpu);
+  const auto& k20x = machine_k20x();
+  EXPECT_EQ(k20x.cores, 14);
+  EXPECT_DOUBLE_EQ(k20x.mem_bw_gbs, 170);
+  EXPECT_DOUBLE_EQ(k20x.peak_gflops, 1311);
+  EXPECT_TRUE(k20x.is_gpu);
+  EXPECT_EQ(table2_machines().size(), 4u);
+}
+
+TEST(Balance, Table1RowTotalsMatchKpmRow) {
+  const auto w = paper_workload(1);
+  const auto rows = table1(w);
+  ASSERT_EQ(rows.size(), 6u);
+  // Sum of the individual functions equals the KPM total (both bytes and
+  // flops) — the consistency the paper's Table I encodes.
+  double bytes = 0.0;
+  double flops = 0.0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    bytes += rows[i].total_bytes();
+    flops += rows[i].total_flops();
+  }
+  EXPECT_NEAR(bytes, rows.back().total_bytes(), 1e-6 * bytes);
+  EXPECT_NEAR(flops, rows.back().total_flops(), 1e-6 * flops);
+}
+
+TEST(Balance, SpmvRowFormula) {
+  const auto w = paper_workload(2);
+  const auto rows = table1(w);
+  EXPECT_EQ(rows[0].name, "spmv");
+  EXPECT_DOUBLE_EQ(rows[0].calls, 2.0 * 1000.0);  // R * M/2
+  EXPECT_DOUBLE_EQ(rows[0].min_bytes_per_call,
+                   w.nnz * 20.0 + 2.0 * w.n * 16.0);
+  EXPECT_DOUBLE_EQ(rows[0].flops_per_call, w.nnz * 8.0);
+}
+
+TEST(Balance, TrafficHierarchyAcrossStages) {
+  const auto w = paper_workload(32);
+  const double v0 = traffic_naive(w);
+  const double v1 = traffic_aug_spmv(w);
+  const double v2 = traffic_aug_spmmv(w);
+  EXPECT_GT(v0, v1);
+  EXPECT_GT(v1, v2);
+  // Eq. 4: naive -> stage 1 drops the 13 N Sd term to 3 N Sd.
+  EXPECT_NEAR(v0 - v1,
+              w.num_random * w.inner_iterations() * 10.0 * w.n * 16.0,
+              1.0);
+  // Stage 1 -> 2: matrix read M/2 instead of R M/2 times.
+  EXPECT_NEAR(v1 - v2,
+              (w.num_random - 1) * w.inner_iterations() * w.nnz * 20.0, 1.0);
+}
+
+TEST(Balance, PaperEquation5Values) {
+  // Eq. 6: Bmin(1) = 308/138 ~ 2.23; Eq. 7: lim = 48/138 ~ 0.35.
+  EXPECT_NEAR(bmin(13.0, 1), (260.0 + 48.0) / 138.0, 1e-12);
+  EXPECT_NEAR(bmin(13.0, 1), 2.23, 0.01);
+  EXPECT_NEAR(bmin_limit(13.0), 0.3478, 0.001);
+  // Monotone decreasing in R, approaching the limit.
+  double prev = bmin(13.0, 1);
+  for (int r : {2, 4, 8, 16, 32, 64, 1024}) {
+    const double b = bmin(13.0, r);
+    EXPECT_LT(b, prev);
+    EXPECT_GT(b, bmin_limit(13.0));
+    prev = b;
+  }
+  EXPECT_NEAR(bmin(13.0, 1 << 20), bmin_limit(13.0), 1e-4);
+}
+
+TEST(Balance, TrafficMatchesBalanceTimesFlops) {
+  // Bmin(R) * total_flops == traffic_aug_spmmv (internal consistency).
+  const auto w = paper_workload(8);
+  EXPECT_NEAR(bmin(w.nnzr(), 8) * kpm_total_flops(w), traffic_aug_spmmv(w),
+              1e-3 * traffic_aug_spmmv(w));
+}
+
+TEST(Balance, GeneralSpmvLimitsFromTheIntroduction) {
+  // Paper intro: general SpMV balance minimum is 6 bytes/flop (double) and
+  // 2.5 bytes/flop (double complex).
+  EXPECT_DOUBLE_EQ(general_spmv_balance(8.0, 4.0, 2.0), 6.0);
+  EXPECT_DOUBLE_EQ(general_spmv_balance(16.0, 4.0, 8.0), 2.5);
+  EXPECT_THROW(general_spmv_balance(0.0, 4.0, 2.0), contract_error);
+}
+
+TEST(Balance, OmegaIsRatio) {
+  EXPECT_DOUBLE_EQ(omega(130.0, 100.0), 1.3);
+  EXPECT_THROW(omega(1.0, 0.0), contract_error);
+}
+
+TEST(Roofline, MemoryBoundRegime) {
+  const auto& ivb = machine_ivb();
+  // Bmin(1) = 2.23: P* = 50 / 2.23 ~ 22.4 Gflop/s, far below peak.
+  const double p = roofline(ivb, bmin(13.0, 1));
+  EXPECT_NEAR(p, 50.0 / 2.2319, 0.1);
+  EXPECT_LT(p, ivb.peak_gflops);
+  EXPECT_DOUBLE_EQ(p, roofline_mem(ivb, bmin(13.0, 1)));
+}
+
+TEST(Roofline, PeakBoundRegime) {
+  const auto& ivb = machine_ivb();
+  EXPECT_DOUBLE_EQ(roofline(ivb, 1e-6), ivb.peak_gflops);
+}
+
+TEST(Roofline, RefinedModelTakesMinimum) {
+  const auto& ivb = machine_ivb();
+  const double mem_b = bmin(13.0, 32);
+  const double llc_b = 1.86;
+  const double refined = roofline_refined(ivb, mem_b, llc_b);
+  EXPECT_DOUBLE_EQ(refined, std::min(roofline_mem(ivb, mem_b),
+                                     roofline_llc(ivb, llc_b)));
+  // At large R the memory bound exceeds the LLC bound: decoupled regime.
+  EXPECT_LT(roofline_llc(ivb, llc_b), roofline_mem(ivb, mem_b));
+}
+
+TEST(Roofline, CoreScalingSaturates) {
+  const auto& ivb = machine_ivb();
+  const double b1 = bmin(13.0, 1);  // memory bound: saturates early
+  double prev = 0.0;
+  for (int c = 1; c <= ivb.cores; ++c) {
+    const double p = roofline_cores(ivb, c, b1);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  // Saturated well below the full-socket peak.
+  EXPECT_DOUBLE_EQ(prev, ivb.mem_bw_gbs / b1);
+  // The blocked kernel (R = 32) keeps scaling to the full core count.
+  const double b32 = bmin(13.0, 32);
+  EXPECT_DOUBLE_EQ(roofline_cores(ivb, ivb.cores, b32),
+                   std::min(ivb.peak_gflops, ivb.mem_bw_gbs / b32));
+  EXPECT_GT(roofline_cores(ivb, 10, b32) / roofline_cores(ivb, 1, b32), 5.0);
+}
+
+TEST(Roofline, InvalidInputsThrow) {
+  const auto& ivb = machine_ivb();
+  EXPECT_THROW(roofline(ivb, 0.0), contract_error);
+  EXPECT_THROW(roofline_cores(ivb, 0, 1.0), contract_error);
+  EXPECT_THROW(roofline_cores(ivb, ivb.cores + 1, 1.0), contract_error);
+}
+
+}  // namespace
+}  // namespace kpm::perfmodel

@@ -1,0 +1,218 @@
+// Tests for the Chebyshev time propagator: coefficient identities, automatic
+// order selection, unitarity, energy conservation, group property, and
+// agreement with a high-accuracy RK4 integration of the Schroedinger
+// equation (matrix-free reference).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/block_ops.hpp"
+#include "blas/level1.hpp"
+#include "core/propagator.hpp"
+#include "physics/anderson.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "sparse/spmv.hpp"
+#include "util/random.hpp"
+
+namespace kpm::core {
+namespace {
+
+sparse::CrsMatrix test_matrix() {
+  physics::AndersonParams p;
+  p.nx = 5;
+  p.ny = 5;
+  p.nz = 4;
+  p.disorder = 1.5;
+  return physics::build_anderson_hamiltonian(p);
+}
+
+physics::Scaling scaling_for(const sparse::CrsMatrix& h) {
+  return physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+}
+
+/// RK4 integration of i d|v>/dt = H|v> with many small steps.
+aligned_vector<complex_t> rk4_evolve(const sparse::CrsMatrix& h,
+                                     std::span<const complex_t> v0,
+                                     double time, int steps) {
+  const auto n = v0.size();
+  aligned_vector<complex_t> v(v0.begin(), v0.end());
+  aligned_vector<complex_t> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  const double dt = time / steps;
+  const complex_t mi{0.0, -1.0};
+  auto rhs = [&](const aligned_vector<complex_t>& x,
+                 aligned_vector<complex_t>& out) {
+    sparse::spmv(h, x, out);
+    for (auto& z : out) z *= mi;
+  };
+  for (int s = 0; s < steps; ++s) {
+    rhs(v, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = v[i] + 0.5 * dt * k1[i];
+    rhs(tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = v[i] + 0.5 * dt * k2[i];
+    rhs(tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = v[i] + dt * k3[i];
+    rhs(tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+  }
+  return v;
+}
+
+TEST(Propagator, CoefficientsMatchBesselValues) {
+  const double z = 3.0;
+  const auto c = chebyshev_time_coefficients(z, 6);
+  EXPECT_NEAR(c[0].real(), std::cyl_bessel_j(0, z), 1e-14);
+  EXPECT_NEAR(c[0].imag(), 0.0, 1e-14);
+  // c_1 = -2i J_1(z)
+  EXPECT_NEAR(c[1].real(), 0.0, 1e-14);
+  EXPECT_NEAR(c[1].imag(), -2.0 * std::cyl_bessel_j(1, z), 1e-14);
+  // c_2 = -2 J_2(z)
+  EXPECT_NEAR(c[2].real(), -2.0 * std::cyl_bessel_j(2, z), 1e-14);
+  EXPECT_NEAR(c[2].imag(), 0.0, 1e-14);
+}
+
+TEST(Propagator, RequiredOrderGrowsWithTime) {
+  const int o1 = required_order(1.0, 1e-12);
+  const int o10 = required_order(10.0, 1e-12);
+  const int o50 = required_order(50.0, 1e-12);
+  EXPECT_LT(o1, o10);
+  EXPECT_LT(o10, o50);
+  // Super-exponential convergence: the order stays within a modest factor
+  // of z itself.
+  EXPECT_LT(o50, 120);
+}
+
+TEST(Propagator, ZeroTimeIsIdentity) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  aligned_vector<complex_t> v(static_cast<std::size_t>(h.nrows()));
+  RandomVectorSource rng(3);
+  rng.fill(v);
+  aligned_vector<complex_t> out(v.size());
+  PropagatorParams p;
+  p.time = 0.0;
+  p.order = 8;
+  propagate(h, s, p, v, out);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(std::abs(out[i] - v[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Propagator, PreservesNorm) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  aligned_vector<complex_t> v(static_cast<std::size_t>(h.nrows()));
+  RandomVectorSource rng(4);
+  rng.fill(v);
+  aligned_vector<complex_t> out(v.size());
+  for (double t : {0.1, 1.0, 5.0, 20.0}) {
+    PropagatorParams p;
+    p.time = t;
+    propagate(h, s, p, v, out);
+    EXPECT_NEAR(blas::nrm2(out), 1.0, 1e-10) << "t=" << t;
+  }
+}
+
+TEST(Propagator, ConservesEnergy) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  const auto n = static_cast<std::size_t>(h.nrows());
+  aligned_vector<complex_t> v(n), out(n), hv(n);
+  RandomVectorSource rng(5);
+  rng.fill(v);
+  sparse::spmv(h, v, hv);
+  const double e0 = blas::dot(v, hv).real();
+  PropagatorParams p;
+  p.time = 3.0;
+  propagate(h, s, p, v, out);
+  sparse::spmv(h, out, hv);
+  const double e1 = blas::dot(out, hv).real();
+  EXPECT_NEAR(e0, e1, 1e-10);
+}
+
+TEST(Propagator, MatchesRk4Reference) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  const auto n = static_cast<std::size_t>(h.nrows());
+  aligned_vector<complex_t> v(n, complex_t{});
+  v[n / 2] = {1.0, 0.0};  // localized wave packet
+  const double time = 2.0;
+  aligned_vector<complex_t> cheb(n);
+  PropagatorParams p;
+  p.time = time;
+  propagate(h, s, p, v, cheb);
+  const auto ref = rk4_evolve(h, v, time, 4000);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(cheb[i] - ref[i]));
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+TEST(Propagator, GroupProperty) {
+  // U(t1 + t2) = U(t2) U(t1).
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  const auto n = static_cast<std::size_t>(h.nrows());
+  aligned_vector<complex_t> v(n), once(n), step1(n), step2(n);
+  RandomVectorSource rng(6);
+  rng.fill(v);
+  PropagatorParams whole;
+  whole.time = 3.0;
+  propagate(h, s, whole, v, once);
+  PropagatorParams part;
+  part.time = 1.25;
+  propagate(h, s, part, v, step1);
+  part.time = 1.75;
+  propagate(h, s, part, step1, step2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(once[i] - step2[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Propagator, BlockMatchesSingleColumns) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  const int width = 5;
+  blas::BlockVector vin(h.nrows(), width), vout(h.nrows(), width);
+  RandomVectorSource rng(7);
+  aligned_vector<complex_t> col(static_cast<std::size_t>(h.nrows()));
+  for (int r = 0; r < width; ++r) {
+    rng.fill(col);
+    vin.set_column(r, col);
+  }
+  PropagatorParams p;
+  p.time = 2.5;
+  propagate(h, s, p, vin, vout);
+  aligned_vector<complex_t> single(static_cast<std::size_t>(h.nrows()));
+  for (int r = 0; r < width; ++r) {
+    vin.extract_column(r, col);
+    propagate(h, s, p, col, single);
+    for (global_index i = 0; i < h.nrows(); ++i) {
+      EXPECT_NEAR(std::abs(vout(i, r) - single[static_cast<std::size_t>(i)]),
+                  0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Propagator, NegativeTimeInvertsEvolution) {
+  const auto h = test_matrix();
+  const auto s = scaling_for(h);
+  const auto n = static_cast<std::size_t>(h.nrows());
+  aligned_vector<complex_t> v(n), fwd(n), back(n);
+  RandomVectorSource rng(8);
+  rng.fill(v);
+  PropagatorParams p;
+  p.time = 2.0;
+  propagate(h, s, p, v, fwd);
+  p.time = -2.0;
+  propagate(h, s, p, fwd, back);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(back[i] - v[i]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace kpm::core

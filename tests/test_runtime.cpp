@@ -1,0 +1,288 @@
+// Tests for the message-passing runtime and the distributed KPM solver:
+// transport primitives, partitioning, halo exchange, and exact agreement of
+// the distributed moments with the serial solver.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/moments.hpp"
+#include "physics/anderson.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "runtime/dist_matrix.hpp"
+#include "runtime/partition.hpp"
+#include "sparse/spmv.hpp"
+#include "util/check.hpp"
+
+namespace kpm::runtime {
+namespace {
+
+TEST(Comm, PointToPointRoundTrip) {
+  run_ranks(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<complex_t> data = {{1.0, 2.0}, {3.0, -4.0}};
+      c.send(1, 7, std::span<const complex_t>(data));
+    } else {
+      std::vector<complex_t> out(2);
+      c.recv(0, 7, out);
+      EXPECT_EQ(out[0], (complex_t{1.0, 2.0}));
+      EXPECT_EQ(out[1], (complex_t{3.0, -4.0}));
+    }
+  });
+}
+
+TEST(Comm, TagMatchingOutOfOrder) {
+  run_ranks(2, [](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<complex_t> a = {{1.0, 0.0}};
+      const std::vector<complex_t> b = {{2.0, 0.0}};
+      c.send(1, 1, std::span<const complex_t>(a));
+      c.send(1, 2, std::span<const complex_t>(b));
+    } else {
+      std::vector<complex_t> out(1);
+      c.recv(0, 2, out);  // receive the second message first
+      EXPECT_DOUBLE_EQ(out[0].real(), 2.0);
+      c.recv(0, 1, out);
+      EXPECT_DOUBLE_EQ(out[0].real(), 1.0);
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumsAcrossRanks) {
+  for (int nranks : {1, 2, 3, 5, 8}) {
+    run_ranks(nranks, [nranks](Communicator& c) {
+      std::vector<double> data = {static_cast<double>(c.rank() + 1), 10.0};
+      c.allreduce_sum(data);
+      EXPECT_DOUBLE_EQ(data[0], nranks * (nranks + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(data[1], 10.0 * nranks);
+    });
+  }
+}
+
+TEST(Comm, RepeatedAllreducesDoNotInterleave) {
+  run_ranks(4, [](Communicator& c) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<double> data = {static_cast<double>(round)};
+      c.allreduce_sum(data);
+      ASSERT_DOUBLE_EQ(data[0], 4.0 * round);
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> counter{0};
+  run_ranks(4, [&](Communicator& c) {
+    counter.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(counter.load(), 4);
+  });
+}
+
+TEST(Comm, ExceptionsPropagate) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Communicator& c) {
+                           if (c.rank() == 1) {
+                             require(false, "rank failure");
+                           }
+                         }),
+               contract_error);
+}
+
+TEST(Comm, ReductionCounterTracksEvents) {
+  run_ranks(3, [](Communicator& c) {
+    std::vector<double> d = {1.0};
+    c.allreduce_sum(d);
+    c.allreduce_sum(d);
+    c.barrier();
+    EXPECT_EQ(c.hub().reduction_count(), 2);
+  });
+}
+
+TEST(Partition, UniformCoversAllRows) {
+  const auto p = RowPartition::uniform(103, 4);
+  EXPECT_EQ(p.ranks(), 4);
+  EXPECT_EQ(p.total_rows(), 103);
+  global_index total = 0;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.begin(r), r == 0 ? 0 : p.end(r - 1));
+    total += p.local_rows(r);
+  }
+  EXPECT_EQ(total, 103);
+}
+
+TEST(Partition, WeightedProportions) {
+  const std::vector<double> w = {1.0, 3.0};
+  const auto p = RowPartition::weighted(1000, w);
+  EXPECT_EQ(p.local_rows(0), 250);
+  EXPECT_EQ(p.local_rows(1), 750);
+}
+
+TEST(Partition, OwnerIsConsistent) {
+  const std::vector<double> w = {2.0, 1.0, 1.0};
+  const auto p = RowPartition::weighted(97, w);
+  for (global_index row = 0; row < 97; ++row) {
+    const int o = p.owner(row);
+    EXPECT_GE(row, p.begin(o));
+    EXPECT_LT(row, p.end(o));
+  }
+  EXPECT_THROW(p.owner(97), contract_error);
+  EXPECT_THROW(RowPartition::weighted(10, std::vector<double>{1.0, -1.0}),
+               contract_error);
+}
+
+TEST(DistMatrix, LocalPartsReassembleGlobalSpmv) {
+  physics::TIParams tp;
+  tp.nx = 6;
+  tp.ny = 5;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  for (int nranks : {1, 2, 3, 4}) {
+    const auto part = RowPartition::uniform(h.nrows(), nranks);
+    // Reference y = H x.
+    aligned_vector<complex_t> x(static_cast<std::size_t>(h.nrows()));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = {std::sin(0.1 * static_cast<double>(i)),
+              std::cos(0.2 * static_cast<double>(i))};
+    }
+    aligned_vector<complex_t> y_ref(x.size());
+    sparse::spmv(h, x, y_ref);
+
+    std::vector<complex_t> y_dist(x.size());
+    run_ranks(nranks, [&](Communicator& c) {
+      DistributedMatrix dist(c, h, part);
+      blas::BlockVector v(dist.extended_rows(), 1);
+      const auto begin = part.begin(c.rank());
+      for (global_index i = 0; i < dist.local_rows(); ++i) {
+        v(i, 0) = x[static_cast<std::size_t>(begin + i)];
+      }
+      dist.exchange_halo(c, v);
+      blas::BlockVector y(dist.extended_rows(), 1);
+      sparse::spmmv(dist.local(), v, y);
+      for (global_index i = 0; i < dist.local_rows(); ++i) {
+        y_dist[static_cast<std::size_t>(begin + i)] = y(i, 0);
+      }
+    });
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+      EXPECT_NEAR(std::abs(y_ref[i] - y_dist[i]), 0.0, 1e-11)
+          << "ranks=" << nranks << " i=" << i;
+    }
+  }
+}
+
+TEST(DistMatrix, HaloSizeMatchesBoundarySurface) {
+  // Uniform z-slab partition of the TI lattice: the halo of an interior
+  // rank is two full x-y planes of basis states (one per neighbour slab).
+  physics::TIParams tp;
+  tp.nx = 6;
+  tp.ny = 6;
+  tp.nz = 8;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto part = RowPartition::uniform(h.nrows(), 4);  // 2 z-layers each
+  run_ranks(4, [&](Communicator& c) {
+    DistributedMatrix dist(c, h, part);
+    const global_index plane = 4LL * tp.nx * tp.ny;
+    const int interior_neighbors = (c.rank() == 0 || c.rank() == 3) ? 1 : 2;
+    EXPECT_EQ(dist.halo_size(), interior_neighbors * plane) << c.rank();
+  });
+}
+
+TEST(DistKpm, MatchesSerialMomentsUniform) {
+  physics::TIParams tp;
+  tp.nx = 5;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 32;
+  mp.num_random = 4;
+  mp.seed = 99;
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+  for (int nranks : {1, 2, 3, 5}) {
+    const auto part = RowPartition::uniform(h.nrows(), nranks);
+    run_ranks(nranks, [&](Communicator& c) {
+      DistributedMatrix dist(c, h, part);
+      const auto res = distributed_moments(c, dist, s, mp);
+      ASSERT_EQ(res.mu.size(), serial.mu.size());
+      for (std::size_t m = 0; m < res.mu.size(); ++m) {
+        EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-9)
+            << "ranks=" << nranks << " m=" << m;
+      }
+    });
+  }
+}
+
+TEST(DistKpm, MatchesSerialMomentsWeighted) {
+  // Heterogeneous weights (the paper's CPU/GPU split, e.g. 30/70).
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 4;
+  tp.periodic_z = true;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 24;
+  mp.num_random = 3;
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+  const std::vector<double> weights = {0.3, 0.7};
+  const auto part = RowPartition::weighted(h.nrows(), weights);
+  run_ranks(2, [&](Communicator& c) {
+    DistributedMatrix dist(c, h, part);
+    const auto res = distributed_moments(c, dist, s, mp);
+    for (std::size_t m = 0; m < res.mu.size(); ++m) {
+      EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-9);
+    }
+  });
+}
+
+TEST(DistKpm, ReductionModesAgreeNumerically) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams at_end;
+  at_end.num_moments = 16;
+  at_end.num_random = 2;
+  core::MomentParams per_iter = at_end;
+  per_iter.reduction = core::ReductionMode::per_iteration;
+  const auto part = RowPartition::uniform(h.nrows(), 3);
+  run_ranks(3, [&](Communicator& c) {
+    DistributedMatrix dist(c, h, part);
+    const auto a = distributed_moments(c, dist, s, at_end);
+    const auto b = distributed_moments(c, dist, s, per_iter);
+    for (std::size_t m = 0; m < a.mu.size(); ++m) {
+      EXPECT_NEAR(a.mu[m], b.mu[m], 1e-10);
+    }
+    // at_end: exactly one global reduction; per_iteration: one per step.
+    EXPECT_EQ(a.ops.global_reductions, 1);
+    EXPECT_EQ(b.ops.global_reductions, 8);  // M/2 = 8 steps
+  });
+}
+
+TEST(DistKpm, HaloTrafficGrowsWithWidth) {
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 4;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto part = RowPartition::uniform(h.nrows(), 2);
+  run_ranks(2, [&](Communicator& c) {
+    DistributedMatrix dist(c, h, part);
+    core::MomentParams mp;
+    mp.num_moments = 8;
+    mp.num_random = 1;
+    const auto r1 = distributed_moments(c, dist, s, mp);
+    mp.num_random = 4;
+    const auto r4 = distributed_moments(c, dist, s, mp);
+    EXPECT_EQ(r4.halo_bytes_sent, 4 * r1.halo_bytes_sent);
+  });
+}
+
+}  // namespace
+}  // namespace kpm::runtime

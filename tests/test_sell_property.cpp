@@ -1,0 +1,183 @@
+// Property-based sweeps (TEST_P) over SELL-C-sigma build parameters:
+// for every (chunk C, sorting scope sigma, matrix shape) combination the
+// format must preserve the operator exactly and keep its structural
+// invariants (fill-in >= 1, valid permutation, in-range padding indices).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <tuple>
+
+#include "blas/block_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+CrsMatrix random_banded(global_index n, int band, std::uint64_t seed,
+                        bool ragged) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<int> keep(0, 2);
+  CooMatrix coo(n, n);
+  for (global_index i = 0; i < n; ++i) {
+    coo.add(i, i, {val(rng), 0.0});
+    for (int d = 1; d <= band; ++d) {
+      if (i + d >= n) continue;
+      // Ragged matrices drop entries at random — rows get unequal lengths,
+      // exercising the sigma sorting and the chunk padding.
+      if (ragged && keep(rng) == 0) continue;
+      coo.add_hermitian_pair(i, i + d, {val(rng), val(rng)});
+    }
+  }
+  coo.compress();
+  return CrsMatrix(coo);
+}
+
+struct SellCase {
+  global_index n;
+  int band;
+  int chunk;
+  int sigma;
+  bool ragged;
+};
+
+class SellProperty : public ::testing::TestWithParam<SellCase> {};
+
+TEST_P(SellProperty, PermutationIsABijection) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 31, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  std::vector<bool> seen(static_cast<std::size_t>(p.n), false);
+  for (const auto old_row : s.perm()) {
+    ASSERT_GE(old_row, 0);
+    ASSERT_LT(old_row, p.n);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(old_row)]);
+    seen[static_cast<std::size_t>(old_row)] = true;
+  }
+  for (global_index i = 0; i < p.n; ++i) {
+    EXPECT_EQ(s.perm()[static_cast<std::size_t>(
+                  s.inverse_perm()[static_cast<std::size_t>(i)])],
+              i);
+  }
+}
+
+TEST_P(SellProperty, FillInRatioAtLeastOneAndBounded) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 32, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  EXPECT_GE(s.fill_in_ratio(), 1.0);
+  // Padding can never exceed chunk * max_row_len per chunk worst case.
+  EXPECT_LE(s.fill_in_ratio(),
+            static_cast<double>(p.chunk) * (2.0 * p.band + 1.0));
+  if (p.chunk == 1) {
+    // SELL-1 is CRS: no padding at all.
+    EXPECT_DOUBLE_EQ(s.fill_in_ratio(), 1.0);
+    EXPECT_EQ(s.padded_elements(), crs.nnz());
+  }
+}
+
+TEST_P(SellProperty, ColumnIndicesInRange) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 33, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  for (const auto c : s.col_idx()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, p.n);
+  }
+}
+
+TEST_P(SellProperty, SigmaSortingOnlyPermutesWithinWindows) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 34, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  for (global_index new_row = 0; new_row < p.n; ++new_row) {
+    const global_index old_row = s.perm()[static_cast<std::size_t>(new_row)];
+    if (p.sigma <= 1) {
+      EXPECT_EQ(old_row, new_row);
+    } else {
+      EXPECT_EQ(old_row / p.sigma, new_row / p.sigma)
+          << "row moved across a sigma window";
+    }
+  }
+}
+
+TEST_P(SellProperty, SpmvEquivalentToCrs) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 35, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  std::mt19937_64 rng(36);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  aligned_vector<complex_t> x(static_cast<std::size_t>(p.n));
+  for (auto& v : x) v = {d(rng), d(rng)};
+  aligned_vector<complex_t> y_crs(x.size()), x_perm(x.size()),
+      y_perm(x.size()), y_sell(x.size());
+  spmv(crs, x, y_crs);
+  s.permute(x, x_perm);
+  spmv(s, x_perm, y_perm);
+  s.unpermute(y_perm, y_sell);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(std::abs(y_crs[i] - y_sell[i]), 0.0, 1e-11);
+  }
+}
+
+TEST_P(SellProperty, AugSpmmvEquivalentToCrs) {
+  const auto p = GetParam();
+  const auto crs = random_banded(p.n, p.band, 37, p.ragged);
+  const SellMatrix s(crs, p.chunk, p.sigma);
+  const int width = 4;
+  std::mt19937_64 rng(38);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  blas::BlockVector v(p.n, width), w(p.n, width);
+  for (global_index i = 0; i < p.n; ++i) {
+    for (int r = 0; r < width; ++r) {
+      v(i, r) = {d(rng), d(rng)};
+      w(i, r) = {d(rng), d(rng)};
+    }
+  }
+  const auto sc = AugScalars::recurrence(0.25, 0.1);
+  blas::BlockVector v_perm(p.n, width), w_perm(p.n, width),
+      w_back(p.n, width);
+  s.permute(v, v_perm);
+  s.permute(w, w_perm);
+  std::vector<complex_t> vv_c(width), wv_c(width), vv_s(width), wv_s(width);
+  aug_spmmv(crs, sc, v, w, vv_c, wv_c);
+  aug_spmmv(s, sc, v_perm, w_perm, vv_s, wv_s);
+  s.unpermute(w_perm, w_back);
+  ASSERT_LT(blas::max_abs_diff(w, w_back), 1e-11);
+  for (int r = 0; r < width; ++r) {
+    ASSERT_NEAR(std::abs(vv_c[static_cast<std::size_t>(r)] -
+                         vv_s[static_cast<std::size_t>(r)]),
+                0.0, 1e-10);
+    ASSERT_NEAR(std::abs(wv_c[static_cast<std::size_t>(r)] -
+                         wv_s[static_cast<std::size_t>(r)]),
+                0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkSigmaSweep, SellProperty,
+    ::testing::Values(
+        SellCase{64, 3, 1, 1, false},    // SELL-1 == CRS
+        SellCase{64, 3, 4, 1, false},    // no sorting
+        SellCase{64, 3, 4, 16, true},    // sorted, ragged
+        SellCase{100, 5, 8, 32, true},   // non-divisible n
+        SellCase{101, 4, 8, 8, true},    // sigma == chunk
+        SellCase{128, 6, 16, 64, true},  // large chunk
+        SellCase{37, 2, 32, 32, true},   // chunk > n/2
+        SellCase{33, 1, 64, 64, false},  // chunk > n
+        SellCase{200, 7, 2, 100, true},  // wide sigma window (sigma%C==0)
+        SellCase{96, 3, 32, 96, true}),  // GPU-style warp chunk
+    [](const ::testing::TestParamInfo<SellCase>& info) {
+      const auto& p = info.param;
+      return "n" + std::to_string(p.n) + "_b" + std::to_string(p.band) +
+             "_C" + std::to_string(p.chunk) + "_s" + std::to_string(p.sigma) +
+             (p.ragged ? "_ragged" : "_uniform");
+    });
+
+}  // namespace
+}  // namespace kpm::sparse

@@ -1,0 +1,363 @@
+// Unit tests for src/sparse: COO assembly, CRS, SELL-C-sigma, SpM(M)V and
+// the fused augmented kernels, all validated against dense references.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "blas/block_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+/// Random Hermitian sparse matrix with ~nnz_per_row entries per row.
+CrsMatrix random_hermitian(global_index n, int nnz_per_row,
+                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<global_index> col(0, n - 1);
+  CooMatrix coo(n, n);
+  for (global_index i = 0; i < n; ++i) {
+    coo.add(i, i, {val(rng), 0.0});
+    for (int k = 0; k < nnz_per_row / 2; ++k) {
+      const global_index j = col(rng);
+      if (j == i) continue;
+      coo.add_hermitian_pair(i, j, {val(rng), val(rng)});
+    }
+  }
+  coo.compress();
+  return CrsMatrix(coo);
+}
+
+std::vector<complex_t> dense_of(const CrsMatrix& a) {
+  std::vector<complex_t> d(static_cast<std::size_t>(a.nrows()) *
+                           static_cast<std::size_t>(a.ncols()));
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      d[static_cast<std::size_t>(i) * static_cast<std::size_t>(a.ncols()) +
+        static_cast<std::size_t>(cols[k])] = vals[k];
+    }
+  }
+  return d;
+}
+
+std::vector<complex_t> dense_apply(const std::vector<complex_t>& d,
+                                   global_index n,
+                                   std::span<const complex_t> x) {
+  std::vector<complex_t> y(static_cast<std::size_t>(n));
+  for (global_index i = 0; i < n; ++i) {
+    complex_t acc{};
+    for (global_index j = 0; j < n; ++j) {
+      acc += d[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+aligned_vector<complex_t> random_vec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  aligned_vector<complex_t> v(n);
+  for (auto& x : v) x = {d(rng), d(rng)};
+  return v;
+}
+
+blas::BlockVector random_block(global_index n, int width, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  blas::BlockVector b(n, width);
+  for (global_index i = 0; i < n; ++i)
+    for (int r = 0; r < width; ++r) b(i, r) = {d(rng), d(rng)};
+  return b;
+}
+
+TEST(Coo, CompressMergesDuplicates) {
+  CooMatrix coo(3, 3);
+  coo.add(1, 2, {1.0, 0.0});
+  coo.add(1, 2, {0.5, 0.5});
+  coo.add(0, 0, {2.0, 0.0});
+  coo.compress();
+  EXPECT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.triplets()[1].value, (complex_t{1.5, 0.5}));
+}
+
+TEST(Coo, CompressDropsSmallEntries) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, {1e-15, 0.0});
+  coo.add(1, 0, {1.0, 0.0});
+  coo.compress(1e-12);
+  EXPECT_EQ(coo.nnz(), 1u);
+}
+
+TEST(Coo, HermitianPairAndCheck) {
+  CooMatrix coo(3, 3);
+  coo.add_hermitian_pair(0, 1, {1.0, 2.0});
+  coo.add(2, 2, {3.0, 0.0});
+  coo.compress();
+  EXPECT_TRUE(coo.is_hermitian());
+  coo.add(0, 2, {1.0, 0.0});  // unmatched entry breaks hermiticity
+  coo.compress();
+  EXPECT_FALSE(coo.is_hermitian());
+}
+
+TEST(Coo, OutOfRangeThrows) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, {1.0, 0.0}), contract_error);
+  EXPECT_THROW(coo.add(0, -1, {1.0, 0.0}), contract_error);
+}
+
+TEST(Crs, BuildsRowPointersCorrectly) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, {1.0, 0.0});
+  coo.add(0, 2, {2.0, 0.0});
+  coo.add(2, 1, {3.0, 0.0});
+  coo.compress();
+  CrsMatrix a(coo);
+  EXPECT_EQ(a.nnz(), 3);
+  const auto rp = a.row_ptr();
+  EXPECT_EQ(rp[0], 0);
+  EXPECT_EQ(rp[1], 2);
+  EXPECT_EQ(rp[2], 2);  // empty row
+  EXPECT_EQ(rp[3], 3);
+  EXPECT_EQ(a.at(0, 2), (complex_t{2.0, 0.0}));
+  EXPECT_EQ(a.at(1, 1), complex_t{});
+}
+
+TEST(Crs, AvgNnzAndStorageBytes) {
+  const auto a = random_hermitian(64, 6, 1);
+  EXPECT_NEAR(a.avg_nnz_per_row(),
+              static_cast<double>(a.nnz()) / 64.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.storage_bytes(),
+                   static_cast<double>(a.nnz()) * 20.0);
+}
+
+TEST(Spmv, CrsMatchesDense) {
+  const auto a = random_hermitian(97, 8, 2);
+  const auto d = dense_of(a);
+  const auto x = random_vec(97, 3);
+  aligned_vector<complex_t> y(97);
+  spmv(a, x, y);
+  const auto ref = dense_apply(d, 97, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - ref[i]), 0.0, 1e-11);
+  }
+}
+
+TEST(Spmv, SellMatchesCrs) {
+  const auto a = random_hermitian(130, 7, 4);
+  const SellMatrix s(a, 8, 32);
+  const auto x = random_vec(130, 5);
+  aligned_vector<complex_t> y_crs(130), x_perm(130), y_perm(130), y_sell(130);
+  spmv(a, x, y_crs);
+  s.permute(x, x_perm);
+  spmv(s, x_perm, y_perm);
+  s.unpermute(y_perm, y_sell);
+  for (std::size_t i = 0; i < y_crs.size(); ++i) {
+    EXPECT_NEAR(std::abs(y_crs[i] - y_sell[i]), 0.0, 1e-11);
+  }
+}
+
+TEST(Spmmv, CrsMatchesColumnwiseSpmv) {
+  const auto a = random_hermitian(75, 6, 6);
+  for (int width : {1, 2, 3, 4, 8, 16, 32, 33}) {
+    const auto x = random_block(75, width, 7 + width);
+    blas::BlockVector y(75, width);
+    spmmv(a, x, y);
+    aligned_vector<complex_t> xc(75), yc(75);
+    for (int r = 0; r < width; ++r) {
+      x.extract_column(r, xc);
+      spmv(a, xc, yc);
+      for (global_index i = 0; i < 75; ++i) {
+        EXPECT_NEAR(std::abs(y(i, r) - yc[static_cast<std::size_t>(i)]), 0.0,
+                    1e-11)
+            << "width=" << width << " col=" << r;
+      }
+    }
+  }
+}
+
+TEST(Spmmv, SellMatchesCrs) {
+  const auto a = random_hermitian(88, 9, 8);
+  const SellMatrix s(a, 4, 16);
+  const int width = 8;
+  const auto x = random_block(88, width, 9);
+  blas::BlockVector y_crs(88, width), x_perm(88, width), y_perm(88, width),
+      y_sell(88, width);
+  spmmv(a, x, y_crs);
+  s.permute(x, x_perm);
+  spmmv(s, x_perm, y_perm);
+  s.unpermute(y_perm, y_sell);
+  EXPECT_LT(blas::max_abs_diff(y_crs, y_sell), 1e-11);
+}
+
+TEST(Spmmv, ColMajorVariantAgrees) {
+  const auto a = random_hermitian(60, 5, 10);
+  const int width = 4;
+  const auto x = random_block(60, width, 11);
+  blas::BlockVector y(60, width);
+  spmmv(a, x, y);
+  const auto xt = x.transposed_layout();
+  blas::BlockVector yt(60, width, blas::Layout::col_major);
+  spmmv_colmajor(a, xt, yt);
+  for (global_index i = 0; i < 60; ++i)
+    for (int r = 0; r < width; ++r)
+      EXPECT_NEAR(std::abs(y(i, r) - yt(i, r)), 0.0, 1e-11);
+}
+
+TEST(AugSpmv, MatchesUnfusedComposition) {
+  const auto a = random_hermitian(111, 7, 12);
+  const AugScalars s{{2.0, 0.0}, {-0.6, 0.0}, {-1.0, 0.0}};
+  const auto v = random_vec(111, 13);
+  auto w = random_vec(111, 14);
+  auto w_ref = w;
+  // Reference: w_ref = alpha*A*v + beta*v + gamma*w_ref, dots separately.
+  aligned_vector<complex_t> av(111);
+  spmv(a, v, av);
+  for (std::size_t i = 0; i < w_ref.size(); ++i) {
+    w_ref[i] = s.alpha * av[i] + s.beta * v[i] + s.gamma * w_ref[i];
+  }
+  complex_t ref_vv{}, ref_wv{};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ref_vv += std::conj(v[i]) * v[i];
+    ref_wv += std::conj(w_ref[i]) * v[i];
+  }
+  complex_t dvv{}, dwv{};
+  aug_spmv(a, s, v, w, &dvv, &dwv);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(std::abs(w[i] - w_ref[i]), 0.0, 1e-11);
+  }
+  EXPECT_NEAR(std::abs(dvv - ref_vv), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(dwv - ref_wv), 0.0, 1e-10);
+}
+
+TEST(AugSpmv, SellAgreesWithCrs) {
+  const auto a = random_hermitian(90, 6, 15);
+  const SellMatrix sm(a, 8, 8);
+  const AugScalars s = AugScalars::recurrence(0.4, 0.1);
+  const auto v = random_vec(90, 16);
+  auto w_crs = random_vec(90, 17);
+  // SELL operates on permuted vectors.
+  aligned_vector<complex_t> v_perm(90), w_perm(90), w_back(90);
+  sm.permute(v, v_perm);
+  sm.permute(w_crs, w_perm);
+  complex_t vv_c{}, wv_c{}, vv_s{}, wv_s{};
+  aug_spmv(a, s, v, w_crs, &vv_c, &wv_c);
+  aug_spmv(sm, s, v_perm, w_perm, &vv_s, &wv_s);
+  sm.unpermute(w_perm, w_back);
+  for (std::size_t i = 0; i < w_crs.size(); ++i) {
+    EXPECT_NEAR(std::abs(w_crs[i] - w_back[i]), 0.0, 1e-11);
+  }
+  EXPECT_NEAR(std::abs(vv_c - vv_s), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(wv_c - wv_s), 0.0, 1e-10);
+}
+
+TEST(AugSpmmv, MatchesAugSpmvPerColumn) {
+  const auto a = random_hermitian(70, 8, 18);
+  const AugScalars s = AugScalars::recurrence(0.3, -0.2);
+  for (int width : {1, 2, 4, 8, 16, 32, 5}) {
+    const auto v = random_block(70, width, 19 + width);
+    auto w = random_block(70, width, 20 + width);
+    auto w_copy = w;
+    std::vector<complex_t> dvv(static_cast<std::size_t>(width)),
+        dwv(static_cast<std::size_t>(width));
+    aug_spmmv(a, s, v, w, dvv, dwv);
+    aligned_vector<complex_t> vc(70), wc(70);
+    for (int r = 0; r < width; ++r) {
+      v.extract_column(r, vc);
+      w_copy.extract_column(r, wc);
+      complex_t rvv{}, rwv{};
+      aug_spmv(a, s, vc, wc, &rvv, &rwv);
+      for (global_index i = 0; i < 70; ++i) {
+        EXPECT_NEAR(std::abs(w(i, r) - wc[static_cast<std::size_t>(i)]), 0.0,
+                    1e-11);
+      }
+      EXPECT_NEAR(std::abs(dvv[static_cast<std::size_t>(r)] - rvv), 0.0, 1e-10);
+      EXPECT_NEAR(std::abs(dwv[static_cast<std::size_t>(r)] - rwv), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(AugSpmmv, NoDotVariantLeavesResultIdentical) {
+  const auto a = random_hermitian(50, 6, 21);
+  const AugScalars s = AugScalars::recurrence(0.5, 0.0);
+  const auto v = random_block(50, 8, 22);
+  auto w1 = random_block(50, 8, 23);
+  auto w2 = w1;
+  std::vector<complex_t> dvv(8), dwv(8);
+  aug_spmmv(a, s, v, w1, dvv, dwv);
+  aug_spmmv(a, s, v, w2, {}, {});  // Fig. 10(b) kernel: no on-the-fly dots
+  EXPECT_LT(blas::max_abs_diff(w1, w2), 1e-13);
+}
+
+TEST(AugSpmmv, SellAgreesWithCrs) {
+  const auto a = random_hermitian(66, 7, 24);
+  const SellMatrix sm(a, 16, 32);
+  const AugScalars s = AugScalars::recurrence(0.35, 0.05);
+  const int width = 16;
+  const auto v = random_block(66, width, 25);
+  auto w = random_block(66, width, 26);
+  blas::BlockVector v_perm(66, width), w_perm(66, width), w_back(66, width);
+  sm.permute(v, v_perm);
+  sm.permute(w, w_perm);
+  std::vector<complex_t> vv_c(width), wv_c(width), vv_s(width), wv_s(width);
+  aug_spmmv(a, s, v, w, vv_c, wv_c);
+  aug_spmmv(sm, s, v_perm, w_perm, vv_s, wv_s);
+  sm.unpermute(w_perm, w_back);
+  EXPECT_LT(blas::max_abs_diff(w, w_back), 1e-11);
+  for (int r = 0; r < width; ++r) {
+    EXPECT_NEAR(std::abs(vv_c[static_cast<std::size_t>(r)] -
+                         vv_s[static_cast<std::size_t>(r)]),
+                0.0, 1e-10);
+    EXPECT_NEAR(std::abs(wv_c[static_cast<std::size_t>(r)] -
+                         wv_s[static_cast<std::size_t>(r)]),
+                0.0, 1e-10);
+  }
+}
+
+TEST(AugSpmmv, MismatchedDotSpansThrow) {
+  const auto a = random_hermitian(20, 4, 27);
+  const auto v = random_block(20, 4, 28);
+  auto w = random_block(20, 4, 29);
+  std::vector<complex_t> dvv(4), dwv(3);
+  EXPECT_THROW(aug_spmmv(a, AugScalars{}, v, w, dvv, dwv), contract_error);
+  std::vector<complex_t> only(4);
+  EXPECT_THROW(aug_spmmv(a, AugScalars{}, v, w, only, {}), contract_error);
+}
+
+TEST(MatrixStats, ReportsStructure) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, {1.0, 0.0});
+  coo.add_hermitian_pair(0, 3, {0.5, 0.5});
+  coo.add(1, 1, {2.0, 0.0});
+  coo.add(2, 2, {3.0, 0.0});
+  coo.compress();
+  const CrsMatrix a(coo);
+  const auto st = analyze(a);
+  EXPECT_EQ(st.nrows, 4);
+  EXPECT_EQ(st.nnz, 5);
+  EXPECT_EQ(st.max_row_len, 2);
+  EXPECT_EQ(st.min_row_len, 1);
+  EXPECT_EQ(st.bandwidth, 3);
+  EXPECT_TRUE(st.hermitian);
+}
+
+TEST(MatrixStats, DetectsNonHermitian) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, {1.0, 0.0});
+  coo.compress();
+  EXPECT_FALSE(analyze(CrsMatrix(coo)).hermitian);
+}
+
+}  // namespace
+}  // namespace kpm::sparse

@@ -1,0 +1,121 @@
+// Tests for the SSH chain model (topological edge states resolved by KPM)
+// and the TDP-based energy-to-solution accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/scaling.hpp"
+#include "core/eigcount.hpp"
+#include "core/solver.hpp"
+#include "physics/dense_eigen.hpp"
+#include "physics/ssh_chain.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace kpm {
+namespace {
+
+TEST(Ssh, PeriodicSpectrumMatchesBloch) {
+  physics::SshParams p;
+  p.ncells = 12;
+  p.periodic = true;
+  const auto h = physics::build_ssh_hamiltonian(p);
+  const auto exact = physics::exact_ssh_spectrum_periodic(p);
+  const auto dense = physics::sparse_eigenvalues(h);
+  ASSERT_EQ(exact.size(), dense.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(exact[i], dense[i], 1e-10);
+  }
+}
+
+TEST(Ssh, HamiltonianIsHermitianBipartite) {
+  physics::SshParams p;
+  p.ncells = 20;
+  const auto h = physics::build_ssh_hamiltonian(p);
+  const auto st = sparse::analyze(h);
+  EXPECT_TRUE(st.hermitian);
+  // Chiral symmetry: no diagonal entries at all.
+  for (global_index i = 0; i < h.nrows(); ++i) {
+    EXPECT_EQ(h.at(i, i), complex_t{});
+  }
+}
+
+TEST(Ssh, TopologicalChainHasTwoZeroModes) {
+  physics::SshParams p;
+  p.ncells = 30;
+  p.t1 = 0.5;
+  p.t2 = 1.0;
+  ASSERT_TRUE(p.topological());
+  const auto h = physics::build_ssh_hamiltonian(p);
+  const auto evals = physics::sparse_eigenvalues(h);
+  // Exactly two states exponentially close to zero, inside the gap |t2-t1|.
+  const auto in_gap = std::count_if(evals.begin(), evals.end(), [](double e) {
+    return std::abs(e) < 0.25;
+  });
+  EXPECT_EQ(in_gap, 2);
+}
+
+TEST(Ssh, TrivialChainHasNoZeroModes) {
+  physics::SshParams p;
+  p.ncells = 30;
+  p.t1 = 1.0;
+  p.t2 = 0.5;
+  ASSERT_FALSE(p.topological());
+  const auto h = physics::build_ssh_hamiltonian(p);
+  const auto evals = physics::sparse_eigenvalues(h);
+  const auto in_gap = std::count_if(evals.begin(), evals.end(), [](double e) {
+    return std::abs(e) < 0.25;
+  });
+  EXPECT_EQ(in_gap, 0);
+}
+
+TEST(Ssh, KpmResolvesEdgeStates) {
+  // The full KPM pipeline counts the two in-gap edge modes of the
+  // topological phase — the SSH analogue of the paper's Fig. 1 zoom.
+  physics::SshParams p;
+  p.ncells = 64;
+  p.t1 = 0.5;
+  p.t2 = 1.0;
+  const auto h = physics::build_ssh_hamiltonian(p);
+  core::DosParams dp;
+  dp.moments.num_moments = 1024;
+  dp.moments.num_random = 32;
+  const auto res = core::compute_dos(h, dp);
+  const double in_gap = core::eigenvalue_count(
+      res.moments.mu, res.scaling, static_cast<double>(h.nrows()), -0.25,
+      0.25);
+  EXPECT_NEAR(in_gap, 2.0, 0.8);
+}
+
+TEST(Energy, NodePowerSumsComponents) {
+  const auto node = cluster::piz_daint_node();
+  // SNB 115 W + K20X 235 W + 100 W blade overhead.
+  EXPECT_DOUBLE_EQ(cluster::node_power_watts(node), 115.0 + 235.0 + 100.0);
+  EXPECT_DOUBLE_EQ(cluster::node_power_watts(node, 0.0), 350.0);
+}
+
+TEST(Energy, Table3EnergyTracksNodeHours) {
+  const auto node = cluster::piz_daint_node();
+  const cluster::NetworkSpec net;
+  const auto rows = cluster::table3(node, net);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.megajoules, 0.0);
+    // energy = node_hours * 3600 * node_power
+    EXPECT_NEAR(r.megajoules,
+                r.node_hours * 3600.0 * cluster::node_power_watts(node) / 1e6,
+                1e-6 * r.megajoules);
+  }
+  // Energy ranking mirrors the node-hour ranking: the blocked solver is the
+  // most energy-efficient.
+  EXPECT_GT(rows[0].megajoules, rows[1].megajoules);
+  EXPECT_GT(rows[1].megajoules, rows[2].megajoules);
+}
+
+TEST(Energy, Table2MachinesHaveTdp) {
+  for (const auto* m : perfmodel::table2_machines()) {
+    EXPECT_GT(m->tdp_watts, 0.0) << m->name;
+  }
+}
+
+}  // namespace
+}  // namespace kpm

@@ -1,0 +1,224 @@
+// Unit tests for src/util: aligned storage, timers, random vectors,
+// statistics and the table writer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace kpm {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Check, RequireThrowsWithContext) {
+  try {
+    require(false, "boom");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util"), std::string::npos);
+  }
+}
+
+TEST(Aligned, VectorDataIsAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    aligned_vector<complex_t> v(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kpm_alignment, 0u);
+  }
+}
+
+TEST(Aligned, VectorSupportsGrowthAndCopy) {
+  aligned_vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  aligned_vector<double> w = v;
+  EXPECT_EQ(w.size(), 1000u);
+  EXPECT_DOUBLE_EQ(w[999], 999.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kpm_alignment, 0u);
+}
+
+TEST(Aligned, ZeroSizedAllocationIsSafe) {
+  aligned_allocator<double> alloc;
+  double* p = alloc.allocate(0);
+  EXPECT_EQ(p, nullptr);
+  alloc.deallocate(p, 0);
+}
+
+TEST(Timer, MeasuresSleep) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.015);
+  EXPECT_LT(t.seconds(), 5.0);
+  EXPECT_EQ(t.intervals(), 1);
+}
+
+TEST(Timer, AccumulatesIntervals) {
+  Timer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    t.stop();
+  }
+  EXPECT_EQ(t.intervals(), 3);
+  t.reset();
+  EXPECT_EQ(t.intervals(), 0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(TimeBest, ReturnsPositiveTime) {
+  volatile double sink = 0.0;
+  const double best = time_best(
+      [&] {
+        for (int i = 0; i < 1000; ++i) sink = sink + i;
+      },
+      0.001, 2);
+  EXPECT_GT(best, 0.0);
+}
+
+TEST(Random, PhaseVectorIsNormalized) {
+  RandomVectorSource src(1);
+  aligned_vector<complex_t> v(1024);
+  src.fill(v);
+  double norm2 = 0.0;
+  for (const auto& x : v) norm2 += std::norm(x);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(Random, PhaseVectorHasUnitModulusEntries) {
+  RandomVectorSource src(2);
+  aligned_vector<complex_t> v(256);
+  src.fill(v);
+  // All |v_i| equal (1/sqrt(N)) for the phase ensemble.
+  const double expected = 1.0 / std::sqrt(256.0);
+  for (const auto& x : v) EXPECT_NEAR(std::abs(x), expected, 1e-12);
+}
+
+TEST(Random, RademacherEntriesAreRealSigns) {
+  RandomVectorSource src(3, RandomVectorKind::rademacher);
+  aligned_vector<complex_t> v(256);
+  src.fill(v);
+  for (const auto& x : v) {
+    EXPECT_DOUBLE_EQ(x.imag(), 0.0);
+    EXPECT_NEAR(std::abs(x.real()), 1.0 / 16.0, 1e-12);
+  }
+}
+
+TEST(Random, DeterministicForEqualSeeds) {
+  RandomVectorSource a(77), b(77);
+  aligned_vector<complex_t> va(100), vb(100);
+  a.fill(va);
+  b.fill(vb);
+  for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  RandomVectorSource a(1), b(2);
+  aligned_vector<complex_t> va(100), vb(100);
+  a.fill(va);
+  b.fill(vb);
+  int same = 0;
+  for (std::size_t i = 0; i < va.size(); ++i) same += va[i] == vb[i];
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, FillColumnMatchesFill) {
+  // fill_column must produce the same stream as fill on a single vector.
+  RandomVectorSource a(5), b(5);
+  aligned_vector<complex_t> v(64);
+  a.fill(v);
+  aligned_vector<complex_t> block(64 * 4, complex_t{});
+  b.fill_column(block, 4, 2);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(block[i * 4 + 2], v[i]);
+}
+
+TEST(Random, GaussianVectorIsNormalized) {
+  RandomVectorSource src(9, RandomVectorKind::gaussian);
+  aligned_vector<complex_t> v(512);
+  src.fill(v);
+  double norm2 = 0.0;
+  for (const auto& x : v) norm2 += std::norm(x);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, EvenSampleMedianAveragesMiddle) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_error(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(Stats, TrapezoidIntegratesLinearExactly) {
+  std::vector<double> x(11), y(11);
+  for (int i = 0; i <= 10; ++i) {
+    x[static_cast<std::size_t>(i)] = i * 0.1;
+    y[static_cast<std::size_t>(i)] = 2.0 * i * 0.1;  // y = 2x on [0,1]
+  }
+  EXPECT_NEAR(trapezoid(x, y), 1.0, 1e-12);
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo");
+  t.columns({"a", "b"}).row({std::string("x"), 1.5}).row({std::string("y"),
+                                                          2.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("y"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.columns({"n", "v"}).row({static_cast<long long>(3), 0.25});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n,v\n3,0.25\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.row({1.0}), contract_error);
+}
+
+TEST(Env, ThreadCountIsPositive) { EXPECT_GE(max_threads(), 1); }
+
+TEST(Env, FormatHelpers) {
+  EXPECT_EQ(format_flops(2.0e9), "2 Gflop/s");
+  EXPECT_EQ(format_bytes(2048.0), "2 KiB");
+}
+
+}  // namespace
+}  // namespace kpm
