@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_ftlm.dir/baseline_ftlm.cpp.o"
+  "CMakeFiles/baseline_ftlm.dir/baseline_ftlm.cpp.o.d"
+  "baseline_ftlm"
+  "baseline_ftlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ftlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gpu_bandwidth.dir/fig10_gpu_bandwidth.cpp.o"
+  "CMakeFiles/fig10_gpu_bandwidth.dir/fig10_gpu_bandwidth.cpp.o.d"
+  "fig10_gpu_bandwidth"
+  "fig10_gpu_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

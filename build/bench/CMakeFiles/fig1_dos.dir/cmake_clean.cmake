@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dos.dir/fig1_dos.cpp.o"
+  "CMakeFiles/fig1_dos.dir/fig1_dos.cpp.o.d"
+  "fig1_dos"
+  "fig1_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

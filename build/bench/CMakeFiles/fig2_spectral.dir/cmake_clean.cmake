@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_spectral.dir/fig2_spectral.cpp.o"
+  "CMakeFiles/fig2_spectral.dir/fig2_spectral.cpp.o.d"
+  "fig2_spectral"
+  "fig2_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

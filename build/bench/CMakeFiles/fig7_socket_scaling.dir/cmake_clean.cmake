@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_socket_scaling.dir/fig7_socket_scaling.cpp.o"
+  "CMakeFiles/fig7_socket_scaling.dir/fig7_socket_scaling.cpp.o.d"
+  "fig7_socket_scaling"
+  "fig7_socket_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_socket_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

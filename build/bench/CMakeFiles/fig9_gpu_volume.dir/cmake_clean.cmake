@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gpu_volume.dir/fig9_gpu_volume.cpp.o"
+  "CMakeFiles/fig9_gpu_volume.dir/fig9_gpu_volume.cpp.o.d"
+  "fig9_gpu_volume"
+  "fig9_gpu_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gpu_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

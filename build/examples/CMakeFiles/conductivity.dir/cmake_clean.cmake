@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conductivity.dir/conductivity.cpp.o"
+  "CMakeFiles/conductivity.dir/conductivity.cpp.o.d"
+  "conductivity"
+  "conductivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conductivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

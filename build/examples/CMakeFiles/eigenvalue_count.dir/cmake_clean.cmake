@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenvalue_count.dir/eigenvalue_count.cpp.o"
+  "CMakeFiles/eigenvalue_count.dir/eigenvalue_count.cpp.o.d"
+  "eigenvalue_count"
+  "eigenvalue_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenvalue_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

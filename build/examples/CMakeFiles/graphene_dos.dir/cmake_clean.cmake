@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_dos.dir/graphene_dos.cpp.o"
+  "CMakeFiles/graphene_dos.dir/graphene_dos.cpp.o.d"
+  "graphene_dos"
+  "graphene_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

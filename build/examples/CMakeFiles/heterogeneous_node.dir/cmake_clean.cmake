@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_node.dir/heterogeneous_node.cpp.o"
+  "CMakeFiles/heterogeneous_node.dir/heterogeneous_node.cpp.o.d"
+  "heterogeneous_node"
+  "heterogeneous_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

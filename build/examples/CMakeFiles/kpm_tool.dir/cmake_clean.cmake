@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_tool.dir/kpm_tool.cpp.o"
+  "CMakeFiles/kpm_tool.dir/kpm_tool.cpp.o.d"
+  "kpm_tool"
+  "kpm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_function.dir/spectral_function.cpp.o"
+  "CMakeFiles/spectral_function.dir/spectral_function.cpp.o.d"
+  "spectral_function"
+  "spectral_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topological_insulator_dos.dir/topological_insulator_dos.cpp.o"
+  "CMakeFiles/topological_insulator_dos.dir/topological_insulator_dos.cpp.o.d"
+  "topological_insulator_dos"
+  "topological_insulator_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topological_insulator_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

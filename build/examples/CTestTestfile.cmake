@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ti_dos "/root/repo/build/examples/topological_insulator_dos" "16" "16" "4" "128" "4")
+set_tests_properties(example_ti_dos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectral "/root/repo/build/examples/spectral_function" "12" "12" "3" "64")
+set_tests_properties(example_spectral PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heterogeneous "/root/repo/build/examples/heterogeneous_node" "12" "12" "4" "64" "4")
+set_tests_properties(example_heterogeneous PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_eigcount "/root/repo/build/examples/eigenvalue_count" "4" "128" "8")
+set_tests_properties(example_eigcount PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_time_evolution "/root/repo/build/examples/time_evolution" "8" "6" "2")
+set_tests_properties(example_time_evolution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conductivity "/root/repo/build/examples/conductivity" "6" "24" "4")
+set_tests_properties(example_conductivity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graphene "/root/repo/build/examples/graphene_dos" "16" "128" "4")
+set_tests_properties(example_graphene PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tool_roundtrip "sh" "-c" "/root/repo/build/examples/kpm_tool make ssh ssh_smoke.mtx --size 16 &&                           /root/repo/build/examples/kpm_tool info ssh_smoke.mtx &&                           /root/repo/build/examples/kpm_tool dos ssh_smoke.mtx --moments 64 --random 4 --points 8 &&                           /root/repo/build/examples/kpm_tool count ssh_smoke.mtx --from -0.3 --to 0.3 --moments 128 --random 4")
+set_tests_properties(example_tool_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

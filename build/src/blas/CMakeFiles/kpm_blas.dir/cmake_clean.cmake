@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_blas.dir/block_ops.cpp.o"
+  "CMakeFiles/kpm_blas.dir/block_ops.cpp.o.d"
+  "CMakeFiles/kpm_blas.dir/block_vector.cpp.o"
+  "CMakeFiles/kpm_blas.dir/block_vector.cpp.o.d"
+  "CMakeFiles/kpm_blas.dir/level1.cpp.o"
+  "CMakeFiles/kpm_blas.dir/level1.cpp.o.d"
+  "libkpm_blas.a"
+  "libkpm_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_cluster.dir/network.cpp.o"
+  "CMakeFiles/kpm_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/kpm_cluster.dir/node_model.cpp.o"
+  "CMakeFiles/kpm_cluster.dir/node_model.cpp.o.d"
+  "CMakeFiles/kpm_cluster.dir/scaling.cpp.o"
+  "CMakeFiles/kpm_cluster.dir/scaling.cpp.o.d"
+  "libkpm_cluster.a"
+  "libkpm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

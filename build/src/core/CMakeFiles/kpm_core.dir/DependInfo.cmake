@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/damping.cpp" "src/core/CMakeFiles/kpm_core.dir/damping.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/damping.cpp.o.d"
+  "/root/repo/src/core/eigcount.cpp" "src/core/CMakeFiles/kpm_core.dir/eigcount.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/eigcount.cpp.o.d"
+  "/root/repo/src/core/ftlm.cpp" "src/core/CMakeFiles/kpm_core.dir/ftlm.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/ftlm.cpp.o.d"
+  "/root/repo/src/core/greens.cpp" "src/core/CMakeFiles/kpm_core.dir/greens.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/greens.cpp.o.d"
+  "/root/repo/src/core/kubo.cpp" "src/core/CMakeFiles/kpm_core.dir/kubo.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/kubo.cpp.o.d"
+  "/root/repo/src/core/moments.cpp" "src/core/CMakeFiles/kpm_core.dir/moments.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/moments.cpp.o.d"
+  "/root/repo/src/core/propagator.cpp" "src/core/CMakeFiles/kpm_core.dir/propagator.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/propagator.cpp.o.d"
+  "/root/repo/src/core/reconstruct.cpp" "src/core/CMakeFiles/kpm_core.dir/reconstruct.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/kpm_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/core/CMakeFiles/kpm_core.dir/spectral.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/spectral.cpp.o.d"
+  "/root/repo/src/core/statistics.cpp" "src/core/CMakeFiles/kpm_core.dir/statistics.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/statistics.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/kpm_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/kpm_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/kpm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/kpm_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

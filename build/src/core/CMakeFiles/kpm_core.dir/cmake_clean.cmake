@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_core.dir/damping.cpp.o"
+  "CMakeFiles/kpm_core.dir/damping.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/eigcount.cpp.o"
+  "CMakeFiles/kpm_core.dir/eigcount.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/ftlm.cpp.o"
+  "CMakeFiles/kpm_core.dir/ftlm.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/greens.cpp.o"
+  "CMakeFiles/kpm_core.dir/greens.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/kubo.cpp.o"
+  "CMakeFiles/kpm_core.dir/kubo.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/moments.cpp.o"
+  "CMakeFiles/kpm_core.dir/moments.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/propagator.cpp.o"
+  "CMakeFiles/kpm_core.dir/propagator.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/reconstruct.cpp.o"
+  "CMakeFiles/kpm_core.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/solver.cpp.o"
+  "CMakeFiles/kpm_core.dir/solver.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/spectral.cpp.o"
+  "CMakeFiles/kpm_core.dir/spectral.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/statistics.cpp.o"
+  "CMakeFiles/kpm_core.dir/statistics.cpp.o.d"
+  "CMakeFiles/kpm_core.dir/trace.cpp.o"
+  "CMakeFiles/kpm_core.dir/trace.cpp.o.d"
+  "libkpm_core.a"
+  "libkpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/formats.cpp" "src/gpusim/CMakeFiles/kpm_gpusim.dir/formats.cpp.o" "gcc" "src/gpusim/CMakeFiles/kpm_gpusim.dir/formats.cpp.o.d"
+  "/root/repo/src/gpusim/simt.cpp" "src/gpusim/CMakeFiles/kpm_gpusim.dir/simt.cpp.o" "gcc" "src/gpusim/CMakeFiles/kpm_gpusim.dir/simt.cpp.o.d"
+  "/root/repo/src/gpusim/throughput.cpp" "src/gpusim/CMakeFiles/kpm_gpusim.dir/throughput.cpp.o" "gcc" "src/gpusim/CMakeFiles/kpm_gpusim.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/kpm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/kpm_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/kpm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

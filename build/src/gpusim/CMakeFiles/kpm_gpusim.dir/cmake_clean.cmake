@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_gpusim.dir/formats.cpp.o"
+  "CMakeFiles/kpm_gpusim.dir/formats.cpp.o.d"
+  "CMakeFiles/kpm_gpusim.dir/simt.cpp.o"
+  "CMakeFiles/kpm_gpusim.dir/simt.cpp.o.d"
+  "CMakeFiles/kpm_gpusim.dir/throughput.cpp.o"
+  "CMakeFiles/kpm_gpusim.dir/throughput.cpp.o.d"
+  "libkpm_gpusim.a"
+  "libkpm_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

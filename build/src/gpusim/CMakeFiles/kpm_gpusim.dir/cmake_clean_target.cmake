@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkpm_gpusim.a"
+)

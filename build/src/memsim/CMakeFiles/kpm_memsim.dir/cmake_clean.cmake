@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_memsim.dir/cache.cpp.o"
+  "CMakeFiles/kpm_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/kpm_memsim.dir/hierarchies.cpp.o"
+  "CMakeFiles/kpm_memsim.dir/hierarchies.cpp.o.d"
+  "CMakeFiles/kpm_memsim.dir/traced_kernels.cpp.o"
+  "CMakeFiles/kpm_memsim.dir/traced_kernels.cpp.o.d"
+  "libkpm_memsim.a"
+  "libkpm_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

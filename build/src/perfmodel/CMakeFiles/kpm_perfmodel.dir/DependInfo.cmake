@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/balance.cpp" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/balance.cpp.o" "gcc" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/balance.cpp.o.d"
+  "/root/repo/src/perfmodel/machine.cpp" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/machine.cpp.o" "gcc" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/machine.cpp.o.d"
+  "/root/repo/src/perfmodel/roofline.cpp" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/roofline.cpp.o" "gcc" "src/perfmodel/CMakeFiles/kpm_perfmodel.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_perfmodel.dir/balance.cpp.o"
+  "CMakeFiles/kpm_perfmodel.dir/balance.cpp.o.d"
+  "CMakeFiles/kpm_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/kpm_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/kpm_perfmodel.dir/roofline.cpp.o"
+  "CMakeFiles/kpm_perfmodel.dir/roofline.cpp.o.d"
+  "libkpm_perfmodel.a"
+  "libkpm_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/anderson.cpp" "src/physics/CMakeFiles/kpm_physics.dir/anderson.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/anderson.cpp.o.d"
+  "/root/repo/src/physics/dense_eigen.cpp" "src/physics/CMakeFiles/kpm_physics.dir/dense_eigen.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/dense_eigen.cpp.o.d"
+  "/root/repo/src/physics/dirac.cpp" "src/physics/CMakeFiles/kpm_physics.dir/dirac.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/dirac.cpp.o.d"
+  "/root/repo/src/physics/graphene.cpp" "src/physics/CMakeFiles/kpm_physics.dir/graphene.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/graphene.cpp.o.d"
+  "/root/repo/src/physics/spectral_bounds.cpp" "src/physics/CMakeFiles/kpm_physics.dir/spectral_bounds.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/spectral_bounds.cpp.o.d"
+  "/root/repo/src/physics/ssh_chain.cpp" "src/physics/CMakeFiles/kpm_physics.dir/ssh_chain.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/ssh_chain.cpp.o.d"
+  "/root/repo/src/physics/ti_model.cpp" "src/physics/CMakeFiles/kpm_physics.dir/ti_model.cpp.o" "gcc" "src/physics/CMakeFiles/kpm_physics.dir/ti_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/kpm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_physics.dir/anderson.cpp.o"
+  "CMakeFiles/kpm_physics.dir/anderson.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/dense_eigen.cpp.o"
+  "CMakeFiles/kpm_physics.dir/dense_eigen.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/dirac.cpp.o"
+  "CMakeFiles/kpm_physics.dir/dirac.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/graphene.cpp.o"
+  "CMakeFiles/kpm_physics.dir/graphene.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/spectral_bounds.cpp.o"
+  "CMakeFiles/kpm_physics.dir/spectral_bounds.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/ssh_chain.cpp.o"
+  "CMakeFiles/kpm_physics.dir/ssh_chain.cpp.o.d"
+  "CMakeFiles/kpm_physics.dir/ti_model.cpp.o"
+  "CMakeFiles/kpm_physics.dir/ti_model.cpp.o.d"
+  "libkpm_physics.a"
+  "libkpm_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/autotune.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/autotune.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/autotune.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/comm.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/comm.cpp.o.d"
+  "/root/repo/src/runtime/dist_kpm.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_kpm.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_kpm.cpp.o.d"
+  "/root/repo/src/runtime/dist_matrix.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_matrix.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/runtime/dist_propagator.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_propagator.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/dist_propagator.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/runtime/CMakeFiles/kpm_runtime.dir/partition.cpp.o" "gcc" "src/runtime/CMakeFiles/kpm_runtime.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/kpm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/kpm_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

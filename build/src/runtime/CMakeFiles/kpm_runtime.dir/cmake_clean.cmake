@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_runtime.dir/autotune.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/autotune.cpp.o.d"
+  "CMakeFiles/kpm_runtime.dir/comm.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/kpm_runtime.dir/dist_kpm.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/dist_kpm.cpp.o.d"
+  "CMakeFiles/kpm_runtime.dir/dist_matrix.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/kpm_runtime.dir/dist_propagator.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/dist_propagator.cpp.o.d"
+  "CMakeFiles/kpm_runtime.dir/partition.cpp.o"
+  "CMakeFiles/kpm_runtime.dir/partition.cpp.o.d"
+  "libkpm_runtime.a"
+  "libkpm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/crs.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/crs.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/crs.cpp.o.d"
+  "/root/repo/src/sparse/kpm_kernels.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/kpm_kernels.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/kpm_kernels.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/matrix_stats.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/matrix_stats.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/matrix_stats.cpp.o.d"
+  "/root/repo/src/sparse/sell.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/sell.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/sell.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/sparse/CMakeFiles/kpm_sparse.dir/spmv.cpp.o" "gcc" "src/sparse/CMakeFiles/kpm_sparse.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_sparse.dir/coo.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/crs.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/crs.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/kpm_kernels.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/kpm_kernels.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/matrix_stats.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/matrix_stats.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/sell.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/sell.cpp.o.d"
+  "CMakeFiles/kpm_sparse.dir/spmv.cpp.o"
+  "CMakeFiles/kpm_sparse.dir/spmv.cpp.o.d"
+  "libkpm_sparse.a"
+  "libkpm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

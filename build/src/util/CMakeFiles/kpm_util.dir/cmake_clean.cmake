@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpm_util.dir/env.cpp.o"
+  "CMakeFiles/kpm_util.dir/env.cpp.o.d"
+  "CMakeFiles/kpm_util.dir/random.cpp.o"
+  "CMakeFiles/kpm_util.dir/random.cpp.o.d"
+  "CMakeFiles/kpm_util.dir/stats.cpp.o"
+  "CMakeFiles/kpm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/kpm_util.dir/table.cpp.o"
+  "CMakeFiles/kpm_util.dir/table.cpp.o.d"
+  "CMakeFiles/kpm_util.dir/timer.cpp.o"
+  "CMakeFiles/kpm_util.dir/timer.cpp.o.d"
+  "libkpm_util.a"
+  "libkpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dos.dir/test_core_dos.cpp.o"
+  "CMakeFiles/test_core_dos.dir/test_core_dos.cpp.o.d"
+  "test_core_dos"
+  "test_core_dos.pdb"
+  "test_core_dos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

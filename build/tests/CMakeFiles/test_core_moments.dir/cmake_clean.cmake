@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_moments.dir/test_core_moments.cpp.o"
+  "CMakeFiles/test_core_moments.dir/test_core_moments.cpp.o.d"
+  "test_core_moments"
+  "test_core_moments.pdb"
+  "test_core_moments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dos_models.dir/test_dos_models.cpp.o"
+  "CMakeFiles/test_dos_models.dir/test_dos_models.cpp.o.d"
+  "test_dos_models"
+  "test_dos_models.pdb"
+  "test_dos_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dos_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

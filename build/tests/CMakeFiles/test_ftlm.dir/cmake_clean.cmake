@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftlm.dir/test_ftlm.cpp.o"
+  "CMakeFiles/test_ftlm.dir/test_ftlm.cpp.o.d"
+  "test_ftlm"
+  "test_ftlm.pdb"
+  "test_ftlm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_property.dir/test_fuzz_property.cpp.o"
+  "CMakeFiles/test_fuzz_property.dir/test_fuzz_property.cpp.o.d"
+  "test_fuzz_property"
+  "test_fuzz_property.pdb"
+  "test_fuzz_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

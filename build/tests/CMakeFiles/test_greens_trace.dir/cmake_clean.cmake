@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greens_trace.dir/test_greens_trace.cpp.o"
+  "CMakeFiles/test_greens_trace.dir/test_greens_trace.cpp.o.d"
+  "test_greens_trace"
+  "test_greens_trace.pdb"
+  "test_greens_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greens_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kubo.dir/test_kubo.cpp.o"
+  "CMakeFiles/test_kubo.dir/test_kubo.cpp.o.d"
+  "test_kubo"
+  "test_kubo.pdb"
+  "test_kubo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

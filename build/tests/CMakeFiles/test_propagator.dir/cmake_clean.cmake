@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagator.dir/test_propagator.cpp.o"
+  "CMakeFiles/test_propagator.dir/test_propagator.cpp.o.d"
+  "test_propagator"
+  "test_propagator.pdb"
+  "test_propagator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

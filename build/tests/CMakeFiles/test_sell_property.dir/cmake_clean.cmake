@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sell_property.dir/test_sell_property.cpp.o"
+  "CMakeFiles/test_sell_property.dir/test_sell_property.cpp.o.d"
+  "test_sell_property"
+  "test_sell_property.pdb"
+  "test_sell_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sell_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ssh_energy.cpp" "tests/CMakeFiles/test_ssh_energy.dir/test_ssh_energy.cpp.o" "gcc" "tests/CMakeFiles/test_ssh_energy.dir/test_ssh_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/kpm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/kpm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/kpm_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/kpm_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/kpm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/kpm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/kpm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/kpm_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_sell_property[1]_include.cmake")
+include("/root/repo/build/tests/test_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_core_moments[1]_include.cmake")
+include("/root/repo/build/tests/test_core_dos[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_propagator[1]_include.cmake")
+include("/root/repo/build/tests/test_autotune[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_dos_models[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_ssh_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_kubo[1]_include.cmake")
+include("/root/repo/build/tests/test_overlap[1]_include.cmake")
+include("/root/repo/build/tests/test_greens_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_property[1]_include.cmake")
+include("/root/repo/build/tests/test_ftlm[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
