@@ -1,7 +1,20 @@
 // Google-benchmark microbenchmarks of the hot kernels: BLAS-1, SpMV/SpMMV
 // in CRS and SELL-C-sigma, and the fused augmented kernels across block
 // widths.  Counters report Gflop/s and effective bandwidth.
+//
+// Besides the interactive google-benchmark suite, the binary always runs a
+// machine-readable sweep of the fused block kernel over
+// widths x formats x variants and writes it to BENCH_kernels.json (override
+// the path with KPM_BENCH_JSON), so successive PRs leave a perf trajectory.
+// The "legacy" variant is a frozen copy of the pre-dispatch generic kernel
+// (heap per-row accumulators, std::complex arithmetic, `omp critical` dot
+// merge) kept here as the fixed reference point for those speedup numbers.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "blas/block_ops.hpp"
 #include "blas/level1.hpp"
@@ -13,6 +26,8 @@
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/spmv.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -26,6 +41,11 @@ const sparse::CrsMatrix& matrix() {
     p.nz = 16;
     return physics::build_ti_hamiltonian(p);
   }();
+  return m;
+}
+
+const sparse::SellMatrix& sell_matrix() {
+  static const sparse::SellMatrix m(matrix(), 32, 128);
   return m;
 }
 
@@ -46,6 +66,263 @@ blas::BlockVector block(global_index n, int width) {
   }
   return b;
 }
+
+// ---------------------------------------------------------------------------
+// Frozen pre-dispatch kernels (the "legacy" sweep variant).  Deliberately a
+// verbatim snapshot of the old generic paths — do not modernize.
+namespace legacy {
+
+void aug_spmmv_crs(const sparse::CrsMatrix& a, const sparse::AugScalars& s,
+                   const blas::BlockVector& v, blas::BlockVector& w,
+                   std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  const global_index nrows = a.nrows();
+  const int width = v.width();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  const bool with_dots = !dot_vv.empty();
+  if (with_dots) {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+  }
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+    std::vector<complex_t> local_vv(with_dots ? width : 0);
+    std::vector<complex_t> local_wv(with_dots ? width : 0);
+#pragma omp for schedule(static) nowait
+    for (global_index i = 0; i < nrows; ++i) {
+      std::fill(acc.begin(), acc.end(), complex_t{});
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const complex_t m = val[k];
+        const complex_t* __restrict__ vr =
+            vp + static_cast<std::size_t>(col[k]) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
+      }
+      const complex_t* __restrict__ vi =
+          vp + static_cast<std::size_t>(i) * width;
+      complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
+      for (int r = 0; r < width; ++r) {
+        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+        wi[r] = wnew;
+        if (with_dots) {
+          local_vv[r] += std::conj(vi[r]) * vi[r];
+          local_wv[r] += std::conj(wnew) * vi[r];
+        }
+      }
+    }
+    if (with_dots) {
+#pragma omp critical(kpm_bench_legacy_crs_dots)
+      for (int r = 0; r < width; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+void aug_spmmv_sell(const sparse::SellMatrix& a, const sparse::AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const int width = v.width();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const auto* __restrict__ val = a.values().data();
+  const complex_t* __restrict__ vp = v.data();
+  complex_t* __restrict__ wp = w.data();
+  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
+  const bool with_dots = !dot_vv.empty();
+  if (with_dots) {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+  }
+#pragma omp parallel
+  {
+    std::vector<complex_t> acc(static_cast<std::size_t>(width));
+    std::vector<complex_t> local_vv(with_dots ? width : 0);
+    std::vector<complex_t> local_wv(with_dots ? width : 0);
+#pragma omp for schedule(static) nowait
+    for (global_index c = 0; c < nchunks; ++c) {
+      const global_index base = cptr[c];
+      const int lanes =
+          static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+      for (int lane = 0; lane < lanes; ++lane) {
+        const global_index i = c * chunk + lane;
+        std::fill(acc.begin(), acc.end(), complex_t{});
+        for (local_index j = 0; j < clen[c]; ++j) {
+          const global_index off =
+              base + static_cast<global_index>(j) * chunk + lane;
+          const complex_t m = val[off];
+          const complex_t* __restrict__ vr =
+              vp + static_cast<std::size_t>(col[off]) * width;
+#pragma omp simd
+          for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
+        }
+        const complex_t* __restrict__ vi =
+            vp + static_cast<std::size_t>(i) * width;
+        complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
+        for (int r = 0; r < width; ++r) {
+          const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
+          wi[r] = wnew;
+          if (with_dots) {
+            local_vv[r] += std::conj(vi[r]) * vi[r];
+            local_wv[r] += std::conj(wnew) * vi[r];
+          }
+        }
+      }
+    }
+    if (with_dots) {
+#pragma omp critical(kpm_bench_legacy_sell_dots)
+      for (int r = 0; r < width; ++r) {
+        dot_vv[r] += local_vv[r];
+        dot_wv[r] += local_wv[r];
+      }
+    }
+  }
+}
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Machine-readable sweep: widths x formats x variants of the fused kernel.
+
+struct SweepRecord {
+  const char* format;
+  const char* variant;
+  int width;
+  double seconds;
+  double gflops;
+  double gbs;
+};
+
+/// One timed cell of the sweep; `variant` selects legacy / generic / fixed.
+SweepRecord time_cell(const char* format, const char* variant, int width) {
+  const auto& crs = matrix();
+  const bool is_sell = std::string(format) == "sell";
+  const auto& sell = sell_matrix();
+  auto v = block(crs.ncols(), width);
+  auto w = block(crs.nrows(), width);
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
+
+  const std::string var(variant);
+  auto sweep = [&] {
+    if (var == "legacy") {
+      if (is_sell) {
+        legacy::aug_spmmv_sell(sell, rec, v, w, dvv, dwv);
+      } else {
+        legacy::aug_spmmv_crs(crs, rec, v, w, dvv, dwv);
+      }
+    } else {
+      sparse::set_kernel_variant(var == "fixed"
+                                     ? sparse::KernelVariant::force_fixed
+                                     : sparse::KernelVariant::force_generic);
+      if (is_sell) {
+        sparse::aug_spmmv(sell, rec, v, w, dvv, dwv);
+      } else {
+        sparse::aug_spmmv(crs, rec, v, w, dvv, dwv);
+      }
+    }
+  };
+  sweep();  // warm-up
+  const double best = time_best(sweep, 0.12, 2);
+  sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
+
+  const double flops =
+      width * (static_cast<double>(crs.nnz()) * 8.0 +
+               static_cast<double>(crs.nrows()) * 34.0);
+  // Minimum traffic of the fused sweep (paper Eq. 4): one matrix stream
+  // (incl. SELL zero padding) + read v, read-modify-write w.
+  const double bytes =
+      (is_sell ? sell.storage_bytes() : crs.storage_bytes()) +
+      3.0 * width * static_cast<double>(crs.nrows()) * bytes_per_element;
+  return {format, variant, width, best, flops / best / 1e9, bytes / best / 1e9};
+}
+
+void run_sweep_and_write_json() {
+  const char* path_env = std::getenv("KPM_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_kernels.json";
+  const int widths[] = {1, 2, 4, 8, 16, 32};
+  const char* formats[] = {"crs", "sell"};
+  const char* variants[] = {"legacy", "generic", "fixed"};
+
+  std::vector<SweepRecord> records;
+  std::printf("aug_spmmv sweep (full fused kernel, on-the-fly dots):\n");
+  std::printf("%-5s %-8s %6s %12s %9s %9s\n", "fmt", "variant", "width",
+              "s/sweep", "GF/s", "GB/s");
+  for (const char* fmt : formats) {
+    for (const int width : widths) {
+      for (const char* var : variants) {
+        records.push_back(time_cell(fmt, var, width));
+        const auto& r = records.back();
+        std::printf("%-5s %-8s %6d %12.5f %9.3f %9.3f\n", r.format, r.variant,
+                    r.width, r.seconds, r.gflops, r.gbs);
+      }
+    }
+  }
+
+  auto find = [&](const char* fmt, const char* var, int width) -> double {
+    for (const auto& r : records) {
+      if (std::string(r.format) == fmt && std::string(r.variant) == var &&
+          r.width == width) {
+        return r.gflops;
+      }
+    }
+    return 0.0;
+  };
+  const double s8 = find("sell", "fixed", 8) / find("sell", "legacy", 8);
+  const double s32 = find("sell", "fixed", 32) / find("sell", "legacy", 32);
+  std::printf("fixed vs pre-dispatch legacy, SELL: %.2fx @ width 8, "
+              "%.2fx @ width 32\n\n",
+              s8, s32);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const auto& crs = matrix();
+  std::fprintf(f, "{\n  \"bench\": \"kernels_micro\",\n");
+  std::fprintf(f, "  \"kernel\": \"aug_spmmv\",\n");
+  std::fprintf(f,
+               "  \"matrix\": {\"model\": \"topological_insulator\", "
+               "\"n\": %lld, \"nnz\": %lld, \"sell_chunk\": %d, "
+               "\"sell_sigma\": %d},\n",
+               static_cast<long long>(crs.nrows()),
+               static_cast<long long>(crs.nnz()), sell_matrix().chunk_height(),
+               sell_matrix().sigma());
+  std::fprintf(f, "  \"threads\": %d,\n", max_threads());
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"variant\": \"%s\", "
+                 "\"width\": %d, \"with_dots\": true, "
+                 "\"seconds_per_sweep\": %.6e, \"gflops\": %.4f, "
+                 "\"gbs\": %.4f}%s\n",
+                 r.format, r.variant, r.width, r.seconds, r.gflops, r.gbs,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"speedup_fixed_vs_legacy\": {\"sell_width8\": %.4f, "
+               "\"sell_width32\": %.4f}\n}\n",
+               s8, s32);
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Interactive google-benchmark suite.
 
 void BM_axpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -92,8 +369,7 @@ BENCHMARK(BM_spmv_crs);
 
 void BM_spmv_sell(benchmark::State& state) {
   const auto& a = matrix();
-  static const sparse::SellMatrix sell(a, static_cast<int>(state.range(0)),
-                                       128);
+  const auto& sell = sell_matrix();
   auto x = vec(static_cast<std::size_t>(a.ncols()));
   aligned_vector<complex_t> y(static_cast<std::size_t>(a.nrows()));
   for (auto _ : state) {
@@ -104,7 +380,7 @@ void BM_spmv_sell(benchmark::State& state) {
       static_cast<double>(state.iterations()) * a.nnz() * 8.0 / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_spmv_sell)->Arg(32);
+BENCHMARK(BM_spmv_sell);
 
 void BM_spmmv_crs(benchmark::State& state) {
   const auto& a = matrix();
@@ -121,9 +397,14 @@ void BM_spmmv_crs(benchmark::State& state) {
 }
 BENCHMARK(BM_spmmv_crs)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
 
+// range(0) = width, range(1) = variant (0 generic, 1 fixed) — the same
+// dispatch switch the autotuner probes.
 void BM_aug_spmmv_full(benchmark::State& state) {
   const auto& a = matrix();
   const int width = static_cast<int>(state.range(0));
+  sparse::set_kernel_variant(state.range(1) == 0
+                                 ? sparse::KernelVariant::force_generic
+                                 : sparse::KernelVariant::force_fixed);
   auto v = block(a.ncols(), width);
   auto w = block(a.nrows(), width);
   std::vector<complex_t> dvv(static_cast<std::size_t>(width)),
@@ -133,6 +414,7 @@ void BM_aug_spmmv_full(benchmark::State& state) {
     sparse::aug_spmmv(a, rec, v, w, dvv, dwv);
     benchmark::DoNotOptimize(w.data());
   }
+  sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
   const double flops_per_sweep =
       width * (static_cast<double>(a.nnz()) * 8.0 +
                static_cast<double>(a.nrows()) * 34.0);
@@ -140,7 +422,34 @@ void BM_aug_spmmv_full(benchmark::State& state) {
       static_cast<double>(state.iterations()) * flops_per_sweep / 1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_aug_spmmv_full)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+BENCHMARK(BM_aug_spmmv_full)
+    ->ArgsProduct({{1, 4, 16, 32}, {0, 1}});
+
+void BM_aug_spmmv_sell(benchmark::State& state) {
+  const auto& sell = sell_matrix();
+  const int width = static_cast<int>(state.range(0));
+  sparse::set_kernel_variant(state.range(1) == 0
+                                 ? sparse::KernelVariant::force_generic
+                                 : sparse::KernelVariant::force_fixed);
+  auto v = block(sell.ncols(), width);
+  auto w = block(sell.nrows(), width);
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width)),
+      dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
+  for (auto _ : state) {
+    sparse::aug_spmmv(sell, rec, v, w, dvv, dwv);
+    benchmark::DoNotOptimize(w.data());
+  }
+  sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
+  const double flops_per_sweep =
+      width * (static_cast<double>(sell.nnz()) * 8.0 +
+               static_cast<double>(sell.nrows()) * 34.0);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops_per_sweep / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_aug_spmmv_sell)
+    ->ArgsProduct({{8, 32}, {0, 1}});
 
 void BM_aug_spmmv_nodots(benchmark::State& state) {
   const auto& a = matrix();
@@ -215,4 +524,11 @@ BENCHMARK(BM_kubo_moments)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  run_sweep_and_write_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 
 namespace kpm::blas {
 namespace {
+
+#ifndef _OPENMP
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+#endif
 
 void require_same_shape(const BlockVector& x, const BlockVector& y) {
   require(x.rows() == y.rows() && x.width() == y.width() &&
@@ -25,20 +36,45 @@ void column_dots(const BlockVector& x, const BlockVector& y,
   const global_index rows = x.rows();
   std::fill(out.begin(), out.end(), complex_t{});
   if (x.layout() == Layout::row_major) {
-    const complex_t* __restrict__ xp = x.data();
-    const complex_t* __restrict__ yp = y.data();
+    // Split-complex inner loop over the interleaved (re, im) storage; the
+    // per-thread partials land in cache-line-padded slots that are reduced
+    // in ascending thread order, so the result is bitwise reproducible at a
+    // fixed thread count (no `omp critical`, no merge-order races).
+    const double* __restrict__ xd = x.real_data();
+    const double* __restrict__ yd = y.real_data();
+    const std::size_t stride = x.real_stride();
+    const std::size_t slot = (stride + 7) / 8 * 8;
+    aligned_vector<double> partials(
+        slot * static_cast<std::size_t>(omp_get_max_threads()), 0.0);
 #pragma omp parallel
     {
-      std::vector<complex_t> local(static_cast<std::size_t>(width));
+      std::vector<double> local(stride, 0.0);
+      double* __restrict__ lre = local.data();
+      double* __restrict__ lim = lre + width;
 #pragma omp for schedule(static) nowait
       for (global_index i = 0; i < rows; ++i) {
-        const std::size_t base = static_cast<std::size_t>(i) * width;
+        const double* __restrict__ xi =
+            xd + static_cast<std::size_t>(i) * stride;
+        const double* __restrict__ yi =
+            yd + static_cast<std::size_t>(i) * stride;
+#pragma omp simd
         for (int r = 0; r < width; ++r) {
-          local[r] += std::conj(xp[base + r]) * yp[base + r];
+          const double xre = xi[2 * r], xim = xi[2 * r + 1];
+          const double yre = yi[2 * r], yim = yi[2 * r + 1];
+          lre[r] += xre * yre + xim * yim;  // Re(conj(x) * y)
+          lim[r] += xre * yim - xim * yre;  // Im(conj(x) * y)
         }
       }
-#pragma omp critical(kpm_column_dots)
-      for (int r = 0; r < width; ++r) out[r] += local[r];
+      double* mine = partials.data() + slot * omp_get_thread_num();
+      for (std::size_t d = 0; d < stride; ++d) mine[d] = local[d];
+#pragma omp barrier
+#pragma omp master
+      for (int t = 0; t < omp_get_num_threads(); ++t) {
+        const double* tp = partials.data() + slot * t;
+        for (int r = 0; r < width; ++r) {
+          out[r] += complex_t{tp[r], tp[width + r]};
+        }
+      }
     }
   } else {
     for (int r = 0; r < width; ++r) {

@@ -40,6 +40,23 @@ class BlockVector {
   [[nodiscard]] complex_t* data() noexcept { return data_.data(); }
   [[nodiscard]] const complex_t* data() const noexcept { return data_.data(); }
 
+  /// Interleaved (re, im) scalar view of the storage for split-complex
+  /// kernels; [complex.numbers.general]/4 guarantees element (i, r) occupies
+  /// real_data()[2k] (real) and real_data()[2k + 1] (imag) with k the
+  /// complex-element index.
+  [[nodiscard]] double* real_data() noexcept {
+    return reinterpret_cast<double*>(data_.data());
+  }
+  [[nodiscard]] const double* real_data() const noexcept {
+    return reinterpret_cast<const double*>(data_.data());
+  }
+  /// Doubles between consecutive rows of the interleaved view (row-major) /
+  /// consecutive column elements (col-major): the split-loop row stride.
+  [[nodiscard]] std::size_t real_stride() const noexcept {
+    return 2 * static_cast<std::size_t>(layout_ == Layout::row_major ? width_
+                                                                     : 1);
+  }
+
   /// Contiguous row i (row-major layout only).
   [[nodiscard]] std::span<complex_t> row(global_index i);
   [[nodiscard]] std::span<const complex_t> row(global_index i) const;

@@ -44,6 +44,17 @@ double probe_seconds(Communicator& comm, const sparse::CrsMatrix& global,
   return slowdown * t.seconds() / p.sweeps_per_probe;
 }
 
+/// Slowest-rank time of one collective probe (allreduced: identical on all
+/// ranks, so every rank draws the same conclusion from it).
+double worst_rank_seconds(Communicator& comm, const sparse::CrsMatrix& global,
+                          const RowPartition& part, const AutoTuneParams& p) {
+  const double mine = probe_seconds(comm, global, part, p);
+  std::vector<double> times(static_cast<std::size_t>(comm.size()), 0.0);
+  times[static_cast<std::size_t>(comm.rank())] = mine;
+  comm.allreduce_sum(times);
+  return *std::max_element(times.begin(), times.end());
+}
+
 }  // namespace
 
 AutoTuneResult auto_tune_weights(Communicator& comm,
@@ -56,6 +67,26 @@ AutoTuneResult auto_tune_weights(Communicator& comm,
   AutoTuneResult out;
   out.weights.assign(static_cast<std::size_t>(size), 1.0 / size);
   out.partition = RowPartition::weighted(global.nrows(), out.weights);
+
+  out.variant = sparse::kernel_variant();
+  if (p.tune_kernel_variant && sparse::has_fixed_width(p.block_width)) {
+    // Collective variant probe in lockstep: the variant override is process
+    // wide and ranks are threads, so every rank sets the same value and the
+    // allreduce inside worst_rank_seconds keeps the phases aligned — no rank
+    // can still be timing one variant while another installs the next.
+    comm.barrier();
+    sparse::set_kernel_variant(sparse::KernelVariant::force_generic);
+    out.generic_seconds = worst_rank_seconds(comm, global, out.partition, p);
+    sparse::set_kernel_variant(sparse::KernelVariant::force_fixed);
+    out.fixed_seconds = worst_rank_seconds(comm, global, out.partition, p);
+    out.variant = out.fixed_seconds <= out.generic_seconds
+                      ? sparse::KernelVariant::force_fixed
+                      : sparse::KernelVariant::force_generic;
+    sparse::set_kernel_variant(out.variant);
+  }
+  out.kernel = std::string("aug_spmmv[") +
+               sparse::kernel_variant_name(out.variant) +
+               ",R=" + std::to_string(p.block_width) + "]";
 
   for (int iter = 0; iter < p.max_iterations; ++iter) {
     out.iterations = iter + 1;

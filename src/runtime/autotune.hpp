@@ -7,14 +7,21 @@
 //   w_r  <-  local_rows_r / time_r   (rows per second = device speed)
 // until the measured per-rank times agree within a tolerance.  Convergence
 // is geometric because the kernel cost is linear in the row count.
+//
+// The probe additionally selects the kernel body: it times the generic and
+// the fixed-width variant of the width-dispatch layer (sparse::KernelVariant)
+// on the initial partition, installs the faster one process-wide for the
+// remaining probes and the production sweeps, and records the choice.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
 #include "sparse/crs.hpp"
+#include "sparse/kpm_kernels.hpp"
 
 namespace kpm::runtime {
 
@@ -23,6 +30,9 @@ struct AutoTuneParams {
   int sweeps_per_probe = 2;   ///< timed kernel sweeps per iteration
   int max_iterations = 8;
   double imbalance_tolerance = 0.05;  ///< stop when (max-min)/max < tol
+  /// Probe generic vs fixed-width kernel bodies and install the faster one
+  /// (skipped when block_width has no fixed-width instantiation).
+  bool tune_kernel_variant = true;
   /// Artificial per-rank slowdown factors (testing / simulating slower
   /// devices); empty = none.
   std::vector<double> slowdown;
@@ -33,10 +43,17 @@ struct AutoTuneResult {
   RowPartition partition;            ///< partition built from the weights
   double imbalance = 0.0;            ///< final (max-min)/max of probe times
   int iterations = 0;
+  /// Kernel body selected by the variant probe (the process-wide variant is
+  /// left set to this value so production sweeps use it).
+  sparse::KernelVariant variant = sparse::KernelVariant::auto_dispatch;
+  std::string kernel;                ///< e.g. "aug_spmmv[fixed,R=8]"
+  double generic_seconds = 0.0;      ///< slowest-rank probe time, generic body
+  double fixed_seconds = 0.0;        ///< slowest-rank probe time, fixed body
 };
 
 /// Collective: measures the per-rank kernel speed on `global` and returns
-/// balanced weights.  Deterministic across ranks (times are allreduced).
+/// balanced weights.  Deterministic across ranks (times are allreduced, so
+/// every rank selects the same weights and the same kernel variant).
 [[nodiscard]] AutoTuneResult auto_tune_weights(Communicator& comm,
                                                const sparse::CrsMatrix& global,
                                                const AutoTuneParams& p = {});

@@ -1,12 +1,27 @@
 #include "sparse/kpm_kernels.hpp"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 
 namespace kpm::sparse {
 namespace {
+
+#ifndef _OPENMP
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+#endif
+
+std::atomic<KernelVariant> g_variant{KernelVariant::auto_dispatch};
 
 // The kernels accept rectangular matrices with ncols >= nrows: a
 // distributed-memory partition owns `nrows` rows but reads a halo-extended
@@ -18,6 +33,15 @@ void check_single(const global_index nrows, const global_index ncols,
   require(v.size() == static_cast<std::size_t>(ncols) &&
               w.size() >= static_cast<std::size_t>(nrows),
           "aug_spmv: vector sizes must match the matrix shape");
+}
+
+bool spans_overlap(std::span<const complex_t> a, std::span<const complex_t> b) {
+  if (a.empty() || b.empty()) return false;
+  // std::less gives a total pointer order even across unrelated objects.
+  const std::less<const complex_t*> lt;
+  const auto* a_end = a.data() + a.size();
+  const auto* b_end = b.data() + b.size();
+  return lt(a.data(), b_end) && lt(b.data(), a_end);
 }
 
 void check_block(const global_index nrows, const global_index ncols,
@@ -35,191 +59,462 @@ void check_block(const global_index nrows, const global_index ncols,
           "aug_spmmv: dot_wv must be empty or match the block width");
   require(dot_vv.empty() == dot_wv.empty(),
           "aug_spmmv: pass both dot outputs or neither");
+  require(!spans_overlap(dot_vv, v.span()) && !spans_overlap(dot_vv, w.span()) &&
+              !spans_overlap(dot_wv, v.span()) &&
+              !spans_overlap(dot_wv, w.span()),
+          "aug_spmmv: dot spans must not alias the v/w storage");
 }
 
-// Fused block row update + optional on-the-fly dots, compile-time width.
-template <int R, bool WithDots>
-void aug_spmmv_crs_fixed(const CrsMatrix& a, const AugScalars& s,
-                         const complex_t* __restrict__ v,
-                         complex_t* __restrict__ w, complex_t* dot_vv,
-                         complex_t* dot_wv) {
-  const global_index nrows = a.nrows();
-  const auto* __restrict__ row_ptr = a.row_ptr().data();
-  const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-#pragma omp parallel
-  {
-    std::array<complex_t, R> local_vv{};
-    std::array<complex_t, R> local_wv{};
-#pragma omp for schedule(static) nowait
-    for (global_index i = 0; i < nrows; ++i) {
-      std::array<complex_t, R> acc{};
-      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-        const complex_t m = val[k];
-        const complex_t* __restrict__ vr =
-            v + static_cast<std::size_t>(col[k]) * R;
-#pragma omp simd
-        for (int r = 0; r < R; ++r) acc[r] += m * vr[r];
-      }
-      const complex_t* __restrict__ vi = v + static_cast<std::size_t>(i) * R;
-      complex_t* __restrict__ wi = w + static_cast<std::size_t>(i) * R;
-#pragma omp simd
-      for (int r = 0; r < R; ++r) {
-        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
-        wi[r] = wnew;
-        if constexpr (WithDots) {
-          local_vv[r] += std::conj(vi[r]) * vi[r];
-          local_wv[r] += std::conj(wnew) * vi[r];
-        }
+// ---------------------------------------------------------------------------
+// Split-complex views.  complex_t storage is interleaved (re, im) doubles and
+// [complex.numbers.general]/4 guarantees array-oriented access through a
+// reinterpreted double pointer; computing on the parts directly lets the
+// compiler emit FMA arithmetic instead of complex-multiply library calls.
+inline const double* re_im(const complex_t* p) noexcept {
+  return reinterpret_cast<const double*>(p);
+}
+inline double* re_im(complex_t* p) noexcept {
+  return reinterpret_cast<double*>(p);
+}
+
+/// AugScalars hoisted into plain doubles for the split loops.
+struct ScalarsRI {
+  double ar, ai, br, bi, gr, gi;
+  explicit ScalarsRI(const AugScalars& s) noexcept
+      : ar(s.alpha.real()),
+        ai(s.alpha.imag()),
+        br(s.beta.real()),
+        bi(s.beta.imag()),
+        gr(s.gamma.real()),
+        gi(s.gamma.imag()) {}
+};
+
+// Width tags of the dispatch layer: FixedWidth<R> makes every lane loop a
+// compile-time-constant trip count (fully unrolled / vectorized with
+// stack-resident accumulators), RuntimeWidth is the generic fallback.
+template <int N>
+struct FixedWidth {
+  static constexpr bool fixed = true;
+  static constexpr int compile_width = N;
+  constexpr int get() const noexcept { return N; }
+};
+struct RuntimeWidth {
+  static constexpr bool fixed = false;
+  static constexpr int compile_width = 1;  // storage bound only; unused
+  int w;
+  int get() const noexcept { return w; }
+};
+
+// ---------------------------------------------------------------------------
+// Lock-free deterministic dot reduction.  Each thread accumulates its dot
+// partials locally and publishes them once into a cache-line-padded slot of
+// this buffer; after a barrier a single thread combines the slots in
+// ascending thread order.  With a static loop schedule the row->thread
+// assignment is fixed, so the result is bitwise reproducible at any fixed
+// thread count — replacing the unordered `omp critical` merges.
+class DotPartials {
+ public:
+  explicit DotPartials(int width)
+      : width_(width),
+        slot_((3 * static_cast<std::size_t>(width) + 7) / 8 * 8),
+        buf_(slot_ * static_cast<std::size_t>(omp_get_max_threads()), 0.0) {}
+
+  /// Publishes one thread's partials (called inside the parallel region).
+  void store(const double* vv, const double* wv_re, const double* wv_im) {
+    double* slot = buf_.data() + slot_ * omp_get_thread_num();
+    for (int r = 0; r < width_; ++r) {
+      slot[r] = vv[r];
+      slot[width_ + r] = wv_re[r];
+      slot[2 * width_ + r] = wv_im[r];
+    }
+  }
+
+  /// Adds all published partials into the caller's spans, thread 0 first.
+  /// Call from one thread only, after a barrier.
+  void reduce_into(complex_t* dot_vv, complex_t* dot_wv) const {
+    const int nthreads = omp_get_num_threads();
+    for (int t = 0; t < nthreads; ++t) {
+      const double* slot = buf_.data() + slot_ * t;
+      for (int r = 0; r < width_; ++r) {
+        dot_vv[r] += complex_t{slot[r], 0.0};
+        dot_wv[r] += complex_t{slot[width_ + r], slot[2 * width_ + r]};
       }
     }
+  }
+
+ private:
+  int width_;
+  std::size_t slot_;  // doubles per thread, padded to a 64-byte multiple
+  aligned_vector<double> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared row epilogue: w_i = alpha*acc + beta*v_i + gamma*w_i on split
+// parts, plus the on-the-fly |v_i|^2 and conj(w_new)*v_i partials.
+template <class W, bool WithDots>
+inline void finish_row(W wt, const ScalarsRI& s,
+                       const double* __restrict__ acc_re,
+                       const double* __restrict__ acc_im,
+                       const double* __restrict__ vi, double* __restrict__ wi,
+                       double* __restrict__ lvv, double* __restrict__ lwr,
+                       double* __restrict__ lwi) {
+  const int width = wt.get();
+#pragma omp simd
+  for (int r = 0; r < width; ++r) {
+    const double vre = vi[2 * r], vim = vi[2 * r + 1];
+    const double wre0 = wi[2 * r], wim0 = wi[2 * r + 1];
+    const double sre = acc_re[r], sim = acc_im[r];
+    const double wre = s.ar * sre - s.ai * sim + s.br * vre - s.bi * vim +
+                       s.gr * wre0 - s.gi * wim0;
+    const double wim = s.ar * sim + s.ai * sre + s.br * vim + s.bi * vre +
+                       s.gr * wim0 + s.gi * wre0;
+    wi[2 * r] = wre;
+    wi[2 * r + 1] = wim;
     if constexpr (WithDots) {
-#pragma omp critical(kpm_aug_spmmv_dots)
-      for (int r = 0; r < R; ++r) {
-        dot_vv[r] += local_vv[r];
-        dot_wv[r] += local_wv[r];
-      }
+      lvv[r] += vre * vre + vim * vim;
+      lwr[r] += wre * vre + wim * vim;  // Re(conj(w_new) * v)
+      lwi[r] += wre * vim - wim * vre;  // Im(conj(w_new) * v)
     }
   }
 }
 
-template <bool WithDots>
-void aug_spmmv_crs_generic(const CrsMatrix& a, const AugScalars& s,
-                           const complex_t* __restrict__ v,
-                           complex_t* __restrict__ w, int width,
-                           complex_t* dot_vv, complex_t* dot_wv) {
-  const global_index nrows = a.nrows();
+// Per-thread CRS row loop (orphaned omp-for: binds to the enclosing team).
+template <class W, bool WithDots>
+void crs_rows_loop(const CrsMatrix& a, const ScalarsRI& s,
+                   const double* __restrict__ vd, double* __restrict__ wd,
+                   global_index row_begin, global_index row_end, W wt,
+                   double* __restrict__ acc_re, double* __restrict__ acc_im,
+                   double* __restrict__ lvv, double* __restrict__ lwr,
+                   double* __restrict__ lwi) {
+  const int width = wt.get();
   const auto* __restrict__ row_ptr = a.row_ptr().data();
   const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-#pragma omp parallel
-  {
-    std::vector<complex_t> acc(static_cast<std::size_t>(width));
-    std::vector<complex_t> local_vv(WithDots ? width : 0);
-    std::vector<complex_t> local_wv(WithDots ? width : 0);
+  const double* __restrict__ vald = re_im(a.values().data());
 #pragma omp for schedule(static) nowait
-    for (global_index i = 0; i < nrows; ++i) {
-      std::fill(acc.begin(), acc.end(), complex_t{});
-      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-        const complex_t m = val[k];
-        const complex_t* __restrict__ vr =
-            v + static_cast<std::size_t>(col[k]) * width;
+  for (global_index i = row_begin; i < row_end; ++i) {
 #pragma omp simd
-        for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
-      }
-      const complex_t* __restrict__ vi =
-          v + static_cast<std::size_t>(i) * width;
-      complex_t* __restrict__ wi = w + static_cast<std::size_t>(i) * width;
-      for (int r = 0; r < width; ++r) {
-        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
-        wi[r] = wnew;
-        if constexpr (WithDots) {
-          local_vv[r] += std::conj(vi[r]) * vi[r];
-          local_wv[r] += std::conj(wnew) * vi[r];
-        }
-      }
+    for (int r = 0; r < width; ++r) {
+      acc_re[r] = 0.0;
+      acc_im[r] = 0.0;
     }
-    if constexpr (WithDots) {
-#pragma omp critical(kpm_aug_spmmv_dots_gen)
-      for (int r = 0; r < width; ++r) {
-        dot_vv[r] += local_vv[r];
-        dot_wv[r] += local_wv[r];
-      }
-    }
-  }
-}
-
-template <bool WithDots>
-void dispatch_crs(const CrsMatrix& a, const AugScalars& s, const complex_t* v,
-                  complex_t* w, int width, complex_t* vv, complex_t* wv) {
-  switch (width) {
-    case 1: aug_spmmv_crs_fixed<1, WithDots>(a, s, v, w, vv, wv); return;
-    case 2: aug_spmmv_crs_fixed<2, WithDots>(a, s, v, w, vv, wv); return;
-    case 4: aug_spmmv_crs_fixed<4, WithDots>(a, s, v, w, vv, wv); return;
-    case 8: aug_spmmv_crs_fixed<8, WithDots>(a, s, v, w, vv, wv); return;
-    case 16: aug_spmmv_crs_fixed<16, WithDots>(a, s, v, w, vv, wv); return;
-    case 32: aug_spmmv_crs_fixed<32, WithDots>(a, s, v, w, vv, wv); return;
-    case 64: aug_spmmv_crs_fixed<64, WithDots>(a, s, v, w, vv, wv); return;
-    default:
-      aug_spmmv_crs_generic<WithDots>(a, s, v, w, width, vv, wv);
-      return;
-  }
-}
-
-}  // namespace
-
-void aug_spmv(const CrsMatrix& a, const AugScalars& s,
-              std::span<const complex_t> v, std::span<complex_t> w,
-              complex_t* dot_vv, complex_t* dot_wv) {
-  check_single(a.nrows(), a.ncols(), v, w);
-  const global_index nrows = a.nrows();
-  const auto* __restrict__ row_ptr = a.row_ptr().data();
-  const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t* __restrict__ vp = v.data();
-  complex_t* __restrict__ wp = w.data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-  double vv_re = 0.0;
-  double wv_re = 0.0, wv_im = 0.0;
-#pragma omp parallel for schedule(static) \
-    reduction(+ : vv_re, wv_re, wv_im)
-  for (global_index i = 0; i < nrows; ++i) {
-    complex_t acc{};
     for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      acc += val[k] * vp[col[k]];
+      const double mre = vald[2 * k], mim = vald[2 * k + 1];
+      const double* __restrict__ vr =
+          vd + 2 * static_cast<std::size_t>(col[k]) * width;
+#pragma omp simd
+      for (int r = 0; r < width; ++r) {
+        acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
+        acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
+      }
     }
-    const complex_t wnew = alpha * acc + beta * vp[i] + gamma * wp[i];
-    wp[i] = wnew;
-    vv_re += std::norm(vp[i]);
-    const complex_t wv = std::conj(wnew) * vp[i];
-    wv_re += wv.real();
-    wv_im += wv.imag();
+    finish_row<W, WithDots>(wt, s, acc_re, acc_im,
+                            vd + 2 * static_cast<std::size_t>(i) * width,
+                            wd + 2 * static_cast<std::size_t>(i) * width, lvv,
+                            lwr, lwi);
   }
-  if (dot_vv != nullptr) *dot_vv = {vv_re, 0.0};
-  if (dot_wv != nullptr) *dot_wv = {wv_re, wv_im};
 }
 
-void aug_spmv(const SellMatrix& a, const AugScalars& s,
-              std::span<const complex_t> v, std::span<complex_t> w,
-              complex_t* dot_vv, complex_t* dot_wv) {
-  check_single(a.nrows(), a.ncols(), v, w);
+// Per-thread SELL chunk loop.
+template <class W, bool WithDots>
+void sell_chunks_loop(const SellMatrix& a, const ScalarsRI& s,
+                      const double* __restrict__ vd, double* __restrict__ wd,
+                      W wt, double* __restrict__ acc_re,
+                      double* __restrict__ acc_im, double* __restrict__ lvv,
+                      double* __restrict__ lwr, double* __restrict__ lwi) {
+  const int width = wt.get();
   const global_index nchunks = a.num_chunks();
   const int chunk = a.chunk_height();
   const global_index nrows = a.nrows();
   const auto* __restrict__ cptr = a.chunk_ptr().data();
   const auto* __restrict__ clen = a.chunk_len().data();
   const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t* __restrict__ vp = v.data();
-  complex_t* __restrict__ wp = w.data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-  double vv_re = 0.0;
-  double wv_re = 0.0, wv_im = 0.0;
-#pragma omp parallel for schedule(static) \
-    reduction(+ : vv_re, wv_re, wv_im)
+  const double* __restrict__ vald = re_im(a.values().data());
+#pragma omp for schedule(static) nowait
   for (global_index c = 0; c < nchunks; ++c) {
     const global_index base = cptr[c];
     const int lanes =
         static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
     for (int lane = 0; lane < lanes; ++lane) {
       const global_index i = c * chunk + lane;
-      complex_t acc{};
-      for (local_index j = 0; j < clen[c]; ++j) {
-        const global_index off = base + static_cast<global_index>(j) * chunk;
-        acc += val[off + lane] * vp[col[off + lane]];
+#pragma omp simd
+      for (int r = 0; r < width; ++r) {
+        acc_re[r] = 0.0;
+        acc_im[r] = 0.0;
       }
-      const complex_t wnew = alpha * acc + beta * vp[i] + gamma * wp[i];
-      wp[i] = wnew;
-      vv_re += std::norm(vp[i]);
-      const complex_t wv = std::conj(wnew) * vp[i];
-      wv_re += wv.real();
-      wv_im += wv.imag();
+      for (local_index j = 0; j < clen[c]; ++j) {
+        const global_index off =
+            base + static_cast<global_index>(j) * chunk + lane;
+        const double mre = vald[2 * off], mim = vald[2 * off + 1];
+        const double* __restrict__ vr =
+            vd + 2 * static_cast<std::size_t>(col[off]) * width;
+#pragma omp simd
+        for (int r = 0; r < width; ++r) {
+          acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
+          acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
+        }
+      }
+      finish_row<W, WithDots>(wt, s, acc_re, acc_im,
+                              vd + 2 * static_cast<std::size_t>(i) * width,
+                              wd + 2 * static_cast<std::size_t>(i) * width,
+                              lvv, lwr, lwi);
     }
   }
-  if (dot_vv != nullptr) *dot_vv = {vv_re, 0.0};
-  if (dot_wv != nullptr) *dot_wv = {wv_re, wv_im};
+}
+
+// Parallel orchestration shared by every block kernel: pick accumulator
+// storage (stack for fixed widths, per-thread heap otherwise), run the
+// format-specific loop, publish + order-reduce the dot partials.  `loop` is
+// called once per thread with (acc_re, acc_im, lvv, lwr, lwi).
+template <class W, bool WithDots, class Loop>
+void run_block_kernel(W wt, complex_t* dot_vv, complex_t* dot_wv, Loop loop) {
+  const int width = wt.get();
+  DotPartials partials(WithDots ? width : 0);
+#pragma omp parallel
+  {
+    if constexpr (W::fixed) {
+      constexpr int R = W::compile_width;
+      std::array<double, R> acc_re{}, acc_im{};
+      std::array<double, WithDots ? R : 1> lvv{}, lwr{}, lwi{};
+      loop(acc_re.data(), acc_im.data(), lvv.data(), lwr.data(), lwi.data());
+      if constexpr (WithDots) partials.store(lvv.data(), lwr.data(), lwi.data());
+    } else {
+      std::vector<double> scratch(5 * static_cast<std::size_t>(width), 0.0);
+      double* acc_re = scratch.data();
+      double* acc_im = acc_re + width;
+      double* lvv = acc_im + width;
+      double* lwr = lvv + width;
+      double* lwi = lwr + width;
+      loop(acc_re, acc_im, lvv, lwr, lwi);
+      if constexpr (WithDots) partials.store(lvv, lwr, lwi);
+    }
+    if constexpr (WithDots) {
+#pragma omp barrier
+#pragma omp master
+      partials.reduce_into(dot_vv, dot_wv);
+    }
+  }
+}
+
+template <class W, bool WithDots>
+void aug_spmmv_crs_core(const CrsMatrix& a, const AugScalars& scal,
+                        const complex_t* v, complex_t* w,
+                        global_index row_begin, global_index row_end, W wt,
+                        complex_t* dot_vv, complex_t* dot_wv) {
+  const ScalarsRI s(scal);
+  const double* vd = re_im(v);
+  double* wd = re_im(w);
+  run_block_kernel<W, WithDots>(
+      wt, dot_vv, dot_wv,
+      [&](double* acc_re, double* acc_im, double* lvv, double* lwr,
+          double* lwi) {
+        crs_rows_loop<W, WithDots>(a, s, vd, wd, row_begin, row_end, wt,
+                                   acc_re, acc_im, lvv, lwr, lwi);
+      });
+}
+
+template <class W, bool WithDots>
+void aug_spmmv_sell_core(const SellMatrix& a, const AugScalars& scal,
+                         const complex_t* v, complex_t* w, W wt,
+                         complex_t* dot_vv, complex_t* dot_wv) {
+  const ScalarsRI s(scal);
+  const double* vd = re_im(v);
+  double* wd = re_im(w);
+  run_block_kernel<W, WithDots>(
+      wt, dot_vv, dot_wv,
+      [&](double* acc_re, double* acc_im, double* lvv, double* lwr,
+          double* lwi) {
+        sell_chunks_loop<W, WithDots>(a, s, vd, wd, wt, acc_re, acc_im, lvv,
+                                      lwr, lwi);
+      });
+}
+
+// The width-dispatch table shared by the CRS and SELL block kernels.
+template <class F>
+void dispatch_width(int width, F&& f) {
+  const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
+  if (variant != KernelVariant::force_generic) {
+    switch (width) {
+      case 1: f(FixedWidth<1>{}); return;
+      case 2: f(FixedWidth<2>{}); return;
+      case 4: f(FixedWidth<4>{}); return;
+      case 8: f(FixedWidth<8>{}); return;
+      case 16: f(FixedWidth<16>{}); return;
+      case 32: f(FixedWidth<32>{}); return;
+      case 64: f(FixedWidth<64>{}); return;
+      default: break;
+    }
+  }
+  f(RuntimeWidth{width});
+}
+
+// ---------------------------------------------------------------------------
+// Stage-1 (single-vector) fused kernels, split-complex with the same
+// deterministic reduction; WithDots=false compiles the reductions out.
+template <bool WithDots>
+void aug_spmv_crs_core(const CrsMatrix& a, const AugScalars& scal,
+                       const complex_t* v, complex_t* w, complex_t* dot_vv,
+                       complex_t* dot_wv) {
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ row_ptr = a.row_ptr().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const double* __restrict__ vald = re_im(a.values().data());
+  const double* __restrict__ vd = re_im(v);
+  double* __restrict__ wd = re_im(w);
+  const ScalarsRI s(scal);
+  DotPartials partials(WithDots ? 1 : 0);
+#pragma omp parallel
+  {
+    double lvv = 0.0, lwr = 0.0, lwi = 0.0;
+#pragma omp for schedule(static) nowait
+    for (global_index i = 0; i < nrows; ++i) {
+      double sre = 0.0, sim = 0.0;
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const double mre = vald[2 * k], mim = vald[2 * k + 1];
+        const std::size_t c = static_cast<std::size_t>(col[k]);
+        const double xre = vd[2 * c], xim = vd[2 * c + 1];
+        sre += mre * xre - mim * xim;
+        sim += mre * xim + mim * xre;
+      }
+      const double vre = vd[2 * i], vim = vd[2 * i + 1];
+      const double wre0 = wd[2 * i], wim0 = wd[2 * i + 1];
+      const double wre = s.ar * sre - s.ai * sim + s.br * vre - s.bi * vim +
+                         s.gr * wre0 - s.gi * wim0;
+      const double wim = s.ar * sim + s.ai * sre + s.br * vim + s.bi * vre +
+                         s.gr * wim0 + s.gi * wre0;
+      wd[2 * i] = wre;
+      wd[2 * i + 1] = wim;
+      if constexpr (WithDots) {
+        lvv += vre * vre + vim * vim;
+        lwr += wre * vre + wim * vim;
+        lwi += wre * vim - wim * vre;
+      }
+    }
+    if constexpr (WithDots) {
+      partials.store(&lvv, &lwr, &lwi);
+#pragma omp barrier
+#pragma omp master
+      partials.reduce_into(dot_vv, dot_wv);
+    }
+  }
+}
+
+template <bool WithDots>
+void aug_spmv_sell_core(const SellMatrix& a, const AugScalars& scal,
+                        const complex_t* v, complex_t* w, complex_t* dot_vv,
+                        complex_t* dot_wv) {
+  const global_index nchunks = a.num_chunks();
+  const int chunk = a.chunk_height();
+  const global_index nrows = a.nrows();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ col = a.col_idx().data();
+  const double* __restrict__ vald = re_im(a.values().data());
+  const double* __restrict__ vd = re_im(v);
+  double* __restrict__ wd = re_im(w);
+  const ScalarsRI s(scal);
+  DotPartials partials(WithDots ? 1 : 0);
+#pragma omp parallel
+  {
+    double lvv = 0.0, lwr = 0.0, lwi = 0.0;
+#pragma omp for schedule(static) nowait
+    for (global_index c = 0; c < nchunks; ++c) {
+      const global_index base = cptr[c];
+      const int lanes =
+          static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
+      for (int lane = 0; lane < lanes; ++lane) {
+        const global_index i = c * chunk + lane;
+        double sre = 0.0, sim = 0.0;
+        for (local_index j = 0; j < clen[c]; ++j) {
+          const global_index off =
+              base + static_cast<global_index>(j) * chunk + lane;
+          const double mre = vald[2 * off], mim = vald[2 * off + 1];
+          const std::size_t cc = static_cast<std::size_t>(col[off]);
+          const double xre = vd[2 * cc], xim = vd[2 * cc + 1];
+          sre += mre * xre - mim * xim;
+          sim += mre * xim + mim * xre;
+        }
+        const double vre = vd[2 * i], vim = vd[2 * i + 1];
+        const double wre0 = wd[2 * i], wim0 = wd[2 * i + 1];
+        const double wre = s.ar * sre - s.ai * sim + s.br * vre - s.bi * vim +
+                           s.gr * wre0 - s.gi * wim0;
+        const double wim = s.ar * sim + s.ai * sre + s.br * vim + s.bi * vre +
+                           s.gr * wim0 + s.gi * wre0;
+        wd[2 * i] = wre;
+        wd[2 * i + 1] = wim;
+        if constexpr (WithDots) {
+          lvv += vre * vre + vim * vim;
+          lwr += wre * vre + wim * vim;
+          lwi += wre * vim - wim * vre;
+        }
+      }
+    }
+    if constexpr (WithDots) {
+      partials.store(&lvv, &lwr, &lwi);
+#pragma omp barrier
+#pragma omp master
+      partials.reduce_into(dot_vv, dot_wv);
+    }
+  }
+}
+
+}  // namespace
+
+void set_kernel_variant(KernelVariant v) noexcept {
+  g_variant.store(v, std::memory_order_relaxed);
+}
+
+KernelVariant kernel_variant() noexcept {
+  return g_variant.load(std::memory_order_relaxed);
+}
+
+const char* kernel_variant_name(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::auto_dispatch: return "auto";
+    case KernelVariant::force_generic: return "generic";
+    case KernelVariant::force_fixed: return "fixed";
+  }
+  return "unknown";
+}
+
+bool has_fixed_width(int width) noexcept {
+  switch (width) {
+    case 1:
+    case 2:
+    case 4:
+    case 8:
+    case 16:
+    case 32:
+    case 64: return true;
+    default: return false;
+  }
+}
+
+void aug_spmv(const CrsMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv) {
+  check_single(a.nrows(), a.ncols(), v, w);
+  if (dot_vv == nullptr && dot_wv == nullptr) {
+    aug_spmv_crs_core<false>(a, s, v.data(), w.data(), nullptr, nullptr);
+    return;
+  }
+  complex_t vv{}, wv{};
+  aug_spmv_crs_core<true>(a, s, v.data(), w.data(), &vv, &wv);
+  if (dot_vv != nullptr) *dot_vv = vv;
+  if (dot_wv != nullptr) *dot_wv = wv;
+}
+
+void aug_spmv(const SellMatrix& a, const AugScalars& s,
+              std::span<const complex_t> v, std::span<complex_t> w,
+              complex_t* dot_vv, complex_t* dot_wv) {
+  check_single(a.nrows(), a.ncols(), v, w);
+  if (dot_vv == nullptr && dot_wv == nullptr) {
+    aug_spmv_sell_core<false>(a, s, v.data(), w.data(), nullptr, nullptr);
+    return;
+  }
+  complex_t vv{}, wv{};
+  aug_spmv_sell_core<true>(a, s, v.data(), w.data(), &vv, &wv);
+  if (dot_vv != nullptr) *dot_vv = vv;
+  if (dot_wv != nullptr) *dot_wv = wv;
 }
 
 void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
@@ -228,12 +523,18 @@ void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
   const int width = v.width();
   if (dot_vv.empty()) {
-    dispatch_crs<false>(a, s, v.data(), w.data(), width, nullptr, nullptr);
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_crs_core<decltype(wt), false>(a, s, v.data(), w.data(), 0,
+                                              a.nrows(), wt, nullptr, nullptr);
+    });
   } else {
     std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
-    dispatch_crs<true>(a, s, v.data(), w.data(), width, dot_vv.data(),
-                       dot_wv.data());
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_crs_core<decltype(wt), true>(a, s, v.data(), w.data(), 0,
+                                             a.nrows(), wt, dot_vv.data(),
+                                             dot_wv.data());
+    });
   }
 }
 
@@ -245,47 +546,20 @@ void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
   require(row_begin >= 0 && row_begin <= row_end && row_end <= a.nrows(),
           "aug_spmmv_rows: invalid row interval");
   const int width = v.width();
-  const auto* __restrict__ row_ptr = a.row_ptr().data();
-  const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t* __restrict__ vp = v.data();
-  complex_t* __restrict__ wp = w.data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-  const bool with_dots = !dot_vv.empty();
-#pragma omp parallel
-  {
-    std::vector<complex_t> acc(static_cast<std::size_t>(width));
-    std::vector<complex_t> local_vv(with_dots ? width : 0);
-    std::vector<complex_t> local_wv(with_dots ? width : 0);
-#pragma omp for schedule(static) nowait
-    for (global_index i = row_begin; i < row_end; ++i) {
-      std::fill(acc.begin(), acc.end(), complex_t{});
-      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-        const complex_t m = val[k];
-        const complex_t* __restrict__ vr =
-            vp + static_cast<std::size_t>(col[k]) * width;
-#pragma omp simd
-        for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
-      }
-      const complex_t* __restrict__ vi =
-          vp + static_cast<std::size_t>(i) * width;
-      complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
-      for (int r = 0; r < width; ++r) {
-        const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
-        wi[r] = wnew;
-        if (with_dots) {
-          local_vv[r] += std::conj(vi[r]) * vi[r];
-          local_wv[r] += std::conj(wnew) * vi[r];
-        }
-      }
-    }
-    if (with_dots) {
-#pragma omp critical(kpm_aug_spmmv_rows_dots)
-      for (int r = 0; r < width; ++r) {
-        dot_vv[r] += local_vv[r];
-        dot_wv[r] += local_wv[r];
-      }
-    }
+  if (dot_vv.empty()) {
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_crs_core<decltype(wt), false>(a, s, v.data(), w.data(),
+                                              row_begin, row_end, wt, nullptr,
+                                              nullptr);
+    });
+  } else {
+    // Accumulate-only contract (see header): caller zeroes before the first
+    // partial call of a sweep, so split interior/boundary sweeps compose.
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_crs_core<decltype(wt), true>(a, s, v.data(), w.data(),
+                                             row_begin, row_end, wt,
+                                             dot_vv.data(), dot_wv.data());
+    });
   }
 }
 
@@ -293,64 +567,19 @@ void aug_spmmv(const SellMatrix& a, const AugScalars& s,
                const blas::BlockVector& v, blas::BlockVector& w,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
-  const global_index nchunks = a.num_chunks();
-  const int chunk = a.chunk_height();
-  const global_index nrows = a.nrows();
   const int width = v.width();
-  const auto* __restrict__ cptr = a.chunk_ptr().data();
-  const auto* __restrict__ clen = a.chunk_len().data();
-  const auto* __restrict__ col = a.col_idx().data();
-  const auto* __restrict__ val = a.values().data();
-  const complex_t* __restrict__ vp = v.data();
-  complex_t* __restrict__ wp = w.data();
-  const complex_t alpha = s.alpha, beta = s.beta, gamma = s.gamma;
-  const bool with_dots = !dot_vv.empty();
-  if (with_dots) {
+  if (dot_vv.empty()) {
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_sell_core<decltype(wt), false>(a, s, v.data(), w.data(), wt,
+                                               nullptr, nullptr);
+    });
+  } else {
     std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
-  }
-#pragma omp parallel
-  {
-    std::vector<complex_t> acc(static_cast<std::size_t>(width));
-    std::vector<complex_t> local_vv(with_dots ? width : 0);
-    std::vector<complex_t> local_wv(with_dots ? width : 0);
-#pragma omp for schedule(static) nowait
-    for (global_index c = 0; c < nchunks; ++c) {
-      const global_index base = cptr[c];
-      const int lanes =
-          static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
-      for (int lane = 0; lane < lanes; ++lane) {
-        const global_index i = c * chunk + lane;
-        std::fill(acc.begin(), acc.end(), complex_t{});
-        for (local_index j = 0; j < clen[c]; ++j) {
-          const global_index off =
-              base + static_cast<global_index>(j) * chunk + lane;
-          const complex_t m = val[off];
-          const complex_t* __restrict__ vr =
-              vp + static_cast<std::size_t>(col[off]) * width;
-#pragma omp simd
-          for (int r = 0; r < width; ++r) acc[r] += m * vr[r];
-        }
-        const complex_t* __restrict__ vi =
-            vp + static_cast<std::size_t>(i) * width;
-        complex_t* __restrict__ wi = wp + static_cast<std::size_t>(i) * width;
-        for (int r = 0; r < width; ++r) {
-          const complex_t wnew = alpha * acc[r] + beta * vi[r] + gamma * wi[r];
-          wi[r] = wnew;
-          if (with_dots) {
-            local_vv[r] += std::conj(vi[r]) * vi[r];
-            local_wv[r] += std::conj(wnew) * vi[r];
-          }
-        }
-      }
-    }
-    if (with_dots) {
-#pragma omp critical(kpm_aug_spmmv_sell_dots)
-      for (int r = 0; r < width; ++r) {
-        dot_vv[r] += local_vv[r];
-        dot_wv[r] += local_wv[r];
-      }
-    }
+    dispatch_width(width, [&](auto wt) {
+      aug_spmmv_sell_core<decltype(wt), true>(a, s, v.data(), w.data(), wt,
+                                              dot_vv.data(), dot_wv.data());
+    });
   }
 }
 

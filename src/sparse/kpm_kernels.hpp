@@ -17,6 +17,20 @@
 //
 // Passing empty dot spans skips the on-the-fly reductions — that is the
 // "augmented SpMMV without dot products" kernel of paper Fig. 10(b).
+//
+// Kernel dispatch.  Every block kernel (CRS and SELL alike) is routed
+// through one width-dispatch layer: for R in {1, 2, 4, 8, 16, 32, 64} a
+// fixed-width instantiation with stack-resident accumulators and fully
+// unrolled SIMD lanes is selected, any other width falls back to a generic
+// runtime-width body.  The inner complex multiply-accumulate operates on the
+// interleaved (re, im) doubles of the complex storage directly, so the
+// compiler emits plain FMA arithmetic instead of library complex-multiply
+// calls.  See DESIGN.md "Kernel dispatch & reduction strategy".
+//
+// Determinism.  All on-the-fly dot reductions use cache-line-padded
+// per-thread partial buffers that are combined in ascending thread order —
+// no locks, no atomics, no `omp critical`.  At a fixed thread count the
+// moments are therefore bitwise reproducible run-to-run.
 #pragma once
 
 #include <span>
@@ -44,8 +58,30 @@ struct AugScalars {
   }
 };
 
+/// Which body the width-dispatch layer selects for the block kernels.
+///
+///  - auto_dispatch: fixed-width instantiation when the block width is in
+///    the dispatch table {1,2,4,8,16,32,64}, generic body otherwise.
+///  - force_generic: always the runtime-width body (autotuner probes and
+///    parity tests).
+///  - force_fixed:   fixed-width body when tabulated, generic fallback
+///    otherwise (i.e. auto_dispatch — the name records intent at call sites).
+enum class KernelVariant { auto_dispatch, force_generic, force_fixed };
+
+/// Process-wide variant override consulted on every block-kernel call.
+/// Intended for the autotuner's probe phase and for tests; not meant to be
+/// flipped while kernels are in flight on other threads (stores are atomic,
+/// so concurrent same-value stores during collective probing are safe).
+void set_kernel_variant(KernelVariant v) noexcept;
+[[nodiscard]] KernelVariant kernel_variant() noexcept;
+[[nodiscard]] const char* kernel_variant_name(KernelVariant v) noexcept;
+
+/// True if `width` has a fixed-width instantiation in the dispatch table.
+[[nodiscard]] bool has_fixed_width(int width) noexcept;
+
 /// Stage-1 fused kernel on a single vector (CRS).  `dot_vv`/`dot_wv`
-/// receive <v|v> and <w_new|v>; pass nullptr to skip either reduction.
+/// receive <v|v> and <w_new|v>; pass nullptr to skip either reduction
+/// (with both nullptr the reduction code is compiled out entirely).
 void aug_spmv(const CrsMatrix& a, const AugScalars& s,
               std::span<const complex_t> v, std::span<complex_t> w,
               complex_t* dot_vv, complex_t* dot_wv);
@@ -55,13 +91,22 @@ void aug_spmv(const SellMatrix& a, const AugScalars& s,
               std::span<const complex_t> v, std::span<complex_t> w,
               complex_t* dot_vv, complex_t* dot_wv);
 
+// Dot-output contract of the block kernels: the full-sweep aug_spmmv()
+// overloads OVERWRITE `dot_vv`/`dot_wv` (they are zero-filled before the
+// sweep), whereas the partial-sweep aug_spmmv_rows() ACCUMULATES into them
+// so that the split interior/boundary calls of an overlapped halo exchange
+// compose — zero the spans before the first partial call of a sweep.  The
+// dot spans must not alias the v/w storage (checked).
+
 /// Stage-2 fused block kernel (CRS).  `dot_vv`/`dot_wv` must be empty (skip
-/// the on-the-fly dots) or hold one entry per block column.
+/// the on-the-fly dots) or hold one entry per block column; non-empty spans
+/// are overwritten with the dots of this sweep.
 void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
                const blas::BlockVector& v, blas::BlockVector& w,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
 /// Stage-2 fused block kernel (SELL-C-sigma, permuted block vectors).
+/// Same overwrite contract as the CRS overload.
 void aug_spmmv(const SellMatrix& a, const AugScalars& s,
                const blas::BlockVector& v, blas::BlockVector& w,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
@@ -70,6 +115,7 @@ void aug_spmmv(const SellMatrix& a, const AugScalars& s,
 /// halo exchange with interior computation: processes rows
 /// [row_begin, row_end) only and *adds* its dot contributions to the
 /// accumulators (zero them before the first partial call of a sweep).
+/// Routed through the same width-dispatch layer as the full sweeps.
 void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
                     const blas::BlockVector& v, blas::BlockVector& w,
                     global_index row_begin, global_index row_end,

@@ -73,6 +73,42 @@ TEST(AutoTune, TunedPartitionStillComputesCorrectMoments) {
   });
 }
 
+TEST(AutoTune, VariantProbeSelectsAndRecordsKernel) {
+  const auto h = tune_matrix();
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.block_width = 8;  // has a fixed-width instantiation
+    p.max_iterations = 2;
+    const auto res = runtime::auto_tune_weights(c, h, p);
+    // The probe must commit to one concrete body and install it.
+    EXPECT_NE(res.variant, sparse::KernelVariant::auto_dispatch);
+    EXPECT_EQ(sparse::kernel_variant(), res.variant);
+    EXPECT_GT(res.generic_seconds, 0.0);
+    EXPECT_GT(res.fixed_seconds, 0.0);
+    const bool fixed_won = res.fixed_seconds <= res.generic_seconds;
+    EXPECT_EQ(res.variant, fixed_won ? sparse::KernelVariant::force_fixed
+                                     : sparse::KernelVariant::force_generic);
+    EXPECT_EQ(res.kernel,
+              std::string("aug_spmmv[") +
+                  sparse::kernel_variant_name(res.variant) + ",R=8]");
+  });
+  sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
+}
+
+TEST(AutoTune, VariantProbeSkippedForUnsupportedWidth) {
+  const auto h = tune_matrix();
+  runtime::run_ranks(1, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.block_width = 3;  // no fixed-width instantiation
+    p.max_iterations = 1;
+    const auto res = runtime::auto_tune_weights(c, h, p);
+    EXPECT_EQ(res.variant, sparse::KernelVariant::auto_dispatch);
+    EXPECT_EQ(res.generic_seconds, 0.0);
+    EXPECT_EQ(res.fixed_seconds, 0.0);
+    EXPECT_EQ(res.kernel, "aug_spmmv[auto,R=3]");
+  });
+}
+
 TEST(AutoTune, InvalidParamsThrow) {
   const auto h = tune_matrix();
   runtime::run_ranks(1, [&](runtime::Communicator& c) {

@@ -1,0 +1,247 @@
+// Parity and determinism of the width-dispatch kernel layer.
+//
+// The generic (runtime-width) and fixed-width bodies of the fused block
+// kernels share the exact same split-complex arithmetic, so forcing either
+// variant must produce BITWISE identical results — not merely close ones.
+// Likewise the padded per-thread dot reductions merge partials in a fixed
+// thread order, so repeated runs at a fixed thread count must agree exactly.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstring>
+#include <vector>
+
+#include "blas/block_vector.hpp"
+#include "core/moments.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "sparse/crs.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/sell.hpp"
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+/// Restores the process-wide kernel variant on scope exit, so a failing
+/// assertion cannot leak a forced variant into later tests.
+class VariantGuard {
+ public:
+  VariantGuard() : saved_(sparse::kernel_variant()) {}
+  ~VariantGuard() { sparse::set_kernel_variant(saved_); }
+  VariantGuard(const VariantGuard&) = delete;
+  VariantGuard& operator=(const VariantGuard&) = delete;
+
+ private:
+  sparse::KernelVariant saved_;
+};
+
+const sparse::CrsMatrix& matrix() {
+  static const sparse::CrsMatrix m = [] {
+    physics::TIParams p;
+    p.nx = 8;
+    p.ny = 8;
+    p.nz = 6;
+    return physics::build_ti_hamiltonian(p);
+  }();
+  return m;
+}
+
+const sparse::SellMatrix& sell_matrix() {
+  static const sparse::SellMatrix m(matrix(), 8, 32);
+  return m;
+}
+
+blas::BlockVector block(global_index n, int width, double shift) {
+  blas::BlockVector b(n, width);
+  for (global_index i = 0; i < n; ++i) {
+    for (int r = 0; r < width; ++r) {
+      b(i, r) = {1.0 / (1.0 + static_cast<double>(i) + shift * r),
+                 0.25 - 0.001 * r};
+    }
+  }
+  return b;
+}
+
+bool bitwise_equal(const blas::BlockVector& a, const blas::BlockVector& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(complex_t)) == 0;
+}
+
+bool bitwise_equal(const std::vector<complex_t>& a,
+                   const std::vector<complex_t>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(complex_t)) == 0;
+}
+
+struct SweepOutput {
+  blas::BlockVector w;
+  std::vector<complex_t> dvv;
+  std::vector<complex_t> dwv;
+};
+
+/// One full fused sweep under a forced variant; `with_dots` toggles the
+/// on-the-fly reductions.
+template <typename Matrix>
+SweepOutput run_sweep(const Matrix& a, int width, sparse::KernelVariant var,
+                      bool with_dots) {
+  VariantGuard guard;
+  sparse::set_kernel_variant(var);
+  SweepOutput out{block(a.nrows(), width, 0.5),
+                  std::vector<complex_t>(with_dots ? width : 0),
+                  std::vector<complex_t>(with_dots ? width : 0)};
+  const auto v = block(a.ncols(), width, 0.0);
+  const auto rec = sparse::AugScalars::recurrence(0.3, -0.05);
+  sparse::aug_spmmv(a, rec, v, out.w, out.dvv, out.dwv);
+  return out;
+}
+
+constexpr int kWidths[] = {1, 2, 3, 4, 7, 8, 16, 33, 64};
+
+TEST(KernelDispatch, FixedWidthTableMatchesDispatcher) {
+  for (const int w : {1, 2, 4, 8, 16, 32, 64}) {
+    EXPECT_TRUE(sparse::has_fixed_width(w)) << w;
+  }
+  for (const int w : {3, 5, 7, 33, 128}) {
+    EXPECT_FALSE(sparse::has_fixed_width(w)) << w;
+  }
+}
+
+TEST(KernelDispatch, VariantNamesRoundTrip) {
+  EXPECT_STREQ(sparse::kernel_variant_name(sparse::KernelVariant::auto_dispatch),
+               "auto");
+  EXPECT_STREQ(sparse::kernel_variant_name(sparse::KernelVariant::force_generic),
+               "generic");
+  EXPECT_STREQ(sparse::kernel_variant_name(sparse::KernelVariant::force_fixed),
+               "fixed");
+  VariantGuard guard;
+  sparse::set_kernel_variant(sparse::KernelVariant::force_fixed);
+  EXPECT_EQ(sparse::kernel_variant(), sparse::KernelVariant::force_fixed);
+}
+
+TEST(KernelDispatch, CrsGenericFixedBitwiseParity) {
+  for (const int width : kWidths) {
+    for (const bool with_dots : {true, false}) {
+      const auto gen = run_sweep(matrix(), width,
+                                 sparse::KernelVariant::force_generic,
+                                 with_dots);
+      const auto fix = run_sweep(matrix(), width,
+                                 sparse::KernelVariant::force_fixed, with_dots);
+      EXPECT_TRUE(bitwise_equal(gen.w, fix.w))
+          << "w mismatch at width " << width << " dots=" << with_dots;
+      EXPECT_TRUE(bitwise_equal(gen.dvv, fix.dvv)) << "width " << width;
+      EXPECT_TRUE(bitwise_equal(gen.dwv, fix.dwv)) << "width " << width;
+    }
+  }
+}
+
+TEST(KernelDispatch, SellGenericFixedBitwiseParity) {
+  for (const int width : kWidths) {
+    for (const bool with_dots : {true, false}) {
+      const auto gen = run_sweep(sell_matrix(), width,
+                                 sparse::KernelVariant::force_generic,
+                                 with_dots);
+      const auto fix = run_sweep(sell_matrix(), width,
+                                 sparse::KernelVariant::force_fixed, with_dots);
+      EXPECT_TRUE(bitwise_equal(gen.w, fix.w))
+          << "w mismatch at width " << width << " dots=" << with_dots;
+      EXPECT_TRUE(bitwise_equal(gen.dvv, fix.dvv)) << "width " << width;
+      EXPECT_TRUE(bitwise_equal(gen.dwv, fix.dwv)) << "width " << width;
+    }
+  }
+}
+
+TEST(KernelDispatch, AutoDispatchMatchesForcedFixed) {
+  // auto must route supported widths to the fixed body and the rest to the
+  // generic body; either way the result is the same bit pattern.
+  for (const int width : {4, 7}) {
+    const auto aut = run_sweep(sell_matrix(), width,
+                               sparse::KernelVariant::auto_dispatch, true);
+    const auto fix = run_sweep(sell_matrix(), width,
+                               sparse::KernelVariant::force_fixed, true);
+    EXPECT_TRUE(bitwise_equal(aut.w, fix.w)) << "width " << width;
+    EXPECT_TRUE(bitwise_equal(aut.dwv, fix.dwv)) << "width " << width;
+  }
+}
+
+TEST(KernelDispatch, RowIntervalKernelComposesToFullSweep) {
+  const auto& a = matrix();
+  const int width = 8;
+  const auto full = run_sweep(a, width, sparse::KernelVariant::auto_dispatch,
+                              true);
+  // Same sweep split into three row intervals; dots accumulate across calls.
+  SweepOutput split{block(a.nrows(), width, 0.5),
+                    std::vector<complex_t>(width),
+                    std::vector<complex_t>(width)};
+  const auto v = block(a.ncols(), width, 0.0);
+  const auto rec = sparse::AugScalars::recurrence(0.3, -0.05);
+  const global_index cut1 = a.nrows() / 3;
+  const global_index cut2 = 2 * a.nrows() / 3;
+  sparse::aug_spmmv_rows(a, rec, v, split.w, 0, cut1, split.dvv, split.dwv);
+  sparse::aug_spmmv_rows(a, rec, v, split.w, cut1, cut2, split.dvv, split.dwv);
+  sparse::aug_spmmv_rows(a, rec, v, split.w, cut2, a.nrows(), split.dvv,
+                         split.dwv);
+  EXPECT_TRUE(bitwise_equal(full.w, split.w));
+  for (int r = 0; r < width; ++r) {
+    EXPECT_NEAR(std::abs(full.dvv[r] - split.dvv[r]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(full.dwv[r] - split.dwv[r]), 0.0, 1e-12);
+  }
+}
+
+TEST(KernelDispatch, DotSpansMustNotAliasVectors) {
+  const auto& a = matrix();
+  const int width = 4;
+  auto v = block(a.ncols(), width, 0.0);
+  auto w = block(a.nrows(), width, 0.5);
+  const auto rec = sparse::AugScalars::recurrence(0.3, 0.0);
+  std::span<complex_t> alias_w(w.data(), static_cast<std::size_t>(width));
+  std::vector<complex_t> ok(static_cast<std::size_t>(width));
+  EXPECT_THROW(sparse::aug_spmmv(a, rec, v, w, alias_w, ok), contract_error);
+}
+
+TEST(KernelDispatch, RepeatedSweepsAreBitwiseDeterministic) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(4);
+#endif
+  for (const auto var : {sparse::KernelVariant::force_generic,
+                         sparse::KernelVariant::force_fixed}) {
+    const auto first = run_sweep(sell_matrix(), 8, var, true);
+    const auto second = run_sweep(sell_matrix(), 8, var, true);
+    EXPECT_TRUE(bitwise_equal(first.w, second.w));
+    EXPECT_TRUE(bitwise_equal(first.dvv, second.dvv));
+    EXPECT_TRUE(bitwise_equal(first.dwv, second.dwv));
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+}
+
+TEST(KernelDispatch, MomentsAreBitwiseDeterministicAcrossRuns) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(4);
+#endif
+  const auto& h = matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 32;
+  mp.num_random = 4;
+  mp.reduction = core::ReductionMode::per_iteration;  // exercises kernel dots
+  const auto a = core::moments_aug_spmmv(h, s, mp);
+  const auto b = core::moments_aug_spmmv(h, s, mp);
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t m = 0; m < a.mu.size(); ++m) {
+    // Exactly equal, not just close: same schedule, same reduction order.
+    EXPECT_EQ(a.mu[m], b.mu[m]) << "moment " << m;
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+}
+
+}  // namespace
+}  // namespace kpm
