@@ -4,13 +4,20 @@
 //
 // Besides the interactive google-benchmark suite, the binary always runs a
 // machine-readable sweep of the fused block kernel over
-// widths x formats x variants and writes it to BENCH_kernels.json (override
-// the path with KPM_BENCH_JSON), so successive PRs leave a perf trajectory.
+// widths x formats x variants x thread counts and writes it to
+// BENCH_kernels.json (override the path with KPM_BENCH_JSON), so successive
+// PRs leave a perf trajectory.
 // The "legacy" variant is a frozen copy of the pre-dispatch generic kernel
 // (heap per-row accumulators, std::complex arithmetic, `omp critical` dot
 // merge) kept here as the fixed reference point for those speedup numbers.
+// The "tiled" variant runs the fixed body under the tile configuration the
+// persistent autotuner (runtime::AutoTuner) selects for this matrix; its
+// winning {tile_width, band_rows, nt_stores} triple is recorded per cell.
+// The binary installs OMP_PROC_BIND=close / OMP_PLACES=cores at startup
+// unless already set (export your own values to override).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +30,7 @@
 #include "physics/anderson.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
+#include "runtime/autotune.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/spmv.hpp"
@@ -192,29 +200,46 @@ void aug_spmmv_sell(const sparse::SellMatrix& a, const sparse::AugScalars& s,
 }  // namespace legacy
 
 // ---------------------------------------------------------------------------
-// Machine-readable sweep: widths x formats x variants of the fused kernel.
+// Machine-readable sweep: widths x formats x variants x threads of the
+// fused kernel.
 
 struct SweepRecord {
   const char* format;
   const char* variant;
   int width;
+  int threads;
+  sparse::TileConfig tile;  // in effect during the timing
   double seconds;
   double gflops;
   double gbs;
 };
 
-/// One timed cell of the sweep; `variant` selects legacy / generic / fixed.
-SweepRecord time_cell(const char* format, const char* variant, int width) {
+/// One timed cell of the sweep; `variant` selects legacy / generic / fixed /
+/// tiled.  Legacy/generic/fixed run untiled so the trajectory vs earlier
+/// PRs stays like-for-like; "tiled" runs the fixed body under `tuned`.
+SweepRecord time_cell(const char* format, const char* variant, int width,
+                      const sparse::TileConfig& tuned) {
   const auto& crs = matrix();
   const bool is_sell = std::string(format) == "sell";
   const auto& sell = sell_matrix();
-  auto v = block(crs.ncols(), width);
-  auto w = block(crs.nrows(), width);
+  // First-touch the probe vectors the same way the kernel streams them.
+  blas::BlockVector v(crs.ncols(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  blas::BlockVector w(crs.nrows(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  for (global_index i = 0; i < crs.ncols(); ++i) {
+    for (int r = 0; r < width; ++r) {
+      v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.25};
+    }
+  }
   std::vector<complex_t> dvv(static_cast<std::size_t>(width));
   std::vector<complex_t> dwv(static_cast<std::size_t>(width));
   const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
 
   const std::string var(variant);
+  const sparse::TileConfig untiled{-1, 0, false};
+  const sparse::TileConfig cfg = var == "tiled" ? tuned : untiled;
+  sparse::set_tile_config(cfg);
   auto sweep = [&] {
     if (var == "legacy") {
       if (is_sell) {
@@ -223,9 +248,9 @@ SweepRecord time_cell(const char* format, const char* variant, int width) {
         legacy::aug_spmmv_crs(crs, rec, v, w, dvv, dwv);
       }
     } else {
-      sparse::set_kernel_variant(var == "fixed"
-                                     ? sparse::KernelVariant::force_fixed
-                                     : sparse::KernelVariant::force_generic);
+      sparse::set_kernel_variant(var == "generic"
+                                     ? sparse::KernelVariant::force_generic
+                                     : sparse::KernelVariant::force_fixed);
       if (is_sell) {
         sparse::aug_spmmv(sell, rec, v, w, dvv, dwv);
       } else {
@@ -233,9 +258,10 @@ SweepRecord time_cell(const char* format, const char* variant, int width) {
       }
     }
   };
-  sweep();  // warm-up
+  for (int i = 0; i < 2; ++i) sweep();  // warm-up iterations
   const double best = time_best(sweep, 0.12, 2);
   sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
+  sparse::set_tile_config({});
 
   const double flops =
       width * (static_cast<double>(crs.nnz()) * 8.0 +
@@ -245,35 +271,82 @@ SweepRecord time_cell(const char* format, const char* variant, int width) {
   const double bytes =
       (is_sell ? sell.storage_bytes() : crs.storage_bytes()) +
       3.0 * width * static_cast<double>(crs.nrows()) * bytes_per_element;
-  return {format, variant, width, best, flops / best / 1e9, bytes / best / 1e9};
+  return {format,       variant, width, max_threads(), cfg, best,
+          flops / best / 1e9, bytes / best / 1e9};
+}
+
+/// Tile configuration the persistent autotuner picks for this cell (cached
+/// in the usual tune-cache file, so re-running the bench skips the probes).
+sparse::TileConfig tuned_config(runtime::AutoTuner& tuner, const char* format,
+                                int width) {
+  runtime::TileTuneParams p;
+  p.install = false;  // time_cell installs it per timing
+  const auto res =
+      std::string(format) == "sell"
+          ? tuner.tune_tiles(sell_matrix(), width, p)
+          : tuner.tune_tiles(matrix(), width, p);
+  return res.config;
+}
+
+void print_record(const SweepRecord& r) {
+  std::printf("%-5s %-8s %6d %4d %5d %8lld %3d %12.5f %9.3f %9.3f\n",
+              r.format, r.variant, r.width, r.threads, r.tile.tile_width,
+              static_cast<long long>(r.tile.band_rows),
+              r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs);
 }
 
 void run_sweep_and_write_json() {
   const char* path_env = std::getenv("KPM_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_kernels.json";
-  const int widths[] = {1, 2, 4, 8, 16, 32};
+  const int widths[] = {1, 2, 4, 8, 16, 32, 64};
   const char* formats[] = {"crs", "sell"};
-  const char* variants[] = {"legacy", "generic", "fixed"};
+  const char* variants[] = {"legacy", "generic", "fixed", "tiled"};
+  const int primary_threads = max_threads();
+  // Thread-scaling sweep {1, 2, 4, max}, clipped to the machine, over a
+  // reduced width x variant grid.
+  std::vector<int> scaling_threads;
+  for (const int t : {1, 2, 4, primary_threads}) {
+    if (t >= 1 && t <= primary_threads && t != primary_threads &&
+        std::find(scaling_threads.begin(), scaling_threads.end(), t) ==
+            scaling_threads.end()) {
+      scaling_threads.push_back(t);
+    }
+  }
+  const int scaling_widths[] = {8, 32, 64};
+  const char* scaling_variants[] = {"fixed", "tiled"};
 
+  runtime::AutoTuner tuner;  // persistent cache: reruns skip the probes
   std::vector<SweepRecord> records;
   std::printf("aug_spmmv sweep (full fused kernel, on-the-fly dots):\n");
-  std::printf("%-5s %-8s %6s %12s %9s %9s\n", "fmt", "variant", "width",
-              "s/sweep", "GF/s", "GB/s");
+  std::printf("%-5s %-8s %6s %4s %5s %8s %3s %12s %9s %9s\n", "fmt", "variant",
+              "width", "thr", "tile", "band", "nt", "s/sweep", "GF/s", "GB/s");
   for (const char* fmt : formats) {
     for (const int width : widths) {
+      const auto tuned = tuned_config(tuner, fmt, width);
       for (const char* var : variants) {
-        records.push_back(time_cell(fmt, var, width));
-        const auto& r = records.back();
-        std::printf("%-5s %-8s %6d %12.5f %9.3f %9.3f\n", r.format, r.variant,
-                    r.width, r.seconds, r.gflops, r.gbs);
+        records.push_back(time_cell(fmt, var, width, tuned));
+        print_record(records.back());
       }
     }
   }
+  for (const int t : scaling_threads) {
+    set_threads(t);
+    for (const char* fmt : formats) {
+      for (const int width : scaling_widths) {
+        const auto tuned = tuned_config(tuner, fmt, width);
+        for (const char* var : scaling_variants) {
+          records.push_back(time_cell(fmt, var, width, tuned));
+          print_record(records.back());
+        }
+      }
+    }
+  }
+  set_threads(primary_threads);
 
   auto find = [&](const char* fmt, const char* var, int width) -> double {
     for (const auto& r : records) {
       if (std::string(r.format) == fmt && std::string(r.variant) == var &&
-          r.width == width) {
+          r.width == width && r.threads == primary_threads) {
         return r.gflops;
       }
     }
@@ -281,9 +354,14 @@ void run_sweep_and_write_json() {
   };
   const double s8 = find("sell", "fixed", 8) / find("sell", "legacy", 8);
   const double s32 = find("sell", "fixed", 32) / find("sell", "legacy", 32);
+  const double t32 = find("crs", "tiled", 32) / find("crs", "fixed", 32);
+  const double t64 = find("crs", "tiled", 64) / find("crs", "fixed", 64);
   std::printf("fixed vs pre-dispatch legacy, SELL: %.2fx @ width 8, "
-              "%.2fx @ width 32\n\n",
+              "%.2fx @ width 32\n",
               s8, s32);
+  std::printf("tiled vs untiled fixed, CRS: %.2fx @ width 32, "
+              "%.2fx @ width 64\n\n",
+              t32, t64);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -300,23 +378,32 @@ void run_sweep_and_write_json() {
                static_cast<long long>(crs.nrows()),
                static_cast<long long>(crs.nnz()), sell_matrix().chunk_height(),
                sell_matrix().sigma());
-  std::fprintf(f, "  \"threads\": %d,\n", max_threads());
+  std::fprintf(f, "  \"threads\": %d,\n", primary_threads);
+  std::fprintf(f, "  \"tune_cache\": \"%s\",\n", tuner.cache_path().c_str());
   std::fprintf(f, "  \"records\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     std::fprintf(f,
                  "    {\"format\": \"%s\", \"variant\": \"%s\", "
-                 "\"width\": %d, \"with_dots\": true, "
+                 "\"width\": %d, \"threads\": %d, \"with_dots\": true, "
+                 "\"tile_width\": %d, \"band_rows\": %lld, "
+                 "\"nt_stores\": %d, "
                  "\"seconds_per_sweep\": %.6e, \"gflops\": %.4f, "
                  "\"gbs\": %.4f}%s\n",
-                 r.format, r.variant, r.width, r.seconds, r.gflops, r.gbs,
+                 r.format, r.variant, r.width, r.threads, r.tile.tile_width,
+                 static_cast<long long>(r.tile.band_rows),
+                 r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"speedup_fixed_vs_legacy\": {\"sell_width8\": %.4f, "
-               "\"sell_width32\": %.4f}\n}\n",
+               "\"sell_width32\": %.4f},\n",
                s8, s32);
+  std::fprintf(f,
+               "  \"speedup_tiled_vs_fixed\": {\"crs_width32\": %.4f, "
+               "\"crs_width64\": %.4f}\n}\n",
+               t32, t64);
   std::fclose(f);
   std::printf("wrote %s\n\n", path.c_str());
 }
@@ -525,6 +612,9 @@ BENCHMARK(BM_kubo_moments)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pin threads for stable measurements unless the user chose otherwise
+  // (must happen before the first parallel region).
+  kpm::default_omp_affinity();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   run_sweep_and_write_json();

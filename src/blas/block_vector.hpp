@@ -17,38 +17,57 @@ namespace kpm::blas {
 
 enum class Layout { row_major, col_major };
 
+/// Page-placement policy of a fresh BlockVector's zero fill.
+///
+///  - serial:   one thread touches every page (historic behavior; fine on a
+///    single NUMA node).
+///  - parallel: the zero fill runs in an OpenMP parallel region using the
+///    kernels' static row split (util/schedule.hpp), so under a first-touch
+///    NUMA policy each thread's row band lands in pages local to the core
+///    that will stream it in aug_spmmv.  Requires the same OMP_NUM_THREADS /
+///    affinity as the later kernel calls to be effective.
+enum class FirstTouch { serial, parallel };
+
 /// Dense rows x width complex block vector with 64-byte aligned storage.
 class BlockVector {
  public:
   BlockVector() = default;
-  BlockVector(global_index rows, int width, Layout layout = Layout::row_major);
+  BlockVector(global_index rows, int width, Layout layout = Layout::row_major,
+              FirstTouch touch = FirstTouch::serial);
 
   [[nodiscard]] global_index rows() const noexcept { return rows_; }
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] Layout layout() const noexcept { return layout_; }
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size() / 2; }
 
   [[nodiscard]] complex_t& operator()(global_index i, int r) noexcept {
-    return data_[index(i, r)];
+    return data()[index(i, r)];
   }
   [[nodiscard]] const complex_t& operator()(global_index i, int r) const noexcept {
-    return data_[index(i, r)];
+    return data()[index(i, r)];
   }
 
-  [[nodiscard]] std::span<complex_t> span() noexcept { return data_; }
-  [[nodiscard]] std::span<const complex_t> span() const noexcept { return data_; }
-  [[nodiscard]] complex_t* data() noexcept { return data_.data(); }
-  [[nodiscard]] const complex_t* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<complex_t> span() noexcept { return {data(), size()}; }
+  [[nodiscard]] std::span<const complex_t> span() const noexcept {
+    return {data(), size()};
+  }
+  // Storage is interleaved (re, im) doubles; [complex.numbers.general]/4
+  // guarantees the complex view, and keeping the doubles primary lets a
+  // fresh buffer stay untouched until the (possibly parallel, first-touch)
+  // zero fill.
+  [[nodiscard]] complex_t* data() noexcept {
+    return reinterpret_cast<complex_t*>(data_.data());
+  }
+  [[nodiscard]] const complex_t* data() const noexcept {
+    return reinterpret_cast<const complex_t*>(data_.data());
+  }
 
   /// Interleaved (re, im) scalar view of the storage for split-complex
-  /// kernels; [complex.numbers.general]/4 guarantees element (i, r) occupies
-  /// real_data()[2k] (real) and real_data()[2k + 1] (imag) with k the
-  /// complex-element index.
-  [[nodiscard]] double* real_data() noexcept {
-    return reinterpret_cast<double*>(data_.data());
-  }
+  /// kernels; element (i, r) occupies real_data()[2k] (real) and
+  /// real_data()[2k + 1] (imag) with k the complex-element index.
+  [[nodiscard]] double* real_data() noexcept { return data_.data(); }
   [[nodiscard]] const double* real_data() const noexcept {
-    return reinterpret_cast<const double*>(data_.data());
+    return data_.data();
   }
   /// Doubles between consecutive rows of the interleaved view (row-major) /
   /// consecutive column elements (col-major): the split-loop row stride.
@@ -81,7 +100,7 @@ class BlockVector {
   global_index rows_ = 0;
   int width_ = 0;
   Layout layout_ = Layout::row_major;
-  aligned_vector<complex_t> data_;
+  untouched_vector<double> data_;  // 2 * rows * width interleaved doubles
 };
 
 }  // namespace kpm::blas

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "blas/block_vector.hpp"
 #include "runtime/dist_matrix.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "util/check.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 
 namespace kpm::runtime {
@@ -55,7 +60,278 @@ double worst_rank_seconds(Communicator& comm, const sparse::CrsMatrix& global,
   return *std::max_element(times.begin(), times.end());
 }
 
+/// Deduplicated candidate list of the greedy stage-1 probe: (tile, nt)
+/// pairs.  Tiles >= width degenerate to the untiled pass and are dropped.
+std::vector<sparse::TileConfig> stage1_candidates(const TileTuneParams& p,
+                                                  int width) {
+  std::vector<sparse::TileConfig> out;
+  auto add = [&](int tile, bool nt) {
+    sparse::TileConfig c{tile, 0, nt};
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  };
+  const bool nt_avail = sparse::nt_stores_supported();
+  for (int tile : p.tile_widths) {
+    if (tile == 0) tile = -1;  // "auto" is not a probe candidate; pin it down
+    if (tile > 0 && tile >= width) tile = -1;
+    add(tile, false);
+    if (p.probe_nt_stores && nt_avail) add(tile, true);
+  }
+  if (out.empty()) out.push_back({-1, 0, false});
+  return out;
+}
+
+/// Appends the stage-2 banding candidates derived from a stage-1 winner.
+void add_band_candidates(std::vector<sparse::TileConfig>& list,
+                         const sparse::TileConfig& winner,
+                         const TileTuneParams& p, global_index nrows) {
+  for (const global_index band : p.band_rows) {
+    if (band <= 0 || band >= nrows) continue;
+    sparse::TileConfig c = winner;
+    c.band_rows = band;
+    if (std::find(list.begin(), list.end(), c) == list.end())
+      list.push_back(c);
+  }
+}
+
+/// Restores the pre-probe tile configuration unless dismissed.
+class TileConfigGuard {
+ public:
+  TileConfigGuard() : saved_(sparse::tile_config()) {}
+  ~TileConfigGuard() {
+    if (!dismissed_) sparse::set_tile_config(saved_);
+  }
+  void dismiss() noexcept { dismissed_ = true; }
+  TileConfigGuard(const TileConfigGuard&) = delete;
+  TileConfigGuard& operator=(const TileConfigGuard&) = delete;
+
+ private:
+  sparse::TileConfig saved_;
+  bool dismissed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Cache-file serialization.  The format is a flat JSON document we both
+// write and parse; anything that does not scan cleanly invalidates the whole
+// file and the tuner falls back to probing (and rewrites it).
+constexpr int kCacheVersion = 1;
+
+bool parse_double_field(const std::string& obj, const char* name,
+                        double* out) {
+  const std::string tag = std::string("\"") + name + "\":";
+  const std::size_t pos = obj.find(tag);
+  if (pos == std::string::npos) return false;
+  const char* start = obj.c_str() + pos + tag.size();
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool parse_string_field(const std::string& obj, const char* name,
+                        std::string* out) {
+  const std::string tag = std::string("\"") + name + "\": \"";
+  const std::size_t pos = obj.find(tag);
+  if (pos == std::string::npos) return false;
+  const std::size_t end = obj.find('"', pos + tag.size());
+  if (end == std::string::npos) return false;
+  *out = obj.substr(pos + tag.size(), end - (pos + tag.size()));
+  return true;
+}
+
 }  // namespace
+
+std::string AutoTuner::default_cache_path() {
+  const char* env = std::getenv("KPM_TUNE_CACHE");
+  return env != nullptr && env[0] != '\0' ? env : ".kpm_tune_cache.json";
+}
+
+AutoTuner::AutoTuner(std::string cache_path)
+    : path_(cache_path.empty() ? default_cache_path()
+                               : std::move(cache_path)) {
+  load();
+}
+
+std::string AutoTuner::cache_key(const char* format, global_index nrows,
+                                 global_index nnz, int threads, int width,
+                                 int ranks) {
+  std::string key = format;
+  key += ':';
+  key += std::to_string(static_cast<long long>(nrows));
+  key += ':';
+  key += std::to_string(static_cast<long long>(nnz));
+  key += ":t";
+  key += std::to_string(threads);
+  key += ":w";
+  key += std::to_string(width);
+  if (ranks != 1) {
+    key += ":r";
+    key += std::to_string(ranks);
+  }
+  return key;
+}
+
+bool AutoTuner::lookup(const std::string& key, sparse::TileConfig* config,
+                       double* seconds) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (config != nullptr) *config = it->second.config;
+  if (seconds != nullptr) *seconds = it->second.seconds;
+  return true;
+}
+
+void AutoTuner::store(const std::string& key, const sparse::TileConfig& config,
+                      double seconds) {
+  entries_[key] = Entry{config, seconds};
+  save();
+}
+
+void AutoTuner::load() {
+  entries_.clear();
+  loaded_ok_ = false;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return;  // no cache yet: not an error
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const std::string version_tag =
+      "\"version\": " + std::to_string(kCacheVersion);
+  if (text.find(version_tag) == std::string::npos) return;  // stale/corrupt
+
+  std::map<std::string, Entry> parsed;
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"key\":", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) return;  // truncated: reject the file
+    const std::string obj = text.substr(pos, end - pos + 1);
+    std::string key;
+    double tile = 0.0, band = 0.0, nt = 0.0, seconds = 0.0;
+    if (!parse_string_field(obj, "key", &key) ||
+        !parse_double_field(obj, "tile_width", &tile) ||
+        !parse_double_field(obj, "band_rows", &band) ||
+        !parse_double_field(obj, "nt_stores", &nt) ||
+        !parse_double_field(obj, "seconds", &seconds)) {
+      return;  // malformed entry: reject the file
+    }
+    parsed[key] = Entry{
+        sparse::TileConfig{static_cast<int>(tile),
+                           static_cast<global_index>(band), nt != 0.0},
+        seconds};
+    pos = end + 1;
+  }
+  entries_ = std::move(parsed);
+  loaded_ok_ = true;
+}
+
+void AutoTuner::save() const {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return;  // read-only location: tuning still works, just
+                             // not persisted
+  std::fprintf(f, "{\n  \"version\": %d,\n  \"entries\": [\n", kCacheVersion);
+  std::size_t i = 0;
+  for (const auto& [key, e] : entries_) {
+    std::fprintf(f,
+                 "    {\"key\": \"%s\", \"tile_width\": %d, "
+                 "\"band_rows\": %lld, \"nt_stores\": %d, "
+                 "\"seconds\": %.6e}%s\n",
+                 key.c_str(), e.config.tile_width,
+                 static_cast<long long>(e.config.band_rows),
+                 e.config.nt_stores ? 1 : 0, e.seconds,
+                 ++i < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+namespace {
+
+/// Shared probe body of the single-process tune_tiles overloads.
+template <class Matrix>
+TileTuneResult tune_tiles_impl(AutoTuner& tuner, const Matrix& m,
+                               const char* format, int width,
+                               const TileTuneParams& p) {
+  require(width >= 1 && p.sweeps_per_probe >= 1,
+          "tune_tiles: invalid parameters");
+  default_omp_affinity();
+  TileTuneResult out;
+  out.key = AutoTuner::cache_key(format, m.nrows(), m.nnz(), max_threads(),
+                                 width);
+  if (p.use_cache && tuner.lookup(out.key, &out.config, &out.seconds)) {
+    out.from_cache = true;
+    if (p.install) sparse::set_tile_config(out.config);
+    return out;
+  }
+
+  // Probe state: block vectors sized to the matrix, first-touch placed the
+  // same way the kernels stream them.
+  blas::BlockVector v(m.ncols(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  blas::BlockVector w(m.nrows(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  for (global_index i = 0; i < m.nrows(); ++i) {
+    for (int r = 0; r < width; ++r) {
+      v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.5};
+    }
+  }
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.25, 0.0);
+
+  TileConfigGuard guard;
+  auto time_config = [&](const sparse::TileConfig& c) {
+    sparse::set_tile_config(c);
+    sparse::aug_spmmv(m, rec, v, w, dvv, dwv);  // warm-up
+    double best = 1e300;
+    Timer t;
+    for (int sweep = 0; sweep < p.sweeps_per_probe; ++sweep) {
+      t.reset();
+      t.start();
+      sparse::aug_spmmv(m, rec, v, w, dvv, dwv);
+      t.stop();
+      best = std::min(best, t.seconds());
+    }
+    ++out.timed_probes;
+    return best;
+  };
+
+  std::vector<sparse::TileConfig> candidates = stage1_candidates(p, width);
+  sparse::TileConfig winner = candidates.front();
+  double winner_seconds = 1e300;
+  std::size_t stage1_size = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double s = time_config(candidates[i]);
+    if (s < winner_seconds) {
+      winner_seconds = s;
+      winner = candidates[i];
+    }
+    // Stage 2: banding candidates derived from the stage-1 winner.
+    if (i + 1 == stage1_size) {
+      add_band_candidates(candidates, winner, p, m.nrows());
+    }
+  }
+
+  out.config = winner;
+  out.seconds = winner_seconds;
+  if (p.use_cache) tuner.store(out.key, winner, winner_seconds);
+  if (p.install) {
+    sparse::set_tile_config(winner);
+    guard.dismiss();
+  }
+  return out;
+}
+
+}  // namespace
+
+TileTuneResult AutoTuner::tune_tiles(const sparse::CrsMatrix& m, int width,
+                                     const TileTuneParams& p) {
+  return tune_tiles_impl(*this, m, "crs", width, p);
+}
+
+TileTuneResult AutoTuner::tune_tiles(const sparse::SellMatrix& m, int width,
+                                     const TileTuneParams& p) {
+  return tune_tiles_impl(*this, m, "sell", width, p);
+}
 
 AutoTuneResult auto_tune_weights(Communicator& comm,
                                  const sparse::CrsMatrix& global,
@@ -87,6 +363,55 @@ AutoTuneResult auto_tune_weights(Communicator& comm,
   out.kernel = std::string("aug_spmmv[") +
                sparse::kernel_variant_name(out.variant) +
                ",R=" + std::to_string(p.block_width) + "]";
+
+  if (p.tune_tiles) {
+    // Collective tile probe, same lockstep pattern: every rank walks the
+    // identical candidate list and judges it by allreduced worst-rank times,
+    // so all ranks install the same winner.
+    AutoTuner tuner(p.tile_cache_path);
+    out.tiles.key =
+        AutoTuner::cache_key("crs", global.nrows(), global.nnz(),
+                             max_threads(), p.block_width, size);
+    sparse::TileConfig cached;
+    double cached_seconds = 0.0;
+    if (p.tile.use_cache &&
+        tuner.lookup(out.tiles.key, &cached, &cached_seconds)) {
+      out.tiles.config = cached;
+      out.tiles.seconds = cached_seconds;
+      out.tiles.from_cache = true;
+      sparse::set_tile_config(cached);
+    } else {
+      comm.barrier();
+      std::vector<sparse::TileConfig> candidates =
+          stage1_candidates(p.tile, p.block_width);
+      sparse::TileConfig winner = candidates.front();
+      double winner_seconds = 1e300;
+      const std::size_t stage1_size = candidates.size();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        sparse::set_tile_config(candidates[i]);
+        const double s = worst_rank_seconds(comm, global, out.partition, p);
+        ++out.tiles.timed_probes;
+        if (s < winner_seconds) {
+          winner_seconds = s;
+          winner = candidates[i];
+        }
+        if (i + 1 == stage1_size) {
+          add_band_candidates(candidates, winner, p.tile,
+                              out.partition.local_rows(comm.rank()));
+        }
+      }
+      out.tiles.config = winner;
+      out.tiles.seconds = winner_seconds;
+      sparse::set_tile_config(winner);
+      if (p.tile.use_cache) {
+        comm.barrier();  // every rank finished probing before rank 0 writes
+        if (comm.rank() == 0) {
+          tuner.store(out.tiles.key, winner, winner_seconds);
+        }
+        comm.barrier();
+      }
+    }
+  }
 
   for (int iter = 0; iter < p.max_iterations; ++iter) {
     out.iterations = iter + 1;

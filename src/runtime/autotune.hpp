@@ -12,9 +12,21 @@
 // the fixed-width variant of the width-dispatch layer (sparse::KernelVariant)
 // on the initial partition, installs the faster one process-wide for the
 // remaining probes and the production sweeps, and records the choice.
+//
+// Tile autotuner.  AutoTuner probes the cache-blocking knobs of the fused
+// block kernel — {column-tile width} x {row-band height} x {NT stores
+// on/off} (sparse::TileConfig) — installs the fastest configuration, and
+// persists it in a small JSON cache file keyed by (matrix shape, format,
+// threads, width, ranks).  A later run with a warm cache applies the stored
+// configuration without a single kernel timing run.  The cache file defaults
+// to ".kpm_tune_cache.json" in the working directory; override with the
+// KPM_TUNE_CACHE environment variable or the constructor argument, clear by
+// deleting the file.  A corrupted or version-mismatched file is ignored (the
+// tuner probes and rewrites it).
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,8 +34,84 @@
 #include "runtime/partition.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/kpm_kernels.hpp"
+#include "sparse/sell.hpp"
 
 namespace kpm::runtime {
+
+/// Candidate grid and probe budget of the tile autotuner.  The probe is
+/// greedy two-stage: (1) tile width x NT stores with no banding, (2) the
+/// stage-1 winner across the band heights — O(tiles * 2 + bands) timings
+/// instead of the full cross product.
+struct TileTuneParams {
+  /// Column-tile sub-width candidates; -1 means "single untiled pass".
+  std::vector<int> tile_widths{-1, 8, 16};
+  /// Row-band height candidates; 0 means "whole per-thread range".
+  std::vector<global_index> band_rows{0, 4096, 16384};
+  /// Probe NT streaming stores (skipped when not compiled in).
+  bool probe_nt_stores = true;
+  int sweeps_per_probe = 2;
+  /// Consult / update the persistent cache.
+  bool use_cache = true;
+  /// Install the winner process-wide via sparse::set_tile_config (otherwise
+  /// the pre-probe configuration is restored).
+  bool install = true;
+};
+
+struct TileTuneResult {
+  sparse::TileConfig config{};  ///< winning configuration
+  double seconds = 0.0;         ///< its measured (or cached) seconds/sweep
+  int timed_probes = 0;         ///< kernel timing runs performed
+  bool from_cache = false;      ///< true => timed_probes == 0, no probe ran
+  std::string key;              ///< cache key used
+};
+
+/// Persistent tile autotuner (see file header).  Construction loads the
+/// cache file; every probe result is persisted immediately.
+class AutoTuner {
+ public:
+  /// `cache_path` empty: $KPM_TUNE_CACHE, or ".kpm_tune_cache.json".
+  explicit AutoTuner(std::string cache_path = {});
+
+  /// Probes (or recalls) the best tile configuration for the fused block
+  /// kernel on `m` at block width `width` and installs it (p.install).
+  TileTuneResult tune_tiles(const sparse::CrsMatrix& m, int width,
+                            const TileTuneParams& p = {});
+  TileTuneResult tune_tiles(const sparse::SellMatrix& m, int width,
+                            const TileTuneParams& p = {});
+
+  /// Cache primitives (shared with the collective weight tuner below).
+  [[nodiscard]] static std::string cache_key(const char* format,
+                                             global_index nrows,
+                                             global_index nnz, int threads,
+                                             int width, int ranks = 1);
+  [[nodiscard]] bool lookup(const std::string& key, sparse::TileConfig* config,
+                            double* seconds) const;
+  /// Inserts/overwrites one entry and rewrites the cache file.
+  void store(const std::string& key, const sparse::TileConfig& config,
+             double seconds);
+
+  [[nodiscard]] const std::string& cache_path() const noexcept {
+    return path_;
+  }
+  /// True when the cache file existed and parsed cleanly at construction.
+  [[nodiscard]] bool cache_loaded() const noexcept { return loaded_ok_; }
+  [[nodiscard]] std::size_t cache_entries() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] static std::string default_cache_path();
+
+ private:
+  struct Entry {
+    sparse::TileConfig config;
+    double seconds = 0.0;
+  };
+  void load();
+  void save() const;
+
+  std::string path_;
+  std::map<std::string, Entry> entries_;
+  bool loaded_ok_ = false;
+};
 
 struct AutoTuneParams {
   int block_width = 8;        ///< R used for the probe sweeps
@@ -33,6 +121,13 @@ struct AutoTuneParams {
   /// Probe generic vs fixed-width kernel bodies and install the faster one
   /// (skipped when block_width has no fixed-width instantiation).
   bool tune_kernel_variant = true;
+  /// Additionally probe tile configurations (collective, in lockstep like
+  /// the variant probe) and install/persist the winner.
+  bool tune_tiles = false;
+  /// Cache file for the tile probe; empty = AutoTuner default.
+  std::string tile_cache_path;
+  /// Candidate grid for the tile probe.
+  TileTuneParams tile;
   /// Artificial per-rank slowdown factors (testing / simulating slower
   /// devices); empty = none.
   std::vector<double> slowdown;
@@ -49,6 +144,8 @@ struct AutoTuneResult {
   std::string kernel;                ///< e.g. "aug_spmmv[fixed,R=8]"
   double generic_seconds = 0.0;      ///< slowest-rank probe time, generic body
   double fixed_seconds = 0.0;        ///< slowest-rank probe time, fixed body
+  /// Tile probe outcome (AutoTuneParams::tune_tiles; left default otherwise).
+  TileTuneResult tiles;
 };
 
 /// Collective: measures the per-rank kernel speed on `global` and returns

@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <type_traits>
 #include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define KPM_HAVE_NT_STORES 1
+#endif
+
 #include "util/aligned.hpp"
 #include "util/check.hpp"
+#include "util/schedule.hpp"
 
 namespace kpm::sparse {
 namespace {
@@ -22,6 +29,17 @@ inline int omp_get_thread_num() { return 0; }
 #endif
 
 std::atomic<KernelVariant> g_variant{KernelVariant::auto_dispatch};
+
+// TileConfig split into per-field atomics (read on every block-kernel call;
+// same "don't flip mid-flight" caveat as the variant override).
+std::atomic<int> g_tile_width{0};
+std::atomic<global_index> g_band_rows{0};
+std::atomic<bool> g_nt_stores{false};
+
+/// Sub-width used by the automatic tiling policy: a 16-lane tile keeps the
+/// split accumulators in 4 ZMM (8 YMM) registers, and BENCH_kernels.json
+/// shows the single-pass fixed bodies peaking at R = 16 before spilling.
+constexpr int kAutoTileWidth = 16;
 
 // The kernels accept rectangular matrices with ncols >= nrows: a
 // distributed-memory partition owns `nrows` rows but reads a halo-extended
@@ -69,7 +87,7 @@ void check_block(const global_index nrows, const global_index ncols,
 // Split-complex views.  complex_t storage is interleaved (re, im) doubles and
 // [complex.numbers.general]/4 guarantees array-oriented access through a
 // reinterpreted double pointer; computing on the parts directly lets the
-// compiler emit FMA arithmetic instead of complex-multiply library calls.
+// compiler emit FMA arithmetic instead of library complex-multiply calls.
 inline const double* re_im(const complex_t* p) noexcept {
   return reinterpret_cast<const double*>(p);
 }
@@ -89,9 +107,11 @@ struct ScalarsRI {
         gi(s.gamma.imag()) {}
 };
 
-// Width tags of the dispatch layer: FixedWidth<R> makes every lane loop a
-// compile-time-constant trip count (fully unrolled / vectorized with
-// stack-resident accumulators), RuntimeWidth is the generic fallback.
+// Lane-count tags of the dispatch layer: FixedWidth<N> makes every lane loop
+// a compile-time-constant trip count (fully unrolled / vectorized with
+// stack-resident accumulators), RuntimeWidth is the generic fallback.  A tag
+// now describes the lanes of ONE column-tile pass, not necessarily the full
+// block width.
 template <int N>
 struct FixedWidth {
   static constexpr bool fixed = true;
@@ -106,12 +126,93 @@ struct RuntimeWidth {
 };
 
 // ---------------------------------------------------------------------------
+// Execution plan of one block sweep: the column-tile passes each row is run
+// through, the per-thread row-band height, and the store flavor.  An untiled
+// sweep is the single pass {width, 0}.
+struct TilePass {
+  int lanes;
+  int offset;  // first lane (complex elements into the row)
+};
+
+struct SweepPlan {
+  std::array<TilePass, 2> inline_passes{};  // storage for the common cases
+  std::vector<TilePass> overflow;           // widths needing > 2 passes
+  int num_passes = 0;
+  global_index band_rows = 0;  // 0 = whole per-thread range
+  bool nt = false;
+
+  void add(int lanes, int offset) {
+    if (num_passes < static_cast<int>(inline_passes.size())) {
+      inline_passes[static_cast<std::size_t>(num_passes)] = {lanes, offset};
+    } else {
+      if (overflow.empty()) {
+        overflow.assign(inline_passes.begin(), inline_passes.end());
+      }
+      overflow.push_back({lanes, offset});
+    }
+    ++num_passes;
+  }
+  [[nodiscard]] const TilePass* passes() const noexcept {
+    return overflow.empty() ? inline_passes.data() : overflow.data();
+  }
+  [[nodiscard]] int size() const noexcept { return num_passes; }
+};
+
+/// Resolves the automatic policy: the sub-width `width` will be tiled into,
+/// or a value >= width when the sweep should run as one pass.
+int resolve_tile_width(int width, KernelVariant variant) {
+  if (variant == KernelVariant::force_generic) return width;
+  const int cfg = g_tile_width.load(std::memory_order_relaxed);
+  if (cfg < 0) return width;  // tiling disabled
+  if (cfg > 0) return cfg;
+  // Auto policy: tile only above the register budget.
+  return width > kAutoTileWidth ? kAutoTileWidth : width;
+}
+
+SweepPlan make_plan(int width) {
+  const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
+  SweepPlan plan;
+  if (variant != KernelVariant::force_generic) {
+    plan.band_rows = g_band_rows.load(std::memory_order_relaxed);
+    plan.nt = g_nt_stores.load(std::memory_order_relaxed);
+  }
+  const int tile = resolve_tile_width(width, variant);
+  if (tile < width) {
+    int off = 0;
+    for (; off + tile <= width; off += tile) plan.add(tile, off);
+    if (off < width) plan.add(width - off, off);
+  } else {
+    plan.add(width, 0);
+  }
+  return plan;
+}
+
+/// Routes one pass's lane count onto a FixedWidth<N> instantiation, or the
+/// RuntimeWidth body for untabulated counts / the forced-generic variant.
+template <class F>
+void dispatch_lanes(int lanes, KernelVariant variant, F&& f) {
+  if (variant != KernelVariant::force_generic) {
+    switch (lanes) {
+      case 1: f(FixedWidth<1>{}); return;
+      case 2: f(FixedWidth<2>{}); return;
+      case 4: f(FixedWidth<4>{}); return;
+      case 8: f(FixedWidth<8>{}); return;
+      case 16: f(FixedWidth<16>{}); return;
+      case 32: f(FixedWidth<32>{}); return;
+      case 64: f(FixedWidth<64>{}); return;
+      default: break;
+    }
+  }
+  f(RuntimeWidth{lanes});
+}
+
+// ---------------------------------------------------------------------------
 // Lock-free deterministic dot reduction.  Each thread accumulates its dot
 // partials locally and publishes them once into a cache-line-padded slot of
 // this buffer; after a barrier a single thread combines the slots in
-// ascending thread order.  With a static loop schedule the row->thread
-// assignment is fixed, so the result is bitwise reproducible at any fixed
-// thread count — replacing the unordered `omp critical` merges.
+// ascending thread order.  With the explicit static row split the
+// row->thread assignment is fixed, so the result is bitwise reproducible at
+// any fixed thread count — replacing the unordered `omp critical` merges.
 class DotPartials {
  public:
   explicit DotPartials(int width)
@@ -150,17 +251,42 @@ class DotPartials {
 
 // ---------------------------------------------------------------------------
 // Shared row epilogue: w_i = alpha*acc + beta*v_i + gamma*w_i on split
-// parts, plus the on-the-fly |v_i|^2 and conj(w_new)*v_i partials.
-template <class W, bool WithDots>
+// parts, plus the on-the-fly |v_i|^2 and conj(w_new)*v_i partials.  `vi`,
+// `wi` and the dot partials are already offset to the pass's first lane.
+// The NT branch streams each (re, im) pair past the cache; both branches
+// evaluate the identical expression tree, so the stored bits agree.
+template <class W, bool WithDots, bool NT>
 inline void finish_row(W wt, const ScalarsRI& s,
                        const double* __restrict__ acc_re,
                        const double* __restrict__ acc_im,
                        const double* __restrict__ vi, double* __restrict__ wi,
                        double* __restrict__ lvv, double* __restrict__ lwr,
                        double* __restrict__ lwi) {
-  const int width = wt.get();
+  const int lanes = wt.get();
+#ifdef KPM_HAVE_NT_STORES
+  if constexpr (NT) {
+    for (int r = 0; r < lanes; ++r) {
+      const double vre = vi[2 * r], vim = vi[2 * r + 1];
+      const double wre0 = wi[2 * r], wim0 = wi[2 * r + 1];
+      const double sre = acc_re[r], sim = acc_im[r];
+      const double wre = s.ar * sre - s.ai * sim + s.br * vre - s.bi * vim +
+                         s.gr * wre0 - s.gi * wim0;
+      const double wim = s.ar * sim + s.ai * sre + s.br * vim + s.bi * vre +
+                         s.gr * wim0 + s.gi * wre0;
+      // Rows are 16-byte aligned (complex elements in a 64-byte aligned
+      // allocation), the _mm_stream_pd contract.
+      _mm_stream_pd(wi + 2 * r, _mm_set_pd(wim, wre));
+      if constexpr (WithDots) {
+        lvv[r] += vre * vre + vim * vim;
+        lwr[r] += wre * vre + wim * vim;  // Re(conj(w_new) * v)
+        lwi[r] += wre * vim - wim * vre;  // Im(conj(w_new) * v)
+      }
+    }
+    return;
+  }
+#endif
 #pragma omp simd
-  for (int r = 0; r < width; ++r) {
+  for (int r = 0; r < lanes; ++r) {
     const double vre = vi[2 * r], vim = vi[2 * r + 1];
     const double wre0 = wi[2 * r], wim0 = wi[2 * r + 1];
     const double sre = acc_re[r], sim = acc_im[r];
@@ -178,116 +304,166 @@ inline void finish_row(W wt, const ScalarsRI& s,
   }
 }
 
-// Per-thread CRS row loop (orphaned omp-for: binds to the enclosing team).
-template <class W, bool WithDots>
-void crs_rows_loop(const CrsMatrix& a, const ScalarsRI& s,
-                   const double* __restrict__ vd, double* __restrict__ wd,
-                   global_index row_begin, global_index row_end, W wt,
-                   double* __restrict__ acc_re, double* __restrict__ acc_im,
-                   double* __restrict__ lvv, double* __restrict__ lwr,
-                   double* __restrict__ lwi) {
-  const int width = wt.get();
+/// Pass-local accumulator storage: registers (via stack arrays) for fixed
+/// lane counts, caller-provided heap scratch for runtime lane counts.
+template <class W>
+struct PassAccumulators {
+  std::array<double, W::fixed ? 2 * W::compile_width : 1> stack{};
+  double* re;
+  double* im;
+  PassAccumulators(W wt, double* heap) noexcept {
+    if constexpr (W::fixed) {
+      re = stack.data();
+      im = stack.data() + W::compile_width;
+      (void)heap;
+    } else {
+      re = heap;
+      im = heap + wt.get();
+    }
+  }
+};
+
+// One column-tile pass of the CRS row loop over [row_begin, row_end): `wt`
+// lanes starting at complex-column `off` of a block vector whose full row
+// stride is `stride` complex elements.  Rows are this thread's only — no
+// worksharing construct, the caller did the static split.
+template <class W, bool WithDots, bool NT>
+void crs_pass(const CrsMatrix& a, const ScalarsRI& s,
+              const double* __restrict__ vd, double* __restrict__ wd,
+              int stride, int off, global_index row_begin, global_index row_end,
+              W wt, double* __restrict__ lvv, double* __restrict__ lwr,
+              double* __restrict__ lwi, double* acc_scratch) {
+  const int lanes = wt.get();
   const auto* __restrict__ row_ptr = a.row_ptr().data();
   const auto* __restrict__ col = a.col_idx().data();
   const double* __restrict__ vald = re_im(a.values().data());
-#pragma omp for schedule(static) nowait
+  PassAccumulators<W> acc(wt, acc_scratch);
+  double* __restrict__ acc_re = acc.re;
+  double* __restrict__ acc_im = acc.im;
   for (global_index i = row_begin; i < row_end; ++i) {
 #pragma omp simd
-    for (int r = 0; r < width; ++r) {
+    for (int r = 0; r < lanes; ++r) {
       acc_re[r] = 0.0;
       acc_im[r] = 0.0;
     }
     for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
       const double mre = vald[2 * k], mim = vald[2 * k + 1];
       const double* __restrict__ vr =
-          vd + 2 * static_cast<std::size_t>(col[k]) * width;
+          vd + 2 * (static_cast<std::size_t>(col[k]) * stride + off);
 #pragma omp simd
-      for (int r = 0; r < width; ++r) {
+      for (int r = 0; r < lanes; ++r) {
         acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
         acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
       }
     }
-    finish_row<W, WithDots>(wt, s, acc_re, acc_im,
-                            vd + 2 * static_cast<std::size_t>(i) * width,
-                            wd + 2 * static_cast<std::size_t>(i) * width, lvv,
-                            lwr, lwi);
+    const std::size_t base = static_cast<std::size_t>(i) * stride + off;
+    finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
+                                wd + 2 * base, lvv, lwr, lwi);
   }
 }
 
-// Per-thread SELL chunk loop.
-template <class W, bool WithDots>
-void sell_chunks_loop(const SellMatrix& a, const ScalarsRI& s,
-                      const double* __restrict__ vd, double* __restrict__ wd,
-                      W wt, double* __restrict__ acc_re,
-                      double* __restrict__ acc_im, double* __restrict__ lvv,
-                      double* __restrict__ lwr, double* __restrict__ lwi) {
-  const int width = wt.get();
-  const global_index nchunks = a.num_chunks();
+// One column-tile pass of the SELL chunk loop over [chunk_begin, chunk_end).
+template <class W, bool WithDots, bool NT>
+void sell_pass(const SellMatrix& a, const ScalarsRI& s,
+               const double* __restrict__ vd, double* __restrict__ wd,
+               int stride, int off, global_index chunk_begin,
+               global_index chunk_end, W wt, double* __restrict__ lvv,
+               double* __restrict__ lwr, double* __restrict__ lwi,
+               double* acc_scratch) {
+  const int lanes = wt.get();
   const int chunk = a.chunk_height();
   const global_index nrows = a.nrows();
   const auto* __restrict__ cptr = a.chunk_ptr().data();
   const auto* __restrict__ clen = a.chunk_len().data();
   const auto* __restrict__ col = a.col_idx().data();
   const double* __restrict__ vald = re_im(a.values().data());
-#pragma omp for schedule(static) nowait
-  for (global_index c = 0; c < nchunks; ++c) {
+  PassAccumulators<W> acc(wt, acc_scratch);
+  double* __restrict__ acc_re = acc.re;
+  double* __restrict__ acc_im = acc.im;
+  for (global_index c = chunk_begin; c < chunk_end; ++c) {
     const global_index base = cptr[c];
-    const int lanes =
+    const int rows_in_chunk =
         static_cast<int>(std::min<global_index>(chunk, nrows - c * chunk));
-    for (int lane = 0; lane < lanes; ++lane) {
+    for (int lane = 0; lane < rows_in_chunk; ++lane) {
       const global_index i = c * chunk + lane;
 #pragma omp simd
-      for (int r = 0; r < width; ++r) {
+      for (int r = 0; r < lanes; ++r) {
         acc_re[r] = 0.0;
         acc_im[r] = 0.0;
       }
       for (local_index j = 0; j < clen[c]; ++j) {
-        const global_index off =
+        const global_index moff =
             base + static_cast<global_index>(j) * chunk + lane;
-        const double mre = vald[2 * off], mim = vald[2 * off + 1];
+        const double mre = vald[2 * moff], mim = vald[2 * moff + 1];
         const double* __restrict__ vr =
-            vd + 2 * static_cast<std::size_t>(col[off]) * width;
+            vd + 2 * (static_cast<std::size_t>(col[moff]) * stride + off);
 #pragma omp simd
-        for (int r = 0; r < width; ++r) {
+        for (int r = 0; r < lanes; ++r) {
           acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
           acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
         }
       }
-      finish_row<W, WithDots>(wt, s, acc_re, acc_im,
-                              vd + 2 * static_cast<std::size_t>(i) * width,
-                              wd + 2 * static_cast<std::size_t>(i) * width,
-                              lvv, lwr, lwi);
+      const std::size_t wbase = static_cast<std::size_t>(i) * stride + off;
+      finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * wbase,
+                                  wd + 2 * wbase, lvv, lwr, lwi);
     }
   }
 }
 
-// Parallel orchestration shared by every block kernel: pick accumulator
-// storage (stack for fixed widths, per-thread heap otherwise), run the
-// format-specific loop, publish + order-reduce the dot partials.  `loop` is
-// called once per thread with (acc_re, acc_im, lvv, lwr, lwi).
-template <class W, bool WithDots, class Loop>
-void run_block_kernel(W wt, complex_t* dot_vv, complex_t* dot_wv, Loop loop) {
-  const int width = wt.get();
+// ---------------------------------------------------------------------------
+// Parallel orchestration shared by every block kernel: one parallel region;
+// each thread takes its static slice of the iteration range, walks it band
+// by band, and runs every column-tile pass of the plan per band.  The dot
+// partials accumulate across bands and passes and are published once, so
+// per-lane accumulation order (rows ascending within a thread) — and thus
+// every bit of the result — is independent of the banding/tiling choices.
+//
+// `run_pass(wt, nt_tag, band_begin, band_end, pass, lvv, lwr, lwi, scratch)`
+// executes one pass of the format-specific loop.
+template <bool WithDots, class RunPass>
+void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
+                      global_index end, global_index band_step,
+                      complex_t* dot_vv, complex_t* dot_wv, RunPass run_pass) {
+  const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
   DotPartials partials(WithDots ? width : 0);
 #pragma omp parallel
   {
-    if constexpr (W::fixed) {
-      constexpr int R = W::compile_width;
-      std::array<double, R> acc_re{}, acc_im{};
-      std::array<double, WithDots ? R : 1> lvv{}, lwr{}, lwi{};
-      loop(acc_re.data(), acc_im.data(), lvv.data(), lwr.data(), lwi.data());
-      if constexpr (WithDots) partials.store(lvv.data(), lwr.data(), lwi.data());
-    } else {
-      std::vector<double> scratch(5 * static_cast<std::size_t>(width), 0.0);
-      double* acc_re = scratch.data();
-      double* acc_im = acc_re + width;
-      double* lvv = acc_im + width;
-      double* lwr = lvv + width;
-      double* lwi = lwr + width;
-      loop(acc_re, acc_im, lvv, lwr, lwi);
-      if constexpr (WithDots) partials.store(lvv, lwr, lwi);
+    // Heap scratch per thread: runtime-width accumulators + dot partials.
+    std::vector<double> scratch(5 * static_cast<std::size_t>(width), 0.0);
+    double* acc = scratch.data();
+    double* lvv = acc + 2 * static_cast<std::size_t>(width);
+    double* lwr = lvv + width;
+    double* lwi = lwr + width;
+
+    const auto mine = static_chunk<global_index>(
+        begin, end, omp_get_thread_num(), omp_get_num_threads());
+    const global_index band =
+        band_step > 0 ? band_step
+                      : std::max<global_index>(mine.end - mine.begin, 1);
+    for (global_index b = mine.begin; b < mine.end; b += band) {
+      const global_index e = std::min(b + band, mine.end);
+      for (int p = 0; p < plan.size(); ++p) {
+        const TilePass& pass = plan.passes()[p];
+        dispatch_lanes(pass.lanes, variant, [&](auto wt) {
+          if (plan.nt) {
+            run_pass(wt, std::bool_constant<true>{}, b, e, pass,
+                     lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
+                     acc);
+          } else {
+            run_pass(wt, std::bool_constant<false>{}, b, e, pass,
+                     lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
+                     acc);
+          }
+        });
+      }
     }
+#ifdef KPM_HAVE_NT_STORES
+    // Streaming stores are weakly ordered; fence before any thread's results
+    // can be observed past the region barrier.
+    if (plan.nt) _mm_sfence();
+#endif
     if constexpr (WithDots) {
+      partials.store(lvv, lwr, lwi);
 #pragma omp barrier
 #pragma omp master
       partials.reduce_into(dot_vv, dot_wv);
@@ -295,56 +471,46 @@ void run_block_kernel(W wt, complex_t* dot_vv, complex_t* dot_wv, Loop loop) {
   }
 }
 
-template <class W, bool WithDots>
+template <bool WithDots>
 void aug_spmmv_crs_core(const CrsMatrix& a, const AugScalars& scal,
-                        const complex_t* v, complex_t* w,
-                        global_index row_begin, global_index row_end, W wt,
+                        const complex_t* v, complex_t* w, int width,
+                        global_index row_begin, global_index row_end,
                         complex_t* dot_vv, complex_t* dot_wv) {
   const ScalarsRI s(scal);
   const double* vd = re_im(v);
   double* wd = re_im(w);
-  run_block_kernel<W, WithDots>(
-      wt, dot_vv, dot_wv,
-      [&](double* acc_re, double* acc_im, double* lvv, double* lwr,
-          double* lwi) {
-        crs_rows_loop<W, WithDots>(a, s, vd, wd, row_begin, row_end, wt,
-                                   acc_re, acc_im, lvv, lwr, lwi);
+  const SweepPlan plan = make_plan(width);
+  run_block_kernel<WithDots>(
+      width, plan, row_begin, row_end, plan.band_rows, dot_vv, dot_wv,
+      [&](auto wt, auto nt, global_index b, global_index e,
+          const TilePass& pass, double* lvv, double* lwr, double* lwi,
+          double* acc) {
+        crs_pass<decltype(wt), WithDots, decltype(nt)::value>(
+            a, s, vd, wd, width, pass.offset, b, e, wt, lvv, lwr, lwi, acc);
       });
 }
 
-template <class W, bool WithDots>
+template <bool WithDots>
 void aug_spmmv_sell_core(const SellMatrix& a, const AugScalars& scal,
-                         const complex_t* v, complex_t* w, W wt,
+                         const complex_t* v, complex_t* w, int width,
                          complex_t* dot_vv, complex_t* dot_wv) {
   const ScalarsRI s(scal);
   const double* vd = re_im(v);
   double* wd = re_im(w);
-  run_block_kernel<W, WithDots>(
-      wt, dot_vv, dot_wv,
-      [&](double* acc_re, double* acc_im, double* lvv, double* lwr,
-          double* lwi) {
-        sell_chunks_loop<W, WithDots>(a, s, vd, wd, wt, acc_re, acc_im, lvv,
-                                      lwr, lwi);
+  const SweepPlan plan = make_plan(width);
+  // Banding walks whole SELL chunks: band_rows rounded to chunk multiples.
+  const global_index band_chunks =
+      plan.band_rows > 0
+          ? std::max<global_index>(plan.band_rows / a.chunk_height(), 1)
+          : 0;
+  run_block_kernel<WithDots>(
+      width, plan, 0, a.num_chunks(), band_chunks, dot_vv, dot_wv,
+      [&](auto wt, auto nt, global_index b, global_index e,
+          const TilePass& pass, double* lvv, double* lwr, double* lwi,
+          double* acc) {
+        sell_pass<decltype(wt), WithDots, decltype(nt)::value>(
+            a, s, vd, wd, width, pass.offset, b, e, wt, lvv, lwr, lwi, acc);
       });
-}
-
-// The width-dispatch table shared by the CRS and SELL block kernels.
-template <class F>
-void dispatch_width(int width, F&& f) {
-  const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
-  if (variant != KernelVariant::force_generic) {
-    switch (width) {
-      case 1: f(FixedWidth<1>{}); return;
-      case 2: f(FixedWidth<2>{}); return;
-      case 4: f(FixedWidth<4>{}); return;
-      case 8: f(FixedWidth<8>{}); return;
-      case 16: f(FixedWidth<16>{}); return;
-      case 32: f(FixedWidth<32>{}); return;
-      case 64: f(FixedWidth<64>{}); return;
-      default: break;
-    }
-  }
-  f(RuntimeWidth{width});
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +655,33 @@ bool has_fixed_width(int width) noexcept {
   }
 }
 
+void set_tile_config(const TileConfig& c) noexcept {
+  g_tile_width.store(c.tile_width, std::memory_order_relaxed);
+  g_band_rows.store(c.band_rows >= 0 ? c.band_rows : 0,
+                    std::memory_order_relaxed);
+  g_nt_stores.store(c.nt_stores, std::memory_order_relaxed);
+}
+
+TileConfig tile_config() noexcept {
+  return {g_tile_width.load(std::memory_order_relaxed),
+          g_band_rows.load(std::memory_order_relaxed),
+          g_nt_stores.load(std::memory_order_relaxed)};
+}
+
+int effective_tile_width(int width) noexcept {
+  const int tile =
+      resolve_tile_width(width, g_variant.load(std::memory_order_relaxed));
+  return tile < width ? tile : width;
+}
+
+bool nt_stores_supported() noexcept {
+#ifdef KPM_HAVE_NT_STORES
+  return true;
+#else
+  return false;
+#endif
+}
+
 void aug_spmv(const CrsMatrix& a, const AugScalars& s,
               std::span<const complex_t> v, std::span<complex_t> w,
               complex_t* dot_vv, complex_t* dot_wv) {
@@ -523,18 +716,13 @@ void aug_spmmv(const CrsMatrix& a, const AugScalars& s,
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
   const int width = v.width();
   if (dot_vv.empty()) {
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_crs_core<decltype(wt), false>(a, s, v.data(), w.data(), 0,
-                                              a.nrows(), wt, nullptr, nullptr);
-    });
+    aug_spmmv_crs_core<false>(a, s, v.data(), w.data(), width, 0, a.nrows(),
+                              nullptr, nullptr);
   } else {
     std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_crs_core<decltype(wt), true>(a, s, v.data(), w.data(), 0,
-                                             a.nrows(), wt, dot_vv.data(),
-                                             dot_wv.data());
-    });
+    aug_spmmv_crs_core<true>(a, s, v.data(), w.data(), width, 0, a.nrows(),
+                             dot_vv.data(), dot_wv.data());
   }
 }
 
@@ -547,19 +735,13 @@ void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
           "aug_spmmv_rows: invalid row interval");
   const int width = v.width();
   if (dot_vv.empty()) {
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_crs_core<decltype(wt), false>(a, s, v.data(), w.data(),
-                                              row_begin, row_end, wt, nullptr,
-                                              nullptr);
-    });
+    aug_spmmv_crs_core<false>(a, s, v.data(), w.data(), width, row_begin,
+                              row_end, nullptr, nullptr);
   } else {
     // Accumulate-only contract (see header): caller zeroes before the first
     // partial call of a sweep, so split interior/boundary sweeps compose.
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_crs_core<decltype(wt), true>(a, s, v.data(), w.data(),
-                                             row_begin, row_end, wt,
-                                             dot_vv.data(), dot_wv.data());
-    });
+    aug_spmmv_crs_core<true>(a, s, v.data(), w.data(), width, row_begin,
+                             row_end, dot_vv.data(), dot_wv.data());
   }
 }
 
@@ -569,17 +751,13 @@ void aug_spmmv(const SellMatrix& a, const AugScalars& s,
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
   const int width = v.width();
   if (dot_vv.empty()) {
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_sell_core<decltype(wt), false>(a, s, v.data(), w.data(), wt,
-                                               nullptr, nullptr);
-    });
+    aug_spmmv_sell_core<false>(a, s, v.data(), w.data(), width, nullptr,
+                               nullptr);
   } else {
     std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
-    dispatch_width(width, [&](auto wt) {
-      aug_spmmv_sell_core<decltype(wt), true>(a, s, v.data(), w.data(), wt,
-                                              dot_vv.data(), dot_wv.data());
-    });
+    aug_spmmv_sell_core<true>(a, s, v.data(), w.data(), width, dot_vv.data(),
+                              dot_wv.data());
   }
 }
 

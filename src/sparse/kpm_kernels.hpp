@@ -27,10 +27,24 @@
 // compiler emits plain FMA arithmetic instead of library complex-multiply
 // calls.  See DESIGN.md "Kernel dispatch & reduction strategy".
 //
+// Cache blocking (DESIGN.md §5c).  Widths above the register budget execute
+// as several column-tile passes of a fixed sub-width (e.g. 32 = 2 x 16) so
+// the accumulators stay in registers; the tile loop sits *inside* the row
+// loop, so each matrix row is re-read from L1 rather than re-streamed from
+// DRAM.  Each thread additionally walks its static row range band by band
+// (TileConfig::band_rows) to keep the v/w bands of one band resident in
+// cache across tile passes, and can write the output block vector with
+// non-temporal streaming stores (TileConfig::nt_stores) when w will not be
+// re-read before leaving the cache anyway.  All of these knobs preserve the
+// bitwise-parity contract below, so the autotuner may flip them freely.
+//
 // Determinism.  All on-the-fly dot reductions use cache-line-padded
 // per-thread partial buffers that are combined in ascending thread order —
-// no locks, no atomics, no `omp critical`.  At a fixed thread count the
-// moments are therefore bitwise reproducible run-to-run.
+// no locks, no atomics, no `omp critical`.  The block kernels partition rows
+// with an explicit static split (util/schedule.hpp) rather than `omp for`,
+// so the row->thread assignment — and therefore every moment bit — is
+// independent of tiling, banding, NT stores, and the OpenMP implementation.
+// At a fixed thread count the moments are bitwise reproducible run-to-run.
 #pragma once
 
 #include <span>
@@ -78,6 +92,39 @@ void set_kernel_variant(KernelVariant v) noexcept;
 
 /// True if `width` has a fixed-width instantiation in the dispatch table.
 [[nodiscard]] bool has_fixed_width(int width) noexcept;
+
+/// Cache-blocking configuration of the block kernels (process-wide, like the
+/// KernelVariant override; installed by the tile autotuner or tests).
+struct TileConfig {
+  /// Column-tile sub-width: widths above this execute as multiple register-
+  /// resident passes per row.  0 = automatic policy (tile wide blocks at the
+  /// default sub-width), negative = force a single untiled pass.
+  int tile_width = 0;
+  /// Row-band height each thread walks at a time within its static range so
+  /// one band of v/w stays cache-resident across the tile passes; 0 = the
+  /// whole per-thread range (no banding).
+  global_index band_rows = 0;
+  /// Write w with non-temporal streaming stores (falls back to plain stores
+  /// when not compiled in; bitwise-identical either way).
+  bool nt_stores = false;
+
+  bool operator==(const TileConfig&) const = default;
+};
+
+/// Process-wide tile configuration consulted on every block-kernel call.
+/// Same caveat as set_kernel_variant(): not meant to be flipped while
+/// kernels are in flight on other threads.
+void set_tile_config(const TileConfig& c) noexcept;
+[[nodiscard]] TileConfig tile_config() noexcept;
+
+/// Sub-width the dispatch layer will actually tile `width` into under the
+/// current variant + tile configuration (== width when the sweep runs as a
+/// single untiled pass).
+[[nodiscard]] int effective_tile_width(int width) noexcept;
+
+/// True when non-temporal streaming stores are compiled in (x86 SSE2);
+/// otherwise TileConfig::nt_stores silently uses the plain-store fallback.
+[[nodiscard]] bool nt_stores_supported() noexcept;
 
 /// Stage-1 fused kernel on a single vector (CRS).  `dot_vv`/`dot_wv`
 /// receive <v|v> and <w_new|v>; pass nullptr to skip either reduction

@@ -7,7 +7,10 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace kpm {
@@ -52,5 +55,38 @@ struct aligned_allocator {
 /// Vector with 64-byte aligned storage, used for all matrix/vector payloads.
 template <class T>
 using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+/// Allocator adaptor that default-initializes (leaves trivial types
+/// uninitialized) instead of value-initializing on container resize.  A
+/// fresh buffer's pages are then NOT touched by the allocating thread, so a
+/// subsequent parallel fill places each page on the NUMA node of the thread
+/// that will stream it (first-touch policy; see blas::BlockVector).
+template <class T, class A = aligned_allocator<T>>
+class default_init_allocator : public A {
+ public:
+  using value_type = T;
+
+  template <class U>
+  struct rebind {
+    using other = default_init_allocator<
+        U, typename std::allocator_traits<A>::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no write for trivial U
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    std::allocator_traits<A>::construct(static_cast<A&>(*this), p,
+                                        std::forward<Args>(args)...);
+  }
+};
+
+/// Aligned vector whose resize does not touch the new elements (trivial T).
+template <class T>
+using untouched_vector = std::vector<T, default_init_allocator<T>>;
 
 }  // namespace kpm

@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -24,6 +25,18 @@ void set_threads(int n) noexcept {
 #else
   (void)n;
 #endif
+}
+
+bool default_omp_affinity() noexcept {
+  bool installed = false;
+  // setenv(..., overwrite=0): a user-provided value always wins.
+  if (std::getenv("OMP_PROC_BIND") == nullptr) {
+    installed |= ::setenv("OMP_PROC_BIND", "close", 0) == 0;
+  }
+  if (std::getenv("OMP_PLACES") == nullptr) {
+    installed |= ::setenv("OMP_PLACES", "cores", 0) == 0;
+  }
+  return installed;
 }
 
 namespace {

@@ -12,6 +12,14 @@ namespace kpm {
 /// without OpenMP).
 void set_threads(int n) noexcept;
 
+/// Installs stable-measurement OpenMP affinity defaults — OMP_PROC_BIND=close
+/// and OMP_PLACES=cores — unless the user already set either variable (user
+/// values are never overridden; export your own to opt out).  Only effective
+/// when called before the OpenMP runtime spins up its first parallel region,
+/// so benches and the autotune probe call it at startup.  Returns true if at
+/// least one default was installed.
+bool default_omp_affinity() noexcept;
+
 /// Formats a flop/s rate as e.g. "12.3 Gflop/s".
 [[nodiscard]] std::string format_flops(double flops_per_second);
 

@@ -1,16 +1,41 @@
-// Tests for the automatic weight determination (paper outlook) and the
-// pipelined halo-exchange model.
+// Tests for the automatic weight determination (paper outlook), the
+// persistent tile autotuner, and the pipelined halo-exchange model.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
 
 #include "cluster/network.hpp"
 #include "cluster/scaling.hpp"
 #include "physics/ti_model.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/dist_kpm.hpp"
+#include "sparse/sell.hpp"
 #include "util/check.hpp"
 
 namespace kpm {
 namespace {
+
+/// Unique-per-test cache file, removed (with the forced tile config) on
+/// scope exit so tests cannot contaminate each other or the working tree.
+class CacheFileGuard {
+ public:
+  explicit CacheFileGuard(std::string path)
+      : path_(std::move(path)), saved_(sparse::tile_config()) {
+    std::remove(path_.c_str());
+  }
+  ~CacheFileGuard() {
+    std::remove(path_.c_str());
+    sparse::set_tile_config(saved_);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  CacheFileGuard(const CacheFileGuard&) = delete;
+  CacheFileGuard& operator=(const CacheFileGuard&) = delete;
+
+ private:
+  std::string path_;
+  sparse::TileConfig saved_;
+};
 
 sparse::CrsMatrix tune_matrix() {
   physics::TIParams p;
@@ -116,6 +141,136 @@ TEST(AutoTune, InvalidParamsThrow) {
     p.block_width = 0;
     EXPECT_THROW(runtime::auto_tune_weights(c, h, p), contract_error);
   });
+}
+
+runtime::TileTuneParams small_tile_params() {
+  runtime::TileTuneParams p;
+  p.tile_widths = {-1, 8};
+  p.band_rows = {0, 512};
+  p.sweeps_per_probe = 1;
+  return p;
+}
+
+TEST(TileTuner, ProbePersistsAndWarmCacheSkipsTiming) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_roundtrip.json");
+  const auto p = small_tile_params();
+
+  runtime::AutoTuner cold(cache.path());
+  EXPECT_EQ(cold.cache_entries(), 0u);
+  const auto probed = cold.tune_tiles(h, 32, p);
+  EXPECT_FALSE(probed.from_cache);
+  EXPECT_GT(probed.timed_probes, 0);
+  EXPECT_GT(probed.seconds, 0.0);
+  // The winner is installed process-wide.
+  EXPECT_EQ(sparse::tile_config(), probed.config);
+
+  // A fresh tuner on the same file recalls the entry with ZERO kernel
+  // timing runs and installs the identical configuration.
+  sparse::set_tile_config({});
+  runtime::AutoTuner warm(cache.path());
+  EXPECT_TRUE(warm.cache_loaded());
+  EXPECT_EQ(warm.cache_entries(), 1u);
+  const auto recalled = warm.tune_tiles(h, 32, p);
+  EXPECT_TRUE(recalled.from_cache);
+  EXPECT_EQ(recalled.timed_probes, 0);
+  EXPECT_EQ(recalled.config, probed.config);
+  EXPECT_DOUBLE_EQ(recalled.seconds, probed.seconds);
+  EXPECT_EQ(recalled.key, probed.key);
+  EXPECT_EQ(sparse::tile_config(), probed.config);
+}
+
+TEST(TileTuner, CacheKeyDistinguishesShapeFormatThreadsWidth) {
+  using runtime::AutoTuner;
+  const auto base = AutoTuner::cache_key("crs", 1000, 5000, 4, 32);
+  EXPECT_NE(base, AutoTuner::cache_key("sell", 1000, 5000, 4, 32));
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1001, 5000, 4, 32));
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5001, 4, 32));
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 8, 32));
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 64));
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 2));
+}
+
+TEST(TileTuner, MismatchedKeyFallsBackToProbing) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_stale.json");
+  auto p = small_tile_params();
+
+  runtime::AutoTuner tuner(cache.path());
+  const auto at_32 = tuner.tune_tiles(h, 32, p);
+  EXPECT_FALSE(at_32.from_cache);
+  // Same matrix, different width: the cached entry must not match.
+  const auto at_16 = tuner.tune_tiles(h, 16, p);
+  EXPECT_FALSE(at_16.from_cache);
+  EXPECT_GT(at_16.timed_probes, 0);
+  EXPECT_NE(at_16.key, at_32.key);
+  EXPECT_EQ(tuner.cache_entries(), 2u);
+  // SELL storage of the same matrix is a distinct entry too.
+  const sparse::SellMatrix sell(h, 8, 32);
+  const auto at_sell = tuner.tune_tiles(sell, 32, p);
+  EXPECT_FALSE(at_sell.from_cache);
+  EXPECT_NE(at_sell.key, at_32.key);
+}
+
+TEST(TileTuner, CorruptedCacheIsIgnoredAndRewritten) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_corrupt.json");
+  const auto p = small_tile_params();
+
+  std::FILE* f = std::fopen(cache.path().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"version\": 999, \"entries\": [garbage", f);
+  std::fclose(f);
+
+  runtime::AutoTuner tuner(cache.path());
+  EXPECT_FALSE(tuner.cache_loaded());
+  EXPECT_EQ(tuner.cache_entries(), 0u);
+  const auto res = tuner.tune_tiles(h, 32, p);
+  EXPECT_FALSE(res.from_cache);
+  EXPECT_GT(res.timed_probes, 0);
+  // The probe rewrote the file: a fresh tuner parses it cleanly.
+  runtime::AutoTuner reread(cache.path());
+  EXPECT_TRUE(reread.cache_loaded());
+  EXPECT_EQ(reread.cache_entries(), 1u);
+}
+
+TEST(TileTuner, InstallFalseRestoresPriorConfig) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_noinstall.json");
+  auto p = small_tile_params();
+  p.install = false;
+  const sparse::TileConfig before{-1, 2048, false};
+  sparse::set_tile_config(before);
+  runtime::AutoTuner tuner(cache.path());
+  const auto res = tuner.tune_tiles(h, 32, p);
+  EXPECT_GT(res.timed_probes, 0);
+  EXPECT_EQ(sparse::tile_config(), before);
+}
+
+TEST(AutoTune, CollectiveTileProbeSharesOneCacheEntry) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_collective.json");
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::AutoTuneParams p;
+    p.block_width = 32;
+    p.max_iterations = 1;
+    p.tune_kernel_variant = false;
+    p.tune_tiles = true;
+    p.tile_cache_path = cache.path();
+    p.tile = small_tile_params();
+    const auto res = runtime::auto_tune_weights(c, h, p);
+    EXPECT_FALSE(res.tiles.from_cache);
+    EXPECT_GT(res.tiles.timed_probes, 0);
+    EXPECT_EQ(sparse::tile_config(), res.tiles.config);
+    c.barrier();
+    // Second tuning run recalls the collective entry without timing.
+    const auto again = runtime::auto_tune_weights(c, h, p);
+    EXPECT_TRUE(again.tiles.from_cache);
+    EXPECT_EQ(again.tiles.timed_probes, 0);
+    EXPECT_EQ(again.tiles.config, res.tiles.config);
+  });
+  runtime::AutoTuner reread(cache.path());
+  EXPECT_EQ(reread.cache_entries(), 1u);
 }
 
 TEST(PipelinedHalo, FasterThanSequentialForLargeBuffers) {
