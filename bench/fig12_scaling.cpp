@@ -5,11 +5,219 @@
 // Expected shape: weak scaling near-linear with a small efficiency dip when
 // the process grid acquires a y extent (Square, 4 nodes); >100 Tflop/s at
 // 1024 nodes for a matrix with > 6.5e9 rows; strong scaling flattens.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "cluster/scaling.hpp"
+#include "runtime/autotune.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "runtime/dist_matrix.hpp"
+#include "util/alloc_hook.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace kpm;
+
+/// One timed configuration of the measured in-process scaling section.
+struct DistRecord {
+  int ranks = 1;
+  const char* transport = "staged";
+  const char* mode = "plain";
+  bool tuned = false;
+  double seconds_min = 0.0;
+  double seconds_median = 0.0;
+  long long halo_bytes_per_solve = 0;   // allreduced over ranks
+  double halo_allocs_per_exchange = 0;  // persistent path, steady state
+  double interior_fraction = 0.0;       // halo-free rows / total rows
+};
+
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+/// Times `reps` full distributed_moments solves (after one untimed warm-up
+/// solve) and reports min and median of rank 0's barrier-to-barrier wall
+/// clock — the collective time, including waiting for the slowest rank.
+DistRecord time_dist_config(const sparse::CrsMatrix& h,
+                            const physics::Scaling& s,
+                            const core::MomentParams& mp, int nranks,
+                            runtime::HaloTransport transport, bool overlapped,
+                            bool tuned, int reps) {
+  DistRecord rec;
+  rec.ranks = nranks;
+  rec.transport =
+      transport == runtime::HaloTransport::persistent ? "persistent" : "staged";
+  rec.mode = overlapped ? "overlapped" : "plain";
+  rec.tuned = tuned;
+  const auto part = runtime::RowPartition::uniform(h.nrows(), nranks);
+  const auto saved_tiles = sparse::tile_config();
+  std::vector<double> times;
+  runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part, transport);
+    auto solve = [&](const runtime::DistKpmOptions& opts) {
+      return overlapped
+                 ? runtime::distributed_moments_overlapped(c, dist, s, mp, opts)
+                 : runtime::distributed_moments(c, dist, s, mp, opts);
+    };
+    // Warm-up solve: grows persistent channel buffers, faults pages, and —
+    // for the tuned configuration — runs the collective tile probe once so
+    // the probed TileConfig stays installed for the timed repetitions.
+    runtime::DistKpmOptions warm_opts;
+    warm_opts.tune_tiles = tuned;
+    auto res = solve(warm_opts);
+    std::vector<double> totals{static_cast<double>(res.halo_bytes_sent),
+                               static_cast<double>(dist.interior_row_count()),
+                               static_cast<double>(dist.local_rows())};
+    c.allreduce_sum(totals);
+    if (c.rank() == 0) {
+      rec.halo_bytes_per_solve = static_cast<long long>(totals[0]);
+      rec.interior_fraction = totals[2] > 0 ? totals[1] / totals[2] : 1.0;
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      c.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      res = solve({});
+      c.barrier();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (c.rank() == 0) {
+        times.push_back(std::chrono::duration<double>(t1 - t0).count());
+      }
+    }
+    // Steady-state allocation audit of the persistent transport (global
+    // operator new count across all rank threads; kpm_alloc_hook is linked
+    // into this binary).
+    if (transport == runtime::HaloTransport::persistent) {
+      blas::BlockVector v(dist.extended_rows(), mp.num_random);
+      dist.exchange_halo(c, v);
+      c.barrier();
+      const std::int64_t before = util::allocation_count();
+      c.barrier();
+      constexpr int kProbe = 10;
+      for (int i = 0; i < kProbe; ++i) dist.exchange_halo(c, v);
+      c.barrier();
+      if (c.rank() == 0) {
+        rec.halo_allocs_per_exchange =
+            static_cast<double>(util::allocation_count() - before) / kProbe;
+      }
+    }
+  });
+  sparse::set_tile_config(saved_tiles);
+  rec.seconds_min = *std::min_element(times.begin(), times.end());
+  rec.seconds_median = median_of(times);
+  return rec;
+}
+
+void write_dist_json(const sparse::CrsMatrix& h, const core::MomentParams& mp,
+                     int reps, const std::vector<DistRecord>& records) {
+  const char* path_env = std::getenv("KPM_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_dist.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig12_scaling\",\n");
+  std::fprintf(f, "  \"section\": \"measured_distributed\",\n");
+  std::fprintf(f,
+               "  \"matrix\": {\"model\": \"topological_insulator\", "
+               "\"n\": %lld, \"nnz\": %lld},\n",
+               static_cast<long long>(h.nrows()),
+               static_cast<long long>(h.nnz()));
+  std::fprintf(f, "  \"num_moments\": %d,\n  \"width\": %d,\n", mp.num_moments,
+               mp.num_random);
+  std::fprintf(f, "  \"reps\": %d,\n  \"threads\": %d,\n", reps,
+               max_threads());
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"ranks\": %d, \"transport\": \"%s\", \"mode\": \"%s\", "
+        "\"tuned\": %d, \"seconds_min\": %.6e, \"seconds_median\": %.6e, "
+        "\"halo_bytes_per_solve\": %lld, \"halo_allocs_per_exchange\": %.1f, "
+        "\"interior_fraction\": %.4f}%s\n",
+        r.ranks, r.transport, r.mode, r.tuned ? 1 : 0, r.seconds_min,
+        r.seconds_median, r.halo_bytes_per_solve, r.halo_allocs_per_exchange,
+        r.interior_fraction, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+/// Measured (not modeled) scaling of the distributed solver with in-process
+/// ranks: the staged/untuned configuration is the pre-existing main path;
+/// persistent channels, the collective tile tune, and the overlapped sweep
+/// are the optimizations under test.  Every cell is min/median of `reps`
+/// full solves after one untimed warm-up solve.
+void measured_distributed_section() {
+  const auto env_or = [](const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : fallback;
+  };
+  const auto h = bench::benchmark_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = env_or("KPM_BENCH_DIST_M", 32);
+  mp.num_random = env_or("KPM_BENCH_DIST_R", 8);
+  const int reps = env_or("KPM_BENCH_DIST_REPS", 5);
+
+  std::printf("\n=== measured: in-process ranks, N = %lld, M = %d, R = %d, "
+              "min/median of %d solves ===\n",
+              static_cast<long long>(h.nrows()), mp.num_moments, mp.num_random,
+              reps);
+  std::printf("%5s %-10s %-10s %5s %12s %12s %12s %9s %9s\n", "ranks",
+              "transport", "mode", "tuned", "min[s]", "median[s]", "halo[B]",
+              "alloc/xch", "interior");
+  std::vector<DistRecord> records;
+  auto run = [&](int nranks, runtime::HaloTransport t, bool overlapped,
+                 bool tuned) {
+    records.push_back(
+        time_dist_config(h, s, mp, nranks, t, overlapped, tuned, reps));
+    const auto& r = records.back();
+    std::printf("%5d %-10s %-10s %5d %12.5f %12.5f %12lld %9.1f %9.4f\n",
+                r.ranks, r.transport, r.mode, r.tuned ? 1 : 0, r.seconds_min,
+                r.seconds_median, r.halo_bytes_per_solve,
+                r.halo_allocs_per_exchange, r.interior_fraction);
+  };
+  for (const int nranks : {1, 2, 4, 8}) {
+    run(nranks, runtime::HaloTransport::staged, false, false);
+    run(nranks, runtime::HaloTransport::persistent, false, false);
+    run(nranks, runtime::HaloTransport::persistent, true, false);
+    run(nranks, runtime::HaloTransport::persistent, true, true);
+  }
+  // Headline: at the widest rank count the fully optimized configuration
+  // (persistent + tuned + overlapped) vs the pre-existing staged main path.
+  const auto find = [&](int ranks, const char* transport, const char* mode,
+                        bool tuned) -> const DistRecord* {
+    for (const auto& r : records) {
+      if (r.ranks == ranks && std::string(r.transport) == transport &&
+          std::string(r.mode) == mode && r.tuned == tuned) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const auto* base = find(8, "staged", "plain", false);
+  const auto* best = find(8, "persistent", "overlapped", true);
+  if (base != nullptr && best != nullptr) {
+    std::printf("\n8 ranks: persistent+tuned+overlapped %.5fs vs staged main "
+                "path %.5fs -> speedup %.3fx\n",
+                best->seconds_min, base->seconds_min,
+                base->seconds_min / best->seconds_min);
+  }
+  write_dist_json(h, mp, reps, records);
+}
+
+}  // namespace
 
 int main() {
   using namespace kpm;
@@ -66,5 +274,7 @@ int main() {
               "%.1f Tflop/s on %d nodes (paper: >100 Tflop/s, N > 6.5e9)\n",
               last.domain.nx, last.domain.ny, last.domain.nz,
               last.domain.dimension(), last.tflops, last.nodes);
+
+  measured_distributed_section();
   return 0;
 }

@@ -445,4 +445,116 @@ AutoTuneResult auto_tune_weights(Communicator& comm,
   return out;
 }
 
+TileTuneResult tune_distributed_tiles(Communicator& comm,
+                                      const DistributedMatrix& dist, int width,
+                                      const TileTuneParams& p,
+                                      const std::string& cache_path) {
+  require(width >= 1 && p.sweeps_per_probe >= 1,
+          "tune_distributed_tiles: invalid parameters");
+  default_omp_affinity();
+  TileTuneResult out;
+
+  // Key the cache entry by the *global* problem so every rank computes the
+  // same key regardless of its partition share.
+  std::vector<double> nnz_total{static_cast<double>(dist.local().nnz())};
+  comm.allreduce_sum(nnz_total);
+  AutoTuner tuner(cache_path);
+  out.key = AutoTuner::cache_key(
+      "crs-dist", dist.partition().total_rows(),
+      static_cast<global_index>(nnz_total[0]), max_threads(), width,
+      comm.size());
+  if (p.use_cache && tuner.lookup(out.key, &out.config, &out.seconds)) {
+    out.from_cache = true;
+    if (p.install) sparse::set_tile_config(out.config);
+    comm.barrier();  // nobody proceeds until every rank installed it
+    return out;
+  }
+
+  // Probe state on this rank's partition (halo values are irrelevant to the
+  // timing; any finite contents do).
+  const sparse::CrsMatrix& m = dist.local();
+  blas::BlockVector v(m.ncols(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  blas::BlockVector w(m.nrows(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  for (global_index i = 0; i < m.ncols(); ++i) {
+    for (int r = 0; r < width; ++r) {
+      v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.5};
+    }
+  }
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.25, 0.0);
+
+  // Lockstep probe (same pattern as auto_tune_weights): every rank walks
+  // the identical candidate list; the allreduce that computes the
+  // worst-rank time also keeps the phases aligned, so no rank can still be
+  // timing one configuration while another installs the next.
+  TileConfigGuard guard;
+  auto worst_seconds = [&](const sparse::TileConfig& c) {
+    sparse::set_tile_config(c);
+    comm.barrier();
+    if (m.nrows() > 0) {
+      sparse::aug_spmmv(m, rec, v, w, dvv, dwv);  // warm-up
+    }
+    double best = 1e300;
+    Timer t;
+    for (int sweep = 0; sweep < p.sweeps_per_probe; ++sweep) {
+      t.reset();
+      t.start();
+      if (m.nrows() > 0) sparse::aug_spmmv(m, rec, v, w, dvv, dwv);
+      t.stop();
+      best = std::min(best, t.seconds());
+    }
+    ++out.timed_probes;
+    std::vector<double> times(static_cast<std::size_t>(comm.size()), 0.0);
+    times[static_cast<std::size_t>(comm.rank())] = best;
+    comm.allreduce_sum(times);
+    return *std::max_element(times.begin(), times.end());
+  };
+
+  // Band candidates are filtered by row count; feed the filter a
+  // rank-independent value (the smallest non-empty partition) so every rank
+  // derives the identical candidate list — a divergent list would deadlock
+  // the lockstep allreduces.
+  std::vector<double> rows(static_cast<std::size_t>(comm.size()), 0.0);
+  rows[static_cast<std::size_t>(comm.rank())] =
+      static_cast<double>(m.nrows());
+  comm.allreduce_sum(rows);
+  global_index min_rows = dist.partition().total_rows();
+  for (const double r : rows) {
+    const auto gr = static_cast<global_index>(r);
+    if (gr > 0) min_rows = std::min(min_rows, gr);
+  }
+
+  std::vector<sparse::TileConfig> candidates = stage1_candidates(p, width);
+  sparse::TileConfig winner = candidates.front();
+  double winner_seconds = 1e300;
+  const std::size_t stage1_size = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double s = worst_seconds(candidates[i]);
+    if (s < winner_seconds) {
+      winner_seconds = s;
+      winner = candidates[i];
+    }
+    if (i + 1 == stage1_size) {
+      add_band_candidates(candidates, winner, p, min_rows);
+    }
+  }
+
+  out.config = winner;
+  out.seconds = winner_seconds;
+  if (p.use_cache) {
+    comm.barrier();  // every rank finished probing before rank 0 writes
+    if (comm.rank() == 0) tuner.store(out.key, winner, winner_seconds);
+    comm.barrier();
+  }
+  if (p.install) {
+    sparse::set_tile_config(winner);
+    guard.dismiss();
+  }
+  comm.barrier();
+  return out;
+}
+
 }  // namespace kpm::runtime

@@ -155,4 +155,19 @@ struct AutoTuneResult {
                                                const sparse::CrsMatrix& global,
                                                const AutoTuneParams& p = {});
 
+class DistributedMatrix;
+
+/// Collective tile probe for an already-built distributed operator: times
+/// the fused block kernel on every rank's local() partition, judges each
+/// candidate by the allreduced worst-rank time, and installs the winner
+/// process-wide — so all ranks run the production sweeps with the same
+/// configuration.  The cache entry is keyed by the *global* problem
+/// ("crs-dist", total rows, total nnz, threads, width, ranks); every rank
+/// performs the same lookup against the shared cache file, and on a miss
+/// rank 0 alone persists the probed winner.  Collective: all ranks together.
+TileTuneResult tune_distributed_tiles(Communicator& comm,
+                                      const DistributedMatrix& dist, int width,
+                                      const TileTuneParams& p = {},
+                                      const std::string& cache_path = {});
+
 }  // namespace kpm::runtime

@@ -8,8 +8,16 @@
 
 namespace kpm::runtime {
 
-MessageHub::MessageHub(int size) : size_(size), boxes_(size) {
+MessageHub::MessageHub(int size)
+    : size_(size),
+      boxes_(size),
+      collective_keys_(static_cast<std::size_t>(size), 0) {
   require(size >= 1, "MessageHub: need at least one rank");
+  // Pre-register the pairwise reduction channels (src * size + dst), so
+  // allreduce_sum never touches the registration lock.  Buffers start empty
+  // and grow to the reduction length on first use, then stay.
+  channels_.resize(static_cast<std::size_t>(size) * size);
+  for (auto& ch : channels_) ch.counted = false;
 }
 
 void MessageHub::send(int src, int dst, int tag,
@@ -19,6 +27,7 @@ void MessageHub::send(int src, int dst, int tag,
   {
     std::lock_guard lock(box.m);
     bytes_sent_ += static_cast<std::int64_t>(payload.size());
+    staged_messages_ += 1;
     box.queue.push_back({src, tag, std::move(payload)});
   }
   box.cv.notify_all();
@@ -40,6 +49,79 @@ std::vector<std::byte> MessageHub::recv(int dst, int src, int tag) {
   }
 }
 
+// --- Persistent channels ---------------------------------------------------
+
+int MessageHub::channel(int src, int dst, int key) {
+  require(src >= 0 && src < size_ && dst >= 0 && dst < size_ && src != dst,
+          "channel: rank pair out of range");
+  std::lock_guard lock(channels_m_);
+  const auto [it, inserted] =
+      channel_ids_.try_emplace(std::tuple{src, dst, key}, 0);
+  if (inserted) {
+    channels_.emplace_back();
+    it->second = static_cast<int>(channels_.size()) - 1;
+  }
+  return it->second;
+}
+
+int MessageHub::next_collective_key(int rank) {
+  require(rank >= 0 && rank < size_, "next_collective_key: rank out of range");
+  // Each rank advances only its own counter; collective construction order
+  // keeps the counters in lockstep, so no lock is needed.
+  return collective_keys_[static_cast<std::size_t>(rank)]++;
+}
+
+MessageHub::Channel& MessageHub::chan(int id) {
+  // The deque never erases and emplace_back keeps element references valid,
+  // so the returned reference outlives the lock — but the lookup itself must
+  // hold channels_m_: another rank may be registering a channel (deque map
+  // reallocation) while this one communicates on an established channel.
+  std::lock_guard lock(channels_m_);
+  require(id >= 0 && id < static_cast<int>(channels_.size()),
+          "channel id out of range");
+  return channels_[static_cast<std::size_t>(id)];
+}
+
+std::span<std::byte> MessageHub::channel_acquire(int id, std::size_t bytes) {
+  Channel& ch = chan(id);
+  {
+    std::unique_lock lock(ch.m);
+    ch.cv.wait(lock, [&] { return !ch.full; });
+  }
+  // Sole owner while empty: safe to (re)size and fill without the lock.
+  if (ch.buf.size() < bytes) ch.buf.resize(bytes);
+  ch.size = bytes;
+  return {ch.buf.data(), bytes};
+}
+
+void MessageHub::channel_post(int id) {
+  Channel& ch = chan(id);
+  {
+    std::lock_guard lock(ch.m);
+    ch.full = true;
+    if (ch.counted) bytes_sent_ += static_cast<std::int64_t>(ch.size);
+  }
+  ch.cv.notify_all();
+}
+
+std::span<const std::byte> MessageHub::channel_receive(int id) {
+  Channel& ch = chan(id);
+  std::unique_lock lock(ch.m);
+  ch.cv.wait(lock, [&] { return ch.full; });
+  return {ch.buf.data(), ch.size};
+}
+
+void MessageHub::channel_release(int id) {
+  Channel& ch = chan(id);
+  {
+    std::lock_guard lock(ch.m);
+    ch.full = false;
+  }
+  ch.cv.notify_all();
+}
+
+// --- Collectives -----------------------------------------------------------
+
 void MessageHub::barrier() {
   std::unique_lock lock(sync_m_);
   const std::uint64_t gen = barrier_generation_;
@@ -52,43 +134,74 @@ void MessageHub::barrier() {
   }
 }
 
+void MessageHub::reduce_send(int src, int dst, std::span<const double> data) {
+  const int id = reduce_channel_id(src, dst);
+  const auto buf = channel_acquire(id, data.size_bytes());
+  std::memcpy(buf.data(), data.data(), data.size_bytes());
+  channel_post(id);
+  reduction_bytes_ += static_cast<std::int64_t>(data.size_bytes());
+}
+
+template <class F>
+void MessageHub::reduce_recv(int src, int dst, std::size_t count, F&& f) {
+  const int id = reduce_channel_id(src, dst);
+  const auto bytes = channel_receive(id);
+  require(bytes.size() == count * sizeof(double),
+          "allreduce: mismatched lengths across ranks");
+  const double* theirs = reinterpret_cast<const double*>(bytes.data());
+  for (std::size_t i = 0; i < count; ++i) f(theirs[i], i);
+  channel_release(id);
+}
+
 void MessageHub::allreduce_sum(int rank, std::span<double> data) {
-  (void)rank;
-  std::unique_lock lock(sync_m_);
-  // Phase 0: wait until every reader of the previous reduction has left, so
-  // a fast rank re-entering cannot corrupt a buffer still being read.
-  sync_cv_.wait(lock, [&] { return readers_remaining_ == 0; });
-  // Phase 1: accumulate.
-  if (reduce_count_ == 0) {
-    reduce_buffer_.assign(data.begin(), data.end());
-  } else {
-    require(reduce_buffer_.size() == data.size(),
-            "allreduce: mismatched lengths across ranks");
-    for (std::size_t i = 0; i < data.size(); ++i) reduce_buffer_[i] += data[i];
+  require(rank >= 0 && rank < size_, "allreduce: rank out of range");
+  if (rank == 0) ++reductions_done_;
+  if (size_ == 1) return;
+
+  // Recursive doubling with the standard non-power-of-two fold: the `rem`
+  // extra ranks (>= p2) fold their contribution into a base rank up front
+  // and receive the finished total at the end.  Every combine is
+  // `mine + theirs` of two disjoint group sums along a fixed tree, and IEEE
+  // addition is commutative, so all ranks produce identical bits.
+  int p2 = 1;
+  while (p2 * 2 <= size_) p2 *= 2;
+  const int rem = size_ - p2;
+  const std::size_t n = data.size();
+
+  if (rank >= p2) {
+    reduce_send(rank, rank - p2, data);
+    reduce_recv(rank - p2, rank, n,
+                [&](double v, std::size_t i) { data[i] = v; });
+    return;
   }
-  const std::uint64_t gen = reduce_generation_;
-  if (++reduce_count_ == size_) {
-    reduce_count_ = 0;
-    readers_remaining_ = size_;
-    ++reductions_done_;
-    ++reduce_generation_;
-    sync_cv_.notify_all();
-  } else {
-    sync_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  if (rank < rem) {
+    reduce_recv(rank + p2, rank, n,
+                [&](double v, std::size_t i) { data[i] += v; });
   }
-  // Phase 2: read the total back and drain.
-  for (std::size_t i = 0; i < data.size(); ++i) data[i] = reduce_buffer_[i];
-  if (--readers_remaining_ == 0) {
-    reduce_buffer_.clear();
-    sync_cv_.notify_all();
+  for (int mask = 1; mask < p2; mask <<= 1) {
+    const int partner = rank ^ mask;
+    reduce_send(rank, partner, data);
+    reduce_recv(partner, rank, n,
+                [&](double v, std::size_t i) { data[i] += v; });
   }
+  if (rank < rem) reduce_send(rank, rank + p2, data);
 }
 
 std::int64_t MessageHub::reduction_count() const noexcept {
-  return reductions_done_;
+  return reductions_done_.load(std::memory_order_relaxed);
 }
 
-std::int64_t MessageHub::bytes_sent() const noexcept { return bytes_sent_; }
+std::int64_t MessageHub::bytes_sent() const noexcept {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+std::int64_t MessageHub::reduction_bytes_sent() const noexcept {
+  return reduction_bytes_.load(std::memory_order_relaxed);
+}
+
+std::int64_t MessageHub::staged_messages() const noexcept {
+  return staged_messages_.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -104,6 +217,10 @@ std::vector<std::byte> pack(std::span<const T> data) {
 void Communicator::send_bytes(int dst, int tag,
                               std::span<const std::byte> data) {
   hub_->send(rank_, dst, tag, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void Communicator::send_bytes(int dst, int tag, std::vector<std::byte>&& data) {
+  hub_->send(rank_, dst, tag, std::move(data));
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) {

@@ -7,6 +7,19 @@
 // src/runtime are *executed*, not modelled.  The communication pattern
 // (who sends what to whom, how many global reductions) is identical to an
 // MPI deployment; only the transport differs.
+//
+// Two transports coexist (DESIGN.md §5d):
+//
+//  - The *staged* mailbox path (send/recv): every message is a heap-owned
+//    byte vector queued at the destination.  Used for setup handshakes and
+//    kept as the baseline the persistent path is benchmarked against.
+//  - The *persistent channel* path: a channel is a fixed buffer owned by the
+//    hub, registered once per (src, dst, key) — the analogue of an MPI
+//    persistent request.  The sender gathers payload directly into the
+//    channel buffer and posts it; the receiver scatters directly out of it
+//    and releases it.  Single-producer/single-consumer handoff, zero heap
+//    allocations and exactly one gather + one scatter copy per message in
+//    steady state.
 #pragma once
 
 #include <atomic>
@@ -15,8 +28,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "util/types.hpp"
@@ -29,20 +44,56 @@ class MessageHub {
  public:
   explicit MessageHub(int size);
 
+  // --- Staged mailbox transport -------------------------------------------
   void send(int src, int dst, int tag, std::vector<std::byte> payload);
   /// Blocks until a message with matching (src, tag) arrives at `dst`.
   [[nodiscard]] std::vector<std::byte> recv(int dst, int src, int tag);
 
+  // --- Persistent channels ------------------------------------------------
+  /// Returns the id of the persistent channel src -> dst for `key`,
+  /// registering it on first use.  Idempotent: sender and receiver both call
+  /// this with the same triple and obtain the same id.  Keys from
+  /// next_collective_key() keep distinct negotiations (e.g. two
+  /// DistributedMatrix instances on one hub) apart.
+  [[nodiscard]] int channel(int src, int dst, int key);
+  /// Per-rank counter for deriving collectively-agreed channel keys: every
+  /// rank constructing the same sequence of channel owners draws the same
+  /// key sequence.
+  [[nodiscard]] int next_collective_key(int rank);
+
+  /// Sender side: blocks until the channel buffer is free (the receiver
+  /// released the previous message), then returns a `bytes`-sized staging
+  /// span to gather the payload into.  Grows the buffer if needed — after
+  /// the first exchange at a given size this never allocates.
+  [[nodiscard]] std::span<std::byte> channel_acquire(int id, std::size_t bytes);
+  /// Sender side: publishes the acquired buffer to the receiver.
+  void channel_post(int id);
+  /// Receiver side: blocks until a message is posted, then returns its
+  /// payload view (valid until channel_release).
+  [[nodiscard]] std::span<const std::byte> channel_receive(int id);
+  /// Receiver side: frees the buffer for the sender's next exchange.
+  void channel_release(int id);
+
+  // --- Collectives --------------------------------------------------------
   void barrier();
   /// Element-wise sum across ranks; every rank passes its contribution and
-  /// receives the total.  Internally one synchronizing reduction event.
+  /// receives the total.  Recursive-doubling tree over persistent pairwise
+  /// channels (no centralized synchronizing event); the combination tree is
+  /// fixed, so the result is bitwise identical on every rank and across
+  /// runs, for any rank count.
   void allreduce_sum(int rank, std::span<double> data);
 
   [[nodiscard]] int size() const noexcept { return size_; }
   /// Number of allreduce events completed (Table III accounting).
   [[nodiscard]] std::int64_t reduction_count() const noexcept;
-  /// Total payload bytes moved through point-to-point messages.
+  /// Total payload bytes moved through point-to-point messages — staged
+  /// sends and posted channel messages alike, excluding reduction traffic.
   [[nodiscard]] std::int64_t bytes_sent() const noexcept;
+  /// Payload bytes moved by allreduce_sum internally (tree edges).
+  [[nodiscard]] std::int64_t reduction_bytes_sent() const noexcept;
+  /// Heap allocations performed by the staged transport (one per queued
+  /// message payload); the persistent-channel path never adds to this.
+  [[nodiscard]] std::int64_t staged_messages() const noexcept;
 
  private:
   struct Message {
@@ -55,6 +106,26 @@ class MessageHub {
     std::condition_variable cv;
     std::deque<Message> queue;
   };
+  /// Persistent SPSC channel: `full` flips sender -> receiver under `m`;
+  /// the payload bytes are written by the sender only while empty and read
+  /// by the receiver only while full, so the buffer itself needs no lock.
+  struct Channel {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<std::byte> buf;
+    std::size_t size = 0;
+    bool full = false;
+    bool counted = true;  ///< false for internal reduction channels
+  };
+
+  Channel& chan(int id);
+  [[nodiscard]] int reduce_channel_id(int src, int dst) const noexcept {
+    return src * size_ + dst;
+  }
+  void reduce_send(int src, int dst, std::span<const double> data);
+  /// f(theirs, i) consumes element i of the received payload.
+  template <class F>
+  void reduce_recv(int src, int dst, std::size_t count, F&& f);
 
   int size_;
   std::vector<Mailbox> boxes_;
@@ -63,12 +134,16 @@ class MessageHub {
   std::condition_variable sync_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
-  std::vector<double> reduce_buffer_;
-  int reduce_count_ = 0;
-  int readers_remaining_ = 0;
-  std::uint64_t reduce_generation_ = 0;
-  std::int64_t reductions_done_ = 0;
+
+  std::mutex channels_m_;
+  std::deque<Channel> channels_;  // deque: stable addresses across growth
+  std::map<std::tuple<int, int, int>, int> channel_ids_;
+  std::vector<int> collective_keys_;  // per-rank counter
+
+  std::atomic<std::int64_t> reductions_done_{0};
   std::atomic<std::int64_t> bytes_sent_{0};
+  std::atomic<std::int64_t> reduction_bytes_{0};
+  std::atomic<std::int64_t> staged_messages_{0};
 };
 
 /// Per-rank handle (the MPI_Comm analogue).
@@ -80,6 +155,8 @@ class Communicator {
   [[nodiscard]] int size() const noexcept { return hub_->size(); }
 
   void send_bytes(int dst, int tag, std::span<const std::byte> data);
+  /// Move-in overload: hands the payload to the transport without a copy.
+  void send_bytes(int dst, int tag, std::vector<std::byte>&& data);
   [[nodiscard]] std::vector<std::byte> recv_bytes(int src, int tag);
 
   /// Typed convenience wrappers.

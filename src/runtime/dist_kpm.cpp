@@ -1,5 +1,6 @@
 #include "runtime/dist_kpm.hpp"
 
+#include "runtime/autotune.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "util/aligned.hpp"
 #include "util/check.hpp"
@@ -13,11 +14,19 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
                                            const DistributedMatrix& dist,
                                            const physics::Scaling& s,
                                            const core::MomentParams& p,
+                                           const DistKpmOptions& opts,
                                            bool overlapped) {
   require(p.num_moments >= 2 && p.num_moments % 2 == 0,
           "distributed_moments: num_moments must be even and >= 2");
   require(p.num_random >= 1, "distributed_moments: num_random >= 1");
   const int width = p.num_random;
+  if (opts.tune_tiles) {
+    // Collective lockstep probe: all ranks leave with the same TileConfig
+    // installed, so both the full sweeps and the split interior/boundary
+    // sweeps below run cache-blocked.
+    (void)tune_distributed_tiles(comm, dist, width, TileTuneParams{},
+                                 opts.tile_cache_path);
+  }
   const global_index nlocal = dist.local_rows();
   const global_index next = dist.extended_rows();
   const global_index row_begin = dist.partition().begin(comm.rank());
@@ -74,14 +83,13 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
     dist.start_halo_exchange(comm, v);
     std::fill(dvv.begin(), dvv.end(), complex_t{});
     std::fill(dwv.begin(), dwv.end(), complex_t{});
-    sparse::aug_spmmv_rows(dist.local(), scalars, v, w,
-                           dist.interior_begin(), dist.interior_end(), dvv,
-                           dwv);
+    // Every halo-free row — scattered or not — is processed while the
+    // messages are in flight; only the boundary rows wait for the halo.
+    sparse::aug_spmmv_runs(dist.local(), scalars, v, w, dist.interior_runs(),
+                           dvv, dwv);
     dist.finish_halo_exchange(comm, v);
-    sparse::aug_spmmv_rows(dist.local(), scalars, v, w, 0,
-                           dist.interior_begin(), dvv, dwv);
-    sparse::aug_spmmv_rows(dist.local(), scalars, v, w, dist.interior_end(),
-                           dist.local_rows(), dvv, dwv);
+    sparse::aug_spmmv_runs(dist.local(), scalars, v, w, dist.boundary_runs(),
+                           dvv, dwv);
   };
 
   fused_step(sparse::AugScalars::startup(s.a, s.b));
@@ -141,15 +149,19 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
 DistMomentsResult distributed_moments(Communicator& comm,
                                       const DistributedMatrix& dist,
                                       const physics::Scaling& s,
-                                      const core::MomentParams& p) {
-  return distributed_moments_impl(comm, dist, s, p, /*overlapped=*/false);
+                                      const core::MomentParams& p,
+                                      const DistKpmOptions& opts) {
+  return distributed_moments_impl(comm, dist, s, p, opts,
+                                  /*overlapped=*/false);
 }
 
 DistMomentsResult distributed_moments_overlapped(Communicator& comm,
                                                  const DistributedMatrix& dist,
                                                  const physics::Scaling& s,
-                                                 const core::MomentParams& p) {
-  return distributed_moments_impl(comm, dist, s, p, /*overlapped=*/true);
+                                                 const core::MomentParams& p,
+                                                 const DistKpmOptions& opts) {
+  return distributed_moments_impl(comm, dist, s, p, opts,
+                                  /*overlapped=*/true);
 }
 
 }  // namespace kpm::runtime

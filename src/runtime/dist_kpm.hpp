@@ -14,6 +14,18 @@ struct DistMomentsResult {
   std::int64_t halo_bytes_sent = 0;  ///< this rank's halo payload total
 };
 
+/// Optional performance knobs of the distributed solvers.  Defaults change
+/// nothing: the sweeps run with whatever kernel variant / tile configuration
+/// is currently installed.
+struct DistKpmOptions {
+  /// Run the collective tile probe (runtime::tune_distributed_tiles) before
+  /// the Chebyshev loop so all ranks sweep with the autotuned TileConfig.
+  bool tune_tiles = false;
+  /// Cache file for the tile probe; empty = AutoTuner default
+  /// ($KPM_TUNE_CACHE or .kpm_tune_cache.json).
+  std::string tile_cache_path;
+};
+
 /// Collective: computes the blocked KPM moments of the distributed operator.
 /// Every rank draws the same random start vectors (same seed stream as the
 /// serial solver) and keeps its own rows, so the result matches
@@ -21,16 +33,21 @@ struct DistMomentsResult {
 /// round-off.
 [[nodiscard]] DistMomentsResult distributed_moments(
     Communicator& comm, const DistributedMatrix& dist,
-    const physics::Scaling& s, const core::MomentParams& p);
+    const physics::Scaling& s, const core::MomentParams& p,
+    const DistKpmOptions& opts = {});
 
 /// Overlapped variant: every Chebyshev step posts its halo sends, processes
-/// the interior rows (which reference no halo column) while the messages
-/// are in flight, then receives and finishes the boundary rows — the
-/// communication/computation overlap the paper's outlook proposes.
-/// Bit-compatible dot products are NOT guaranteed (summation order differs),
-/// but moments agree to reduction round-off.
+/// ALL interior rows (DistributedMatrix::interior_runs() — every row that
+/// references no halo column, wherever it sits in the row order) while the
+/// messages are in flight, then receives and finishes the boundary rows —
+/// the communication/computation overlap the paper's outlook proposes.
+/// Both the interior and the boundary sweeps honor the installed
+/// TileConfig.  Bit-compatible dot products vs the non-overlapped path are
+/// NOT guaranteed (summation order differs), but moments agree to reduction
+/// round-off.
 [[nodiscard]] DistMomentsResult distributed_moments_overlapped(
     Communicator& comm, const DistributedMatrix& dist,
-    const physics::Scaling& s, const core::MomentParams& p);
+    const physics::Scaling& s, const core::MomentParams& p,
+    const DistKpmOptions& opts = {});
 
 }  // namespace kpm::runtime

@@ -1,7 +1,12 @@
 #include "runtime/dist_matrix.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "sparse/coo.hpp"
 #include "util/check.hpp"
@@ -12,12 +17,17 @@ namespace {
 constexpr int tag_request = 1;
 constexpr int tag_halo = 2;
 
+/// Rows below this volume (rows x width complex elements) gather serially —
+/// forking a parallel region costs more than the copy.
+constexpr std::size_t kParallelGatherElems = 4096;
+
 }  // namespace
 
 DistributedMatrix::DistributedMatrix(Communicator& comm,
                                      const sparse::CrsMatrix& global,
-                                     const RowPartition& partition)
-    : rank_(comm.rank()), part_(partition) {
+                                     const RowPartition& partition,
+                                     HaloTransport transport)
+    : rank_(comm.rank()), part_(partition), transport_(transport) {
   require(part_.ranks() == comm.size(),
           "DistributedMatrix: partition/communicator size mismatch");
   require(part_.total_rows() == global.nrows(),
@@ -40,7 +50,9 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
       }
     }
   }
-  // Halo slots ordered by peer rank, then by the request list order.
+  // Halo slots ordered by peer rank, then by the request list order — so the
+  // slots of one peer form one contiguous ascending block and the receive
+  // scatter is a single memcpy per peer.
   recv_slots_.assign(static_cast<std::size_t>(comm.size()), {});
   for (int peer = 0; peer < comm.size(); ++peer) {
     auto& cols = needed[static_cast<std::size_t>(peer)];
@@ -55,7 +67,8 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
 
   // Handshake: tell every peer which of its rows we need; receive the
   // requests addressed to us.  (Empty messages keep the pattern collective
-  // and deadlock-free with our blocking recv.)
+  // and deadlock-free with our blocking recv.)  Setup always rides the
+  // staged transport; only the per-iteration exchange differs by mode.
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     comm.send(peer, tag_request,
@@ -69,6 +82,28 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
     for (const auto gr : send_rows_[static_cast<std::size_t>(peer)]) {
       require(gr >= row_begin && gr < row_end,
               "halo handshake: peer requested a row we do not own");
+    }
+  }
+
+  // Persistent-channel registration (the MPI persistent-request analogue).
+  // Every rank draws the same collective key because construction is
+  // collective; a channel src -> dst exists iff that direction carries halo
+  // payload, which sender (send_rows_) and receiver (recv_slots_) agree on
+  // by the handshake above.
+  send_channel_.assign(static_cast<std::size_t>(comm.size()), -1);
+  recv_channel_.assign(static_cast<std::size_t>(comm.size()), -1);
+  if (transport_ == HaloTransport::persistent) {
+    const int key = comm.hub().next_collective_key(rank_);
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == rank_) continue;
+      if (!send_rows_[static_cast<std::size_t>(peer)].empty()) {
+        send_channel_[static_cast<std::size_t>(peer)] =
+            comm.hub().channel(rank_, peer, key);
+      }
+      if (!recv_slots_[static_cast<std::size_t>(peer)].empty()) {
+        recv_channel_[static_cast<std::size_t>(peer)] =
+            comm.hub().channel(peer, rank_, key);
+      }
     }
   }
 
@@ -89,8 +124,10 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
   coo.compress();
   local_ = sparse::CrsMatrix(coo);
 
-  // Largest contiguous run of rows that reference no halo column: those can
-  // be processed while the halo exchange is still in flight.
+  // Classify every local row: boundary rows read at least one halo column,
+  // interior rows none.  All interior rows — scattered or not — are safe to
+  // process while the exchange is in flight; record both classes as run
+  // lists for the overlapped sweeps.
   std::vector<bool> boundary(static_cast<std::size_t>(nlocal), false);
   for (global_index i = 0; i < nlocal; ++i) {
     for (const auto c : local_.row_cols(i)) {
@@ -100,18 +137,51 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
       }
     }
   }
-  global_index best_begin = 0, best_end = 0, run_begin = 0;
-  for (global_index i = 0; i <= nlocal; ++i) {
-    if (i == nlocal || boundary[static_cast<std::size_t>(i)]) {
-      if (i - run_begin > best_end - best_begin) {
-        best_begin = run_begin;
-        best_end = i;
-      }
-      run_begin = i + 1;
+  for (global_index i = 0; i < nlocal;) {
+    const bool b = boundary[static_cast<std::size_t>(i)];
+    global_index j = i + 1;
+    while (j < nlocal && boundary[static_cast<std::size_t>(j)] == b) ++j;
+    (b ? boundary_runs_ : interior_runs_).push_back({i, j});
+    if (!b) interior_row_count_ += j - i;
+    i = j;
+  }
+  for (const auto& run : interior_runs_) {
+    if (run.end - run.begin > interior_end_ - interior_begin_) {
+      interior_begin_ = run.begin;
+      interior_end_ = run.end;
     }
   }
-  interior_begin_ = best_begin;
-  interior_end_ = best_end;
+}
+
+void DistributedMatrix::gather_into(const blas::BlockVector& v,
+                                    std::span<const global_index> rows,
+                                    complex_t* out) const {
+  const int width = v.width();
+  const global_index row_begin = part_.begin(rank_);
+  const std::size_t row_bytes = static_cast<std::size_t>(width) *
+                                sizeof(complex_t);
+  const auto copy_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      std::memcpy(out + k * static_cast<std::size_t>(width),
+                  &v(rows[k] - row_begin, 0), row_bytes);
+    }
+  };
+  if (rows.size() * static_cast<std::size_t>(width) < kParallelGatherElems) {
+    copy_rows(0, rows.size());
+    return;
+  }
+  // Parallel gather with the kernels' static row split: the thread that
+  // owns (first-touched) a band of v is the one that reads it.
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    const auto mine = static_chunk<std::size_t>(
+        0, rows.size(), omp_get_thread_num(), omp_get_num_threads());
+#else
+    const IndexRange<std::size_t> mine{0, rows.size()};
+#endif
+    copy_rows(mine.begin, mine.end);
+  }
 }
 
 void DistributedMatrix::exchange_halo(Communicator& comm,
@@ -127,19 +197,26 @@ void DistributedMatrix::start_halo_exchange(Communicator& comm,
   require(v.layout() == blas::Layout::row_major,
           "halo exchange: row-major block vector required");
   const int width = v.width();
-  const global_index row_begin = part_.begin(rank_);
   // Assemble and send one buffer per peer (the paper's communication buffer
   // assembly — on GPU processes this gather runs as a device kernel).
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     const auto& rows = send_rows_[static_cast<std::size_t>(peer)];
-    std::vector<complex_t> buffer;
-    buffer.reserve(rows.size() * static_cast<std::size_t>(width));
-    for (const auto gr : rows) {
-      const auto local_row = gr - row_begin;
-      for (int r = 0; r < width; ++r) buffer.push_back(v(local_row, r));
+    if (transport_ == HaloTransport::persistent) {
+      if (rows.empty()) continue;
+      const int id = send_channel_[static_cast<std::size_t>(peer)];
+      const auto buf = comm.hub().channel_acquire(
+          id, rows.size() * static_cast<std::size_t>(width) *
+                  sizeof(complex_t));
+      gather_into(v, rows, reinterpret_cast<complex_t*>(buf.data()));
+      comm.hub().channel_post(id);
+    } else {
+      std::vector<std::byte> buffer(rows.size() *
+                                    static_cast<std::size_t>(width) *
+                                    sizeof(complex_t));
+      gather_into(v, rows, reinterpret_cast<complex_t*>(buffer.data()));
+      comm.send_bytes(peer, tag_halo, std::move(buffer));
     }
-    comm.send(peer, tag_halo, std::span<const complex_t>(buffer));
   }
 }
 
@@ -150,13 +227,22 @@ void DistributedMatrix::finish_halo_exchange(Communicator& comm,
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     const auto& slots = recv_slots_[static_cast<std::size_t>(peer)];
-    std::vector<complex_t> buffer(slots.size() *
-                                  static_cast<std::size_t>(width));
-    comm.recv(peer, tag_halo, buffer);
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      for (int r = 0; r < width; ++r) {
-        v(nlocal + slots[s], r) = buffer[s * static_cast<std::size_t>(width) +
-                                         static_cast<std::size_t>(r)];
+    const std::size_t bytes = slots.size() *
+                              static_cast<std::size_t>(width) *
+                              sizeof(complex_t);
+    if (transport_ == HaloTransport::persistent) {
+      if (slots.empty()) continue;
+      const int id = recv_channel_[static_cast<std::size_t>(peer)];
+      const auto payload = comm.hub().channel_receive(id);
+      require(payload.size() == bytes, "halo exchange: payload size mismatch");
+      // One peer's slots are contiguous ascending: single block scatter.
+      std::memcpy(&v(nlocal + slots.front(), 0), payload.data(), bytes);
+      comm.hub().channel_release(id);
+    } else {
+      const auto payload = comm.recv_bytes(peer, tag_halo);
+      require(payload.size() == bytes, "halo exchange: payload size mismatch");
+      if (!slots.empty()) {
+        std::memcpy(&v(nlocal + slots.front(), 0), payload.data(), bytes);
       }
     }
   }

@@ -7,23 +7,43 @@
 // setup handshake), and per-iteration halo exchanges assemble send buffers
 // from the current block vector exactly like the paper's communication
 // buffer assembly (Sec. VI-A).
+//
+// Two per-iteration transports (DESIGN.md §5d):
+//
+//  - HaloTransport::persistent (default): one MessageHub channel per
+//    directed peer pair, registered once at construction like an MPI
+//    persistent request.  The gather writes straight into the channel
+//    buffer (parallel over rows, same static split as the kernels, so the
+//    reads are NUMA-local to the threads that touched v), the scatter is a
+//    single block memcpy per peer (halo slots of one peer are contiguous by
+//    construction).  Zero heap allocations per exchange in steady state.
+//  - HaloTransport::staged: the original mailbox path — one heap-owned
+//    payload per message.  Kept as the benchmark baseline.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "blas/block_vector.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
 #include "sparse/crs.hpp"
+#include "util/schedule.hpp"
 
 namespace kpm::runtime {
+
+/// Per-iteration halo transport selection (see file header).
+enum class HaloTransport { persistent, staged };
 
 class DistributedMatrix {
  public:
   /// Builds rank `comm.rank()`'s partition of `global` and negotiates the
-  /// halo plan.  Collective: every rank must call this together.
+  /// halo plan (and, for HaloTransport::persistent, registers the pairwise
+  /// channels).  Collective: every rank must call this together, with the
+  /// same transport.
   DistributedMatrix(Communicator& comm, const sparse::CrsMatrix& global,
-                    const RowPartition& partition);
+                    const RowPartition& partition,
+                    HaloTransport transport = HaloTransport::persistent);
 
   /// Local operator: local_rows x (local_rows + halo_size), columns
   /// remapped so halo slots follow the owned columns.
@@ -40,6 +60,7 @@ class DistributedMatrix {
     return local_rows() + halo_size();
   }
   [[nodiscard]] const RowPartition& partition() const noexcept { return part_; }
+  [[nodiscard]] HaloTransport transport() const noexcept { return transport_; }
 
   /// Fills the halo rows of `v` (rows local_rows() .. extended_rows()-1)
   /// with the owned rows of the peers.  Collective.  `v` must be row-major
@@ -50,13 +71,34 @@ class DistributedMatrix {
   /// paper's outlook pipeline, implemented for real): start_halo_exchange
   /// assembles and posts all sends; finish_halo_exchange receives and
   /// scatters.  Between the two calls the caller may process every row that
-  /// does not reference halo columns.
+  /// does not reference halo columns — interior_runs() lists all of them.
   void start_halo_exchange(Communicator& comm,
                            const blas::BlockVector& v) const;
   void finish_halo_exchange(Communicator& comm, blas::BlockVector& v) const;
 
-  /// Largest contiguous run of local rows whose matrix rows reference no
-  /// halo column — safe to process before finish_halo_exchange().
+  /// All local rows whose matrix rows reference no halo column, as ascending
+  /// disjoint runs — every one of them is safe to process between
+  /// start_halo_exchange() and finish_halo_exchange(), wherever it sits in
+  /// the row order.
+  [[nodiscard]] std::span<const IndexRange<global_index>> interior_runs()
+      const noexcept {
+    return interior_runs_;
+  }
+  /// Complement of interior_runs(): rows that read at least one halo slot.
+  [[nodiscard]] std::span<const IndexRange<global_index>> boundary_runs()
+      const noexcept {
+    return boundary_runs_;
+  }
+  [[nodiscard]] global_index interior_row_count() const noexcept {
+    return interior_row_count_;
+  }
+  [[nodiscard]] global_index boundary_row_count() const noexcept {
+    return local_rows() - interior_row_count_;
+  }
+
+  /// Largest single contiguous interior run (the pre-run-list overlap
+  /// window; kept for diagnostics and back-compat — interior_runs() covers
+  /// strictly more rows whenever the boundary is interleaved).
   [[nodiscard]] global_index interior_begin() const noexcept {
     return interior_begin_;
   }
@@ -68,16 +110,28 @@ class DistributedMatrix {
   [[nodiscard]] std::int64_t send_bytes_per_exchange(int width) const;
 
  private:
+  void gather_into(const blas::BlockVector& v,
+                   std::span<const global_index> rows,
+                   complex_t* out) const;
+
   int rank_ = 0;
   RowPartition part_;
+  HaloTransport transport_ = HaloTransport::persistent;
   sparse::CrsMatrix local_;
   /// Global row indices this rank must send, grouped by destination rank.
   std::vector<std::vector<global_index>> send_rows_;
   /// Order in which received halo entries fill the slots: for each peer,
-  /// the first halo slot index of its block (entries arrive in the order of
-  /// the request list sent to that peer).
+  /// the halo slot indices of its block (contiguous ascending by
+  /// construction — entries arrive in the order of the request list sent to
+  /// that peer, and slots are assigned peer by peer).
   std::vector<std::vector<global_index>> recv_slots_;
   std::vector<global_index> recv_order_;  // global col of each halo slot
+  /// Persistent channel ids per peer (-1 where no traffic flows).
+  std::vector<int> send_channel_;
+  std::vector<int> recv_channel_;
+  std::vector<IndexRange<global_index>> interior_runs_;
+  std::vector<IndexRange<global_index>> boundary_runs_;
+  global_index interior_row_count_ = 0;
   global_index interior_begin_ = 0;
   global_index interior_end_ = 0;
 };

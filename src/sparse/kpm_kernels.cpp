@@ -412,20 +412,31 @@ void sell_pass(const SellMatrix& a, const ScalarsRI& s,
 
 // ---------------------------------------------------------------------------
 // Parallel orchestration shared by every block kernel: one parallel region;
-// each thread takes its static slice of the iteration range, walks it band
+// each thread takes its static slice of the iteration space, walks it band
 // by band, and runs every column-tile pass of the plan per band.  The dot
 // partials accumulate across bands and passes and are published once, so
 // per-lane accumulation order (rows ascending within a thread) — and thus
 // every bit of the result — is independent of the banding/tiling choices.
 //
+// The iteration space is a list of disjoint ascending segments (the
+// overlapped halo exchange sweeps scattered interior/boundary run lists).
+// Threads split the *position* space — the concatenation of all segments —
+// with the same static_chunk() partition the contiguous path uses; since
+// static_chunk(begin, end, t, n) == begin + static_chunk(0, end-begin, t, n),
+// a single-segment call assigns every row to the same thread as before and
+// stays bitwise identical.
+//
 // `run_pass(wt, nt_tag, band_begin, band_end, pass, lvv, lwr, lwi, scratch)`
 // executes one pass of the format-specific loop.
 template <bool WithDots, class RunPass>
-void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
-                      global_index end, global_index band_step,
-                      complex_t* dot_vv, complex_t* dot_wv, RunPass run_pass) {
+void run_block_kernel(int width, const SweepPlan& plan,
+                      std::span<const IndexRange<global_index>> segments,
+                      global_index band_step, complex_t* dot_vv,
+                      complex_t* dot_wv, RunPass run_pass) {
   const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
   DotPartials partials(WithDots ? width : 0);
+  global_index total = 0;
+  for (const auto& seg : segments) total += seg.end - seg.begin;
 #pragma omp parallel
   {
     // Heap scratch per thread: runtime-width accumulators + dot partials.
@@ -436,25 +447,35 @@ void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
     double* lwi = lwr + width;
 
     const auto mine = static_chunk<global_index>(
-        begin, end, omp_get_thread_num(), omp_get_num_threads());
-    const global_index band =
-        band_step > 0 ? band_step
-                      : std::max<global_index>(mine.end - mine.begin, 1);
-    for (global_index b = mine.begin; b < mine.end; b += band) {
-      const global_index e = std::min(b + band, mine.end);
-      for (int p = 0; p < plan.size(); ++p) {
-        const TilePass& pass = plan.passes()[p];
-        dispatch_lanes(pass.lanes, variant, [&](auto wt) {
-          if (plan.nt) {
-            run_pass(wt, std::bool_constant<true>{}, b, e, pass,
-                     lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
-                     acc);
-          } else {
-            run_pass(wt, std::bool_constant<false>{}, b, e, pass,
-                     lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
-                     acc);
-          }
-        });
+        0, total, omp_get_thread_num(), omp_get_num_threads());
+    global_index pos = 0;  // running start of this segment in position space
+    for (const auto& seg : segments) {
+      if (pos >= mine.end) break;
+      const global_index len = seg.end - seg.begin;
+      const global_index lo = std::max(mine.begin, pos);
+      const global_index hi = std::min(mine.end, pos + len);
+      pos += len;
+      if (lo >= hi) continue;
+      const global_index row_b = seg.begin + (lo - (pos - len));
+      const global_index row_e = seg.begin + (hi - (pos - len));
+      const global_index band =
+          band_step > 0 ? band_step : std::max<global_index>(row_e - row_b, 1);
+      for (global_index b = row_b; b < row_e; b += band) {
+        const global_index e = std::min(b + band, row_e);
+        for (int p = 0; p < plan.size(); ++p) {
+          const TilePass& pass = plan.passes()[p];
+          dispatch_lanes(pass.lanes, variant, [&](auto wt) {
+            if (plan.nt) {
+              run_pass(wt, std::bool_constant<true>{}, b, e, pass,
+                       lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
+                       acc);
+            } else {
+              run_pass(wt, std::bool_constant<false>{}, b, e, pass,
+                       lvv + pass.offset, lwr + pass.offset, lwi + pass.offset,
+                       acc);
+            }
+          });
+        }
       }
     }
 #ifdef KPM_HAVE_NT_STORES
@@ -471,23 +492,45 @@ void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
   }
 }
 
+/// Contiguous-range convenience wrapper (the single-segment case).
+template <bool WithDots, class RunPass>
+void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
+                      global_index end, global_index band_step,
+                      complex_t* dot_vv, complex_t* dot_wv, RunPass run_pass) {
+  const IndexRange<global_index> seg{begin, end};
+  run_block_kernel<WithDots>(width, plan,
+                             std::span<const IndexRange<global_index>>(&seg, 1),
+                             band_step, dot_vv, dot_wv, run_pass);
+}
+
 template <bool WithDots>
-void aug_spmmv_crs_core(const CrsMatrix& a, const AugScalars& scal,
-                        const complex_t* v, complex_t* w, int width,
-                        global_index row_begin, global_index row_end,
-                        complex_t* dot_vv, complex_t* dot_wv) {
+void aug_spmmv_crs_core_runs(const CrsMatrix& a, const AugScalars& scal,
+                             const complex_t* v, complex_t* w, int width,
+                             std::span<const IndexRange<global_index>> runs,
+                             complex_t* dot_vv, complex_t* dot_wv) {
   const ScalarsRI s(scal);
   const double* vd = re_im(v);
   double* wd = re_im(w);
   const SweepPlan plan = make_plan(width);
   run_block_kernel<WithDots>(
-      width, plan, row_begin, row_end, plan.band_rows, dot_vv, dot_wv,
+      width, plan, runs, plan.band_rows, dot_vv, dot_wv,
       [&](auto wt, auto nt, global_index b, global_index e,
           const TilePass& pass, double* lvv, double* lwr, double* lwi,
           double* acc) {
         crs_pass<decltype(wt), WithDots, decltype(nt)::value>(
             a, s, vd, wd, width, pass.offset, b, e, wt, lvv, lwr, lwi, acc);
       });
+}
+
+template <bool WithDots>
+void aug_spmmv_crs_core(const CrsMatrix& a, const AugScalars& scal,
+                        const complex_t* v, complex_t* w, int width,
+                        global_index row_begin, global_index row_end,
+                        complex_t* dot_vv, complex_t* dot_wv) {
+  const IndexRange<global_index> seg{row_begin, row_end};
+  aug_spmmv_crs_core_runs<WithDots>(
+      a, scal, v, w, width,
+      std::span<const IndexRange<global_index>>(&seg, 1), dot_vv, dot_wv);
 }
 
 template <bool WithDots>
@@ -742,6 +785,28 @@ void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
     // partial call of a sweep, so split interior/boundary sweeps compose.
     aug_spmmv_crs_core<true>(a, s, v.data(), w.data(), width, row_begin,
                              row_end, dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv_runs(const CrsMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  global_index prev = 0;
+  for (const auto& r : runs) {
+    require(r.begin >= prev && r.begin <= r.end && r.end <= a.nrows(),
+            "aug_spmmv_runs: runs must be ascending, disjoint and in bounds");
+    prev = r.end;
+  }
+  const int width = v.width();
+  if (dot_vv.empty()) {
+    aug_spmmv_crs_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                   nullptr, nullptr);
+  } else {
+    // Accumulate-only contract, like aug_spmmv_rows.
+    aug_spmmv_crs_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                  dot_vv.data(), dot_wv.data());
   }
 }
 

@@ -52,6 +52,7 @@
 #include "blas/block_vector.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/sell.hpp"
+#include "util/schedule.hpp"
 #include "util/types.hpp"
 
 namespace kpm::sparse {
@@ -166,6 +167,19 @@ void aug_spmmv(const SellMatrix& a, const AugScalars& s,
 void aug_spmmv_rows(const CrsMatrix& a, const AugScalars& s,
                     const blas::BlockVector& v, blas::BlockVector& w,
                     global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Run-list variant of the CRS blocked kernel: processes the union of the
+/// given row intervals, which must be ascending, pairwise disjoint and in
+/// bounds.  Threads split the concatenated position space with the same
+/// static partition as the contiguous sweeps, so a single-run call is
+/// bitwise identical to aug_spmmv_rows over that interval.  Same accumulate
+/// contract as aug_spmmv_rows.  This is how the overlapped halo exchange
+/// sweeps *all* halo-free rows — scattered or not — while messages are in
+/// flight (DESIGN.md §5d).
+void aug_spmmv_runs(const CrsMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
                     std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
 }  // namespace kpm::sparse

@@ -1,0 +1,30 @@
+// Global-allocation counting hook for zero-allocation assertions.
+//
+// Linking the kpm_alloc_hook static library into a target replaces the
+// global operator new/delete with counting forwarders; allocation_count()
+// then exposes a process-wide monotone counter.  Tests bracket a code region
+// with two reads and assert the difference — the steady-state halo exchange,
+// for example, must perform zero heap allocations per Chebyshev step
+// (DESIGN.md §5d).
+//
+// Deliberately NOT linked into the default targets: interposing operator new
+// is a global decision a library must not make for its users.  Note that
+// util/aligned.hpp allocates via std::aligned_alloc, which does not route
+// through operator new — the counter tracks ordinary new/delete traffic
+// (std::vector, std::string, node containers, ...), which is exactly what
+// the transport hot paths are required to avoid.
+#pragma once
+
+#include <cstdint>
+
+namespace kpm::util {
+
+/// Number of successful global operator new calls since process start.
+/// Defined by kpm_alloc_hook — link it or get an (intentional) link error.
+[[nodiscard]] std::int64_t allocation_count() noexcept;
+
+/// Always true in targets that link kpm_alloc_hook; exists so a test can
+/// document at runtime that its zero-allocation assertion is live.
+[[nodiscard]] bool allocation_hook_active() noexcept;
+
+}  // namespace kpm::util

@@ -15,6 +15,18 @@ class contract_error : public std::logic_error {
 };
 
 /// Throws kpm::contract_error with file:line context unless `cond` holds.
+/// The const char* overload defers all string building to the failure path,
+/// so checks with literal messages are allocation-free when they pass —
+/// required on hot paths with a zero-allocation steady-state contract
+/// (persistent halo exchange, tree allreduce).
+inline void require(bool cond, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] {
+    throw contract_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + what);
+  }
+}
+
 inline void require(bool cond, const std::string& what,
                     std::source_location loc = std::source_location::current()) {
   if (!cond) {

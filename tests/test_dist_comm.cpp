@@ -1,0 +1,259 @@
+// Persistent-channel transport, tree allreduce, and traffic accounting of
+// the mini-MPI hub — including the zero-allocation steady-state contract of
+// the halo exchange (this binary links kpm_alloc_hook, which interposes the
+// global operator new/delete with counting forwarders).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "runtime/dist_matrix.hpp"
+#include "util/alloc_hook.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix test_matrix() {
+  physics::TIParams p;
+  p.nx = 6;
+  p.ny = 6;
+  p.nz = 8;
+  return physics::build_ti_hamiltonian(p);
+}
+
+TEST(Channels, RoundTripAndReuse) {
+  runtime::run_ranks(2, [](runtime::Communicator& c) {
+    auto& hub = c.hub();
+    const int key = hub.next_collective_key(c.rank());
+    const int id = hub.channel(0, 1, key);
+    for (int round = 0; round < 4; ++round) {
+      if (c.rank() == 0) {
+        const auto buf = hub.channel_acquire(id, sizeof(int));
+        const int value = 42 + round;
+        std::memcpy(buf.data(), &value, sizeof(int));
+        hub.channel_post(id);
+      } else {
+        const auto payload = hub.channel_receive(id);
+        ASSERT_EQ(payload.size(), sizeof(int));
+        int value = 0;
+        std::memcpy(&value, payload.data(), sizeof(int));
+        EXPECT_EQ(value, 42 + round);
+        hub.channel_release(id);
+      }
+    }
+  });
+}
+
+TEST(Channels, RegistrationIsIdempotentAcrossRanks) {
+  runtime::run_ranks(4, [](runtime::Communicator& c) {
+    auto& hub = c.hub();
+    const int key = hub.next_collective_key(c.rank());
+    // Collective key: every rank draws the same value from its own counter.
+    EXPECT_EQ(key, 0);
+    // Both endpoints (and bystanders) resolve the same id for the triple.
+    const int id_a = hub.channel(2, 3, key);
+    const int id_b = hub.channel(2, 3, key);
+    EXPECT_EQ(id_a, id_b);
+    // A different key gives a distinct channel for the same pair.
+    const int key2 = hub.next_collective_key(c.rank());
+    EXPECT_EQ(key2, 1);
+    EXPECT_NE(hub.channel(2, 3, key2), id_a);
+  });
+}
+
+TEST(Allreduce, BitwiseIdenticalAcrossRanksAndRuns) {
+  // The recursive-doubling tree is fixed, so every rank must leave the
+  // reduction with the exact same bits — including non-power-of-two counts —
+  // and repeated runs must reproduce them.
+  for (const int nranks : {2, 3, 5, 8}) {
+    constexpr std::size_t n = 17;
+    std::vector<std::vector<double>> results(
+        static_cast<std::size_t>(nranks));
+    std::vector<double> first_run;
+    for (int run = 0; run < 2; ++run) {
+      runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+        std::vector<double> data(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          // Deliberately non-commutative-friendly magnitudes.
+          data[i] = (c.rank() % 2 ? 1e-9 : 1e9) * (1.0 + c.rank()) /
+                    (1.0 + static_cast<double>(i));
+        }
+        c.allreduce_sum(data);
+        results[static_cast<std::size_t>(c.rank())] = data;
+      });
+      for (int r = 1; r < nranks; ++r) {
+        EXPECT_EQ(results[0], results[static_cast<std::size_t>(r)])
+            << "nranks=" << nranks << " rank " << r << " differs";
+      }
+      if (run == 0) {
+        first_run = results[0];
+      } else {
+        EXPECT_EQ(first_run, results[0]) << "nranks=" << nranks;
+      }
+    }
+  }
+}
+
+TEST(Allreduce, ZeroAllocationsInSteadyState) {
+  runtime::run_ranks(5, [](runtime::Communicator& c) {
+    std::vector<double> data(64, 1.0);
+    c.allreduce_sum(data);  // warm-up: reduce channels grow to this length
+    c.barrier();
+    const std::int64_t before = util::allocation_count();
+    c.barrier();  // nobody starts until every rank has sampled the counter
+    for (int round = 0; round < 8; ++round) c.allreduce_sum(data);
+    c.barrier();
+    const std::int64_t after = util::allocation_count();
+    ASSERT_TRUE(util::allocation_hook_active());
+    EXPECT_EQ(after, before) << "allreduce allocated in steady state";
+  });
+}
+
+TEST(HaloExchange, ZeroAllocationsPerStepInSteadyState) {
+  // The acceptance contract of the persistent transport: once the first
+  // exchange has grown the channel buffers, a Chebyshev step's halo
+  // exchange performs zero heap allocations on every rank.
+  const auto h = test_matrix();
+  const int width = 4;
+  runtime::run_ranks(4, [&](runtime::Communicator& c) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), c.size());
+    runtime::DistributedMatrix dist(c, h, part,
+                                    runtime::HaloTransport::persistent);
+    blas::BlockVector v(dist.extended_rows(), width);
+    for (global_index i = 0; i < dist.local_rows(); ++i) {
+      for (int r = 0; r < width; ++r) {
+        v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.5};
+      }
+    }
+    dist.exchange_halo(c, v);  // warm-up sizes every channel
+    c.barrier();
+    const std::int64_t before = util::allocation_count();
+    c.barrier();  // nobody starts until every rank has sampled the counter
+    for (int step = 0; step < 10; ++step) {
+      dist.start_halo_exchange(c, v);
+      dist.finish_halo_exchange(c, v);
+    }
+    c.barrier();
+    const std::int64_t after = util::allocation_count();
+    ASSERT_TRUE(util::allocation_hook_active());
+    EXPECT_EQ(after, before) << "halo exchange allocated in steady state";
+  });
+}
+
+TEST(HaloExchange, PersistentAndStagedDeliverIdenticalHalos) {
+  const auto h = test_matrix();
+  const int width = 3;
+  runtime::run_ranks(3, [&](runtime::Communicator& c) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), c.size());
+    runtime::DistributedMatrix persistent(
+        c, h, part, runtime::HaloTransport::persistent);
+    runtime::DistributedMatrix staged(c, h, part,
+                                      runtime::HaloTransport::staged);
+    ASSERT_EQ(persistent.halo_size(), staged.halo_size());
+    blas::BlockVector vp(persistent.extended_rows(), width);
+    blas::BlockVector vs(staged.extended_rows(), width);
+    for (global_index i = 0; i < persistent.local_rows(); ++i) {
+      for (int r = 0; r < width; ++r) {
+        const complex_t x{0.25 * static_cast<double>(i),
+                          -1.0 / (1.0 + r)};
+        vp(i, r) = x;
+        vs(i, r) = x;
+      }
+    }
+    persistent.exchange_halo(c, vp);
+    staged.exchange_halo(c, vs);
+    for (global_index i = persistent.local_rows();
+         i < persistent.extended_rows(); ++i) {
+      for (int r = 0; r < width; ++r) {
+        ASSERT_EQ(vp(i, r), vs(i, r)) << "halo row " << i << " lane " << r;
+      }
+    }
+  });
+}
+
+TEST(Accounting, BytesSentMatchesPredictionPerSweep) {
+  // Table III traffic accounting over the persistent path: the hub's
+  // bytes_sent() delta across k exchanges must equal k times the allreduced
+  // send_bytes_per_exchange() prediction.
+  const auto h = test_matrix();
+  for (const auto transport : {runtime::HaloTransport::persistent,
+                               runtime::HaloTransport::staged}) {
+    for (const int width : {1, 4}) {
+      runtime::run_ranks(3, [&](runtime::Communicator& c) {
+        const auto part =
+            runtime::RowPartition::uniform(h.nrows(), c.size());
+        runtime::DistributedMatrix dist(c, h, part, transport);
+        blas::BlockVector v(dist.extended_rows(), width);
+        std::vector<double> predicted{
+            static_cast<double>(dist.send_bytes_per_exchange(width))};
+        c.allreduce_sum(predicted);
+
+        c.barrier();
+        const std::int64_t before = c.hub().bytes_sent();
+        c.barrier();  // nobody sends until every rank has sampled the counter
+        constexpr int kSweeps = 5;
+        for (int sweep = 0; sweep < kSweeps; ++sweep) {
+          dist.exchange_halo(c, v);
+        }
+        c.barrier();
+        const std::int64_t after = c.hub().bytes_sent();
+        EXPECT_EQ(after - before,
+                  kSweeps * static_cast<std::int64_t>(predicted[0]))
+            << "width=" << width;
+      });
+    }
+  }
+}
+
+TEST(Accounting, ReductionCountAndHaloBytesOfDistributedMoments) {
+  const auto h = test_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 12;
+  mp.num_random = 2;
+  runtime::run_ranks(4, [&](runtime::Communicator& c) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), c.size());
+    runtime::DistributedMatrix dist(c, h, part);
+    c.barrier();
+    const std::int64_t bytes_before = c.hub().bytes_sent();
+    const std::int64_t reductions_before = c.hub().reduction_count();
+    c.barrier();  // nobody sends until every rank has sampled the counters
+    const auto res = runtime::distributed_moments(c, dist, s, mp);
+    std::vector<double> halo_total{static_cast<double>(res.halo_bytes_sent)};
+    c.allreduce_sum(halo_total);  // one extra reduction, counted below
+    c.barrier();
+    // at_end mode: exactly one global reduction inside the solve, plus the
+    // allreduce on the line above.
+    EXPECT_EQ(c.hub().reduction_count() - reductions_before,
+              res.ops.global_reductions + 1);
+    EXPECT_EQ(res.ops.global_reductions, 1);
+    // Every halo byte the ranks report was actually moved by the hub.
+    EXPECT_EQ(c.hub().bytes_sent() - bytes_before,
+              static_cast<std::int64_t>(halo_total[0]));
+  });
+}
+
+TEST(Accounting, StagedMessagesStayFlatOnPersistentPath) {
+  const auto h = test_matrix();
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), c.size());
+    runtime::DistributedMatrix dist(c, h, part,
+                                    runtime::HaloTransport::persistent);
+    blas::BlockVector v(dist.extended_rows(), 2);
+    dist.exchange_halo(c, v);
+    c.barrier();
+    const std::int64_t before = c.hub().staged_messages();
+    for (int step = 0; step < 4; ++step) dist.exchange_halo(c, v);
+    c.barrier();
+    // Persistent exchanges enqueue no mailbox messages at all.
+    EXPECT_EQ(c.hub().staged_messages(), before);
+  });
+}
+
+}  // namespace
+}  // namespace kpm

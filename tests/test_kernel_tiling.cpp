@@ -21,6 +21,7 @@
 #include "sparse/crs.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/sell.hpp"
+#include "util/check.hpp"
 
 namespace kpm {
 namespace {
@@ -232,6 +233,82 @@ TEST(KernelTiling, MomentsBitwiseIdenticalTiledVsUntiled) {
 #ifdef _OPENMP
   omp_set_num_threads(saved);
 #endif
+}
+
+TEST(KernelTiling, SingleRunMatchesContiguousSweepBitwise) {
+  // aug_spmmv_runs with one full-range run is the contiguous sweep: same
+  // static thread split, same bits — tiled and untiled alike.
+  const auto& a = matrix();
+  const auto rec = sparse::AugScalars::recurrence(0.3, -0.05);
+  for (const int width : {3, 16, 32}) {
+    const auto cfgs = std::vector<sparse::TileConfig>{
+        kUntiled, {8, 64, sparse::nt_stores_supported()}};
+    for (const auto& cfg : cfgs) {
+      const auto ref = run_sweep(a, width, cfg);
+      TileGuard guard;
+      sparse::set_tile_config(cfg);
+      SweepOutput runs_out{block(a.nrows(), width, 0.5),
+                           std::vector<complex_t>(width),
+                           std::vector<complex_t>(width)};
+      const auto v = block(a.ncols(), width, 0.0);
+      const IndexRange<global_index> all{0, a.nrows()};
+      sparse::aug_spmmv_runs(
+          a, rec, v, runs_out.w,
+          std::span<const IndexRange<global_index>>(&all, 1), runs_out.dvv,
+          runs_out.dwv);
+      EXPECT_TRUE(bitwise_equal(ref.w, runs_out.w))
+          << "width " << width << " tile " << cfg.tile_width;
+      EXPECT_TRUE(bitwise_equal(ref.dvv, runs_out.dvv)) << "width " << width;
+      EXPECT_TRUE(bitwise_equal(ref.dwv, runs_out.dwv)) << "width " << width;
+    }
+  }
+}
+
+TEST(KernelTiling, InterleavedRunListsComposeUnderTiling) {
+  // Complementary interleaved run lists (the overlapped interior/boundary
+  // shape) must compose to the one-shot sweep even when every piece runs
+  // column-tiled, banded, with NT stores.
+  const auto& a = matrix();
+  const int width = 32;
+  const auto full = run_sweep(a, width, kUntiled);
+  TileGuard guard;
+  sparse::set_tile_config({8, 64, sparse::nt_stores_supported()});
+  SweepOutput split{block(a.nrows(), width, 0.5),
+                    std::vector<complex_t>(width),
+                    std::vector<complex_t>(width)};
+  const auto v = block(a.ncols(), width, 0.0);
+  const auto rec = sparse::AugScalars::recurrence(0.3, -0.05);
+  // Alternate 17-row stripes between the two lists (uneven tail included).
+  std::vector<IndexRange<global_index>> evens, odds;
+  bool even = true;
+  for (global_index b = 0; b < a.nrows(); b += 17, even = !even) {
+    const global_index e = std::min<global_index>(b + 17, a.nrows());
+    (even ? evens : odds).push_back({b, e});
+  }
+  ASSERT_GT(odds.size(), 2u);
+  sparse::aug_spmmv_runs(a, rec, v, split.w, evens, split.dvv, split.dwv);
+  sparse::aug_spmmv_runs(a, rec, v, split.w, odds, split.dvv, split.dwv);
+  EXPECT_TRUE(bitwise_equal(full.w, split.w));
+  for (int r = 0; r < width; ++r) {
+    EXPECT_NEAR(std::abs(full.dvv[r] - split.dvv[r]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(full.dwv[r] - split.dwv[r]), 0.0, 1e-12);
+  }
+}
+
+TEST(KernelTiling, RunListValidation) {
+  const auto& a = matrix();
+  const auto rec = sparse::AugScalars::recurrence(0.3, 0.0);
+  blas::BlockVector v = block(a.ncols(), 2, 0.0);
+  blas::BlockVector w = block(a.nrows(), 2, 0.5);
+  std::vector<complex_t> dvv(2), dwv(2);
+  const auto run = [&](std::vector<IndexRange<global_index>> runs) {
+    sparse::aug_spmmv_runs(a, rec, v, w, runs, dvv, dwv);
+  };
+  EXPECT_NO_THROW(run({{0, 5}, {5, 9}, {12, 12}, {20, a.nrows()}}));
+  EXPECT_THROW(run({{5, 9}, {0, 5}}), contract_error);    // descending
+  EXPECT_THROW(run({{0, 9}, {5, 12}}), contract_error);   // overlapping
+  EXPECT_THROW(run({{9, 5}}), contract_error);            // inverted
+  EXPECT_THROW(run({{0, a.nrows() + 1}}), contract_error);  // out of bounds
 }
 
 }  // namespace
