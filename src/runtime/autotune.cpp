@@ -225,7 +225,12 @@ void AutoTuner::load() {
 }
 
 void AutoTuner::save() const {
-  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  // Atomic publish: write a sibling temp file, then rename() over the cache
+  // path.  A process killed mid-write leaves at worst a stale .tmp next to an
+  // intact (or absent) cache — never a truncated cache that a concurrent or
+  // later load() would have to reject.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return;  // read-only location: tuning still works, just
                              // not persisted
   std::fprintf(f, "{\n  \"version\": %d,\n  \"entries\": [\n", kCacheVersion);
@@ -241,7 +246,11 @@ void AutoTuner::save() const {
                  ++i < entries_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
+  const bool wrote = std::ferror(f) == 0;
   std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
 }
 
 namespace {

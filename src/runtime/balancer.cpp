@@ -1,0 +1,158 @@
+#include "runtime/balancer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace kpm::runtime {
+
+LoadBalancer::LoadBalancer(const BalanceOptions& opts, int ranks)
+    : opts_(opts), ranks_(ranks) {
+  require(ranks >= 1, "LoadBalancer: ranks must be >= 1");
+  require(opts.interval >= 1, "LoadBalancer: interval must be >= 1");
+  require(opts.smoothing > 0.0 && opts.smoothing <= 1.0,
+          "LoadBalancer: smoothing must be in (0, 1]");
+  require(opts.hysteresis >= 0.0, "LoadBalancer: hysteresis must be >= 0");
+  replaying_ = !opts.replay.empty();
+  // A replayed schedule overrides measurement-driven decisions: the point of
+  // replay is to reproduce a previous run's arithmetic exactly.
+  adaptive_ = opts.enabled && !replaying_;
+  simulate_ = !opts.slowdown.empty() && !replaying_;
+  for (std::size_t e = 1; e < opts.replay.size(); ++e) {
+    require(opts.replay[e].sweep > opts.replay[e - 1].sweep,
+            "LoadBalancer: replay schedule must be sweep-ascending");
+  }
+  report_.active = engaged();
+}
+
+double LoadBalancer::record_sweep(int rank, double seconds) {
+  double recorded = seconds;
+  if (simulate_) {
+    const auto r = static_cast<std::size_t>(rank);
+    const double factor =
+        r < opts_.slowdown.size() ? opts_.slowdown[r] : 1.0;
+    if (factor > 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>((factor - 1.0) * seconds));
+    }
+    recorded = factor * seconds;
+  }
+  window_seconds_ += recorded;
+  ++window_sweeps_;
+  return recorded;
+}
+
+bool LoadBalancer::decide(Communicator& comm, const RowPartition& current,
+                          int sweep, RowPartition* next) {
+  require(next != nullptr, "LoadBalancer::decide: next must not be null");
+  if (replaying_) {
+    if (next_replay_ >= opts_.replay.size() ||
+        opts_.replay[next_replay_].sweep != sweep) {
+      return false;
+    }
+    *next = RowPartition::from_offsets(opts_.replay[next_replay_].offsets);
+    require(next->ranks() == current.ranks() &&
+                next->total_rows() == current.total_rows(),
+            "LoadBalancer: replay event does not match the problem");
+    ++next_replay_;
+    return true;
+  }
+  if ((!adaptive_ && !simulate_) || window_sweeps_ < opts_.interval) {
+    return false;
+  }
+
+  // Collective measurement: one allreduce of a one-hot mean-seconds vector;
+  // afterwards every rank holds identical times and takes the same decision.
+  std::vector<double> times(static_cast<std::size_t>(ranks_), 0.0);
+  times[static_cast<std::size_t>(comm.rank())] =
+      window_seconds_ / window_sweeps_;
+  comm.allreduce_sum(times);
+  window_seconds_ = 0.0;
+  window_sweeps_ = 0;
+
+  const double worst = *std::max_element(times.begin(), times.end());
+  const double imbalance =
+      worst > 0.0
+          ? (worst - *std::min_element(times.begin(), times.end())) / worst
+          : 0.0;
+  if (report_.rates.empty() && report_.initial_imbalance == 0.0) {
+    report_.initial_imbalance = imbalance;
+  }
+  report_.final_imbalance = imbalance;
+
+  // Measured rate = rows per second.  Ranks with no rows (or a degenerate
+  // time) carry no information this window; they keep their previous
+  // estimate, or inherit the mean of the informative ranks on the first
+  // window, so RowPartition::weighted always sees positive weights.
+  std::vector<double> sample(static_cast<std::size_t>(ranks_), 0.0);
+  double valid_sum = 0.0;
+  int valid = 0;
+  for (int r = 0; r < ranks_; ++r) {
+    const auto rows = static_cast<double>(current.local_rows(r));
+    const double t = times[static_cast<std::size_t>(r)];
+    if (rows > 0.0 && t > 1e-12) {
+      sample[static_cast<std::size_t>(r)] = rows / t;
+      valid_sum += rows / t;
+      ++valid;
+    }
+  }
+  if (valid == 0) return false;  // nothing measurable this window
+  const double fallback = valid_sum / valid;
+  if (rates_.empty()) {
+    rates_.assign(static_cast<std::size_t>(ranks_), fallback);
+  }
+  for (int r = 0; r < ranks_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (sample[i] > 0.0) {
+      rates_[i] = opts_.smoothing * sample[i] +
+                  (1.0 - opts_.smoothing) * rates_[i];
+    }
+  }
+  report_.rates = rates_;
+
+  if (!adaptive_) return false;  // simulated-only run: measure, never act
+  if (opts_.max_repartitions >= 0 &&
+      report_.repartitions >= opts_.max_repartitions) {
+    return false;
+  }
+
+  // Hysteresis rule: repartition only when the measured-rate partition is
+  // predicted to reduce the time-per-sweep *imbalance* ((max-min)/max of
+  // rows/rate) by more than the threshold.  Imbalance — not the worst-rank
+  // time — is the right trigger: moving rows between unequal ranks changes
+  // the worst time only to second order (the fast rank's time rises as the
+  // slow rank's falls), so a time-based threshold stops firing while the
+  // ranks still idle visibly.  Predicting both sides from the same smoothed
+  // rates keeps the decision a pure function of allreduced data, identical
+  // on every rank.
+  const auto candidate =
+      RowPartition::weighted(current.total_rows(), rates_, opts_.min_rows);
+  auto predicted_imbalance = [&](const RowPartition& p) {
+    double worst = 0.0, best = 1e300;
+    for (int r = 0; r < ranks_; ++r) {
+      const double t = static_cast<double>(p.local_rows(r)) /
+                       rates_[static_cast<std::size_t>(r)];
+      worst = std::max(worst, t);
+      best = std::min(best, t);
+    }
+    return worst > 0.0 ? (worst - best) / worst : 0.0;
+  };
+  if (predicted_imbalance(current) - predicted_imbalance(candidate) <=
+      opts_.hysteresis) {
+    return false;
+  }
+  *next = candidate;
+  return true;
+}
+
+void LoadBalancer::note_repartition(int sweep, const RowPartition& applied) {
+  ++report_.repartitions;
+  const auto offs = applied.offsets();
+  report_.schedule.push_back(
+      RepartitionEvent{sweep, {offs.begin(), offs.end()}});
+}
+
+}  // namespace kpm::runtime

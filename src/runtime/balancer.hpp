@@ -1,0 +1,133 @@
+// Closed-loop heterogeneous load balancing.
+//
+// The paper divides rows between unequal devices "from the single-device
+// performance numbers" (Sec. VI-A) — a *static* model-derived weight chosen
+// once before the run.  Any model error is then locked in for every sweep.
+// LoadBalancer closes the loop: each rank times its fused sweeps
+// (util/timer), the per-rank times are allreduced at a fixed cadence, and an
+// exponentially-smoothed measured rate (rows per second) per rank replaces
+// the model guess.  When the partition predicted from the measured rates
+// would beat the current one by more than a hysteresis threshold, the solver
+// triggers DistributedMatrix::repartition() — a live re-extraction of local
+// rows and halo maps plus migration of the in-flight |v>, |w> block-vector
+// rows through the persistent MessageHub channels.
+//
+// Reproducibility: every decision is derived from *allreduced* times, so all
+// ranks take the same decision at the same sweep.  The decisions themselves
+// depend on wall-clock measurements and may differ between runs; the events
+// actually taken are recorded as a schedule (BalanceReport::schedule) which
+// can be replayed (BalanceOptions::replay) — for a fixed repartition
+// schedule the moments are bitwise reproducible (DESIGN.md §5e).
+#pragma once
+
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+
+namespace kpm::runtime {
+
+/// One repartition of a (recorded or replayed) schedule: after sweep
+/// `sweep` (0-based Chebyshev step index) the partition switches to
+/// `offsets` (RowPartition::from_offsets form).
+struct RepartitionEvent {
+  int sweep = 0;
+  std::vector<global_index> offsets;
+};
+
+/// Knobs of the adaptive balancer (DistKpmOptions::balance).  Defaults
+/// change nothing: with `enabled == false`, no slowdown and no replay
+/// schedule, the solver's sweep loop is untouched.
+struct BalanceOptions {
+  /// Measure per-rank sweep rates and repartition adaptively.
+  bool enabled = false;
+  /// Sweeps between balance decisions (the measurement window).
+  int interval = 8;
+  /// EMA weight of the newest rate sample (1 = trust only the last window).
+  double smoothing = 0.5;
+  /// Minimum predicted reduction of the time-per-sweep imbalance
+  /// ((max-min)/max of rows/rate) before a repartition fires — migration is
+  /// not free, so small predicted gains are ignored rather than churned
+  /// after.  Since the measured-rate candidate predicts ~zero imbalance,
+  /// this is effectively the imbalance level the balancer tolerates.
+  double hysteresis = 0.10;
+  /// Cap on live repartitions per solve (<0 = unlimited).
+  int max_repartitions = 8;
+  /// Row floor handed to RowPartition::weighted for candidate partitions.
+  global_index min_rows = 1;
+  /// Simulated per-rank slowdown factors (testing / benchmarking a
+  /// heterogeneous node without one): a rank with factor f > 1 sleeps
+  /// (f-1) * t after each sweep and reports f * t as its measured time.
+  /// Active even with `enabled == false` (a deliberately imbalanced static
+  /// run is the bench baseline).
+  std::vector<double> slowdown;
+  /// Replay a fixed schedule instead of deciding from measurements: the
+  /// solver repartitions exactly at the recorded sweeps to the recorded
+  /// offsets.  Makes the run bitwise reproducible.
+  std::vector<RepartitionEvent> replay;
+};
+
+/// What the balancer did during one solve.
+struct BalanceReport {
+  /// True when the balancer was engaged (adaptive, simulated or replay).
+  bool active = false;
+  int repartitions = 0;
+  /// (max-min)/max of the per-rank mean sweep times, first and last
+  /// measurement window (0 when fewer than one full window was measured).
+  double initial_imbalance = 0.0;
+  double final_imbalance = 0.0;
+  /// Final smoothed measured rates, rows per second per rank (empty until
+  /// the first measurement window completes; empty in replay mode).
+  std::vector<double> rates;
+  /// Events taken, in order — feed back into BalanceOptions::replay to
+  /// reproduce the run bitwise.
+  std::vector<RepartitionEvent> schedule;
+};
+
+/// Per-solve measured-rate balancer driven by the distributed solvers (one
+/// instance per rank; decisions are collective and identical on all ranks).
+class LoadBalancer {
+ public:
+  LoadBalancer(const BalanceOptions& opts, int ranks);
+
+  /// True when the solver must time sweeps and consult decide() — adaptive
+  /// balancing, simulated slowdown, or schedule replay is requested.
+  [[nodiscard]] bool engaged() const noexcept {
+    return adaptive_ || simulate_ || replaying_;
+  }
+
+  /// Records this rank's measured seconds for one sweep, applies the
+  /// simulated slowdown (sleeping the excess), and returns the seconds as
+  /// recorded (measured * slowdown factor).
+  double record_sweep(int rank, double seconds);
+
+  /// Collective at the configured cadence (and a no-op between): allreduces
+  /// the window's per-rank mean times, updates the smoothed rates, and
+  /// returns true with `*next` filled when a repartition should happen
+  /// after sweep `sweep`.  In replay mode, fires exactly at the recorded
+  /// sweeps.  Every rank returns the same decision.
+  [[nodiscard]] bool decide(Communicator& comm, const RowPartition& current,
+                            int sweep, RowPartition* next);
+
+  /// Tells the balancer a repartition returned by decide() was applied.
+  void note_repartition(int sweep, const RowPartition& applied);
+
+  [[nodiscard]] const BalanceReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  bool adaptive_ = false;
+  bool simulate_ = false;
+  bool replaying_ = false;
+  BalanceOptions opts_;
+  int ranks_ = 1;
+  // Current measurement window.
+  double window_seconds_ = 0.0;
+  int window_sweeps_ = 0;
+  std::vector<double> rates_;  // smoothed rows/s, empty before first window
+  std::size_t next_replay_ = 0;
+  BalanceReport report_;
+};
+
+}  // namespace kpm::runtime

@@ -5,13 +5,14 @@
 #include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/timer.hpp"
 
 namespace kpm::runtime {
 
 namespace {
 
 DistMomentsResult distributed_moments_impl(Communicator& comm,
-                                           const DistributedMatrix& dist,
+                                           DistributedMatrix& dist,
                                            const physics::Scaling& s,
                                            const core::MomentParams& p,
                                            const DistKpmOptions& opts,
@@ -47,7 +48,6 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
   }
 
   DistMomentsResult out;
-  std::int64_t exchanges = 0;
 
   std::vector<std::vector<double>> eta(
       static_cast<std::size_t>(width),
@@ -92,21 +92,49 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
                            dvv, dwv);
   };
 
-  fused_step(sparse::AugScalars::startup(s.a, s.b));
-  ++exchanges;
-  out.ops.spmv_equivalents += width;
-  out.ops.matrix_streams += 1;
-  if (p.reduction == core::ReductionMode::per_iteration) reduce_now();
+  // Closed-loop balancing: when engaged, every fused sweep is timed
+  // (util/timer) and the balancer may live-repartition the matrix between
+  // sweeps, migrating the recurrence state |v>, |w> with it.  Moments are
+  // invariant to *when* repartitions happen up to reduction round-off (the
+  // allreduce is linear over the per-rank partial dots), and bitwise
+  // reproducible for a fixed repartition schedule.
+  LoadBalancer balancer(opts.balance, comm.size());
+  const bool balancing = balancer.engaged() && comm.size() > 1;
+  auto timed_step = [&](const sparse::AugScalars& scalars, int sweep) {
+    if (!balancing) {
+      fused_step(scalars);
+    } else {
+      // Align the ranks before timing: a slow peer's tail from the previous
+      // sweep is absorbed here, *outside* the timed region.  The sweep is
+      // measured in *thread CPU time*, not wall clock: blocking on a peer's
+      // halo message and losing the core to an oversubscribed host both
+      // distort wall clock toward the worst rank's time, destroying the
+      // per-rank rate signal the balancer feeds on (util/timer.hpp).
+      comm.barrier();
+      const double t0 = Timer::thread_cpu_now();
+      fused_step(scalars);
+      balancer.record_sweep(comm.rank(), Timer::thread_cpu_now() - t0);
+    }
+    out.halo_bytes_sent += dist.send_bytes_per_exchange(width);
+    out.ops.spmv_equivalents += width;
+    out.ops.matrix_streams += 1;
+    if (p.reduction == core::ReductionMode::per_iteration) reduce_now();
+    if (balancing) {
+      RowPartition next;
+      if (balancer.decide(comm, dist.partition(), sweep, &next)) {
+        dist.repartition(comm, next, {&v, &w});
+        balancer.note_repartition(sweep, next);
+      }
+    }
+  };
+
+  timed_step(sparse::AugScalars::startup(s.a, s.b), 0);
   store_eta(0);
 
   const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
   for (int m = 1; 2 * m + 1 < p.num_moments; ++m) {
     std::swap(v, w);
-    fused_step(rec);
-    ++exchanges;
-    out.ops.spmv_equivalents += width;
-    out.ops.matrix_streams += 1;
-    if (p.reduction == core::ReductionMode::per_iteration) reduce_now();
+    timed_step(rec, m);
     store_eta(2 * m);
   }
 
@@ -140,14 +168,16 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
     for (std::size_t m = 0; m < column.size(); ++m) out.mu[m] += column[m];
   }
   for (auto& x : out.mu) x /= static_cast<double>(width);
-  out.halo_bytes_sent = exchanges * dist.send_bytes_per_exchange(width);
+  // halo_bytes_sent was accumulated per exchange inside timed_step (the
+  // per-exchange payload changes across repartitions).
+  out.balance = balancer.report();
   return out;
 }
 
 }  // namespace
 
 DistMomentsResult distributed_moments(Communicator& comm,
-                                      const DistributedMatrix& dist,
+                                      DistributedMatrix& dist,
                                       const physics::Scaling& s,
                                       const core::MomentParams& p,
                                       const DistKpmOptions& opts) {
@@ -156,7 +186,7 @@ DistMomentsResult distributed_moments(Communicator& comm,
 }
 
 DistMomentsResult distributed_moments_overlapped(Communicator& comm,
-                                                 const DistributedMatrix& dist,
+                                                 DistributedMatrix& dist,
                                                  const physics::Scaling& s,
                                                  const core::MomentParams& p,
                                                  const DistKpmOptions& opts) {

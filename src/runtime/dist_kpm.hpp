@@ -4,6 +4,7 @@
 #pragma once
 
 #include "core/moments.hpp"
+#include "runtime/balancer.hpp"
 #include "runtime/dist_matrix.hpp"
 
 namespace kpm::runtime {
@@ -12,6 +13,9 @@ struct DistMomentsResult {
   std::vector<double> mu;  ///< identical on every rank after the reduction
   core::OpCounters ops;    ///< this rank's counters
   std::int64_t halo_bytes_sent = 0;  ///< this rank's halo payload total
+  /// What the adaptive balancer measured and did (DistKpmOptions::balance);
+  /// default-initialized when balancing was not engaged.
+  BalanceReport balance;
 };
 
 /// Optional performance knobs of the distributed solvers.  Defaults change
@@ -24,15 +28,23 @@ struct DistKpmOptions {
   /// Cache file for the tile probe; empty = AutoTuner default
   /// ($KPM_TUNE_CACHE or .kpm_tune_cache.json).
   std::string tile_cache_path;
+  /// Adaptive measured-rate load balancing (runtime::LoadBalancer): time
+  /// every fused sweep, and between measurement windows repartition the
+  /// matrix and migrate the in-flight |v>, |w> rows whenever the measured
+  /// rates predict a better split (see balancer.hpp for the knobs and the
+  /// replay path).  Off by default.
+  BalanceOptions balance;
 };
 
 /// Collective: computes the blocked KPM moments of the distributed operator.
 /// Every rank draws the same random start vectors (same seed stream as the
 /// serial solver) and keeps its own rows, so the result matches
 /// core::moments_aug_spmmv on the undistributed matrix up to reduction
-/// round-off.
+/// round-off.  `dist` is taken mutable because the adaptive balancer
+/// (opts.balance) may live-repartition it mid-solve; with balancing off it
+/// is left untouched.
 [[nodiscard]] DistMomentsResult distributed_moments(
-    Communicator& comm, const DistributedMatrix& dist,
+    Communicator& comm, DistributedMatrix& dist,
     const physics::Scaling& s, const core::MomentParams& p,
     const DistKpmOptions& opts = {});
 
@@ -46,7 +58,7 @@ struct DistKpmOptions {
 /// NOT guaranteed (summation order differs), but moments agree to reduction
 /// round-off.
 [[nodiscard]] DistMomentsResult distributed_moments_overlapped(
-    Communicator& comm, const DistributedMatrix& dist,
+    Communicator& comm, DistributedMatrix& dist,
     const physics::Scaling& s, const core::MomentParams& p,
     const DistKpmOptions& opts = {});
 

@@ -16,6 +16,21 @@ namespace {
 
 constexpr int tag_request = 1;
 constexpr int tag_halo = 2;
+constexpr int tag_migrate = 3;
+
+/// Contiguous interval of global rows (begin >= end means empty).
+struct RowInterval {
+  global_index begin = 0;
+  global_index end = 0;
+  [[nodiscard]] global_index size() const noexcept {
+    return end > begin ? end - begin : 0;
+  }
+};
+
+RowInterval intersect(global_index b1, global_index e1, global_index b2,
+                      global_index e2) {
+  return {std::max(b1, b2), std::min(e1, e2)};
+}
 
 /// Rows below this volume (rows x width complex elements) gather serially —
 /// forking a parallel region costs more than the copy.
@@ -27,11 +42,29 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
                                      const sparse::CrsMatrix& global,
                                      const RowPartition& partition,
                                      HaloTransport transport)
-    : rank_(comm.rank()), part_(partition), transport_(transport) {
+    : rank_(comm.rank()),
+      global_(&global),
+      part_(partition),
+      transport_(transport) {
   require(part_.ranks() == comm.size(),
           "DistributedMatrix: partition/communicator size mismatch");
   require(part_.total_rows() == global.nrows(),
           "DistributedMatrix: partition does not cover the matrix");
+  rebuild(comm);
+}
+
+void DistributedMatrix::rebuild(Communicator& comm) {
+  const sparse::CrsMatrix& global = *global_;
+  send_rows_.clear();
+  recv_slots_.clear();
+  recv_order_.clear();
+  send_channel_.clear();
+  recv_channel_.clear();
+  interior_runs_.clear();
+  boundary_runs_.clear();
+  interior_row_count_ = 0;
+  interior_begin_ = 0;
+  interior_end_ = 0;
   const global_index row_begin = part_.begin(rank_);
   const global_index row_end = part_.end(rank_);
   const global_index nlocal = row_end - row_begin;
@@ -150,6 +183,122 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
       interior_begin_ = run.begin;
       interior_end_ = run.end;
     }
+  }
+}
+
+void DistributedMatrix::repartition(
+    Communicator& comm, const RowPartition& new_part,
+    std::initializer_list<blas::BlockVector*> migrate) {
+  require(new_part.ranks() == comm.size(),
+          "repartition: partition/communicator size mismatch");
+  require(new_part.total_rows() == part_.total_rows(),
+          "repartition: new partition does not cover the matrix");
+  const RowPartition old_part = part_;
+  const global_index ob = old_part.begin(rank_);
+  const global_index oe = old_part.end(rank_);
+  const global_index old_extended = extended_rows();
+  int width = 0;
+  for (blas::BlockVector* vec : migrate) {
+    require(vec != nullptr && vec->rows() == old_extended,
+            "repartition: vector must have the old local+halo rows");
+    require(vec->layout() == blas::Layout::row_major,
+            "repartition: row-major block vector required");
+    require(width == 0 || vec->width() == width,
+            "repartition: all migrated vectors must share one width");
+    width = vec->width();
+  }
+  const std::size_t nvec = migrate.size();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(width) * sizeof(complex_t);
+
+  // Migration plan: all row blocks are contiguous, so what rank a owes rank
+  // b is a single interval — old(a) ∩ new(b) — every rank derives the full
+  // plan locally, no handshake.  Channels of the migration live in a fresh
+  // collective key space (each repartition is a new negotiation; the per-
+  // rank key counters stay in lockstep because this call is collective).
+  const bool channels = transport_ == HaloTransport::persistent;
+  const int key = channels ? comm.hub().next_collective_key(rank_) : 0;
+
+  // Post all sends first (gathered from the still-intact old vectors); a
+  // fresh channel's buffer is empty, so acquire/post never blocks here.
+  for (int peer = 0; peer < comm.size(); ++peer) {
+    if (peer == rank_) continue;
+    const auto out = intersect(ob, oe, new_part.begin(peer),
+                               new_part.end(peer));
+    if (out.size() == 0 || nvec == 0) continue;
+    const std::size_t block =
+        static_cast<std::size_t>(out.size()) * row_bytes;
+    auto pack = [&](std::byte* dst) {
+      for (blas::BlockVector* vec : migrate) {
+        std::memcpy(dst, &(*vec)(out.begin - ob, 0), block);
+        dst += block;
+      }
+    };
+    if (channels) {
+      const int id = comm.hub().channel(rank_, peer, key);
+      const auto buf = comm.hub().channel_acquire(id, block * nvec);
+      pack(buf.data());
+      comm.hub().channel_post(id);
+    } else {
+      std::vector<std::byte> buf(block * nvec);
+      pack(buf.data());
+      comm.send_bytes(peer, tag_migrate, std::move(buf));
+    }
+  }
+
+  // Re-extract the local operator and halo plan for the new row blocks.
+  part_ = new_part;
+  rebuild(comm);
+
+  // Assemble the migrated vectors in the new layout: locally-kept rows are
+  // one interval copy, each peer contributes one packed interval.
+  const global_index nb = part_.begin(rank_);
+  const global_index ne = part_.end(rank_);
+  std::vector<blas::BlockVector> fresh;
+  fresh.reserve(nvec);
+  {
+    std::size_t k = 0;
+    for (blas::BlockVector* vec : migrate) {
+      fresh.emplace_back(extended_rows(), width, blas::Layout::row_major,
+                         blas::FirstTouch::parallel);
+      const auto kept = intersect(ob, oe, nb, ne);
+      if (kept.size() > 0) {
+        std::memcpy(&fresh[k](kept.begin - nb, 0),
+                    &(*vec)(kept.begin - ob, 0),
+                    static_cast<std::size_t>(kept.size()) * row_bytes);
+      }
+      ++k;
+    }
+  }
+  for (int peer = 0; peer < comm.size(); ++peer) {
+    if (peer == rank_) continue;
+    const auto in = intersect(nb, ne, old_part.begin(peer),
+                              old_part.end(peer));
+    if (in.size() == 0 || nvec == 0) continue;
+    const std::size_t block = static_cast<std::size_t>(in.size()) * row_bytes;
+    auto unpack = [&](const std::byte* src) {
+      for (std::size_t k = 0; k < nvec; ++k) {
+        std::memcpy(&fresh[k](in.begin - nb, 0), src, block);
+        src += block;
+      }
+    };
+    if (channels) {
+      const int id = comm.hub().channel(peer, rank_, key);
+      const auto payload = comm.hub().channel_receive(id);
+      require(payload.size() == block * nvec,
+              "repartition: migration payload size mismatch");
+      unpack(payload.data());
+      comm.hub().channel_release(id);
+    } else {
+      const auto payload = comm.recv_bytes(peer, tag_migrate);
+      require(payload.size() == block * nvec,
+              "repartition: migration payload size mismatch");
+      unpack(payload.data());
+    }
+  }
+  {
+    std::size_t k = 0;
+    for (blas::BlockVector* vec : migrate) *vec = std::move(fresh[k++]);
   }
 }
 

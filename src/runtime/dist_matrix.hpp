@@ -21,6 +21,7 @@
 //    payload per message.  Kept as the benchmark baseline.
 #pragma once
 
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -40,10 +41,30 @@ class DistributedMatrix {
   /// Builds rank `comm.rank()`'s partition of `global` and negotiates the
   /// halo plan (and, for HaloTransport::persistent, registers the pairwise
   /// channels).  Collective: every rank must call this together, with the
-  /// same transport.
+  /// same transport.  `global` is kept by reference for the lifetime of the
+  /// DistributedMatrix: repartition() re-extracts local rows from it.
   DistributedMatrix(Communicator& comm, const sparse::CrsMatrix& global,
                     const RowPartition& partition,
                     HaloTransport transport = HaloTransport::persistent);
+
+  /// Live repartition (the adaptive balancer's migration path).  Collective:
+  /// every rank calls this together with the same `new_part`.  Re-extracts
+  /// the local operator and renegotiates the halo plan for `new_part` (the
+  /// persistent channels of the new plan live in a fresh collective key
+  /// space), and migrates the *owned* rows of every block vector in
+  /// `migrate` from the old row blocks to the new ones — contiguous interval
+  /// exchanges through persistent channels (one packed message per directed
+  /// peer pair; staged mailbox when transport() == staged).  Each migrated
+  /// vector is resized to the new extended_rows(); halo rows are zeroed, not
+  /// migrated — the next exchange_halo() refreshes them, matching the sweep
+  /// loop's invariant that halos are refilled every step.
+  void repartition(Communicator& comm, const RowPartition& new_part,
+                   std::initializer_list<blas::BlockVector*> migrate = {});
+
+  /// The global operator this distribution was extracted from.
+  [[nodiscard]] const sparse::CrsMatrix& global() const noexcept {
+    return *global_;
+  }
 
   /// Local operator: local_rows x (local_rows + halo_size), columns
   /// remapped so halo slots follow the owned columns.
@@ -110,11 +131,15 @@ class DistributedMatrix {
   [[nodiscard]] std::int64_t send_bytes_per_exchange(int width) const;
 
  private:
+  /// (Re)extracts the local operator, halo plan and channels for `part_`
+  /// from `*global_` — the constructor body, re-entrant for repartition().
+  void rebuild(Communicator& comm);
   void gather_into(const blas::BlockVector& v,
                    std::span<const global_index> rows,
                    complex_t* out) const;
 
   int rank_ = 0;
+  const sparse::CrsMatrix* global_ = nullptr;
   RowPartition part_;
   HaloTransport transport_ = HaloTransport::persistent;
   sparse::CrsMatrix local_;

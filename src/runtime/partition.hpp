@@ -20,8 +20,21 @@ class RowPartition {
   /// Equal-sized blocks (up to rounding).
   [[nodiscard]] static RowPartition uniform(global_index n, int ranks);
   /// Blocks proportional to `weights` (e.g. device performance numbers).
+  ///
+  /// Every rank is guaranteed at least `min_rows` rows whenever the problem
+  /// is large enough (`n >= min_rows * ranks`; otherwise the floor degrades
+  /// to n / ranks).  The default floor of 1 protects skewed weights on many
+  /// ranks from rounding a middle rank down to zero rows — collective tile
+  /// tuning and halo negotiation assume every rank participates.  Pass
+  /// `min_rows = 0` to deliberately allow empty ranks.
   [[nodiscard]] static RowPartition weighted(global_index n,
-                                             std::span<const double> weights);
+                                             std::span<const double> weights,
+                                             global_index min_rows = 1);
+  /// Rebuilds a partition from explicit offsets (size ranks+1, ascending,
+  /// offsets.front() == 0) — the replay path of a recorded repartition
+  /// schedule (runtime::RepartitionEvent).
+  [[nodiscard]] static RowPartition from_offsets(
+      std::vector<global_index> offsets);
 
   [[nodiscard]] int ranks() const noexcept {
     return static_cast<int>(offsets_.size()) - 1;
@@ -36,6 +49,11 @@ class RowPartition {
   }
   /// Rank owning a global row (binary search).
   [[nodiscard]] int owner(global_index row) const;
+  /// Block boundaries (size ranks+1, offsets().front() == 0); feed back into
+  /// from_offsets() to replay a recorded partition exactly.
+  [[nodiscard]] std::span<const global_index> offsets() const noexcept {
+    return offsets_;
+  }
 
  private:
   std::vector<global_index> offsets_;  // size ranks+1, offsets_[0] == 0

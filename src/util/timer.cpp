@@ -1,5 +1,9 @@
 #include "util/timer.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace kpm {
 
 void Timer::start() noexcept {
@@ -28,6 +32,16 @@ double Timer::seconds() const noexcept {
 
 double Timer::now() noexcept {
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+double Timer::thread_cpu_now() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return now();
 }
 
 }  // namespace kpm

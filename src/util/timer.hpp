@@ -21,6 +21,13 @@ class Timer {
   /// Seconds since the epoch of the steady clock; cheap convenience.
   [[nodiscard]] static double now() noexcept;
 
+  /// CPU seconds consumed by the *calling thread* (CLOCK_THREAD_CPUTIME_ID;
+  /// falls back to the steady clock where unavailable).  Unlike wall clock
+  /// it excludes time spent descheduled or blocked, so a rank's sweep rate
+  /// measured with it is immune to oversubscription and to waiting on a
+  /// peer — what the load balancer needs on a shared host.
+  [[nodiscard]] static double thread_cpu_now() noexcept;
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point begin_{};

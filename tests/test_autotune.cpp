@@ -234,6 +234,43 @@ TEST(TileTuner, CorruptedCacheIsIgnoredAndRewritten) {
   EXPECT_EQ(reread.cache_entries(), 1u);
 }
 
+TEST(TileTuner, SaveIsAtomicAgainstInterruptedWrites) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_atomic.json");
+  const std::string tmp = cache.path() + ".tmp";
+  std::remove(tmp.c_str());
+  const auto p = small_tile_params();
+
+  runtime::AutoTuner tuner(cache.path());
+  (void)tuner.tune_tiles(h, 32, p);  // probe + save: cache now intact
+
+  // A process killed mid-save leaves a truncated *temp* file, never a
+  // truncated cache.  Seed exactly that wreckage next to the good cache.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"version\": 3, \"entries\": [\n    {\"key\": \"trunc", f);
+  std::fclose(f);
+
+  // The intact cache is unaffected by the stale temp file...
+  runtime::AutoTuner reread(cache.path());
+  EXPECT_TRUE(reread.cache_loaded());
+  EXPECT_EQ(reread.cache_entries(), 1u);
+
+  // ...and the next save overwrites the wreckage, then renames it over the
+  // cache: a fresh load parses both entries and no temp file survives.
+  const auto res = reread.tune_tiles(h, 16, p);
+  EXPECT_FALSE(res.from_cache);
+  runtime::AutoTuner again(cache.path());
+  EXPECT_TRUE(again.cache_loaded());
+  EXPECT_EQ(again.cache_entries(), 2u);
+  std::FILE* stray = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(stray, nullptr) << "save() left a temp file behind";
+  if (stray != nullptr) {
+    std::fclose(stray);
+    std::remove(tmp.c_str());
+  }
+}
+
 TEST(TileTuner, InstallFalseRestoresPriorConfig) {
   const auto h = tune_matrix();
   CacheFileGuard cache("tile_cache_noinstall.json");

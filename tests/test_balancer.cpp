@@ -1,0 +1,240 @@
+// Tests of the adaptive load balancer (runtime::LoadBalancer) and the live
+// repartition path (DistributedMatrix::repartition): replayed mid-run
+// repartitions — including ones that empty and then refill a rank — must
+// reproduce the serial moments across block widths R ∈ {1, 4, 32}; a fixed
+// replay schedule must be bitwise reproducible run-to-run; and under a
+// simulated slowdown the adaptive loop must measure the rate skew and shift
+// rows toward the fast rank.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/balancer.hpp"
+#include "runtime/dist_kpm.hpp"
+#include "util/check.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix ti_matrix(int nx = 4, int ny = 4, int nz = 6) {
+  physics::TIParams p;
+  p.nx = nx;
+  p.ny = ny;
+  p.nz = nz;
+  return physics::build_ti_hamiltonian(p);
+}
+
+core::MomentParams moment_params(int width, int moments = 16) {
+  core::MomentParams mp;
+  mp.num_moments = moments;
+  mp.num_random = width;
+  return mp;
+}
+
+/// Runs the distributed solver with a fixed repartition schedule and returns
+/// {mu, report} from rank 0 (identical on every rank).
+struct ReplayRun {
+  std::vector<double> mu;
+  runtime::BalanceReport report;
+};
+
+ReplayRun run_replay(const sparse::CrsMatrix& h, int nranks, int width,
+                     const std::vector<runtime::RepartitionEvent>& schedule,
+                     bool overlapped) {
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = moment_params(width);
+  runtime::DistKpmOptions opts;
+  opts.balance.replay = schedule;
+  ReplayRun out;
+  runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(
+        c, h, runtime::RowPartition::uniform(h.nrows(), nranks));
+    const auto r =
+        overlapped
+            ? runtime::distributed_moments_overlapped(c, dist, s, mp, opts)
+            : runtime::distributed_moments(c, dist, s, mp, opts);
+    if (c.rank() == 0) {
+      out.mu = r.mu;
+      out.report = r.balance;
+    }
+  });
+  return out;
+}
+
+/// Random ascending offsets vector for `nranks` over `n` rows (may produce
+/// empty ranks — replay accepts any valid offsets).
+std::vector<global_index> random_offsets(std::mt19937& rng, global_index n,
+                                         int nranks) {
+  std::uniform_int_distribution<global_index> cut(0, n);
+  std::vector<global_index> offs(static_cast<std::size_t>(nranks) + 1);
+  offs.front() = 0;
+  offs.back() = n;
+  for (int r = 1; r < nranks; ++r) offs[static_cast<std::size_t>(r)] = cut(rng);
+  std::sort(offs.begin(), offs.end());
+  return offs;
+}
+
+TEST(Balancer, ReplayedRepartitionsMatchSerial) {
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  std::mt19937 rng(777);
+  for (const int width : {1, 4, 32}) {
+    const auto serial = core::moments_aug_spmmv(h, s, moment_params(width));
+    for (const int nranks : {2, 4}) {
+      // Two randomized mid-run repartitions per solve (sweeps run 0..7 for
+      // M = 16).
+      std::vector<runtime::RepartitionEvent> schedule = {
+          {2, random_offsets(rng, h.nrows(), nranks)},
+          {5, random_offsets(rng, h.nrows(), nranks)},
+      };
+      for (const bool overlapped : {false, true}) {
+        const auto run = run_replay(h, nranks, width, schedule, overlapped);
+        EXPECT_EQ(run.report.repartitions, 2);
+        ASSERT_EQ(run.mu.size(), serial.mu.size());
+        for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+          EXPECT_NEAR(run.mu[m], serial.mu[m], 1e-9)
+              << (overlapped ? "overlapped" : "plain") << " R=" << width
+              << " ranks=" << nranks << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(Balancer, RepartitionThatEmptiesThenRefillsARank) {
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const global_index n = h.nrows();
+  // Sweep 2: rank 1 is emptied (and rank 2 shrinks to one row); sweep 5:
+  // everyone is refilled.  Exercises migration into and out of a rank that
+  // owned nothing — the halo plan and channel registration must survive
+  // both transitions.
+  const std::vector<runtime::RepartitionEvent> schedule = {
+      {2, {0, n / 2, n / 2, n / 2 + 1, n}},
+      {5, {0, n / 4, n / 2, 3 * n / 4, n}},
+  };
+  for (const int width : {1, 4, 32}) {
+    const auto serial = core::moments_aug_spmmv(h, s, moment_params(width));
+    for (const bool overlapped : {false, true}) {
+      const auto run = run_replay(h, 4, width, schedule, overlapped);
+      EXPECT_EQ(run.report.repartitions, 2);
+      ASSERT_EQ(run.mu.size(), serial.mu.size());
+      for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+        EXPECT_NEAR(run.mu[m], serial.mu[m], 1e-9)
+            << (overlapped ? "overlapped" : "plain") << " R=" << width
+            << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Balancer, ReplayIsBitwiseReproducible) {
+  const auto h = ti_matrix();
+  std::mt19937 rng(4242);
+  const std::vector<runtime::RepartitionEvent> schedule = {
+      {1, random_offsets(rng, h.nrows(), 4)},
+      {4, random_offsets(rng, h.nrows(), 4)},
+      {6, random_offsets(rng, h.nrows(), 4)},
+  };
+  for (const bool overlapped : {false, true}) {
+    const auto a = run_replay(h, 4, 4, schedule, overlapped);
+    const auto b = run_replay(h, 4, 4, schedule, overlapped);
+    ASSERT_EQ(a.mu.size(), b.mu.size());
+    for (std::size_t m = 0; m < a.mu.size(); ++m) {
+      // Exact double equality: for a fixed repartition schedule the whole
+      // arithmetic (deterministic dots + recursive-doubling allreduce) is
+      // bitwise reproducible.
+      EXPECT_EQ(a.mu[m], b.mu[m])
+          << (overlapped ? "overlapped" : "plain") << " m=" << m;
+    }
+  }
+}
+
+TEST(Balancer, AdaptiveShiftsRowsTowardTheFastRank) {
+  // Simulated 3x-slow rank 0 (sleep-based, so wall clock is genuinely
+  // imbalanced even on one core).  Starting from a uniform split, the
+  // measured-rate loop must fire at least one repartition that gives the
+  // fast rank more rows, and still reproduce the serial moments.
+  const auto h = ti_matrix(12, 12, 8);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = moment_params(8, 32);  // 16 sweeps
+  runtime::DistKpmOptions opts;
+  opts.balance.enabled = true;
+  opts.balance.interval = 3;
+  opts.balance.smoothing = 0.7;
+  opts.balance.hysteresis = 0.05;
+  opts.balance.slowdown = {3.0, 1.0};
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+
+  runtime::BalanceReport report;
+  std::vector<double> mu;
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(
+        c, h, runtime::RowPartition::uniform(h.nrows(), 2));
+    const auto out = runtime::distributed_moments(c, dist, s, mp, opts);
+    if (c.rank() == 0) {
+      report = out.balance;
+      mu = out.mu;
+    }
+  });
+
+  ASSERT_TRUE(report.active);
+  EXPECT_GE(report.repartitions, 1);
+  ASSERT_FALSE(report.schedule.empty());
+  const auto final_part =
+      runtime::RowPartition::from_offsets(report.schedule.back().offsets);
+  EXPECT_LT(final_part.local_rows(0), final_part.local_rows(1))
+      << "rows did not shift toward the fast rank";
+  EXPECT_GE(final_part.local_rows(0), 1);
+  ASSERT_EQ(report.rates.size(), 2u);
+  EXPECT_GT(report.rates[1], report.rates[0]);
+  ASSERT_EQ(mu.size(), serial.mu.size());
+  for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+    EXPECT_NEAR(mu[m], serial.mu[m], 1e-9) << "m=" << m;
+  }
+}
+
+TEST(Balancer, StaticRunMeasuresButNeverActs) {
+  // The bench baseline: slowdown is simulated, but `enabled` stays false —
+  // the balancer times sweeps and reports the imbalance without ever
+  // repartitioning.
+  const auto h = ti_matrix(8, 8, 8);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = moment_params(4, 24);
+  runtime::DistKpmOptions opts;
+  opts.balance.interval = 3;
+  opts.balance.slowdown = {3.0, 1.0};
+
+  runtime::BalanceReport report;
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(
+        c, h, runtime::RowPartition::uniform(h.nrows(), 2));
+    const auto out = runtime::distributed_moments(c, dist, s, mp, opts);
+    if (c.rank() == 0) report = out.balance;
+  });
+  EXPECT_TRUE(report.active);
+  EXPECT_EQ(report.repartitions, 0);
+  EXPECT_TRUE(report.schedule.empty());
+  EXPECT_FALSE(report.rates.empty());
+  EXPECT_GT(report.final_imbalance, 0.0);
+}
+
+TEST(Balancer, RejectsInvalidOptions) {
+  runtime::BalanceOptions bad;
+  bad.interval = 0;
+  EXPECT_THROW(runtime::LoadBalancer(bad, 2), contract_error);
+  bad = {};
+  bad.smoothing = 0.0;
+  EXPECT_THROW(runtime::LoadBalancer(bad, 2), contract_error);
+  bad = {};
+  bad.replay = {{3, {0, 10}}, {3, {0, 10}}};  // not sweep-ascending
+  EXPECT_THROW(runtime::LoadBalancer(bad, 2), contract_error);
+}
+
+}  // namespace
+}  // namespace kpm

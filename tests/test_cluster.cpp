@@ -5,6 +5,10 @@
 #include "cluster/network.hpp"
 #include "cluster/node_model.hpp"
 #include "cluster/scaling.hpp"
+#include "core/moments.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/dist_kpm.hpp"
 
 namespace kpm::cluster {
 namespace {
@@ -157,6 +161,45 @@ TEST(Table3, ReproducesResourceRanking) {
   EXPECT_GT(per_iter.tflops, throughput.tflops);
   EXPECT_EQ(optimal.nodes, 1024);
   EXPECT_EQ(throughput.nodes, 288);
+}
+
+TEST(NodeModel, DeviceWeightsDriveADistributedSolve) {
+  // The paper's heterogeneous decomposition: rows split in proportion to the
+  // modeled device rates (Sec. VI-A).  Exercises the full weights ->
+  // RowPartition::weighted -> distributed_moments chain against the serial
+  // solver — the path examples/heterogeneous_node.cpp starts from.
+  const auto node = piz_daint_node();
+  const int width = 4;
+  const double wc =
+      cpu_gflops(node, core::OptimizationStage::aug_spmmv, width);
+  const double wg =
+      gpu_gflops(node, core::OptimizationStage::aug_spmmv, width);
+  ASSERT_GT(wc, 0.0);
+  ASSERT_GT(wg, wc);  // the K20X outruns the SNB socket on fused sweeps
+
+  physics::TIParams tp;
+  tp.nx = 4;
+  tp.ny = 4;
+  tp.nz = 6;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const auto part =
+      runtime::RowPartition::weighted(h.nrows(), std::vector<double>{wc, wg});
+  EXPECT_GT(part.local_rows(1), part.local_rows(0));
+  EXPECT_EQ(part.local_rows(0) + part.local_rows(1), h.nrows());
+
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 12;
+  mp.num_random = width;
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    const auto out = runtime::distributed_moments(c, dist, s, mp);
+    ASSERT_EQ(out.mu.size(), serial.mu.size());
+    for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+      EXPECT_NEAR(out.mu[m], serial.mu[m], 1e-9) << "m=" << m;
+    }
+  });
 }
 
 }  // namespace

@@ -111,12 +111,16 @@ TEST(DistProperty, RandomizedPartitionsMatchSerial) {
 
 TEST(DistProperty, EmptyRankPartitions) {
   const auto h = ti_matrix();
-  // Near-zero weights starve the middle ranks of rows entirely.
+  // Near-zero weights starve the middle ranks of rows entirely — legal only
+  // when the caller opts out of the min_rows floor (weighted() defaults to
+  // one row per rank precisely so model-weight skew cannot starve a rank by
+  // accident).
   for (const int nranks : {4, 8}) {
     std::vector<double> weights(static_cast<std::size_t>(nranks), 1e-9);
     weights.front() = 1.0;
     weights.back() = 1.0;
-    const auto part = runtime::RowPartition::weighted(h.nrows(), weights);
+    const auto part =
+        runtime::RowPartition::weighted(h.nrows(), weights, /*min_rows=*/0);
     bool has_empty = false;
     for (int r = 0; r < nranks; ++r) has_empty |= part.local_rows(r) == 0;
     ASSERT_TRUE(has_empty) << "partition failed to produce an empty rank";

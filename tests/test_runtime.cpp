@@ -119,6 +119,53 @@ TEST(Partition, WeightedProportions) {
   EXPECT_EQ(p.local_rows(1), 750);
 }
 
+TEST(Partition, WeightedSkewNeverStarvesARank) {
+  // Regression: llround drift plus the old monotonic max-only clamp could
+  // hand a *middle* rank zero rows under heavy skew, while every caller
+  // assumed weighted() only produced empty ranks for near-zero weights.
+  const global_index n = 1000;
+  const int nranks = 63;
+  std::vector<double> w(static_cast<std::size_t>(nranks), 1.0);
+  w.front() = 1000.0;  // 1000:1 skew concentrates the llround mass up front
+  const auto p = RowPartition::weighted(n, w);
+  global_index total = 0;
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_GE(p.local_rows(r), 1) << "rank " << r << " starved";
+    total += p.local_rows(r);
+  }
+  EXPECT_EQ(total, n);
+  // The dominant rank still gets the lion's share after the floor.
+  EXPECT_GT(p.local_rows(0), n / 2);
+
+  // min_rows = 0 restores the old behavior for callers that want empties.
+  const auto loose = RowPartition::weighted(n, w, /*min_rows=*/0);
+  EXPECT_EQ(loose.total_rows(), n);
+  bool any_empty = false;
+  for (int r = 0; r < nranks; ++r) any_empty |= loose.local_rows(r) == 0;
+  EXPECT_TRUE(any_empty);
+
+  // More ranks than min_rows can supply: the floor degrades gracefully to
+  // an (almost) uniform split instead of failing.
+  const auto tight = RowPartition::weighted(5, std::vector<double>(8, 1.0));
+  EXPECT_EQ(tight.total_rows(), 5);
+  for (int r = 0; r < 8; ++r) EXPECT_LE(tight.local_rows(r), 1);
+}
+
+TEST(Partition, FromOffsetsRoundTrips) {
+  const std::vector<double> w = {2.0, 1.0, 1.0};
+  const auto p = RowPartition::weighted(97, w);
+  const auto offs = p.offsets();
+  const auto q = RowPartition::from_offsets({offs.begin(), offs.end()});
+  EXPECT_EQ(q.ranks(), p.ranks());
+  EXPECT_EQ(q.total_rows(), p.total_rows());
+  for (int r = 0; r < p.ranks(); ++r) {
+    EXPECT_EQ(q.begin(r), p.begin(r));
+    EXPECT_EQ(q.end(r), p.end(r));
+  }
+  EXPECT_THROW(RowPartition::from_offsets({0, 5, 3}), contract_error);
+  EXPECT_THROW(RowPartition::from_offsets({1, 5}), contract_error);
+}
+
 TEST(Partition, OwnerIsConsistent) {
   const std::vector<double> w = {2.0, 1.0, 1.0};
   const auto p = RowPartition::weighted(97, w);
