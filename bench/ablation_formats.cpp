@@ -85,9 +85,11 @@ int main() {
   using namespace kpm;
   bench::print_host_banner();
   const auto h = bench::benchmark_matrix();
-  std::printf("test matrix: N = %lld, nnz = %lld\n\n",
+  std::printf("test matrix: N = %lld, nnz = %lld\n",
               static_cast<long long>(h.nrows()),
               static_cast<long long>(h.nnz()));
+  bench::print_block_structure(h);
+  std::printf("\n");
 
   std::printf("=== A. format: CRS vs SELL-C-sigma for the fused block "
               "kernel ===\n");

@@ -16,6 +16,7 @@
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
 #include "sparse/kpm_kernels.hpp"
+#include "sparse/matrix_stats.hpp"
 #include "sparse/spmv.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -86,6 +87,17 @@ inline double measure_naive_gflops(const sparse::CrsMatrix& h,
   iteration();
   const double best = time_best(iteration, min_seconds, 3);
   return sweep_flops(h, 1) / best / 1e9;
+}
+
+/// Standard bench-header line for the matrix's block structure: the block
+/// fill ratio beta for b in {2, 4, 8} (DESIGN §5f).  A block format streams
+/// (Sd' + Si')/beta bytes per nonzero, so this line is the record of why a
+/// BSR/SELL-block run was or wasn't profitable on this matrix.
+inline void print_block_structure(const sparse::CrsMatrix& h) {
+  std::printf("block structure: beta(2x2) = %.4f, beta(4x4) = %.4f, "
+              "beta(8x8) = %.4f\n",
+              sparse::block_fill_ratio(h, 2), sparse::block_fill_ratio(h, 4),
+              sparse::block_fill_ratio(h, 8));
 }
 
 inline void print_host_banner() {

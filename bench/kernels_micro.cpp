@@ -6,7 +6,14 @@
 // machine-readable sweep of the fused block kernel over
 // widths x formats x variants x thread counts and writes it to
 // BENCH_kernels.json (override the path with KPM_BENCH_JSON), so successive
-// PRs leave a perf trajectory.
+// PRs leave a perf trajectory.  The format axis covers the scalar layouts
+// (crs, sell) and the block layouts of DESIGN §5f (bsr4, bsr4-f32,
+// sellb4-f32 — 4x4 blocks, 16-bit delta indices where they fit, optional
+// float32 values with float64 accumulators); every record carries
+// "index_bits" and "value_precision" so the trajectory explains *which*
+// storage stream was measured.
+// `kernels_micro --smoke` runs a reduced format x width grid once (no JSON
+// write, no google-benchmark suite) as a CI regression gate.
 // The "legacy" variant is a frozen copy of the pre-dispatch generic kernel
 // (heap per-row accumulators, std::complex arithmetic, `omp critical` dot
 // merge) kept here as the fixed reference point for those speedup numbers.
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "blas/block_ops.hpp"
 #include "blas/level1.hpp"
 #include "core/kubo.hpp"
@@ -31,8 +39,11 @@
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
 #include "runtime/autotune.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/kpm_kernels.hpp"
+#include "sparse/matrix_stats.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sell_block.hpp"
 #include "sparse/spmv.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -54,6 +65,21 @@ const sparse::CrsMatrix& matrix() {
 
 const sparse::SellMatrix& sell_matrix() {
   static const sparse::SellMatrix m(matrix(), 32, 128);
+  return m;
+}
+
+const sparse::BsrMatrix& bsr_matrix() {
+  static const sparse::BsrMatrix m(matrix(), 4);
+  return m;
+}
+
+const sparse::BsrMatrix& bsr_matrix_f32() {
+  static const sparse::BsrMatrix m(matrix(), 4, sparse::MatrixPrecision::f32);
+  return m;
+}
+
+const sparse::SellBlockMatrix& sell_block_matrix_f32() {
+  static const sparse::SellBlockMatrix m(bsr_matrix_f32(), 8, 32);
   return m;
 }
 
@@ -208,7 +234,9 @@ struct SweepRecord {
   const char* variant;
   int width;
   int threads;
-  sparse::TileConfig tile;  // in effect during the timing
+  int index_bits;               // width of the streamed column indices
+  const char* value_precision;  // "f64" | "f32" (accumulation always f64)
+  sparse::TileConfig tile;      // in effect during the timing
   double seconds;
   double gflops;
   double gbs;
@@ -217,11 +245,12 @@ struct SweepRecord {
 /// One timed cell of the sweep; `variant` selects legacy / generic / fixed /
 /// tiled.  Legacy/generic/fixed run untiled so the trajectory vs earlier
 /// PRs stays like-for-like; "tiled" runs the fixed body under `tuned`.
+/// The block formats (bsr4*, sellb4*) have no legacy variant — they did not
+/// exist before the dispatch machinery.
 SweepRecord time_cell(const char* format, const char* variant, int width,
                       const sparse::TileConfig& tuned) {
   const auto& crs = matrix();
-  const bool is_sell = std::string(format) == "sell";
-  const auto& sell = sell_matrix();
+  const std::string fmt(format);
   // First-touch the probe vectors the same way the kernel streams them.
   blas::BlockVector v(crs.ncols(), width, blas::Layout::row_major,
                       blas::FirstTouch::parallel);
@@ -242,8 +271,8 @@ SweepRecord time_cell(const char* format, const char* variant, int width,
   sparse::set_tile_config(cfg);
   auto sweep = [&] {
     if (var == "legacy") {
-      if (is_sell) {
-        legacy::aug_spmmv_sell(sell, rec, v, w, dvv, dwv);
+      if (fmt == "sell") {
+        legacy::aug_spmmv_sell(sell_matrix(), rec, v, w, dvv, dwv);
       } else {
         legacy::aug_spmmv_crs(crs, rec, v, w, dvv, dwv);
       }
@@ -251,8 +280,14 @@ SweepRecord time_cell(const char* format, const char* variant, int width,
       sparse::set_kernel_variant(var == "generic"
                                      ? sparse::KernelVariant::force_generic
                                      : sparse::KernelVariant::force_fixed);
-      if (is_sell) {
-        sparse::aug_spmmv(sell, rec, v, w, dvv, dwv);
+      if (fmt == "sell") {
+        sparse::aug_spmmv(sell_matrix(), rec, v, w, dvv, dwv);
+      } else if (fmt == "bsr4") {
+        sparse::aug_spmmv(bsr_matrix(), rec, v, w, dvv, dwv);
+      } else if (fmt == "bsr4-f32") {
+        sparse::aug_spmmv(bsr_matrix_f32(), rec, v, w, dvv, dwv);
+      } else if (fmt == "sellb4-f32") {
+        sparse::aug_spmmv(sell_block_matrix_f32(), rec, v, w, dvv, dwv);
       } else {
         sparse::aug_spmmv(crs, rec, v, w, dvv, dwv);
       }
@@ -263,16 +298,34 @@ SweepRecord time_cell(const char* format, const char* variant, int width,
   sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
   sparse::set_tile_config({});
 
+  int index_bits = 32;
+  const char* precision = "f64";
+  // Minimum traffic of the fused sweep (paper Eq. 4): one matrix stream
+  // (incl. zero fill / padding) + read v, read-modify-write w.
+  double matrix_bytes = crs.storage_bytes();
+  if (fmt == "sell") {
+    matrix_bytes = sell_matrix().storage_bytes();
+  } else if (fmt == "bsr4" || fmt == "bsr4-f32") {
+    const auto& b = fmt == "bsr4" ? bsr_matrix() : bsr_matrix_f32();
+    matrix_bytes = b.storage_bytes();
+    index_bits = b.index_bits();
+    precision = sparse::precision_name(b.precision());
+  } else if (fmt == "sellb4-f32") {
+    const auto& sb = sell_block_matrix_f32();
+    matrix_bytes = sb.storage_bytes();
+    index_bits = sb.index_bits();
+    precision = sparse::precision_name(sb.precision());
+  }
   const double flops =
       width * (static_cast<double>(crs.nnz()) * 8.0 +
                static_cast<double>(crs.nrows()) * 34.0);
-  // Minimum traffic of the fused sweep (paper Eq. 4): one matrix stream
-  // (incl. SELL zero padding) + read v, read-modify-write w.
   const double bytes =
-      (is_sell ? sell.storage_bytes() : crs.storage_bytes()) +
+      matrix_bytes +
       3.0 * width * static_cast<double>(crs.nrows()) * bytes_per_element;
-  return {format,       variant, width, max_threads(), cfg, best,
-          flops / best / 1e9, bytes / best / 1e9};
+  return {format,    variant,   width,
+          max_threads(), index_bits, precision,
+          cfg,       best,      flops / best / 1e9,
+          bytes / best / 1e9};
 }
 
 /// Tile configuration the persistent autotuner picks for this cell (cached
@@ -281,26 +334,45 @@ sparse::TileConfig tuned_config(runtime::AutoTuner& tuner, const char* format,
                                 int width) {
   runtime::TileTuneParams p;
   p.install = false;  // time_cell installs it per timing
-  const auto res =
-      std::string(format) == "sell"
-          ? tuner.tune_tiles(sell_matrix(), width, p)
-          : tuner.tune_tiles(matrix(), width, p);
+  const std::string fmt(format);
+  const auto res = fmt == "sell" ? tuner.tune_tiles(sell_matrix(), width, p)
+                   : fmt == "bsr4"
+                       ? tuner.tune_tiles(bsr_matrix(), width, p)
+                   : fmt == "bsr4-f32"
+                       ? tuner.tune_tiles(bsr_matrix_f32(), width, p)
+                   : fmt == "sellb4-f32"
+                       ? tuner.tune_tiles(sell_block_matrix_f32(), width, p)
+                       : tuner.tune_tiles(matrix(), width, p);
   return res.config;
 }
 
 void print_record(const SweepRecord& r) {
-  std::printf("%-5s %-8s %6d %4d %5d %8lld %3d %12.5f %9.3f %9.3f\n",
-              r.format, r.variant, r.width, r.threads, r.tile.tile_width,
+  std::printf("%-10s %-8s %6d %4d %4d %4s %5d %8lld %3d %12.5f %9.3f %9.3f\n",
+              r.format, r.variant, r.width, r.threads, r.index_bits,
+              r.value_precision, r.tile.tile_width,
               static_cast<long long>(r.tile.band_rows),
               r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs);
 }
 
-void run_sweep_and_write_json() {
+/// Variants measured for a format: the frozen legacy body only exists for
+/// the scalar formats that predate the dispatch machinery.
+std::vector<const char*> variants_for(const std::string& fmt, bool smoke) {
+  if (smoke) return {"fixed", "tiled"};
+  if (fmt == "crs" || fmt == "sell") {
+    return {"legacy", "generic", "fixed", "tiled"};
+  }
+  return {"generic", "fixed", "tiled"};
+}
+
+void run_sweep_and_write_json(bool smoke) {
   const char* path_env = std::getenv("KPM_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_kernels.json";
-  const int widths[] = {1, 2, 4, 8, 16, 32, 64};
-  const char* formats[] = {"crs", "sell"};
-  const char* variants[] = {"legacy", "generic", "fixed", "tiled"};
+  const std::vector<int> widths =
+      smoke ? std::vector<int>{8, 32} : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
+  const std::vector<const char*> formats =
+      smoke ? std::vector<const char*>{"crs", "bsr4", "bsr4-f32"}
+            : std::vector<const char*>{"crs", "sell", "bsr4", "bsr4-f32",
+                                       "sellb4-f32"};
   const int primary_threads = max_threads();
   // Thread-scaling sweep {1, 2, 4, max}, clipped to the machine, over a
   // reduced width x variant grid.
@@ -317,31 +389,36 @@ void run_sweep_and_write_json() {
 
   runtime::AutoTuner tuner;  // persistent cache: reruns skip the probes
   std::vector<SweepRecord> records;
-  std::printf("aug_spmmv sweep (full fused kernel, on-the-fly dots):\n");
-  std::printf("%-5s %-8s %6s %4s %5s %8s %3s %12s %9s %9s\n", "fmt", "variant",
-              "width", "thr", "tile", "band", "nt", "s/sweep", "GF/s", "GB/s");
+  std::printf("aug_spmmv sweep (full fused kernel, on-the-fly dots)%s:\n",
+              smoke ? " [smoke grid]" : "");
+  bench::print_block_structure(matrix());
+  std::printf("%-10s %-8s %6s %4s %4s %4s %5s %8s %3s %12s %9s %9s\n", "fmt",
+              "variant", "width", "thr", "idx", "val", "tile", "band", "nt",
+              "s/sweep", "GF/s", "GB/s");
   for (const char* fmt : formats) {
     for (const int width : widths) {
       const auto tuned = tuned_config(tuner, fmt, width);
-      for (const char* var : variants) {
+      for (const char* var : variants_for(fmt, smoke)) {
         records.push_back(time_cell(fmt, var, width, tuned));
         print_record(records.back());
       }
     }
   }
-  for (const int t : scaling_threads) {
-    set_threads(t);
-    for (const char* fmt : formats) {
-      for (const int width : scaling_widths) {
-        const auto tuned = tuned_config(tuner, fmt, width);
-        for (const char* var : scaling_variants) {
-          records.push_back(time_cell(fmt, var, width, tuned));
-          print_record(records.back());
+  if (!smoke) {
+    for (const int t : scaling_threads) {
+      set_threads(t);
+      for (const char* fmt : formats) {
+        for (const int width : scaling_widths) {
+          const auto tuned = tuned_config(tuner, fmt, width);
+          for (const char* var : scaling_variants) {
+            records.push_back(time_cell(fmt, var, width, tuned));
+            print_record(records.back());
+          }
         }
       }
     }
+    set_threads(primary_threads);
   }
-  set_threads(primary_threads);
 
   auto find = [&](const char* fmt, const char* var, int width) -> double {
     for (const auto& r : records) {
@@ -352,6 +429,37 @@ void run_sweep_and_write_json() {
     }
     return 0.0;
   };
+  // Best block-format cell at width 32 (any variant) vs the tiled
+  // scalar-CRS record — the per-PR trajectory number for DESIGN §5f.
+  const SweepRecord* best_block32 = nullptr;
+  double crs_tiled32_seconds = 0.0;
+  for (const auto& r : records) {
+    if (r.width != 32 || r.threads != primary_threads) continue;
+    const std::string f(r.format);
+    if (f == "crs" && std::string(r.variant) == "tiled") {
+      crs_tiled32_seconds = r.seconds;
+    }
+    if (f.rfind("bsr", 0) == 0 || f.rfind("sellb", 0) == 0) {
+      if (best_block32 == nullptr || r.seconds < best_block32->seconds) {
+        best_block32 = &r;
+      }
+    }
+  }
+  const double block_speedup32 =
+      best_block32 != nullptr && best_block32->seconds > 0.0
+          ? crs_tiled32_seconds / best_block32->seconds
+          : 0.0;
+  if (best_block32 != nullptr) {
+    std::printf("best block format @ width 32: %s/%s %.5e s/sweep "
+                "(%.2fx vs tiled scalar CRS %.5e)\n",
+                best_block32->format, best_block32->variant,
+                best_block32->seconds, block_speedup32, crs_tiled32_seconds);
+  }
+  if (smoke) {
+    std::printf("[smoke] reduced grid only; %s not rewritten\n\n",
+                path.c_str());
+    return;
+  }
   const double s8 = find("sell", "fixed", 8) / find("sell", "legacy", 8);
   const double s32 = find("sell", "fixed", 32) / find("sell", "legacy", 32);
   const double t32 = find("crs", "tiled", 32) / find("crs", "fixed", 32);
@@ -374,10 +482,10 @@ void run_sweep_and_write_json() {
   std::fprintf(f,
                "  \"matrix\": {\"model\": \"topological_insulator\", "
                "\"n\": %lld, \"nnz\": %lld, \"sell_chunk\": %d, "
-               "\"sell_sigma\": %d},\n",
+               "\"sell_sigma\": %d, \"block_fill4\": %.4f},\n",
                static_cast<long long>(crs.nrows()),
                static_cast<long long>(crs.nnz()), sell_matrix().chunk_height(),
-               sell_matrix().sigma());
+               sell_matrix().sigma(), sparse::block_fill_ratio(crs, 4));
   std::fprintf(f, "  \"threads\": %d,\n", primary_threads);
   std::fprintf(f, "  \"tune_cache\": \"%s\",\n", tuner.cache_path().c_str());
   std::fprintf(f, "  \"records\": [\n");
@@ -386,11 +494,13 @@ void run_sweep_and_write_json() {
     std::fprintf(f,
                  "    {\"format\": \"%s\", \"variant\": \"%s\", "
                  "\"width\": %d, \"threads\": %d, \"with_dots\": true, "
+                 "\"index_bits\": %d, \"value_precision\": \"%s\", "
                  "\"tile_width\": %d, \"band_rows\": %lld, "
                  "\"nt_stores\": %d, "
                  "\"seconds_per_sweep\": %.6e, \"gflops\": %.4f, "
                  "\"gbs\": %.4f}%s\n",
-                 r.format, r.variant, r.width, r.threads, r.tile.tile_width,
+                 r.format, r.variant, r.width, r.threads, r.index_bits,
+                 r.value_precision, r.tile.tile_width,
                  static_cast<long long>(r.tile.band_rows),
                  r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs,
                  i + 1 < records.size() ? "," : "");
@@ -402,8 +512,16 @@ void run_sweep_and_write_json() {
                s8, s32);
   std::fprintf(f,
                "  \"speedup_tiled_vs_fixed\": {\"crs_width32\": %.4f, "
-               "\"crs_width64\": %.4f}\n}\n",
+               "\"crs_width64\": %.4f},\n",
                t32, t64);
+  std::fprintf(f,
+               "  \"block_vs_crs_tiled_width32\": {\"format\": \"%s\", "
+               "\"variant\": \"%s\", \"seconds_per_sweep\": %.6e, "
+               "\"speedup\": %.4f}\n}\n",
+               best_block32 != nullptr ? best_block32->format : "none",
+               best_block32 != nullptr ? best_block32->variant : "none",
+               best_block32 != nullptr ? best_block32->seconds : 0.0,
+               block_speedup32);
   std::fclose(f);
   std::printf("wrote %s\n\n", path.c_str());
 }
@@ -615,9 +733,24 @@ int main(int argc, char** argv) {
   // Pin threads for stable measurements unless the user chose otherwise
   // (must happen before the first parallel region).
   kpm::default_omp_affinity();
+  // --smoke (CI gate): reduced format x width grid, no JSON rewrite, no
+  // google-benchmark suite.  Strip the flag before benchmark::Initialize.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (smoke) {
+    run_sweep_and_write_json(true);
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  run_sweep_and_write_json();
+  run_sweep_and_write_json(false);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -157,7 +157,8 @@ MomentsResult moments_aug_spmmv_impl(const Matrix& h,
     for (int r = 0; r < width; ++r) {
       rng.fill(col);
       if (permute) {
-        if constexpr (std::is_same_v<Matrix, sparse::SellMatrix>) {
+        if constexpr (std::is_same_v<Matrix, sparse::SellMatrix> ||
+                      std::is_same_v<Matrix, sparse::SellBlockMatrix>) {
           h.permute(col, perm_col);
           v.set_column(r, perm_col);
           continue;
@@ -232,6 +233,18 @@ MomentsResult moments_aug_spmmv(const sparse::CrsMatrix& h,
 }
 
 MomentsResult moments_aug_spmmv(const sparse::SellMatrix& h,
+                                const physics::Scaling& s,
+                                const MomentParams& p) {
+  return moments_aug_spmmv_impl(h, s, p, /*permute=*/true);
+}
+
+MomentsResult moments_aug_spmmv(const sparse::BsrMatrix& h,
+                                const physics::Scaling& s,
+                                const MomentParams& p) {
+  return moments_aug_spmmv_impl(h, s, p, /*permute=*/false);
+}
+
+MomentsResult moments_aug_spmmv(const sparse::SellBlockMatrix& h,
                                 const physics::Scaling& s,
                                 const MomentParams& p) {
   return moments_aug_spmmv_impl(h, s, p, /*permute=*/true);

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "physics/spectral_bounds.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sell_block.hpp"
 #include "util/random.hpp"
 #include "util/types.hpp"
 
@@ -68,6 +70,15 @@ struct MomentsResult {
                                               const physics::Scaling& s,
                                               const MomentParams& p);
 [[nodiscard]] MomentsResult moments_aug_spmmv(const sparse::SellMatrix& h,
+                                              const physics::Scaling& s,
+                                              const MomentParams& p);
+/// Block-format variants (DESIGN.md §5f): same pipeline on BSR / SELL-block
+/// storage, including the mixed-precision (f32-value) matrix path — the
+/// random-vector streams and accumulator precision are unchanged.
+[[nodiscard]] MomentsResult moments_aug_spmmv(const sparse::BsrMatrix& h,
+                                              const physics::Scaling& s,
+                                              const MomentParams& p);
+[[nodiscard]] MomentsResult moments_aug_spmmv(const sparse::SellBlockMatrix& h,
                                               const physics::Scaling& s,
                                               const MomentParams& p);
 

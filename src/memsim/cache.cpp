@@ -74,6 +74,10 @@ void CachePath::access_from(std::size_t level, addr_t addr, std::uint32_t size,
     } else {
       dram_->bytes_read += size;
     }
+    const std::size_t gib = static_cast<std::size_t>(addr >> 30);
+    dram_->bytes_by_gib[gib < DramStats::kGibBuckets
+                            ? gib
+                            : DramStats::kGibBuckets - 1] += size;
     return;
   }
   CacheLevel& cache = *levels_[level];

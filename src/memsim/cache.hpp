@@ -79,7 +79,24 @@ struct DramStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
 
+  /// Per-GiB-window attribution (read + written).  The synthetic operand
+  /// regions of the traced kernels are GiB-aligned (memsim::AddressMap), so
+  /// summing an operand's windows splits the DRAM volume by operand — e.g.
+  /// the matrix stream vs the vector streams — the way a LIKWID measurement
+  /// cannot.  Addresses at or beyond 32 GiB fold into the last bucket.
+  static constexpr std::size_t kGibBuckets = 32;
+  std::uint64_t bytes_by_gib[kGibBuckets] = {};
+
   [[nodiscard]] std::uint64_t total() const { return bytes_read + bytes_written; }
+  /// Sum of the buckets covering [gib_begin, gib_end).
+  [[nodiscard]] std::uint64_t in_windows(std::size_t gib_begin,
+                                         std::size_t gib_end) const {
+    std::uint64_t sum = 0;
+    for (std::size_t g = gib_begin; g < gib_end && g < kGibBuckets; ++g) {
+      sum += bytes_by_gib[g];
+    }
+    return sum;
+  }
 };
 
 /// A path of cache levels in front of DRAM.  Several paths may share levels

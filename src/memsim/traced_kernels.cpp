@@ -27,6 +27,44 @@ void sweep_aug_spmmv(const sparse::CrsMatrix& a, int width,
   }
 }
 
+void sweep_aug_spmmv_bsr(const sparse::BsrMatrix& a, int width,
+                         const AddressMap& map, CachePath& path) {
+  const auto bptr = a.block_ptr();
+  const auto bcol = a.block_col();
+  const int b = a.block_dim();
+  const std::uint32_t val_bytes =
+      a.precision() == sparse::MatrixPrecision::f32 ? 8 : 16;
+  const std::uint32_t idx_bytes =
+      static_cast<std::uint32_t>(a.index_bits()) / 8;
+  const std::uint32_t row_bytes = static_cast<std::uint32_t>(width) * sd;
+  const std::uint32_t block_bytes =
+      static_cast<std::uint32_t>(b * b) * val_bytes;
+  const std::uint32_t vrow_bytes = static_cast<std::uint32_t>(b) * row_bytes;
+  // Occupancy masks live past the delta seeds inside the aux GiB window.
+  const addr_t mask_base = map.aux + (512ull << 20);
+  for (global_index br = 0; br < a.block_rows(); ++br) {
+    path.read(map.row_ptr + static_cast<addr_t>(br) * 8, 16);
+    if (idx_bytes == 2) {
+      path.read(map.aux + static_cast<addr_t>(br) * 4, 4);  // delta seed
+    }
+    for (global_index k = bptr[br]; k < bptr[br + 1]; ++k) {
+      path.read(map.col_idx + static_cast<addr_t>(k) * idx_bytes, idx_bytes);
+      path.read(mask_base + static_cast<addr_t>(k) * 2, 2);  // occupancy
+      path.read(map.values + static_cast<addr_t>(k) * block_bytes,
+                block_bytes);
+      // One v block-row feeds all b accumulator rows.
+      path.read(map.vec_v + static_cast<addr_t>(bcol[k]) * vrow_bytes,
+                vrow_bytes);
+    }
+    for (int ib = 0; ib < b; ++ib) {
+      const auto i = static_cast<addr_t>(br * b + ib);
+      path.read(map.vec_v + i * row_bytes, row_bytes);
+      path.read(map.vec_w + i * row_bytes, row_bytes);
+      path.write(map.vec_w + i * row_bytes, row_bytes);
+    }
+  }
+}
+
 void sweep_naive(const sparse::CrsMatrix& a, const AddressMap& map,
                  CachePath& path) {
   const auto row_ptr = a.row_ptr();
@@ -75,6 +113,8 @@ TrafficReport snapshot(const CpuHierarchy& h) {
   r.l3_bytes = h.l3->stats().bytes_requested;
   r.l2_bytes = h.l2->stats().bytes_requested;
   r.l1_bytes = h.l1->stats().bytes_requested;
+  r.dram_matrix_bytes = h.dram.in_windows(1, 8);   // ptr/idx/aux/values
+  r.dram_vector_bytes = h.dram.in_windows(8, 20);  // v/w/u
   return r;
 }
 
@@ -82,7 +122,9 @@ TrafficReport delta(const TrafficReport& after, const TrafficReport& before) {
   return {after.dram_bytes - before.dram_bytes,
           after.l3_bytes - before.l3_bytes,
           after.l2_bytes - before.l2_bytes,
-          after.l1_bytes - before.l1_bytes};
+          after.l1_bytes - before.l1_bytes,
+          after.dram_matrix_bytes - before.dram_matrix_bytes,
+          after.dram_vector_bytes - before.dram_vector_bytes};
 }
 
 }  // namespace
@@ -95,6 +137,19 @@ TrafficReport trace_aug_spmmv(const sparse::CrsMatrix& a, int width,
   for (int i = 0; i < warmup; ++i) sweep_aug_spmmv(a, width, map, *h.path);
   const auto before = snapshot(h);
   sweep_aug_spmmv(a, width, map, *h.path);
+  return delta(snapshot(h), before);
+}
+
+TrafficReport trace_aug_spmmv(const sparse::BsrMatrix& a, int width,
+                              CpuHierarchy& h, int warmup) {
+  require(width >= 1, "trace_aug_spmmv: width >= 1");
+  h.reset();
+  const AddressMap map;
+  for (int i = 0; i < warmup; ++i) {
+    sweep_aug_spmmv_bsr(a, width, map, *h.path);
+  }
+  const auto before = snapshot(h);
+  sweep_aug_spmmv_bsr(a, width, map, *h.path);
   return delta(snapshot(h), before);
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "memsim/hierarchies.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 
 namespace kpm::memsim {
@@ -18,13 +19,24 @@ struct TrafficReport {
   std::uint64_t l3_bytes = 0;  ///< bytes requested of the LLC
   std::uint64_t l2_bytes = 0;
   std::uint64_t l1_bytes = 0;
+  /// DRAM volume attributed to the matrix stream (row/block pointers,
+  /// column indices, values, delta seeds) vs the vector streams — split by
+  /// the GiB-aligned operand regions of AddressMap.  This is what validates
+  /// a format against its per-format analytic floor: the matrix stream has
+  /// no reuse, so dram_matrix_bytes / nnz compares directly against the
+  /// code-balance model's bytes-per-nonzero (DESIGN §5f).
+  std::uint64_t dram_matrix_bytes = 0;
+  std::uint64_t dram_vector_bytes = 0;
 };
 
 /// Synthetic base addresses of the kernel operands (1 GiB apart, so regions
-/// never overlap for any realistic problem size).
+/// never overlap for any realistic problem size).  Matrix-stream operands
+/// live in GiB windows [1, 8) and vectors in [8, 20), so DramStats'
+/// per-window counters attribute DRAM volume by operand class.
 struct AddressMap {
-  addr_t row_ptr = 1ull << 30;
-  addr_t col_idx = 2ull << 30;
+  addr_t row_ptr = 1ull << 30;   ///< CRS row_ptr / BSR block_ptr
+  addr_t col_idx = 2ull << 30;   ///< column indices (32-bit or 16-bit delta)
+  addr_t aux = 3ull << 30;       ///< BSR per-block-row delta decode seeds
   addr_t values = 4ull << 30;
   addr_t vec_v = 8ull << 30;
   addr_t vec_w = 12ull << 30;
@@ -36,6 +48,15 @@ struct AddressMap {
 /// with `warmup` sweeps before the measured sweep (default: one warm-up so
 /// the cache state is the steady state of the KPM loop).
 [[nodiscard]] TrafficReport trace_aug_spmmv(const sparse::CrsMatrix& a,
+                                            int width, CpuHierarchy& h,
+                                            int warmup = 1);
+
+/// Replays the BSR fused sweep: one block pointer pair and one column index
+/// (16-bit delta or 32-bit) per block, one b x b value block at the stored
+/// precision, one v block-row load per block, plus the per-scalar-row fused
+/// tail.  The 2-byte occupancy masks stream per block, and the delta decode
+/// seeds stream from AddressMap::aux on the 16-bit path.
+[[nodiscard]] TrafficReport trace_aug_spmmv(const sparse::BsrMatrix& a,
                                             int width, CpuHierarchy& h,
                                             int warmup = 1);
 

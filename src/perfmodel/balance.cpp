@@ -68,6 +68,38 @@ double omega(double measured_bytes, double model_bytes) {
   return measured_bytes / model_bytes;
 }
 
+FormatSpec crs_format() { return {sd, si, 1.0}; }
+
+FormatSpec block_format(int block_dim, double fill, double value_bytes,
+                        int index_bits) {
+  require(block_dim >= 1 && fill > 0.0 && fill <= 1.0 &&
+              (value_bytes == 8.0 || value_bytes == 16.0) &&
+              (index_bits == 16 || index_bits == 32),
+          "block_format: invalid arguments");
+  // Per block: one column index plus the 2-byte occupancy word the kernel
+  // streams to skip the explicit zero fill (BsrMatrix::block_mask).
+  const double per_block = static_cast<double>(index_bits) / 8.0 + 2.0;
+  return {value_bytes, per_block / (block_dim * block_dim), fill};
+}
+
+double format_bytes_per_nnz(const FormatSpec& f) {
+  require(f.fill > 0.0, "format_bytes_per_nnz: fill must be positive");
+  return (f.value_bytes + f.index_bytes_per_value) / f.fill;
+}
+
+double bmin_format(const FormatSpec& f, double nnzr, int num_random) {
+  require(nnzr > 0 && num_random >= 1, "bmin_format: invalid arguments");
+  const double bytes =
+      nnzr / num_random * format_bytes_per_nnz(f) + 3.0 * sd;
+  const double flops = nnzr * (fa + fm) + 7.0 * fa / 2.0 + 9.0 * fm / 2.0;
+  return bytes / flops;
+}
+
+double traffic_aug_spmmv_format(const KpmWorkload& w, const FormatSpec& f) {
+  return w.inner_iterations() * (w.nnz * format_bytes_per_nnz(f) +
+                                 3.0 * w.num_random * w.n * sd);
+}
+
 double general_spmv_balance(double data_bytes, double index_bytes,
                             double flops_per_entry) {
   require(data_bytes > 0 && index_bytes >= 0 && flops_per_entry > 0,

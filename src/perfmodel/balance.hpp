@@ -56,6 +56,47 @@ struct FunctionCost {
 /// Traffic excess factor Omega = V_measured / V_KPM (Eq. 8 context).
 [[nodiscard]] double omega(double measured_bytes, double model_bytes);
 
+/// Storage-format description feeding the per-format balance formulas of
+/// DESIGN §5f.  The three knobs are exactly what a block format changes
+/// relative to scalar CRS: bytes per stored value (8 for complex float),
+/// index-stream bytes amortized per stored value (4 for CRS; index_bits/8
+/// plus the 2-byte occupancy word per b^2 values for BSR), and the block
+/// fill beta = nnz / stored values (explicit zero fill streams bytes but
+/// contributes no useful flops).  Per-block-row decode seeds (4 B / block
+/// row on the 16-bit path) are O(1/blocks-per-row) and excluded, matching
+/// the other Bmin formulas' neglect of row-pointer traffic.
+struct FormatSpec {
+  double value_bytes = 16.0;
+  double index_bytes_per_value = 4.0;
+  double fill = 1.0;
+};
+
+/// Scalar CRS: 16 B value + 4 B index per nonzero, no fill.
+[[nodiscard]] FormatSpec crs_format();
+
+/// b x b block format (BSR or SELL-block): `fill` from
+/// sparse::BsrMatrix::fill_ratio() or matrix_stats, `value_bytes` 16 (f64)
+/// or 8 (f32), `index_bits` 32 or 16.  The per-block index share includes
+/// the 2-byte occupancy mask the kernel streams alongside the indices.
+[[nodiscard]] FormatSpec block_format(int block_dim, double fill,
+                                      double value_bytes, int index_bits);
+
+/// Matrix-stream bytes per scalar nonzero: (Sd' + Si') / beta.  20 for
+/// scalar CRS; the analytic floor a compressed block format must undercut
+/// for the matrix term of the code balance to improve.
+[[nodiscard]] double format_bytes_per_nnz(const FormatSpec& f);
+
+/// Per-format Bmin(R) (Eq. 5 with the matrix term generalized): the
+/// vector term 3 Sd and the useful flops (counted on nnz, not on the
+/// zero fill) are format-independent.
+[[nodiscard]] double bmin_format(const FormatSpec& f, double nnzr,
+                                 int num_random);
+
+/// Minimum solver traffic of the blocked kernel on this format (the
+/// generalization of traffic_aug_spmmv).
+[[nodiscard]] double traffic_aug_spmmv_format(const KpmWorkload& w,
+                                              const FormatSpec& f);
+
 /// Minimum code balance of a *general* SpMV (no special matrix properties):
 /// one value + one index per non-zero, streamed once, against one
 /// multiply-add per non-zero.  The paper's introduction quotes the limits

@@ -80,6 +80,89 @@ sparse::CrsMatrix build_ti_hamiltonian(const TIParams& p) {
   return sparse::CrsMatrix(coo);
 }
 
+sparse::BsrMatrix build_ti_hamiltonian_bsr(const TIParams& p,
+                                           sparse::MatrixPrecision precision) {
+  require(p.nx >= 1 && p.ny >= 1 && p.nz >= 1, "TI: lattice extents >= 1");
+  require(!p.periodic_x || p.nx > 2, "TI: periodic x needs Nx > 2");
+  require(!p.periodic_y || p.ny > 2, "TI: periodic y needs Ny > 2");
+  require(!p.periodic_z || p.nz > 2, "TI: periodic z needs Nz > 2");
+  const global_index dim = p.dimension();
+  const global_index nsites = dim / 4;
+
+  const std::array<Mat4, 3> hop = {hopping_block(1, p.t), hopping_block(2, p.t),
+                                   hopping_block(3, p.t)};
+  const std::array<Mat4, 3> hop_adj = {adjoint(hop[0]), adjoint(hop[1]),
+                                       adjoint(hop[2])};
+
+  aligned_vector<global_index> bptr;
+  bptr.reserve(static_cast<std::size_t>(nsites) + 1);
+  bptr.push_back(0);
+  aligned_vector<local_index> bcol;
+  aligned_vector<complex_t> vals;
+  bcol.reserve(static_cast<std::size_t>(nsites) * 7);
+  vals.reserve(static_cast<std::size_t>(nsites) * 7 * 16);
+
+  std::vector<std::pair<global_index, const Mat4*>> row;  // (site col, block)
+  for (int z = 0; z < p.nz; ++z) {
+    for (int y = 0; y < p.ny; ++y) {
+      for (int x = 0; x < p.nx; ++x) {
+        const Site s{x, y, z};
+        const global_index n = site_index(p, s, 0) / 4;
+        const double v = p.potential ? p.potential(s) : 0.0;
+        const Mat4 onsite = onsite_block(v, p.t);
+        row.clear();
+        row.emplace_back(n, &onsite);
+        // Row n couples to n+e_j via T_j^dag and to n-e_j via T_j (the two
+        // halves of the Hermitian pair the COO assembler emits).
+        const std::array<bool, 3> periodic = {p.periodic_x, p.periodic_y,
+                                              p.periodic_z};
+        const std::array<int, 3> extent = {p.nx, p.ny, p.nz};
+        for (int j = 0; j < 3; ++j) {
+          for (const int dir : {+1, -1}) {
+            Site nb = s;
+            int& coord = j == 0 ? nb.x : (j == 1 ? nb.y : nb.z);
+            coord += dir;
+            if (coord >= extent[j] || coord < 0) {
+              if (!periodic[j]) continue;
+              coord = (coord + extent[j]) % extent[j];
+            }
+            row.emplace_back(site_index(p, nb, 0) / 4,
+                             dir > 0 ? &hop_adj[j] : &hop[j]);
+          }
+        }
+        std::sort(row.begin(), row.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [col, blk] : row) {
+          const bool fresh =
+              static_cast<global_index>(bcol.size()) == bptr.back() ||
+              bcol.back() != static_cast<local_index>(col);
+          if (fresh) {
+            bcol.push_back(static_cast<local_index>(col));
+            vals.resize(vals.size() + 16, complex_t{});
+          }
+          // Column-major within the 4x4 block (the BsrMatrix layout).  A
+          // fresh block is *assigned*, not accumulated: 0.0 + (-0.0) would
+          // flip negatively-signed zero parts and break the bitwise match
+          // with the COO/CRS assembler.
+          complex_t* dst = vals.data() + vals.size() - 16;
+          for (int a = 0; a < 4; ++a) {
+            for (int b = 0; b < 4; ++b) {
+              if (fresh) {
+                dst[4 * b + a] = (*blk)[a][b];
+              } else {
+                dst[4 * b + a] += (*blk)[a][b];
+              }
+            }
+          }
+        }
+        bptr.push_back(static_cast<global_index>(bcol.size()));
+      }
+    }
+  }
+  return sparse::BsrMatrix(dim, dim, 4, std::move(bptr), std::move(bcol),
+                           std::move(vals), precision);
+}
+
 std::vector<double> exact_ti_spectrum_periodic(const TIParams& p) {
   require(p.periodic_x && p.periodic_y && p.periodic_z && !p.potential,
           "exact spectrum: fully periodic, potential-free case only");

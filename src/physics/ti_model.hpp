@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 #include "util/types.hpp"
 
@@ -63,6 +64,14 @@ struct TIParams {
 
 /// Builds the sparse Hamiltonian.  The result is Hermitian by construction.
 [[nodiscard]] sparse::CrsMatrix build_ti_hamiltonian(const TIParams& p);
+
+/// Builds the same Hamiltonian directly in 4x4 block form — one dense site
+/// block per (site, neighbour) pair, no COO/CRS round trip.  The nonzero
+/// values are bitwise identical to build_ti_hamiltonian() (f64 precision);
+/// MatrixPrecision::f32 narrows the stored values once at assembly.
+[[nodiscard]] sparse::BsrMatrix build_ti_hamiltonian_bsr(
+    const TIParams& p,
+    sparse::MatrixPrecision precision = sparse::MatrixPrecision::f64);
 
 /// Exact Bloch eigenvalues (4 per k point, two doubly-degenerate branches)
 /// for the fully periodic, potential-free case — validation only.

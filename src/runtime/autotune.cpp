@@ -9,6 +9,7 @@
 #include "blas/block_vector.hpp"
 #include "runtime/dist_matrix.hpp"
 #include "sparse/kpm_kernels.hpp"
+#include "sparse/matrix_stats.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -112,8 +113,11 @@ class TileConfigGuard {
 // ---------------------------------------------------------------------------
 // Cache-file serialization.  The format is a flat JSON document we both
 // write and parse; anything that does not scan cleanly invalidates the whole
-// file and the tuner falls back to probing (and rewrites it).
-constexpr int kCacheVersion = 1;
+// file and the tuner falls back to probing (and rewrites it).  Version 2:
+// keys carry the full storage identity (block format, value precision,
+// index width); v1 entries would collide across those, so v1 files are
+// rejected wholesale and re-probed.
+constexpr int kCacheVersion = 2;
 
 bool parse_double_field(const std::string& obj, const char* name,
                         double* out) {
@@ -137,7 +141,30 @@ bool parse_string_field(const std::string& obj, const char* name,
   return true;
 }
 
+/// Suffixes the block-format identity shared by BSR and SELL-block tags.
+void append_block_identity(std::string& tag, sparse::MatrixPrecision prec,
+                           int index_bits) {
+  if (prec == sparse::MatrixPrecision::f32) tag += "-f32";
+  if (index_bits == 16) tag += "-i16";
+}
+
 }  // namespace
+
+std::string format_tag(const sparse::CrsMatrix&) { return "crs"; }
+
+std::string format_tag(const sparse::SellMatrix&) { return "sell"; }
+
+std::string format_tag(const sparse::BsrMatrix& m) {
+  std::string tag = "bsr" + std::to_string(m.block_dim());
+  append_block_identity(tag, m.precision(), m.index_bits());
+  return tag;
+}
+
+std::string format_tag(const sparse::SellBlockMatrix& m) {
+  std::string tag = "sellb" + std::to_string(m.block_dim());
+  append_block_identity(tag, m.precision(), m.index_bits());
+  return tag;
+}
 
 std::string AutoTuner::default_cache_path() {
   const char* env = std::getenv("KPM_TUNE_CACHE");
@@ -340,6 +367,61 @@ TileTuneResult AutoTuner::tune_tiles(const sparse::CrsMatrix& m, int width,
 TileTuneResult AutoTuner::tune_tiles(const sparse::SellMatrix& m, int width,
                                      const TileTuneParams& p) {
   return tune_tiles_impl(*this, m, "sell", width, p);
+}
+
+TileTuneResult AutoTuner::tune_tiles(const sparse::BsrMatrix& m, int width,
+                                     const TileTuneParams& p) {
+  return tune_tiles_impl(*this, m, format_tag(m).c_str(), width, p);
+}
+
+TileTuneResult AutoTuner::tune_tiles(const sparse::SellBlockMatrix& m,
+                                     int width, const TileTuneParams& p) {
+  return tune_tiles_impl(*this, m, format_tag(m).c_str(), width, p);
+}
+
+AutoTuner::FormatTuneResult AutoTuner::tune_format(const sparse::CrsMatrix& m,
+                                                   int width) {
+  return tune_format(m, width, FormatTuneParams{});
+}
+
+AutoTuner::FormatTuneResult AutoTuner::tune_format(const sparse::CrsMatrix& m,
+                                                   int width,
+                                                   const FormatTuneParams& p) {
+  FormatTuneResult out;
+  const auto consider = [&](const std::string& tag, const TileTuneResult& r) {
+    out.probed.push_back({tag, r.seconds, r.config, r.from_cache});
+    if (out.format.empty() || r.seconds < out.tiles.seconds) {
+      out.format = tag;
+      out.tiles = r;
+    }
+  };
+
+  consider("crs", tune_tiles(m, width, p.tile));
+  const bool square = m.nrows() == m.ncols();
+  if (p.probe_sell && square) {
+    const sparse::SellMatrix sell(m, p.sell_chunk, p.sell_sigma);
+    consider("sell", tune_tiles(sell, width, p.tile));
+  }
+  for (const int b : p.block_dims) {
+    if (b < 2 || m.nrows() % b != 0 || m.ncols() % b != 0) continue;
+    if (sparse::block_fill_ratio(m, b) < p.min_block_fill) continue;
+    const int precisions = p.probe_mixed_precision ? 2 : 1;
+    for (int pi = 0; pi < precisions; ++pi) {
+      const auto prec = pi == 0 ? sparse::MatrixPrecision::f64
+                                : sparse::MatrixPrecision::f32;
+      const sparse::BsrMatrix bsr(m, b, prec);
+      consider(format_tag(bsr), tune_tiles(bsr, width, p.tile));
+      if (square) {
+        const sparse::SellBlockMatrix sb(bsr, p.sell_block_chunk,
+                                         p.sell_block_sigma);
+        consider(format_tag(sb), tune_tiles(sb, width, p.tile));
+      }
+    }
+  }
+  // Each tune_tiles call installed its own winner; leave the overall
+  // winner's configuration installed for the production sweeps.
+  if (p.tile.install) sparse::set_tile_config(out.tiles.config);
+  return out;
 }
 
 AutoTuneResult auto_tune_weights(Communicator& comm,

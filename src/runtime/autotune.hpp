@@ -17,12 +17,21 @@
 // block kernel — {column-tile width} x {row-band height} x {NT stores
 // on/off} (sparse::TileConfig) — installs the fastest configuration, and
 // persists it in a small JSON cache file keyed by (matrix shape, format,
-// threads, width, ranks).  A later run with a warm cache applies the stored
-// configuration without a single kernel timing run.  The cache file defaults
-// to ".kpm_tune_cache.json" in the working directory; override with the
+// threads, width, ranks).  The format component of the key carries the full
+// storage identity — "bsr4-f32-i16" distinguishes block dimension, value
+// precision and index width (cache schema v2; v1 files lacked the
+// block-format fields and are rejected wholesale, forcing a clean re-probe).
+// A later run with a warm cache applies the stored configuration without a
+// single kernel timing run.  The cache file defaults to
+// ".kpm_tune_cache.json" in the working directory; override with the
 // KPM_TUNE_CACHE environment variable or the constructor argument, clear by
 // deleting the file.  A corrupted or version-mismatched file is ignored (the
 // tuner probes and rewrites it).
+//
+// Format probe.  tune_format() extends the probe space across storage
+// formats (DESIGN §5f): it converts the CRS operator into each candidate
+// block format, tile-tunes every one (individually cached), and reports the
+// fastest — the storage-format analogue of the kernel-variant probe.
 #pragma once
 
 #include <functional>
@@ -37,6 +46,14 @@
 #include "sparse/sell.hpp"
 
 namespace kpm::runtime {
+
+/// Storage-identity tag used as the format component of cache keys and in
+/// bench records: "crs", "sell", and e.g. "bsr4-f32-i16" for a 4x4 BSR with
+/// float32 values and the 16-bit delta index stream.
+[[nodiscard]] std::string format_tag(const sparse::CrsMatrix& m);
+[[nodiscard]] std::string format_tag(const sparse::SellMatrix& m);
+[[nodiscard]] std::string format_tag(const sparse::BsrMatrix& m);
+[[nodiscard]] std::string format_tag(const sparse::SellBlockMatrix& m);
 
 /// Candidate grid and probe budget of the tile autotuner.  The probe is
 /// greedy two-stage: (1) tile width x NT stores with no banding, (2) the
@@ -78,6 +95,12 @@ class AutoTuner {
                             const TileTuneParams& p = {});
   TileTuneResult tune_tiles(const sparse::SellMatrix& m, int width,
                             const TileTuneParams& p = {});
+  /// Block-format overloads; the cache key carries the full storage identity
+  /// (block dimension, value precision, index width) via format_tag().
+  TileTuneResult tune_tiles(const sparse::BsrMatrix& m, int width,
+                            const TileTuneParams& p = {});
+  TileTuneResult tune_tiles(const sparse::SellBlockMatrix& m, int width,
+                            const TileTuneParams& p = {});
 
   /// Cache primitives (shared with the collective weight tuner below).
   [[nodiscard]] static std::string cache_key(const char* format,
@@ -99,6 +122,45 @@ class AutoTuner {
     return entries_.size();
   }
   [[nodiscard]] static std::string default_cache_path();
+
+  struct FormatProbe {
+    std::string format;           ///< format_tag() of the candidate
+    double seconds = 0.0;         ///< best tile-tuned seconds/sweep
+    sparse::TileConfig config{};  ///< its winning tile configuration
+    bool from_cache = false;
+  };
+
+  /// Candidate space of the format probe.  Block formats are only probed
+  /// when the shape is divisible by the block dimension and the detected
+  /// block fill clears `min_block_fill` (streaming mostly explicit zeros
+  /// cannot win, so skip the conversion and the timing).
+  struct FormatTuneParams {
+    TileTuneParams tile;              ///< tile grid probed per format
+    std::vector<int> block_dims{4, 2};
+    bool probe_sell = true;           ///< scalar SELL-C-sigma candidate
+    int sell_chunk = 8;
+    int sell_sigma = 32;
+    int sell_block_chunk = 8;         ///< SELL-block chunk/window (block rows)
+    int sell_block_sigma = 32;
+    /// Also probe the f32-value mixed-precision variants of each block
+    /// format (opt-in: it changes the numerics, see DESIGN §5f).
+    bool probe_mixed_precision = false;
+    double min_block_fill = 0.25;
+  };
+
+  struct FormatTuneResult {
+    std::string format;               ///< winning format tag
+    TileTuneResult tiles;             ///< winning tile configuration
+    std::vector<FormatProbe> probed;  ///< every candidate, probe order
+  };
+
+  /// Probes the candidate storage formats of `m` (each tile-tuned through
+  /// the cache) and re-installs the overall winner's tile configuration.
+  /// The winner is advisory: the caller converts the operator to the
+  /// reported format for production sweeps.
+  FormatTuneResult tune_format(const sparse::CrsMatrix& m, int width,
+                               const FormatTuneParams& p);
+  FormatTuneResult tune_format(const sparse::CrsMatrix& m, int width);
 
  private:
   struct Entry {

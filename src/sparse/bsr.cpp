@@ -1,0 +1,268 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+
+namespace {
+
+constexpr bool valid_block_dim(int b) { return b == 2 || b == 4; }
+
+/// Exact-zero test on the parts: fill-in is written as {+0.0, +0.0}, so an
+/// assembled value only collides with fill if both parts are exactly zero.
+inline bool is_exact_zero(complex_t v) noexcept {
+  return v.real() == 0.0 && v.imag() == 0.0;
+}
+
+}  // namespace
+
+const char* precision_name(MatrixPrecision p) noexcept {
+  switch (p) {
+    case MatrixPrecision::f64: return "f64";
+    case MatrixPrecision::f32: return "f32";
+  }
+  return "unknown";
+}
+
+BsrMatrix::BsrMatrix(const CrsMatrix& crs, int block_dim,
+                     MatrixPrecision precision)
+    : nrows_(crs.nrows()),
+      ncols_(crs.ncols()),
+      nnz_(crs.nnz()),
+      b_(block_dim),
+      precision_(precision) {
+  require(valid_block_dim(block_dim), "BsrMatrix: block_dim must be 2 or 4");
+  require(nrows_ % b_ == 0 && ncols_ % b_ == 0,
+          "BsrMatrix: matrix dimensions must be divisible by block_dim");
+  const global_index nbr = nrows_ / b_;
+  block_ptr_.assign(static_cast<std::size_t>(nbr) + 1, 0);
+
+  // Pass 1: distinct block columns per block row (rows are sorted, so the
+  // merge across the b scalar rows of a block row is a b-way union).
+  const auto row_ptr = crs.row_ptr();
+  const auto col = crs.col_idx();
+  std::vector<std::vector<local_index>> row_blocks(
+      static_cast<std::size_t>(nbr));
+#pragma omp parallel for schedule(static)
+  for (global_index br = 0; br < nbr; ++br) {
+    auto& blocks = row_blocks[static_cast<std::size_t>(br)];
+    for (int ib = 0; ib < b_; ++ib) {
+      const global_index i = br * b_ + ib;
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        blocks.push_back(col[k] / b_);
+      }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    block_ptr_[static_cast<std::size_t>(br) + 1] =
+        static_cast<global_index>(blocks.size());
+  }
+  for (global_index br = 0; br < nbr; ++br) {
+    block_ptr_[static_cast<std::size_t>(br) + 1] +=
+        block_ptr_[static_cast<std::size_t>(br)];
+  }
+
+  // Pass 2: scatter values into dense column-major blocks.
+  const global_index nblocks = block_ptr_[static_cast<std::size_t>(nbr)];
+  block_col_.assign(static_cast<std::size_t>(nblocks), 0);
+  values_.assign(static_cast<std::size_t>(nblocks) * b_ * b_, complex_t{});
+  const auto vals = crs.values();
+#pragma omp parallel for schedule(static)
+  for (global_index br = 0; br < nbr; ++br) {
+    const auto& blocks = row_blocks[static_cast<std::size_t>(br)];
+    const global_index base = block_ptr_[static_cast<std::size_t>(br)];
+    for (std::size_t j = 0; j < blocks.size(); ++j) {
+      block_col_[static_cast<std::size_t>(base) + j] = blocks[j];
+    }
+    for (int ib = 0; ib < b_; ++ib) {
+      const global_index i = br * b_ + ib;
+      for (global_index k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const local_index bc = col[k] / b_;
+        const auto it = std::lower_bound(blocks.begin(), blocks.end(), bc);
+        const global_index blk = base + (it - blocks.begin());
+        const int jb = static_cast<int>(col[k] % b_);
+        values_[static_cast<std::size_t>(blk) * b_ * b_ + jb * b_ + ib] =
+            vals[k];
+      }
+    }
+  }
+  finalize_indices_and_precision();
+}
+
+BsrMatrix::BsrMatrix(global_index nrows, global_index ncols, int block_dim,
+                     aligned_vector<global_index> block_ptr,
+                     aligned_vector<local_index> block_col,
+                     aligned_vector<complex_t> values,
+                     MatrixPrecision precision)
+    : nrows_(nrows),
+      ncols_(ncols),
+      b_(block_dim),
+      precision_(precision),
+      block_ptr_(std::move(block_ptr)),
+      block_col_(std::move(block_col)),
+      values_(std::move(values)) {
+  require(valid_block_dim(block_dim), "BsrMatrix: block_dim must be 2 or 4");
+  require(nrows_ % b_ == 0 && ncols_ % b_ == 0,
+          "BsrMatrix: matrix dimensions must be divisible by block_dim");
+  const global_index nbr = nrows_ / b_;
+  require(static_cast<global_index>(block_ptr_.size()) == nbr + 1 &&
+              block_ptr_.front() == 0 &&
+              block_ptr_.back() ==
+                  static_cast<global_index>(block_col_.size()),
+          "BsrMatrix: malformed block_ptr");
+  require(values_.size() == block_col_.size() * static_cast<std::size_t>(b_) *
+                                static_cast<std::size_t>(b_),
+          "BsrMatrix: values size must be num_blocks * b^2");
+  const global_index nbc = ncols_ / b_;
+  for (global_index br = 0; br < nbr; ++br) {
+    local_index prev = -1;
+    for (global_index k = block_ptr_[static_cast<std::size_t>(br)];
+         k < block_ptr_[static_cast<std::size_t>(br) + 1]; ++k) {
+      const local_index bc = block_col_[static_cast<std::size_t>(k)];
+      require(bc > prev && bc < nbc,
+              "BsrMatrix: block columns must ascend and stay in bounds");
+      prev = bc;
+    }
+  }
+  nnz_ = 0;
+  for (const complex_t v : values_) {
+    if (!is_exact_zero(v)) ++nnz_;
+  }
+  finalize_indices_and_precision();
+}
+
+void BsrMatrix::finalize_indices_and_precision() {
+  // 16-bit delta index stream: the first block of each row seeds the decode
+  // from first_col_, every block stores the (non-negative) delta to its
+  // predecessor.  One oversized gap anywhere disables the stream for the
+  // whole matrix — the kernel wants a single decode loop, not a per-row mix.
+  const global_index nbr = nrows_ / b_;
+  bool fits = true;
+  first_col_.assign(static_cast<std::size_t>(nbr), 0);
+  col_delta16_.assign(block_col_.size(), 0);
+  for (global_index br = 0; br < nbr && fits; ++br) {
+    const global_index lo = block_ptr_[static_cast<std::size_t>(br)];
+    const global_index hi = block_ptr_[static_cast<std::size_t>(br) + 1];
+    if (lo == hi) continue;
+    first_col_[static_cast<std::size_t>(br)] =
+        block_col_[static_cast<std::size_t>(lo)];
+    for (global_index k = lo + 1; k < hi; ++k) {
+      const local_index d = block_col_[static_cast<std::size_t>(k)] -
+                            block_col_[static_cast<std::size_t>(k) - 1];
+      if (d > 65535) {
+        fits = false;
+        break;
+      }
+      col_delta16_[static_cast<std::size_t>(k)] =
+          static_cast<std::uint16_t>(d);
+    }
+  }
+  if (!fits) {
+    first_col_.clear();
+    first_col_.shrink_to_fit();
+    col_delta16_.clear();
+    col_delta16_.shrink_to_fit();
+  }
+  if (precision_ == MatrixPrecision::f32) {
+    values_f32_.resize(values_.size());
+    for (std::size_t k = 0; k < values_.size(); ++k) {
+      values_f32_[k] = {static_cast<float>(values_[k].real()),
+                        static_cast<float>(values_[k].imag())};
+    }
+    values_.clear();
+    values_.shrink_to_fit();
+  }
+  // Occupancy masks at the *stored* precision: a double that narrows to
+  // +-0.0f is fill as far as the f32 kernel is concerned, so the mask is
+  // built after narrowing and mask-driven iteration touches exactly the
+  // entries a per-entry zero test on the stored values would keep.
+  const std::size_t bb = static_cast<std::size_t>(b_) * b_;
+  block_mask_.assign(block_col_.size(), 0);
+  for (std::size_t blk = 0; blk < block_col_.size(); ++blk) {
+    std::uint16_t m = 0;
+    for (std::size_t e = 0; e < bb; ++e) {
+      const bool nz =
+          precision_ == MatrixPrecision::f32
+              ? values_f32_[blk * bb + e] != std::complex<float>{}
+              : !is_exact_zero(values_[blk * bb + e]);
+      if (nz) m |= static_cast<std::uint16_t>(1u << e);
+    }
+    block_mask_[blk] = m;
+  }
+}
+
+double BsrMatrix::fill_ratio() const noexcept {
+  const global_index stored = stored_values();
+  return stored > 0 ? static_cast<double>(nnz_) / static_cast<double>(stored)
+                    : 1.0;
+}
+
+complex_t BsrMatrix::at(global_index row, global_index col) const {
+  require(row >= 0 && row < nrows_ && col >= 0 && col < ncols_,
+          "BsrMatrix::at: index out of range");
+  const global_index br = row / b_;
+  const local_index bc = static_cast<local_index>(col / b_);
+  const global_index lo = block_ptr_[static_cast<std::size_t>(br)];
+  const global_index hi = block_ptr_[static_cast<std::size_t>(br) + 1];
+  const auto* begin = block_col_.data() + lo;
+  const auto* end = block_col_.data() + hi;
+  const auto* it = std::lower_bound(begin, end, bc);
+  if (it == end || *it != bc) return {};
+  const std::size_t blk = static_cast<std::size_t>(lo + (it - begin));
+  const std::size_t off = blk * b_ * b_ +
+                          static_cast<std::size_t>(col % b_) * b_ +
+                          static_cast<std::size_t>(row % b_);
+  if (precision_ == MatrixPrecision::f64) return values_[off];
+  return {static_cast<double>(values_f32_[off].real()),
+          static_cast<double>(values_f32_[off].imag())};
+}
+
+CrsMatrix BsrMatrix::to_crs() const {
+  CooMatrix coo(nrows_, ncols_);
+  const global_index nbr = nrows_ / b_;
+  for (global_index br = 0; br < nbr; ++br) {
+    for (global_index k = block_ptr_[static_cast<std::size_t>(br)];
+         k < block_ptr_[static_cast<std::size_t>(br) + 1]; ++k) {
+      const global_index col0 =
+          static_cast<global_index>(block_col_[static_cast<std::size_t>(k)]) *
+          b_;
+      for (int jb = 0; jb < b_; ++jb) {
+        for (int ib = 0; ib < b_; ++ib) {
+          const std::size_t off = static_cast<std::size_t>(k) * b_ * b_ +
+                                  static_cast<std::size_t>(jb) * b_ + ib;
+          const complex_t v =
+              precision_ == MatrixPrecision::f64
+                  ? values_[off]
+                  : complex_t{
+                        static_cast<double>(values_f32_[off].real()),
+                        static_cast<double>(values_f32_[off].imag())};
+          if (!is_exact_zero(v)) coo.add(br * b_ + ib, col0 + jb, v);
+        }
+      }
+    }
+  }
+  coo.compress();
+  return CrsMatrix(coo);
+}
+
+double BsrMatrix::storage_bytes() const noexcept {
+  const double nblocks = static_cast<double>(num_blocks());
+  const double value_bytes =
+      precision_ == MatrixPrecision::f64 ? 16.0 : 8.0;
+  // Per block: the values, one index at index_bits(), and the 2-byte
+  // occupancy mask the kernel streams to skip the zero fill.
+  double bytes = static_cast<double>(stored_values()) * value_bytes +
+                 nblocks * (index_bits() / 8.0 + 2.0);
+  if (index_bits() == 16) {
+    bytes += static_cast<double>(block_rows()) * sizeof(local_index);
+  }
+  return bytes;
+}
+
+}  // namespace kpm::sparse

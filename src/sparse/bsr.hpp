@@ -1,0 +1,153 @@
+// Block Sparse Row storage (BSR) with b x b dense blocks, b in {2, 4}.
+//
+// The TI Hamiltonian couples 4 spin-orbital degrees per lattice site, so
+// every nonzero belongs to a dense(ish) 4x4 site block.  Storing one column
+// index per *block* amortizes the index over b^2 stored values and lets the
+// kernel load one v block-row for b matrix rows — attacking the Nnz(Sd+Si)
+// matrix-traffic term of the code-balance model (Eq. 5, DESIGN §5f) that
+// R-blocking cannot touch.  Two further knobs shrink the stream:
+//
+//  - 16-bit delta column indices: within a block row, block-column indices
+//    ascend, so each block stores the delta to its predecessor in a uint16
+//    (the row's first block column sits in a per-row 32-bit side array).
+//    Construction falls back to plain 32-bit indices automatically when any
+//    delta overflows 65535, so arbitrary matrices stay representable.
+//  - Opt-in mixed precision (MatrixPrecision::f32): matrix values stored as
+//    complex<float>, kernel accumulators stay double.  Halves Sd for the
+//    matrix stream; vectors and moments remain full double precision.  See
+//    DESIGN §5f for the measured error bound.
+//
+// Zero fill-in is explicit: blocks are stored dense, and fill_ratio()
+// reports nnz / stored (the TI gamma-matrix blocks are ~half dense, so BSR
+// only pays off combined with the f32/u16 compression — matrix_stats
+// records the block fill so benches can explain the outcome either way).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+
+#include "sparse/crs.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+/// Storage precision of matrix *values* (accumulators are always double).
+enum class MatrixPrecision { f64, f32 };
+
+[[nodiscard]] const char* precision_name(MatrixPrecision p) noexcept;
+
+class BsrMatrix {
+ public:
+  BsrMatrix() = default;
+
+  /// Converts from CRS.  Requires nrows and ncols divisible by `block_dim`
+  /// (block_dim in {2, 4}).  Scalar entries are scattered into dense
+  /// zero-filled blocks; values are preserved bitwise (f64) or narrowed once
+  /// (f32).
+  BsrMatrix(const CrsMatrix& crs, int block_dim,
+            MatrixPrecision precision = MatrixPrecision::f64);
+
+  /// Assembles from pre-built block structure (the block-aware TI path):
+  /// `block_ptr` has block_rows+1 entries, `block_col` is ascending within
+  /// each block row, `values` holds one column-major b x b block per entry
+  /// of `block_col`.
+  BsrMatrix(global_index nrows, global_index ncols, int block_dim,
+            aligned_vector<global_index> block_ptr,
+            aligned_vector<local_index> block_col,
+            aligned_vector<complex_t> values,
+            MatrixPrecision precision = MatrixPrecision::f64);
+
+  [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] global_index ncols() const noexcept { return ncols_; }
+  /// Scalar nonzeros of the source matrix (flops are counted on these).
+  [[nodiscard]] global_index nnz() const noexcept { return nnz_; }
+  [[nodiscard]] int block_dim() const noexcept { return b_; }
+  [[nodiscard]] global_index block_rows() const noexcept {
+    return nrows_ / b_;
+  }
+  [[nodiscard]] global_index num_blocks() const noexcept {
+    return static_cast<global_index>(block_col_.size());
+  }
+  /// Stored values including zero fill (= num_blocks * b^2).
+  [[nodiscard]] global_index stored_values() const noexcept {
+    return num_blocks() * b_ * b_;
+  }
+  /// nnz / stored_values, <= 1; the beta of DESIGN §5f's Bmin formulas.
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  [[nodiscard]] MatrixPrecision precision() const noexcept {
+    return precision_;
+  }
+  /// 16 when the delta-compressed index stream is active, else 32.
+  [[nodiscard]] int index_bits() const noexcept {
+    return col_delta16_.empty() ? 32 : 16;
+  }
+
+  [[nodiscard]] std::span<const global_index> block_ptr() const noexcept {
+    return block_ptr_;
+  }
+  /// Plain 32-bit block-column indices (always present — ground truth).
+  [[nodiscard]] std::span<const local_index> block_col() const noexcept {
+    return block_col_;
+  }
+  /// First block column of each block row (the delta decode seed); empty
+  /// when index_bits() == 32.
+  [[nodiscard]] std::span<const local_index> first_block_col() const noexcept {
+    return first_col_;
+  }
+  /// Per-block deltas (first block of a row carries delta 0); empty when
+  /// index_bits() == 32.
+  [[nodiscard]] std::span<const std::uint16_t> col_delta16() const noexcept {
+    return col_delta16_;
+  }
+  /// Per-block occupancy bitmask: bit (jb * b + ib) is set iff the stored
+  /// entry is nonzero at the *stored* precision.  Blocks are column-major,
+  /// so ascending set bits reproduce the scalar-CRS multiply order; the
+  /// kernel iterates set bits instead of testing all b^2 entries for zero,
+  /// and explicit fill costs no work at all.
+  [[nodiscard]] std::span<const std::uint16_t> block_mask() const noexcept {
+    return block_mask_;
+  }
+  /// Column-major b x b blocks; empty when precision() == f32.
+  [[nodiscard]] std::span<const complex_t> values() const noexcept {
+    return values_;
+  }
+  /// Narrowed blocks; empty when precision() == f64.
+  [[nodiscard]] std::span<const std::complex<float>> values_f32()
+      const noexcept {
+    return values_f32_;
+  }
+
+  /// Value at (row, col) — zero when outside every stored block.  O(block
+  /// row length) lookup; f32 storage is widened back to double.
+  [[nodiscard]] complex_t at(global_index row, global_index col) const;
+
+  /// Expands back to CRS, dropping exact zeros (the fill-in).  With f64
+  /// precision the surviving values are bitwise identical to the source.
+  [[nodiscard]] CrsMatrix to_crs() const;
+
+  /// Bytes streamed per SpMV: values at the stored precision + one block
+  /// index at index_bits() per block (+ the 4-byte per-row decode seeds on
+  /// the 16-bit path).  The analogue of CrsMatrix::storage_bytes().
+  [[nodiscard]] double storage_bytes() const noexcept;
+
+ private:
+  void finalize_indices_and_precision();
+
+  global_index nrows_ = 0;
+  global_index ncols_ = 0;
+  global_index nnz_ = 0;
+  int b_ = 4;
+  MatrixPrecision precision_ = MatrixPrecision::f64;
+  aligned_vector<global_index> block_ptr_;
+  aligned_vector<local_index> block_col_;
+  aligned_vector<local_index> first_col_;       // 16-bit path only
+  aligned_vector<std::uint16_t> col_delta16_;   // 16-bit path only
+  aligned_vector<std::uint16_t> block_mask_;    // one occupancy word / block
+  aligned_vector<complex_t> values_;            // f64 path
+  aligned_vector<std::complex<float>> values_f32_;  // f32 path
+};
+
+}  // namespace kpm::sparse

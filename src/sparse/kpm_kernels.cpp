@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <type_traits>
 #include <vector>
 
@@ -159,24 +161,32 @@ struct SweepPlan {
 };
 
 /// Resolves the automatic policy: the sub-width `width` will be tiled into,
-/// or a value >= width when the sweep should run as one pass.
-int resolve_tile_width(int width, KernelVariant variant) {
+/// or a value >= width when the sweep should run as one pass.  `auto_tile`
+/// is the register-budget sub-width of the automatic policy — block formats
+/// keep b accumulator rows live per lane, so they pass a smaller budget.
+int resolve_tile_width(int width, KernelVariant variant,
+                       int auto_tile = kAutoTileWidth) {
   if (variant == KernelVariant::force_generic) return width;
   const int cfg = g_tile_width.load(std::memory_order_relaxed);
   if (cfg < 0) return width;  // tiling disabled
   if (cfg > 0) return cfg;
   // Auto policy: tile only above the register budget.
-  return width > kAutoTileWidth ? kAutoTileWidth : width;
+  return width > auto_tile ? auto_tile : width;
 }
 
-SweepPlan make_plan(int width) {
+/// Automatic column-tile sub-width for a b x b block kernel.  The ib-outer
+/// pass keeps a single accumulator row live — the same register footprint
+/// as the scalar kernels — so the block formats share kAutoTileWidth.
+constexpr int block_auto_tile(int) { return kAutoTileWidth; }
+
+SweepPlan make_plan(int width, int auto_tile = kAutoTileWidth) {
   const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
   SweepPlan plan;
   if (variant != KernelVariant::force_generic) {
     plan.band_rows = g_band_rows.load(std::memory_order_relaxed);
     plan.nt = g_nt_stores.load(std::memory_order_relaxed);
   }
-  const int tile = resolve_tile_width(width, variant);
+  const int tile = resolve_tile_width(width, variant, auto_tile);
   if (tile < width) {
     int off = 0;
     for (; off + tile <= width; off += tile) plan.add(tile, off);
@@ -411,6 +421,205 @@ void sell_pass(const SellMatrix& a, const ScalarsRI& s,
 }
 
 // ---------------------------------------------------------------------------
+// Block-format passes (DESIGN.md §5f).  A b x b block kernel amortizes one
+// block-column index over b^2 stored values and keeps a block row's values,
+// indices and v block-rows L1-resident while its b output rows are produced;
+// VT is the stored value part type (double or float — accumulation is
+// always double), D16 selects the 16-bit delta column decode.
+
+template <class VT, class Matrix>
+const VT* block_values(const Matrix& a) noexcept {
+  if constexpr (std::is_same_v<VT, double>) {
+    return re_im(a.values().data());
+  } else {
+    // [complex.numbers.general]/4 again, for complex<float> storage.
+    return reinterpret_cast<const float*>(a.values_f32().data());
+  }
+}
+
+/// One output row's share of a b x b block multiply-accumulate:
+/// acc += blk(ib, jb) * v(bc*B + jb) over the pass lanes, for every jb with
+/// entry (ib, jb) nonzero.  Identical expression tree for every W, so the
+/// fixed/generic parity contract extends to the block formats.
+///
+/// Entries that are exactly zero — the explicit fill of a half-dense block
+/// (1 - beta of the stored values) and the SELL-block chunk padding — must
+/// not execute: a +-0 entry contributes nothing numerically, but the fill
+/// would inflate the work by 1/beta (~2.2x on the TI matrix) and push the
+/// kernel from bandwidth- to compute-bound.  Instead of testing entries
+/// for zero, the walk extracts row ib's bits of the precomputed per-block
+/// occupancy word (BsrMatrix::block_mask; bit e = jb*B + ib, column-major)
+/// and iterates the survivors with countr_zero — useful entries only, and
+/// an all-zero padding block exits immediately.  Ascending set bits give
+/// ascending jb, so per output row the multiply-accumulate order is the
+/// scalar-CRS column order and the results stay bitwise identical.
+template <int B, class VT, class W>
+inline void block_mac_row(W wt, const VT* __restrict__ blk,
+                          std::uint16_t mask, int ib,
+                          const double* __restrict__ vd, std::size_t vrow0,
+                          int stride, int off, double* __restrict__ acc_re,
+                          double* __restrict__ acc_im) {
+  const int lanes = wt.get();
+  constexpr std::uint16_t row_bits = B == 4 ? 0x1111 : 0x5;  // bits jb*B
+  std::uint16_t m = static_cast<std::uint16_t>((mask >> ib) & row_bits);
+  while (m != 0) {
+    const int jb = std::countr_zero(m) / B;
+    m = static_cast<std::uint16_t>(m & (m - 1));
+    const double mre = static_cast<double>(blk[2 * (jb * B + ib)]);
+    const double mim = static_cast<double>(blk[2 * (jb * B + ib) + 1]);
+    const double* __restrict__ vr =
+        vd + 2 * ((vrow0 + static_cast<std::size_t>(jb)) * stride + off);
+#pragma omp simd
+    for (int r = 0; r < lanes; ++r) {
+      acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
+      acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
+    }
+  }
+}
+
+
+// One column-tile pass of the BSR block-row loop over [br_begin, br_end).
+//
+// The block row is walked once per output row (ib outer): one row's split
+// accumulators fit in registers for the whole walk — the scalar-CRS
+// structure — instead of keeping B rows live and pushing every
+// multiply-accumulate through L1.  The B - 1 re-walks of the block row's
+// values, indices and v block-rows hit L1 (a TI block row is ~2 KB).
+template <int B, class VT, bool D16, class W, bool WithDots, bool NT>
+void bsr_pass(const BsrMatrix& a, const ScalarsRI& s,
+              const double* __restrict__ vd, double* __restrict__ wd,
+              int stride, int off, global_index br_begin, global_index br_end,
+              W wt, double* __restrict__ lvv, double* __restrict__ lwr,
+              double* __restrict__ lwi, double* acc_scratch) {
+  const int lanes = wt.get();
+  const auto* __restrict__ bptr = a.block_ptr().data();
+  const auto* __restrict__ bcol = a.block_col().data();
+  const auto* __restrict__ first =
+      D16 ? a.first_block_col().data() : nullptr;
+  const auto* __restrict__ delta = D16 ? a.col_delta16().data() : nullptr;
+  const auto* __restrict__ bmask = a.block_mask().data();
+  const VT* __restrict__ vald = block_values<VT>(a);
+  PassAccumulators<W> acc(wt, acc_scratch);
+  double* __restrict__ acc_re = acc.re;
+  double* __restrict__ acc_im = acc.im;
+  for (global_index br = br_begin; br < br_end; ++br) {
+    const global_index klo = bptr[br];
+    const global_index khi = bptr[br + 1];
+    for (int ib = 0; ib < B; ++ib) {
+#pragma omp simd
+      for (int r = 0; r < lanes; ++r) {
+        acc_re[r] = 0.0;
+        acc_im[r] = 0.0;
+      }
+      local_index bc = D16 ? first[br] : 0;
+      for (global_index k = klo; k < khi; ++k) {
+        if constexpr (D16) {
+          bc += static_cast<local_index>(delta[k]);
+        } else {
+          bc = bcol[k];
+        }
+        const VT* __restrict__ blk =
+            vald + 2 * static_cast<std::size_t>(k) * B * B;
+        block_mac_row<B, VT>(wt, blk, bmask[k], ib, vd,
+                             static_cast<std::size_t>(bc) * B, stride, off,
+                             acc_re, acc_im);
+      }
+      const std::size_t base =
+          (static_cast<std::size_t>(br) * B + ib) * stride + off;
+      finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
+                                  wd + 2 * base, lvv, lwr, lwi);
+    }
+  }
+}
+
+// One column-tile pass of the SELL-block chunk loop over
+// [chunk_begin, chunk_end); padding blocks cost nothing via mask 0.  Same
+// ib-outer structure as bsr_pass: one output row's accumulators stay in
+// registers across the lane's whole block walk.
+template <int B, class VT, bool D16, class W, bool WithDots, bool NT>
+void sell_block_pass(const SellBlockMatrix& a, const ScalarsRI& s,
+                     const double* __restrict__ vd, double* __restrict__ wd,
+                     int stride, int off, global_index chunk_begin,
+                     global_index chunk_end, W wt, double* __restrict__ lvv,
+                     double* __restrict__ lwr, double* __restrict__ lwi,
+                     double* acc_scratch) {
+  const int lanes = wt.get();
+  const int chunk = a.chunk_height();
+  const global_index nbr = a.block_rows();
+  const auto* __restrict__ cptr = a.chunk_ptr().data();
+  const auto* __restrict__ clen = a.chunk_len().data();
+  const auto* __restrict__ bcol = a.block_col().data();
+  const auto* __restrict__ first =
+      D16 ? a.first_block_col().data() : nullptr;
+  const auto* __restrict__ delta = D16 ? a.col_delta16().data() : nullptr;
+  const auto* __restrict__ bmask = a.block_mask().data();
+  const VT* __restrict__ vald = block_values<VT>(a);
+  PassAccumulators<W> acc(wt, acc_scratch);
+  double* __restrict__ acc_re = acc.re;
+  double* __restrict__ acc_im = acc.im;
+  for (global_index c = chunk_begin; c < chunk_end; ++c) {
+    const global_index base = cptr[c];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<global_index>(chunk, nbr - c * chunk));
+    for (int lane = 0; lane < rows_in_chunk; ++lane) {
+      const global_index br = c * chunk + lane;
+      for (int ib = 0; ib < B; ++ib) {
+#pragma omp simd
+        for (int r = 0; r < lanes; ++r) {
+          acc_re[r] = 0.0;
+          acc_im[r] = 0.0;
+        }
+        local_index bc = D16 ? first[br] : 0;
+        for (local_index j = 0; j < clen[c]; ++j) {
+          const global_index moff =
+              base + static_cast<global_index>(j) * chunk + lane;
+          if constexpr (D16) {
+            bc += static_cast<local_index>(delta[moff]);
+          } else {
+            bc = bcol[moff];
+          }
+          const VT* __restrict__ blk =
+              vald + 2 * static_cast<std::size_t>(moff) * B * B;
+          block_mac_row<B, VT>(wt, blk, bmask[moff], ib, vd,
+                               static_cast<std::size_t>(bc) * B, stride, off,
+                               acc_re, acc_im);
+        }
+        const std::size_t base_w =
+            (static_cast<std::size_t>(br) * B + ib) * stride + off;
+        finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base_w,
+                                    wd + 2 * base_w, lvv, lwr, lwi);
+      }
+    }
+  }
+}
+
+/// Routes (block_dim, precision, index_bits) onto the compile-time template
+/// parameters of the block passes: f(int_const<B>, type_identity<VT>,
+/// bool_const<D16>).
+template <class F>
+void dispatch_block_format(int block_dim, bool f32, bool d16, F&& f) {
+  const auto with_vt = [&](auto bb, auto vt) {
+    if (d16) {
+      f(bb, vt, std::bool_constant<true>{});
+    } else {
+      f(bb, vt, std::bool_constant<false>{});
+    }
+  };
+  const auto with_b = [&](auto bb) {
+    if (f32) {
+      with_vt(bb, std::type_identity<float>{});
+    } else {
+      with_vt(bb, std::type_identity<double>{});
+    }
+  };
+  if (block_dim == 2) {
+    with_b(std::integral_constant<int, 2>{});
+  } else {
+    with_b(std::integral_constant<int, 4>{});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Parallel orchestration shared by every block kernel: one parallel region;
 // each thread takes its static slice of the iteration space, walks it band
 // by band, and runs every column-tile pass of the plan per band.  The dot
@@ -432,17 +641,22 @@ template <bool WithDots, class RunPass>
 void run_block_kernel(int width, const SweepPlan& plan,
                       std::span<const IndexRange<global_index>> segments,
                       global_index band_step, complex_t* dot_vv,
-                      complex_t* dot_wv, RunPass run_pass) {
+                      complex_t* dot_wv, RunPass run_pass, int acc_rows = 1) {
   const KernelVariant variant = g_variant.load(std::memory_order_relaxed);
   DotPartials partials(WithDots ? width : 0);
   global_index total = 0;
   for (const auto& seg : segments) total += seg.end - seg.begin;
 #pragma omp parallel
   {
-    // Heap scratch per thread: runtime-width accumulators + dot partials.
-    std::vector<double> scratch(5 * static_cast<std::size_t>(width), 0.0);
+    // Heap scratch per thread: runtime-width accumulators (acc_rows rows of
+    // split re/im per lane — block formats keep b rows live) + dot partials.
+    std::vector<double> scratch(
+        (2 * static_cast<std::size_t>(acc_rows) + 3) *
+            static_cast<std::size_t>(width),
+        0.0);
     double* acc = scratch.data();
-    double* lvv = acc + 2 * static_cast<std::size_t>(width);
+    double* lvv =
+        acc + 2 * static_cast<std::size_t>(acc_rows) * static_cast<std::size_t>(width);
     double* lwr = lvv + width;
     double* lwi = lwr + width;
 
@@ -496,11 +710,12 @@ void run_block_kernel(int width, const SweepPlan& plan,
 template <bool WithDots, class RunPass>
 void run_block_kernel(int width, const SweepPlan& plan, global_index begin,
                       global_index end, global_index band_step,
-                      complex_t* dot_vv, complex_t* dot_wv, RunPass run_pass) {
+                      complex_t* dot_vv, complex_t* dot_wv, RunPass run_pass,
+                      int acc_rows = 1) {
   const IndexRange<global_index> seg{begin, end};
   run_block_kernel<WithDots>(width, plan,
                              std::span<const IndexRange<global_index>>(&seg, 1),
-                             band_step, dot_vv, dot_wv, run_pass);
+                             band_step, dot_vv, dot_wv, run_pass, acc_rows);
 }
 
 template <bool WithDots>
@@ -553,6 +768,75 @@ void aug_spmmv_sell_core(const SellMatrix& a, const AugScalars& scal,
           double* acc) {
         sell_pass<decltype(wt), WithDots, decltype(nt)::value>(
             a, s, vd, wd, width, pass.offset, b, e, wt, lvv, lwr, lwi, acc);
+      });
+}
+
+// BSR core over a block-row run list; banding walks block rows
+// (band_rows rounded down to block-row units like the SELL chunk rounding).
+template <bool WithDots>
+void aug_spmmv_bsr_core_runs(
+    const BsrMatrix& a, const AugScalars& scal, const complex_t* v,
+    complex_t* w, int width,
+    std::span<const IndexRange<global_index>> block_runs, complex_t* dot_vv,
+    complex_t* dot_wv) {
+  const ScalarsRI s(scal);
+  const double* vd = re_im(v);
+  double* wd = re_im(w);
+  const int b = a.block_dim();
+  const SweepPlan plan = make_plan(width, block_auto_tile(b));
+  const global_index band_blocks =
+      plan.band_rows > 0 ? std::max<global_index>(plan.band_rows / b, 1) : 0;
+  dispatch_block_format(
+      b, a.precision() == MatrixPrecision::f32, a.index_bits() == 16,
+      [&](auto bb, auto vt, auto d16) {
+        constexpr int B = decltype(bb)::value;
+        using VT = typename decltype(vt)::type;
+        run_block_kernel<WithDots>(
+            width, plan, block_runs, band_blocks, dot_vv, dot_wv,
+            [&](auto wt, auto nt, global_index rb, global_index re,
+                const TilePass& pass, double* lvv, double* lwr, double* lwi,
+                double* acc) {
+              bsr_pass<B, VT, decltype(d16)::value, decltype(wt), WithDots,
+                       decltype(nt)::value>(a, s, vd, wd, width, pass.offset,
+                                            rb, re, wt, lvv, lwr, lwi, acc);
+            },
+            B);
+      });
+}
+
+template <bool WithDots>
+void aug_spmmv_sell_block_core(const SellBlockMatrix& a,
+                               const AugScalars& scal, const complex_t* v,
+                               complex_t* w, int width, complex_t* dot_vv,
+                               complex_t* dot_wv) {
+  const ScalarsRI s(scal);
+  const double* vd = re_im(v);
+  double* wd = re_im(w);
+  const int b = a.block_dim();
+  const SweepPlan plan = make_plan(width, block_auto_tile(b));
+  // Banding walks whole chunks of block rows.
+  const global_index rows_per_chunk =
+      static_cast<global_index>(a.chunk_height()) * b;
+  const global_index band_chunks =
+      plan.band_rows > 0
+          ? std::max<global_index>(plan.band_rows / rows_per_chunk, 1)
+          : 0;
+  dispatch_block_format(
+      b, a.precision() == MatrixPrecision::f32, a.index_bits() == 16,
+      [&](auto bb, auto vt, auto d16) {
+        constexpr int B = decltype(bb)::value;
+        using VT = typename decltype(vt)::type;
+        run_block_kernel<WithDots>(
+            width, plan, 0, a.num_chunks(), band_chunks, dot_vv, dot_wv,
+            [&](auto wt, auto nt, global_index cb, global_index ce,
+                const TilePass& pass, double* lvv, double* lwr, double* lwi,
+                double* acc) {
+              sell_block_pass<B, VT, decltype(d16)::value, decltype(wt),
+                              WithDots, decltype(nt)::value>(
+                  a, s, vd, wd, width, pass.offset, cb, ce, wt, lvv, lwr, lwi,
+                  acc);
+            },
+            B);
       });
 }
 
@@ -823,6 +1107,91 @@ void aug_spmmv(const SellMatrix& a, const AugScalars& s,
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
     aug_spmmv_sell_core<true>(a, s, v.data(), w.data(), width, dot_vv.data(),
                               dot_wv.data());
+  }
+}
+
+void aug_spmmv(const BsrMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int width = v.width();
+  const IndexRange<global_index> all{0, a.block_rows()};
+  const std::span<const IndexRange<global_index>> runs(&all, 1);
+  if (dot_vv.empty()) {
+    aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                   nullptr, nullptr);
+  } else {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+    aug_spmmv_bsr_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                  dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv_rows(const BsrMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int b = a.block_dim();
+  require(row_begin >= 0 && row_begin <= row_end && row_end <= a.nrows(),
+          "aug_spmmv_rows: invalid row interval");
+  require(row_begin % b == 0 && row_end % b == 0,
+          "aug_spmmv_rows(bsr): bounds must be multiples of block_dim");
+  const int width = v.width();
+  const IndexRange<global_index> seg{row_begin / b, row_end / b};
+  const std::span<const IndexRange<global_index>> runs(&seg, 1);
+  if (dot_vv.empty()) {
+    aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                   nullptr, nullptr);
+  } else {
+    // Accumulate-only contract, like the CRS row-interval kernel.
+    aug_spmmv_bsr_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                  dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv_runs(const BsrMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int b = a.block_dim();
+  std::vector<IndexRange<global_index>> block_runs;
+  block_runs.reserve(runs.size());
+  global_index prev = 0;
+  for (const auto& r : runs) {
+    require(r.begin >= prev && r.begin <= r.end && r.end <= a.nrows(),
+            "aug_spmmv_runs: runs must be ascending, disjoint and in bounds");
+    require(r.begin % b == 0 && r.end % b == 0,
+            "aug_spmmv_runs(bsr): bounds must be multiples of block_dim");
+    prev = r.end;
+    block_runs.push_back({r.begin / b, r.end / b});
+  }
+  const int width = v.width();
+  if (dot_vv.empty()) {
+    aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width,
+                                   block_runs, nullptr, nullptr);
+  } else {
+    // Accumulate-only contract, like the CRS run-list kernel.
+    aug_spmmv_bsr_core_runs<true>(a, s, v.data(), w.data(), width, block_runs,
+                                  dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv(const SellBlockMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int width = v.width();
+  if (dot_vv.empty()) {
+    aug_spmmv_sell_block_core<false>(a, s, v.data(), w.data(), width, nullptr,
+                                     nullptr);
+  } else {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+    aug_spmmv_sell_block_core<true>(a, s, v.data(), w.data(), width,
+                                    dot_vv.data(), dot_wv.data());
   }
 }
 

@@ -50,8 +50,10 @@
 #include <span>
 
 #include "blas/block_vector.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sell_block.hpp"
 #include "util/schedule.hpp"
 #include "util/types.hpp"
 
@@ -181,5 +183,42 @@ void aug_spmmv_runs(const CrsMatrix& a, const AugScalars& s,
                     const blas::BlockVector& v, blas::BlockVector& w,
                     std::span<const IndexRange<global_index>> runs,
                     std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+// Block-format kernels (DESIGN.md §5f).  The BSR/SELL-block bodies run
+// behind the same width-dispatch, tiling, banding and NT-store machinery as
+// the scalar formats — one column-tile pass keeps b accumulator rows live
+// and loads each v block-row once for b matrix rows.  Matrix values may be
+// stored float32 (accumulation stays double) and block-column indices may
+// stream as 16-bit deltas; both are properties of the matrix object, not
+// kernel parameters.  The bitwise fixed-vs-generic parity contract holds
+// per format: accumulation order within a row is independent of tiling,
+// banding and the dispatch variant.
+
+/// Stage-2 fused block kernel (BSR).  Same overwrite contract as the CRS
+/// overload.
+void aug_spmmv(const BsrMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Row-interval variant of the BSR kernel (accumulate contract, see
+/// aug_spmmv_rows above).  Both bounds must be multiples of block_dim() —
+/// a distributed partition over block rows satisfies this by construction.
+void aug_spmmv_rows(const BsrMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Run-list variant of the BSR kernel; every run bound must be a multiple
+/// of block_dim().  Same accumulate contract as the CRS run-list kernel.
+void aug_spmmv_runs(const BsrMatrix& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Stage-2 fused block kernel (SELL-C-sigma over block rows; consumes and
+/// produces block-row-permuted vectors, see SellBlockMatrix::permute).
+void aug_spmmv(const SellBlockMatrix& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
 }  // namespace kpm::sparse

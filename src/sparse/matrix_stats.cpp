@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <vector>
 
 namespace kpm::sparse {
 
@@ -45,14 +46,40 @@ MatrixStats analyze(const CrsMatrix& a, double herm_tol) {
                                     : static_cast<double>(dominant_rows) /
                                           static_cast<double>(a.nrows());
   s.hermitian = hermitian;
+  s.block_fill2 = block_fill_ratio(a, 2);
+  s.block_fill4 = block_fill_ratio(a, 4);
+  s.block_fill8 = block_fill_ratio(a, 8);
   return s;
+}
+
+double block_fill_ratio(const CrsMatrix& a, int block_dim) {
+  if (a.nnz() == 0 || block_dim < 1) return 0.0;
+  const global_index nbr = (a.nrows() + block_dim - 1) / block_dim;
+  global_index blocks = 0;
+  std::vector<local_index> cols;
+  for (global_index br = 0; br < nbr; ++br) {
+    cols.clear();
+    const global_index row_end = std::min(a.nrows(), (br + 1) * block_dim);
+    for (global_index i = br * block_dim; i < row_end; ++i) {
+      for (const local_index c : a.row_cols(i)) {
+        cols.push_back(c / block_dim);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    blocks += static_cast<global_index>(cols.size());
+  }
+  return static_cast<double>(a.nnz()) /
+         (static_cast<double>(blocks) * block_dim * block_dim);
 }
 
 std::ostream& operator<<(std::ostream& os, const MatrixStats& s) {
   return os << "N=" << s.nrows << " nnz=" << s.nnz
             << " nnzr=" << s.avg_nnz_per_row << " rowlen=[" << s.min_row_len
             << "," << s.max_row_len << "]"
-            << " bw=" << s.bandwidth << " hermitian=" << (s.hermitian ? "yes" : "no");
+            << " bw=" << s.bandwidth << " hermitian=" << (s.hermitian ? "yes" : "no")
+            << " blockfill{2,4,8}={" << s.block_fill2 << "," << s.block_fill4
+            << "," << s.block_fill8 << "}";
 }
 
 }  // namespace kpm::sparse

@@ -17,9 +17,21 @@ struct MatrixStats {
   global_index bandwidth = 0;    ///< max |i - j| over stored entries
   double diag_dominance = 0.0;   ///< fraction of rows with |a_ii| >= sum off-diag
   bool hermitian = false;
+  /// Block-structure detection: nnz / (occupied b x b blocks * b^2) for
+  /// b = 2, 4, 8 — the beta of the per-format Bmin formulas (DESIGN §5f).
+  /// 1.0 means perfectly dense blocks (BSR stores no fill); low values mean
+  /// a block format would mostly stream zeros.  Benches report these so the
+  /// record explains why a block format was or wasn't profitable.
+  double block_fill2 = 0.0;
+  double block_fill4 = 0.0;
+  double block_fill8 = 0.0;
 };
 
 [[nodiscard]] MatrixStats analyze(const CrsMatrix& a, double herm_tol = 1e-12);
+
+/// nnz / (occupied blocks * b^2) on the ceil(n/b) block grid; 0 for an
+/// empty matrix.  O(nnz log nnz_row) — cheap enough for bench headers.
+[[nodiscard]] double block_fill_ratio(const CrsMatrix& a, int block_dim);
 
 std::ostream& operator<<(std::ostream& os, const MatrixStats& s);
 

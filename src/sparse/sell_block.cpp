@@ -1,0 +1,295 @@
+#include "sparse/sell_block.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+
+namespace {
+
+inline bool is_exact_zero(complex_t v) noexcept {
+  return v.real() == 0.0 && v.imag() == 0.0;
+}
+
+}  // namespace
+
+SellBlockMatrix::SellBlockMatrix(const BsrMatrix& bsr, int chunk, int sigma)
+    : nrows_(bsr.nrows()),
+      ncols_(bsr.ncols()),
+      nnz_(bsr.nnz()),
+      b_(bsr.block_dim()),
+      chunk_(chunk),
+      sigma_(sigma),
+      precision_(bsr.precision()) {
+  require(chunk >= 1, "SELL-block: chunk height must be >= 1");
+  require(sigma == 1 || sigma % chunk == 0,
+          "SELL-block: sigma must be 1 or a multiple of the chunk height");
+  require(nrows_ == ncols_,
+          "SELL-block: square matrix required (symmetric block permutation)");
+
+  const global_index nbr = bsr.block_rows();
+  const auto bptr = bsr.block_ptr();
+  const auto bcol = bsr.block_col();
+  const auto row_len = [&](global_index br) {
+    return bptr[static_cast<std::size_t>(br) + 1] -
+           bptr[static_cast<std::size_t>(br)];
+  };
+
+  // Sort block rows by descending block count within each sigma window.
+  perm_.resize(static_cast<std::size_t>(nbr));
+  std::iota(perm_.begin(), perm_.end(), global_index{0});
+  if (sigma_ > 1) {
+    for (global_index begin = 0; begin < nbr; begin += sigma_) {
+      const global_index end = std::min<global_index>(begin + sigma_, nbr);
+      std::stable_sort(
+          perm_.begin() + begin, perm_.begin() + end,
+          [&](global_index a, global_index b) { return row_len(a) > row_len(b); });
+    }
+  }
+  inv_perm_.resize(perm_.size());
+  for (std::size_t n = 0; n < perm_.size(); ++n) {
+    inv_perm_[static_cast<std::size_t>(perm_[n])] =
+        static_cast<global_index>(n);
+  }
+
+  const global_index nchunks = (nbr + chunk_ - 1) / chunk_;
+  chunk_len_.resize(static_cast<std::size_t>(nchunks));
+  chunk_ptr_.resize(static_cast<std::size_t>(nchunks) + 1);
+  chunk_ptr_[0] = 0;
+  for (global_index c = 0; c < nchunks; ++c) {
+    local_index len = 0;
+    for (int lane = 0; lane < chunk_; ++lane) {
+      const global_index new_br = c * chunk_ + lane;
+      if (new_br >= nbr) break;
+      len = std::max(len, static_cast<local_index>(
+                              row_len(perm_[static_cast<std::size_t>(new_br)])));
+    }
+    chunk_len_[static_cast<std::size_t>(c)] = len;
+    chunk_ptr_[static_cast<std::size_t>(c) + 1] =
+        chunk_ptr_[static_cast<std::size_t>(c)] +
+        static_cast<global_index>(len) * chunk_;
+  }
+
+  const std::size_t total =
+      static_cast<std::size_t>(chunk_ptr_[static_cast<std::size_t>(nchunks)]);
+  const std::size_t bb = static_cast<std::size_t>(b_) * b_;
+  block_col_.assign(total, 0);
+  block_mask_.assign(total, 0);  // padding keeps mask 0 -> zero kernel work
+  const bool f32 = precision_ == MatrixPrecision::f32;
+  if (f32) {
+    values_f32_.assign(total * bb, std::complex<float>{});
+  } else {
+    values_.assign(total * bb, complex_t{});
+  }
+
+  // Blocks of one block row sorted by *permuted* block column so each lane's
+  // column sequence ascends again — the delta stream's precondition.
+  std::vector<std::pair<local_index, global_index>> order;  // (new_bc, block)
+  for (global_index c = 0; c < nchunks; ++c) {
+    const global_index base = chunk_ptr_[static_cast<std::size_t>(c)];
+    const local_index clen = chunk_len_[static_cast<std::size_t>(c)];
+    for (int lane = 0; lane < chunk_; ++lane) {
+      const global_index new_br = c * chunk_ + lane;
+      if (new_br >= nbr) continue;  // tail lanes keep col 0 / zero values
+      const global_index old_br = perm_[static_cast<std::size_t>(new_br)];
+      order.clear();
+      for (global_index k = bptr[static_cast<std::size_t>(old_br)];
+           k < bptr[static_cast<std::size_t>(old_br) + 1]; ++k) {
+        order.emplace_back(
+            static_cast<local_index>(inv_perm_[static_cast<std::size_t>(
+                bcol[static_cast<std::size_t>(k)])]),
+            k);
+      }
+      std::sort(order.begin(), order.end());
+      // Padding repeats the last real column (delta 0, zero values); a block
+      // row with no blocks parks on its own diagonal block column.
+      const local_index pad_col =
+          order.empty() ? static_cast<local_index>(new_br)
+                        : order.back().first;
+      for (local_index j = 0; j < clen; ++j) {
+        const std::size_t slot = static_cast<std::size_t>(
+            base + static_cast<global_index>(j) * chunk_ + lane);
+        if (j < static_cast<local_index>(order.size())) {
+          block_col_[slot] = order[static_cast<std::size_t>(j)].first;
+          const std::size_t src_blk =
+              static_cast<std::size_t>(order[static_cast<std::size_t>(j)].second);
+          // Values are copied verbatim, so the source occupancy transfers.
+          block_mask_[slot] = bsr.block_mask()[src_blk];
+          const std::size_t src = src_blk * bb;
+          if (f32) {
+            std::copy_n(bsr.values_f32().data() + src, bb,
+                        values_f32_.data() + slot * bb);
+          } else {
+            std::copy_n(bsr.values().data() + src, bb,
+                        values_.data() + slot * bb);
+          }
+        } else {
+          block_col_[slot] = pad_col;
+        }
+      }
+    }
+  }
+
+  // 16-bit delta stream over each lane's (ascending) column sequence.
+  bool fits = true;
+  first_col_.assign(static_cast<std::size_t>(nbr), 0);
+  col_delta16_.assign(total, 0);
+  for (global_index c = 0; c < nchunks && fits; ++c) {
+    const global_index base = chunk_ptr_[static_cast<std::size_t>(c)];
+    const local_index clen = chunk_len_[static_cast<std::size_t>(c)];
+    for (int lane = 0; lane < chunk_ && fits; ++lane) {
+      const global_index new_br = c * chunk_ + lane;
+      if (new_br >= nbr) break;
+      local_index prev = 0;
+      for (local_index j = 0; j < clen; ++j) {
+        const std::size_t slot = static_cast<std::size_t>(
+            base + static_cast<global_index>(j) * chunk_ + lane);
+        const local_index bc = block_col_[slot];
+        if (j == 0) {
+          first_col_[static_cast<std::size_t>(new_br)] = bc;
+        } else {
+          const local_index d = bc - prev;
+          if (d > 65535) {
+            fits = false;
+            break;
+          }
+          col_delta16_[slot] = static_cast<std::uint16_t>(d);
+        }
+        prev = bc;
+      }
+    }
+  }
+  if (!fits) {
+    first_col_.clear();
+    first_col_.shrink_to_fit();
+    col_delta16_.clear();
+    col_delta16_.shrink_to_fit();
+  }
+}
+
+SellBlockMatrix::SellBlockMatrix(const CrsMatrix& crs, int block_dim,
+                                 int chunk, int sigma,
+                                 MatrixPrecision precision)
+    : SellBlockMatrix(BsrMatrix(crs, block_dim, precision), chunk, sigma) {}
+
+double SellBlockMatrix::fill_ratio() const noexcept {
+  const global_index stored = stored_values();
+  return stored > 0 ? static_cast<double>(nnz_) / static_cast<double>(stored)
+                    : 1.0;
+}
+
+void SellBlockMatrix::permute(std::span<const complex_t> x,
+                              std::span<complex_t> x_perm) const {
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  require(x.size() == n && x_perm.size() == n, "permute: size mismatch");
+  for (std::size_t br = 0; br < perm_.size(); ++br) {
+    const std::size_t old_base =
+        static_cast<std::size_t>(perm_[br]) * static_cast<std::size_t>(b_);
+    for (int i = 0; i < b_; ++i) {
+      x_perm[br * static_cast<std::size_t>(b_) + i] = x[old_base + i];
+    }
+  }
+}
+
+void SellBlockMatrix::unpermute(std::span<const complex_t> x_perm,
+                                std::span<complex_t> x) const {
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  require(x.size() == n && x_perm.size() == n, "unpermute: size mismatch");
+  for (std::size_t br = 0; br < perm_.size(); ++br) {
+    const std::size_t old_base =
+        static_cast<std::size_t>(perm_[br]) * static_cast<std::size_t>(b_);
+    for (int i = 0; i < b_; ++i) {
+      x[old_base + i] = x_perm[br * static_cast<std::size_t>(b_) + i];
+    }
+  }
+}
+
+void SellBlockMatrix::permute(const blas::BlockVector& x,
+                              blas::BlockVector& x_perm) const {
+  require(x.rows() == nrows_ && x_perm.rows() == nrows_ &&
+              x.width() == x_perm.width(),
+          "permute(block): shape mismatch");
+  for (global_index br = 0; br < static_cast<global_index>(perm_.size());
+       ++br) {
+    const global_index old_base = perm_[static_cast<std::size_t>(br)] * b_;
+    for (int i = 0; i < b_; ++i) {
+      for (int r = 0; r < x.width(); ++r) {
+        x_perm(br * b_ + i, r) = x(old_base + i, r);
+      }
+    }
+  }
+}
+
+void SellBlockMatrix::unpermute(const blas::BlockVector& x_perm,
+                                blas::BlockVector& x) const {
+  require(x.rows() == nrows_ && x_perm.rows() == nrows_ &&
+              x.width() == x_perm.width(),
+          "unpermute(block): shape mismatch");
+  for (global_index br = 0; br < static_cast<global_index>(perm_.size());
+       ++br) {
+    const global_index old_base = perm_[static_cast<std::size_t>(br)] * b_;
+    for (int i = 0; i < b_; ++i) {
+      for (int r = 0; r < x.width(); ++r) {
+        x(old_base + i, r) = x_perm(br * b_ + i, r);
+      }
+    }
+  }
+}
+
+CrsMatrix SellBlockMatrix::to_crs() const {
+  CooMatrix coo(nrows_, ncols_);
+  const global_index nbr = block_rows();
+  const std::size_t bb = static_cast<std::size_t>(b_) * b_;
+  for (global_index c = 0; c < num_chunks(); ++c) {
+    const global_index base = chunk_ptr_[static_cast<std::size_t>(c)];
+    const local_index clen = chunk_len_[static_cast<std::size_t>(c)];
+    for (int lane = 0; lane < chunk_; ++lane) {
+      const global_index new_br = c * chunk_ + lane;
+      if (new_br >= nbr) continue;
+      const global_index old_row0 = perm_[static_cast<std::size_t>(new_br)] * b_;
+      for (local_index j = 0; j < clen; ++j) {
+        const std::size_t slot = static_cast<std::size_t>(
+            base + static_cast<global_index>(j) * chunk_ + lane);
+        const global_index old_col0 =
+            perm_[static_cast<std::size_t>(block_col_[slot])] * b_;
+        for (int jb = 0; jb < b_; ++jb) {
+          for (int ib = 0; ib < b_; ++ib) {
+            const std::size_t off =
+                slot * bb + static_cast<std::size_t>(jb) * b_ + ib;
+            const complex_t v =
+                precision_ == MatrixPrecision::f64
+                    ? values_[off]
+                    : complex_t{
+                          static_cast<double>(values_f32_[off].real()),
+                          static_cast<double>(values_f32_[off].imag())};
+            // Padding blocks are all-zero, so dropping exact zeros also
+            // drops every duplicate coordinate the padding repeats.
+            if (!is_exact_zero(v)) coo.add(old_row0 + ib, old_col0 + jb, v);
+          }
+        }
+      }
+    }
+  }
+  coo.compress();
+  return CrsMatrix(coo);
+}
+
+double SellBlockMatrix::storage_bytes() const noexcept {
+  const double value_bytes =
+      precision_ == MatrixPrecision::f64 ? 16.0 : 8.0;
+  // Index share per padded block includes the 2-byte occupancy mask.
+  double bytes =
+      static_cast<double>(stored_values()) * value_bytes +
+      static_cast<double>(padded_blocks()) * (index_bits() / 8.0 + 2.0);
+  if (index_bits() == 16) {
+    bytes += static_cast<double>(block_rows()) * sizeof(local_index);
+  }
+  return bytes;
+}
+
+}  // namespace kpm::sparse

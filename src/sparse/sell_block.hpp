@@ -1,0 +1,147 @@
+// SELL-C-sigma over block rows (the SELL lineage of Kreutzer et al. applied
+// to the b x b site blocks of BSR).
+//
+// Block rows are grouped into chunks of C; within a sorting window of sigma
+// block rows, block rows are ordered by descending block count.  A chunk
+// stores its blocks column-major at block granularity: chunk element
+// (j, lane) holds the j-th block of the lane-th block row, so the kernel
+// walks lanes in lockstep exactly like scalar SELL walks rows.  Padding
+// elements repeat the preceding block column (delta 0) with all-zero
+// values, so the decode and the FMAs stay branch-free.
+//
+// The block-row sorting is a symmetric permutation at block granularity;
+// vectors cross orderings with permute()/unpermute(), which move whole
+// scalar b-row groups.  Value precision and the 16-bit delta index stream
+// are inherited from the source BsrMatrix (see bsr.hpp).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+
+#include "blas/block_vector.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/crs.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+class SellBlockMatrix {
+ public:
+  SellBlockMatrix() = default;
+
+  /// Builds SELL-C-sigma over the block rows of `bsr`.  `sigma` must be a
+  /// multiple of `chunk` (or 1 for no sorting); both count block rows.
+  SellBlockMatrix(const BsrMatrix& bsr, int chunk, int sigma);
+
+  /// Convenience: CRS -> BSR -> SELL-block in one step.
+  SellBlockMatrix(const CrsMatrix& crs, int block_dim, int chunk, int sigma,
+                  MatrixPrecision precision = MatrixPrecision::f64);
+
+  [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] global_index ncols() const noexcept { return ncols_; }
+  [[nodiscard]] global_index nnz() const noexcept { return nnz_; }
+  [[nodiscard]] int block_dim() const noexcept { return b_; }
+  [[nodiscard]] int chunk_height() const noexcept { return chunk_; }
+  [[nodiscard]] int sigma() const noexcept { return sigma_; }
+  [[nodiscard]] global_index block_rows() const noexcept {
+    return nrows_ / b_;
+  }
+  [[nodiscard]] global_index num_chunks() const noexcept {
+    return static_cast<global_index>(chunk_len_.size());
+  }
+  /// Stored blocks including padding.
+  [[nodiscard]] global_index padded_blocks() const noexcept {
+    return static_cast<global_index>(block_col_.size());
+  }
+  /// Stored values including zero fill and chunk padding.
+  [[nodiscard]] global_index stored_values() const noexcept {
+    return padded_blocks() * b_ * b_;
+  }
+  /// nnz / stored_values (block fill and chunk padding combined).
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  [[nodiscard]] MatrixPrecision precision() const noexcept {
+    return precision_;
+  }
+  [[nodiscard]] int index_bits() const noexcept {
+    return col_delta16_.empty() ? 32 : 16;
+  }
+
+  /// Block offset of each chunk (units of blocks).
+  [[nodiscard]] std::span<const global_index> chunk_ptr() const noexcept {
+    return chunk_ptr_;
+  }
+  /// Max blocks per block row within each chunk.
+  [[nodiscard]] std::span<const local_index> chunk_len() const noexcept {
+    return chunk_len_;
+  }
+  /// Block-column index per chunk element (permuted block-row order).
+  [[nodiscard]] std::span<const local_index> block_col() const noexcept {
+    return block_col_;
+  }
+  /// Delta decode seed per (permuted) block row; empty on the 32-bit path.
+  [[nodiscard]] std::span<const local_index> first_block_col() const noexcept {
+    return first_col_;
+  }
+  [[nodiscard]] std::span<const std::uint16_t> col_delta16() const noexcept {
+    return col_delta16_;
+  }
+  /// Per-block occupancy bitmask (see BsrMatrix::block_mask); chunk padding
+  /// blocks carry mask 0 and therefore cost the kernel nothing.
+  [[nodiscard]] std::span<const std::uint16_t> block_mask() const noexcept {
+    return block_mask_;
+  }
+  /// Column-major b x b blocks per chunk element; empty when f32.
+  [[nodiscard]] std::span<const complex_t> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::span<const std::complex<float>> values_f32()
+      const noexcept {
+    return values_f32_;
+  }
+
+  /// perm()[new_block_row] == old_block_row (and the inverse).
+  [[nodiscard]] std::span<const global_index> perm() const noexcept {
+    return perm_;
+  }
+  [[nodiscard]] std::span<const global_index> inverse_perm() const noexcept {
+    return inv_perm_;
+  }
+
+  /// x_perm[new] = x[perm[new]] at scalar granularity (whole b-row groups).
+  void permute(std::span<const complex_t> x, std::span<complex_t> x_perm) const;
+  void unpermute(std::span<const complex_t> x_perm,
+                 std::span<complex_t> x) const;
+  void permute(const blas::BlockVector& x, blas::BlockVector& x_perm) const;
+  void unpermute(const blas::BlockVector& x_perm, blas::BlockVector& x) const;
+
+  /// Expands back to CRS in the *original* block-row ordering, dropping
+  /// padding and exact-zero fill; f64 values survive bitwise.
+  [[nodiscard]] CrsMatrix to_crs() const;
+
+  /// Bytes streamed per SpMV (values + block indices + decode seeds).
+  [[nodiscard]] double storage_bytes() const noexcept;
+
+ private:
+  global_index nrows_ = 0;
+  global_index ncols_ = 0;
+  global_index nnz_ = 0;
+  int b_ = 4;
+  int chunk_ = 1;
+  int sigma_ = 1;
+  MatrixPrecision precision_ = MatrixPrecision::f64;
+  aligned_vector<global_index> chunk_ptr_;
+  aligned_vector<local_index> chunk_len_;
+  aligned_vector<local_index> block_col_;
+  aligned_vector<local_index> first_col_;
+  aligned_vector<std::uint16_t> col_delta16_;
+  aligned_vector<std::uint16_t> block_mask_;
+  aligned_vector<complex_t> values_;
+  aligned_vector<std::complex<float>> values_f32_;
+  aligned_vector<global_index> perm_;
+  aligned_vector<global_index> inv_perm_;
+};
+
+}  // namespace kpm::sparse

@@ -10,8 +10,11 @@
 #include "physics/ti_model.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/dist_kpm.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sell_block.hpp"
 #include "util/check.hpp"
+#include "util/env.hpp"
 
 namespace kpm {
 namespace {
@@ -189,6 +192,105 @@ TEST(TileTuner, CacheKeyDistinguishesShapeFormatThreadsWidth) {
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 8, 32));
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 64));
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 2));
+}
+
+TEST(TileTuner, FormatTagCarriesPrecisionAndIndexWidth) {
+  const auto h = tune_matrix();
+  EXPECT_EQ(runtime::format_tag(h), "crs");
+  const sparse::BsrMatrix b64(h, 4);
+  const sparse::BsrMatrix b32(h, 4, sparse::MatrixPrecision::f32);
+  EXPECT_EQ(runtime::format_tag(b64), "bsr4-i16");
+  EXPECT_EQ(runtime::format_tag(b32), "bsr4-f32-i16");
+  EXPECT_EQ(runtime::format_tag(sparse::BsrMatrix(h, 2)), "bsr2-i16");
+  EXPECT_EQ(runtime::format_tag(sparse::SellBlockMatrix(b32, 8, 32)),
+            "sellb4-f32-i16");
+  // The tags feed the cache key, so same shape + different storage identity
+  // must produce distinct entries.
+  using runtime::AutoTuner;
+  EXPECT_NE(
+      AutoTuner::cache_key(runtime::format_tag(b64).c_str(), h.nrows(),
+                           h.nnz(), 4, 32),
+      AutoTuner::cache_key(runtime::format_tag(b32).c_str(), h.nrows(),
+                           h.nnz(), 4, 32));
+}
+
+TEST(TileTuner, StaleSchemaVersionForcesReProbe) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_stale_version.json");
+  const auto p = small_tile_params();
+
+  // A well-formed v1 cache file (the pre-block-format schema, whose keys
+  // lack the storage identity) must be rejected wholesale, not reused.
+  std::FILE* f = std::fopen(cache.path().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f,
+               "{\n  \"version\": 1,\n  \"entries\": [\n"
+               "    {\"key\": \"crs:%lld:%lld:t%d:w32\", \"tile_width\": -1, "
+               "\"band_rows\": 0, \"nt_stores\": 0, \"seconds\": 1.0e-9}\n"
+               "  ]\n}\n",
+               static_cast<long long>(h.nrows()),
+               static_cast<long long>(h.nnz()), max_threads());
+  std::fclose(f);
+
+  runtime::AutoTuner tuner(cache.path());
+  EXPECT_FALSE(tuner.cache_loaded());
+  EXPECT_EQ(tuner.cache_entries(), 0u);
+  const auto res = tuner.tune_tiles(h, 32, p);
+  EXPECT_FALSE(res.from_cache);
+  EXPECT_GT(res.timed_probes, 0);
+  // The re-probe rewrote the file at the current schema version.
+  runtime::AutoTuner reread(cache.path());
+  EXPECT_TRUE(reread.cache_loaded());
+  EXPECT_EQ(reread.cache_entries(), 1u);
+}
+
+TEST(TileTuner, BlockFormatsGetDistinctCacheEntries) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_blockfmt.json");
+  const auto p = small_tile_params();
+
+  runtime::AutoTuner tuner(cache.path());
+  const sparse::BsrMatrix bsr(h, 4);
+  const auto at_bsr = tuner.tune_tiles(bsr, 32, p);
+  EXPECT_FALSE(at_bsr.from_cache);
+  const auto at_crs = tuner.tune_tiles(h, 32, p);
+  EXPECT_NE(at_bsr.key, at_crs.key);
+  // Mixed precision is a different entry than f64 on the same shape.
+  const sparse::BsrMatrix b32(h, 4, sparse::MatrixPrecision::f32);
+  const auto at_f32 = tuner.tune_tiles(b32, 32, p);
+  EXPECT_FALSE(at_f32.from_cache);
+  EXPECT_NE(at_f32.key, at_bsr.key);
+  EXPECT_EQ(tuner.cache_entries(), 3u);
+  // Warm recall works for the block entries too.
+  const auto again = tuner.tune_tiles(bsr, 32, p);
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_EQ(again.config, at_bsr.config);
+}
+
+TEST(TileTuner, FormatProbeReportsCandidatesAndWinner) {
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_format_probe.json");
+  runtime::AutoTuner tuner(cache.path());
+  runtime::AutoTuner::FormatTuneParams p;
+  p.tile = small_tile_params();
+  p.block_dims = {4};
+  p.probe_mixed_precision = true;
+  const auto res = tuner.tune_format(h, 32, p);
+  // crs + sell + bsr4 f64/f32 + sellb4 f64/f32.
+  ASSERT_EQ(res.probed.size(), 6u);
+  EXPECT_EQ(res.probed[0].format, "crs");
+  bool winner_listed = false;
+  for (const auto& probe : res.probed) {
+    EXPECT_GT(probe.seconds, 0.0) << probe.format;
+    if (probe.format == res.format) {
+      winner_listed = true;
+      EXPECT_DOUBLE_EQ(probe.seconds, res.tiles.seconds);
+    }
+  }
+  EXPECT_TRUE(winner_listed);
+  EXPECT_EQ(sparse::tile_config(), res.tiles.config);
+  // TI is 4x4-blockable, so the block candidates must have been probed.
+  EXPECT_EQ(tuner.cache_entries(), res.probed.size());
 }
 
 TEST(TileTuner, MismatchedKeyFallsBackToProbing) {

@@ -18,9 +18,11 @@
 #include "core/moments.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sell_block.hpp"
 #include "util/check.hpp"
 
 namespace kpm {
@@ -52,6 +54,21 @@ const sparse::CrsMatrix& matrix() {
 
 const sparse::SellMatrix& sell_matrix() {
   static const sparse::SellMatrix m(matrix(), 8, 32);
+  return m;
+}
+
+const sparse::BsrMatrix& bsr_matrix() {
+  static const sparse::BsrMatrix m(matrix(), 4);
+  return m;
+}
+
+const sparse::BsrMatrix& bsr_matrix_f32() {
+  static const sparse::BsrMatrix m(matrix(), 4, sparse::MatrixPrecision::f32);
+  return m;
+}
+
+const sparse::SellBlockMatrix& sell_block_matrix() {
+  static const sparse::SellBlockMatrix m(bsr_matrix(), 8, 32);
   return m;
 }
 
@@ -152,6 +169,66 @@ TEST(KernelDispatch, SellGenericFixedBitwiseParity) {
       EXPECT_TRUE(bitwise_equal(gen.dwv, fix.dwv)) << "width " << width;
     }
   }
+}
+
+TEST(KernelDispatch, BsrGenericFixedBitwiseParity) {
+  // Both value precisions share one pass body; parity must hold for each.
+  for (const sparse::BsrMatrix* m : {&bsr_matrix(), &bsr_matrix_f32()}) {
+    for (const int width : kWidths) {
+      for (const bool with_dots : {true, false}) {
+        const auto gen = run_sweep(*m, width,
+                                   sparse::KernelVariant::force_generic,
+                                   with_dots);
+        const auto fix = run_sweep(*m, width,
+                                   sparse::KernelVariant::force_fixed,
+                                   with_dots);
+        EXPECT_TRUE(bitwise_equal(gen.w, fix.w))
+            << "w mismatch at width " << width << " dots=" << with_dots
+            << " precision=" << sparse::precision_name(m->precision());
+        EXPECT_TRUE(bitwise_equal(gen.dvv, fix.dvv)) << "width " << width;
+        EXPECT_TRUE(bitwise_equal(gen.dwv, fix.dwv)) << "width " << width;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, SellBlockGenericFixedBitwiseParity) {
+  for (const int width : kWidths) {
+    for (const bool with_dots : {true, false}) {
+      const auto gen = run_sweep(sell_block_matrix(), width,
+                                 sparse::KernelVariant::force_generic,
+                                 with_dots);
+      const auto fix = run_sweep(sell_block_matrix(), width,
+                                 sparse::KernelVariant::force_fixed,
+                                 with_dots);
+      EXPECT_TRUE(bitwise_equal(gen.w, fix.w))
+          << "w mismatch at width " << width << " dots=" << with_dots;
+      EXPECT_TRUE(bitwise_equal(gen.dvv, fix.dvv)) << "width " << width;
+      EXPECT_TRUE(bitwise_equal(gen.dwv, fix.dwv)) << "width " << width;
+    }
+  }
+}
+
+TEST(KernelDispatch, BlockKernelsAreBitwiseDeterministic) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(4);
+#endif
+  const auto b1 = run_sweep(bsr_matrix(), 8,
+                            sparse::KernelVariant::auto_dispatch, true);
+  const auto b2 = run_sweep(bsr_matrix(), 8,
+                            sparse::KernelVariant::auto_dispatch, true);
+  EXPECT_TRUE(bitwise_equal(b1.w, b2.w));
+  EXPECT_TRUE(bitwise_equal(b1.dwv, b2.dwv));
+  const auto s1 = run_sweep(sell_block_matrix(), 8,
+                            sparse::KernelVariant::auto_dispatch, true);
+  const auto s2 = run_sweep(sell_block_matrix(), 8,
+                            sparse::KernelVariant::auto_dispatch, true);
+  EXPECT_TRUE(bitwise_equal(s1.w, s2.w));
+  EXPECT_TRUE(bitwise_equal(s1.dvv, s2.dvv));
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
 }
 
 TEST(KernelDispatch, AutoDispatchMatchesForcedFixed) {

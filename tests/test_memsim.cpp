@@ -8,6 +8,7 @@
 #include "memsim/traced_kernels.hpp"
 #include "perfmodel/balance.hpp"
 #include "physics/ti_model.hpp"
+#include "sparse/bsr.hpp"
 #include "util/check.hpp"
 
 namespace kpm::memsim {
@@ -170,6 +171,58 @@ TEST(TracedKernels, NaiveMovesMoreDataThanFused) {
   const double expected = 10.0 * static_cast<double>(h.nrows()) * 16.0;
   EXPECT_GT(saved, 0.8 * expected);
   EXPECT_LT(saved, 1.8 * expected);
+}
+
+TEST(TracedKernels, MatrixVectorSplitCoversAllDramTraffic) {
+  physics::TIParams tp;
+  tp.nx = 48;
+  tp.ny = 48;
+  tp.nz = 10;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  auto hier = make_scaled_ivb_hierarchy(16);
+  const auto t = trace_aug_spmmv(h, 4, hier);
+  EXPECT_GT(t.dram_matrix_bytes, 0u);
+  EXPECT_GT(t.dram_vector_bytes, 0u);
+  EXPECT_EQ(t.dram_matrix_bytes + t.dram_vector_bytes, t.dram_bytes);
+}
+
+TEST(TracedKernels, BsrMatrixStreamBeatsScalarAnalyticFloor) {
+  // The ISSUE acceptance criterion in trace form: the DRAM bytes/nnz of the
+  // compressed 4x4 block format's *matrix stream* must fall below the
+  // scalar-CRS analytic minimum of 20 B/nnz — while plain f64 BSR on the
+  // same half-dense blocks honestly exceeds it (DESIGN §5f).
+  physics::TIParams tp;
+  tp.nx = 48;
+  tp.ny = 48;
+  tp.nz = 10;
+  const auto h = physics::build_ti_hamiltonian(tp);
+  const double nnz = static_cast<double>(h.nnz());
+  const double scalar_floor =
+      perfmodel::format_bytes_per_nnz(perfmodel::crs_format());  // 20 B/nnz
+  auto hier = make_scaled_ivb_hierarchy(16);
+
+  const sparse::BsrMatrix packed(h, 4, sparse::MatrixPrecision::f32);
+  ASSERT_EQ(packed.index_bits(), 16);
+  const auto t32 = trace_aug_spmmv(packed, 8, hier);
+  const double packed_per_nnz =
+      static_cast<double>(t32.dram_matrix_bytes) / nnz;
+  EXPECT_LT(packed_per_nnz, scalar_floor);
+  // ...and lands near its own per-format analytic floor (the matrix stream
+  // has no reuse, so Omega of this component stays close to 1; block_ptr
+  // and seed traffic put it slightly above).
+  const auto spec = perfmodel::block_format(4, packed.fill_ratio(), 8.0, 16);
+  const double format_floor = perfmodel::format_bytes_per_nnz(spec);
+  EXPECT_GT(packed_per_nnz, format_floor);
+  EXPECT_LT(packed_per_nnz, 1.15 * format_floor);
+
+  const sparse::BsrMatrix plain(h, 4);
+  const auto t64 = trace_aug_spmmv(plain, 8, hier);
+  EXPECT_GT(static_cast<double>(t64.dram_matrix_bytes) / nnz, scalar_floor);
+
+  // End to end, the compressed block format moves less total DRAM volume
+  // than scalar CRS at the same block width.
+  const auto tcrs = trace_aug_spmmv(h, 8, hier);
+  EXPECT_LT(t32.dram_bytes, tcrs.dram_bytes);
 }
 
 TEST(TracedKernels, OmegaGrowsWhenVectorsStopFittingLlc) {

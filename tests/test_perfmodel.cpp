@@ -50,6 +50,44 @@ TEST(Balance, Table1RowTotalsMatchKpmRow) {
   EXPECT_NEAR(flops, rows.back().total_flops(), 1e-6 * flops);
 }
 
+TEST(Balance, FormatSpecReproducesScalarModel) {
+  // The per-format generalization must collapse to the Eq. 5 scalar model
+  // for plain CRS: 20 B per nonzero and bit-identical Bmin / traffic.
+  EXPECT_DOUBLE_EQ(format_bytes_per_nnz(crs_format()), 20.0);
+  EXPECT_DOUBLE_EQ(bmin_format(crs_format(), 13.0, 32), bmin(13.0, 32));
+  const auto w = paper_workload(32);
+  EXPECT_DOUBLE_EQ(traffic_aug_spmmv_format(w, crs_format()),
+                   traffic_aug_spmmv(w));
+}
+
+TEST(Balance, BlockFormatFloors) {
+  // TI 4x4 blocks are ~half dense (beta = 52/112 per interior block row):
+  // plain f64 BSR streams MORE matrix bytes than scalar CRS — only the
+  // f32-value + 16-bit-delta combination undercuts the 20 B/nnz floor.
+  const double beta = 52.0 / 112.0;
+  const auto f64_i32 = block_format(4, beta, 16.0, 32);
+  const auto f64_i16 = block_format(4, beta, 16.0, 16);
+  const auto f32_i16 = block_format(4, beta, 8.0, 16);
+  EXPECT_GT(format_bytes_per_nnz(f64_i32), 20.0);
+  EXPECT_GT(format_bytes_per_nnz(f64_i16), 20.0);
+  EXPECT_LT(format_bytes_per_nnz(f32_i16), 20.0);
+  // 8 B value + (2 B index + 2 B occupancy mask) / 16 values per block.
+  EXPECT_NEAR(format_bytes_per_nnz(f32_i16), 8.25 / beta, 1e-12);
+  // Bmin ordering follows the matrix-stream ordering at fixed R; useful
+  // flops are counted on nnz, so fill only hurts, never helps.
+  EXPECT_LT(bmin_format(f32_i16, 13.0, 32), bmin(13.0, 32));
+  EXPECT_GT(bmin_format(f64_i32, 13.0, 32), bmin(13.0, 32));
+  // Full-fill f64/i32 blocks degenerate to CRS minus index compression
+  // (4 B index + 2 B occupancy mask amortized over 16 values).
+  EXPECT_NEAR(format_bytes_per_nnz(block_format(4, 1.0, 16.0, 32)),
+              16.0 + 0.375, 1e-12);
+  // As R -> inf both approach the same vector-dominated limit.
+  EXPECT_NEAR(bmin_format(f32_i16, 13.0, 100000), bmin_limit(13.0), 1e-4);
+  EXPECT_THROW(block_format(4, 0.0, 16.0, 32), contract_error);
+  EXPECT_THROW(block_format(4, 0.5, 12.0, 32), contract_error);
+  EXPECT_THROW(block_format(4, 0.5, 16.0, 24), contract_error);
+}
+
 TEST(Balance, SpmvRowFormula) {
   const auto w = paper_workload(2);
   const auto rows = table1(w);
