@@ -240,15 +240,28 @@ struct SweepRecord {
   double seconds;
   double gflops;
   double gbs;
+  const char* baseline;     // first variant of the same interleaved cell
+  double same_run_speedup;  // baseline seconds / this variant's seconds
 };
 
-/// One timed cell of the sweep; `variant` selects legacy / generic / fixed /
-/// tiled.  Legacy/generic/fixed run untiled so the trajectory vs earlier
-/// PRs stays like-for-like; "tiled" runs the fixed body under `tuned`.
-/// The block formats (bsr4*, sellb4*) have no legacy variant — they did not
-/// exist before the dispatch machinery.
-SweepRecord time_cell(const char* format, const char* variant, int width,
-                      const sparse::TileConfig& tuned) {
+/// One timed cell of the sweep: ALL variants of a (format, width) pair in a
+/// single call, their repetitions interleaved round-robin.  Timing the
+/// variants back-to-back within one process defeats the cross-run host-clock
+/// drift that made ratios computed from separately-timed cells swing by
+/// ±25%: every round times each variant under the same instantaneous clock
+/// and thermal state, so the per-record `same_run_speedup` (vs the first
+/// variant of the cell) is a like-for-like ratio no matter when the bench
+/// ran.  Per-variant seconds are best-of over the rounds as before.
+///
+/// Variants select legacy / generic / fixed / tiled.  Legacy/generic/fixed
+/// run untiled so the trajectory vs earlier PRs stays like-for-like;
+/// "tiled" runs the fixed body under `tuned`.  The block formats (bsr4*,
+/// sellb4*) have no legacy variant — they did not exist before the dispatch
+/// machinery.
+std::vector<SweepRecord> time_cell(const char* format,
+                                   const std::vector<const char*>& variants,
+                                   int width,
+                                   const sparse::TileConfig& tuned) {
   const auto& crs = matrix();
   const std::string fmt(format);
   // First-touch the probe vectors the same way the kernel streams them.
@@ -265,36 +278,62 @@ SweepRecord time_cell(const char* format, const char* variant, int width,
   std::vector<complex_t> dwv(static_cast<std::size_t>(width));
   const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
 
-  const std::string var(variant);
   const sparse::TileConfig untiled{-1, 0, false};
-  const sparse::TileConfig cfg = var == "tiled" ? tuned : untiled;
-  sparse::set_tile_config(cfg);
-  auto sweep = [&] {
+  const auto config_of = [&](const std::string& var) {
+    return var == "tiled" ? tuned : untiled;
+  };
+  // Installs the variant's dispatch + tile state and runs one fused sweep.
+  const auto sweep = [&](const std::string& var) {
+    sparse::set_tile_config(config_of(var));
     if (var == "legacy") {
       if (fmt == "sell") {
         legacy::aug_spmmv_sell(sell_matrix(), rec, v, w, dvv, dwv);
       } else {
         legacy::aug_spmmv_crs(crs, rec, v, w, dvv, dwv);
       }
+      return;
+    }
+    sparse::set_kernel_variant(var == "generic"
+                                   ? sparse::KernelVariant::force_generic
+                                   : sparse::KernelVariant::force_fixed);
+    if (fmt == "sell") {
+      sparse::aug_spmmv(sell_matrix(), rec, v, w, dvv, dwv);
+    } else if (fmt == "bsr4") {
+      sparse::aug_spmmv(bsr_matrix(), rec, v, w, dvv, dwv);
+    } else if (fmt == "bsr4-f32") {
+      sparse::aug_spmmv(bsr_matrix_f32(), rec, v, w, dvv, dwv);
+    } else if (fmt == "sellb4-f32") {
+      sparse::aug_spmmv(sell_block_matrix_f32(), rec, v, w, dvv, dwv);
     } else {
-      sparse::set_kernel_variant(var == "generic"
-                                     ? sparse::KernelVariant::force_generic
-                                     : sparse::KernelVariant::force_fixed);
-      if (fmt == "sell") {
-        sparse::aug_spmmv(sell_matrix(), rec, v, w, dvv, dwv);
-      } else if (fmt == "bsr4") {
-        sparse::aug_spmmv(bsr_matrix(), rec, v, w, dvv, dwv);
-      } else if (fmt == "bsr4-f32") {
-        sparse::aug_spmmv(bsr_matrix_f32(), rec, v, w, dvv, dwv);
-      } else if (fmt == "sellb4-f32") {
-        sparse::aug_spmmv(sell_block_matrix_f32(), rec, v, w, dvv, dwv);
-      } else {
-        sparse::aug_spmmv(crs, rec, v, w, dvv, dwv);
-      }
+      sparse::aug_spmmv(crs, rec, v, w, dvv, dwv);
     }
   };
-  for (int i = 0; i < 2; ++i) sweep();  // warm-up iterations
-  const double best = time_best(sweep, 0.12, 2);
+
+  // Warm-up every variant (also sizes the rounds: ~0.12 s of repetitions
+  // per variant, at least 3, bounded so a slow cell cannot stall the sweep).
+  Timer t;
+  double est = 1e300;
+  for (const char* var : variants) {
+    sweep(var);
+    t.reset();
+    t.start();
+    sweep(var);
+    t.stop();
+    est = std::min(est, t.seconds());
+  }
+  const int rounds = std::clamp(static_cast<int>(0.12 / std::max(est, 1e-9)),
+                                3, 50);
+
+  std::vector<double> best(variants.size(), 1e300);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      t.reset();
+      t.start();
+      sweep(variants[vi]);
+      t.stop();
+      best[vi] = std::min(best[vi], t.seconds());
+    }
+  }
   sparse::set_kernel_variant(sparse::KernelVariant::auto_dispatch);
   sparse::set_tile_config({});
 
@@ -322,10 +361,16 @@ SweepRecord time_cell(const char* format, const char* variant, int width,
   const double bytes =
       matrix_bytes +
       3.0 * width * static_cast<double>(crs.nrows()) * bytes_per_element;
-  return {format,    variant,   width,
-          max_threads(), index_bits, precision,
-          cfg,       best,      flops / best / 1e9,
-          bytes / best / 1e9};
+
+  std::vector<SweepRecord> out;
+  out.reserve(variants.size());
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    out.push_back({format, variants[vi], width, max_threads(), index_bits,
+                   precision, config_of(variants[vi]), best[vi],
+                   flops / best[vi] / 1e9, bytes / best[vi] / 1e9,
+                   variants.front(), best.front() / best[vi]});
+  }
+  return out;
 }
 
 /// Tile configuration the persistent autotuner picks for this cell (cached
@@ -347,11 +392,12 @@ sparse::TileConfig tuned_config(runtime::AutoTuner& tuner, const char* format,
 }
 
 void print_record(const SweepRecord& r) {
-  std::printf("%-10s %-8s %6d %4d %4d %4s %5d %8lld %3d %12.5f %9.3f %9.3f\n",
-              r.format, r.variant, r.width, r.threads, r.index_bits,
-              r.value_precision, r.tile.tile_width,
-              static_cast<long long>(r.tile.band_rows),
-              r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs);
+  std::printf(
+      "%-10s %-8s %6d %4d %4d %4s %5d %8lld %3d %12.5f %9.3f %9.3f %6.2f\n",
+      r.format, r.variant, r.width, r.threads, r.index_bits,
+      r.value_precision, r.tile.tile_width,
+      static_cast<long long>(r.tile.band_rows), r.tile.nt_stores ? 1 : 0,
+      r.seconds, r.gflops, r.gbs, r.same_run_speedup);
 }
 
 /// Variants measured for a format: the frozen legacy body only exists for
@@ -392,16 +438,20 @@ void run_sweep_and_write_json(bool smoke) {
   std::printf("aug_spmmv sweep (full fused kernel, on-the-fly dots)%s:\n",
               smoke ? " [smoke grid]" : "");
   bench::print_block_structure(matrix());
-  std::printf("%-10s %-8s %6s %4s %4s %4s %5s %8s %3s %12s %9s %9s\n", "fmt",
-              "variant", "width", "thr", "idx", "val", "tile", "band", "nt",
-              "s/sweep", "GF/s", "GB/s");
+  std::printf("%-10s %-8s %6s %4s %4s %4s %5s %8s %3s %12s %9s %9s %6s\n",
+              "fmt", "variant", "width", "thr", "idx", "val", "tile", "band",
+              "nt", "s/sweep", "GF/s", "GB/s", "ratio");
+  const auto run_cell = [&](const char* fmt, int width,
+                            const std::vector<const char*>& vars) {
+    const auto tuned = tuned_config(tuner, fmt, width);
+    for (auto& r : time_cell(fmt, vars, width, tuned)) {
+      print_record(r);
+      records.push_back(r);
+    }
+  };
   for (const char* fmt : formats) {
     for (const int width : widths) {
-      const auto tuned = tuned_config(tuner, fmt, width);
-      for (const char* var : variants_for(fmt, smoke)) {
-        records.push_back(time_cell(fmt, var, width, tuned));
-        print_record(records.back());
-      }
+      run_cell(fmt, width, variants_for(fmt, smoke));
     }
   }
   if (!smoke) {
@@ -409,11 +459,7 @@ void run_sweep_and_write_json(bool smoke) {
       set_threads(t);
       for (const char* fmt : formats) {
         for (const int width : scaling_widths) {
-          const auto tuned = tuned_config(tuner, fmt, width);
-          for (const char* var : scaling_variants) {
-            records.push_back(time_cell(fmt, var, width, tuned));
-            print_record(records.back());
-          }
+          run_cell(fmt, width, {scaling_variants[0], scaling_variants[1]});
         }
       }
     }
@@ -498,11 +544,13 @@ void run_sweep_and_write_json(bool smoke) {
                  "\"tile_width\": %d, \"band_rows\": %lld, "
                  "\"nt_stores\": %d, "
                  "\"seconds_per_sweep\": %.6e, \"gflops\": %.4f, "
-                 "\"gbs\": %.4f}%s\n",
+                 "\"gbs\": %.4f, \"baseline\": \"%s\", "
+                 "\"same_run_speedup\": %.4f}%s\n",
                  r.format, r.variant, r.width, r.threads, r.index_bits,
                  r.value_precision, r.tile.tile_width,
                  static_cast<long long>(r.tile.band_rows),
                  r.tile.nt_stores ? 1 : 0, r.seconds, r.gflops, r.gbs,
+                 r.baseline, r.same_run_speedup,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

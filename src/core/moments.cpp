@@ -4,6 +4,7 @@
 
 #include "blas/block_ops.hpp"
 #include "blas/level1.hpp"
+#include "core/sweep_session.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/spmv.hpp"
 #include "util/aligned.hpp"
@@ -226,10 +227,39 @@ MomentsResult moments_aug_spmv(const sparse::SellMatrix& h,
   return moments_aug_spmv_impl(h, s, p, /*permute=*/true);
 }
 
+// The CRS overload runs on the resumable SweepSession — the same object the
+// multi-tenant service advances chunk by chunk — so "the service path" and
+// "the library path" are one code path and bitwise-identical by construction.
 MomentsResult moments_aug_spmmv(const sparse::CrsMatrix& h,
                                 const physics::Scaling& s,
                                 const MomentParams& p) {
-  return moments_aug_spmmv_impl(h, s, p, /*permute=*/false);
+  check_params(p);
+  const global_index n = h.nrows();
+  const int width = p.num_random;
+  RandomVectorSource rng(p.seed, p.vector_kind);
+  blas::BlockVector v0(n, width);
+  {
+    aligned_vector<complex_t> col(static_cast<std::size_t>(n));
+    for (int r = 0; r < width; ++r) {
+      rng.fill(col);
+      v0.set_column(r, col);
+    }
+  }
+  SweepSession session(h, s, v0, p.num_moments);
+  session.advance_all();
+
+  MomentsResult out;
+  out.dimension = n;
+  for (int r = 0; r < width; ++r) {
+    const auto mu = session.mu(r);
+    out.per_vector.emplace_back(mu.begin(), mu.end());
+  }
+  out.ops.spmv_equivalents = session.lanes_swept();
+  out.ops.matrix_streams = session.steps();
+  out.ops.global_reductions =
+      p.reduction == ReductionMode::per_iteration ? session.steps() : 1;
+  average_columns(out, p.num_moments, p.num_random);
+  return out;
 }
 
 MomentsResult moments_aug_spmmv(const sparse::SellMatrix& h,
@@ -280,39 +310,17 @@ std::vector<std::vector<double>> moments_of_block(const sparse::CrsMatrix& h,
                                                   const physics::Scaling& s,
                                                   const blas::BlockVector& v0,
                                                   int num_moments) {
-  require(num_moments >= 2 && num_moments % 2 == 0,
-          "moments_of_block: num_moments must be even and >= 2");
-  const int width = v0.width();
-  blas::BlockVector v(v0.rows(), width);
-  blas::block_copy(v0, v);
-  blas::BlockVector w(v0.rows(), width);
-  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
-  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
-  std::vector<std::vector<double>> eta(
-      static_cast<std::size_t>(width),
-      std::vector<double>(static_cast<std::size_t>(num_moments), 0.0));
-
-  sparse::aug_spmmv(h, sparse::AugScalars::startup(s.a, s.b), v, w, dvv, dwv);
-  for (int r = 0; r < width; ++r) {
-    eta[static_cast<std::size_t>(r)][0] = dvv[static_cast<std::size_t>(r)].real();
-    if (num_moments > 1) {
-      eta[static_cast<std::size_t>(r)][1] =
-          dwv[static_cast<std::size_t>(r)].real();
-    }
+  // One uninterrupted SweepSession — the reference run every chunked /
+  // resumed / coalesced service solve must (and does) match bitwise.
+  SweepSession session(h, s, v0, num_moments);
+  session.advance_all();
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(v0.width()));
+  for (int r = 0; r < v0.width(); ++r) {
+    const auto mu = session.mu(r);
+    out.emplace_back(mu.begin(), mu.end());
   }
-  const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
-  for (int m = 1; 2 * m + 1 < num_moments; ++m) {
-    std::swap(v, w);
-    sparse::aug_spmmv(h, rec, v, w, dvv, dwv);
-    for (int r = 0; r < width; ++r) {
-      eta[static_cast<std::size_t>(r)][static_cast<std::size_t>(2 * m)] =
-          dvv[static_cast<std::size_t>(r)].real();
-      eta[static_cast<std::size_t>(r)][static_cast<std::size_t>(2 * m + 1)] =
-          dwv[static_cast<std::size_t>(r)].real();
-    }
-  }
-  for (auto& column : eta) eta_to_mu(column);
-  return eta;
+  return out;
 }
 
 }  // namespace kpm::core

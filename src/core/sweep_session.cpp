@@ -1,0 +1,171 @@
+#include "core/sweep_session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sparse/kpm_kernels.hpp"
+#include "util/check.hpp"
+
+namespace kpm::core {
+
+SweepSession::SweepSession(const sparse::CrsMatrix& h,
+                           const physics::Scaling& s,
+                           const blas::BlockVector& v0, int num_moments)
+    : h_(&h), s_(s), num_moments_(num_moments) {
+  require(num_moments >= 2 && num_moments % 2 == 0,
+          "SweepSession: num_moments must be even and >= 2");
+  require(h.nrows() == h.ncols(), "SweepSession: matrix must be square");
+  require(v0.rows() == h.nrows(), "SweepSession: start block size mismatch");
+  require(v0.layout() == blas::Layout::row_major,
+          "SweepSession: start block must be row-major");
+  require(v0.width() >= 1, "SweepSession: at least one lane");
+  const int width = v0.width();
+  v_ = blas::BlockVector(v0.rows(), width);
+  w_ = blas::BlockVector(v0.rows(), width);
+  for (global_index i = 0; i < v0.rows(); ++i) {
+    for (int r = 0; r < width; ++r) v_(i, r) = v0(i, r);
+  }
+  lane_of_column_.resize(static_cast<std::size_t>(width));
+  for (int r = 0; r < width; ++r) lane_of_column_[static_cast<std::size_t>(r)] = r;
+  mu_.resize(static_cast<std::size_t>(width));
+  for (auto& m : mu_) m.reserve(static_cast<std::size_t>(num_moments));
+  active_.assign(static_cast<std::size_t>(width), 1);
+  dvv_.resize(static_cast<std::size_t>(width));
+  dwv_.resize(static_cast<std::size_t>(width));
+}
+
+SweepSession::SweepSession(const sparse::CrsMatrix& h,
+                           const physics::Scaling& s, SweepCheckpoint state)
+    : h_(&h),
+      s_(s),
+      num_moments_(state.num_moments),
+      next_step_(state.next_step),
+      v_(std::move(state.v)),
+      w_(std::move(state.w)),
+      lane_of_column_(std::move(state.lane_of_column)),
+      mu_(std::move(state.mu)),
+      active_(std::move(state.active)) {
+  require(num_moments_ >= 2 && num_moments_ % 2 == 0,
+          "SweepSession: checkpoint num_moments must be even and >= 2");
+  require(h.nrows() == h.ncols(), "SweepSession: matrix must be square");
+  require(v_.rows() == h.nrows(),
+          "SweepSession: checkpoint block size mismatch");
+  require(v_.width() == w_.width() &&
+              lane_of_column_.size() == static_cast<std::size_t>(v_.width()) &&
+              mu_.size() == active_.size(),
+          "SweepSession: inconsistent checkpoint");
+  dvv_.resize(static_cast<std::size_t>(v_.width()));
+  dwv_.resize(static_cast<std::size_t>(v_.width()));
+}
+
+int SweepSession::completed() const noexcept {
+  return std::min(2 * next_step_, num_moments_);
+}
+
+bool SweepSession::done() const noexcept {
+  return completed() >= num_moments_ || active_lanes() == 0;
+}
+
+int SweepSession::active_lanes() const noexcept {
+  int n = 0;
+  for (const char a : active_) n += a != 0;
+  return n;
+}
+
+std::span<const double> SweepSession::mu(int lane) const {
+  require(lane >= 0 && lane < lanes(), "SweepSession: lane out of range");
+  return mu_[static_cast<std::size_t>(lane)];
+}
+
+void SweepSession::deactivate_lane(int lane) {
+  require(lane >= 0 && lane < lanes(), "SweepSession: lane out of range");
+  active_[static_cast<std::size_t>(lane)] = 0;
+}
+
+/// Appends this step's two moments to every live lane.  The arithmetic is
+/// byte-for-byte the eta_to_mu conversion of core/moments: mu_0 and mu_1 are
+/// the raw dots, later entries are 2*eta - mu_0 (even) / 2*eta - mu_1 (odd).
+void SweepSession::record_step(int m) {
+  const int width = v_.width();
+  for (int c = 0; c < width; ++c) {
+    const int lane = lane_of_column_[static_cast<std::size_t>(c)];
+    auto& mu = mu_[static_cast<std::size_t>(lane)];
+    if (active_[static_cast<std::size_t>(lane)] == 0) continue;
+    const double even = dvv_[static_cast<std::size_t>(c)].real();
+    const double odd = dwv_[static_cast<std::size_t>(c)].real();
+    if (m == 0) {
+      mu.push_back(even);
+      mu.push_back(odd);
+    } else {
+      mu.push_back(2.0 * even - mu[0]);
+      mu.push_back(2.0 * odd - mu[1]);
+    }
+  }
+}
+
+int SweepSession::advance(int max_steps) {
+  const auto rec = sparse::AugScalars::recurrence(s_.a, s_.b);
+  for (int taken = 0; taken < max_steps && !done(); ++taken) {
+    if (next_step_ == 0) {
+      sparse::aug_spmmv(*h_, sparse::AugScalars::startup(s_.a, s_.b), v_, w_,
+                        dvv_, dwv_);
+    } else {
+      std::swap(v_, w_);
+      sparse::aug_spmmv(*h_, rec, v_, w_, dvv_, dwv_);
+    }
+    record_step(next_step_);
+    ++next_step_;
+    ++steps_;
+    lanes_swept_ += v_.width();
+  }
+  return completed();
+}
+
+int SweepSession::advance_all() {
+  while (!done()) advance(1 << 20);
+  return completed();
+}
+
+bool SweepSession::compact() {
+  const int width = v_.width();
+  int live = 0;
+  for (int c = 0; c < width; ++c) {
+    live += active_[static_cast<std::size_t>(
+               lane_of_column_[static_cast<std::size_t>(c)])] != 0;
+  }
+  if (live == width || live == 0) return false;
+  blas::BlockVector nv(v_.rows(), live);
+  blas::BlockVector nw(v_.rows(), live);
+  std::vector<int> nlanes(static_cast<std::size_t>(live));
+  int j = 0;
+  for (int c = 0; c < width; ++c) {
+    const int lane = lane_of_column_[static_cast<std::size_t>(c)];
+    if (active_[static_cast<std::size_t>(lane)] == 0) continue;
+    for (global_index i = 0; i < v_.rows(); ++i) {
+      nv(i, j) = v_(i, c);
+      nw(i, j) = w_(i, c);
+    }
+    nlanes[static_cast<std::size_t>(j)] = lane;
+    ++j;
+  }
+  v_ = std::move(nv);
+  w_ = std::move(nw);
+  lane_of_column_ = std::move(nlanes);
+  dvv_.resize(static_cast<std::size_t>(live));
+  dwv_.resize(static_cast<std::size_t>(live));
+  return true;
+}
+
+SweepCheckpoint SweepSession::checkpoint() const {
+  SweepCheckpoint cp;
+  cp.v = v_;
+  cp.w = w_;
+  cp.mu = mu_;
+  cp.lane_of_column = lane_of_column_;
+  cp.active = active_;
+  cp.num_moments = num_moments_;
+  cp.next_step = next_step_;
+  return cp;
+}
+
+}  // namespace kpm::core

@@ -198,6 +198,7 @@ std::string AutoTuner::cache_key(const char* format, global_index nrows,
 
 bool AutoTuner::lookup(const std::string& key, sparse::TileConfig* config,
                        double* seconds) const {
+  std::shared_lock lock(cache_mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   if (config != nullptr) *config = it->second.config;
@@ -207,8 +208,14 @@ bool AutoTuner::lookup(const std::string& key, sparse::TileConfig* config,
 
 void AutoTuner::store(const std::string& key, const sparse::TileConfig& config,
                       double seconds) {
+  std::unique_lock lock(cache_mutex_);
   entries_[key] = Entry{config, seconds};
   save();
+}
+
+std::size_t AutoTuner::cache_entries() const {
+  std::shared_lock lock(cache_mutex_);
+  return entries_.size();
 }
 
 void AutoTuner::load() {
@@ -293,6 +300,18 @@ TileTuneResult tune_tiles_impl(AutoTuner& tuner, const Matrix& m,
   TileTuneResult out;
   out.key = AutoTuner::cache_key(format, m.nrows(), m.nnz(), max_threads(),
                                  width);
+  if (p.use_cache && tuner.lookup(out.key, &out.config, &out.seconds)) {
+    out.from_cache = true;
+    if (p.install) sparse::set_tile_config(out.config);
+    return out;
+  }
+
+  // Double-checked probe: serialize on the tuner's probe lock, then look the
+  // key up again — a concurrent thread that missed the same key may have
+  // probed and stored it while we waited, in which case no timing runs at
+  // all.  The lock also keeps two probes from interleaving their
+  // process-wide set_tile_config() timing runs.
+  auto probe_lock = tuner.acquire_probe_lock();
   if (p.use_cache && tuner.lookup(out.key, &out.config, &out.seconds)) {
     out.from_cache = true;
     if (p.install) sparse::set_tile_config(out.config);

@@ -36,6 +36,8 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -84,6 +86,14 @@ struct TileTuneResult {
 
 /// Persistent tile autotuner (see file header).  Construction loads the
 /// cache file; every probe result is persisted immediately.
+///
+/// Thread safety: one AutoTuner may be shared by concurrent in-process users
+/// (the KPM service registers models from several workers).  The entry table
+/// is guarded by a shared mutex — lookups take the shared side, store()
+/// (which also rewrites the cache file) the exclusive side — and timed
+/// probes serialize on a separate probe mutex with a double-checked lookup,
+/// so two threads missing the same key run one probe, not two, and never
+/// interleave their set_tile_config() timing runs.
 class AutoTuner {
  public:
   /// `cache_path` empty: $KPM_TUNE_CACHE, or ".kpm_tune_cache.json".
@@ -118,10 +128,15 @@ class AutoTuner {
   }
   /// True when the cache file existed and parsed cleanly at construction.
   [[nodiscard]] bool cache_loaded() const noexcept { return loaded_ok_; }
-  [[nodiscard]] std::size_t cache_entries() const noexcept {
-    return entries_.size();
-  }
+  [[nodiscard]] std::size_t cache_entries() const;
   [[nodiscard]] static std::string default_cache_path();
+
+  /// Serializes timed probes across threads sharing this tuner.  Probe code
+  /// holds this while it re-checks the cache and times candidates — the
+  /// tile/variant overrides it toggles are process-wide state.
+  [[nodiscard]] std::unique_lock<std::mutex> acquire_probe_lock() {
+    return std::unique_lock<std::mutex>(probe_mutex_);
+  }
 
   struct FormatProbe {
     std::string format;           ///< format_tag() of the candidate
@@ -168,9 +183,11 @@ class AutoTuner {
     double seconds = 0.0;
   };
   void load();
-  void save() const;
+  void save() const;  ///< caller holds cache_mutex_
 
   std::string path_;
+  mutable std::shared_mutex cache_mutex_;  ///< guards entries_ + cache file
+  std::mutex probe_mutex_;                 ///< serializes timed probes
   std::map<std::string, Entry> entries_;
   bool loaded_ok_ = false;
 };

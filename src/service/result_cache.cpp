@@ -1,0 +1,73 @@
+#include "service/result_cache.hpp"
+
+namespace kpm::service {
+
+std::shared_ptr<const core::MomentsResult> ResultCache::find(
+    const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++counters_.hits;
+  return it->second.value;
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+std::size_t ResultCache::result_bytes(const core::MomentsResult& result,
+                                      const std::string& key) {
+  std::size_t bytes = key.size() + sizeof(core::MomentsResult);
+  bytes += result.mu.size() * sizeof(double);
+  for (const auto& col : result.per_vector) bytes += col.size() * sizeof(double);
+  return bytes;
+}
+
+void ResultCache::evict_until_fits(std::size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_ + incoming_bytes > budget_) {
+    const std::string& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const core::MomentsResult> result) {
+  if (result == nullptr) return;
+  const std::size_t bytes = result_bytes(*result, key);
+  std::lock_guard lock(mutex_);
+  if (bytes > budget_) {
+    ++counters_.oversize_rejects;
+    return;
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  evict_until_fits(bytes);
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(result), bytes, lru_.begin()};
+  bytes_ += bytes;
+  ++counters_.insertions;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s = counters_;
+  s.bytes = bytes_;
+  s.budget = budget_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace kpm::service

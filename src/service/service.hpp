@@ -1,0 +1,231 @@
+// Batched multi-tenant KPM service (DESIGN.md §5g).
+//
+// The fused block kernel's throughput lever is width: one matrix stream
+// serves R vectors (paper Fig. 5), and the random vectors of the stochastic
+// trace are fully independent — so *unrelated* KPM requests against the same
+// Hamiltonian can legally share one sweep.  KpmService exploits exactly
+// that: independent jobs (model + M + R + seed) are admitted to a queue,
+// coalesced per model into wide batched aug_spmmv sweeps up to the
+// configured batch width (default 32, the width-dispatch sweet spot the
+// autotuner probes), advanced chunk by chunk on a SweepSession, and their
+// partial moments streamed back per job as recurrence steps complete — a
+// consumer that watches moment decay can cancel early and free its lanes.
+// Finished spectra are memoized in a bounded content-addressed ResultCache,
+// so repeat requests return in O(1) without any sweep.
+//
+// Coalescing rules (see DESIGN.md §5g for the rationale):
+//  - Only jobs against the same registered model key share a sweep (same
+//    matrix AND same scaling — a different scaling changes every moment).
+//  - A batch is formed when a worker picks up the queue head: it greedily
+//    admits further queued jobs of the same model while the total lane
+//    count stays within max_batch_width.  Jobs are never admitted into a
+//    batch already in flight (a mid-sweep start-up step cannot share the
+//    recurrence step of the running lanes).
+//  - The batch sweeps to the largest M in the batch; jobs with smaller M
+//    finish early, their lanes are deactivated, and the session compacts to
+//    the narrower width (compact_freed_lanes) — early finishers and
+//    cancellations stop paying for lanes nobody consumes.
+//
+// Bitwise contract: the moments delivered for a job are bitwise identical
+// to a direct core::moments_of_block() call on the block its seed generates,
+// no matter which batch width served it — lane arithmetic in the fused
+// kernels is width-independent (see core/sweep_session.hpp) and the service
+// advances the exact same SweepSession that moments_of_block() runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "service/result_cache.hpp"
+#include "sparse/crs.hpp"
+#include "util/random.hpp"
+
+namespace kpm::service {
+
+/// One independent KPM request: which registered operator, how many moments,
+/// how many stochastic-trace lanes, and the seed that generates them.
+struct JobRequest {
+  std::string model;       ///< registered model key (carries the params)
+  int num_moments = 512;   ///< M (even, >= 2)
+  int num_random = 1;      ///< R lanes of this job
+  std::uint64_t seed = 7;  ///< RandomVectorSource seed
+  RandomVectorKind vector_kind = RandomVectorKind::phase;
+};
+
+/// Content key of a request: "model:M<M>:R<R>:s<seed>:<kind>" — the result
+/// cache is addressed by this, mirroring the autotuner cache key shape.
+[[nodiscard]] std::string job_cache_key(const JobRequest& req);
+
+enum class JobStatus { queued, running, done, cancelled, failed };
+[[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
+
+class KpmService;
+
+/// Client-side handle of a submitted job.  All methods are thread-safe; the
+/// streaming methods let a consumer read moments while the sweep runs.
+class Job {
+ public:
+  [[nodiscard]] JobStatus status() const;
+  /// Number of (averaged) moments streamed so far, 0 .. num_moments.
+  [[nodiscard]] int moments_available() const;
+  /// Blocks until at least min(`min_available`, M) moments are available or
+  /// the job reaches a terminal state; returns moments_available().
+  int wait_moments(int min_available) const;
+  /// Copy of the averaged moment prefix streamed so far.
+  [[nodiscard]] std::vector<double> partial_mu() const;
+  /// Blocks until the job is terminal; returns the final status.
+  JobStatus wait() const;
+  /// Final result; only valid when status() == done.
+  [[nodiscard]] const core::MomentsResult& result() const;
+  /// Requests early stop.  Returns true if the job was not yet terminal;
+  /// a queued job is dropped, a running job frees its lanes at the next
+  /// chunk boundary.
+  bool cancel();
+
+  [[nodiscard]] const JobRequest& request() const noexcept { return req_; }
+  [[nodiscard]] bool from_cache() const;
+  /// Lane count of the sweep that served this job (0 for cache hits).
+  [[nodiscard]] int batch_width() const;
+  /// Submit-to-terminal wall seconds (0 while not terminal).
+  [[nodiscard]] double latency_seconds() const;
+  [[nodiscard]] const std::string& error() const;
+
+ private:
+  friend class KpmService;
+  explicit Job(JobRequest req) : req_(std::move(req)) {}
+
+  JobRequest req_;
+  std::string key_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobStatus status_ = JobStatus::queued;
+  bool cancel_requested_ = false;
+  bool from_cache_ = false;
+  int batch_width_ = 0;
+  std::vector<double> partial_mu_;
+  std::shared_ptr<const core::MomentsResult> result_;
+  std::string error_;
+  double submit_time_ = 0.0;
+  double finish_time_ = 0.0;
+};
+
+struct ServiceConfig {
+  int num_workers = 1;
+  /// Lane budget of one coalesced sweep.  A single job wider than this
+  /// still runs (alone, at its own width).
+  int max_batch_width = 32;
+  /// Streaming granularity: moments delivered per session chunk (even).
+  int chunk_moments = 64;
+  /// Byte budget of the content-addressed result cache (0 disables it).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Compact the sweep block when early finishers / cancellations free
+  /// lanes, so the remaining jobs sweep at the narrower width.
+  bool compact_freed_lanes = true;
+  /// Tile-tune (runtime::AutoTuner, persistent cache) each registered model
+  /// at max_batch_width and install the winner for the production sweeps.
+  bool tune_on_register = false;
+  std::string tune_cache_path;  ///< empty = AutoTuner default
+};
+
+struct ServiceStats {
+  long long submitted = 0;
+  long long completed = 0;
+  long long cancelled = 0;
+  long long failed = 0;
+  long long cache_hits = 0;   ///< answered at submit, without any sweep
+  long long batches = 0;      ///< coalesced sweeps executed
+  long long coalesced_jobs = 0;  ///< jobs that shared their sweep
+  long long sweep_steps = 0;  ///< matrix streams actually performed
+  long long lanes_swept = 0;  ///< sum of sweep width over those steps
+  /// Matrix streams an uncoalesced (one sweep per job) service would have
+  /// performed for the same deliveries; solo_steps / sweep_steps is the
+  /// measured matrix-traffic saving of coalescing.
+  long long solo_steps = 0;
+};
+
+/// The batched multi-tenant solver daemon (see file header).
+class KpmService {
+ public:
+  explicit KpmService(ServiceConfig config = {});
+  ~KpmService();
+  KpmService(const KpmService&) = delete;
+  KpmService& operator=(const KpmService&) = delete;
+
+  /// Registers an operator under `key` (the key should carry the model
+  /// parameters, e.g. "ti:nx=16,ny=16,nz=4").  If no scaling is supplied it
+  /// is derived from Lanczos bounds like core::compute_dos.  Jobs may only
+  /// reference registered models.
+  void register_model(const std::string& key, sparse::CrsMatrix h,
+                      std::optional<physics::Scaling> scaling = std::nullopt);
+
+  /// Admits a job.  Returns immediately; a cache hit comes back already
+  /// done.  Throws kpm::contract_error for unknown models / bad params.
+  std::shared_ptr<Job> submit(const JobRequest& req);
+
+  /// Pauses job admission to the workers: submitted jobs queue up but no
+  /// worker starts a new batch until resume().  Lets a client admit a burst
+  /// atomically so the coalescer sees the whole queue at once and cuts
+  /// full-width batches instead of whatever prefix raced in first.  Batches
+  /// already running are unaffected.
+  void pause();
+  /// Reopens admission and wakes the workers.
+  void resume();
+
+  /// Blocks until the queue is empty and every worker is idle.  Implicitly
+  /// resume()s — draining a paused service would otherwise never return.
+  void drain();
+
+  /// Stops the workers: running batches finish their current chunk and are
+  /// cancelled, queued jobs are cancelled.  Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Model {
+    sparse::CrsMatrix h;
+    physics::Scaling scaling;
+  };
+  struct LaneAssignment {
+    std::shared_ptr<Job> job;
+    int first_lane = 0;
+    int served = 0;  ///< moments delivered so far
+  };
+
+  void worker_loop();
+  void run_batch(const Model& model,
+                 std::vector<LaneAssignment>& batch, int lanes);
+  void finalize(const std::shared_ptr<Job>& job, JobStatus status,
+                std::shared_ptr<const core::MomentsResult> result,
+                const std::string& error);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, Model> models_;
+  std::deque<std::shared_ptr<Job>> pending_;
+  ServiceStats stats_;
+  int busy_workers_ = 0;
+  bool stopping_ = false;
+  bool paused_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kpm::service

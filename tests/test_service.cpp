@@ -1,0 +1,474 @@
+// Tests for the resumable sweep sessions and the batched multi-tenant KPM
+// service: chunked/resumed/cancelled solves must be bitwise identical to an
+// uninterrupted moments_of_block(), service-delivered moments must be bitwise
+// identical to the direct library call for every coalesced batch width, the
+// content-addressed result cache must evict in LRU order, and a shared
+// AutoTuner must run one probe for concurrent users, not one per thread.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "core/sweep_session.hpp"
+#include "physics/spectral_bounds.hpp"
+#include "physics/ti_model.hpp"
+#include "runtime/autotune.hpp"
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace kpm {
+namespace {
+
+sparse::CrsMatrix small_ti() {
+  physics::TIParams p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nz = 3;
+  return physics::build_ti_hamiltonian(p);
+}
+
+physics::Scaling scaling_for(const sparse::CrsMatrix& h) {
+  return physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+}
+
+/// The start block a (seed, kind, R) request generates — column r is the
+/// r-th vector of the seeded source, exactly as the service admits it.
+blas::BlockVector start_block(const sparse::CrsMatrix& h, std::uint64_t seed,
+                              int width,
+                              RandomVectorKind kind = RandomVectorKind::phase) {
+  blas::BlockVector v0(h.nrows(), width);
+  aligned_vector<complex_t> col(static_cast<std::size_t>(h.nrows()));
+  RandomVectorSource rng(seed, kind);
+  for (int r = 0; r < width; ++r) {
+    rng.fill(col);
+    v0.set_column(r, col);
+  }
+  return v0;
+}
+
+void expect_bitwise(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " index " << i;
+  }
+}
+
+// --- SweepSession resumability ----------------------------------------------
+
+TEST(SweepSession, ChunkedAdvanceBitwiseEqualsUninterrupted) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const int M = 64;
+  for (const int width : {1, 4, 32}) {
+    const auto v0 = start_block(h, 100 + static_cast<std::uint64_t>(width),
+                                width);
+    const auto direct = core::moments_of_block(h, s, v0, M);
+
+    core::SweepSession session(h, s, v0, M);
+    while (!session.done()) session.advance(3);  // uneven chunking
+    ASSERT_EQ(session.completed(), M);
+    for (int r = 0; r < width; ++r) {
+      const auto mu = session.mu(r);
+      expect_bitwise({mu.begin(), mu.end()}, direct[static_cast<std::size_t>(r)],
+                     "chunked lane");
+    }
+  }
+}
+
+TEST(SweepSession, CheckpointRestoreBitwiseEqualsUninterrupted) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const int M = 48, width = 4;
+  const auto v0 = start_block(h, 42, width);
+  const auto direct = core::moments_of_block(h, s, v0, M);
+
+  core::SweepSession first(h, s, v0, M);
+  first.advance(7);  // mid-flight, past the start-up step
+  const core::SweepCheckpoint saved = first.checkpoint();
+  // The interrupted session is discarded; a restored one finishes the job.
+  core::SweepSession resumed(h, s, saved);
+  EXPECT_EQ(resumed.completed(), first.completed());
+  resumed.advance_all();
+  ASSERT_EQ(resumed.completed(), M);
+  for (int r = 0; r < width; ++r) {
+    const auto mu = resumed.mu(r);
+    expect_bitwise({mu.begin(), mu.end()}, direct[static_cast<std::size_t>(r)],
+                   "restored lane");
+  }
+}
+
+TEST(SweepSession, CancelledLaneFreezesOthersUnperturbed) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const int M = 64, width = 4;
+  const auto v0 = start_block(h, 9, width);
+  const auto direct = core::moments_of_block(h, s, v0, M);
+
+  core::SweepSession session(h, s, v0, M);
+  session.advance(5);
+  const int frozen_at = session.completed();
+  session.deactivate_lane(1);
+  EXPECT_TRUE(session.compact());
+  EXPECT_EQ(session.sweep_width(), width - 1);
+  EXPECT_EQ(session.active_lanes(), width - 1);
+  session.advance_all();
+  ASSERT_EQ(session.completed(), M);
+
+  // The cancelled lane's prefix froze; the surviving lanes are bitwise equal
+  // to the uninterrupted full-width run (lane arithmetic is
+  // width-independent).
+  EXPECT_EQ(static_cast<int>(session.mu(1).size()), frozen_at);
+  for (const int r : {0, 2, 3}) {
+    const auto mu = session.mu(r);
+    expect_bitwise({mu.begin(), mu.end()}, direct[static_cast<std::size_t>(r)],
+                   "surviving lane");
+  }
+  const auto prefix = session.mu(1);
+  for (int m = 0; m < frozen_at; ++m) {
+    EXPECT_EQ(prefix[m], direct[1][static_cast<std::size_t>(m)]);
+  }
+}
+
+TEST(SweepSession, CancelledThenRestartedMatchesDirect) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const int M = 32, width = 2;
+  const auto v0 = start_block(h, 77, width);
+  {
+    core::SweepSession doomed(h, s, v0, M);
+    doomed.advance(4);
+    doomed.deactivate_lane(0);
+    doomed.deactivate_lane(1);
+    EXPECT_TRUE(doomed.done());  // no active lanes => done
+  }
+  // A restart from scratch (the service requeues cancelled-then-resubmitted
+  // jobs as fresh sweeps) reproduces the direct bits.
+  core::SweepSession restarted(h, s, v0, M);
+  restarted.advance_all();
+  const auto direct = core::moments_of_block(h, s, v0, M);
+  for (int r = 0; r < width; ++r) {
+    const auto mu = restarted.mu(r);
+    expect_bitwise({mu.begin(), mu.end()}, direct[static_cast<std::size_t>(r)],
+                   "restarted lane");
+  }
+}
+
+// --- Service: coalescing parity, streaming, cache ---------------------------
+
+service::ServiceConfig test_config(int max_batch_width, int chunk_moments = 8) {
+  service::ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch_width = max_batch_width;
+  cfg.chunk_moments = chunk_moments;
+  cfg.cache_bytes = std::size_t{1} << 20;
+  return cfg;
+}
+
+TEST(Service, CoalescedMomentsBitwiseMatchDirectAtEveryBatchWidth) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  struct Req {
+    std::uint64_t seed;
+    int R;
+    int M;
+  };
+  const std::vector<Req> reqs{{1, 1, 16}, {2, 3, 32}, {3, 2, 24}, {4, 4, 32},
+                              {5, 1, 8}};
+  for (const int batch_width : {1, 4, 8, 32}) {
+    service::KpmService svc(test_config(batch_width));
+    svc.register_model("ti", h, s);
+    std::vector<std::shared_ptr<service::Job>> jobs;
+    for (const auto& rq : reqs) {
+      service::JobRequest jr;
+      jr.model = "ti";
+      jr.num_moments = rq.M;
+      jr.num_random = rq.R;
+      jr.seed = rq.seed;
+      jobs.push_back(svc.submit(jr));
+    }
+    svc.drain();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_EQ(jobs[i]->wait(), service::JobStatus::done)
+          << "batch_width=" << batch_width << " job " << i;
+      const auto& res = jobs[i]->result();
+      const auto v0 = start_block(h, reqs[i].seed, reqs[i].R);
+      const auto direct = core::moments_of_block(h, s, v0, reqs[i].M);
+      ASSERT_EQ(res.per_vector.size(), static_cast<std::size_t>(reqs[i].R));
+      for (int r = 0; r < reqs[i].R; ++r) {
+        expect_bitwise(res.per_vector[static_cast<std::size_t>(r)],
+                       direct[static_cast<std::size_t>(r)], "service lane");
+      }
+      // Streamed prefix == final averaged moments.
+      expect_bitwise(jobs[i]->partial_mu(), res.mu, "streamed mu");
+    }
+    const auto st = svc.stats();
+    EXPECT_EQ(st.completed, static_cast<long long>(reqs.size()));
+    if (batch_width >= 8) {
+      EXPECT_GT(st.coalesced_jobs, 0) << "batch_width=" << batch_width;
+    }
+  }
+}
+
+TEST(Service, SoloJobBitwiseMatchesMomentsAugSpmmv) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  core::MomentParams p;
+  p.num_moments = 32;
+  p.num_random = 4;
+  p.seed = 123;
+  const auto direct = core::moments_aug_spmmv(h, s, p);
+
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = p.num_moments;
+  jr.num_random = p.num_random;
+  jr.seed = p.seed;
+  auto job = svc.submit(jr);
+  ASSERT_EQ(job->wait(), service::JobStatus::done);
+  const auto& res = job->result();
+  EXPECT_EQ(res.dimension, direct.dimension);
+  expect_bitwise(res.mu, direct.mu, "averaged mu");
+  ASSERT_EQ(res.per_vector.size(), direct.per_vector.size());
+  for (std::size_t r = 0; r < res.per_vector.size(); ++r) {
+    expect_bitwise(res.per_vector[r], direct.per_vector[r], "per-vector");
+  }
+}
+
+TEST(Service, StreamsPartialMomentPrefix) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(4, /*chunk_moments=*/8));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 64;
+  jr.num_random = 2;
+  jr.seed = 5;
+  auto job = svc.submit(jr);
+  const int got = job->wait_moments(8);
+  EXPECT_GE(got, 8);
+  const auto prefix = job->partial_mu();
+  ASSERT_EQ(job->wait(), service::JobStatus::done);
+  const auto& final_mu = job->result().mu;
+  for (std::size_t m = 0; m < prefix.size(); ++m) {
+    EXPECT_EQ(prefix[m], final_mu[m]) << "streamed prefix diverged at " << m;
+  }
+}
+
+TEST(Service, CancelStopsDeliveryEarly) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(2, /*chunk_moments=*/2));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 4096;  // long enough that cancellation lands mid-sweep
+  jr.num_random = 1;
+  jr.seed = 6;
+  auto job = svc.submit(jr);
+  job->wait_moments(2);
+  job->cancel();
+  const auto st = job->wait();
+  // The cancel races job completion only if the whole 2048-step sweep beats
+  // the wakeup; accept both, but a cancelled job must hold a valid prefix.
+  ASSERT_TRUE(st == service::JobStatus::cancelled ||
+              st == service::JobStatus::done);
+  if (st == service::JobStatus::cancelled) {
+    EXPECT_LT(job->moments_available(), jr.num_moments);
+    const auto v0 = start_block(h, jr.seed, jr.num_random);
+    const auto direct = core::moments_of_block(h, s, v0, jr.num_moments);
+    const auto prefix = job->partial_mu();
+    for (std::size_t m = 0; m < prefix.size(); ++m) {
+      EXPECT_EQ(prefix[m], direct[0][m]);
+    }
+    EXPECT_EQ(svc.stats().cancelled, 1);
+  }
+}
+
+TEST(Service, WarmCacheHitReturnsWithoutSweep) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 32;
+  jr.num_random = 2;
+  jr.seed = 8;
+  auto cold = svc.submit(jr);
+  ASSERT_EQ(cold->wait(), service::JobStatus::done);
+  svc.drain();
+  const auto before = svc.stats();
+
+  auto warm = svc.submit(jr);
+  EXPECT_EQ(warm->status(), service::JobStatus::done);  // done at submit
+  EXPECT_TRUE(warm->from_cache());
+  EXPECT_FALSE(cold->from_cache());
+  const auto after = svc.stats();
+  EXPECT_EQ(after.sweep_steps, before.sweep_steps);  // no sweep at all
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+  expect_bitwise(warm->result().mu, cold->result().mu, "cached mu");
+}
+
+TEST(Service, PausedBurstCoalescesIntoOneFullWidthBatch) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(8));
+  svc.register_model("ti", h, s);
+
+  // Paused: all 8 jobs queue before any worker peeks, so the coalescer
+  // must cut exactly one full-width batch — no racing a narrow prefix.
+  svc.pause();
+  std::vector<std::shared_ptr<service::Job>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    service::JobRequest jr;
+    jr.model = "ti";
+    jr.num_moments = 16;
+    jr.seed = 100 + static_cast<std::uint64_t>(i);
+    jobs.push_back(svc.submit(jr));
+  }
+  EXPECT_EQ(svc.stats().batches, 0);  // nothing started while paused
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->status(), service::JobStatus::queued);
+  }
+  svc.drain();  // implicit resume
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.batches, 1);
+  EXPECT_EQ(st.coalesced_jobs, 8);
+  EXPECT_EQ(st.sweep_steps, 8);   // one 16-moment sweep, not eight
+  EXPECT_EQ(st.lanes_swept, 64);  // ... at the full width of 8 lanes
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->wait(), service::JobStatus::done);
+    EXPECT_EQ(job->batch_width(), 8);
+  }
+}
+
+TEST(Service, EmptyQueueDrainAndShutdownAreClean) {
+  const auto h = small_ti();
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h);
+  svc.drain();  // zero jobs admitted: must not hang
+  EXPECT_EQ(svc.stats().submitted, 0);
+  svc.shutdown();
+  svc.shutdown();  // idempotent
+  service::JobRequest jr;
+  jr.model = "ti";
+  EXPECT_THROW(svc.submit(jr), contract_error);
+}
+
+TEST(Service, RejectsInvalidRequests) {
+  const auto h = small_ti();
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h);
+  service::JobRequest jr;
+  jr.model = "nope";
+  EXPECT_THROW(svc.submit(jr), contract_error);
+  jr.model = "ti";
+  jr.num_moments = 7;  // odd
+  EXPECT_THROW(svc.submit(jr), contract_error);
+  jr.num_moments = 16;
+  jr.num_random = 0;
+  EXPECT_THROW(svc.submit(jr), contract_error);
+  EXPECT_THROW(svc.register_model("ti", small_ti()), contract_error);
+}
+
+// --- Result cache ------------------------------------------------------------
+
+std::shared_ptr<core::MomentsResult> make_result(int m) {
+  auto r = std::make_shared<core::MomentsResult>();
+  r->mu.assign(static_cast<std::size_t>(m), 0.5);
+  r->per_vector.push_back(r->mu);
+  r->dimension = 8;
+  return r;
+}
+
+TEST(ResultCache, EvictsInLruOrderAndRespectsTouches) {
+  const auto probe = make_result(16);
+  const std::size_t entry = service::ResultCache::result_bytes(*probe, "a");
+  service::ResultCache cache(2 * entry + entry / 2);  // room for two entries
+
+  cache.insert("a", make_result(16));
+  cache.insert("b", make_result(16));
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+
+  cache.insert("c", make_result(16));  // evicts "a" (least recently used)
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+
+  ASSERT_NE(cache.find("b"), nullptr);  // touch: "c" becomes the LRU victim
+  cache.insert("d", make_result(16));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_FALSE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.evictions, 2);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_LE(st.bytes, st.budget);
+}
+
+TEST(ResultCache, RejectsOversizeAndZeroBudgetDisables) {
+  const auto big = make_result(4096);
+  const auto probe = make_result(16);
+  service::ResultCache cache(
+      service::ResultCache::result_bytes(*probe, "small"));
+  cache.insert("small", make_result(16));
+  EXPECT_TRUE(cache.contains("small"));
+  cache.insert("big", big);  // larger than the whole budget: rejected,
+  EXPECT_FALSE(cache.contains("big"));
+  EXPECT_TRUE(cache.contains("small"));  // and evicts nothing
+  EXPECT_EQ(cache.stats().oversize_rejects, 1);
+
+  service::ResultCache disabled(0);
+  disabled.insert("x", make_result(16));
+  EXPECT_FALSE(disabled.contains("x"));
+  EXPECT_EQ(disabled.find("x"), nullptr);
+}
+
+// --- Concurrent AutoTuner ----------------------------------------------------
+
+TEST(Service, ConcurrentTunersRunOneProbeAndAgree) {
+  const auto h = small_ti();
+  const std::string path = "test_service_tune_cache.json";
+  std::remove(path.c_str());
+  runtime::AutoTuner tuner(path);
+  runtime::TileTuneParams p;
+  p.sweeps_per_probe = 1;
+  p.install = false;
+
+  constexpr int kThreads = 4;
+  std::vector<runtime::TileTuneResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { results[static_cast<std::size_t>(i)] = tuner.tune_tiles(h, 8, p); });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly one thread probed; the double-checked lookup served the rest
+  // from the cache, and everyone agrees on the winning configuration.
+  int probed = 0;
+  for (const auto& r : results) {
+    if (!r.from_cache) ++probed;
+    EXPECT_EQ(r.key, results.front().key);
+    EXPECT_EQ(r.config.tile_width, results.front().config.tile_width);
+    EXPECT_EQ(r.config.band_rows, results.front().config.band_rows);
+    EXPECT_EQ(r.config.nt_stores, results.front().config.nt_stores);
+  }
+  EXPECT_EQ(probed, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kpm
