@@ -1,0 +1,117 @@
+// Host metadata for the machine-readable bench records.
+//
+// Every BENCH_*.json carries an "env" header object (CPU model, core count,
+// cpufreq governor, the OpenMP settings in effect) so a perf trajectory
+// across PRs can tell a real regression from a host change: two records are
+// only comparable when their env objects match.  Header-only; all probes are
+// best-effort ("unknown" when a /proc or /sys file is absent, e.g. in a
+// container) so the benches never fail on an unusual host.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/env.hpp"
+
+namespace kpm::bench {
+
+struct HostEnv {
+  std::string cpu_model;      ///< /proc/cpuinfo "model name"
+  int hardware_threads = 0;   ///< std::thread::hardware_concurrency
+  std::string governor;       ///< cpu0 cpufreq scaling_governor
+  int omp_threads = 0;        ///< threads the kernels will actually use
+  std::string omp_num_threads;  ///< $OMP_NUM_THREADS ("" if unset)
+  std::string omp_proc_bind;    ///< $OMP_PROC_BIND ("" if unset)
+  std::string omp_places;       ///< $OMP_PLACES ("" if unset)
+};
+
+namespace detail {
+
+inline std::string first_line(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return {};
+  char buf[256];
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    out = buf;
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+inline std::string cpu_model_name() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return {};
+  char buf[512];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    const std::string line(buf);
+    const auto key = line.find("model name");
+    if (key == std::string::npos) continue;
+    const auto colon = line.find(':', key);
+    if (colon == std::string::npos) continue;
+    auto begin = colon + 1;
+    while (begin < line.size() && line[begin] == ' ') ++begin;
+    out = line.substr(begin);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return out;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+inline HostEnv probe_host_env() {
+  HostEnv e;
+  e.cpu_model = detail::cpu_model_name();
+  if (e.cpu_model.empty()) e.cpu_model = "unknown";
+  e.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
+  e.governor = detail::first_line(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (e.governor.empty()) e.governor = "unknown";
+  e.omp_threads = max_threads();
+  const auto env_or_empty = [](const char* name) {
+    const char* v = std::getenv(name);
+    return std::string(v != nullptr ? v : "");
+  };
+  e.omp_num_threads = env_or_empty("OMP_NUM_THREADS");
+  e.omp_proc_bind = env_or_empty("OMP_PROC_BIND");
+  e.omp_places = env_or_empty("OMP_PLACES");
+  return e;
+}
+
+/// Writes the standard `"env": {...},` header fragment (two-space indent,
+/// trailing comma — drop it in right after the opening `"bench"` line).
+inline void write_env_json(std::FILE* f) {
+  const HostEnv e = probe_host_env();
+  std::fprintf(f,
+               "  \"env\": {\"cpu_model\": \"%s\", \"hardware_threads\": %d, "
+               "\"governor\": \"%s\", \"omp_threads\": %d, "
+               "\"omp_num_threads\": \"%s\", \"omp_proc_bind\": \"%s\", "
+               "\"omp_places\": \"%s\"},\n",
+               detail::json_escape(e.cpu_model).c_str(), e.hardware_threads,
+               detail::json_escape(e.governor).c_str(), e.omp_threads,
+               detail::json_escape(e.omp_num_threads).c_str(),
+               detail::json_escape(e.omp_proc_bind).c_str(),
+               detail::json_escape(e.omp_places).c_str());
+}
+
+}  // namespace kpm::bench

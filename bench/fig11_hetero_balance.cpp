@@ -26,6 +26,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_env.hpp"
 #include "runtime/dist_kpm.hpp"
 #include "util/table.hpp"
 
@@ -91,6 +92,7 @@ void write_json(const sparse::CrsMatrix& h, const core::MomentParams& mp,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"fig11_hetero_balance\",\n");
+  bench::write_env_json(f);
   std::fprintf(f,
                "  \"matrix\": {\"model\": \"topological_insulator\", "
                "\"n\": %lld, \"nnz\": %lld},\n",

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_env.hpp"
 #include "cluster/scaling.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/dist_kpm.hpp"
@@ -125,6 +126,7 @@ void write_dist_json(const sparse::CrsMatrix& h, const core::MomentParams& mp,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"fig12_scaling\",\n");
+  bench::write_env_json(f);
   std::fprintf(f, "  \"section\": \"measured_distributed\",\n");
   std::fprintf(f,
                "  \"matrix\": {\"model\": \"topological_insulator\", "

@@ -7,11 +7,13 @@
 // widths x formats x variants x thread counts and writes it to
 // BENCH_kernels.json (override the path with KPM_BENCH_JSON), so successive
 // PRs leave a perf trajectory.  The format axis covers the scalar layouts
-// (crs, sell) and the block layouts of DESIGN §5f (bsr4, bsr4-f32,
+// (crs, sell), the block layouts of DESIGN §5f (bsr4, bsr4-f32,
 // sellb4-f32 — 4x4 blocks, 16-bit delta indices where they fit, optional
-// float32 values with float64 accumulators); every record carries
+// float32 values with float64 accumulators), and the matrix-free stencil of
+// §5h (stencil — no per-nonzero stream, index_bits 0); every record carries
 // "index_bits" and "value_precision" so the trajectory explains *which*
-// storage stream was measured.
+// storage stream was measured.  A dedicated same-run head-to-head records
+// stencil vs bsr4-f32 at width 32 ("stencil_vs_bsr4_f32_width32").
 // `kernels_micro --smoke` runs a reduced format x width grid once (no JSON
 // write, no google-benchmark suite) as a CI regression gate.
 // The "legacy" variant is a frozen copy of the pre-dispatch generic kernel
@@ -31,12 +33,14 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_env.hpp"
 #include "blas/block_ops.hpp"
 #include "blas/level1.hpp"
 #include "core/kubo.hpp"
 #include "core/propagator.hpp"
 #include "physics/anderson.hpp"
 #include "physics/spectral_bounds.hpp"
+#include "physics/stencil_models.hpp"
 #include "physics/ti_model.hpp"
 #include "runtime/autotune.hpp"
 #include "sparse/bsr.hpp"
@@ -45,6 +49,7 @@
 #include "sparse/sell.hpp"
 #include "sparse/sell_block.hpp"
 #include "sparse/spmv.hpp"
+#include "sparse/stencil.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +85,19 @@ const sparse::BsrMatrix& bsr_matrix_f32() {
 
 const sparse::SellBlockMatrix& sell_block_matrix_f32() {
   static const sparse::SellBlockMatrix m(bsr_matrix_f32(), 8, 32);
+  return m;
+}
+
+// Matrix-free form of the same TI Hamiltonian: same nnz, bitwise-equal
+// moments, but the only streamed matrix data is the boundary entry lists.
+const sparse::StencilOperator& stencil_operator() {
+  static const sparse::StencilOperator m = [] {
+    physics::TIParams p;
+    p.nx = 32;
+    p.ny = 32;
+    p.nz = 16;
+    return physics::make_ti_stencil(p);
+  }();
   return m;
 }
 
@@ -304,6 +322,8 @@ std::vector<SweepRecord> time_cell(const char* format,
       sparse::aug_spmmv(bsr_matrix_f32(), rec, v, w, dvv, dwv);
     } else if (fmt == "sellb4-f32") {
       sparse::aug_spmmv(sell_block_matrix_f32(), rec, v, w, dvv, dwv);
+    } else if (fmt == "stencil") {
+      sparse::aug_spmmv(stencil_operator(), rec, v, w, dvv, dwv);
     } else {
       sparse::aug_spmmv(crs, rec, v, w, dvv, dwv);
     }
@@ -354,6 +374,11 @@ std::vector<SweepRecord> time_cell(const char* format,
     matrix_bytes = sb.storage_bytes();
     index_bits = sb.index_bits();
     precision = sparse::precision_name(sb.precision());
+  } else if (fmt == "stencil") {
+    // No per-nonzero stream at all: the stored bytes are the term table,
+    // the diagonal, and the boundary entry lists.
+    matrix_bytes = static_cast<double>(stencil_operator().stored_bytes());
+    index_bits = 0;
   }
   const double flops =
       width * (static_cast<double>(crs.nnz()) * 8.0 +
@@ -387,8 +412,71 @@ sparse::TileConfig tuned_config(runtime::AutoTuner& tuner, const char* format,
                        ? tuner.tune_tiles(bsr_matrix_f32(), width, p)
                    : fmt == "sellb4-f32"
                        ? tuner.tune_tiles(sell_block_matrix_f32(), width, p)
+                   : fmt == "stencil"
+                       ? tuner.tune_tiles(stencil_operator(), width, p)
                        : tuner.tune_tiles(matrix(), width, p);
   return res.config;
+}
+
+/// Same-run head-to-head: the matrix-free stencil kernel vs the bsr4-f32
+/// record holder at one width, repetitions interleaved round-robin under
+/// each format's tuned tile configuration.  Like time_cell, back-to-back
+/// timing under one instantaneous clock makes the ratio immune to cross-run
+/// host drift — this is the DESIGN §5h acceptance number.
+struct HeadToHead {
+  double bsr_seconds = 1e300;
+  double stencil_seconds = 1e300;
+  double speedup = 0.0;  ///< bsr4-f32 seconds / stencil seconds
+};
+
+HeadToHead stencil_vs_bsr(runtime::AutoTuner& tuner, int width) {
+  const auto& crs = matrix();
+  blas::BlockVector v(crs.ncols(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  blas::BlockVector w(crs.nrows(), width, blas::Layout::row_major,
+                      blas::FirstTouch::parallel);
+  for (global_index i = 0; i < crs.ncols(); ++i) {
+    for (int r = 0; r < width; ++r) {
+      v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.25};
+    }
+  }
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
+  const auto rec = sparse::AugScalars::recurrence(0.2, 0.0);
+  const auto bsr_tile = tuned_config(tuner, "bsr4-f32", width);
+  const auto stencil_tile = tuned_config(tuner, "stencil", width);
+  const auto sweep_bsr = [&] {
+    sparse::set_tile_config(bsr_tile);
+    sparse::aug_spmmv(bsr_matrix_f32(), rec, v, w, dvv, dwv);
+  };
+  const auto sweep_stencil = [&] {
+    sparse::set_tile_config(stencil_tile);
+    sparse::aug_spmmv(stencil_operator(), rec, v, w, dvv, dwv);
+  };
+  Timer t;
+  sweep_bsr();
+  sweep_stencil();
+  t.start();
+  sweep_stencil();
+  t.stop();
+  const int rounds =
+      std::clamp(static_cast<int>(0.12 / std::max(t.seconds(), 1e-9)), 3, 50);
+  HeadToHead h;
+  for (int round = 0; round < rounds; ++round) {
+    t.reset();
+    t.start();
+    sweep_bsr();
+    t.stop();
+    h.bsr_seconds = std::min(h.bsr_seconds, t.seconds());
+    t.reset();
+    t.start();
+    sweep_stencil();
+    t.stop();
+    h.stencil_seconds = std::min(h.stencil_seconds, t.seconds());
+  }
+  sparse::set_tile_config({});
+  h.speedup = h.bsr_seconds / h.stencil_seconds;
+  return h;
 }
 
 void print_record(const SweepRecord& r) {
@@ -416,9 +504,9 @@ void run_sweep_and_write_json(bool smoke) {
   const std::vector<int> widths =
       smoke ? std::vector<int>{8, 32} : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
   const std::vector<const char*> formats =
-      smoke ? std::vector<const char*>{"crs", "bsr4", "bsr4-f32"}
+      smoke ? std::vector<const char*>{"crs", "bsr4", "bsr4-f32", "stencil"}
             : std::vector<const char*>{"crs", "sell", "bsr4", "bsr4-f32",
-                                       "sellb4-f32"};
+                                       "sellb4-f32", "stencil"};
   const int primary_threads = max_threads();
   // Thread-scaling sweep {1, 2, 4, max}, clipped to the machine, over a
   // reduced width x variant grid.
@@ -501,6 +589,10 @@ void run_sweep_and_write_json(bool smoke) {
                 best_block32->format, best_block32->variant,
                 best_block32->seconds, block_speedup32, crs_tiled32_seconds);
   }
+  const HeadToHead h2h = stencil_vs_bsr(tuner, 32);
+  std::printf("stencil vs bsr4-f32 @ width 32 (same-run): %.5e s vs %.5e s "
+              "(%.2fx)\n",
+              h2h.stencil_seconds, h2h.bsr_seconds, h2h.speedup);
   if (smoke) {
     std::printf("[smoke] reduced grid only; %s not rewritten\n\n",
                 path.c_str());
@@ -524,14 +616,17 @@ void run_sweep_and_write_json(bool smoke) {
   }
   const auto& crs = matrix();
   std::fprintf(f, "{\n  \"bench\": \"kernels_micro\",\n");
+  bench::write_env_json(f);
   std::fprintf(f, "  \"kernel\": \"aug_spmmv\",\n");
   std::fprintf(f,
                "  \"matrix\": {\"model\": \"topological_insulator\", "
                "\"n\": %lld, \"nnz\": %lld, \"sell_chunk\": %d, "
-               "\"sell_sigma\": %d, \"block_fill4\": %.4f},\n",
+               "\"sell_sigma\": %d, \"block_fill4\": %.4f, "
+               "\"stencil_const4\": %.4f},\n",
                static_cast<long long>(crs.nrows()),
                static_cast<long long>(crs.nnz()), sell_matrix().chunk_height(),
-               sell_matrix().sigma(), sparse::block_fill_ratio(crs, 4));
+               sell_matrix().sigma(), sparse::block_fill_ratio(crs, 4),
+               sparse::stencil_expressibility(crs, 4));
   std::fprintf(f, "  \"threads\": %d,\n", primary_threads);
   std::fprintf(f, "  \"tune_cache\": \"%s\",\n", tuner.cache_path().c_str());
   std::fprintf(f, "  \"records\": [\n");
@@ -562,6 +657,11 @@ void run_sweep_and_write_json(bool smoke) {
                "  \"speedup_tiled_vs_fixed\": {\"crs_width32\": %.4f, "
                "\"crs_width64\": %.4f},\n",
                t32, t64);
+  std::fprintf(f,
+               "  \"stencil_vs_bsr4_f32_width32\": "
+               "{\"bsr4_f32_seconds\": %.6e, \"stencil_seconds\": %.6e, "
+               "\"speedup\": %.4f},\n",
+               h2h.bsr_seconds, h2h.stencil_seconds, h2h.speedup);
   std::fprintf(f,
                "  \"block_vs_crs_tiled_width32\": {\"format\": \"%s\", "
                "\"variant\": \"%s\", \"seconds_per_sweep\": %.6e, "

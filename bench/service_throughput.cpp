@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_env.hpp"
 #include "core/moments.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
@@ -237,6 +238,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"service_throughput\",\n");
+  bench::write_env_json(f);
   std::fprintf(f,
                "  \"matrix\": {\"model\": \"topological_insulator\", "
                "\"n\": %lld, \"nnz\": %lld},\n",

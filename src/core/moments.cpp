@@ -227,12 +227,13 @@ MomentsResult moments_aug_spmv(const sparse::SellMatrix& h,
   return moments_aug_spmv_impl(h, s, p, /*permute=*/true);
 }
 
-// The CRS overload runs on the resumable SweepSession — the same object the
-// multi-tenant service advances chunk by chunk — so "the service path" and
-// "the library path" are one code path and bitwise-identical by construction.
-MomentsResult moments_aug_spmmv(const sparse::CrsMatrix& h,
-                                const physics::Scaling& s,
-                                const MomentParams& p) {
+namespace {
+
+// Session-backed stochastic-trace run: the same object the multi-tenant
+// service advances chunk by chunk, so "the service path" and "the library
+// path" are one code path and bitwise-identical by construction.
+MomentsResult moments_via_session(OperatorRef h, const physics::Scaling& s,
+                                  const MomentParams& p) {
   check_params(p);
   const global_index n = h.nrows();
   const int width = p.num_random;
@@ -260,6 +261,20 @@ MomentsResult moments_aug_spmmv(const sparse::CrsMatrix& h,
       p.reduction == ReductionMode::per_iteration ? session.steps() : 1;
   average_columns(out, p.num_moments, p.num_random);
   return out;
+}
+
+}  // namespace
+
+MomentsResult moments_aug_spmmv(const sparse::CrsMatrix& h,
+                                const physics::Scaling& s,
+                                const MomentParams& p) {
+  return moments_via_session(h, s, p);
+}
+
+MomentsResult moments_aug_spmmv(const sparse::StencilOperator& h,
+                                const physics::Scaling& s,
+                                const MomentParams& p) {
+  return moments_via_session(h, s, p);
 }
 
 MomentsResult moments_aug_spmmv(const sparse::SellMatrix& h,
@@ -306,7 +321,7 @@ std::vector<double> moments_of_vector(const sparse::CrsMatrix& h,
   return eta;
 }
 
-std::vector<std::vector<double>> moments_of_block(const sparse::CrsMatrix& h,
+std::vector<std::vector<double>> moments_of_block(OperatorRef h,
                                                   const physics::Scaling& s,
                                                   const blas::BlockVector& v0,
                                                   int num_moments) {

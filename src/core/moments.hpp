@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/sweep_session.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/sell_block.hpp"
+#include "sparse/stencil.hpp"
 #include "util/random.hpp"
 #include "util/types.hpp"
 
@@ -81,6 +83,12 @@ struct MomentsResult {
 [[nodiscard]] MomentsResult moments_aug_spmmv(const sparse::SellBlockMatrix& h,
                                               const physics::Scaling& s,
                                               const MomentParams& p);
+/// Matrix-free stencil variant (DESIGN.md §5h): runs on the same
+/// SweepSession as the CRS overload, so its moments are bitwise identical
+/// to the assembled-CRS moments of the same model.
+[[nodiscard]] MomentsResult moments_aug_spmmv(const sparse::StencilOperator& h,
+                                              const physics::Scaling& s,
+                                              const MomentParams& p);
 
 /// Moments <v0|T_m(H~)|v0> of one prescribed start vector (LDOS, spectral
 /// function).  `v0` need not be normalized; moments scale with <v0|v0>.
@@ -88,9 +96,10 @@ struct MomentsResult {
     const sparse::CrsMatrix& h, const physics::Scaling& s,
     std::span<const complex_t> v0, int num_moments);
 
-/// Block version: one prescribed start vector per block column.
+/// Block version: one prescribed start vector per block column.  Accepts any
+/// sweepable operator (CRS, BSR, SELL-block, stencil) via OperatorRef.
 [[nodiscard]] std::vector<std::vector<double>> moments_of_block(
-    const sparse::CrsMatrix& h, const physics::Scaling& s,
-    const blas::BlockVector& v0, int num_moments);
+    OperatorRef h, const physics::Scaling& s, const blas::BlockVector& v0,
+    int num_moments);
 
 }  // namespace kpm::core

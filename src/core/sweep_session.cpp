@@ -8,10 +8,69 @@
 
 namespace kpm::core {
 
-SweepSession::SweepSession(const sparse::CrsMatrix& h,
-                           const physics::Scaling& s,
+global_index OperatorRef::nrows() const noexcept {
+  switch (kind_) {
+    case Kind::crs: return static_cast<const sparse::CrsMatrix*>(p_)->nrows();
+    case Kind::bsr: return static_cast<const sparse::BsrMatrix*>(p_)->nrows();
+    case Kind::sell_block:
+      return static_cast<const sparse::SellBlockMatrix*>(p_)->nrows();
+    case Kind::stencil:
+      return static_cast<const sparse::StencilOperator*>(p_)->nrows();
+  }
+  return 0;
+}
+
+global_index OperatorRef::ncols() const noexcept {
+  switch (kind_) {
+    case Kind::crs: return static_cast<const sparse::CrsMatrix*>(p_)->ncols();
+    case Kind::bsr: return static_cast<const sparse::BsrMatrix*>(p_)->ncols();
+    case Kind::sell_block:
+      return static_cast<const sparse::SellBlockMatrix*>(p_)->ncols();
+    case Kind::stencil:
+      return static_cast<const sparse::StencilOperator*>(p_)->ncols();
+  }
+  return 0;
+}
+
+global_index OperatorRef::nnz() const noexcept {
+  switch (kind_) {
+    case Kind::crs: return static_cast<const sparse::CrsMatrix*>(p_)->nnz();
+    case Kind::bsr: return static_cast<const sparse::BsrMatrix*>(p_)->nnz();
+    case Kind::sell_block:
+      return static_cast<const sparse::SellBlockMatrix*>(p_)->nnz();
+    case Kind::stencil:
+      return static_cast<const sparse::StencilOperator*>(p_)->nnz();
+  }
+  return 0;
+}
+
+void OperatorRef::apply(const sparse::AugScalars& s,
+                        const blas::BlockVector& v, blas::BlockVector& w,
+                        std::span<complex_t> dot_vv,
+                        std::span<complex_t> dot_wv) const {
+  switch (kind_) {
+    case Kind::crs:
+      sparse::aug_spmmv(*static_cast<const sparse::CrsMatrix*>(p_), s, v, w,
+                        dot_vv, dot_wv);
+      return;
+    case Kind::bsr:
+      sparse::aug_spmmv(*static_cast<const sparse::BsrMatrix*>(p_), s, v, w,
+                        dot_vv, dot_wv);
+      return;
+    case Kind::sell_block:
+      sparse::aug_spmmv(*static_cast<const sparse::SellBlockMatrix*>(p_), s, v,
+                        w, dot_vv, dot_wv);
+      return;
+    case Kind::stencil:
+      sparse::aug_spmmv(*static_cast<const sparse::StencilOperator*>(p_), s, v,
+                        w, dot_vv, dot_wv);
+      return;
+  }
+}
+
+SweepSession::SweepSession(OperatorRef h, const physics::Scaling& s,
                            const blas::BlockVector& v0, int num_moments)
-    : h_(&h), s_(s), num_moments_(num_moments) {
+    : h_(h), s_(s), num_moments_(num_moments) {
   require(num_moments >= 2 && num_moments % 2 == 0,
           "SweepSession: num_moments must be even and >= 2");
   require(h.nrows() == h.ncols(), "SweepSession: matrix must be square");
@@ -22,8 +81,14 @@ SweepSession::SweepSession(const sparse::CrsMatrix& h,
   const int width = v0.width();
   v_ = blas::BlockVector(v0.rows(), width);
   w_ = blas::BlockVector(v0.rows(), width);
-  for (global_index i = 0; i < v0.rows(); ++i) {
-    for (int r = 0; r < width; ++r) v_(i, r) = v0(i, r);
+  if (h_.kind() == OperatorRef::Kind::sell_block) {
+    // The SELL-block kernels act in the permuted row numbering; rebind the
+    // start block once on entry (same rule as the moments_aug_spmmv impl).
+    h_.sell_block().permute(v0, v_);
+  } else {
+    for (global_index i = 0; i < v0.rows(); ++i) {
+      for (int r = 0; r < width; ++r) v_(i, r) = v0(i, r);
+    }
   }
   lane_of_column_.resize(static_cast<std::size_t>(width));
   for (int r = 0; r < width; ++r) lane_of_column_[static_cast<std::size_t>(r)] = r;
@@ -34,9 +99,9 @@ SweepSession::SweepSession(const sparse::CrsMatrix& h,
   dwv_.resize(static_cast<std::size_t>(width));
 }
 
-SweepSession::SweepSession(const sparse::CrsMatrix& h,
-                           const physics::Scaling& s, SweepCheckpoint state)
-    : h_(&h),
+SweepSession::SweepSession(OperatorRef h, const physics::Scaling& s,
+                           SweepCheckpoint state)
+    : h_(h),
       s_(s),
       num_moments_(state.num_moments),
       next_step_(state.next_step),
@@ -107,11 +172,10 @@ int SweepSession::advance(int max_steps) {
   const auto rec = sparse::AugScalars::recurrence(s_.a, s_.b);
   for (int taken = 0; taken < max_steps && !done(); ++taken) {
     if (next_step_ == 0) {
-      sparse::aug_spmmv(*h_, sparse::AugScalars::startup(s_.a, s_.b), v_, w_,
-                        dvv_, dwv_);
+      h_.apply(sparse::AugScalars::startup(s_.a, s_.b), v_, w_, dvv_, dwv_);
     } else {
       std::swap(v_, w_);
-      sparse::aug_spmmv(*h_, rec, v_, w_, dvv_, dwv_);
+      h_.apply(rec, v_, w_, dvv_, dwv_);
     }
     record_step(next_step_);
     ++next_step_;

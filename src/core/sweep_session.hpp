@@ -29,10 +29,50 @@
 
 #include "blas/block_vector.hpp"
 #include "physics/spectral_bounds.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
+#include "sparse/kpm_kernels.hpp"
+#include "sparse/sell_block.hpp"
+#include "sparse/stencil.hpp"
 #include "util/types.hpp"
 
 namespace kpm::core {
+
+/// Non-owning reference to any operator the fused block kernels can sweep:
+/// assembled CRS, the block formats of DESIGN.md §5f, or the matrix-free
+/// stencil of §5h.  Implicitly convertible from each concrete type so the
+/// original CRS-only call sites compile unchanged.  The pointee must outlive
+/// the reference (sessions and service models hold the operator elsewhere).
+class OperatorRef {
+ public:
+  enum class Kind { crs, bsr, sell_block, stencil };
+
+  OperatorRef(const sparse::CrsMatrix& m) : kind_(Kind::crs), p_(&m) {}
+  OperatorRef(const sparse::BsrMatrix& m) : kind_(Kind::bsr), p_(&m) {}
+  OperatorRef(const sparse::SellBlockMatrix& m)
+      : kind_(Kind::sell_block), p_(&m) {}
+  OperatorRef(const sparse::StencilOperator& m)
+      : kind_(Kind::stencil), p_(&m) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] global_index nrows() const noexcept;
+  [[nodiscard]] global_index ncols() const noexcept;
+  [[nodiscard]] global_index nnz() const noexcept;
+
+  /// Valid only when kind() matches.
+  [[nodiscard]] const sparse::SellBlockMatrix& sell_block() const noexcept {
+    return *static_cast<const sparse::SellBlockMatrix*>(p_);
+  }
+
+  /// One fused augmented SpMMV on the referenced operator.
+  void apply(const sparse::AugScalars& s, const blas::BlockVector& v,
+             blas::BlockVector& w, std::span<complex_t> dot_vv,
+             std::span<complex_t> dot_wv) const;
+
+ private:
+  Kind kind_;
+  const void* p_;
+};
 
 /// Serializable recurrence state (checkpoint/restart of a SweepSession).
 /// The matrix and scaling are not captured — restoring against a different
@@ -50,13 +90,17 @@ struct SweepCheckpoint {
 class SweepSession {
  public:
   /// Starts a fresh sweep: lane r of `v0` is the start vector |v0_r>.
-  /// Requires a square matrix, a row-major block, v0.rows() == h.nrows(),
-  /// and an even num_moments >= 2.
-  SweepSession(const sparse::CrsMatrix& h, const physics::Scaling& s,
+  /// Requires a square operator, a row-major block, v0.rows() == h.nrows(),
+  /// and an even num_moments >= 2.  `v0` is always given in the *original*
+  /// row numbering; a SELL-block operator permutes it on entry (its kernels
+  /// act in the permuted numbering), every other format copies it verbatim.
+  SweepSession(OperatorRef h, const physics::Scaling& s,
                const blas::BlockVector& v0, int num_moments);
 
   /// Resumes from a checkpoint taken against the same operator + scaling.
-  SweepSession(const sparse::CrsMatrix& h, const physics::Scaling& s,
+  /// Checkpoint vectors are in the operator's working numbering (already
+  /// permuted for SELL-block), exactly as checkpoint() captured them.
+  SweepSession(OperatorRef h, const physics::Scaling& s,
                SweepCheckpoint state);
 
   SweepSession(SweepSession&&) = default;
@@ -107,7 +151,7 @@ class SweepSession {
  private:
   void record_step(int m);
 
-  const sparse::CrsMatrix* h_ = nullptr;
+  OperatorRef h_;
   physics::Scaling s_{};
   int num_moments_ = 0;
   int next_step_ = 0;

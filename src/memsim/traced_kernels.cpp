@@ -1,5 +1,7 @@
 #include "memsim/traced_kernels.hpp"
 
+#include <bit>
+
 #include "util/check.hpp"
 
 namespace kpm::memsim {
@@ -61,6 +63,55 @@ void sweep_aug_spmmv_bsr(const sparse::BsrMatrix& a, int width,
       path.read(map.vec_v + i * row_bytes, row_bytes);
       path.read(map.vec_w + i * row_bytes, row_bytes);
       path.write(map.vec_w + i * row_bytes, row_bytes);
+    }
+  }
+}
+
+void sweep_aug_spmmv_stencil(const sparse::StencilOperator& a, int width,
+                             const AddressMap& map, CachePath& path) {
+  const int b = a.block_dim();
+  const std::uint16_t rbits =
+      b == 4 ? 0x1111 : (b == 2 ? std::uint16_t{0x5} : std::uint16_t{0x1});
+  const std::uint32_t row_bytes = static_cast<std::uint32_t>(width) * sd;
+  const auto terms = a.terms();
+  const auto bptr = a.boundary_ptr();
+  const auto bcol = a.boundary_col();
+  // The term descriptor table streams once per sweep (a few hundred bytes
+  // from the values window); after that it is cache-resident.
+  path.read(map.values, static_cast<std::uint32_t>(terms.size() *
+                                                   sizeof(sparse::StencilOperator::Term)));
+  for (const auto& seg : a.segments()) {
+    for (global_index i = seg.begin; i < seg.end; ++i) {
+      const int ib = static_cast<int>((i + a.row_phase()) % b);
+      if (seg.interior) {
+        // Only the diagonal streams per interior row: 8 B from the aux
+        // window, merged into the on-site coefficient in registers.
+        if (a.has_diag()) path.read(map.aux + static_cast<addr_t>(i) * 8, 8);
+        for (const auto& t : terms) {
+          auto m = static_cast<std::uint16_t>((t.mask >> ib) & rbits);
+          const global_index vrow0 = i - ib + b * t.delta;
+          while (m != 0) {
+            const int jb = std::countr_zero(m) / b;
+            m = static_cast<std::uint16_t>(m & (m - 1));
+            path.read(map.vec_v + static_cast<addr_t>(vrow0 + jb) * row_bytes,
+                      row_bytes);
+          }
+        }
+      } else {
+        // Boundary rows replay their stored CRS-style entry lists.
+        const global_index q = seg.bnd_row0 + (i - seg.begin);
+        path.read(map.row_ptr + static_cast<addr_t>(q) * 8, 16);
+        for (global_index k = bptr[q]; k < bptr[q + 1]; ++k) {
+          path.read(map.col_idx + static_cast<addr_t>(k) * si, si);
+          path.read(map.values + (64ull << 20) + static_cast<addr_t>(k) * sd,
+                    sd);
+          path.read(map.vec_v + static_cast<addr_t>(bcol[k]) * row_bytes,
+                    row_bytes);
+        }
+      }
+      path.read(map.vec_v + static_cast<addr_t>(i) * row_bytes, row_bytes);
+      path.read(map.vec_w + static_cast<addr_t>(i) * row_bytes, row_bytes);
+      path.write(map.vec_w + static_cast<addr_t>(i) * row_bytes, row_bytes);
     }
   }
 }
@@ -150,6 +201,19 @@ TrafficReport trace_aug_spmmv(const sparse::BsrMatrix& a, int width,
   }
   const auto before = snapshot(h);
   sweep_aug_spmmv_bsr(a, width, map, *h.path);
+  return delta(snapshot(h), before);
+}
+
+TrafficReport trace_aug_spmmv(const sparse::StencilOperator& a, int width,
+                              CpuHierarchy& h, int warmup) {
+  require(width >= 1, "trace_aug_spmmv: width >= 1");
+  h.reset();
+  const AddressMap map;
+  for (int i = 0; i < warmup; ++i) {
+    sweep_aug_spmmv_stencil(a, width, map, *h.path);
+  }
+  const auto before = snapshot(h);
+  sweep_aug_spmmv_stencil(a, width, map, *h.path);
   return delta(snapshot(h), before);
 }
 

@@ -10,6 +10,7 @@
 #include "memsim/hierarchies.hpp"
 #include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
+#include "sparse/stencil.hpp"
 
 namespace kpm::memsim {
 
@@ -57,6 +58,18 @@ struct AddressMap {
 /// tail.  The 2-byte occupancy masks stream per block, and the delta decode
 /// seeds stream from AddressMap::aux on the 16-bit path.
 [[nodiscard]] TrafficReport trace_aug_spmmv(const sparse::BsrMatrix& a,
+                                            int width, CpuHierarchy& h,
+                                            int warmup = 1);
+
+/// Replays the matrix-free stencil sweep (DESIGN §5h).  Interior rows
+/// stream no matrix data beyond the optional f64 diagonal (8 B/row,
+/// AddressMap::aux) — the term descriptors are a few hundred bytes that
+/// stay cache-resident after the first touch — so dram_matrix_bytes
+/// collapses to the diagonal plus the O(surface) boundary entry lists
+/// (replayed CRS-style from row_ptr/col_idx/values).  dram_matrix_bytes /
+/// nnz() is the traced B/nnz of the matrix-free path, the number that must
+/// undercut every assembled format's floor.
+[[nodiscard]] TrafficReport trace_aug_spmmv(const sparse::StencilOperator& a,
                                             int width, CpuHierarchy& h,
                                             int warmup = 1);
 

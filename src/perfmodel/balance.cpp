@@ -82,6 +82,11 @@ FormatSpec block_format(int block_dim, double fill, double value_bytes,
   return {value_bytes, per_block / (block_dim * block_dim), fill};
 }
 
+FormatSpec stencil_format(double stored_bytes, double nnz) {
+  require(nnz > 0.0 && stored_bytes >= 0.0, "stencil_format: invalid arguments");
+  return {stored_bytes / nnz, 0.0, 1.0};
+}
+
 double format_bytes_per_nnz(const FormatSpec& f) {
   require(f.fill > 0.0, "format_bytes_per_nnz: fill must be positive");
   return (f.value_bytes + f.index_bytes_per_value) / f.fill;

@@ -81,6 +81,16 @@ struct FormatSpec {
 [[nodiscard]] FormatSpec block_format(int block_dim, double fill,
                                       double value_bytes, int index_bits);
 
+/// Matrix-free stencil (DESIGN §5h): the per-sweep matrix stream collapses
+/// to what the operator actually stores — the optional f64 diagonal
+/// (8 B/row) plus the O(surface) boundary entry lists and the term
+/// descriptors.  Pass StencilOperator::stored_bytes() and nnz(); the spec
+/// carries the residual bytes-per-nonzero directly (no index stream, no
+/// fill), so the same Bmin / traffic formulas apply.  For a clean stencil
+/// (no diagonal) this approaches 0 B/nnz — the Nnz*(Sd+Si) term of Eq. 5
+/// eliminated, leaving only the 3*Sd vector term.
+[[nodiscard]] FormatSpec stencil_format(double stored_bytes, double nnz);
+
 /// Matrix-stream bytes per scalar nonzero: (Sd' + Si') / beta.  20 for
 /// scalar CRS; the analytic floor a compressed block format must undercut
 /// for the matrix term of the code balance to improve.

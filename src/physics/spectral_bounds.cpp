@@ -8,6 +8,7 @@
 #include "blas/level1.hpp"
 #include "physics/dense_eigen.hpp"
 #include "sparse/spmv.hpp"
+#include "sparse/stencil.hpp"
 #include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
@@ -35,6 +36,70 @@ SpectralInterval gershgorin_bounds(const sparse::CrsMatrix& h) {
     if (first || center - radius < lo) lo = center - radius;
     if (first || center + radius > hi) hi = center + radius;
     first = false;
+  }
+  return {lo, hi};
+}
+
+SpectralInterval gershgorin_bounds(const sparse::StencilOperator& h) {
+  require(h.nrows() == h.ncols(),
+          "gershgorin: global-form (square) stencil required");
+  const int b = h.block_dim();
+  // One disc template per orbital: the interior rows of one ib all share
+  // the term-table center/radius and differ only in the diagonal stream.
+  std::vector<double> base_center(static_cast<std::size_t>(b), 0.0);
+  std::vector<double> base_radius(static_cast<std::size_t>(b), 0.0);
+  const auto terms = h.terms();
+  for (int ib = 0; ib < b; ++ib) {
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      for (int jb = 0; jb < b; ++jb) {
+        if ((terms[t].mask >> (jb * b + ib) & 1u) == 0) continue;
+        const complex_t c = terms[t].coeff[static_cast<std::size_t>(jb * b + ib)];
+        if (static_cast<int>(t) == h.onsite_term() && jb == ib) {
+          base_center[static_cast<std::size_t>(ib)] = c.real();
+        } else {
+          base_radius[static_cast<std::size_t>(ib)] += std::abs(c);
+        }
+      }
+    }
+  }
+  const auto diag = h.diag();
+  const auto bptr = h.boundary_ptr();
+  const auto bcol = h.boundary_col();
+  const auto bval = h.boundary_val();
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  auto widen = [&](double center, double radius) {
+    if (first || center - radius < lo) lo = center - radius;
+    if (first || center + radius > hi) hi = center + radius;
+    first = false;
+  };
+  for (const auto& seg : h.segments()) {
+    if (seg.interior) {
+      for (global_index g = seg.begin; g < seg.end; ++g) {
+        const auto ib =
+            static_cast<std::size_t>((g + h.row_phase()) % b);
+        const double d =
+            h.has_diag() ? diag[static_cast<std::size_t>(g)] : 0.0;
+        widen(base_center[ib] + d, base_radius[ib]);
+      }
+    } else {
+      for (global_index g = seg.begin; g < seg.end; ++g) {
+        const auto r =
+            static_cast<std::size_t>(seg.bnd_row0 + (g - seg.begin));
+        double center = 0.0;
+        double radius = 0.0;
+        for (auto k = bptr[r]; k < bptr[r + 1]; ++k) {
+          const auto idx = static_cast<std::size_t>(k);
+          if (static_cast<global_index>(bcol[idx]) == g) {
+            center = bval[idx].real();  // diag stream already merged
+          } else {
+            radius += std::abs(bval[idx]);
+          }
+        }
+        widen(center, radius);
+      }
+    }
   }
   return {lo, hi};
 }

@@ -10,6 +10,10 @@
 #include "sparse/crs.hpp"
 #include "util/types.hpp"
 
+namespace kpm::sparse {
+class StencilOperator;
+}
+
 namespace kpm::physics {
 
 struct SpectralInterval {
@@ -39,6 +43,14 @@ struct Scaling {
 /// discs centred at a_ii with radius sum_{j != i} |a_ij|.  Cheap, safe,
 /// usually loose by a factor of ~1.3-2 for stencil matrices.
 [[nodiscard]] SpectralInterval gershgorin_bounds(const sparse::CrsMatrix& h);
+
+/// Matrix-free Gershgorin bound on a (global-form) stencil operator: the
+/// interior disc per orbital comes straight from the term table (one
+/// center/radius per ib, plus the per-row diagonal stream), boundary rows
+/// from their stored entry lists — no assembled matrix is ever needed, and
+/// the result equals gershgorin_bounds() of the assembled CRS.
+[[nodiscard]] SpectralInterval gershgorin_bounds(
+    const sparse::StencilOperator& h);
 
 /// Extremal eigenvalue estimate from `sweeps` Lanczos iterations with full
 /// reorthogonalization.  Tight but a lower bound on the spectral radius, so

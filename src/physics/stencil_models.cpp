@@ -1,0 +1,262 @@
+#include "physics/stencil_models.hpp"
+
+#include <array>
+#include <complex>
+#include <random>
+
+#include "physics/dirac.hpp"
+#include "util/check.hpp"
+
+namespace kpm::physics {
+namespace {
+
+using sparse::StencilOperator;
+using Term = StencilOperator::Term;
+
+/// Packs a builder's row-major b x b block into a Term's column-major
+/// coefficients (the BsrMatrix layout), preserving every bit — including
+/// the signed zeros std::conj() puts on the conjugated Hermitian halves,
+/// which the assembled CRS stores verbatim.
+template <int B, class Block>
+Term block_term(global_index delta, const Block& m) {
+  Term t;
+  t.delta = delta;
+  for (int a = 0; a < B; ++a) {
+    for (int c = 0; c < B; ++c) {
+      t.coeff[static_cast<std::size_t>(c * B + a)] = m[a][c];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+sparse::StencilOperator make_ti_stencil(const TIParams& p) {
+  require(p.nx >= 2 && p.ny >= 2 && p.nz >= 1,
+          "TI stencil: nx, ny >= 2 so the site deltas are distinct");
+  require(!p.periodic_x || p.nx > 2, "TI: periodic x needs Nx > 2");
+  require(!p.periodic_y || p.ny > 2, "TI: periodic y needs Ny > 2");
+  require(!p.periodic_z || p.nz > 2, "TI: periodic z needs Nz > 2");
+  const global_index nxy = static_cast<global_index>(p.nx) * p.ny;
+  const global_index nsites = nxy * p.nz;
+
+  // Same block expressions as build_ti_hamiltonian: T_j below the diagonal,
+  // T_j^dag above, V*Gamma0 + 2t*Gamma1 on site.
+  const std::array<Mat4, 3> hop = {hopping_block(1, p.t), hopping_block(2, p.t),
+                                   hopping_block(3, p.t)};
+  std::vector<Term> terms;
+  terms.reserve(7);
+  terms.push_back(block_term<4>(-nxy, hop[2]));
+  terms.push_back(block_term<4>(-p.nx, hop[1]));
+  terms.push_back(block_term<4>(-1, hop[0]));
+  terms.push_back(block_term<4>(0, onsite_block(0.0, p.t)));
+  terms.push_back(block_term<4>(+1, adjoint(hop[0])));
+  terms.push_back(block_term<4>(+p.nx, adjoint(hop[1])));
+  terms.push_back(block_term<4>(+nxy, adjoint(hop[2])));
+
+  // The external potential streams through the stencil diagonal; the kernel
+  // merges it into the on-site coefficient exactly like onsite_block(v, t)
+  // assembles v + (+-2t) (IEEE addition commutes bitwise).
+  std::vector<double> diag;
+  if (p.potential) {
+    diag.reserve(static_cast<std::size_t>(p.dimension()));
+    for (int z = 0; z < p.nz; ++z) {
+      for (int y = 0; y < p.ny; ++y) {
+        for (int x = 0; x < p.nx; ++x) {
+          const double v = p.potential(Site{x, y, z});
+          for (int o = 0; o < 4; ++o) diag.push_back(v);
+        }
+      }
+    }
+  }
+
+  auto neighbor = [nx = p.nx, ny = p.ny, nz = p.nz, px = p.periodic_x,
+                   py = p.periodic_y, pz = p.periodic_z](
+                      global_index s, std::size_t term) -> global_index {
+    static constexpr int axis[7] = {2, 1, 0, -1, 0, 1, 2};
+    static constexpr int dir[7] = {-1, -1, -1, 0, +1, +1, +1};
+    if (axis[term] < 0) return s;
+    int c[3] = {static_cast<int>(s % nx), static_cast<int>((s / nx) % ny),
+                static_cast<int>(s / (static_cast<global_index>(nx) * ny))};
+    const int ext[3] = {nx, ny, nz};
+    const bool per[3] = {px, py, pz};
+    int& v = c[axis[term]];
+    v += dir[term];
+    if (v < 0 || v >= ext[axis[term]]) {
+      if (!per[axis[term]]) return -1;
+      v = (v + ext[axis[term]]) % ext[axis[term]];
+    }
+    return c[0] +
+           static_cast<global_index>(nx) *
+               (c[1] + static_cast<global_index>(ny) * c[2]);
+  };
+
+  return StencilOperator("ti", 4, nsites, std::move(terms), std::move(diag),
+                         std::move(neighbor));
+}
+
+sparse::StencilOperator make_anderson_stencil(const AndersonParams& p) {
+  require(p.nx >= 2 && p.ny >= 2 && p.nz >= 1,
+          "Anderson stencil: nx, ny >= 2 so the site deltas are distinct");
+  require(!p.periodic || (p.nx > 2 && p.ny > 2 && p.nz > 2),
+          "Anderson: periodic BCs need extents > 2");
+  const global_index nxy = static_cast<global_index>(p.nx) * p.ny;
+  const global_index nsites = nxy * p.nz;
+
+  // Negative deltas hold the direct -t entries, positive deltas the
+  // std::conj()ed Hermitian halves (-t with a -0.0 imaginary part) — the
+  // exact values build_anderson_hamiltonian stores.
+  const bool disordered = p.disorder > 0.0;
+  const complex_t hop{-p.t, 0.0};
+  const complex_t hop_conj = std::conj(hop);
+  std::vector<Term> terms;
+  terms.reserve(7);
+  for (const global_index d : {-nxy, static_cast<global_index>(-p.nx),
+                               global_index{-1}, global_index{0},
+                               global_index{+1},
+                               static_cast<global_index>(p.nx), nxy}) {
+    if (d == 0 && !disordered) continue;  // clean model has no diagonal
+    Term t;
+    t.delta = d;
+    // Zero-coefficient on-site term: a placeholder for the streamed eps.
+    if (d != 0) t.coeff[0] = d < 0 ? hop : hop_conj;
+    terms.push_back(t);
+  }
+
+  // Disorder: the identical seeded draw sequence as the assembler (one eps
+  // per site, sites visited in ascending index order).
+  std::vector<double> diag;
+  if (disordered) {
+    std::mt19937_64 rng(p.seed);
+    std::uniform_real_distribution<double> eps(-p.disorder / 2.0,
+                                               p.disorder / 2.0);
+    diag.reserve(static_cast<std::size_t>(nsites));
+    for (global_index s = 0; s < nsites; ++s) diag.push_back(eps(rng));
+  }
+
+  auto neighbor = [nx = p.nx, ny = p.ny, nz = p.nz, per = p.periodic,
+                   disordered](global_index s,
+                               std::size_t term) -> global_index {
+    // With the on-site term present the table matches the 7-point TI layout;
+    // the clean model drops index 3.
+    static constexpr int axis7[7] = {2, 1, 0, -1, 0, 1, 2};
+    static constexpr int dir7[7] = {-1, -1, -1, 0, +1, +1, +1};
+    static constexpr int axis6[6] = {2, 1, 0, 0, 1, 2};
+    static constexpr int dir6[6] = {-1, -1, -1, +1, +1, +1};
+    const int ax = disordered ? axis7[term] : axis6[term];
+    const int dr = disordered ? dir7[term] : dir6[term];
+    if (ax < 0) return s;
+    int c[3] = {static_cast<int>(s % nx), static_cast<int>((s / nx) % ny),
+                static_cast<int>(s / (static_cast<global_index>(nx) * ny))};
+    const int ext[3] = {nx, ny, nz};
+    int& v = c[ax];
+    v += dr;
+    if (v < 0 || v >= ext[ax]) {
+      if (!per) return -1;
+      v = (v + ext[ax]) % ext[ax];
+    }
+    return c[0] +
+           static_cast<global_index>(nx) *
+               (c[1] + static_cast<global_index>(ny) * c[2]);
+  };
+
+  return StencilOperator("anderson", 1, nsites, std::move(terms),
+                         std::move(diag), std::move(neighbor));
+}
+
+sparse::StencilOperator make_graphene_stencil(const GrapheneParams& p) {
+  require(p.ncells_x >= 2 && p.ncells_y >= 1,
+          "graphene stencil: ncells_x >= 2 so the cell deltas are distinct");
+  require(!p.periodic || (p.ncells_x > 2 && p.ncells_y > 2),
+          "graphene: periodic BCs need extents > 2");
+  const global_index ncx = p.ncells_x;
+  const global_index nsites = ncx * p.ncells_y;
+
+  // Sublattice A (row 0) couples to B (column 1) in this cell and the cells
+  // at (-1, 0) and (0, -1) — the direct -t entries; the B rows hold the
+  // std::conj()ed halves, exactly as assembled.
+  const complex_t ab{-p.t, 0.0};         // (row A, col B): direct
+  const complex_t ba = std::conj(ab);    // (row B, col A): conjugated half
+  const complex_t z{};
+  using Block2 = std::array<std::array<complex_t, 2>, 2>;
+  const Block2 a_from_b = {{{z, ab}, {z, z}}};
+  const Block2 onsite = {{{z, ab}, {ba, z}}};
+  const Block2 b_from_a = {{{z, z}, {ba, z}}};
+  std::vector<Term> terms;
+  terms.reserve(5);
+  terms.push_back(block_term<2>(-ncx, a_from_b));
+  terms.push_back(block_term<2>(-1, a_from_b));
+  terms.push_back(block_term<2>(0, onsite));
+  terms.push_back(block_term<2>(+1, b_from_a));
+  terms.push_back(block_term<2>(+ncx, b_from_a));
+
+  std::vector<double> diag;
+  if (p.potential) {
+    diag.reserve(static_cast<std::size_t>(p.dimension()));
+    for (int cy = 0; cy < p.ncells_y; ++cy) {
+      for (int cx = 0; cx < p.ncells_x; ++cx) {
+        for (int sub = 0; sub < 2; ++sub) {
+          diag.push_back(p.potential(cx, cy, sub));
+        }
+      }
+    }
+  }
+
+  auto neighbor = [nx = p.ncells_x, ny = p.ncells_y, per = p.periodic](
+                      global_index s, std::size_t term) -> global_index {
+    static constexpr int dx[5] = {0, -1, 0, +1, 0};
+    static constexpr int dy[5] = {-1, 0, 0, 0, +1};
+    int cx = static_cast<int>(s % nx) + dx[term];
+    int cy = static_cast<int>(s / nx) + dy[term];
+    if (cx < 0 || cx >= nx) {
+      if (!per) return -1;
+      cx = (cx + nx) % nx;
+    }
+    if (cy < 0 || cy >= ny) {
+      if (!per) return -1;
+      cy = (cy + ny) % ny;
+    }
+    return cx + static_cast<global_index>(nx) * cy;
+  };
+
+  return StencilOperator("graphene", 2, nsites, std::move(terms),
+                         std::move(diag), std::move(neighbor));
+}
+
+sparse::StencilOperator make_ssh_stencil(const SshParams& p) {
+  require(p.ncells >= 1, "SSH: at least one unit cell");
+  require(!p.periodic || p.ncells > 2, "SSH: periodic chain needs > 2 cells");
+
+  // Row A of cell c holds the *direct* t2 entry at B of cell c-1
+  // (add_hermitian_pair(a_{c+1}, b_c, t2)) and the conjugated t1 at its own
+  // B; row B holds the direct t1 and the conjugated t2 — bit-for-bit the
+  // assembled values, signed zeros included.
+  const complex_t t1{p.t1, 0.0};
+  const complex_t t2{p.t2, 0.0};
+  const complex_t z{};
+  using Block2 = std::array<std::array<complex_t, 2>, 2>;
+  const Block2 prev = {{{z, t2}, {z, z}}};
+  const Block2 onsite = {{{z, std::conj(t1)}, {t1, z}}};
+  const Block2 next = {{{z, z}, {std::conj(t2), z}}};
+  std::vector<Term> terms;
+  terms.reserve(3);
+  terms.push_back(block_term<2>(-1, prev));
+  terms.push_back(block_term<2>(0, onsite));
+  terms.push_back(block_term<2>(+1, next));
+
+  auto neighbor = [n = p.ncells, per = p.periodic](
+                      global_index s, std::size_t term) -> global_index {
+    static constexpr int dir[3] = {-1, 0, +1};
+    const global_index c = s + dir[term];
+    if (c < 0 || c >= n) {
+      if (!per) return -1;
+      return (c + n) % n;
+    }
+    return c;
+  };
+
+  return StencilOperator("ssh", 2, static_cast<global_index>(p.ncells),
+                         std::move(terms), {}, std::move(neighbor));
+}
+
+}  // namespace kpm::physics

@@ -1,0 +1,39 @@
+// Matrix-free stencil descriptors for the lattice Hamiltonians (DESIGN.md
+// §5h).  Each factory expresses a model as a sparse::StencilOperator whose
+// moments are bitwise identical to the assembled-CRS moments of the matching
+// build_*_hamiltonian(): the coefficient blocks reuse the builders' exact
+// arithmetic (same expressions, same evaluation order), the terms are listed
+// in the builders' ascending-column order, and any per-site data (Anderson
+// disorder, external potentials) becomes the one-f64-per-row diagonal
+// stream drawn from the identical RNG sequence.
+#pragma once
+
+#include "physics/anderson.hpp"
+#include "physics/graphene.hpp"
+#include "physics/ssh_chain.hpp"
+#include "physics/ti_model.hpp"
+#include "sparse/stencil.hpp"
+
+namespace kpm::physics {
+
+/// 3D TI Hamiltonian (Eq. 1) as a 7-point stencil of 4x4 Dirac blocks.
+/// Moments match build_ti_hamiltonian(p) bitwise.  When p.potential is set
+/// the per-site value streams through the stencil diagonal; requires
+/// nx, ny >= 2 so the site deltas {+-1, +-nx, +-nx*ny} are distinct.
+[[nodiscard]] sparse::StencilOperator make_ti_stencil(const TIParams& p);
+
+/// 3D Anderson model as a scalar 7-point stencil; disorder (when W > 0)
+/// streams as the diagonal, drawn from the same seeded RNG sequence as
+/// build_anderson_hamiltonian(p).  Requires nx, ny >= 2.
+[[nodiscard]] sparse::StencilOperator make_anderson_stencil(
+    const AndersonParams& p);
+
+/// Graphene honeycomb sheet as a 2x2-block stencil over unit cells; an
+/// optional potential streams through the diagonal.  Requires ncells_x >= 2.
+[[nodiscard]] sparse::StencilOperator make_graphene_stencil(
+    const GrapheneParams& p);
+
+/// SSH chain as a 2x2-block stencil over unit cells.
+[[nodiscard]] sparse::StencilOperator make_ssh_stencil(const SshParams& p);
+
+}  // namespace kpm::physics

@@ -166,6 +166,10 @@ std::string format_tag(const sparse::SellBlockMatrix& m) {
   return tag;
 }
 
+std::string format_tag(const sparse::StencilOperator& m) {
+  return "stencil-" + m.kind();
+}
+
 std::string AutoTuner::default_cache_path() {
   const char* env = std::getenv("KPM_TUNE_CACHE");
   return env != nullptr && env[0] != '\0' ? env : ".kpm_tune_cache.json";
@@ -394,6 +398,11 @@ TileTuneResult AutoTuner::tune_tiles(const sparse::BsrMatrix& m, int width,
 }
 
 TileTuneResult AutoTuner::tune_tiles(const sparse::SellBlockMatrix& m,
+                                     int width, const TileTuneParams& p) {
+  return tune_tiles_impl(*this, m, format_tag(m).c_str(), width, p);
+}
+
+TileTuneResult AutoTuner::tune_tiles(const sparse::StencilOperator& m,
                                      int width, const TileTuneParams& p) {
   return tune_tiles_impl(*this, m, format_tag(m).c_str(), width, p);
 }

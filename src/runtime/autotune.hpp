@@ -56,6 +56,8 @@ namespace kpm::runtime {
 [[nodiscard]] std::string format_tag(const sparse::SellMatrix& m);
 [[nodiscard]] std::string format_tag(const sparse::BsrMatrix& m);
 [[nodiscard]] std::string format_tag(const sparse::SellBlockMatrix& m);
+/// Matrix-free stencils carry the model kind: "stencil-ti", "stencil-anderson".
+[[nodiscard]] std::string format_tag(const sparse::StencilOperator& m);
 
 /// Candidate grid and probe budget of the tile autotuner.  The probe is
 /// greedy two-stage: (1) tile width x NT stores with no banding, (2) the
@@ -110,6 +112,10 @@ class AutoTuner {
   TileTuneResult tune_tiles(const sparse::BsrMatrix& m, int width,
                             const TileTuneParams& p = {});
   TileTuneResult tune_tiles(const sparse::SellBlockMatrix& m, int width,
+                            const TileTuneParams& p = {});
+  /// Matrix-free stencil overload; the cache key is keyed by the stencil
+  /// kind (format_tag), so "same lattice, different extents" re-probes.
+  TileTuneResult tune_tiles(const sparse::StencilOperator& m, int width,
                             const TileTuneParams& p = {});
 
   /// Cache primitives (shared with the collective weight tuner below).

@@ -1,5 +1,7 @@
 #include "runtime/dist_kpm.hpp"
 
+#include <optional>
+
 #include "runtime/autotune.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "util/aligned.hpp"
@@ -11,12 +13,10 @@ namespace kpm::runtime {
 
 namespace {
 
-DistMomentsResult distributed_moments_impl(Communicator& comm,
-                                           DistributedMatrix& dist,
-                                           const physics::Scaling& s,
-                                           const core::MomentParams& p,
-                                           const DistKpmOptions& opts,
-                                           bool overlapped) {
+DistMomentsResult distributed_moments_impl(
+    Communicator& comm, DistributedMatrix& dist,
+    const sparse::StencilOperator* stencil, const physics::Scaling& s,
+    const core::MomentParams& p, const DistKpmOptions& opts, bool overlapped) {
   require(p.num_moments >= 2 && p.num_moments % 2 == 0,
           "distributed_moments: num_moments must be even and >= 2");
   require(p.num_random >= 1, "distributed_moments: num_random >= 1");
@@ -32,6 +32,17 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
   const global_index next = dist.extended_rows();
   const global_index row_begin = dist.partition().begin(comm.rank());
   const global_index n_global = dist.partition().total_rows();
+
+  // Matrix-free path: rebind the global stencil to this rank's row window
+  // and halo layout once; every sweep below applies it in place of the
+  // assembled local matrix.
+  std::optional<sparse::StencilOperator> local_stencil;
+  if (stencil != nullptr) {
+    require(stencil->nrows() == n_global,
+            "distributed_moments: stencil shape != partition");
+    local_stencil.emplace(stencil->localize(row_begin, row_begin + nlocal,
+                                            dist.halo_global_cols()));
+  }
 
   blas::BlockVector v(next, width), w(next, width);
   {
@@ -77,7 +88,11 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
   auto fused_step = [&](const sparse::AugScalars& scalars) {
     if (!overlapped) {
       dist.exchange_halo(comm, v);
-      sparse::aug_spmmv(dist.local(), scalars, v, w, dvv, dwv);
+      if (local_stencil) {
+        sparse::aug_spmmv(*local_stencil, scalars, v, w, dvv, dwv);
+      } else {
+        sparse::aug_spmmv(dist.local(), scalars, v, w, dvv, dwv);
+      }
       return;
     }
     dist.start_halo_exchange(comm, v);
@@ -85,6 +100,14 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
     std::fill(dwv.begin(), dwv.end(), complex_t{});
     // Every halo-free row — scattered or not — is processed while the
     // messages are in flight; only the boundary rows wait for the halo.
+    if (local_stencil) {
+      sparse::aug_spmmv_runs(*local_stencil, scalars, v, w,
+                             dist.interior_runs(), dvv, dwv);
+      dist.finish_halo_exchange(comm, v);
+      sparse::aug_spmmv_runs(*local_stencil, scalars, v, w,
+                             dist.boundary_runs(), dvv, dwv);
+      return;
+    }
     sparse::aug_spmmv_runs(dist.local(), scalars, v, w, dist.interior_runs(),
                            dvv, dwv);
     dist.finish_halo_exchange(comm, v);
@@ -100,6 +123,9 @@ DistMomentsResult distributed_moments_impl(Communicator& comm,
   // reproducible for a fixed repartition schedule.
   LoadBalancer balancer(opts.balance, comm.size());
   const bool balancing = balancer.engaged() && comm.size() > 1;
+  require(!(balancing && local_stencil),
+          "distributed_moments: adaptive balancing cannot migrate a "
+          "localized stencil — disengage opts.balance");
   auto timed_step = [&](const sparse::AugScalars& scalars, int sweep) {
     if (!balancing) {
       fused_step(scalars);
@@ -181,7 +207,7 @@ DistMomentsResult distributed_moments(Communicator& comm,
                                       const physics::Scaling& s,
                                       const core::MomentParams& p,
                                       const DistKpmOptions& opts) {
-  return distributed_moments_impl(comm, dist, s, p, opts,
+  return distributed_moments_impl(comm, dist, nullptr, s, p, opts,
                                   /*overlapped=*/false);
 }
 
@@ -190,7 +216,25 @@ DistMomentsResult distributed_moments_overlapped(Communicator& comm,
                                                  const physics::Scaling& s,
                                                  const core::MomentParams& p,
                                                  const DistKpmOptions& opts) {
-  return distributed_moments_impl(comm, dist, s, p, opts,
+  return distributed_moments_impl(comm, dist, nullptr, s, p, opts,
+                                  /*overlapped=*/true);
+}
+
+DistMomentsResult distributed_moments(Communicator& comm,
+                                      DistributedMatrix& dist,
+                                      const sparse::StencilOperator& stencil,
+                                      const physics::Scaling& s,
+                                      const core::MomentParams& p,
+                                      const DistKpmOptions& opts) {
+  return distributed_moments_impl(comm, dist, &stencil, s, p, opts,
+                                  /*overlapped=*/false);
+}
+
+DistMomentsResult distributed_moments_overlapped(
+    Communicator& comm, DistributedMatrix& dist,
+    const sparse::StencilOperator& stencil, const physics::Scaling& s,
+    const core::MomentParams& p, const DistKpmOptions& opts) {
+  return distributed_moments_impl(comm, dist, &stencil, s, p, opts,
                                   /*overlapped=*/true);
 }
 

@@ -62,4 +62,22 @@ struct DistKpmOptions {
     const physics::Scaling& s, const core::MomentParams& p,
     const DistKpmOptions& opts = {});
 
+/// Matrix-free variants (DESIGN.md §5h): `dist` still carries the halo plan
+/// (negotiated from the assembled global matrix — the stencil references
+/// exactly the same columns), but every sweep applies `stencil` localized to
+/// this rank's row window and halo layout instead of streaming dist.local().
+/// The localized kernel walks rows in the same order with the same per-row
+/// arithmetic, so the moments match the assembled distributed run bit for
+/// bit.  Adaptive balancing is rejected (a live repartition would need
+/// re-localization mid-solve); leave opts.balance disengaged.
+[[nodiscard]] DistMomentsResult distributed_moments(
+    Communicator& comm, DistributedMatrix& dist,
+    const sparse::StencilOperator& stencil, const physics::Scaling& s,
+    const core::MomentParams& p, const DistKpmOptions& opts = {});
+
+[[nodiscard]] DistMomentsResult distributed_moments_overlapped(
+    Communicator& comm, DistributedMatrix& dist,
+    const sparse::StencilOperator& stencil, const physics::Scaling& s,
+    const core::MomentParams& p, const DistKpmOptions& opts = {});
+
 }  // namespace kpm::runtime

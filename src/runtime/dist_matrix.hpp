@@ -83,6 +83,15 @@ class DistributedMatrix {
   [[nodiscard]] const RowPartition& partition() const noexcept { return part_; }
   [[nodiscard]] HaloTransport transport() const noexcept { return transport_; }
 
+  /// Global column of each halo slot in slot order: halo slot s is column
+  /// local_rows() + s of local().  This is the column layout
+  /// sparse::StencilOperator::localize() rebinds a matrix-free operator to,
+  /// so a localized stencil and local() index the same extended vectors.
+  [[nodiscard]] std::span<const global_index> halo_global_cols()
+      const noexcept {
+    return recv_order_;
+  }
+
   /// Fills the halo rows of `v` (rows local_rows() .. extended_rows()-1)
   /// with the owned rows of the peers.  Collective.  `v` must be row-major
   /// with extended_rows() rows.

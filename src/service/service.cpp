@@ -146,6 +146,19 @@ KpmService::KpmService(ServiceConfig config)
 
 KpmService::~KpmService() { shutdown(); }
 
+void KpmService::register_operator(const std::string& key, OperatorStore h,
+                                   const physics::Scaling& s) {
+  if (cfg_.tune_on_register) {
+    runtime::AutoTuner tuner(cfg_.tune_cache_path);
+    std::visit([&](const auto& m) { tuner.tune_tiles(m, cfg_.max_batch_width); },
+               h);
+  }
+  std::lock_guard lock(mutex_);
+  require(models_.find(key) == models_.end(),
+          "register_model: key already registered");
+  models_.emplace(key, Model{std::move(h), s});
+}
+
 void KpmService::register_model(const std::string& key, sparse::CrsMatrix h,
                                 std::optional<physics::Scaling> scaling) {
   require(!key.empty(), "register_model: empty model key");
@@ -153,14 +166,38 @@ void KpmService::register_model(const std::string& key, sparse::CrsMatrix h,
   const physics::Scaling s =
       scaling.has_value() ? *scaling
                           : physics::make_scaling(physics::lanczos_bounds(h));
-  if (cfg_.tune_on_register) {
-    runtime::AutoTuner tuner(cfg_.tune_cache_path);
-    tuner.tune_tiles(h, cfg_.max_batch_width);
-  }
-  std::lock_guard lock(mutex_);
-  require(models_.find(key) == models_.end(),
-          "register_model: key already registered");
-  models_.emplace(key, Model{std::move(h), s});
+  register_operator(key, std::move(h), s);
+}
+
+void KpmService::register_model(const std::string& key, sparse::BsrMatrix h,
+                                std::optional<physics::Scaling> scaling) {
+  require(!key.empty(), "register_model: empty model key");
+  require(h.nrows() == h.ncols(), "register_model: matrix must be square");
+  const physics::Scaling s =
+      scaling.has_value()
+          ? *scaling
+          : physics::make_scaling(physics::lanczos_bounds(h.to_crs()));
+  register_operator(key, std::move(h), s);
+}
+
+void KpmService::register_model(const std::string& key,
+                                sparse::SellBlockMatrix h,
+                                std::optional<physics::Scaling> scaling) {
+  require(!key.empty(), "register_model: empty model key");
+  require(h.nrows() == h.ncols(), "register_model: matrix must be square");
+  const physics::Scaling s =
+      scaling.has_value()
+          ? *scaling
+          : physics::make_scaling(physics::lanczos_bounds(h.to_crs()));
+  register_operator(key, std::move(h), s);
+}
+
+void KpmService::register_model(const std::string& key,
+                                sparse::StencilOperator h,
+                                physics::Scaling scaling) {
+  require(!key.empty(), "register_model: empty model key");
+  require(h.nrows() == h.ncols(), "register_model: matrix must be square");
+  register_operator(key, std::move(h), scaling);
 }
 
 std::shared_ptr<Job> KpmService::submit(const JobRequest& req) {
@@ -337,7 +374,8 @@ void KpmService::worker_loop() {
 
 void KpmService::run_batch(const Model& model,
                            std::vector<LaneAssignment>& batch, int lanes) {
-  const global_index n = model.h.nrows();
+  const core::OperatorRef op = model.ref();
+  const global_index n = op.nrows();
   int batch_moments = 2;
   for (const auto& a : batch) {
     batch_moments = std::max(batch_moments, a.job->req_.num_moments);
@@ -364,7 +402,7 @@ void KpmService::run_batch(const Model& model,
     a.job->batch_width_ = lanes;
   }
 
-  core::SweepSession session(model.h, model.scaling, v0, batch_moments);
+  core::SweepSession session(op, model.scaling, v0, batch_moments);
   std::vector<char> live(batch.size(), 1);
 
   // Streams the averaged moment prefix [served, avail) of one job.  The

@@ -42,12 +42,16 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "core/moments.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "service/result_cache.hpp"
+#include "sparse/bsr.hpp"
 #include "sparse/crs.hpp"
+#include "sparse/sell_block.hpp"
+#include "sparse/stencil.hpp"
 #include "util/random.hpp"
 
 namespace kpm::service {
@@ -165,8 +169,21 @@ class KpmService {
   /// parameters, e.g. "ti:nx=16,ny=16,nz=4").  If no scaling is supplied it
   /// is derived from Lanczos bounds like core::compute_dos.  Jobs may only
   /// reference registered models.
+  ///
+  /// Any sweepable format may be registered: the fastest assembled block
+  /// formats (BSR / SELL-block, DESIGN §5f) and the matrix-free stencil
+  /// (§5h) serve coalesced batches exactly like CRS — the job bits follow
+  /// the registered operator's kernel.  Block formats without an explicit
+  /// scaling derive it from Lanczos bounds on their to_crs() expansion; a
+  /// stencil has no assembled matrix to iterate, so its scaling is required.
   void register_model(const std::string& key, sparse::CrsMatrix h,
                       std::optional<physics::Scaling> scaling = std::nullopt);
+  void register_model(const std::string& key, sparse::BsrMatrix h,
+                      std::optional<physics::Scaling> scaling = std::nullopt);
+  void register_model(const std::string& key, sparse::SellBlockMatrix h,
+                      std::optional<physics::Scaling> scaling = std::nullopt);
+  void register_model(const std::string& key, sparse::StencilOperator h,
+                      physics::Scaling scaling);
 
   /// Admits a job.  Returns immediately; a cache hit comes back already
   /// done.  Throws kpm::contract_error for unknown models / bad params.
@@ -195,9 +212,16 @@ class KpmService {
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
  private:
+  using OperatorStore =
+      std::variant<sparse::CrsMatrix, sparse::BsrMatrix,
+                   sparse::SellBlockMatrix, sparse::StencilOperator>;
   struct Model {
-    sparse::CrsMatrix h;
+    OperatorStore h;
     physics::Scaling scaling;
+    /// Non-owning view into `h` for the sweep path (rebuilt on insert).
+    [[nodiscard]] core::OperatorRef ref() const {
+      return std::visit([](const auto& m) { return core::OperatorRef(m); }, h);
+    }
   };
   struct LaneAssignment {
     std::shared_ptr<Job> job;
@@ -205,6 +229,8 @@ class KpmService {
     int served = 0;  ///< moments delivered so far
   };
 
+  void register_operator(const std::string& key, OperatorStore h,
+                         const physics::Scaling& s);
   void worker_loop();
   void run_batch(const Model& model,
                  std::vector<LaneAssignment>& batch, int lanes);

@@ -460,7 +460,8 @@ inline void block_mac_row(W wt, const VT* __restrict__ blk,
                           int stride, int off, double* __restrict__ acc_re,
                           double* __restrict__ acc_im) {
   const int lanes = wt.get();
-  constexpr std::uint16_t row_bits = B == 4 ? 0x1111 : 0x5;  // bits jb*B
+  constexpr std::uint16_t row_bits =
+      B == 4 ? 0x1111 : (B == 2 ? 0x5 : 0x1);  // bits jb*B
   std::uint16_t m = static_cast<std::uint16_t>((mask >> ib) & row_bits);
   while (m != 0) {
     const int jb = std::countr_zero(m) / B;
@@ -477,20 +478,54 @@ inline void block_mac_row(W wt, const VT* __restrict__ blk,
   }
 }
 
+/// block_mac_row with the per-row diagonal stream value `d` merged into the
+/// jb == ib entry before the multiply: one fused (coeff + d) factor, exactly
+/// the assembled diagonal value, so the stencil's bitwise contract holds.
+/// Stencil coefficient blocks are complex_t (split re/im via re_im()).
+template <int B, class W>
+inline void onsite_mac_row(W wt, const double* __restrict__ blk,
+                           std::uint16_t mask, int ib, double d,
+                           const double* __restrict__ vd, std::size_t vrow0,
+                           int stride, int off, double* __restrict__ acc_re,
+                           double* __restrict__ acc_im) {
+  const int lanes = wt.get();
+  constexpr std::uint16_t row_bits = B == 4 ? 0x1111 : (B == 2 ? 0x5 : 0x1);
+  std::uint16_t m = static_cast<std::uint16_t>((mask >> ib) & row_bits);
+  while (m != 0) {
+    const int jb = std::countr_zero(m) / B;
+    m = static_cast<std::uint16_t>(m & (m - 1));
+    double mre = blk[2 * (jb * B + ib)];
+    const double mim = blk[2 * (jb * B + ib) + 1];
+    if (jb == ib) mre += d;
+    const double* __restrict__ vr =
+        vd + 2 * ((vrow0 + static_cast<std::size_t>(jb)) * stride + off);
+#pragma omp simd
+    for (int r = 0; r < lanes; ++r) {
+      acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
+      acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
+    }
+  }
+}
 
-// One column-tile pass of the BSR block-row loop over [br_begin, br_end).
+
+// One column-tile pass of the BSR loop over the *scalar* rows
+// [row_begin, row_end).
 //
-// The block row is walked once per output row (ib outer): one row's split
-// accumulators fit in registers for the whole walk — the scalar-CRS
-// structure — instead of keeping B rows live and pushing every
-// multiply-accumulate through L1.  The B - 1 re-walks of the block row's
-// values, indices and v block-rows hit L1 (a TI block row is ~2 KB).
+// The loop walks scalar rows (block row br = i/B, sub-row ib = i%B) so that
+// threads can split the scalar row space with the same static partition as
+// the CRS kernels — BSR dot products are then bitwise identical to CRS at
+// any thread count and partition.  One row's split accumulators fit in
+// registers for the whole block-row walk — the scalar-CRS structure —
+// instead of keeping B rows live and pushing every multiply-accumulate
+// through L1; the B - 1 re-walks of a block row's values, indices and v
+// block-rows hit L1 (a TI block row is ~2 KB).
 template <int B, class VT, bool D16, class W, bool WithDots, bool NT>
 void bsr_pass(const BsrMatrix& a, const ScalarsRI& s,
               const double* __restrict__ vd, double* __restrict__ wd,
-              int stride, int off, global_index br_begin, global_index br_end,
-              W wt, double* __restrict__ lvv, double* __restrict__ lwr,
-              double* __restrict__ lwi, double* acc_scratch) {
+              int stride, int off, global_index row_begin,
+              global_index row_end, W wt, double* __restrict__ lvv,
+              double* __restrict__ lwr, double* __restrict__ lwi,
+              double* acc_scratch) {
   const int lanes = wt.get();
   const auto* __restrict__ bptr = a.block_ptr().data();
   const auto* __restrict__ bcol = a.block_col().data();
@@ -502,32 +537,117 @@ void bsr_pass(const BsrMatrix& a, const ScalarsRI& s,
   PassAccumulators<W> acc(wt, acc_scratch);
   double* __restrict__ acc_re = acc.re;
   double* __restrict__ acc_im = acc.im;
-  for (global_index br = br_begin; br < br_end; ++br) {
+  for (global_index i = row_begin; i < row_end; ++i) {
+    const global_index br = i / B;
+    const int ib = static_cast<int>(i % B);
     const global_index klo = bptr[br];
     const global_index khi = bptr[br + 1];
-    for (int ib = 0; ib < B; ++ib) {
 #pragma omp simd
-      for (int r = 0; r < lanes; ++r) {
-        acc_re[r] = 0.0;
-        acc_im[r] = 0.0;
+    for (int r = 0; r < lanes; ++r) {
+      acc_re[r] = 0.0;
+      acc_im[r] = 0.0;
+    }
+    local_index bc = D16 ? first[br] : 0;
+    for (global_index k = klo; k < khi; ++k) {
+      if constexpr (D16) {
+        bc += static_cast<local_index>(delta[k]);
+      } else {
+        bc = bcol[k];
       }
-      local_index bc = D16 ? first[br] : 0;
-      for (global_index k = klo; k < khi; ++k) {
-        if constexpr (D16) {
-          bc += static_cast<local_index>(delta[k]);
-        } else {
-          bc = bcol[k];
+      const VT* __restrict__ blk =
+          vald + 2 * static_cast<std::size_t>(k) * B * B;
+      block_mac_row<B, VT>(wt, blk, bmask[k], ib, vd,
+                           static_cast<std::size_t>(bc) * B, stride, off,
+                           acc_re, acc_im);
+    }
+    const std::size_t base = static_cast<std::size_t>(i) * stride + off;
+    finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
+                                wd + 2 * base, lvv, lwr, lwi);
+  }
+}
+
+// One column-tile pass of the matrix-free stencil over the scalar rows
+// [row_begin, row_end) (DESIGN.md §5h).  Interior rows multiply the shared
+// Term coefficient blocks (registers/L1) against branch-free neighbour
+// offsets — no matrix stream at all except the optional one-f64-per-row
+// diagonal (Diag); boundary rows fall back to the operator's CRS-style
+// indexed entries.  Per row the multiply-accumulate order is ascending
+// delta, ascending jb within a term = the assembled-CRS ascending-column
+// order, so results are bitwise identical to the CRS pass.
+template <int B, bool Diag, class W, bool WithDots, bool NT>
+void stencil_pass(const StencilOperator& a, const ScalarsRI& s,
+                  const double* __restrict__ vd, double* __restrict__ wd,
+                  int stride, int off, global_index row_begin,
+                  global_index row_end, W wt, double* __restrict__ lvv,
+                  double* __restrict__ lwr, double* __restrict__ lwi,
+                  double* acc_scratch) {
+  const int lanes = wt.get();
+  const std::span<const StencilOperator::Term> terms = a.terms();
+  const int nterms = static_cast<int>(terms.size());
+  const int onsite = a.onsite_term();
+  const int phase = a.row_phase();
+  const double* __restrict__ dg = Diag ? a.diag().data() : nullptr;
+  const auto* __restrict__ bptr = a.boundary_ptr().data();
+  const auto* __restrict__ bcol = a.boundary_col().data();
+  const double* __restrict__ bval = re_im(a.boundary_val().data());
+  PassAccumulators<W> acc(wt, acc_scratch);
+  double* __restrict__ acc_re = acc.re;
+  double* __restrict__ acc_im = acc.im;
+  for (const StencilOperator::Segment& seg : a.segments()) {
+    const global_index lo = std::max(seg.begin, row_begin);
+    const global_index hi = std::min(seg.end, row_end);
+    if (lo >= hi) continue;
+    if (seg.interior) {
+      for (global_index i = lo; i < hi; ++i) {
+        const int ib = static_cast<int>((i + phase) % B);
+#pragma omp simd
+        for (int r = 0; r < lanes; ++r) {
+          acc_re[r] = 0.0;
+          acc_im[r] = 0.0;
         }
-        const VT* __restrict__ blk =
-            vald + 2 * static_cast<std::size_t>(k) * B * B;
-        block_mac_row<B, VT>(wt, blk, bmask[k], ib, vd,
-                             static_cast<std::size_t>(bc) * B, stride, off,
-                             acc_re, acc_im);
+        for (int t = 0; t < nterms; ++t) {
+          const StencilOperator::Term& tm = terms[static_cast<std::size_t>(t)];
+          // First row of the neighbour's block in local indices; interior
+          // classification guarantees it lies inside the local vectors.
+          const std::size_t vrow0 =
+              static_cast<std::size_t>(i - ib + B * tm.delta);
+          if constexpr (Diag) {
+            if (t == onsite) {
+              onsite_mac_row<B>(wt, re_im(tm.coeff.data()), tm.mask, ib,
+                                dg[i], vd, vrow0, stride, off, acc_re,
+                                acc_im);
+              continue;
+            }
+          }
+          block_mac_row<B, double>(wt, re_im(tm.coeff.data()), tm.mask, ib,
+                                   vd, vrow0, stride, off, acc_re, acc_im);
+        }
+        const std::size_t base = static_cast<std::size_t>(i) * stride + off;
+        finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
+                                    wd + 2 * base, lvv, lwr, lwi);
       }
-      const std::size_t base =
-          (static_cast<std::size_t>(br) * B + ib) * stride + off;
-      finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
-                                  wd + 2 * base, lvv, lwr, lwi);
+    } else {
+      for (global_index i = lo; i < hi; ++i) {
+        const global_index q = seg.bnd_row0 + (i - seg.begin);
+#pragma omp simd
+        for (int r = 0; r < lanes; ++r) {
+          acc_re[r] = 0.0;
+          acc_im[r] = 0.0;
+        }
+        for (global_index k = bptr[q]; k < bptr[q + 1]; ++k) {
+          const double mre = bval[2 * k], mim = bval[2 * k + 1];
+          const double* __restrict__ vr =
+              vd + 2 * (static_cast<std::size_t>(bcol[k]) * stride + off);
+#pragma omp simd
+          for (int r = 0; r < lanes; ++r) {
+            acc_re[r] += mre * vr[2 * r] - mim * vr[2 * r + 1];
+            acc_im[r] += mre * vr[2 * r + 1] + mim * vr[2 * r];
+          }
+        }
+        const std::size_t base = static_cast<std::size_t>(i) * stride + off;
+        finish_row<W, WithDots, NT>(wt, s, acc_re, acc_im, vd + 2 * base,
+                                    wd + 2 * base, lvv, lwr, lwi);
+      }
     }
   }
 }
@@ -613,6 +733,26 @@ void dispatch_block_format(int block_dim, bool f32, bool d16, F&& f) {
     }
   };
   if (block_dim == 2) {
+    with_b(std::integral_constant<int, 2>{});
+  } else {
+    with_b(std::integral_constant<int, 4>{});
+  }
+}
+
+/// Routes (block_dim, has_diag) onto the stencil pass's compile-time
+/// parameters: f(int_const<B>, bool_const<Diag>).
+template <class F>
+void dispatch_stencil(int block_dim, bool diag, F&& f) {
+  const auto with_b = [&](auto bb) {
+    if (diag) {
+      f(bb, std::bool_constant<true>{});
+    } else {
+      f(bb, std::bool_constant<false>{});
+    }
+  };
+  if (block_dim == 1) {
+    with_b(std::integral_constant<int, 1>{});
+  } else if (block_dim == 2) {
     with_b(std::integral_constant<int, 2>{});
   } else {
     with_b(std::integral_constant<int, 4>{});
@@ -771,37 +911,60 @@ void aug_spmmv_sell_core(const SellMatrix& a, const AugScalars& scal,
       });
 }
 
-// BSR core over a block-row run list; banding walks block rows
-// (band_rows rounded down to block-row units like the SELL chunk rounding).
+// BSR core over a scalar-row run list: threads split scalar rows with the
+// same static partition as the CRS kernels, so BSR dot products — and thus
+// moments — are bitwise identical to CRS at any thread count and partition.
 template <bool WithDots>
 void aug_spmmv_bsr_core_runs(
     const BsrMatrix& a, const AugScalars& scal, const complex_t* v,
     complex_t* w, int width,
-    std::span<const IndexRange<global_index>> block_runs, complex_t* dot_vv,
+    std::span<const IndexRange<global_index>> runs, complex_t* dot_vv,
     complex_t* dot_wv) {
   const ScalarsRI s(scal);
   const double* vd = re_im(v);
   double* wd = re_im(w);
   const int b = a.block_dim();
   const SweepPlan plan = make_plan(width, block_auto_tile(b));
-  const global_index band_blocks =
-      plan.band_rows > 0 ? std::max<global_index>(plan.band_rows / b, 1) : 0;
   dispatch_block_format(
       b, a.precision() == MatrixPrecision::f32, a.index_bits() == 16,
       [&](auto bb, auto vt, auto d16) {
         constexpr int B = decltype(bb)::value;
         using VT = typename decltype(vt)::type;
         run_block_kernel<WithDots>(
-            width, plan, block_runs, band_blocks, dot_vv, dot_wv,
+            width, plan, runs, plan.band_rows, dot_vv, dot_wv,
             [&](auto wt, auto nt, global_index rb, global_index re,
                 const TilePass& pass, double* lvv, double* lwr, double* lwi,
                 double* acc) {
               bsr_pass<B, VT, decltype(d16)::value, decltype(wt), WithDots,
                        decltype(nt)::value>(a, s, vd, wd, width, pass.offset,
                                             rb, re, wt, lvv, lwr, lwi, acc);
-            },
-            B);
+            });
       });
+}
+
+// Stencil core over a scalar-row run list; same static scalar-row split, so
+// stencil moments are bitwise identical to the assembled-CRS moments.
+template <bool WithDots>
+void aug_spmmv_stencil_core_runs(
+    const StencilOperator& a, const AugScalars& scal, const complex_t* v,
+    complex_t* w, int width, std::span<const IndexRange<global_index>> runs,
+    complex_t* dot_vv, complex_t* dot_wv) {
+  const ScalarsRI s(scal);
+  const double* vd = re_im(v);
+  double* wd = re_im(w);
+  const SweepPlan plan = make_plan(width, block_auto_tile(a.block_dim()));
+  dispatch_stencil(a.block_dim(), a.has_diag(), [&](auto bb, auto dg) {
+    constexpr int B = decltype(bb)::value;
+    run_block_kernel<WithDots>(
+        width, plan, runs, plan.band_rows, dot_vv, dot_wv,
+        [&](auto wt, auto nt, global_index rb, global_index re,
+            const TilePass& pass, double* lvv, double* lwr, double* lwi,
+            double* acc) {
+          stencil_pass<B, decltype(dg)::value, decltype(wt), WithDots,
+                       decltype(nt)::value>(a, s, vd, wd, width, pass.offset,
+                                            rb, re, wt, lvv, lwr, lwi, acc);
+        });
+  });
 }
 
 template <bool WithDots>
@@ -1115,7 +1278,7 @@ void aug_spmmv(const BsrMatrix& a, const AugScalars& s,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
   const int width = v.width();
-  const IndexRange<global_index> all{0, a.block_rows()};
+  const IndexRange<global_index> all{0, a.nrows()};
   const std::span<const IndexRange<global_index>> runs(&all, 1);
   if (dot_vv.empty()) {
     aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width, runs,
@@ -1133,13 +1296,10 @@ void aug_spmmv_rows(const BsrMatrix& a, const AugScalars& s,
                     global_index row_begin, global_index row_end,
                     std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
-  const int b = a.block_dim();
   require(row_begin >= 0 && row_begin <= row_end && row_end <= a.nrows(),
           "aug_spmmv_rows: invalid row interval");
-  require(row_begin % b == 0 && row_end % b == 0,
-          "aug_spmmv_rows(bsr): bounds must be multiples of block_dim");
   const int width = v.width();
-  const IndexRange<global_index> seg{row_begin / b, row_end / b};
+  const IndexRange<global_index> seg{row_begin, row_end};
   const std::span<const IndexRange<global_index>> runs(&seg, 1);
   if (dot_vv.empty()) {
     aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width, runs,
@@ -1156,25 +1316,19 @@ void aug_spmmv_runs(const BsrMatrix& a, const AugScalars& s,
                     std::span<const IndexRange<global_index>> runs,
                     std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
   check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
-  const int b = a.block_dim();
-  std::vector<IndexRange<global_index>> block_runs;
-  block_runs.reserve(runs.size());
   global_index prev = 0;
   for (const auto& r : runs) {
     require(r.begin >= prev && r.begin <= r.end && r.end <= a.nrows(),
             "aug_spmmv_runs: runs must be ascending, disjoint and in bounds");
-    require(r.begin % b == 0 && r.end % b == 0,
-            "aug_spmmv_runs(bsr): bounds must be multiples of block_dim");
     prev = r.end;
-    block_runs.push_back({r.begin / b, r.end / b});
   }
   const int width = v.width();
   if (dot_vv.empty()) {
-    aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width,
-                                   block_runs, nullptr, nullptr);
+    aug_spmmv_bsr_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                   nullptr, nullptr);
   } else {
     // Accumulate-only contract, like the CRS run-list kernel.
-    aug_spmmv_bsr_core_runs<true>(a, s, v.data(), w.data(), width, block_runs,
+    aug_spmmv_bsr_core_runs<true>(a, s, v.data(), w.data(), width, runs,
                                   dot_vv.data(), dot_wv.data());
   }
 }
@@ -1192,6 +1346,66 @@ void aug_spmmv(const SellBlockMatrix& a, const AugScalars& s,
     std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
     aug_spmmv_sell_block_core<true>(a, s, v.data(), w.data(), width,
                                     dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv(const StencilOperator& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  const int width = v.width();
+  const IndexRange<global_index> all{0, a.nrows()};
+  const std::span<const IndexRange<global_index>> runs(&all, 1);
+  if (dot_vv.empty()) {
+    aug_spmmv_stencil_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                       nullptr, nullptr);
+  } else {
+    std::fill(dot_vv.begin(), dot_vv.end(), complex_t{});
+    std::fill(dot_wv.begin(), dot_wv.end(), complex_t{});
+    aug_spmmv_stencil_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                      dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv_rows(const StencilOperator& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  require(row_begin >= 0 && row_begin <= row_end && row_end <= a.nrows(),
+          "aug_spmmv_rows: invalid row interval");
+  const int width = v.width();
+  const IndexRange<global_index> seg{row_begin, row_end};
+  const std::span<const IndexRange<global_index>> runs(&seg, 1);
+  if (dot_vv.empty()) {
+    aug_spmmv_stencil_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                       nullptr, nullptr);
+  } else {
+    // Accumulate-only contract, like the CRS row-interval kernel.
+    aug_spmmv_stencil_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                      dot_vv.data(), dot_wv.data());
+  }
+}
+
+void aug_spmmv_runs(const StencilOperator& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv) {
+  check_block(a.nrows(), a.ncols(), v, w, dot_vv, dot_wv);
+  global_index prev = 0;
+  for (const auto& r : runs) {
+    require(r.begin >= prev && r.begin <= r.end && r.end <= a.nrows(),
+            "aug_spmmv_runs: runs must be ascending, disjoint and in bounds");
+    prev = r.end;
+  }
+  const int width = v.width();
+  if (dot_vv.empty()) {
+    aug_spmmv_stencil_core_runs<false>(a, s, v.data(), w.data(), width, runs,
+                                       nullptr, nullptr);
+  } else {
+    // Accumulate-only contract, like the CRS run-list kernel.
+    aug_spmmv_stencil_core_runs<true>(a, s, v.data(), w.data(), width, runs,
+                                      dot_vv.data(), dot_wv.data());
   }
 }
 

@@ -54,6 +54,7 @@
 #include "sparse/crs.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/sell_block.hpp"
+#include "sparse/stencil.hpp"
 #include "util/schedule.hpp"
 #include "util/types.hpp"
 
@@ -201,15 +202,17 @@ void aug_spmmv(const BsrMatrix& a, const AugScalars& s,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
 /// Row-interval variant of the BSR kernel (accumulate contract, see
-/// aug_spmmv_rows above).  Both bounds must be multiples of block_dim() —
-/// a distributed partition over block rows satisfies this by construction.
+/// aug_spmmv_rows above).  Bounds are scalar rows and need not align to
+/// block_dim(): threads split the scalar row space with the same static
+/// partition as the CRS kernels, so BSR moments are bitwise identical to
+/// the CRS moments at any thread count and partition.
 void aug_spmmv_rows(const BsrMatrix& a, const AugScalars& s,
                     const blas::BlockVector& v, blas::BlockVector& w,
                     global_index row_begin, global_index row_end,
                     std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
-/// Run-list variant of the BSR kernel; every run bound must be a multiple
-/// of block_dim().  Same accumulate contract as the CRS run-list kernel.
+/// Run-list variant of the BSR kernel over scalar-row runs.  Same
+/// accumulate contract as the CRS run-list kernel.
 void aug_spmmv_runs(const BsrMatrix& a, const AugScalars& s,
                     const blas::BlockVector& v, blas::BlockVector& w,
                     std::span<const IndexRange<global_index>> runs,
@@ -220,5 +223,32 @@ void aug_spmmv_runs(const BsrMatrix& a, const AugScalars& s,
 void aug_spmmv(const SellBlockMatrix& a, const AugScalars& s,
                const blas::BlockVector& v, blas::BlockVector& w,
                std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+// Matrix-free stencil kernels (DESIGN.md §5h).  No matrix stream at all:
+// interior rows multiply the register/L1-resident coefficient blocks of the
+// StencilOperator against branch-free neighbour offsets (plus at most one
+// streamed f64 diagonal per row), boundary rows fall back to the operator's
+// indexed entries.  Runs behind the same width-dispatch, tiling, banding and
+// NT-store machinery, with the same static scalar-row split — stencil
+// moments are bitwise identical to the assembled-CRS moments.
+
+/// Stage-2 fused matrix-free kernel.  Same overwrite contract as the CRS
+/// overload.
+void aug_spmmv(const StencilOperator& a, const AugScalars& s,
+               const blas::BlockVector& v, blas::BlockVector& w,
+               std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Row-interval variant (accumulate contract, see aug_spmmv_rows above).
+void aug_spmmv_rows(const StencilOperator& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    global_index row_begin, global_index row_end,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
+
+/// Run-list variant (accumulate contract): how the overlapped halo exchange
+/// sweeps a localized stencil's interior while messages are in flight.
+void aug_spmmv_runs(const StencilOperator& a, const AugScalars& s,
+                    const blas::BlockVector& v, blas::BlockVector& w,
+                    std::span<const IndexRange<global_index>> runs,
+                    std::span<complex_t> dot_vv, std::span<complex_t> dot_wv);
 
 }  // namespace kpm::sparse

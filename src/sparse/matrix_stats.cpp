@@ -1,9 +1,12 @@
 #include "sparse/matrix_stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <ostream>
+#include <tuple>
 #include <vector>
 
 namespace kpm::sparse {
@@ -49,6 +52,8 @@ MatrixStats analyze(const CrsMatrix& a, double herm_tol) {
   s.block_fill2 = block_fill_ratio(a, 2);
   s.block_fill4 = block_fill_ratio(a, 4);
   s.block_fill8 = block_fill_ratio(a, 8);
+  s.stencil_const1 = stencil_expressibility(a, 1);
+  s.stencil_const4 = stencil_expressibility(a, 4);
   return s;
 }
 
@@ -73,13 +78,68 @@ double block_fill_ratio(const CrsMatrix& a, int block_dim) {
          (static_cast<double>(blocks) * block_dim * block_dim);
 }
 
+double stencil_expressibility(const CrsMatrix& a, int block_dim) {
+  if (a.nnz() == 0 || block_dim < 1) return 0.0;
+  // One record per entry: the stencil class (site delta, intra-block
+  // position) and the value's exact bit pattern.
+  struct Entry {
+    global_index delta;
+    int pos;
+    std::uint64_t re;
+    std::uint64_t im;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(a.nnz()));
+  for (global_index i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const global_index delta =
+          static_cast<global_index>(cols[k]) / block_dim - i / block_dim;
+      const int pos = static_cast<int>(i % block_dim) * block_dim +
+                      static_cast<int>(cols[k] % block_dim);
+      entries.push_back({delta, pos, std::bit_cast<std::uint64_t>(vals[k].real()),
+                         std::bit_cast<std::uint64_t>(vals[k].imag())});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    return std::tie(x.delta, x.pos, x.re, x.im) <
+           std::tie(y.delta, y.pos, y.re, y.im);
+  });
+  // Within each (delta, pos) class the entries are now grouped by value;
+  // the longest run is the modal coefficient's vote.
+  global_index matched = 0;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i;
+    std::size_t best = 0;
+    while (j < entries.size() && entries[j].delta == entries[i].delta &&
+           entries[j].pos == entries[i].pos) {
+      std::size_t run = j;
+      while (run < entries.size() && entries[run].delta == entries[j].delta &&
+             entries[run].pos == entries[j].pos &&
+             entries[run].re == entries[j].re &&
+             entries[run].im == entries[j].im) {
+        ++run;
+      }
+      best = std::max(best, run - j);
+      j = run;
+    }
+    matched += static_cast<global_index>(best);
+    i = j;
+  }
+  return static_cast<double>(matched) / static_cast<double>(a.nnz());
+}
+
 std::ostream& operator<<(std::ostream& os, const MatrixStats& s) {
   return os << "N=" << s.nrows << " nnz=" << s.nnz
             << " nnzr=" << s.avg_nnz_per_row << " rowlen=[" << s.min_row_len
             << "," << s.max_row_len << "]"
             << " bw=" << s.bandwidth << " hermitian=" << (s.hermitian ? "yes" : "no")
             << " blockfill{2,4,8}={" << s.block_fill2 << "," << s.block_fill4
-            << "," << s.block_fill8 << "}";
+            << "," << s.block_fill8 << "}"
+            << " stencilconst{1,4}={" << s.stencil_const1 << ","
+            << s.stencil_const4 << "}";
 }
 
 }  // namespace kpm::sparse

@@ -25,6 +25,15 @@ struct MatrixStats {
   double block_fill2 = 0.0;
   double block_fill4 = 0.0;
   double block_fill8 = 0.0;
+  /// Stencil expressibility (DESIGN §5h): fraction of stored entries whose
+  /// value is bitwise the modal value of their (site delta, intra-block
+  /// position) class, on the scalar and the 4 x 4 block grid.  1.0 means a
+  /// pure constant-coefficient stencil (a matrix-free apply stores nothing);
+  /// the deficit is per-entry data that must stream (e.g. a disordered
+  /// diagonal contributes ~1/Nnzr).  Benches report these so the record
+  /// shows why the matrix-free format applies (or doesn't).
+  double stencil_const1 = 0.0;
+  double stencil_const4 = 0.0;
 };
 
 [[nodiscard]] MatrixStats analyze(const CrsMatrix& a, double herm_tol = 1e-12);
@@ -32,6 +41,13 @@ struct MatrixStats {
 /// nnz / (occupied blocks * b^2) on the ceil(n/b) block grid; 0 for an
 /// empty matrix.  O(nnz log nnz_row) — cheap enough for bench headers.
 [[nodiscard]] double block_fill_ratio(const CrsMatrix& a, int block_dim);
+
+/// Constant-coefficient fraction on the b x b block grid: entries are
+/// classed by (block-column minus block-row, position inside the block) —
+/// the coordinates a StencilOperator::Term assigns — and each class votes
+/// for its most common bit pattern.  Returns matched entries / nnz; 0 for
+/// an empty matrix.  O(nnz log nnz).
+[[nodiscard]] double stencil_expressibility(const CrsMatrix& a, int block_dim);
 
 std::ostream& operator<<(std::ostream& os, const MatrixStats& s);
 

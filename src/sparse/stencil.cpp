@@ -1,0 +1,221 @@
+#include "sparse/stencil.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace kpm::sparse {
+namespace {
+
+/// Row ib's occupancy bits within a column-major b x b mask: bit jb*b + ib
+/// for every jb.
+std::uint16_t row_bits(int block_dim) {
+  switch (block_dim) {
+    case 1: return 0x1;
+    case 2: return 0x5;
+    case 4: return 0x1111;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+StencilOperator::StencilOperator(std::string kind, int block_dim,
+                                 global_index num_sites,
+                                 std::vector<Term> terms,
+                                 std::vector<double> diag, NeighborFn neighbor)
+    : kind_(std::move(kind)),
+      block_dim_(block_dim),
+      terms_(std::move(terms)),
+      neighbor_(std::move(neighbor)),
+      num_sites_(num_sites),
+      global_form_(true) {
+  require(block_dim_ == 1 || block_dim_ == 2 || block_dim_ == 4,
+          "stencil: block_dim must be 1, 2 or 4");
+  require(num_sites_ >= 1, "stencil: at least one site");
+  require(static_cast<bool>(neighbor_), "stencil: neighbour map required");
+  nrows_ = ncols_ = num_sites_ * block_dim_;
+
+  global_index prev_delta = 0;
+  bool first = true;
+  for (auto& t : terms_) {
+    require(first || t.delta > prev_delta,
+            "stencil: terms must be sorted by strictly ascending delta");
+    first = false;
+    prev_delta = t.delta;
+    // Derive the occupancy from the coefficients — the same exact-zero skip
+    // rule the CRS assemblers apply entry by entry.
+    t.mask = 0;
+    for (int e = 0; e < block_dim_ * block_dim_; ++e) {
+      if (t.coeff[static_cast<std::size_t>(e)] != complex_t{}) {
+        t.mask |= static_cast<std::uint16_t>(1u << e);
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    if (terms_[t].delta == 0) onsite_term_ = static_cast<int>(t);
+  }
+  if (!diag.empty()) {
+    require(static_cast<global_index>(diag.size()) == nrows_,
+            "stencil: diag must hold one value per scalar row");
+    // The caller must list the on-site term explicitly (a zero-coefficient
+    // block is fine) — inserting one here would silently shift every
+    // term_index the NeighborFn was written against.
+    require(onsite_term_ >= 0, "stencil: diag stream needs an on-site term");
+    diag_.assign(diag.begin(), diag.end());
+    // Force the diagonal occupancy: the merged (coefficient + diag) entry
+    // always participates, like the assembled diagonal value.
+    for (int ib = 0; ib < block_dim_; ++ib) {
+      terms_[static_cast<std::size_t>(onsite_term_)].mask |=
+          static_cast<std::uint16_t>(1u << (ib * block_dim_ + ib));
+    }
+  }
+
+  build_rows(0, [](global_index c) { return static_cast<local_index>(c); });
+}
+
+void StencilOperator::build_rows(
+    global_index row0,
+    const std::function<local_index(global_index)>& col_of) {
+  const int b = block_dim_;
+  const std::uint16_t rbits = row_bits(b);
+  const global_index wlo = row0;
+  const global_index whi = row0 + nrows_;
+  phase_ = static_cast<int>(row0 % b);
+
+  // A global site is stencil-interior when every bond lands exactly delta
+  // sites away (no wrap, no open edge); a *row* of this window is interior
+  // when additionally every neighbour block lies fully inside the window,
+  // so the branch-free offset arithmetic never leaves the local vectors.
+  const auto site_interior = [&](global_index s) {
+    for (std::size_t t = 0; t < terms_.size(); ++t) {
+      if (neighbor_(s, t) != s + terms_[t].delta) return false;
+    }
+    return true;
+  };
+  const auto blocks_in_window = [&](global_index s) {
+    for (const Term& t : terms_) {
+      const global_index nb0 = (s + t.delta) * b;
+      if (nb0 < wlo || nb0 + b > whi) return false;
+    }
+    return true;
+  };
+
+  segs_.clear();
+  bnd_ptr_.clear();
+  bnd_col_.clear();
+  bnd_val_.clear();
+  bnd_ptr_.push_back(0);
+  nnz_ = 0;
+
+  std::vector<std::pair<global_index, complex_t>> row;  // (global col, value)
+  global_index site_cached = -1;
+  bool site_int = false;
+  for (global_index g = wlo; g < whi; ++g) {
+    const global_index s = g / b;
+    const int ib = static_cast<int>(g % b);
+    if (s != site_cached) {
+      site_cached = s;
+      site_int = site_interior(s);
+    }
+    const bool interior = site_int && blocks_in_window(s);
+    if (segs_.empty() || segs_.back().interior != interior) {
+      segs_.push_back({g - row0, g - row0, interior,
+                       static_cast<global_index>(bnd_ptr_.size()) - 1});
+    }
+    segs_.back().end = g - row0 + 1;
+    if (interior) {
+      for (const Term& t : terms_) {
+        nnz_ += std::popcount(
+            static_cast<unsigned>((t.mask >> ib) & rbits));
+      }
+      continue;
+    }
+    // Boundary row: enumerate the entries through the neighbour map, merge
+    // the diagonal stream, and store them in ascending *stored*-column order
+    // — identical to the assembled-CRS entry order the bitwise contract
+    // requires.  For the global form col_of is the identity (ascending
+    // global column); for a localized window it is the halo-remapped local
+    // column, whose order (owned window columns, then halo slots grouped by
+    // peer rank) matches DistributedMatrix's local CRS, not global order.
+    row.clear();
+    for (std::size_t t = 0; t < terms_.size(); ++t) {
+      const Term& tm = terms_[t];
+      const global_index nb = neighbor_(s, t);
+      if (nb < 0) continue;
+      std::uint16_t m = static_cast<std::uint16_t>((tm.mask >> ib) & rbits);
+      while (m != 0) {
+        const int jb = std::countr_zero(m) / b;
+        m = static_cast<std::uint16_t>(m & (m - 1));
+        complex_t val = tm.coeff[static_cast<std::size_t>(jb * b + ib)];
+        if (static_cast<int>(t) == onsite_term_ && jb == ib && has_diag()) {
+          val = complex_t{val.real() + diag_[static_cast<std::size_t>(g - row0)],
+                          val.imag()};
+        }
+        row.emplace_back(static_cast<global_index>(col_of(nb * b + jb)), val);
+      }
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      require(k == 0 || row[k].first != row[k - 1].first,
+              "stencil: two terms alias one column (periodic extents <= 2?)");
+      bnd_col_.push_back(static_cast<local_index>(row[k].first));
+      bnd_val_.push_back(row[k].second);
+    }
+    nnz_ += static_cast<global_index>(row.size());
+    bnd_ptr_.push_back(static_cast<global_index>(bnd_col_.size()));
+  }
+}
+
+std::size_t StencilOperator::stored_bytes() const noexcept {
+  return terms_.size() * sizeof(Term) + diag_.size() * sizeof(double) +
+         bnd_ptr_.size() * sizeof(global_index) +
+         bnd_col_.size() * sizeof(local_index) +
+         bnd_val_.size() * sizeof(complex_t);
+}
+
+StencilOperator StencilOperator::localize(
+    global_index row_begin, global_index row_end,
+    std::span<const global_index> halo_global_cols) const {
+  require(global_form_, "stencil: localize() needs the global operator");
+  require(row_begin >= 0 && row_begin <= row_end && row_end <= nrows_,
+          "stencil: invalid row window");
+  StencilOperator out;
+  out.kind_ = kind_;
+  out.block_dim_ = block_dim_;
+  out.nrows_ = row_end - row_begin;
+  out.ncols_ =
+      out.nrows_ + static_cast<global_index>(halo_global_cols.size());
+  out.terms_ = terms_;
+  out.onsite_term_ = onsite_term_;
+  out.neighbor_ = neighbor_;
+  out.num_sites_ = num_sites_;
+  if (!diag_.empty()) {
+    out.diag_.assign(diag_.begin() + row_begin, diag_.begin() + row_end);
+  }
+
+  std::unordered_map<global_index, local_index> halo;
+  halo.reserve(halo_global_cols.size());
+  for (std::size_t slot = 0; slot < halo_global_cols.size(); ++slot) {
+    halo.emplace(halo_global_cols[slot],
+                 static_cast<local_index>(out.nrows_ +
+                                          static_cast<global_index>(slot)));
+  }
+  out.build_rows(row_begin, [&](global_index c) {
+    if (c >= row_begin && c < row_end) {
+      return static_cast<local_index>(c - row_begin);
+    }
+    const auto it = halo.find(c);
+    require(it != halo.end(),
+            "stencil: boundary column missing from the halo layout");
+    return it->second;
+  });
+  return out;
+}
+
+}  // namespace kpm::sparse

@@ -1,0 +1,179 @@
+// Matrix-free stencil operator (DESIGN.md §5h).
+//
+// The lattice Hamiltonians of src/physics are constant-coefficient
+// stencils: every interior row applies the same handful of b x b coefficient
+// blocks to a fixed pattern of neighbour sites.  Storing the assembled
+// matrix therefore streams pure redundancy — the paper's code-balance model
+// (Eq. 5) charges Nnz*(Sd + Si) bytes per sweep for values and indices that
+// a few hundred bytes of stencil description already determine.  A
+// StencilOperator keeps exactly that description:
+//
+//  - a sorted list of Terms {site delta, b x b coefficient block, occupancy
+//    mask} shared by ALL interior rows (registers/L1 for the whole sweep),
+//  - an optional per-row f64 diagonal stream (Anderson disorder, external
+//    potentials) — the only O(N) stored data, 8 B/row instead of the
+//    ~20 B/nnz of an assembled format,
+//  - explicit CRS-style (column, value) lists for the O(surface) boundary
+//    rows where periodic wrap-around or open edges break the uniform
+//    neighbour offsets, with the diagonal stream pre-merged.
+//
+// Rows are classified once at construction into alternating interior /
+// boundary Segments; the fused kernels walk interior rows branch-free with
+// unrolled neighbour offsets and fall back to the indexed entries on the
+// boundary — the same interior/boundary run-list idiom the distributed
+// overlap path uses (DESIGN.md §5d).
+//
+// Bitwise contract.  Per row, terms ascend by site delta and the occupancy
+// walk ascends within a term, which is exactly the ascending-column order of
+// the assembled CRS rows; boundary entries are stored sorted by (global)
+// column.  The diagonal stream merges into the on-site coefficient *before*
+// the multiply ((c + d) * v, one fused entry like the assembled value), so
+// a stencil sweep reproduces the assembled-CRS aug_spmmv bit for bit — the
+// parity suite and every downstream oracle apply unchanged.
+//
+// Distributed use: localize() rebinds a global stencil to one rank's row
+// window and halo column layout (DistributedMatrix::halo_global_cols());
+// locally interior rows keep the branch-free path, rows touching the halo
+// or the window edge become boundary rows whose entries are stored in
+// ascending *global* column order — matching the column order of the CRS
+// the halo exchange was built from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace kpm::sparse {
+
+class StencilOperator {
+ public:
+  static constexpr int kMaxBlockDim = 4;
+
+  /// One neighbour coupling shared by every interior row: the neighbour is
+  /// `delta` sites away and contributes the dense b x b block `coeff`
+  /// (column-major, like BsrMatrix).  `mask` bit jb*b + ib flags the stored
+  /// nonzeros — built from the coefficients, so exact zeros are skipped with
+  /// the same rule the CRS assemblers use.
+  struct Term {
+    global_index delta = 0;
+    std::uint16_t mask = 0;
+    std::array<complex_t, kMaxBlockDim * kMaxBlockDim> coeff{};
+  };
+
+  /// neighbour(site, term_index) -> neighbour site of `site` under the
+  /// model's boundary conditions (periodic wrap), or -1 when the bond is
+  /// absent (open edge).  A site is interior iff every term's neighbour is
+  /// exactly site + terms[term_index].delta.
+  using NeighborFn =
+      std::function<global_index(global_index site, std::size_t term_index)>;
+
+  /// Alternating classification of the row space; `bnd_row0` is the ordinal
+  /// of `begin` in the boundary-row storage (valid when !interior).
+  struct Segment {
+    global_index begin = 0;
+    global_index end = 0;
+    bool interior = true;
+    global_index bnd_row0 = 0;
+  };
+
+  /// Builds the global operator over `num_sites` sites of `block_dim`
+  /// orbitals each.  `terms` must be sorted by strictly ascending delta.
+  /// `diag` is empty or one real on-site value per scalar row; when present
+  /// `terms` must include a delta == 0 term (a zero-coefficient block is
+  /// fine), its diagonal occupancy is forced, and the per-row value merges
+  /// into the coefficient before the multiply.
+  /// `neighbor` resolves the model's boundary conditions (kept for
+  /// localize(), which re-enumerates boundary rows).
+  StencilOperator(std::string kind, int block_dim, global_index num_sites,
+                  std::vector<Term> terms, std::vector<double> diag,
+                  NeighborFn neighbor);
+
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+  [[nodiscard]] int block_dim() const noexcept { return block_dim_; }
+  [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] global_index ncols() const noexcept { return ncols_; }
+  /// Nonzeros the equivalent assembled matrix stores (occupancy-mask
+  /// popcounts over interior rows + stored boundary entries) — the
+  /// denominator of every B/nnz comparison against assembled formats.
+  [[nodiscard]] global_index nnz() const noexcept { return nnz_; }
+
+  [[nodiscard]] std::span<const Term> terms() const noexcept { return terms_; }
+  /// Index into terms() of the delta == 0 term, -1 if none.
+  [[nodiscard]] int onsite_term() const noexcept { return onsite_term_; }
+  [[nodiscard]] bool has_diag() const noexcept { return !diag_.empty(); }
+  [[nodiscard]] std::span<const double> diag() const noexcept { return diag_; }
+  /// Orbital phase of row 0: a localized window may start mid-site, so the
+  /// kernels compute ib = (row + phase) % b.  0 for the global form.
+  [[nodiscard]] int row_phase() const noexcept { return phase_; }
+
+  [[nodiscard]] std::span<const Segment> segments() const noexcept {
+    return segs_;
+  }
+  [[nodiscard]] global_index num_boundary_rows() const noexcept {
+    return static_cast<global_index>(bnd_ptr_.size()) - 1;
+  }
+  [[nodiscard]] std::span<const global_index> boundary_ptr() const noexcept {
+    return bnd_ptr_;
+  }
+  [[nodiscard]] std::span<const local_index> boundary_col() const noexcept {
+    return bnd_col_;
+  }
+  [[nodiscard]] std::span<const complex_t> boundary_val() const noexcept {
+    return bnd_val_;
+  }
+
+  /// Bytes the operator actually stores and streams: the diagonal (8 B/row
+  /// when present) + boundary entry lists + the term descriptors.  The
+  /// matrix-traffic term of the code balance, Nnz*(Sd'+Si'), collapses to
+  /// stored_bytes()/nnz() — see perfmodel::stencil_format().
+  [[nodiscard]] std::size_t stored_bytes() const noexcept;
+
+  /// Rebinds the global operator to one rank's contiguous row window
+  /// [row_begin, row_end) with `halo_global_cols[slot]` appended as columns
+  /// row_count + slot — the layout of DistributedMatrix::local().  Rows
+  /// whose neighbour blocks all fall inside the window stay interior with
+  /// the same branch-free offsets; every other row becomes a boundary row
+  /// whose entries are stored in ascending *local* (stored) column order —
+  /// owned window columns first, then halo slots in the given slot order —
+  /// matching the local CRS entry order bit for bit.  Only valid on a
+  /// global (non-localized) operator.
+  [[nodiscard]] StencilOperator localize(
+      global_index row_begin, global_index row_end,
+      std::span<const global_index> halo_global_cols) const;
+
+ private:
+  StencilOperator() = default;
+
+  /// (Re)derives segments, boundary storage and nnz for the row window
+  /// [row0, row0 + nrows_) of the global row space; `col_of` maps a global
+  /// scalar column to the stored column index (identity for the global
+  /// form).
+  void build_rows(global_index row0,
+                  const std::function<local_index(global_index)>& col_of);
+
+  std::string kind_;
+  int block_dim_ = 1;
+  int phase_ = 0;
+  global_index nrows_ = 0;
+  global_index ncols_ = 0;
+  global_index nnz_ = 0;
+  std::vector<Term> terms_;
+  int onsite_term_ = -1;
+  aligned_vector<double> diag_;
+  std::vector<Segment> segs_;
+  aligned_vector<global_index> bnd_ptr_;
+  aligned_vector<local_index> bnd_col_;
+  aligned_vector<complex_t> bnd_val_;
+  // Global-form state retained for localize().
+  NeighborFn neighbor_;
+  global_index num_sites_ = 0;
+  bool global_form_ = false;
+};
+
+}  // namespace kpm::sparse

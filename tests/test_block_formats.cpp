@@ -257,10 +257,17 @@ TEST(BlockFormats, BsrRowsAndRunsComposeToFullSweep) {
     EXPECT_NEAR(std::abs(full.dvv[r] - runs_out.dvv[r]), 0.0, 1e-12);
     EXPECT_NEAR(std::abs(full.dwv[r] - runs_out.dwv[r]), 0.0, 1e-12);
   }
-  // Misaligned bounds violate the block contract.
-  EXPECT_THROW(sparse::aug_spmmv_rows(bsr, rec, v, split.w, 0, cut + 2,
-                                      split.dvv, split.dwv),
-               contract_error);
+  // Bounds are scalar rows since the stencil refactor: a mid-block split
+  // composes to the same bits as the aligned one (the kernel re-derives
+  // (block row, intra-block row) per scalar row).
+  SweepOutput mid{block(bsr.nrows(), width, 0.5),
+                  std::vector<complex_t>(width), std::vector<complex_t>(width)};
+  sparse::aug_spmmv_rows(bsr, rec, v, mid.w, 0, cut + 2, mid.dvv, mid.dwv);
+  sparse::aug_spmmv_rows(bsr, rec, v, mid.w, cut + 2, bsr.nrows(), mid.dvv,
+                         mid.dwv);
+  EXPECT_EQ(std::memcmp(full.w.data(), mid.w.data(),
+                        full.w.size() * sizeof(complex_t)),
+            0);
 }
 
 TEST(BlockFormats, RectangularHaloShapedBsr) {

@@ -12,22 +12,27 @@
 
 #include "core/moments.hpp"
 #include "physics/spectral_bounds.hpp"
+#include "physics/stencil_models.hpp"
 #include "physics/ti_model.hpp"
 #include "runtime/dist_kpm.hpp"
 #include "runtime/dist_matrix.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/kpm_kernels.hpp"
+#include "sparse/stencil.hpp"
+#include "util/check.hpp"
 
 namespace kpm {
 namespace {
 
-sparse::CrsMatrix ti_matrix() {
+physics::TIParams ti_params() {
   physics::TIParams p;
   p.nx = 4;
   p.ny = 4;
   p.nz = 6;
-  return physics::build_ti_hamiltonian(p);
+  return p;
 }
+
+sparse::CrsMatrix ti_matrix() { return physics::build_ti_hamiltonian(ti_params()); }
 
 /// Block-diagonal matrix: two decoupled tridiagonal blocks of `half` rows.
 /// Split between ranks at the block edge there is no halo at all.
@@ -202,6 +207,158 @@ TEST(DistProperty, InterleavedBoundaryRunsCoverEveryHaloFreeRow) {
                                         "interleaved");
     }
   }
+}
+
+// --- matrix-free stencil over the same partitions ---------------------------
+//
+// The stencil overloads localize the global operator to each rank's window
+// and reuse the halo plan negotiated from the assembled CRS; every local
+// apply is bitwise identical to the local CRS apply, so the distributed
+// stencil moments must match the distributed CRS moments BIT FOR BIT on any
+// partition — and therefore the serial solver to reduction round-off.
+void expect_stencil_matches_crs_distributed(const sparse::CrsMatrix& h,
+                                            const sparse::StencilOperator& st,
+                                            const runtime::RowPartition& part,
+                                            int width, int nranks,
+                                            const char* what) {
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 12;
+  mp.num_random = width;
+  const auto serial = core::moments_aug_spmmv(st, s, mp);
+  runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    const auto crs_plain = runtime::distributed_moments(c, dist, s, mp);
+    const auto crs_over =
+        runtime::distributed_moments_overlapped(c, dist, s, mp);
+    const auto st_plain = runtime::distributed_moments(c, dist, st, s, mp);
+    const auto st_over =
+        runtime::distributed_moments_overlapped(c, dist, st, s, mp);
+    ASSERT_EQ(st_plain.mu.size(), crs_plain.mu.size());
+    for (std::size_t m = 0; m < crs_plain.mu.size(); ++m) {
+      EXPECT_EQ(st_plain.mu[m], crs_plain.mu[m])
+          << what << " stencil-vs-crs plain, R=" << width
+          << " ranks=" << nranks << " m=" << m;
+      EXPECT_EQ(st_over.mu[m], crs_over.mu[m])
+          << what << " stencil-vs-crs overlapped, R=" << width
+          << " ranks=" << nranks << " m=" << m;
+      EXPECT_NEAR(st_plain.mu[m], serial.mu[m], 1e-9)
+          << what << " stencil-vs-serial, R=" << width
+          << " ranks=" << nranks << " m=" << m;
+    }
+  });
+}
+
+TEST(DistProperty, StencilRandomizedPartitionsBitwiseMatchCrs) {
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<double> weight(0.05, 1.0);
+  for (const int width : {1, 4, 32}) {
+    for (const int nranks : {2, 5}) {
+      std::vector<double> weights(static_cast<std::size_t>(nranks));
+      for (auto& w : weights) w = weight(rng);
+      const auto part = runtime::RowPartition::weighted(h.nrows(), weights);
+      expect_stencil_matches_crs_distributed(h, st, part, width, nranks,
+                                             "stencil-random");
+    }
+  }
+}
+
+TEST(DistProperty, StencilEmptyRankPartitions) {
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  const int nranks = 4;
+  std::vector<double> weights(static_cast<std::size_t>(nranks), 1e-9);
+  weights.front() = 1.0;
+  weights.back() = 1.0;
+  const auto part =
+      runtime::RowPartition::weighted(h.nrows(), weights, /*min_rows=*/0);
+  bool has_empty = false;
+  for (int r = 0; r < nranks; ++r) has_empty |= part.local_rows(r) == 0;
+  ASSERT_TRUE(has_empty) << "partition failed to produce an empty rank";
+  for (const int width : {1, 4, 32}) {
+    expect_stencil_matches_crs_distributed(h, st, part, width, nranks,
+                                           "stencil-empty-rank");
+  }
+}
+
+TEST(DistProperty, StencilNoHaloPartition) {
+  // Pure on-site stencil: a diagonal operator partitions with no halo at
+  // all, so localize() sees an empty halo_global_cols and every local row
+  // stays interior.
+  const global_index n = 96;
+  std::vector<sparse::StencilOperator::Term> terms(1);
+  terms[0].delta = 0;
+  terms[0].mask = 0x1;
+  terms[0].coeff[0] = {0.0, 0.0};
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (global_index i = 0; i < n; ++i) {
+    diag[static_cast<std::size_t>(i)] =
+        0.1 * static_cast<double>(i % 13) + 0.25;
+  }
+  const auto neighbor = [](global_index site, std::size_t) { return site; };
+  const sparse::StencilOperator st("diag-test", 1, n, terms, diag, neighbor);
+  sparse::CooMatrix coo(n, n);
+  for (global_index i = 0; i < n; ++i) {
+    coo.add(i, i, {diag[static_cast<std::size_t>(i)], 0.0});
+  }
+  coo.compress();
+  const sparse::CrsMatrix h{coo};
+  const auto part = runtime::RowPartition::uniform(n, 2);
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    EXPECT_EQ(dist.halo_size(), 0);
+    const auto local = st.localize(part.begin(c.rank()), part.end(c.rank()),
+                                   dist.halo_global_cols());
+    for (const auto& seg : local.segments()) EXPECT_TRUE(seg.interior);
+  });
+  for (const int width : {1, 4, 32}) {
+    expect_stencil_matches_crs_distributed(h, st, part, width, 2,
+                                           "stencil-no-halo");
+  }
+}
+
+TEST(DistProperty, StencilInterleavedBoundaryPartitions) {
+  // Periodic x/y wrap scatters boundary rows through every contiguous
+  // window, so the run-list sweep of the localized stencil exercises
+  // interleaved interior/boundary segments, not one contiguous prefix.
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  for (const int nranks : {2, 4}) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), nranks);
+    runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+      runtime::DistributedMatrix dist(c, h, part);
+      EXPECT_GT(dist.boundary_runs().size(), 0u);
+    });
+    for (const int width : {1, 4, 32}) {
+      expect_stencil_matches_crs_distributed(h, st, part, width, nranks,
+                                             "stencil-interleaved");
+    }
+  }
+}
+
+TEST(DistProperty, StencilRejectsAdaptiveBalancing) {
+  // A localized stencil cannot migrate rows mid-solve; the options contract
+  // rejects the combination instead of silently disabling either feature.
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 8;
+  mp.num_random = 4;
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 2);
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix dist(c, h, part);
+    runtime::DistKpmOptions opts;
+    opts.balance.enabled = true;
+    EXPECT_THROW(runtime::distributed_moments(c, dist, st, s, mp, opts),
+                 contract_error);
+  });
 }
 
 TEST(DistProperty, TunedSweepsMatchUntunedMoments) {

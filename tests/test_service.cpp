@@ -15,9 +15,13 @@
 #include "core/sweep_session.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "physics/ti_model.hpp"
+#include "physics/stencil_models.hpp"
 #include "runtime/autotune.hpp"
 #include "service/result_cache.hpp"
 #include "service/service.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/sell_block.hpp"
+#include "sparse/stencil.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
 
@@ -212,6 +216,73 @@ TEST(Service, CoalescedMomentsBitwiseMatchDirectAtEveryBatchWidth) {
     if (batch_width >= 8) {
       EXPECT_GT(st.coalesced_jobs, 0) << "batch_width=" << batch_width;
     }
+  }
+}
+
+TEST(Service, CoalescedBsrModelBitwiseMatchesSoloCrs) {
+  // A model registered in BSR serves coalesced batches through the same
+  // SweepSession as CRS; since the block kernel walks scalar rows in the
+  // assembled column order, every delivered lane must equal the solo
+  // CRS-path moments_of_block() bit for bit.
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(8));
+  svc.register_model("ti-bsr", sparse::BsrMatrix(h, 4), s);
+  struct Req {
+    std::uint64_t seed;
+    int R;
+    int M;
+  };
+  const std::vector<Req> reqs{{11, 2, 24}, {12, 3, 32}, {13, 1, 16}};
+  std::vector<std::shared_ptr<service::Job>> jobs;
+  for (const auto& rq : reqs) {
+    service::JobRequest jr;
+    jr.model = "ti-bsr";
+    jr.num_moments = rq.M;
+    jr.num_random = rq.R;
+    jr.seed = rq.seed;
+    jobs.push_back(svc.submit(jr));
+  }
+  svc.drain();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(jobs[i]->wait(), service::JobStatus::done) << "job " << i;
+    const auto& res = jobs[i]->result();
+    const auto v0 = start_block(h, reqs[i].seed, reqs[i].R);
+    const auto direct = core::moments_of_block(h, s, v0, reqs[i].M);
+    ASSERT_EQ(res.per_vector.size(), static_cast<std::size_t>(reqs[i].R));
+    for (int r = 0; r < reqs[i].R; ++r) {
+      expect_bitwise(res.per_vector[static_cast<std::size_t>(r)],
+                     direct[static_cast<std::size_t>(r)], "bsr service lane");
+    }
+  }
+  EXPECT_GT(svc.stats().coalesced_jobs, 0)
+      << "batch never coalesced — the test proved nothing about batching";
+}
+
+TEST(Service, StencilModelBitwiseMatchesAssembledCrs) {
+  // A matrix-free model (explicit scaling: there is no assembled matrix to
+  // run Lanczos on) must deliver the assembled-CRS moments bit for bit.
+  physics::TIParams p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti-stencil", physics::make_ti_stencil(p), s);
+  service::JobRequest jr;
+  jr.model = "ti-stencil";
+  jr.num_moments = 32;
+  jr.num_random = 4;
+  jr.seed = 77;
+  auto job = svc.submit(jr);
+  ASSERT_EQ(job->wait(), service::JobStatus::done);
+  const auto& res = job->result();
+  const auto v0 = start_block(h, 77, 4);
+  const auto direct = core::moments_of_block(h, s, v0, 32);
+  ASSERT_EQ(res.per_vector.size(), direct.size());
+  for (std::size_t r = 0; r < direct.size(); ++r) {
+    expect_bitwise(res.per_vector[r], direct[r], "stencil service lane");
   }
 }
 
