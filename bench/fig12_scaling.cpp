@@ -7,10 +7,12 @@
 // 1024 nodes for a matrix with > 6.5e9 rows; strong scaling flattens.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -19,6 +21,7 @@
 #include "runtime/autotune.hpp"
 #include "runtime/dist_kpm.hpp"
 #include "runtime/dist_matrix.hpp"
+#include "runtime/elastic.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/table.hpp"
 
@@ -219,10 +222,227 @@ void measured_distributed_section() {
   write_dist_json(h, mp, reps, records);
 }
 
+// --- Elastic runtime section (--elastic) ------------------------------------
+
+/// One fault scenario of the elastic section.
+struct ElasticRecord {
+  const char* scenario = "";
+  double seconds = 0.0;
+  /// 1 when every final moment equals the uninterrupted run's bit for bit;
+  /// -1 when the scenario's contract is accuracy, not bitwise equality.
+  int bitwise_equal = -1;
+  double max_abs_dev_vs_serial = 0.0;
+  int deterministic = -1;  ///< two identical runs agree bit for bit
+  runtime::ElasticReport report;
+};
+
+int bitwise(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return 0;
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    if (a[m] != b[m]) return 0;
+  }
+  return 1;
+}
+
+void write_elastic_json(const sparse::CrsMatrix& h, const core::MomentParams& mp,
+                        int ranks, int chunk_sweeps,
+                        const std::vector<ElasticRecord>& records) {
+  const char* path_env = std::getenv("KPM_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_elastic.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig12_scaling\",\n");
+  bench::write_env_json(f);
+  std::fprintf(f, "  \"section\": \"elastic_runtime\",\n");
+  std::fprintf(f,
+               "  \"matrix\": {\"model\": \"topological_insulator\", "
+               "\"n\": %lld, \"nnz\": %lld},\n",
+               static_cast<long long>(h.nrows()),
+               static_cast<long long>(h.nnz()));
+  std::fprintf(f, "  \"num_moments\": %d,\n  \"width\": %d,\n", mp.num_moments,
+               mp.num_random);
+  std::fprintf(f, "  \"ranks\": %d,\n  \"chunk_sweeps\": %d,\n", ranks,
+               chunk_sweeps);
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"seconds\": %.6e, "
+        "\"bitwise_equal\": %d, \"max_abs_dev_vs_serial\": %.3e, "
+        "\"deterministic\": %d, \"epochs\": %d, \"chunks_committed\": %d, "
+        "\"failures_recovered\": %d, \"leaves\": %d, \"joins\": %d, "
+        "\"speculations\": %d, \"speculation_wins\": %d, "
+        "\"checkpoints_written\": %d, \"final_ranks\": %d, "
+        "\"repartitions\": %d}%s\n",
+        r.scenario, r.seconds, r.bitwise_equal, r.max_abs_dev_vs_serial,
+        r.deterministic, r.report.epochs, r.report.chunks_committed,
+        r.report.failures_recovered, r.report.leaves, r.report.joins,
+        r.report.speculations, r.report.speculation_wins,
+        r.report.checkpoints_written, r.report.final_ranks,
+        static_cast<int>(r.report.schedule.size()),
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+/// Measured elasticity of the fault-tolerant runtime: a rank is killed
+/// mid-solve and a replacement joins on the same partition (bitwise-equal
+/// moments), a checkpointed solve restarts in a fresh runtime (bitwise), a
+/// straggling rank races the speculative shadow executor (bitwise, shadow
+/// wins chunks), and a leave + join reshapes the partition mid-solve
+/// (serial-accurate and run-to-run deterministic).
+void elastic_section(bool smoke) {
+  const auto env_or = [](const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : fallback;
+  };
+  const auto h = smoke ? bench::benchmark_matrix(12, 12, 8)
+                       : bench::benchmark_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = env_or("KPM_BENCH_ELASTIC_M", smoke ? 24 : 64);
+  mp.num_random = env_or("KPM_BENCH_ELASTIC_R", smoke ? 2 : 8);
+  const int ranks = 4;
+  runtime::ElasticOptions base;
+  base.chunk_sweeps = 4;
+  base.speculate = false;
+  const int steps = mp.num_moments / 2;
+
+  std::printf("\n=== elastic runtime: N = %lld, M = %d, R = %d, %d ranks, "
+              "chunks of %d sweeps ===\n",
+              static_cast<long long>(h.nrows()), mp.num_moments, mp.num_random,
+              ranks, base.chunk_sweeps);
+  std::vector<ElasticRecord> records;
+  const auto timed = [&](const runtime::ElasticOptions& opts, int nranks) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = runtime::ElasticRuntime(h, s, mp, opts).run(nranks);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair(std::move(res),
+                     std::chrono::duration<double>(t1 - t0).count());
+  };
+
+  // 1. Uninterrupted reference.
+  auto [clean, clean_s] = timed(base, ranks);
+  records.push_back({"uninterrupted", clean_s, -1, 0.0, -1, clean.report});
+
+  // 2. A rank dies mid-chunk; a replacement joins on the same partition.
+  {
+    runtime::ElasticOptions opts = base;
+    opts.events.push_back(
+        {runtime::ElasticEvent::Kind::fail, steps / 2, /*rank=*/1});
+    auto [res, secs] = timed(opts, ranks);
+    records.push_back({"kill_replace", secs, bitwise(res.mu, clean.mu), 0.0,
+                       -1, res.report});
+  }
+
+  // 3. Checkpoint at every chunk commit, stop mid-solve, resume in a fresh
+  //    runtime from the file alone.
+  {
+    const std::string ckpt = "bench_elastic.ckpt";
+    std::remove(ckpt.c_str());
+    runtime::ElasticOptions first = base;
+    first.checkpoint_path = ckpt;
+    first.stop_after_sweep = steps / 2;
+    auto [half, half_s] = timed(first, ranks);
+    runtime::ElasticOptions second = base;
+    second.checkpoint_path = ckpt;
+    second.resume = true;
+    auto [res, secs] = timed(second, ranks);
+    std::remove(ckpt.c_str());
+    auto rep = res.report;
+    rep.checkpoints_written += half.report.checkpoints_written;
+    records.push_back({"checkpoint_restart", half_s + secs,
+                       bitwise(res.mu, clean.mu), 0.0, -1, rep});
+  }
+
+  // 4. One rank straggles; the shadow executor races it chunk for chunk.
+  {
+    runtime::ElasticOptions opts = base;
+    opts.speculate = true;
+    opts.straggle_threshold = 1.5;
+    runtime::ElasticEvent ev{runtime::ElasticEvent::Kind::straggle,
+                             /*sweep=*/0, /*rank=*/ranks - 1};
+    // Large enough that the injected wall-clock sleep dominates the shadow
+    // executor's serial chunk re-execution (incl. its local-plan setup) at
+    // the full bench size, so the speculation genuinely wins chunks.
+    ev.slowdown = 60.0;
+    opts.events.push_back(ev);
+    auto [res, secs] = timed(opts, ranks);
+    records.push_back({"straggler_speculation", secs, bitwise(res.mu, clean.mu),
+                       0.0, -1, res.report});
+  }
+
+  // 5. Scale in then out: a leave and a join reshape the partition, so the
+  //    contract is serial accuracy plus run-to-run determinism.
+  {
+    runtime::ElasticOptions opts = base;
+    opts.events.push_back(
+        {runtime::ElasticEvent::Kind::leave, steps / 3, /*rank=*/1});
+    opts.events.push_back(
+        {runtime::ElasticEvent::Kind::join, (2 * steps) / 3, /*rank=*/0});
+    auto [res, secs] = timed(opts, ranks);
+    auto [res2, secs2] = timed(opts, ranks);
+    (void)secs2;
+    const auto serial = core::moments_aug_spmmv(h, s, mp);
+    double dev = 0.0;
+    for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+      dev = std::max(dev, std::abs(res.mu[m] - serial.mu[m]));
+    }
+    records.push_back({"scale_in_out", secs, -1, dev,
+                       bitwise(res.mu, res2.mu), res.report});
+  }
+
+  std::printf("%-22s %10s %8s %7s %7s %6s %6s %6s %5s %12s\n", "scenario",
+              "sec", "bitwise", "epochs", "chunks", "fails", "spec", "wins",
+              "ranks", "dev-serial");
+  for (const auto& r : records) {
+    std::printf("%-22s %10.4f %8d %7d %7d %6d %6d %6d %5d %12.3e\n",
+                r.scenario, r.seconds, r.bitwise_equal, r.report.epochs,
+                r.report.chunks_committed, r.report.failures_recovered,
+                r.report.speculations, r.report.speculation_wins,
+                r.report.final_ranks, r.max_abs_dev_vs_serial);
+  }
+  for (const auto& r : records) {
+    if (r.bitwise_equal == 0) {
+      std::printf("FAILED: scenario %s was not bitwise-equal to the "
+                  "uninterrupted run\n", r.scenario);
+      std::exit(1);
+    }
+    if (r.deterministic == 0) {
+      std::printf("FAILED: scenario %s was not deterministic across runs\n",
+                  r.scenario);
+      std::exit(1);
+    }
+  }
+  write_elastic_json(h, mp, ranks, base.chunk_sweeps, records);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kpm;
+  bool elastic = false, smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--elastic") {
+      elastic = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--elastic [--smoke]]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (elastic) {
+    elastic_section(smoke);
+    return 0;
+  }
   const auto node = cluster::piz_daint_node();
   const cluster::NetworkSpec net;
   cluster::RunParams run;  // R = 32, M = 2000, aug_spmmv, reduce at end

@@ -1,6 +1,7 @@
 #include "core/sweep_session.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "sparse/kpm_kernels.hpp"
@@ -42,6 +43,53 @@ global_index OperatorRef::nnz() const noexcept {
       return static_cast<const sparse::StencilOperator*>(p_)->nnz();
   }
   return 0;
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffull;
+      h *= 0x100000001b3ull;
+    }
+  }
+  void mix_double(double x) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(x));
+    std::memcpy(&bits, &x, sizeof(bits));
+    mix(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t operator_fingerprint(OperatorRef h, const physics::Scaling& s) {
+  Fnv1a f;
+  f.mix(static_cast<std::uint64_t>(h.kind()));
+  f.mix(static_cast<std::uint64_t>(h.nrows()));
+  f.mix(static_cast<std::uint64_t>(h.ncols()));
+  f.mix(static_cast<std::uint64_t>(h.nnz()));
+  f.mix_double(s.a);
+  f.mix_double(s.b);
+  if (h.kind() == OperatorRef::Kind::crs) {
+    // Full content digest for the assembled format the checkpoints of the
+    // distributed/elastic stack are taken against.  The block formats and
+    // the stencil are covered structurally (kind/shape/nnz) only — hashing
+    // them would need a to_crs() expansion per checkpoint.
+    const auto& m = h.crs();
+    for (global_index i = 0; i < m.nrows(); ++i) {
+      const auto cols = m.row_cols(i);
+      const auto vals = m.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        f.mix(static_cast<std::uint64_t>(cols[k]));
+        f.mix_double(vals[k].real());
+        f.mix_double(vals[k].imag());
+      }
+    }
+  }
+  return f.h == 0 ? 1 : f.h;
 }
 
 void OperatorRef::apply(const sparse::AugScalars& s,
@@ -119,8 +167,19 @@ SweepSession::SweepSession(OperatorRef h, const physics::Scaling& s,
               lane_of_column_.size() == static_cast<std::size_t>(v_.width()) &&
               mu_.size() == active_.size(),
           "SweepSession: inconsistent checkpoint");
+  require(state.fingerprint == 0 || state.fingerprint == fingerprint(),
+          "SweepSession: checkpoint fingerprint does not match this "
+          "operator/scaling — restoring against a different operator would "
+          "silently produce wrong moments");
   dvv_.resize(static_cast<std::size_t>(v_.width()));
   dwv_.resize(static_cast<std::size_t>(v_.width()));
+}
+
+std::uint64_t SweepSession::fingerprint() const {
+  if (!fingerprint_.has_value()) {
+    fingerprint_ = operator_fingerprint(h_, s_);
+  }
+  return *fingerprint_;
 }
 
 int SweepSession::completed() const noexcept {
@@ -229,6 +288,7 @@ SweepCheckpoint SweepSession::checkpoint() const {
   cp.active = active_;
   cp.num_moments = num_moments_;
   cp.next_step = next_step_;
+  cp.fingerprint = fingerprint();
   return cp;
 }
 

@@ -24,6 +24,8 @@
 // sweep at the narrower width, without perturbing their bits.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -63,6 +65,9 @@ class OperatorRef {
   [[nodiscard]] const sparse::SellBlockMatrix& sell_block() const noexcept {
     return *static_cast<const sparse::SellBlockMatrix*>(p_);
   }
+  [[nodiscard]] const sparse::CrsMatrix& crs() const noexcept {
+    return *static_cast<const sparse::CrsMatrix*>(p_);
+  }
 
   /// One fused augmented SpMMV on the referenced operator.
   void apply(const sparse::AugScalars& s, const blas::BlockVector& v,
@@ -74,9 +79,20 @@ class OperatorRef {
   const void* p_;
 };
 
+/// Digest of (operator identity, spectral scaling) used to pair checkpoints
+/// with the operator that produced them.  FNV-1a over the operator kind,
+/// shape, nnz and the bit patterns of the scaling (a, b); for an assembled
+/// CRS matrix the full structure and values are folded in as well, so two
+/// same-shaped CRS operators with different entries get different prints.
+/// Never returns 0 (0 is the "unknown / legacy checkpoint" sentinel).
+[[nodiscard]] std::uint64_t operator_fingerprint(OperatorRef h,
+                                                 const physics::Scaling& s);
+
 /// Serializable recurrence state (checkpoint/restart of a SweepSession).
-/// The matrix and scaling are not captured — restoring against a different
-/// operator than the one that produced the checkpoint is caller error.
+/// The matrix and scaling themselves are not captured, but `fingerprint`
+/// records which (operator, scaling) pair produced the state: restoring
+/// against anything else is rejected instead of silently producing wrong
+/// moments.  fingerprint == 0 marks a legacy checkpoint and is accepted.
 struct SweepCheckpoint {
   blas::BlockVector v;                  ///< |v_m> lanes (current width)
   blas::BlockVector w;                  ///< |v_{m+1}> lanes (current width)
@@ -85,6 +101,7 @@ struct SweepCheckpoint {
   std::vector<char> active;             ///< per original lane
   int num_moments = 0;
   int next_step = 0;  ///< 0 = start-up step still pending
+  std::uint64_t fingerprint = 0;  ///< operator_fingerprint() of the producer
 };
 
 class SweepSession {
@@ -150,9 +167,13 @@ class SweepSession {
 
  private:
   void record_step(int m);
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   OperatorRef h_;
   physics::Scaling s_{};
+  /// operator_fingerprint(h_, s_), computed on first checkpoint() and cached
+  /// (the digest walks the CRS values once — O(nnz)).
+  mutable std::optional<std::uint64_t> fingerprint_;
   int num_moments_ = 0;
   int next_step_ = 0;
   blas::BlockVector v_, w_;

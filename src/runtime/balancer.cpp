@@ -25,6 +25,15 @@ LoadBalancer::LoadBalancer(const BalanceOptions& opts, int ranks)
     require(opts.replay[e].sweep > opts.replay[e - 1].sweep,
             "LoadBalancer: replay schedule must be sweep-ascending");
   }
+  if (!opts.initial_rates.empty()) {
+    require(opts.initial_rates.size() == static_cast<std::size_t>(ranks),
+            "LoadBalancer: initial_rates must have one entry per rank");
+    for (const double r : opts.initial_rates) {
+      require(r > 0.0, "LoadBalancer: initial rates must be positive");
+    }
+    rates_ = opts.initial_rates;
+    report_.rates = rates_;
+  }
   report_.active = engaged();
 }
 

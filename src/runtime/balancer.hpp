@@ -20,6 +20,7 @@
 // schedule the moments are bitwise reproducible (DESIGN.md §5e).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "runtime/comm.hpp"
@@ -65,6 +66,11 @@ struct BalanceOptions {
   /// solver repartitions exactly at the recorded sweeps to the recorded
   /// offsets.  Makes the run bitwise reproducible.
   std::vector<RepartitionEvent> replay;
+  /// Seed for the smoothed rates (rows/s per rank), e.g. from a previous
+  /// solve or an elastic-runtime checkpoint — the balancer starts informed
+  /// instead of flat.  Empty = learn from scratch; otherwise must have one
+  /// entry per rank.
+  std::vector<double> initial_rates;
 };
 
 /// What the balancer did during one solve.
@@ -114,6 +120,12 @@ class LoadBalancer {
 
   [[nodiscard]] const BalanceReport& report() const noexcept {
     return report_;
+  }
+
+  /// Current smoothed rates (rows/s per rank); empty before the first
+  /// measurement window unless BalanceOptions::initial_rates seeded them.
+  [[nodiscard]] std::span<const double> rates() const noexcept {
+    return rates_;
   }
 
  private:

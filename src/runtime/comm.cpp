@@ -38,6 +38,7 @@ std::vector<std::byte> MessageHub::recv(int dst, int src, int tag) {
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.m);
   for (;;) {
+    if (cancelled()) throw CancelledError();
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         std::vector<std::byte> payload = std::move(it->payload);
@@ -86,7 +87,8 @@ std::span<std::byte> MessageHub::channel_acquire(int id, std::size_t bytes) {
   Channel& ch = chan(id);
   {
     std::unique_lock lock(ch.m);
-    ch.cv.wait(lock, [&] { return !ch.full; });
+    ch.cv.wait(lock, [&] { return !ch.full || cancelled(); });
+    if (cancelled()) throw CancelledError();
   }
   // Sole owner while empty: safe to (re)size and fill without the lock.
   if (ch.buf.size() < bytes) ch.buf.resize(bytes);
@@ -107,7 +109,8 @@ void MessageHub::channel_post(int id) {
 std::span<const std::byte> MessageHub::channel_receive(int id) {
   Channel& ch = chan(id);
   std::unique_lock lock(ch.m);
-  ch.cv.wait(lock, [&] { return ch.full; });
+  ch.cv.wait(lock, [&] { return ch.full || cancelled(); });
+  if (cancelled()) throw CancelledError();
   return {ch.buf.data(), ch.size};
 }
 
@@ -120,37 +123,75 @@ void MessageHub::channel_release(int id) {
   ch.cv.notify_all();
 }
 
+// --- Cancellation / reuse ---------------------------------------------------
+
+void MessageHub::cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard lock(box.m);  // pairs the flag with the waiters' lock
+    box.cv.notify_all();
+  }
+  {
+    std::lock_guard lock(sync_m_);
+    sync_cv_.notify_all();
+  }
+  std::lock_guard lock(channels_m_);
+  for (auto& ch : channels_) {
+    std::lock_guard chlock(ch.m);
+    ch.cv.notify_all();
+  }
+}
+
+void MessageHub::reset() {
+  cancelled_.store(false, std::memory_order_release);
+  for (auto& box : boxes_) box.queue.clear();
+  barrier_count_ = 0;
+  std::lock_guard lock(channels_m_);
+  channel_ids_.clear();
+  // Drop the dynamically-registered channels; the pre-registered reduction
+  // channels (the size*size prefix) keep their grown buffers.
+  const auto reduce_prefix =
+      static_cast<std::size_t>(size_) * static_cast<std::size_t>(size_);
+  while (channels_.size() > reduce_prefix) channels_.pop_back();
+  for (auto& ch : channels_) {
+    ch.full = false;
+    ch.size = 0;
+  }
+  std::fill(collective_keys_.begin(), collective_keys_.end(), 0);
+}
+
 // --- Collectives -----------------------------------------------------------
 
 void MessageHub::barrier() {
   std::unique_lock lock(sync_m_);
+  if (cancelled()) throw CancelledError();
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_count_ == size_) {
     barrier_count_ = 0;
     ++barrier_generation_;
     sync_cv_.notify_all();
   } else {
-    sync_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+    sync_cv_.wait(lock, [&] { return barrier_generation_ != gen || cancelled(); });
+    if (barrier_generation_ == gen) throw CancelledError();
   }
 }
 
 void MessageHub::reduce_send(int src, int dst, std::span<const double> data) {
   const int id = reduce_channel_id(src, dst);
-  const auto buf = channel_acquire(id, data.size_bytes());
-  std::memcpy(buf.data(), data.data(), data.size_bytes());
-  channel_post(id);
+  ChannelWrite msg(*this, id, data.size_bytes());
+  std::memcpy(msg.data().data(), data.data(), data.size_bytes());
+  msg.post();
   reduction_bytes_ += static_cast<std::int64_t>(data.size_bytes());
 }
 
 template <class F>
 void MessageHub::reduce_recv(int src, int dst, std::size_t count, F&& f) {
   const int id = reduce_channel_id(src, dst);
-  const auto bytes = channel_receive(id);
-  require(bytes.size() == count * sizeof(double),
+  const ChannelRead msg(*this, id);
+  require(msg.data().size() == count * sizeof(double),
           "allreduce: mismatched lengths across ranks");
-  const double* theirs = reinterpret_cast<const double*>(bytes.data());
+  const double* theirs = reinterpret_cast<const double*>(msg.data().data());
   for (std::size_t i = 0; i < count; ++i) f(theirs[i], i);
-  channel_release(id);
 }
 
 void MessageHub::allreduce_sum(int rank, std::span<double> data) {
@@ -289,9 +330,24 @@ void Communicator::allgather(std::span<complex_t> data) {
   }
 }
 
-void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
-  require(nranks >= 1, "run_ranks: need at least one rank");
-  MessageHub hub(nranks);
+double fixed_tree_sum(std::span<const double> contributions) {
+  const auto p = contributions.size();
+  require(p >= 1, "fixed_tree_sum: need at least one contribution");
+  // Rank 0's combine sequence in allreduce_sum — fold-in of the extra ranks
+  // first, then the recursive-doubling partners in mask order.  IEEE
+  // addition is commutative, so every rank's sequence yields these bits.
+  std::vector<double> vals(contributions.begin(), contributions.end());
+  std::size_t p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  for (std::size_t r = 0; r + p2 < p; ++r) vals[r] += vals[r + p2];
+  for (std::size_t mask = 1; mask < p2; mask <<= 1) {
+    for (std::size_t r = 0; r < p2; r += 2 * mask) vals[r] += vals[r + mask];
+  }
+  return vals[0];
+}
+
+void run_ranks(MessageHub& hub, const std::function<void(Communicator&)>& body) {
+  const int nranks = hub.size();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -302,13 +358,33 @@ void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock the peers: without this, a rank dying mid-collective
+        // leaves the others waiting forever and the join never completes.
+        hub.cancel();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer the root cause: a CancelledError is the *consequence* of another
+  // rank's failure, so rethrow it only when nothing else went wrong.
+  std::exception_ptr first_cancel;
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CancelledError&) {
+      if (!first_cancel) first_cancel = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
   }
+  if (first_cancel) std::rethrow_exception(first_cancel);
+}
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+  require(nranks >= 1, "run_ranks: need at least one rank");
+  MessageHub hub(nranks);
+  run_ranks(hub, body);
 }
 
 }  // namespace kpm::runtime

@@ -31,12 +31,23 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace kpm::runtime {
+
+/// Thrown out of every blocking hub wait after MessageHub::cancel(): the
+/// cooperative unwind path of the elastic runtime.  A rank that dies
+/// mid-collective leaves its peers blocked in channel or barrier waits;
+/// cancel() wakes them all with this exception so every rank unwinds (RAII
+/// releasing its channel holds) instead of deadlocking the join.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("MessageHub: run cancelled") {}
+};
 
 /// Shared state behind all communicators of one run (transport + barriers
 /// + reduction scratch).  Created by run_ranks().
@@ -73,6 +84,23 @@ class MessageHub {
   [[nodiscard]] std::span<const std::byte> channel_receive(int id);
   /// Receiver side: frees the buffer for the sender's next exchange.
   void channel_release(int id);
+
+  // --- Cancellation / reuse -----------------------------------------------
+  /// Wakes every blocked wait (recv, channel_acquire/receive, barrier) with
+  /// a CancelledError and makes all future waits throw it immediately.
+  /// Callable from any thread, including one that is not a rank (the elastic
+  /// shadow executor).  Sticky until reset().
+  void cancel();
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  /// Restores the hub to its freshly-constructed state so a new set of rank
+  /// threads can reuse it after a cancelled or exceptional run: clears the
+  /// cancel flag, all mailboxes, every posted-but-unreceived channel
+  /// message, the dynamic channel registrations and the collective key
+  /// counters.  NOT thread-safe — call only when no rank thread is active
+  /// (after the join).  Traffic counters are cumulative and survive.
+  void reset();
 
   // --- Collectives --------------------------------------------------------
   void barrier();
@@ -140,11 +168,67 @@ class MessageHub {
   std::map<std::tuple<int, int, int>, int> channel_ids_;
   std::vector<int> collective_keys_;  // per-rank counter
 
+  std::atomic<bool> cancelled_{false};
+
   std::atomic<std::int64_t> reductions_done_{0};
   std::atomic<std::int64_t> bytes_sent_{0};
   std::atomic<std::int64_t> reduction_bytes_{0};
   std::atomic<std::int64_t> staged_messages_{0};
 };
+
+/// RAII hold of a persistent channel on the sender side: acquires the buffer
+/// in the constructor; post() publishes it.  An unwind before post() leaves
+/// the channel empty and immediately reusable (the acquire itself transfers
+/// nothing), so an exceptional sender cannot wedge the slot.
+class ChannelWrite {
+ public:
+  ChannelWrite(MessageHub& hub, int id, std::size_t bytes)
+      : hub_(&hub), id_(id), buf_(hub.channel_acquire(id, bytes)) {}
+  ChannelWrite(const ChannelWrite&) = delete;
+  ChannelWrite& operator=(const ChannelWrite&) = delete;
+  [[nodiscard]] std::span<std::byte> data() const noexcept { return buf_; }
+  /// Publishes the filled buffer to the receiver; the guard becomes inert.
+  void post() {
+    hub_->channel_post(id_);
+    hub_ = nullptr;
+  }
+
+ private:
+  MessageHub* hub_;
+  int id_;
+  std::span<std::byte> buf_;
+};
+
+/// RAII hold of a posted channel message on the receiver side: blocks for
+/// the message in the constructor, releases the slot on destruction — also
+/// when the scatter (or a payload-size check) throws, so an exceptional
+/// receiver leaves the channel reusable instead of full forever.  This is
+/// the channel-lifecycle fix fault injection exercises.
+class ChannelRead {
+ public:
+  ChannelRead(MessageHub& hub, int id)
+      : hub_(&hub), id_(id), payload_(hub.channel_receive(id)) {}
+  ChannelRead(const ChannelRead&) = delete;
+  ChannelRead& operator=(const ChannelRead&) = delete;
+  ~ChannelRead() {
+    if (hub_ != nullptr) hub_->channel_release(id_);
+  }
+  [[nodiscard]] std::span<const std::byte> data() const noexcept {
+    return payload_;
+  }
+
+ private:
+  MessageHub* hub_;
+  int id_;
+  std::span<const std::byte> payload_;
+};
+
+/// Sum of `contributions` (one value per rank) combined along exactly the
+/// tree MessageHub::allreduce_sum walks for contributions.size() ranks —
+/// bitwise identical to what every rank's allreduce of these per-rank values
+/// would return.  This is how the elastic shadow executor reproduces the
+/// live reduction of speculatively re-executed chunks without a hub.
+[[nodiscard]] double fixed_tree_sum(std::span<const double> contributions);
 
 /// Per-rank handle (the MPI_Comm analogue).
 class Communicator {
@@ -186,7 +270,15 @@ class Communicator {
 };
 
 /// Spawns `nranks` threads, each running `body` with its own Communicator,
-/// and joins them.  Exceptions in any rank are re-thrown after the join.
+/// and joins them.  The first rank to throw cancels the hub so peers blocked
+/// in collectives unwind instead of deadlocking the join; after the join the
+/// first non-cancellation exception is re-thrown (or the first cancellation
+/// if nothing else failed).
 void run_ranks(int nranks, const std::function<void(Communicator&)>& body);
+
+/// Same, but on a caller-owned hub (one rank thread per hub rank) — the hub
+/// survives the run, so a driver can reset() and reuse it across epochs.
+/// The caller must reset() after a run that threw or was cancelled.
+void run_ranks(MessageHub& hub, const std::function<void(Communicator&)>& body);
 
 }  // namespace kpm::runtime

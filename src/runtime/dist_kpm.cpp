@@ -184,16 +184,7 @@ DistMomentsResult distributed_moments_impl(
   }
 
   // eta -> mu (Chebyshev doubling) and average over the block columns.
-  out.mu.assign(static_cast<std::size_t>(p.num_moments), 0.0);
-  for (auto& column : eta) {
-    const double mu0 = column[0];
-    const double mu1 = column.size() > 1 ? column[1] : 0.0;
-    for (std::size_t m = 2; m < column.size(); ++m) {
-      column[m] = 2.0 * column[m] - (m % 2 == 0 ? mu0 : mu1);
-    }
-    for (std::size_t m = 0; m < column.size(); ++m) out.mu[m] += column[m];
-  }
-  for (auto& x : out.mu) x /= static_cast<double>(width);
+  out.mu = eta_to_mu_average(std::move(eta));
   // halo_bytes_sent was accumulated per exchange inside timed_step (the
   // per-exchange payload changes across repartitions).
   out.balance = balancer.report();
@@ -201,6 +192,25 @@ DistMomentsResult distributed_moments_impl(
 }
 
 }  // namespace
+
+std::vector<double> eta_to_mu_average(std::vector<std::vector<double>> eta) {
+  require(!eta.empty() && !eta[0].empty(),
+          "eta_to_mu_average: empty moment table");
+  const auto width = eta.size();
+  std::vector<double> mu(eta[0].size(), 0.0);
+  for (auto& column : eta) {
+    require(column.size() == mu.size(),
+            "eta_to_mu_average: ragged moment table");
+    const double mu0 = column[0];
+    const double mu1 = column.size() > 1 ? column[1] : 0.0;
+    for (std::size_t m = 2; m < column.size(); ++m) {
+      column[m] = 2.0 * column[m] - (m % 2 == 0 ? mu0 : mu1);
+    }
+    for (std::size_t m = 0; m < column.size(); ++m) mu[m] += column[m];
+  }
+  for (auto& x : mu) x /= static_cast<double>(width);
+  return mu;
+}
 
 DistMomentsResult distributed_moments(Communicator& comm,
                                       DistributedMatrix& dist,

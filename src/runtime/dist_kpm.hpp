@@ -36,6 +36,14 @@ struct DistKpmOptions {
   BalanceOptions balance;
 };
 
+/// Finalization shared by distributed_moments and the elastic runtime: the
+/// reduced raw-dot table eta[lane][m] is converted in place by the Chebyshev
+/// doubling (mu_0/mu_1 raw, later 2*eta - mu_0/mu_1) and averaged over the
+/// lanes — byte for byte the arithmetic of the serial eta->mu conversion, so
+/// two solvers that reduced identical eta bits return identical mu bits.
+[[nodiscard]] std::vector<double> eta_to_mu_average(
+    std::vector<std::vector<double>> eta);
+
 /// Collective: computes the blocked KPM moments of the distributed operator.
 /// Every rank draws the same random start vectors (same seed stream as the
 /// serial solver) and keeps its own rows, so the result matches

@@ -53,32 +53,24 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
   rebuild(comm);
 }
 
-void DistributedMatrix::rebuild(Communicator& comm) {
-  const sparse::CrsMatrix& global = *global_;
-  send_rows_.clear();
-  recv_slots_.clear();
-  recv_order_.clear();
-  send_channel_.clear();
-  recv_channel_.clear();
-  interior_runs_.clear();
-  boundary_runs_.clear();
-  interior_row_count_ = 0;
-  interior_begin_ = 0;
-  interior_end_ = 0;
-  const global_index row_begin = part_.begin(rank_);
-  const global_index row_end = part_.end(rank_);
+LocalPlan make_local_plan(const sparse::CrsMatrix& global,
+                          const RowPartition& part, int rank) {
+  LocalPlan plan;
+  plan.row_begin = part.begin(rank);
+  plan.row_end = part.end(rank);
+  const global_index row_begin = plan.row_begin;
+  const global_index row_end = plan.row_end;
   const global_index nlocal = row_end - row_begin;
 
   // Collect off-block columns, grouped by owner, deduplicated and ordered.
   std::map<global_index, global_index> halo_slot;  // global col -> slot
-  std::vector<std::vector<global_index>> needed(
-      static_cast<std::size_t>(comm.size()));
+  plan.needed.assign(static_cast<std::size_t>(part.ranks()), {});
   for (global_index i = row_begin; i < row_end; ++i) {
     for (const auto c : global.row_cols(i)) {
       const global_index gc = c;
       if (gc < row_begin || gc >= row_end) {
         if (halo_slot.emplace(gc, 0).second) {
-          needed[static_cast<std::size_t>(part_.owner(gc))].push_back(gc);
+          plan.needed[static_cast<std::size_t>(part.owner(gc))].push_back(gc);
         }
       }
     }
@@ -86,15 +78,57 @@ void DistributedMatrix::rebuild(Communicator& comm) {
   // Halo slots ordered by peer rank, then by the request list order — so the
   // slots of one peer form one contiguous ascending block and the receive
   // scatter is a single memcpy per peer.
-  recv_slots_.assign(static_cast<std::size_t>(comm.size()), {});
-  for (int peer = 0; peer < comm.size(); ++peer) {
-    auto& cols = needed[static_cast<std::size_t>(peer)];
+  for (int peer = 0; peer < part.ranks(); ++peer) {
+    auto& cols = plan.needed[static_cast<std::size_t>(peer)];
     std::sort(cols.begin(), cols.end());
     for (const auto gc : cols) {
-      const auto slot = static_cast<global_index>(recv_order_.size());
-      halo_slot[gc] = slot;
-      recv_order_.push_back(gc);
-      recv_slots_[static_cast<std::size_t>(peer)].push_back(slot);
+      halo_slot[gc] = static_cast<global_index>(plan.recv_order.size());
+      plan.recv_order.push_back(gc);
+    }
+  }
+
+  // Build the local operator with remapped columns.
+  sparse::CooMatrix coo(nlocal, nlocal + static_cast<global_index>(
+                                             plan.recv_order.size()));
+  for (global_index i = row_begin; i < row_end; ++i) {
+    const auto cols = global.row_cols(i);
+    const auto vals = global.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const global_index gc = cols[k];
+      const global_index lc = (gc >= row_begin && gc < row_end)
+                                  ? gc - row_begin
+                                  : nlocal + halo_slot.at(gc);
+      coo.add(i - row_begin, lc, vals[k]);
+    }
+  }
+  coo.compress();
+  plan.local = sparse::CrsMatrix(coo);
+  return plan;
+}
+
+void DistributedMatrix::rebuild(Communicator& comm) {
+  send_rows_.clear();
+  recv_slots_.clear();
+  send_channel_.clear();
+  recv_channel_.clear();
+  interior_runs_.clear();
+  boundary_runs_.clear();
+  interior_row_count_ = 0;
+  interior_begin_ = 0;
+  interior_end_ = 0;
+  const global_index nlocal = part_.local_rows(rank_);
+
+  LocalPlan plan = make_local_plan(*global_, part_, rank_);
+  local_ = std::move(plan.local);
+  recv_order_ = std::move(plan.recv_order);
+  recv_slots_.assign(static_cast<std::size_t>(comm.size()), {});
+  {
+    global_index slot = 0;
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      for (std::size_t k = 0;
+           k < plan.needed[static_cast<std::size_t>(peer)].size(); ++k) {
+        recv_slots_[static_cast<std::size_t>(peer)].push_back(slot++);
+      }
     }
   }
 
@@ -105,7 +139,8 @@ void DistributedMatrix::rebuild(Communicator& comm) {
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     comm.send(peer, tag_request,
-              std::span<const global_index>(needed[static_cast<std::size_t>(peer)]));
+              std::span<const global_index>(
+                  plan.needed[static_cast<std::size_t>(peer)]));
   }
   send_rows_.assign(static_cast<std::size_t>(comm.size()), {});
   for (int peer = 0; peer < comm.size(); ++peer) {
@@ -113,7 +148,7 @@ void DistributedMatrix::rebuild(Communicator& comm) {
     send_rows_[static_cast<std::size_t>(peer)] =
         comm.recv_indices(peer, tag_request);
     for (const auto gr : send_rows_[static_cast<std::size_t>(peer)]) {
-      require(gr >= row_begin && gr < row_end,
+      require(gr >= plan.row_begin && gr < plan.row_end,
               "halo handshake: peer requested a row we do not own");
     }
   }
@@ -139,23 +174,6 @@ void DistributedMatrix::rebuild(Communicator& comm) {
       }
     }
   }
-
-  // Build the local operator with remapped columns.
-  sparse::CooMatrix coo(nlocal, nlocal + static_cast<global_index>(
-                                              recv_order_.size()));
-  for (global_index i = row_begin; i < row_end; ++i) {
-    const auto cols = global.row_cols(i);
-    const auto vals = global.row_values(i);
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      const global_index gc = cols[k];
-      const global_index lc = (gc >= row_begin && gc < row_end)
-                                  ? gc - row_begin
-                                  : nlocal + halo_slot.at(gc);
-      coo.add(i - row_begin, lc, vals[k]);
-    }
-  }
-  coo.compress();
-  local_ = sparse::CrsMatrix(coo);
 
   // Classify every local row: boundary rows read at least one halo column,
   // interior rows none.  All interior rows — scattered or not — are safe to
@@ -236,9 +254,9 @@ void DistributedMatrix::repartition(
     };
     if (channels) {
       const int id = comm.hub().channel(rank_, peer, key);
-      const auto buf = comm.hub().channel_acquire(id, block * nvec);
-      pack(buf.data());
-      comm.hub().channel_post(id);
+      ChannelWrite msg(comm.hub(), id, block * nvec);
+      pack(msg.data().data());
+      msg.post();
     } else {
       std::vector<std::byte> buf(block * nvec);
       pack(buf.data());
@@ -284,11 +302,10 @@ void DistributedMatrix::repartition(
     };
     if (channels) {
       const int id = comm.hub().channel(peer, rank_, key);
-      const auto payload = comm.hub().channel_receive(id);
-      require(payload.size() == block * nvec,
+      const ChannelRead msg(comm.hub(), id);
+      require(msg.data().size() == block * nvec,
               "repartition: migration payload size mismatch");
-      unpack(payload.data());
-      comm.hub().channel_release(id);
+      unpack(msg.data().data());
     } else {
       const auto payload = comm.recv_bytes(peer, tag_migrate);
       require(payload.size() == block * nvec,
@@ -354,11 +371,11 @@ void DistributedMatrix::start_halo_exchange(Communicator& comm,
     if (transport_ == HaloTransport::persistent) {
       if (rows.empty()) continue;
       const int id = send_channel_[static_cast<std::size_t>(peer)];
-      const auto buf = comm.hub().channel_acquire(
-          id, rows.size() * static_cast<std::size_t>(width) *
-                  sizeof(complex_t));
-      gather_into(v, rows, reinterpret_cast<complex_t*>(buf.data()));
-      comm.hub().channel_post(id);
+      ChannelWrite msg(comm.hub(), id,
+                       rows.size() * static_cast<std::size_t>(width) *
+                           sizeof(complex_t));
+      gather_into(v, rows, reinterpret_cast<complex_t*>(msg.data().data()));
+      msg.post();
     } else {
       std::vector<std::byte> buffer(rows.size() *
                                     static_cast<std::size_t>(width) *
@@ -382,11 +399,11 @@ void DistributedMatrix::finish_halo_exchange(Communicator& comm,
     if (transport_ == HaloTransport::persistent) {
       if (slots.empty()) continue;
       const int id = recv_channel_[static_cast<std::size_t>(peer)];
-      const auto payload = comm.hub().channel_receive(id);
-      require(payload.size() == bytes, "halo exchange: payload size mismatch");
+      const ChannelRead msg(comm.hub(), id);
+      require(msg.data().size() == bytes,
+              "halo exchange: payload size mismatch");
       // One peer's slots are contiguous ascending: single block scatter.
-      std::memcpy(&v(nlocal + slots.front(), 0), payload.data(), bytes);
-      comm.hub().channel_release(id);
+      std::memcpy(&v(nlocal + slots.front(), 0), msg.data().data(), bytes);
     } else {
       const auto payload = comm.recv_bytes(peer, tag_halo);
       require(payload.size() == bytes, "halo exchange: payload size mismatch");

@@ -36,6 +36,26 @@ namespace kpm::runtime {
 /// Per-iteration halo transport selection (see file header).
 enum class HaloTransport { persistent, staged };
 
+/// One rank's communication-free share of a partitioned operator: the local
+/// matrix with columns remapped owned-first-then-halo, the global column of
+/// every halo slot (peer-ascending, column-ascending within a peer — the
+/// DistributedMatrix receive order), and the per-owner halo request lists.
+struct LocalPlan {
+  sparse::CrsMatrix local;
+  std::vector<global_index> recv_order;  ///< global col of each halo slot
+  std::vector<std::vector<global_index>> needed;  ///< halo cols per owner
+  global_index row_begin = 0;
+  global_index row_end = 0;
+};
+
+/// Pure derivation of rank `rank`'s local view under `part` — exactly the
+/// extraction DistributedMatrix::rebuild() installs, as a free function, so
+/// any rank's local operator (and therefore its exact per-row arithmetic)
+/// can be reproduced without joining the communicator.  The elastic
+/// runtime's shadow executor re-executes a straggler's chunk through this.
+[[nodiscard]] LocalPlan make_local_plan(const sparse::CrsMatrix& global,
+                                        const RowPartition& part, int rank);
+
 class DistributedMatrix {
  public:
   /// Builds rank `comm.rank()`'s partition of `global` and negotiates the

@@ -1,6 +1,8 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "core/sweep_session.hpp"
@@ -24,6 +26,17 @@ const char* kind_tag(RandomVectorKind kind) {
   return "?";
 }
 
+/// Hex of the raw IEEE bits — exact, unlike a decimal print of the double.
+void append_double_bits(std::string& key, double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  key += buf;
+}
+
 }  // namespace
 
 std::string job_cache_key(const JobRequest& req) {
@@ -36,6 +49,32 @@ std::string job_cache_key(const JobRequest& req) {
   key += std::to_string(req.seed);
   key += ":";
   key += kind_tag(req.vector_kind);
+  switch (req.damping) {
+    case core::DampingKernel::dirichlet:
+      break;  // legacy tag shape: raw moments carry no damping suffix
+    case core::DampingKernel::jackson:
+      key += ":jackson";
+      break;
+    case core::DampingKernel::lorentz:
+      key += ":lorentz";
+      append_double_bits(key, req.lorentz_lambda);
+      break;
+  }
+  return key;
+}
+
+std::string job_cache_key(const JobRequest& req, const physics::Scaling& scaling,
+                          std::uint64_t operator_fp) {
+  std::string key = job_cache_key(req);
+  key += ":a";
+  append_double_bits(key, scaling.a);
+  key += ":b";
+  append_double_bits(key, scaling.b);
+  key += ":h";
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(operator_fp));
+  key += buf;
   return key;
 }
 
@@ -153,10 +192,16 @@ void KpmService::register_operator(const std::string& key, OperatorStore h,
     std::visit([&](const auto& m) { tuner.tune_tiles(m, cfg_.max_batch_width); },
                h);
   }
+  auto model = std::make_shared<Model>();
+  model->h = std::move(h);
+  model->scaling = s;
+  // O(nnz) digest, computed outside the lock: it becomes part of every job
+  // key against this registration, so replacing the model (same key, new
+  // matrix or scaling) orphans the old registration's cache entries instead
+  // of serving them.
+  model->fingerprint = core::operator_fingerprint(model->ref(), s);
   std::lock_guard lock(mutex_);
-  require(models_.find(key) == models_.end(),
-          "register_model: key already registered");
-  models_.emplace(key, Model{std::move(h), s});
+  models_[key] = std::move(model);
 }
 
 void KpmService::register_model(const std::string& key, sparse::CrsMatrix h,
@@ -206,15 +251,25 @@ std::shared_ptr<Job> KpmService::submit(const JobRequest& req) {
   require(req.num_random >= 1, "submit: num_random must be >= 1");
 
   auto job = std::shared_ptr<Job>(new Job(req));
-  job->key_ = job_cache_key(req);
   job->submit_time_ = Timer::now();
+
+  {
+    // Key the job against the registration that will serve it: the cache
+    // key must change when a model key is re-registered with a different
+    // matrix or scaling (the batch formation re-keys against its pinned
+    // model, closing the submit/replace race).
+    std::lock_guard lock(mutex_);
+    require(!stopping_, "submit: service is shut down");
+    const auto it = models_.find(req.model);
+    require(it != models_.end(), "submit: unknown model key");
+    job->key_ =
+        job_cache_key(req, it->second->scaling, it->second->fingerprint);
+  }
 
   auto cached = cache_.find(job->key_);
   {
     std::lock_guard lock(mutex_);
     require(!stopping_, "submit: service is shut down");
-    require(models_.find(req.model) != models_.end(),
-            "submit: unknown model key");
     ++stats_.submitted;
     if (cached != nullptr) {
       ++stats_.cache_hits;
@@ -320,7 +375,7 @@ void KpmService::worker_loop() {
   for (;;) {
     std::vector<LaneAssignment> batch;
     int lanes = 0;
-    const Model* model = nullptr;
+    std::shared_ptr<const Model> model;
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -331,11 +386,12 @@ void KpmService::worker_loop() {
       // Batch formation: take the queue head, then greedily admit further
       // queued jobs of the same model while the lane budget holds.  FIFO
       // order is preserved among the admitted jobs; skipped jobs keep their
-      // queue position.
+      // queue position.  The shared_ptr copy pins this registration for the
+      // whole batch even if the key is re-registered mid-sweep.
       auto head = pending_.front();
       pending_.pop_front();
       const std::string& model_key = head->req_.model;
-      model = &models_.at(model_key);
+      model = models_.at(model_key);
       batch.push_back({head, 0, 0});
       lanes = head->req_.num_random;
       for (auto it = pending_.begin(); it != pending_.end();) {
@@ -348,6 +404,13 @@ void KpmService::worker_loop() {
         } else {
           ++it;
         }
+      }
+      // The pinned model is the one that computes the result, so it is the
+      // one the result must be cached against — re-key any job that was
+      // submitted against a registration replaced before the batch formed.
+      for (auto& a : batch) {
+        a.job->key_ =
+            job_cache_key(a.job->req_, model->scaling, model->fingerprint);
       }
       ++busy_workers_;
       ++stats_.batches;
@@ -405,10 +468,25 @@ void KpmService::run_batch(const Model& model,
   core::SweepSession session(op, model.scaling, v0, batch_moments);
   std::vector<char> live(batch.size(), 1);
 
+  // Per-job damping tables g_0..g_{M-1} (core/damping.hpp), computed once
+  // per batch.  An empty table (dirichlet) skips the multiply entirely, so
+  // undamped jobs keep the exact pre-damping bits.
+  std::vector<std::vector<double>> damp(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JobRequest& r = batch[i].job->req_;
+    if (r.damping != core::DampingKernel::dirichlet) {
+      damp[i] = core::damping_coefficients(r.damping, r.num_moments,
+                                           r.lorentz_lambda);
+    }
+  }
+
   // Streams the averaged moment prefix [served, avail) of one job.  The
   // summation order (ascending lane, then / R) replicates the file-static
-  // average_columns() in core/moments.cpp bit for bit.
-  const auto deliver = [&](LaneAssignment& a, int avail) {
+  // average_columns() in core/moments.cpp bit for bit; damping multiplies
+  // the finished average (same order as retire(), so streamed and final
+  // moments agree bitwise).
+  const auto deliver = [&](std::size_t i, int avail) {
+    LaneAssignment& a = batch[i];
     const int job_m = a.job->req_.num_moments;
     const int upto = std::min(avail, job_m);
     if (upto <= a.served) return;
@@ -421,6 +499,12 @@ void KpmService::run_batch(const Model& model,
       }
     }
     for (auto& x : fresh) x /= width;
+    if (!damp[i].empty()) {
+      for (int m = a.served; m < upto; ++m) {
+        fresh[static_cast<std::size_t>(m - a.served)] *=
+            damp[i][static_cast<std::size_t>(m)];
+      }
+    }
     std::lock_guard jlock(a.job->mutex_);
     a.job->partial_mu_.insert(a.job->partial_mu_.end(), fresh.begin(),
                               fresh.end());
@@ -449,6 +533,17 @@ void KpmService::run_batch(const Model& model,
         }
       }
       for (auto& x : r->mu) x /= width;
+      if (!damp[i].empty()) {
+        const auto& g = damp[i];
+        for (int m = 0; m < job_m; ++m) {
+          r->mu[static_cast<std::size_t>(m)] *= g[static_cast<std::size_t>(m)];
+        }
+        for (auto& pv : r->per_vector) {
+          for (int m = 0; m < job_m; ++m) {
+            pv[static_cast<std::size_t>(m)] *= g[static_cast<std::size_t>(m)];
+          }
+        }
+      }
       // Charge the job its solo-sweep cost: the coalescing saving shows up
       // in ServiceStats (sweep_steps vs solo_steps), not in per-job ops.
       r->ops.spmv_equivalents =
@@ -487,7 +582,7 @@ void KpmService::run_batch(const Model& model,
         freed = true;
         continue;
       }
-      deliver(a, avail);
+      deliver(i, avail);
       if (a.served >= a.job->req_.num_moments) {
         retire(i, JobStatus::done, {});
         freed = true;

@@ -45,7 +45,9 @@
 #include <variant>
 #include <vector>
 
+#include "core/damping.hpp"
 #include "core/moments.hpp"
+#include "core/sweep_session.hpp"
 #include "physics/spectral_bounds.hpp"
 #include "service/result_cache.hpp"
 #include "sparse/bsr.hpp"
@@ -64,11 +66,34 @@ struct JobRequest {
   int num_random = 1;      ///< R lanes of this job
   std::uint64_t seed = 7;  ///< RandomVectorSource seed
   RandomVectorKind vector_kind = RandomVectorKind::phase;
+  /// Damping kernel applied to every delivered moment (core/damping.hpp):
+  /// streamed partials, the final mu, and per_vector all carry g_m * mu_m.
+  /// dirichlet is the exact pre-damping behaviour (g_m = 1, nothing is
+  /// touched), so existing clients see bitwise-identical results.
+  core::DampingKernel damping = core::DampingKernel::dirichlet;
+  double lorentz_lambda = 4.0;  ///< lambda of the Lorentz kernel
 };
 
-/// Content key of a request: "model:M<M>:R<R>:s<seed>:<kind>" — the result
-/// cache is addressed by this, mirroring the autotuner cache key shape.
+/// Request-side content tag: "model:M<M>:R<R>:s<seed>:<kind>[:<damping>]".
+/// A dirichlet request keeps the legacy tag shape (no damping suffix).
+///
+/// NOTE this tag alone is NOT a safe result-cache key: two registrations of
+/// the same model key with different matrices or spectral scalings produce
+/// different moments for identical requests.  The service addresses its
+/// cache with the full overload below, which folds in the scaling bits and
+/// the operator fingerprint of the registration that actually serves the
+/// sweep.
 [[nodiscard]] std::string job_cache_key(const JobRequest& req);
+
+/// Full result-cache key: the request tag plus the exact bit patterns of the
+/// registered model's spectral scaling (a, b) and its operator fingerprint
+/// (core::operator_fingerprint).  Re-registering a model key with a
+/// different matrix or scaling therefore changes every job key — stale
+/// cached spectra of the old registration can never be served for the new
+/// one.
+[[nodiscard]] std::string job_cache_key(const JobRequest& req,
+                                        const physics::Scaling& scaling,
+                                        std::uint64_t operator_fp);
 
 enum class JobStatus { queued, running, done, cancelled, failed };
 [[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
@@ -170,6 +195,12 @@ class KpmService {
   /// is derived from Lanczos bounds like core::compute_dos.  Jobs may only
   /// reference registered models.
   ///
+  /// Re-registering an existing key REPLACES the model: jobs submitted
+  /// afterwards run against (and are cache-keyed by) the new operator +
+  /// scaling, batches already in flight keep the old one alive until they
+  /// retire, and cached spectra of the old registration become unreachable
+  /// (their keys carry the old fingerprint) rather than silently stale.
+  ///
   /// Any sweepable format may be registered: the fastest assembled block
   /// formats (BSR / SELL-block, DESIGN §5f) and the matrix-free stencil
   /// (§5h) serve coalesced batches exactly like CRS — the job bits follow
@@ -218,6 +249,10 @@ class KpmService {
   struct Model {
     OperatorStore h;
     physics::Scaling scaling;
+    /// core::operator_fingerprint(ref(), scaling), computed on registration;
+    /// folded into every job's cache key so a replaced registration can
+    /// never serve the old registration's cached spectra.
+    std::uint64_t fingerprint = 0;
     /// Non-owning view into `h` for the sweep path (rebuilt on insert).
     [[nodiscard]] core::OperatorRef ref() const {
       return std::visit([](const auto& m) { return core::OperatorRef(m); }, h);
@@ -244,7 +279,10 @@ class KpmService {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::unordered_map<std::string, Model> models_;
+  /// Models are held by shared_ptr so register_model can replace a key while
+  /// a worker's batch still sweeps the old operator — the batch's copy keeps
+  /// it alive, new submissions see the replacement.
+  std::unordered_map<std::string, std::shared_ptr<const Model>> models_;
   std::deque<std::shared_ptr<Job>> pending_;
   ServiceStats stats_;
   int busy_workers_ = 0;

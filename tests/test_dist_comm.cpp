@@ -66,6 +66,152 @@ TEST(Channels, RegistrationIsIdempotentAcrossRanks) {
   });
 }
 
+TEST(Channels, ReadGuardReleasesSlotWhenReceiverThrows) {
+  // The channel-lifecycle fix: a receiver that throws between receive and
+  // release (e.g. a payload-size check fails mid-scatter) must leave the
+  // channel reusable.  ChannelRead releases in its destructor, so the second
+  // message still flows; without the guard the sender's next acquire would
+  // block forever on the full slot.
+  runtime::run_ranks(2, [](runtime::Communicator& c) {
+    auto& hub = c.hub();
+    const int key = hub.next_collective_key(c.rank());
+    const int id = hub.channel(0, 1, key);
+    if (c.rank() == 0) {
+      for (int round = 0; round < 2; ++round) {
+        runtime::ChannelWrite guard(hub, id, sizeof(int));
+        const int value = 7 + round;
+        std::memcpy(guard.data().data(), &value, sizeof(int));
+        guard.post();
+      }
+    } else {
+      try {
+        runtime::ChannelRead guard(hub, id);
+        throw std::runtime_error("simulated scatter failure");
+      } catch (const std::runtime_error&) {
+        // Rank-local recovery: the guard released the slot on unwind.
+      }
+      runtime::ChannelRead guard(hub, id);
+      ASSERT_EQ(guard.data().size(), sizeof(int));
+      int value = 0;
+      std::memcpy(&value, guard.data().data(), sizeof(int));
+      EXPECT_EQ(value, 8);  // the SECOND message: the first was consumed
+    }
+  });
+}
+
+TEST(Cancellation, UnblocksCollectiveWaitersAndHubIsReusableAfterReset) {
+  // One rank dies mid-collective; its peers sit in a barrier and a staged
+  // recv.  run_ranks cancels the hub, every blocked wait unwinds with
+  // CancelledError instead of deadlocking the join, and the original
+  // exception is re-thrown to the caller.  After reset() the same hub runs a
+  // clean collective epoch — the reuse contract the elastic driver needs.
+  runtime::MessageHub hub(3);
+  EXPECT_THROW(
+      runtime::run_ranks(hub,
+                         [](runtime::Communicator& c) {
+                           if (c.rank() == 0) {
+                             throw std::runtime_error("injected rank death");
+                           }
+                           if (c.rank() == 1) {
+                             (void)c.recv_bytes(0, /*tag=*/42);  // never sent
+                           }
+                           c.barrier();  // never completes: rank 0 is gone
+                         }),
+      std::runtime_error);
+  EXPECT_TRUE(hub.cancelled());
+  // Sticky until reset: even an unblocked wait now throws immediately.
+  EXPECT_THROW((void)hub.recv(1, 0, 0), runtime::CancelledError);
+
+  hub.reset();
+  EXPECT_FALSE(hub.cancelled());
+  std::array<std::vector<double>, 3> results;
+  runtime::run_ranks(hub, [&](runtime::Communicator& c) {
+    std::vector<double> data{1.0 + c.rank(), 2.0};
+    c.allreduce_sum(data);
+    c.barrier();
+    results[static_cast<std::size_t>(c.rank())] = data;
+  });
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[1], 6.0);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(Cancellation, UnblocksChannelWaiters) {
+  // Receiver blocked in channel_receive (nothing ever posted) and a sender
+  // blocked in channel_acquire (slot full, never released) both unwind.
+  runtime::MessageHub hub(3);
+  EXPECT_THROW(
+      runtime::run_ranks(hub,
+                         [](runtime::Communicator& c) {
+                           auto& hub = c.hub();
+                           const int key = hub.next_collective_key(c.rank());
+                           const int id = hub.channel(1, 2, key);
+                           if (c.rank() == 0) {
+                             throw std::runtime_error("injected rank death");
+                           }
+                           if (c.rank() == 1) {
+                             // First post fills the slot; the receiver never
+                             // releases, so the second acquire blocks.
+                             runtime::ChannelWrite first(hub, id, 8);
+                             first.post();
+                             runtime::ChannelWrite second(hub, id, 8);
+                             second.post();
+                           } else {
+                             // Block until cancel() — the posted message may
+                             // or may not have arrived yet; either way this
+                             // rank parks in a hub wait.
+                             (void)c.recv_bytes(0, /*tag=*/7);
+                           }
+                         }),
+      std::runtime_error);
+  EXPECT_TRUE(hub.cancelled());
+  hub.reset();
+  // The posted-but-unreceived message and the registration are gone.
+  runtime::run_ranks(hub, [](runtime::Communicator& c) {
+    auto& hub = c.hub();
+    const int key = hub.next_collective_key(c.rank());
+    EXPECT_EQ(key, 0);  // collective key counters rewound
+    const int id = hub.channel(1, 2, key);
+    if (c.rank() == 1) {
+      runtime::ChannelWrite guard(hub, id, sizeof(int));
+      const int value = 99;
+      std::memcpy(guard.data().data(), &value, sizeof(int));
+      guard.post();
+    } else if (c.rank() == 2) {
+      runtime::ChannelRead guard(hub, id);
+      int value = 0;
+      ASSERT_EQ(guard.data().size(), sizeof(int));
+      std::memcpy(&value, guard.data().data(), sizeof(int));
+      EXPECT_EQ(value, 99);  // fresh payload, not the cancelled run's
+    }
+  });
+}
+
+TEST(Allreduce, FixedTreeSumMatchesHubReductionBitwise) {
+  // fixed_tree_sum is the shadow executor's replacement for a live
+  // allreduce: for every rank count it must reproduce the hub's reduction
+  // tree bit for bit, including non-power-of-two counts where stragglers
+  // fold into the lower half first.
+  for (int nranks = 1; nranks <= 9; ++nranks) {
+    std::vector<double> contributions(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      contributions[static_cast<std::size_t>(r)] =
+          (r % 2 ? 1e-9 : 1e9) * (1.0 + r) / 3.0;
+    }
+    const double expected = runtime::fixed_tree_sum(contributions);
+    runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+      std::vector<double> data{
+          contributions[static_cast<std::size_t>(c.rank())]};
+      c.allreduce_sum(data);
+      EXPECT_EQ(data[0], expected)
+          << "nranks=" << nranks << " rank " << c.rank();
+    });
+  }
+}
+
 TEST(Allreduce, BitwiseIdenticalAcrossRanksAndRuns) {
   // The recursive-doubling tree is fixed, so every rank must leave the
   // reduction with the exact same bits — including non-power-of-two counts —

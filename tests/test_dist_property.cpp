@@ -16,6 +16,7 @@
 #include "physics/ti_model.hpp"
 #include "runtime/dist_kpm.hpp"
 #include "runtime/dist_matrix.hpp"
+#include "runtime/elastic.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/kpm_kernels.hpp"
 #include "sparse/stencil.hpp"
@@ -359,6 +360,55 @@ TEST(DistProperty, StencilRejectsAdaptiveBalancing) {
     EXPECT_THROW(runtime::distributed_moments(c, dist, st, s, mp, opts),
                  contract_error);
   });
+}
+
+// --- fault-injection partition sweep (elastic runtime) ----------------------
+//
+// Kill a pseudo-randomly chosen rank at a pseudo-randomly chosen recurrence
+// step, let the elastic runtime roll back to the last chunk boundary and
+// re-run the chunk with a replacement rank on the same partition: the final
+// moments must be bitwise equal to the uninterrupted run — for every block
+// width R ∈ {1, 4, 32} and on both the assembled-CRS and matrix-free stencil
+// paths.  Runs under the tsan preset (dist label), so the commit/rollback
+// locking is exercised under the race detector as well.
+TEST(DistProperty, FaultInjectionSweepBitwiseMatchesUninterrupted) {
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const int nranks = 3;
+  std::mt19937 rng(20240809);
+  for (const int width : {1, 4, 32}) {
+    core::MomentParams mp;
+    mp.num_moments = 12;
+    mp.num_random = width;
+    runtime::ElasticOptions base;
+    base.chunk_sweeps = 2;
+    for (const bool matrix_free : {false, true}) {
+      const auto make_runtime = [&](const runtime::ElasticOptions& o) {
+        return matrix_free ? runtime::ElasticRuntime(st, h, s, mp, o)
+                           : runtime::ElasticRuntime(h, s, mp, o);
+      };
+      const auto clean = make_runtime(base).run(nranks);
+      runtime::ElasticOptions faulty = base;
+      runtime::ElasticEvent ev;
+      ev.kind = runtime::ElasticEvent::Kind::fail;
+      ev.sweep = std::uniform_int_distribution<int>(
+          0, mp.num_moments / 2 - 1)(rng);
+      ev.rank = std::uniform_int_distribution<int>(0, nranks - 1)(rng);
+      faulty.events.push_back(ev);
+      const auto healed = make_runtime(faulty).run(nranks);
+      EXPECT_EQ(healed.report.failures_recovered, 1)
+          << "R=" << width << " stencil=" << matrix_free;
+      ASSERT_EQ(healed.mu.size(), clean.mu.size());
+      for (std::size_t m = 0; m < clean.mu.size(); ++m) {
+        EXPECT_EQ(healed.mu[m], clean.mu[m])
+            << "R=" << width << " stencil=" << matrix_free
+            << " killed rank " << ev.rank << " at sweep " << ev.sweep
+            << " moment " << m;
+      }
+    }
+  }
 }
 
 TEST(DistProperty, TunedSweepsMatchUntunedMoments) {

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/damping.hpp"
 #include "core/moments.hpp"
 #include "core/sweep_session.hpp"
 #include "physics/spectral_bounds.hpp"
@@ -449,7 +450,170 @@ TEST(Service, RejectsInvalidRequests) {
   jr.num_moments = 16;
   jr.num_random = 0;
   EXPECT_THROW(svc.submit(jr), contract_error);
-  EXPECT_THROW(svc.register_model("ti", small_ti()), contract_error);
+}
+
+// --- Stale-cache regression (re-registration, scaling, damping keys) --------
+
+TEST(Service, ReRegisteredModelDoesNotServeStaleCachedResults) {
+  // The cache key folds in the spectral scaling and the operator
+  // fingerprint, so replacing a model under the same key must MISS the
+  // cache and produce the new operator's moments — not replay the old ones.
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  physics::TIParams p2;
+  p2.nx = 4;
+  p2.ny = 4;
+  p2.nz = 4;  // different operator under the same model key
+  const auto h2 = physics::build_ti_hamiltonian(p2);
+  const auto s2 = scaling_for(h2);
+
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 24;
+  jr.num_random = 2;
+  jr.seed = 21;
+  auto first = svc.submit(jr);
+  ASSERT_EQ(first->wait(), service::JobStatus::done);
+  svc.drain();
+
+  svc.register_model("ti", h2, s2);
+  auto second = svc.submit(jr);
+  ASSERT_EQ(second->wait(), service::JobStatus::done);
+  EXPECT_FALSE(second->from_cache()) << "stale cache hit across re-register";
+  const auto v0 = start_block(h2, jr.seed, jr.num_random);
+  const auto direct = core::moments_of_block(h2, s2, v0, jr.num_moments);
+  for (int r = 0; r < jr.num_random; ++r) {
+    expect_bitwise(second->result().per_vector[static_cast<std::size_t>(r)],
+                   direct[static_cast<std::size_t>(r)], "replaced model lane");
+  }
+  svc.drain();
+
+  // Re-registering the ORIGINAL operator keys back to the original entry:
+  // the first result is still valid for it and may be served from cache.
+  svc.register_model("ti", h, s);
+  auto third = svc.submit(jr);
+  ASSERT_EQ(third->wait(), service::JobStatus::done);
+  expect_bitwise(third->result().mu, first->result().mu, "restored model mu");
+}
+
+TEST(Service, ScalingChangeAloneInvalidatesTheCacheKey) {
+  // Same matrix, different (a, b): identical request parameters used to
+  // collide onto one cache entry and replay the wrong spectrum's moments.
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const auto s_wide =
+      physics::make_scaling(physics::gershgorin_bounds(h), 0.30);
+  ASSERT_NE(s.a, s_wide.a);
+
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 24;
+  jr.num_random = 1;
+  jr.seed = 31;
+  auto narrow = svc.submit(jr);
+  ASSERT_EQ(narrow->wait(), service::JobStatus::done);
+  svc.drain();
+
+  svc.register_model("ti", h, s_wide);
+  auto wide = svc.submit(jr);
+  ASSERT_EQ(wide->wait(), service::JobStatus::done);
+  EXPECT_FALSE(wide->from_cache()) << "scaling change must miss the cache";
+  const auto v0 = start_block(h, jr.seed, jr.num_random);
+  const auto direct = core::moments_of_block(h, s_wide, v0, jr.num_moments);
+  expect_bitwise(wide->result().per_vector[0], direct[0], "rescaled lane");
+}
+
+TEST(Service, DampingKernelsAreKeyedAndAppliedAfterAveraging) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  service::KpmService svc(test_config(4));
+  svc.register_model("ti", h, s);
+  service::JobRequest jr;
+  jr.model = "ti";
+  jr.num_moments = 32;
+  jr.num_random = 2;
+  jr.seed = 41;
+  auto raw = svc.submit(jr);  // dirichlet: bitwise pre-damping behaviour
+  ASSERT_EQ(raw->wait(), service::JobStatus::done);
+
+  service::JobRequest jj = jr;
+  jj.damping = core::DampingKernel::jackson;
+  auto jackson = svc.submit(jj);
+  ASSERT_EQ(jackson->wait(), service::JobStatus::done);
+  EXPECT_FALSE(jackson->from_cache())
+      << "damping kernel must be part of the cache key";
+
+  // g is applied AFTER lane averaging, so every damped moment is exactly
+  // one multiplication away from the raw one — bitwise.
+  const auto g = core::damping_coefficients(core::DampingKernel::jackson,
+                                            jr.num_moments);
+  ASSERT_EQ(jackson->result().mu.size(), raw->result().mu.size());
+  for (std::size_t m = 0; m < g.size(); ++m) {
+    EXPECT_EQ(jackson->result().mu[m], raw->result().mu[m] * g[m])
+        << "moment " << m;
+    for (int r = 0; r < jr.num_random; ++r) {
+      EXPECT_EQ(jackson->result().per_vector[static_cast<std::size_t>(r)][m],
+                raw->result().per_vector[static_cast<std::size_t>(r)][m] *
+                    g[m])
+          << "lane " << r << " moment " << m;
+    }
+  }
+  // The streamed prefix carries the damped values too (deliver and retire
+  // multiply in the same order, so they agree bitwise).
+  expect_bitwise(jackson->partial_mu(), jackson->result().mu, "damped stream");
+
+  // Lorentz is keyed separately from Jackson — and by its lambda.
+  service::JobRequest jl = jr;
+  jl.damping = core::DampingKernel::lorentz;
+  jl.lorentz_lambda = 3.0;
+  auto lorentz = svc.submit(jl);
+  ASSERT_EQ(lorentz->wait(), service::JobStatus::done);
+  EXPECT_FALSE(lorentz->from_cache());
+  const auto gl = core::damping_coefficients(core::DampingKernel::lorentz,
+                                             jr.num_moments, 3.0);
+  for (std::size_t m = 0; m < gl.size(); ++m) {
+    EXPECT_EQ(lorentz->result().mu[m], raw->result().mu[m] * gl[m]);
+  }
+  EXPECT_NE(service::job_cache_key(jl),
+            service::job_cache_key(jj));
+  service::JobRequest jl2 = jl;
+  jl2.lorentz_lambda = 5.0;
+  EXPECT_NE(service::job_cache_key(jl2), service::job_cache_key(jl));
+  // Dirichlet keeps the legacy key shape: cached pre-damping entries stay
+  // addressable.
+  EXPECT_EQ(service::job_cache_key(jr).find(":jackson"), std::string::npos);
+}
+
+TEST(SweepSession, CheckpointFingerprintRejectsMismatchedOperator) {
+  const auto h = small_ti();
+  const auto s = scaling_for(h);
+  const int M = 16, width = 2;
+  const auto v0 = start_block(h, 55, width);
+  core::SweepSession session(h, s, v0, M);
+  session.advance(4);
+  core::SweepCheckpoint saved = session.checkpoint();
+  EXPECT_NE(saved.fingerprint, 0u);
+
+  // Different scaling over the same matrix: fingerprint differs, restore
+  // refuses instead of silently mixing spectra.
+  const auto s_wide = physics::make_scaling(physics::gershgorin_bounds(h), 0.30);
+  EXPECT_THROW(core::SweepSession(h, s_wide, saved), contract_error);
+
+  // Legacy checkpoints (no fingerprint recorded) are still accepted.
+  core::SweepCheckpoint legacy = saved;
+  legacy.fingerprint = 0;
+  core::SweepSession resumed(h, s, legacy);
+  resumed.advance_all();
+  const auto direct = core::moments_of_block(h, s, v0, M);
+  for (int r = 0; r < width; ++r) {
+    const auto mu = resumed.mu(r);
+    expect_bitwise({mu.begin(), mu.end()}, direct[static_cast<std::size_t>(r)],
+                   "legacy-checkpoint lane");
+  }
 }
 
 // --- Result cache ------------------------------------------------------------
