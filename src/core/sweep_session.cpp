@@ -1,7 +1,11 @@
 #include "core/sweep_session.hpp"
 
 #include <algorithm>
+#include <complex>
+#include <cstdint>
 #include <cstring>
+#include <span>
+#include <string>
 #include <utility>
 
 #include "sparse/kpm_kernels.hpp"
@@ -61,6 +65,27 @@ struct Fnv1a {
     std::memcpy(&bits, &x, sizeof(bits));
     mix(bits);
   }
+  void mix_complex(complex_t z) {
+    mix_double(z.real());
+    mix_double(z.imag());
+  }
+  void mix_complex_f32(std::complex<float> z) {
+    std::uint32_t re = 0, im = 0;
+    const float r = z.real(), i = z.imag();
+    static_assert(sizeof(re) == sizeof(r));
+    std::memcpy(&re, &r, sizeof(re));
+    std::memcpy(&im, &i, sizeof(im));
+    mix((static_cast<std::uint64_t>(im) << 32) | re);
+  }
+  void mix_string(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<std::uint64_t>(
+        static_cast<unsigned char>(c)));
+  }
+  template <class T>
+  void mix_indices(std::span<const T> xs) {
+    for (const T x : xs) mix(static_cast<std::uint64_t>(x));
+  }
 };
 
 }  // namespace
@@ -73,20 +98,69 @@ std::uint64_t operator_fingerprint(OperatorRef h, const physics::Scaling& s) {
   f.mix(static_cast<std::uint64_t>(h.nnz()));
   f.mix_double(s.a);
   f.mix_double(s.b);
-  if (h.kind() == OperatorRef::Kind::crs) {
-    // Full content digest for the assembled format the checkpoints of the
-    // distributed/elastic stack are taken against.  The block formats and
-    // the stencil are covered structurally (kind/shape/nnz) only — hashing
-    // them would need a to_crs() expansion per checkpoint.
-    const auto& m = h.crs();
-    for (global_index i = 0; i < m.nrows(); ++i) {
-      const auto cols = m.row_cols(i);
-      const auto vals = m.row_values(i);
-      for (std::size_t k = 0; k < cols.size(); ++k) {
-        f.mix(static_cast<std::uint64_t>(cols[k]));
-        f.mix_double(vals[k].real());
-        f.mix_double(vals[k].imag());
+  // Full content digest for EVERY sweepable format: structure and value bits
+  // both fold in, so two operators with the same sparsity pattern but
+  // different entries (a new disorder realization, changed hoppings) can
+  // never share a print.  The service result cache and the checkpoint
+  // restore guards depend on exactly this property.
+  switch (h.kind()) {
+    case OperatorRef::Kind::crs: {
+      const auto& m = h.crs();
+      for (global_index i = 0; i < m.nrows(); ++i) {
+        const auto cols = m.row_cols(i);
+        const auto vals = m.row_values(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          f.mix(static_cast<std::uint64_t>(cols[k]));
+          f.mix_complex(vals[k]);
+        }
       }
+      break;
+    }
+    case OperatorRef::Kind::bsr: {
+      // Storage-order walk of the block stream; block_col is the 32-bit
+      // ground truth, so the digest is identical whichever index encoding
+      // (u16 delta / u32) construction picked.
+      const auto& m = h.bsr();
+      f.mix(static_cast<std::uint64_t>(m.block_dim()));
+      f.mix(static_cast<std::uint64_t>(m.precision()));
+      f.mix_indices(m.block_ptr());
+      f.mix_indices(m.block_col());
+      f.mix_indices(m.block_mask());
+      for (const auto z : m.values()) f.mix_complex(z);
+      for (const auto z : m.values_f32()) f.mix_complex_f32(z);
+      break;
+    }
+    case OperatorRef::Kind::sell_block: {
+      const auto& m = h.sell_block();
+      f.mix(static_cast<std::uint64_t>(m.block_dim()));
+      f.mix(static_cast<std::uint64_t>(m.precision()));
+      f.mix(static_cast<std::uint64_t>(m.chunk_height()));
+      f.mix(static_cast<std::uint64_t>(m.sigma()));
+      f.mix_indices(m.perm());
+      f.mix_indices(m.chunk_ptr());
+      f.mix_indices(m.chunk_len());
+      f.mix_indices(m.block_col());
+      f.mix_indices(m.block_mask());
+      for (const auto z : m.values()) f.mix_complex(z);
+      for (const auto z : m.values_f32()) f.mix_complex_f32(z);
+      break;
+    }
+    case OperatorRef::Kind::stencil: {
+      const auto& m = h.stencil();
+      f.mix_string(m.kind());
+      f.mix(static_cast<std::uint64_t>(m.block_dim()));
+      f.mix(static_cast<std::uint64_t>(m.row_phase()));
+      for (const auto& t : m.terms()) {
+        f.mix(static_cast<std::uint64_t>(t.delta));
+        f.mix(static_cast<std::uint64_t>(t.mask));
+        for (const auto z : t.coeff) f.mix_complex(z);
+      }
+      f.mix(m.diag().size());
+      for (const double d : m.diag()) f.mix_double(d);
+      f.mix_indices(m.boundary_ptr());
+      f.mix_indices(m.boundary_col());
+      for (const auto z : m.boundary_val()) f.mix_complex(z);
+      break;
     }
   }
   return f.h == 0 ? 1 : f.h;

@@ -68,6 +68,12 @@ class OperatorRef {
   [[nodiscard]] const sparse::CrsMatrix& crs() const noexcept {
     return *static_cast<const sparse::CrsMatrix*>(p_);
   }
+  [[nodiscard]] const sparse::BsrMatrix& bsr() const noexcept {
+    return *static_cast<const sparse::BsrMatrix*>(p_);
+  }
+  [[nodiscard]] const sparse::StencilOperator& stencil() const noexcept {
+    return *static_cast<const sparse::StencilOperator*>(p_);
+  }
 
   /// One fused augmented SpMMV on the referenced operator.
   void apply(const sparse::AugScalars& s, const blas::BlockVector& v,
@@ -81,9 +87,12 @@ class OperatorRef {
 
 /// Digest of (operator identity, spectral scaling) used to pair checkpoints
 /// with the operator that produced them.  FNV-1a over the operator kind,
-/// shape, nnz and the bit patterns of the scaling (a, b); for an assembled
-/// CRS matrix the full structure and values are folded in as well, so two
-/// same-shaped CRS operators with different entries get different prints.
+/// shape, nnz, the bit patterns of the scaling (a, b), and the FULL stored
+/// content of the operator — structure and value bits for every format
+/// (CRS rows, BSR/SELL block streams, stencil terms/diagonal/boundary) —
+/// so two same-shaped operators with different entries always get different
+/// prints.  The service's cache keys and the checkpoint restore guards rely
+/// on this being a content digest, not just a shape digest.
 /// Never returns 0 (0 is the "unknown / legacy checkpoint" sentinel).
 [[nodiscard]] std::uint64_t operator_fingerprint(OperatorRef h,
                                                  const physics::Scaling& s);
@@ -172,7 +181,7 @@ class SweepSession {
   OperatorRef h_;
   physics::Scaling s_{};
   /// operator_fingerprint(h_, s_), computed on first checkpoint() and cached
-  /// (the digest walks the CRS values once — O(nnz)).
+  /// (the digest walks the operator's stored content once — O(nnz)).
   mutable std::optional<std::uint64_t> fingerprint_;
   int num_moments_ = 0;
   int next_step_ = 0;

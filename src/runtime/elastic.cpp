@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -99,7 +100,10 @@ struct ElasticRuntime::Ctx {
   int epoch_limit = 0;  ///< first step NOT run this epoch
 
   std::vector<char> fired;  ///< per opts.events entry (one-shot)
-  std::atomic<int> failed_event{-1};
+
+  /// operator_fingerprint(*global_, s_), computed once per run; the member
+  /// checkpoint writer and the restore check share it.
+  std::uint64_t fp = 0;
 
   std::thread shadow;
   /// Set by the shadow thread as its very last action (after its commit
@@ -107,7 +111,21 @@ struct ElasticRuntime::Ctx {
   /// without any risk of blocking on a thread that still wants the lock —
   /// and launch a fresh speculation for the next chunk.
   std::atomic<bool> shadow_done{false};
+  /// First exception the shadow body threw (e.g. a checkpoint-write
+  /// failure), written under `m` by the shadow and read only after join;
+  /// reap_shadow rethrows it so an I/O error surfaces to the driver instead
+  /// of terminating the process inside std::thread.
+  std::exception_ptr shadow_error;
   ElasticReport report;
+
+  /// Backstop for exceptional unwinds: whatever path leaves solve()/run()
+  /// (a require() failure in a commit, a comm-layer error rethrown by
+  /// run_ranks), the shadow is joined before any state it references dies.
+  /// The shadow only touches `this` Ctx and the runtime's members, both of
+  /// which outlive this destructor's join.
+  ~Ctx() {
+    if (shadow.joinable()) shadow.join();
+  }
 };
 
 ElasticRuntime::ElasticRuntime(const sparse::CrsMatrix& h,
@@ -137,9 +155,9 @@ ElasticResult ElasticRuntime::run(int initial_ranks) {
   const global_index n = global_->nrows();
   const int width = p_.num_random;
   const int total_steps = p_.num_moments / 2;
-  const std::uint64_t fp = core::operator_fingerprint(*global_, s_);
 
   Ctx ctx;
+  ctx.fp = core::operator_fingerprint(*global_, s_);
   ctx.fired.assign(opts_.events.size(), 0);
 
   if (opts_.resume) {
@@ -158,7 +176,7 @@ ElasticResult ElasticRuntime::run(int initial_ranks) {
     Cursor c{buf.data(), buf.size()};
     require(std::memcmp(c.raw(8), kMagic, 8) == 0,
             "ElasticRuntime: not an elastic checkpoint (bad magic)");
-    require(c.u64() == fp,
+    require(c.u64() == ctx.fp,
             "ElasticRuntime: checkpoint fingerprint does not match this "
             "operator/scaling — restoring against a different operator would "
             "silently produce wrong moments");
@@ -213,6 +231,21 @@ ElasticResult ElasticRuntime::run(int initial_ranks) {
       ev.offsets.resize(static_cast<std::size_t>(c.u64()));
       for (auto& o : ev.offsets) o = static_cast<global_index>(c.u64());
     }
+    // Membership events the restored frontier already passed had their
+    // repartition baked into the checkpointed partition/schedule; re-firing
+    // them would repartition a second time and diverge from the
+    // uninterrupted run.  Strictly `<`: the driver cuts epochs exactly at
+    // each membership sweep and fires the event AFTER the commit at that
+    // boundary writes its checkpoint, so a checkpoint with next_sweep ==
+    // ev.sweep always predates the event — it must still fire on resume.
+    for (std::size_t e = 0; e < opts_.events.size(); ++e) {
+      const ElasticEvent& ev = opts_.events[e];
+      if ((ev.kind == ElasticEvent::Kind::leave ||
+           ev.kind == ElasticEvent::Kind::join) &&
+          ev.sweep < ctx.next_sweep) {
+        ctx.fired[e] = 1;
+      }
+    }
   } else {
     ctx.part = RowPartition::uniform(n, initial_ranks);
     ctx.v = blas::BlockVector(n, width);
@@ -237,13 +270,74 @@ ElasticResult ElasticRuntime::run(int initial_ranks) {
 
   solve(ctx);
 
-  if (ctx.shadow.joinable()) ctx.shadow.join();
+  reap_shadow(ctx);
   ElasticResult out;
   out.report = std::move(ctx.report);
   out.report.final_ranks = ctx.part.ranks();
   out.report.rates = ctx.rates;
   if (ctx.next_sweep > 0) out.mu = eta_to_mu_average(ctx.eta);
   return out;
+}
+
+void ElasticRuntime::write_checkpoint_locked(Ctx& ctx) const {
+  if (opts_.checkpoint_path.empty()) return;
+  const global_index n = global_->nrows();
+  const int width = p_.num_random;
+  std::vector<std::byte> buf;
+  buf.insert(buf.end(), reinterpret_cast<const std::byte*>(kMagic),
+             reinterpret_cast<const std::byte*>(kMagic) + 8);
+  put_u64(buf, ctx.fp);
+  put_u64(buf, stencil_ != nullptr ? 1u : 0u);
+  put_u64(buf, static_cast<std::uint64_t>(p_.num_moments));
+  put_u64(buf, static_cast<std::uint64_t>(width));
+  put_u64(buf, p_.seed);
+  put_u64(buf, static_cast<std::uint64_t>(p_.vector_kind));
+  put_u64(buf, static_cast<std::uint64_t>(ctx.next_sweep));
+  put_u64(buf, static_cast<std::uint64_t>(n));
+  put_u64(buf, static_cast<std::uint64_t>(ctx.part.ranks()));
+  for (const global_index o : ctx.part.offsets()) {
+    put_u64(buf, static_cast<std::uint64_t>(o));
+  }
+  put_u64(buf, static_cast<std::uint64_t>(ctx.rates.size()));
+  for (const double r : ctx.rates) put_f64(buf, r);
+  for (const auto& lane : ctx.eta) {
+    for (const double x : lane) put_f64(buf, x);
+  }
+  for (const auto* b : {&ctx.v, &ctx.w}) {
+    for (global_index i = 0; i < n; ++i) {
+      for (int r = 0; r < width; ++r) {
+        put_f64(buf, (*b)(i, r).real());
+        put_f64(buf, (*b)(i, r).imag());
+      }
+    }
+  }
+  put_u64(buf, static_cast<std::uint64_t>(ctx.report.schedule.size()));
+  for (const auto& ev : ctx.report.schedule) {
+    put_u64(buf, static_cast<std::uint64_t>(ev.sweep));
+    put_u64(buf, static_cast<std::uint64_t>(ev.offsets.size()));
+    for (const global_index o : ev.offsets) {
+      put_u64(buf, static_cast<std::uint64_t>(o));
+    }
+  }
+  const std::string tmp = opts_.checkpoint_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  require(f != nullptr, "ElasticRuntime: cannot open checkpoint tmp file");
+  const std::size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  const int closed = std::fclose(f);
+  if (written != buf.size() || closed != 0 ||
+      std::rename(tmp.c_str(), opts_.checkpoint_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    require(false, "ElasticRuntime: checkpoint write failed");
+  }
+  ++ctx.report.checkpoints_written;
+}
+
+void ElasticRuntime::reap_shadow(Ctx& ctx) {
+  if (ctx.shadow.joinable()) ctx.shadow.join();
+  if (ctx.shadow_error) {
+    std::exception_ptr err = std::exchange(ctx.shadow_error, nullptr);
+    std::rethrow_exception(err);
+  }
 }
 
 void ElasticRuntime::solve(Ctx& ctx) {
@@ -254,64 +348,11 @@ void ElasticRuntime::solve(Ctx& ctx) {
       opts_.stop_after_sweep >= 0
           ? std::min(total_steps, opts_.stop_after_sweep)
           : total_steps;
-  const std::uint64_t fp = core::operator_fingerprint(*global_, s_);
   const auto rec = sparse::AugScalars::recurrence(s_.a, s_.b);
   const double alpha =
       std::clamp(opts_.balance.smoothing, 0.0, 1.0) > 0.0
           ? std::clamp(opts_.balance.smoothing, 0.0, 1.0)
           : 0.5;
-
-  // ---- Checkpoint write (atomic tmp + rename; caller holds ctx.m) ---------
-  const auto write_checkpoint = [&] {
-    if (opts_.checkpoint_path.empty()) return;
-    std::vector<std::byte> buf;
-    buf.insert(buf.end(), reinterpret_cast<const std::byte*>(kMagic),
-               reinterpret_cast<const std::byte*>(kMagic) + 8);
-    put_u64(buf, fp);
-    put_u64(buf, stencil_ != nullptr ? 1u : 0u);
-    put_u64(buf, static_cast<std::uint64_t>(p_.num_moments));
-    put_u64(buf, static_cast<std::uint64_t>(width));
-    put_u64(buf, p_.seed);
-    put_u64(buf, static_cast<std::uint64_t>(p_.vector_kind));
-    put_u64(buf, static_cast<std::uint64_t>(ctx.next_sweep));
-    put_u64(buf, static_cast<std::uint64_t>(n));
-    put_u64(buf, static_cast<std::uint64_t>(ctx.part.ranks()));
-    for (const global_index o : ctx.part.offsets()) {
-      put_u64(buf, static_cast<std::uint64_t>(o));
-    }
-    put_u64(buf, static_cast<std::uint64_t>(ctx.rates.size()));
-    for (const double r : ctx.rates) put_f64(buf, r);
-    for (const auto& lane : ctx.eta) {
-      for (const double x : lane) put_f64(buf, x);
-    }
-    for (const auto* b : {&ctx.v, &ctx.w}) {
-      for (global_index i = 0; i < n; ++i) {
-        for (int r = 0; r < width; ++r) {
-          put_f64(buf, (*b)(i, r).real());
-          put_f64(buf, (*b)(i, r).imag());
-        }
-      }
-    }
-    put_u64(buf, static_cast<std::uint64_t>(ctx.report.schedule.size()));
-    for (const auto& ev : ctx.report.schedule) {
-      put_u64(buf, static_cast<std::uint64_t>(ev.sweep));
-      put_u64(buf, static_cast<std::uint64_t>(ev.offsets.size()));
-      for (const global_index o : ev.offsets) {
-        put_u64(buf, static_cast<std::uint64_t>(o));
-      }
-    }
-    const std::string tmp = opts_.checkpoint_path + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "wb");
-    require(f != nullptr, "ElasticRuntime: cannot open checkpoint tmp file");
-    const std::size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
-    const int closed = std::fclose(f);
-    if (written != buf.size() || closed != 0 ||
-        std::rename(tmp.c_str(), opts_.checkpoint_path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      require(false, "ElasticRuntime: checkpoint write failed");
-    }
-    ++ctx.report.checkpoints_written;
-  };
 
   // ---- Rate EMA + straggler test (caller holds ctx.m) ----------------------
   const auto update_rates = [&](const std::vector<double>& times) {
@@ -358,117 +399,131 @@ void ElasticRuntime::solve(Ctx& ctx) {
     blas::BlockVector W = ctx.w;
     RowPartition P = ctx.part;
     ctx.shadow_done.store(false, std::memory_order_release);
-    ctx.shadow = std::thread([this, &ctx, &write_checkpoint, start, steps,
-                              V = std::move(V), W = std::move(W),
-                              P = std::move(P)]() mutable {
-      const int R = P.ranks();
-      const int w2 = 2 * steps;
-      const auto shrec = sparse::AugScalars::recurrence(s_.a, s_.b);
-      std::vector<LocalPlan> plans;
-      plans.reserve(static_cast<std::size_t>(R));
-      for (int r = 0; r < R; ++r) {
-        plans.push_back(make_local_plan(*global_, P, r));
-      }
-      std::vector<std::optional<sparse::StencilOperator>> lst(
-          static_cast<std::size_t>(R));
-      std::vector<blas::BlockVector> ve, we;
-      ve.reserve(plans.size());
-      we.reserve(plans.size());
-      for (int r = 0; r < R; ++r) {
-        const auto& pl = plans[static_cast<std::size_t>(r)];
-        const global_index ext = (pl.row_end - pl.row_begin) +
-                                 static_cast<global_index>(pl.recv_order.size());
-        ve.emplace_back(ext, p_.num_random);
-        we.emplace_back(ext, p_.num_random);
-        if (stencil_ != nullptr) {
-          lst[static_cast<std::size_t>(r)].emplace(stencil_->localize(
-              pl.row_begin, pl.row_end, pl.recv_order));
+    // Captures only `this` and `ctx` beyond the by-value snapshot: both
+    // outlive the thread on every path (Ctx's destructor joins), so an
+    // exceptional unwind of solve() can never leave the shadow with
+    // dangling references to a dead stack frame.
+    ctx.shadow = std::thread([this, &ctx, start, steps, V = std::move(V),
+                              W = std::move(W), P = std::move(P)]() mutable {
+      const auto chunk_and_commit = [&] {
+        const int R = P.ranks();
+        const int w2 = 2 * steps;
+        const auto shrec = sparse::AugScalars::recurrence(s_.a, s_.b);
+        std::vector<LocalPlan> plans;
+        plans.reserve(static_cast<std::size_t>(R));
+        for (int r = 0; r < R; ++r) {
+          plans.push_back(make_local_plan(*global_, P, r));
         }
-      }
-      const int width2 = p_.num_random;
-      std::vector<std::vector<complex_t>> dv(
-          static_cast<std::size_t>(R),
-          std::vector<complex_t>(static_cast<std::size_t>(width2)));
-      std::vector<std::vector<complex_t>> dw = dv;
-      std::vector<double> seta(static_cast<std::size_t>(width2) * w2, 0.0);
-      for (int k = 0; k < steps; ++k) {
-        const int s = start + k;
-        if (s > 0) std::swap(V, W);
-        const auto sc =
-            s == 0 ? sparse::AugScalars::startup(s_.a, s_.b) : shrec;
+        std::vector<std::optional<sparse::StencilOperator>> lst(
+            static_cast<std::size_t>(R));
+        std::vector<blas::BlockVector> ve, we;
+        ve.reserve(plans.size());
+        we.reserve(plans.size());
         for (int r = 0; r < R; ++r) {
           const auto& pl = plans[static_cast<std::size_t>(r)];
-          const global_index nl = pl.row_end - pl.row_begin;
-          auto& vin = ve[static_cast<std::size_t>(r)];
-          auto& wout = we[static_cast<std::size_t>(r)];
-          for (global_index i = 0; i < nl; ++i) {
-            for (int c = 0; c < width2; ++c) {
-              vin(i, c) = V(pl.row_begin + i, c);
-            }
-          }
-          for (std::size_t h = 0; h < pl.recv_order.size(); ++h) {
-            for (int c = 0; c < width2; ++c) {
-              vin(nl + static_cast<global_index>(h), c) =
-                  V(pl.recv_order[h], c);
-            }
-          }
-          // The recurrence kernel reads the PREVIOUS w in place
-          // (w <- 2*H~*v - w), so the rank window's old w rows must be
-          // staged just like a live rank's local w vector carries them.
-          for (global_index i = 0; i < nl; ++i) {
-            for (int c = 0; c < width2; ++c) {
-              wout(i, c) = W(pl.row_begin + i, c);
-            }
-          }
-          if (lst[static_cast<std::size_t>(r)]) {
-            sparse::aug_spmmv(*lst[static_cast<std::size_t>(r)], sc, vin, wout,
-                              dv[static_cast<std::size_t>(r)],
-                              dw[static_cast<std::size_t>(r)]);
-          } else {
-            sparse::aug_spmmv(pl.local, sc, vin, wout,
-                              dv[static_cast<std::size_t>(r)],
-                              dw[static_cast<std::size_t>(r)]);
-          }
-          for (global_index i = 0; i < nl; ++i) {
-            for (int c = 0; c < width2; ++c) {
-              W(pl.row_begin + i, c) = wout(i, c);
-            }
+          const global_index ext = (pl.row_end - pl.row_begin) +
+                                   static_cast<global_index>(pl.recv_order.size());
+          ve.emplace_back(ext, p_.num_random);
+          we.emplace_back(ext, p_.num_random);
+          if (stencil_ != nullptr) {
+            lst[static_cast<std::size_t>(r)].emplace(stencil_->localize(
+                pl.row_begin, pl.row_end, pl.recv_order));
           }
         }
-        std::vector<double> contrib(static_cast<std::size_t>(R));
-        for (int c = 0; c < width2; ++c) {
+        const int width2 = p_.num_random;
+        std::vector<std::vector<complex_t>> dv(
+            static_cast<std::size_t>(R),
+            std::vector<complex_t>(static_cast<std::size_t>(width2)));
+        std::vector<std::vector<complex_t>> dw = dv;
+        std::vector<double> seta(static_cast<std::size_t>(width2) * w2, 0.0);
+        for (int k = 0; k < steps; ++k) {
+          const int s = start + k;
+          if (s > 0) std::swap(V, W);
+          const auto sc =
+              s == 0 ? sparse::AugScalars::startup(s_.a, s_.b) : shrec;
           for (int r = 0; r < R; ++r) {
-            contrib[static_cast<std::size_t>(r)] =
-                dv[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]
-                    .real();
+            const auto& pl = plans[static_cast<std::size_t>(r)];
+            const global_index nl = pl.row_end - pl.row_begin;
+            auto& vin = ve[static_cast<std::size_t>(r)];
+            auto& wout = we[static_cast<std::size_t>(r)];
+            for (global_index i = 0; i < nl; ++i) {
+              for (int c = 0; c < width2; ++c) {
+                vin(i, c) = V(pl.row_begin + i, c);
+              }
+            }
+            for (std::size_t h = 0; h < pl.recv_order.size(); ++h) {
+              for (int c = 0; c < width2; ++c) {
+                vin(nl + static_cast<global_index>(h), c) =
+                    V(pl.recv_order[h], c);
+              }
+            }
+            // The recurrence kernel reads the PREVIOUS w in place
+            // (w <- 2*H~*v - w), so the rank window's old w rows must be
+            // staged just like a live rank's local w vector carries them.
+            for (global_index i = 0; i < nl; ++i) {
+              for (int c = 0; c < width2; ++c) {
+                wout(i, c) = W(pl.row_begin + i, c);
+              }
+            }
+            if (lst[static_cast<std::size_t>(r)]) {
+              sparse::aug_spmmv(*lst[static_cast<std::size_t>(r)], sc, vin, wout,
+                                dv[static_cast<std::size_t>(r)],
+                                dw[static_cast<std::size_t>(r)]);
+            } else {
+              sparse::aug_spmmv(pl.local, sc, vin, wout,
+                                dv[static_cast<std::size_t>(r)],
+                                dw[static_cast<std::size_t>(r)]);
+            }
+            for (global_index i = 0; i < nl; ++i) {
+              for (int c = 0; c < width2; ++c) {
+                W(pl.row_begin + i, c) = wout(i, c);
+              }
+            }
           }
-          seta[static_cast<std::size_t>(c) * w2 + 2 * k] =
-              fixed_tree_sum(contrib);
-          for (int r = 0; r < R; ++r) {
-            contrib[static_cast<std::size_t>(r)] =
-                dw[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]
-                    .real();
-          }
-          seta[static_cast<std::size_t>(c) * w2 + 2 * k + 1] =
-              fixed_tree_sum(contrib);
-        }
-      }
-      {
-        std::lock_guard lock(ctx.m);
-        if (ctx.next_sweep == start) {  // else: the live ranks got there first
+          std::vector<double> contrib(static_cast<std::size_t>(R));
           for (int c = 0; c < width2; ++c) {
-            auto& lane = ctx.eta[static_cast<std::size_t>(c)];
-            for (int j = 0; j < w2; ++j) {
-              lane.push_back(seta[static_cast<std::size_t>(c) * w2 + j]);
+            for (int r = 0; r < R; ++r) {
+              contrib[static_cast<std::size_t>(r)] =
+                  dv[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]
+                      .real();
             }
+            seta[static_cast<std::size_t>(c) * w2 + 2 * k] =
+                fixed_tree_sum(contrib);
+            for (int r = 0; r < R; ++r) {
+              contrib[static_cast<std::size_t>(r)] =
+                  dw[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]
+                      .real();
+            }
+            seta[static_cast<std::size_t>(c) * w2 + 2 * k + 1] =
+                fixed_tree_sum(contrib);
           }
-          std::swap(ctx.v, V);
-          std::swap(ctx.w, W);
-          ctx.next_sweep = start + steps;
-          ++ctx.report.chunks_committed;
-          ++ctx.report.speculation_wins;
-          write_checkpoint();
         }
+        {
+          std::lock_guard lock(ctx.m);
+          if (ctx.next_sweep == start) {  // else: the live ranks got there first
+            for (int c = 0; c < width2; ++c) {
+              auto& lane = ctx.eta[static_cast<std::size_t>(c)];
+              for (int j = 0; j < w2; ++j) {
+                lane.push_back(seta[static_cast<std::size_t>(c) * w2 + j]);
+              }
+            }
+            std::swap(ctx.v, V);
+            std::swap(ctx.w, W);
+            ctx.next_sweep = start + steps;
+            ++ctx.report.chunks_committed;
+            ++ctx.report.speculation_wins;
+            write_checkpoint_locked(ctx);
+          }
+        }
+      };
+      try {
+        chunk_and_commit();
+      } catch (...) {
+        // A throwing shadow (checkpoint I/O failure, require()) must not
+        // unwind out of std::thread — that terminates the process.  Park
+        // the exception for reap_shadow to rethrow on the driver side.
+        std::lock_guard lock(ctx.m);
+        ctx.shadow_error = std::current_exception();
       }
       ctx.shadow_done.store(true, std::memory_order_release);
     });
@@ -479,9 +534,14 @@ void ElasticRuntime::solve(Ctx& ctx) {
     if (ctx.shadow.joinable()) {
       // A shadow that already ran to completion (win or loss) is reaped so
       // a new speculation can cover the next chunk; one still in flight
-      // keeps its slot.
+      // keeps its slot.  An error the shadow parked (failed speculative
+      // checkpoint) rethrows here and unwinds rank 0 out of the epoch —
+      // same fatality as the live commit path's checkpoint failures.
       if (!ctx.shadow_done.load(std::memory_order_acquire)) return;
       ctx.shadow.join();
+      if (ctx.shadow_error) {
+        std::rethrow_exception(std::exchange(ctx.shadow_error, nullptr));
+      }
     }
     if (ctx.next_sweep >= ctx.epoch_limit) return;
     if (!straggler_detected()) return;
@@ -510,7 +570,7 @@ void ElasticRuntime::solve(Ctx& ctx) {
     ctx.next_sweep = chunk_start + steps;
     ++ctx.report.chunks_committed;
     update_rates(times);
-    write_checkpoint();
+    write_checkpoint_locked(ctx);
     maybe_speculate();
   };
 
@@ -555,9 +615,10 @@ void ElasticRuntime::solve(Ctx& ctx) {
               ctx.fired[e] == 0 && ev.sweep == s) {
             // Dies before contributing anything of this step; peers blocked
             // in the halo channels or the reduction unwind via cancel().
+            // The driver learns WHICH events fired by diffing ctx.fired
+            // across the epoch (run_ranks joins every rank thread, so the
+            // diff is race-free) — several ranks may fail in one epoch.
             ctx.fired[e] = 1;
-            ctx.failed_event.store(static_cast<int>(e),
-                                   std::memory_order_release);
             throw SimulatedFault();
           }
           if (ev.kind == ElasticEvent::Kind::straggle && ev.rank == rank &&
@@ -676,23 +737,41 @@ void ElasticRuntime::solve(Ctx& ctx) {
       hub->reset();
     }
     ++ctx.report.epochs;
+    const std::vector<char> fired_before = ctx.fired;
     bool failed = false;
     try {
       run_ranks(*hub, body);
     } catch (const SimulatedFault&) {
       failed = true;
     }
-    if (ctx.shadow.joinable()) ctx.shadow.join();
+    // A shadow error (failed speculative checkpoint) is fatal, recovery or
+    // not: reap_shadow rethrows it past the SimulatedFault handling.
+    reap_shadow(ctx);
     if (failed) {
       ++ctx.report.failures_recovered;
-      const int idx = ctx.failed_event.exchange(-1);
-      if (idx >= 0 && !opts_.events[static_cast<std::size_t>(idx)].replace) {
-        apply_membership(ElasticEvent::Kind::fail,
-                         opts_.events[static_cast<std::size_t>(idx)].rank);
+      // Every fail event that fired THIS epoch shrinks the membership when
+      // it carries replace == false — two ranks dying in the same epoch
+      // must both leave, not just whichever set a "last failure" slot.
+      // Descending rank order keeps each erase's index valid against the
+      // rate table the previous erases left behind.
+      std::vector<std::size_t> lost;
+      for (std::size_t e = 0; e < opts_.events.size(); ++e) {
+        if (fired_before[e] == 0 && ctx.fired[e] != 0 &&
+            opts_.events[e].kind == ElasticEvent::Kind::fail &&
+            !opts_.events[e].replace) {
+          lost.push_back(e);
+        }
       }
-      // replace == true: identical rank set and partition — the recovery
-      // epoch recomputes the rolled-back chunk from the last commit, so the
-      // final moments are bitwise equal to the uninterrupted run.
+      std::sort(lost.begin(), lost.end(), [&](std::size_t a, std::size_t b) {
+        return opts_.events[a].rank > opts_.events[b].rank;
+      });
+      for (const std::size_t e : lost) {
+        apply_membership(ElasticEvent::Kind::fail, opts_.events[e].rank);
+      }
+      // replace == true (none lost): identical rank set and partition — the
+      // recovery epoch recomputes the rolled-back chunk from the last
+      // commit, so the final moments are bitwise equal to the uninterrupted
+      // run.
     }
   }
 }

@@ -144,6 +144,15 @@ class ElasticRuntime {
  private:
   struct Ctx;
   void solve(Ctx& ctx);
+  /// Serializes the committed state to opts_.checkpoint_path (atomic tmp +
+  /// rename); no-op when no path is configured.  The caller must hold
+  /// Ctx::m.  A member (not a solve()-scope lambda) so the shadow thread
+  /// never references stack frames that may unwind underneath it.
+  void write_checkpoint_locked(Ctx& ctx) const;
+  /// Joins the shadow executor (if any) and rethrows an exception it
+  /// captured.  Join gives the happens-before that makes the unlocked read
+  /// of Ctx::shadow_error safe.
+  static void reap_shadow(Ctx& ctx);
 
   const sparse::CrsMatrix* global_;
   const sparse::StencilOperator* stencil_ = nullptr;

@@ -209,6 +209,95 @@ TEST(Elastic, ResumeRejectsMismatchedOperatorOrParams) {
   std::remove(path.c_str());
 }
 
+TEST(Elastic, ResumeDoesNotRefireMembershipEventsAlreadyApplied) {
+  // Regression: fired flags are not serialized, so a resume with the same
+  // event plan used to re-fire leave/join events whose membership change was
+  // already baked into the checkpointed partition — repartitioning a second
+  // time and diverging from the uninterrupted run.  The restore must mark
+  // events with sweep < restored next_sweep as consumed (strictly <: a
+  // checkpoint taken AT the boundary sweep predates the event firing).
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = params(4);
+  runtime::ElasticOptions base;
+  base.chunk_sweeps = 3;
+  base.events.push_back(
+      {runtime::ElasticEvent::Kind::leave, /*sweep=*/4, /*rank=*/1});
+  base.events.push_back(
+      {runtime::ElasticEvent::Kind::join, /*sweep=*/8, /*rank=*/0});
+  const auto uninterrupted = runtime::ElasticRuntime(h, s, mp, base).run(3);
+  ASSERT_EQ(uninterrupted.report.schedule.size(), 3u);
+
+  // Stop after the leave fired (frontier 7 > 4) but before the join (8).
+  const std::string path = scratch_path("refire");
+  std::remove(path.c_str());
+  runtime::ElasticOptions first = base;
+  first.checkpoint_path = path;
+  first.stop_after_sweep = 7;
+  const auto partial = runtime::ElasticRuntime(h, s, mp, first).run(3);
+  EXPECT_EQ(partial.report.leaves, 1);
+  EXPECT_EQ(partial.report.joins, 0);
+
+  runtime::ElasticOptions resume = first;
+  resume.resume = true;
+  resume.stop_after_sweep = -1;
+  const auto resumed = runtime::ElasticRuntime(h, s, mp, resume).run(1);
+  std::remove(path.c_str());
+
+  // The already-applied leave must not repartition again; the pending join
+  // still fires at its boundary.  Schedule and moments match the
+  // uninterrupted run exactly.
+  EXPECT_EQ(resumed.report.leaves, 0);
+  EXPECT_EQ(resumed.report.joins, 1);
+  EXPECT_EQ(resumed.report.final_ranks, 3);
+  ASSERT_EQ(resumed.report.schedule.size(), 3u);
+  EXPECT_EQ(resumed.report.schedule[1].sweep, 4);
+  EXPECT_EQ(resumed.report.schedule[2].sweep, 8);
+  expect_bitwise(resumed.mu, uninterrupted.mu, "resume-no-refire");
+}
+
+TEST(Elastic, EveryNonReplaceFailureShrinksTheRankSet) {
+  // Regression: a single "last failed event" slot dropped one membership
+  // shrink when two no-replacement failures fired in the same epoch.  Both
+  // ranks must leave whether the failures land in one epoch or two.
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = params(2);
+  const auto serial = core::moments_aug_spmmv(h, s, mp);
+
+  runtime::ElasticOptions opts;
+  opts.chunk_sweeps = 4;
+  for (const int rank : {1, 2}) {
+    runtime::ElasticEvent ev{runtime::ElasticEvent::Kind::fail, /*sweep=*/5,
+                             rank};
+    ev.replace = false;
+    opts.events.push_back(ev);
+  }
+  const auto res = runtime::ElasticRuntime(h, s, mp, opts).run(4);
+
+  EXPECT_EQ(res.report.final_ranks, 2);
+  EXPECT_EQ(res.report.schedule.size(), 3u);  // initial + two shrinks
+  EXPECT_GE(res.report.failures_recovered, 1);
+  ASSERT_EQ(res.mu.size(), serial.mu.size());
+  for (std::size_t m = 0; m < serial.mu.size(); ++m) {
+    EXPECT_NEAR(res.mu[m], serial.mu[m], 1e-9) << "moment " << m;
+  }
+}
+
+TEST(Elastic, CheckpointWriteFailureSurfacesAsErrorNotTermination) {
+  // A failing checkpoint write (unwritable directory) must unwind cleanly
+  // out of run() as a contract error — through the rank threads and past
+  // any shadow executor — not std::terminate inside a worker thread.
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = params(2);
+  runtime::ElasticOptions opts;
+  opts.chunk_sweeps = 3;
+  opts.checkpoint_path = "test_elastic_no_such_dir/ckpt.bin";
+  EXPECT_THROW((void)runtime::ElasticRuntime(h, s, mp, opts).run(3),
+               contract_error);
+}
+
 TEST(Elastic, StragglerSpeculationKeepsBitsAndWins) {
   const auto h = ti_matrix();
   const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);

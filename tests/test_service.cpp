@@ -616,6 +616,99 @@ TEST(SweepSession, CheckpointFingerprintRejectsMismatchedOperator) {
   }
 }
 
+TEST(SweepSession, FingerprintDigestsValuesForEveryFormat) {
+  // Regression: the digest used to walk values only for assembled CRS, so a
+  // BSR/SELL/stencil operator with the SAME sparsity pattern but different
+  // values (same kind/shape/nnz — a changed hopping, a fresh disorder
+  // realization) shared its print with the old registration and could be
+  // served the old cached spectra or accept the old checkpoints.
+  physics::TIParams p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nz = 3;
+  const auto h = physics::build_ti_hamiltonian(p);
+  physics::TIParams p2 = p;
+  p2.t = 1.25;  // changed hopping: identical pattern, different values
+  const auto h2 = physics::build_ti_hamiltonian(p2);
+  ASSERT_EQ(h.nnz(), h2.nnz());
+  const auto s = scaling_for(h);
+
+  const sparse::BsrMatrix b1(h, 4), b2(h2, 4);
+  EXPECT_NE(core::operator_fingerprint(b1, s),
+            core::operator_fingerprint(b2, s));
+
+  const sparse::SellBlockMatrix l1(h, 4, /*chunk=*/4, /*sigma=*/4);
+  const sparse::SellBlockMatrix l2(h2, 4, /*chunk=*/4, /*sigma=*/4);
+  EXPECT_NE(core::operator_fingerprint(l1, s),
+            core::operator_fingerprint(l2, s));
+
+  // Narrowed storage sweeps different value bits than f64 storage: the two
+  // registrations must not share cached spectra either.
+  const sparse::BsrMatrix b32(h, 4, sparse::MatrixPrecision::f32);
+  EXPECT_NE(core::operator_fingerprint(b1, s),
+            core::operator_fingerprint(b32, s));
+
+  // Matrix-free: two disorder realizations share every term and boundary
+  // entry; only the per-row diagonal stream differs.
+  physics::AndersonParams ap;
+  ap.nx = 4;
+  ap.ny = 4;
+  ap.nz = 4;
+  ap.disorder = 2.0;
+  physics::AndersonParams ap2 = ap;
+  ap2.seed = ap.seed + 1;
+  const auto st1 = physics::make_anderson_stencil(ap);
+  const auto st2 = physics::make_anderson_stencil(ap2);
+  ASSERT_EQ(st1.nnz(), st2.nnz());
+  EXPECT_NE(core::operator_fingerprint(st1, s),
+            core::operator_fingerprint(st2, s));
+
+  // And the checkpoint guard the fingerprint feeds: a block-format
+  // checkpoint must refuse to restore against the different-valued twin.
+  const int width = 2;
+  const auto v0 = start_block(h, 77, width);
+  core::SweepSession session(b1, s, v0, 16);
+  session.advance(4);
+  core::SweepCheckpoint saved = session.checkpoint();
+  EXPECT_THROW(core::SweepSession(b2, s, std::move(saved)), contract_error);
+}
+
+TEST(Service, ReRegisteredStencilModelDoesNotServeStaleCachedResults) {
+  // The reviewer scenario end to end: re-register a matrix-free model under
+  // the same key with a new disorder realization (same structure and nnz)
+  // and repeat the identical request — the cache must MISS.
+  physics::AndersonParams ap;
+  ap.nx = 4;
+  ap.ny = 4;
+  ap.nz = 4;
+  ap.disorder = 2.0;
+  physics::AndersonParams ap2 = ap;
+  ap2.seed = ap.seed + 1;
+  const auto s =
+      physics::make_scaling(physics::gershgorin_bounds(
+                                physics::build_anderson_hamiltonian(ap)),
+                            0.10);
+
+  service::KpmService svc(test_config(4));
+  svc.register_model("anderson", physics::make_anderson_stencil(ap), s);
+  service::JobRequest jr;
+  jr.model = "anderson";
+  jr.num_moments = 16;
+  jr.num_random = 1;
+  jr.seed = 91;
+  auto first = svc.submit(jr);
+  ASSERT_EQ(first->wait(), service::JobStatus::done);
+  svc.drain();
+
+  // Same scaling on purpose: only the operator content distinguishes the
+  // registrations, which is exactly what the fingerprint must capture.
+  svc.register_model("anderson", physics::make_anderson_stencil(ap2), s);
+  auto second = svc.submit(jr);
+  ASSERT_EQ(second->wait(), service::JobStatus::done);
+  EXPECT_FALSE(second->from_cache())
+      << "stale cache hit across re-registered disorder realization";
+}
+
 // --- Result cache ------------------------------------------------------------
 
 std::shared_ptr<core::MomentsResult> make_result(int m) {
