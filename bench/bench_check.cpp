@@ -1,0 +1,268 @@
+// CI regression gate for the committed distributed benchmark data
+// (BENCH_dist.json).  Reruns the cheap deterministic benches and diffs the
+// structural counters — message counts, exchange rounds, redundant frontier
+// rows, halo payload bytes — against the committed file EXACTLY; timings
+// are only required to agree within a generous factor (and are skipped
+// entirely when the committed run used a different thread count).
+//
+// Checks, in order:
+//   1. `table1_traffic --check`  — the traced-traffic floor (self-checking).
+//   2. `fig12_scaling --smoke`   — regenerates the halo-depth sweep at the
+//      same fixed lattice/ranks with fewer reps; its per-sweep structural
+//      counters must reproduce the committed halo_depth_sweep records.
+//   3. Invariants of the committed file itself: one exchange round per s
+//      sweeps (rounds/sweep = 1/s), the message count amortization
+//      (messages/sweep halves from s to 2s up to peer dropout), a >= 1.2x
+//      best-depth per-sweep speedup over the depth-1 overlapped baseline,
+//      and the analytic crossover model's optimal depth within 25% of the
+//      measured optimum (DESIGN §5j acceptance).
+//
+// Usage: bench_check [--bindir <dir>] [--ref <BENCH_dist.json>] [--tol <x>]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("%s  %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The halo_depth_sweep object of one BENCH_dist.json (fields mirror
+/// write_halo_sweep_json in fig12_scaling.cpp, which this tool trusts as
+/// the format authority — both live in bench/).
+struct SweepRecord {
+  int halo_depth = 0;
+  char mode[16] = {0};
+  double seconds_min = 0.0;
+  double seconds_per_sweep = 0.0;
+  double messages_per_sweep = 0.0;
+  double message_rounds_per_sweep = 0.0;
+  long long frontier_rows_per_sweep = 0;
+  long long halo_bytes_per_sweep = 0;
+};
+
+struct Sweep {
+  long long n = 0, nnz = 0;
+  int num_moments = 0, width = 0, ranks = 0, threads = 0;
+  int model_depth = 0, measured_depth = 0;
+  double speedup = 0.0;
+  std::vector<SweepRecord> records;
+};
+
+double scan_number(const std::string& text, const char* key, bool* found) {
+  const auto pos = text.find(key);
+  if (pos == std::string::npos) {
+    if (found != nullptr) *found = false;
+    return 0.0;
+  }
+  if (found != nullptr) *found = true;
+  return std::atof(text.c_str() + pos + std::strlen(key));
+}
+
+bool parse_sweep(const std::string& json, Sweep* out, std::string* err) {
+  const auto start = json.find("\"halo_depth_sweep\"");
+  if (start == std::string::npos) {
+    *err = "no halo_depth_sweep section";
+    return false;
+  }
+  // Top-level thread count (precedes the sweep section).
+  out->threads =
+      static_cast<int>(scan_number(json, "\"threads\": ", nullptr));
+  const std::string sec = json.substr(start);
+  bool ok = true;
+  out->n = static_cast<long long>(scan_number(sec, "\"n\": ", &ok));
+  out->nnz = static_cast<long long>(scan_number(sec, "\"nnz\": ", nullptr));
+  out->num_moments =
+      static_cast<int>(scan_number(sec, "\"num_moments\": ", nullptr));
+  out->width = static_cast<int>(scan_number(sec, "\"width\": ", nullptr));
+  out->ranks = static_cast<int>(scan_number(sec, "\"ranks\": ", nullptr));
+  out->model_depth =
+      static_cast<int>(scan_number(sec, "\"model_optimal_depth\": ", nullptr));
+  out->measured_depth = static_cast<int>(
+      scan_number(sec, "\"measured_optimal_depth\": ", nullptr));
+  out->speedup =
+      scan_number(sec, "\"speedup_vs_depth1_overlapped\": ", nullptr);
+  if (!ok) {
+    *err = "malformed halo_depth_sweep header";
+    return false;
+  }
+  std::size_t pos = 0;
+  while ((pos = sec.find("{\"halo_depth\": ", pos)) != std::string::npos) {
+    SweepRecord r;
+    const int got = std::sscanf(
+        sec.c_str() + pos,
+        "{\"halo_depth\": %d, \"mode\": \"%15[a-z]\", "
+        "\"seconds_min\": %lf, \"seconds_per_sweep\": %lf, "
+        "\"messages_per_sweep\": %lf, \"message_rounds_per_sweep\": %lf, "
+        "\"frontier_rows_per_sweep\": %lld, \"halo_bytes_per_sweep\": %lld",
+        &r.halo_depth, r.mode, &r.seconds_min, &r.seconds_per_sweep,
+        &r.messages_per_sweep, &r.message_rounds_per_sweep,
+        &r.frontier_rows_per_sweep, &r.halo_bytes_per_sweep);
+    if (got != 8) {
+      *err = "malformed halo_depth_sweep record";
+      return false;
+    }
+    out->records.push_back(r);
+    ++pos;
+  }
+  if (out->records.empty()) {
+    *err = "halo_depth_sweep has no records";
+    return false;
+  }
+  return true;
+}
+
+const SweepRecord* find(const Sweep& s, int depth, const char* mode) {
+  for (const auto& r : s.records) {
+    if (r.halo_depth == depth && std::strcmp(r.mode, mode) == 0) return &r;
+  }
+  return nullptr;
+}
+
+int run(const std::string& cmd) {
+  std::printf("+ %s\n", cmd.c_str());
+  std::fflush(stdout);
+  return std::system(cmd.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bindir = ".";
+  std::string ref_path = "BENCH_dist.json";
+  double tol = 8.0;
+  {
+    // Default bindir: wherever this binary lives (sibling benches).
+    const std::string self = argv[0];
+    const auto slash = self.rfind('/');
+    if (slash != std::string::npos) bindir = self.substr(0, slash);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bindir" && next() != nullptr) {
+      bindir = argv[i];
+    } else if (arg == "--ref") {
+      if (next() != nullptr) ref_path = argv[i];
+    } else if (arg == "--tol") {
+      if (next() != nullptr) tol = std::atof(argv[i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--bindir <dir>] [--ref <BENCH_dist.json>] "
+                   "[--tol <factor>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // 1. Traced-traffic floor (self-checking exit code).
+  check(run(bindir + "/table1_traffic --check") == 0,
+        "table1_traffic --check");
+
+  // 2. Rerun the halo-depth sweep and diff it against the committed file.
+  const std::string smoke_path = "bench_check_smoke.json";
+  check(run("KPM_BENCH_JSON=" + smoke_path + " " + bindir +
+            "/fig12_scaling --smoke") == 0,
+        "fig12_scaling --smoke");
+
+  Sweep ref, got;
+  std::string err;
+  if (!parse_sweep(read_file(ref_path), &ref, &err)) {
+    std::printf("FAIL  parse %s: %s\n", ref_path.c_str(), err.c_str());
+    return 1;
+  }
+  if (!parse_sweep(read_file(smoke_path), &got, &err)) {
+    std::printf("FAIL  parse %s: %s\n", smoke_path.c_str(), err.c_str());
+    return 1;
+  }
+  std::remove(smoke_path.c_str());
+
+  check(ref.n == got.n && ref.nnz == got.nnz, "same benchmark matrix");
+  check(ref.num_moments == got.num_moments && ref.width == got.width &&
+            ref.ranks == got.ranks,
+        "same M / R / ranks");
+  check(ref.records.size() == got.records.size(), "same record count");
+  for (const auto& r : ref.records) {
+    const auto* g = find(got, r.halo_depth, r.mode);
+    char label[96];
+    std::snprintf(label, sizeof(label), "depth %d %-10s", r.halo_depth,
+                  r.mode);
+    if (g == nullptr) {
+      check(false, std::string(label) + " present in rerun");
+      continue;
+    }
+    // Structural counters are deterministic: exact equality.
+    check(r.messages_per_sweep == g->messages_per_sweep &&
+              r.message_rounds_per_sweep == g->message_rounds_per_sweep &&
+              r.frontier_rows_per_sweep == g->frontier_rows_per_sweep &&
+              r.halo_bytes_per_sweep == g->halo_bytes_per_sweep,
+          std::string(label) + " structural counters exact");
+    // Timings: same order of magnitude, and only on a comparable machine.
+    if (ref.threads == got.threads) {
+      const double ratio = g->seconds_per_sweep / r.seconds_per_sweep;
+      char msg[128];
+      std::snprintf(msg, sizeof(msg),
+                    "%s seconds_per_sweep within %gx (ratio %.2f)", label,
+                    tol, ratio);
+      check(ratio <= tol && ratio >= 1.0 / tol, msg);
+    } else {
+      std::printf("skip  %s timing (threads %d vs %d)\n", label, ref.threads,
+                  got.threads);
+    }
+  }
+
+  // 3. Acceptance invariants of the committed file itself.
+  for (const auto& r : ref.records) {
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "depth %d %-10s rounds/sweep == 1/s", r.halo_depth, r.mode);
+    check(std::fabs(r.message_rounds_per_sweep - 1.0 / r.halo_depth) < 1e-9,
+          label);
+  }
+  const auto* d1 = find(ref, 1, "plain");
+  if (d1 != nullptr) {
+    for (const auto& r : ref.records) {
+      // One fused round per s sweeps: <= peers/s messages (strictly fewer
+      // when the deeper ghost zone swallows a peer's whole slab and the
+      // plan drops the now-empty channel).
+      char label[96];
+      std::snprintf(label, sizeof(label),
+                    "depth %d %-10s messages/sweep <= peers/s", r.halo_depth,
+                    r.mode);
+      check(r.messages_per_sweep <=
+                d1->messages_per_sweep / r.halo_depth + 1e-9,
+            label);
+    }
+  }
+  check(ref.speedup >= 1.2,
+        "committed best s>1 speedup vs depth-1 overlapped >= 1.2x");
+  check(4 * ref.model_depth >= 3 * ref.measured_depth &&
+            4 * ref.measured_depth >= 3 * ref.model_depth,
+        "model crossover depth within 25% of measured optimum");
+
+  if (g_failures != 0) {
+    std::printf("\nbench_check: %d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nbench_check: all checks passed\n");
+  return 0;
+}

@@ -141,6 +141,37 @@ std::vector<ScalingPoint> strong_scaling(const NodeConfig& node,
   return out;
 }
 
+double sstep_messages_per_sweep(const SStepParams& p, int depth) {
+  require(depth >= 1, "sstep model: depth must be >= 1");
+  return static_cast<double>(p.peers) / depth;
+}
+
+double sstep_sweep_seconds(const SStepParams& p, int depth) {
+  require(depth >= 1, "sstep model: depth must be >= 1");
+  const double frontier = p.frontier_cost * p.layer_rows * (depth - 1) / 2.0;
+  const double compute = p.seconds_per_row * (p.owned_rows + frontier);
+  const double bytes_round =
+      depth == 1 ? p.layer_bytes : 2.0 * depth * p.layer_bytes;
+  const double comm =
+      (p.peers * p.latency_seconds + bytes_round / p.bandwidth) / depth;
+  return compute + comm;
+}
+
+int sstep_optimal_depth(const SStepParams& p,
+                        const std::vector<int>& candidates) {
+  require(!candidates.empty(), "sstep model: no candidate depths");
+  int best = candidates.front();
+  double best_t = sstep_sweep_seconds(p, best);
+  for (const int d : candidates) {
+    const double t = sstep_sweep_seconds(p, d);
+    if (t < best_t) {
+      best_t = t;
+      best = d;
+    }
+  }
+  return best;
+}
+
 double node_power_watts(const NodeConfig& node, double blade_overhead_watts) {
   return node.cpu->tdp_watts + node.gpu->tdp_watts + blade_overhead_watts;
 }

@@ -74,6 +74,46 @@ struct ScalingPoint {
                                                        Domain fixed,
                                                        int max_nodes);
 
+/// Per-sweep cost model of the communication-avoiding depth-s halo plan
+/// (runtime/dist_matrix halo_depth, DESIGN §5j).  Calibrated from measured
+/// quantities — a local sweep rate, the per-message latency, the ghost-layer
+/// geometry — it predicts where the redundant frontier flops overtake the
+/// amortized message latency, i.e. the optimal s.
+struct SStepParams {
+  double seconds_per_row = 0.0;  ///< measured local sweep seconds per row
+  double owned_rows = 0.0;       ///< rows this rank owns
+  /// Rows added by ONE more ghost layer (the boundary surface b; layers of a
+  /// short-range operator all have ~the same size).
+  double layer_rows = 0.0;
+  /// Relative cost of one redundant frontier row vs one owned row.  Frontier
+  /// sweeps skip the eta dot products and stream a compact operator, so this
+  /// is typically < 1; the bench calibrates it from the measured depth curve.
+  double frontier_cost = 1.0;
+  int peers = 0;                 ///< messages per exchange (directed sends)
+  double latency_seconds = 0.0;  ///< per-message handoff latency
+  double layer_bytes = 0.0;      ///< ONE vector over ONE layer, all peers
+  double bandwidth = 1e12;       ///< payload bytes/s once a message moves
+};
+
+/// Messages this rank sends per sweep under a depth-s plan: one round of
+/// `peers` sends amortized over s sweeps.  Validated in bench/fig12_scaling
+/// against the MessageHub messages_sent() counter.
+[[nodiscard]] double sstep_messages_per_sweep(const SStepParams& p, int depth);
+
+/// Predicted per-sweep wall time under a depth-s plan:
+///   compute:  seconds_per_row * (owned + frontier_cost*layer_rows*(s-1)/2)
+///             (sweep t of a round advances layers 1..s-1-t, so the mean
+///              redundant frontier is (s-1)/2 layers)
+///   comm:     (peers * latency + bytes_round / bandwidth) / s
+///             with bytes_round = layer_bytes at s = 1 (v only) and
+///             2 * s * layer_bytes for s > 1 (v AND w over all s layers).
+[[nodiscard]] double sstep_sweep_seconds(const SStepParams& p, int depth);
+
+/// Argmin of sstep_sweep_seconds over `candidates` (ties -> the earlier,
+/// i.e. shallower, candidate).
+[[nodiscard]] int sstep_optimal_depth(const SStepParams& p,
+                                      const std::vector<int>& candidates);
+
 struct ResourceUsage {
   std::string version;
   double tflops = 0.0;

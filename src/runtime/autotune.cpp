@@ -1,6 +1,7 @@
 #include "runtime/autotune.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -117,7 +118,7 @@ class TileConfigGuard {
 // keys carry the full storage identity (block format, value precision,
 // index width); v1 entries would collide across those, so v1 files are
 // rejected wholesale and re-probed.
-constexpr int kCacheVersion = 2;
+constexpr int kCacheVersion = 3;
 
 bool parse_double_field(const std::string& obj, const char* name,
                         double* out) {
@@ -183,7 +184,7 @@ AutoTuner::AutoTuner(std::string cache_path)
 
 std::string AutoTuner::cache_key(const char* format, global_index nrows,
                                  global_index nnz, int threads, int width,
-                                 int ranks) {
+                                 int ranks, int halo_depth) {
   std::string key = format;
   key += ':';
   key += std::to_string(static_cast<long long>(nrows));
@@ -196,6 +197,12 @@ std::string AutoTuner::cache_key(const char* format, global_index nrows,
   if (ranks != 1) {
     key += ":r";
     key += std::to_string(ranks);
+  }
+  // Depth-s plans sweep extra frontier rows per exchange, so their best tile
+  // shape need not match the depth-1 plan's — never share entries (v3).
+  if (halo_depth != 1) {
+    key += ":d";
+    key += std::to_string(halo_depth);
   }
   return key;
 }
@@ -581,7 +588,7 @@ TileTuneResult tune_distributed_tiles(Communicator& comm,
   out.key = AutoTuner::cache_key(
       "crs-dist", dist.partition().total_rows(),
       static_cast<global_index>(nnz_total[0]), max_threads(), width,
-      comm.size());
+      comm.size(), dist.halo_depth());
   if (p.use_cache && tuner.lookup(out.key, &out.config, &out.seconds)) {
     out.from_cache = true;
     if (p.install) sparse::set_tile_config(out.config);
@@ -673,6 +680,84 @@ TileTuneResult tune_distributed_tiles(Communicator& comm,
     guard.dismiss();
   }
   comm.barrier();
+  return out;
+}
+
+HaloDepthTuneResult tune_halo_depth(Communicator& comm,
+                                    const sparse::CrsMatrix& global,
+                                    const RowPartition& part, int width,
+                                    const HaloDepthTuneParams& p) {
+  require(width >= 1 && p.rounds_per_probe >= 1 && !p.candidates.empty(),
+          "tune_halo_depth: invalid parameters");
+  default_omp_affinity();
+  HaloDepthTuneResult out;
+  const auto rec = sparse::AugScalars::recurrence(0.25, 0.0);
+  std::vector<complex_t> dvv(static_cast<std::size_t>(width));
+  std::vector<complex_t> dwv(static_cast<std::size_t>(width));
+
+  double best = 1e300;
+  for (const int depth : p.candidates) {
+    require(depth >= 1, "tune_halo_depth: depths must be >= 1");
+    // Build the candidate plan (collective) and time whole rounds: one
+    // fused exchange, then `depth` sweeps over owned + shrinking frontier —
+    // exactly the production round of distributed_moments (dist_kpm.cpp).
+    DistributedMatrix dist(
+        comm, global, part,
+        DistMatrixOptions{.transport = p.transport, .halo_depth = depth});
+    blas::BlockVector v(dist.extended_rows(), width);
+    blas::BlockVector w(dist.extended_rows(), width);
+    for (global_index i = 0; i < dist.local_rows(); ++i) {
+      for (int r = 0; r < width; ++r) {
+        v(i, r) = {1.0 / (1.0 + static_cast<double>(i + r)), 0.5};
+      }
+    }
+    const std::array<IndexRange<global_index>, 1> owned{
+        {{0, dist.local_rows()}}};
+    auto round = [&] {
+      for (int t = 0; t < depth; ++t) {
+        if (t == 0) {
+          if (depth == 1) {
+            dist.exchange_halo(comm, v);
+          } else {
+            dist.exchange_round_halo(comm, v, w);
+          }
+        }
+        std::fill(dvv.begin(), dvv.end(), complex_t{});
+        std::fill(dwv.begin(), dwv.end(), complex_t{});
+        sparse::aug_spmmv_runs(dist.local(), rec, v, w, owned, dvv, dwv);
+        const global_index nfr = dist.frontier_rows(depth - 1 - t);
+        if (nfr > 0) {
+          const std::array<IndexRange<global_index>, 1> fr{
+              {{dist.local_rows(), dist.local_rows() + nfr}}};
+          sparse::aug_spmmv_runs(dist.frontier(), rec, v, w, fr, {}, {});
+        }
+      }
+    };
+    round();  // warm-up: channels handshaken, caches touched
+    double round_best = 1e300;
+    Timer t;
+    for (int rep = 0; rep < p.rounds_per_probe; ++rep) {
+      comm.barrier();
+      t.reset();
+      t.start();
+      round();
+      t.stop();
+      round_best = std::min(round_best, t.seconds());
+    }
+    // Worst rank decides (wall clock — the blocked halo wait IS the cost
+    // the deeper plans amortize), allreduced so every rank agrees.
+    std::vector<double> times(static_cast<std::size_t>(comm.size()), 0.0);
+    times[static_cast<std::size_t>(comm.rank())] = round_best;
+    comm.allreduce_sum(times);
+    const double per_sweep =
+        *std::max_element(times.begin(), times.end()) / depth;
+    out.probed.push_back({depth, per_sweep});
+    if (per_sweep < best) {  // strict: ties keep the shallower earlier plan
+      best = per_sweep;
+      out.depth = depth;
+      out.seconds_per_sweep = per_sweep;
+    }
+  }
   return out;
 }
 

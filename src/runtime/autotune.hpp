@@ -17,10 +17,11 @@
 // block kernel — {column-tile width} x {row-band height} x {NT stores
 // on/off} (sparse::TileConfig) — installs the fastest configuration, and
 // persists it in a small JSON cache file keyed by (matrix shape, format,
-// threads, width, ranks).  The format component of the key carries the full
-// storage identity — "bsr4-f32-i16" distinguishes block dimension, value
-// precision and index width (cache schema v2; v1 files lacked the
-// block-format fields and are rejected wholesale, forcing a clean re-probe).
+// threads, width, ranks, halo depth).  The format component of the key
+// carries the full storage identity — "bsr4-f32-i16" distinguishes block
+// dimension, value precision and index width; distributed probes under a
+// depth-s halo plan carry a ":d<s>" component (cache schema v3; older
+// files are rejected wholesale, forcing a clean re-probe).
 // A later run with a warm cache applies the stored configuration without a
 // single kernel timing run.  The cache file defaults to
 // ".kpm_tune_cache.json" in the working directory; override with the
@@ -42,6 +43,7 @@
 #include <vector>
 
 #include "runtime/comm.hpp"
+#include "runtime/dist_matrix.hpp"
 #include "runtime/partition.hpp"
 #include "sparse/crs.hpp"
 #include "sparse/kpm_kernels.hpp"
@@ -119,10 +121,14 @@ class AutoTuner {
                             const TileTuneParams& p = {});
 
   /// Cache primitives (shared with the collective weight tuner below).
+  /// `halo_depth` != 1 appends a ":d<depth>" component so depth-s and
+  /// depth-1 distributed probes never share an entry (schema v3; v2 files
+  /// predate the component and are rejected wholesale).
   [[nodiscard]] static std::string cache_key(const char* format,
                                              global_index nrows,
                                              global_index nnz, int threads,
-                                             int width, int ranks = 1);
+                                             int width, int ranks = 1,
+                                             int halo_depth = 1);
   [[nodiscard]] bool lookup(const std::string& key, sparse::TileConfig* config,
                             double* seconds) const;
   /// Inserts/overwrites one entry and rewrites the cache file.
@@ -240,8 +246,6 @@ struct AutoTuneResult {
                                                const sparse::CrsMatrix& global,
                                                const AutoTuneParams& p = {});
 
-class DistributedMatrix;
-
 /// Collective tile probe for an already-built distributed operator: times
 /// the fused block kernel on every rank's local() partition, judges each
 /// candidate by the allreduced worst-rank time, and installs the winner
@@ -254,5 +258,37 @@ TileTuneResult tune_distributed_tiles(Communicator& comm,
                                       const DistributedMatrix& dist, int width,
                                       const TileTuneParams& p = {},
                                       const std::string& cache_path = {});
+
+/// Candidate space of the communication-avoiding depth probe (DESIGN §5j).
+struct HaloDepthTuneParams {
+  /// Ghost-zone depths probed, ascending; ties go to the smaller depth.
+  std::vector<int> candidates{1, 2, 4, 8};
+  /// Timed rounds per candidate (each round = one fused exchange + depth
+  /// locally computed sweeps); the best round is kept.
+  int rounds_per_probe = 3;
+  HaloTransport transport = HaloTransport::persistent;
+};
+
+struct HaloDepthProbe {
+  int depth = 1;
+  double seconds_per_sweep = 0.0;  ///< allreduced worst-rank wall time
+};
+
+struct HaloDepthTuneResult {
+  int depth = 1;                       ///< winning ghost-zone depth
+  double seconds_per_sweep = 0.0;      ///< its measured per-sweep time
+  std::vector<HaloDepthProbe> probed;  ///< every candidate, probe order
+};
+
+/// Collective: probes the communication-avoiding sweep over the candidate
+/// ghost-zone depths — each candidate builds a depth-s plan of `global` over
+/// `part` and times whole rounds (ONE fused v+w exchange, then s owned +
+/// shrinking-frontier sweeps), wall clock, judged by the allreduced
+/// worst-rank per-sweep time.  Wall clock, not CPU time: the latency the
+/// deeper plans amortize is exactly the blocked wait the CPU clock hides.
+/// Every rank returns the same winner.
+[[nodiscard]] HaloDepthTuneResult tune_halo_depth(
+    Communicator& comm, const sparse::CrsMatrix& global,
+    const RowPartition& part, int width, const HaloDepthTuneParams& p = {});
 
 }  // namespace kpm::runtime

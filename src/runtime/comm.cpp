@@ -28,6 +28,7 @@ void MessageHub::send(int src, int dst, int tag,
     std::lock_guard lock(box.m);
     bytes_sent_ += static_cast<std::int64_t>(payload.size());
     staged_messages_ += 1;
+    messages_sent_ += 1;
     box.queue.push_back({src, tag, std::move(payload)});
   }
   box.cv.notify_all();
@@ -101,7 +102,10 @@ void MessageHub::channel_post(int id) {
   {
     std::lock_guard lock(ch.m);
     ch.full = true;
-    if (ch.counted) bytes_sent_ += static_cast<std::int64_t>(ch.size);
+    if (ch.counted) {
+      bytes_sent_ += static_cast<std::int64_t>(ch.size);
+      messages_sent_ += 1;
+    }
   }
   ch.cv.notify_all();
 }
@@ -242,6 +246,10 @@ std::int64_t MessageHub::reduction_bytes_sent() const noexcept {
 
 std::int64_t MessageHub::staged_messages() const noexcept {
   return staged_messages_.load(std::memory_order_relaxed);
+}
+
+std::int64_t MessageHub::messages_sent() const noexcept {
+  return messages_sent_.load(std::memory_order_relaxed);
 }
 
 namespace {

@@ -122,6 +122,11 @@ class MessageHub {
   /// Heap allocations performed by the staged transport (one per queued
   /// message payload); the persistent-channel path never adds to this.
   [[nodiscard]] std::int64_t staged_messages() const noexcept;
+  /// Point-to-point messages moved — staged sends plus posted channel
+  /// messages, excluding internal reduction traffic.  The per-message
+  /// latency denominator of the communication-avoiding model (DESIGN §5j):
+  /// a depth-s plan must show ~1/s of the depth-1 count per sweep.
+  [[nodiscard]] std::int64_t messages_sent() const noexcept;
 
  private:
   struct Message {
@@ -174,6 +179,7 @@ class MessageHub {
   std::atomic<std::int64_t> bytes_sent_{0};
   std::atomic<std::int64_t> reduction_bytes_{0};
   std::atomic<std::int64_t> staged_messages_{0};
+  std::atomic<std::int64_t> messages_sent_{0};
 };
 
 /// RAII hold of a persistent channel on the sender side: acquires the buffer

@@ -1,5 +1,6 @@
 #include "runtime/dist_kpm.hpp"
 
+#include <array>
 #include <optional>
 
 #include "runtime/autotune.hpp"
@@ -142,6 +143,7 @@ DistMomentsResult distributed_moments_impl(
       balancer.record_sweep(comm.rank(), Timer::thread_cpu_now() - t0);
     }
     out.halo_bytes_sent += dist.send_bytes_per_exchange(width);
+    out.message_rounds += 1;
     out.ops.spmv_equivalents += width;
     out.ops.matrix_streams += 1;
     if (p.reduction == core::ReductionMode::per_iteration) reduce_now();
@@ -154,14 +156,112 @@ DistMomentsResult distributed_moments_impl(
     }
   };
 
-  timed_step(sparse::AugScalars::startup(s.a, s.b), 0);
-  store_eta(0);
-
+  const auto startup = sparse::AugScalars::startup(s.a, s.b);
   const auto rec = sparse::AugScalars::recurrence(s.a, s.b);
-  for (int m = 1; 2 * m + 1 < p.num_moments; ++m) {
-    std::swap(v, w);
-    timed_step(rec, m);
-    store_eta(2 * m);
+  const int depth = dist.halo_depth();
+  const int total_sweeps = p.num_moments / 2;
+
+  if (depth == 1) {
+    timed_step(startup, 0);
+    store_eta(0);
+    for (int m = 1; 2 * m + 1 < p.num_moments; ++m) {
+      std::swap(v, w);
+      timed_step(rec, m);
+      store_eta(2 * m);
+    }
+  } else {
+    // Communication-avoiding s-step rounds (DESIGN §5j).  Each round opens
+    // with ONE fused exchange of v and w over all `depth` halo layers, then
+    // advances k <= depth sweeps purely locally: every sweep processes the
+    // owned rows exactly as the depth-1 path does (same run lists, same dot
+    // accumulation — bitwise-identical owned moments) plus a shrinking
+    // frontier of ghost rows (layers 1..remaining) with the dots skipped.
+    //
+    // Validity chain: sweep t of a round reads v on owned+layers
+    // 1..(k-t) — computed by sweep t-1 — and w (the state two sweeps back)
+    // on the rows it computes, which the round exchange covered.
+    std::array<IndexRange<global_index>, 1> owned_run{};
+    std::array<IndexRange<global_index>, 1> frontier_run{};
+    // Owned sweep in the depth-1 accumulation order; the frontier sweep is
+    // separate so owned dots never see ghost contributions.
+    auto owned_sweep = [&](const sparse::AugScalars& scalars, bool first) {
+      std::fill(dvv.begin(), dvv.end(), complex_t{});
+      std::fill(dwv.begin(), dwv.end(), complex_t{});
+      if (!overlapped) {
+        if (first) dist.exchange_round_halo(comm, v, w);
+        owned_run[0] = {0, dist.local_rows()};
+        if (local_stencil) {
+          sparse::aug_spmmv_runs(*local_stencil, scalars, v, w, owned_run,
+                                 dvv, dwv);
+        } else {
+          sparse::aug_spmmv_runs(dist.local(), scalars, v, w, owned_run,
+                                 dvv, dwv);
+        }
+        return;
+      }
+      // Split-phase round opening: interior rows (no halo reads) run while
+      // the round's messages are in flight.  Later sweeps of the round keep
+      // the same interior-then-boundary order so the dot bits match the
+      // depth-1 overlapped path sweep for sweep.
+      if (first) dist.start_round_exchange(comm, v, w);
+      if (local_stencil) {
+        sparse::aug_spmmv_runs(*local_stencil, scalars, v, w,
+                               dist.interior_runs(), dvv, dwv);
+        if (first) dist.finish_round_exchange(comm, v, w);
+        sparse::aug_spmmv_runs(*local_stencil, scalars, v, w,
+                               dist.boundary_runs(), dvv, dwv);
+        return;
+      }
+      sparse::aug_spmmv_runs(dist.local(), scalars, v, w,
+                             dist.interior_runs(), dvv, dwv);
+      if (first) dist.finish_round_exchange(comm, v, w);
+      sparse::aug_spmmv_runs(dist.local(), scalars, v, w,
+                             dist.boundary_runs(), dvv, dwv);
+    };
+    int sweep = 0;
+    while (sweep < total_sweeps) {
+      const int k = std::min(depth, total_sweeps - sweep);
+      for (int t = 0; t < k; ++t, ++sweep) {
+        if (sweep > 0) std::swap(v, w);
+        const auto& sc = sweep == 0 ? startup : rec;
+        const global_index nfr = dist.frontier_rows(k - 1 - t);
+        auto body = [&] {
+          owned_sweep(sc, t == 0);
+          if (nfr > 0) {
+            frontier_run[0] = {dist.local_rows(), dist.local_rows() + nfr};
+            sparse::aug_spmmv_runs(dist.frontier(), sc, v, w, frontier_run,
+                                   {}, {});
+          }
+        };
+        if (!balancing) {
+          body();
+        } else {
+          comm.barrier();
+          const double t0 = Timer::thread_cpu_now();
+          body();
+          balancer.record_sweep(comm.rank(), Timer::thread_cpu_now() - t0);
+        }
+        if (t == 0) {
+          out.halo_bytes_sent += dist.send_bytes_per_round(width);
+          out.message_rounds += 1;
+        }
+        out.frontier_rows_computed += nfr;
+        out.ops.spmv_equivalents += width;
+        out.ops.matrix_streams += 1;
+        store_eta(2 * sweep);
+        if (p.reduction == core::ReductionMode::per_iteration) reduce_now();
+        // Repartitions only at round boundaries: the next round re-exchanges
+        // both vectors, so migrated state never needs mid-round frontier
+        // validity.  decide() is collective — all ranks gate it identically.
+        if (balancing && t == k - 1) {
+          RowPartition next_part;
+          if (balancer.decide(comm, dist.partition(), sweep, &next_part)) {
+            dist.repartition(comm, next_part, {&v, &w});
+            balancer.note_repartition(sweep, next_part);
+          }
+        }
+      }
+    }
   }
 
   if (p.reduction == core::ReductionMode::at_end) {

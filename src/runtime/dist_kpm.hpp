@@ -13,6 +13,12 @@ struct DistMomentsResult {
   std::vector<double> mu;  ///< identical on every rank after the reduction
   core::OpCounters ops;    ///< this rank's counters
   std::int64_t halo_bytes_sent = 0;  ///< this rank's halo payload total
+  /// Halo exchange rounds this rank started: one per sweep at depth 1, one
+  /// per s sweeps under a depth-s plan (DESIGN §5j).
+  std::int64_t message_rounds = 0;
+  /// Ghost rows redundantly recomputed across all sweeps — the flops the
+  /// communication-avoiding scheme trades for the saved message latency.
+  std::int64_t frontier_rows_computed = 0;
   /// What the adaptive balancer measured and did (DistKpmOptions::balance);
   /// default-initialized when balancing was not engaged.
   BalanceReport balance;
@@ -51,6 +57,15 @@ struct DistKpmOptions {
 /// round-off.  `dist` is taken mutable because the adaptive balancer
 /// (opts.balance) may live-repartition it mid-solve; with balancing off it
 /// is left untouched.
+///
+/// Communication-avoiding s-step mode (DESIGN §5j): when `dist` was built
+/// with halo_depth s > 1, the solver advances in rounds of s sweeps — ONE
+/// fused v+w exchange of the depth-s ghost zone per round, then s locally
+/// computed sweeps that redundantly advance a shrinking frontier of ghost
+/// rows (dist.frontier()).  Owned rows keep the depth-1 accumulation order
+/// and dot partition exactly, so the moments are BITWISE identical to the
+/// same solver on a depth-1 plan of the same partition — for the assembled,
+/// block-format-free and stencil paths alike.
 [[nodiscard]] DistMomentsResult distributed_moments(
     Communicator& comm, DistributedMatrix& dist,
     const physics::Scaling& s, const core::MomentParams& p,

@@ -9,6 +9,7 @@
 #endif
 
 #include "sparse/coo.hpp"
+#include "sparse/stencil.hpp"
 #include "util/check.hpp"
 
 namespace kpm::runtime {
@@ -17,6 +18,7 @@ namespace {
 constexpr int tag_request = 1;
 constexpr int tag_halo = 2;
 constexpr int tag_migrate = 3;
+constexpr int tag_round = 4;
 
 /// Contiguous interval of global rows (begin >= end means empty).
 struct RowInterval {
@@ -42,54 +44,108 @@ DistributedMatrix::DistributedMatrix(Communicator& comm,
                                      const sparse::CrsMatrix& global,
                                      const RowPartition& partition,
                                      HaloTransport transport)
+    : DistributedMatrix(comm, global, partition,
+                        DistMatrixOptions{.transport = transport}) {}
+
+DistributedMatrix::DistributedMatrix(Communicator& comm,
+                                     const sparse::CrsMatrix& global,
+                                     const RowPartition& partition,
+                                     const DistMatrixOptions& opts)
     : rank_(comm.rank()),
       global_(&global),
       part_(partition),
-      transport_(transport) {
+      opts_(opts) {
   require(part_.ranks() == comm.size(),
           "DistributedMatrix: partition/communicator size mismatch");
   require(part_.total_rows() == global.nrows(),
           "DistributedMatrix: partition does not cover the matrix");
+  require(opts_.halo_depth >= 1,
+          "DistributedMatrix: halo_depth must be >= 1");
   rebuild(comm);
 }
 
 LocalPlan make_local_plan(const sparse::CrsMatrix& global,
                           const RowPartition& part, int rank) {
+  return make_local_plan(global, part, rank, DistMatrixOptions{});
+}
+
+LocalPlan make_local_plan(const sparse::CrsMatrix& global,
+                          const RowPartition& part, int rank,
+                          const DistMatrixOptions& opts) {
+  const int depth = opts.halo_depth;
+  require(depth >= 1, "make_local_plan: halo_depth must be >= 1");
+  if (opts.pattern != nullptr) {
+    require(opts.pattern->nrows() == global.nrows() &&
+                opts.pattern->ncols() == global.ncols(),
+            "make_local_plan: pattern stencil shape != assembled matrix");
+  }
   LocalPlan plan;
+  plan.halo_depth = depth;
   plan.row_begin = part.begin(rank);
   plan.row_end = part.end(rank);
   const global_index row_begin = plan.row_begin;
   const global_index row_end = plan.row_end;
   const global_index nlocal = row_end - row_begin;
 
-  // Collect off-block columns, grouped by owner, deduplicated and ordered.
+  // The pattern of one global row: assembled CRS walk, or — when a stencil
+  // is supplied — straight from the term-delta geometry (no pattern walk).
+  std::vector<global_index> pat;
+  const auto row_pattern = [&](global_index row) -> std::span<const global_index> {
+    pat.clear();
+    if (opts.pattern != nullptr) {
+      opts.pattern->append_row_pattern(row, pat);
+    } else {
+      for (const auto c : global.row_cols(row)) pat.push_back(c);
+    }
+    return pat;
+  };
+
+  // Layered k-hop column closure.  Layer 1 = off-block columns of the owned
+  // rows; layer l+1 = columns of layer-l rows not yet assigned.  Slots are
+  // assigned layer-major and column-ascending within a layer, so
+  //  (a) the layer-1 slots are exactly the classic depth-1 plan (owned-row
+  //      column remaps are depth-invariant — the bitwise contract), and
+  //  (b) one peer's columns within one layer are consecutive slots
+  //      (partition blocks are contiguous), so the receive scatter is at
+  //      most `depth` memcpys per peer.
   std::map<global_index, global_index> halo_slot;  // global col -> slot
-  plan.needed.assign(static_cast<std::size_t>(part.ranks()), {});
-  for (global_index i = row_begin; i < row_end; ++i) {
-    for (const auto c : global.row_cols(i)) {
-      const global_index gc = c;
-      if (gc < row_begin || gc >= row_end) {
-        if (halo_slot.emplace(gc, 0).second) {
-          plan.needed[static_cast<std::size_t>(part.owner(gc))].push_back(gc);
+  plan.layer_offsets.assign(1, 0);
+  std::vector<global_index> prev;  // rows whose columns fed the last layer
+  for (int level = 1; level <= depth; ++level) {
+    std::vector<global_index> fresh;
+    const auto expand = [&](global_index row) {
+      for (const auto gc : row_pattern(row)) {
+        if ((gc < row_begin || gc >= row_end) &&
+            halo_slot.emplace(gc, -1).second) {
+          fresh.push_back(gc);
         }
       }
+    };
+    if (level == 1) {
+      for (global_index i = row_begin; i < row_end; ++i) expand(i);
+    } else {
+      for (const auto row : prev) expand(row);
     }
-  }
-  // Halo slots ordered by peer rank, then by the request list order — so the
-  // slots of one peer form one contiguous ascending block and the receive
-  // scatter is a single memcpy per peer.
-  for (int peer = 0; peer < part.ranks(); ++peer) {
-    auto& cols = plan.needed[static_cast<std::size_t>(peer)];
-    std::sort(cols.begin(), cols.end());
-    for (const auto gc : cols) {
+    std::sort(fresh.begin(), fresh.end());
+    for (const auto gc : fresh) {
       halo_slot[gc] = static_cast<global_index>(plan.recv_order.size());
       plan.recv_order.push_back(gc);
     }
+    plan.layer_offsets.push_back(
+        static_cast<global_index>(plan.recv_order.size()));
+    prev = std::move(fresh);
+  }
+
+  // Per-owner request lists in slot order (layer-major, column-ascending
+  // within a layer) — the exact packing order of that owner's payload.
+  plan.needed.assign(static_cast<std::size_t>(part.ranks()), {});
+  for (const auto gc : plan.recv_order) {
+    plan.needed[static_cast<std::size_t>(part.owner(gc))].push_back(gc);
   }
 
   // Build the local operator with remapped columns.
-  sparse::CooMatrix coo(nlocal, nlocal + static_cast<global_index>(
-                                             plan.recv_order.size()));
+  const auto total_halo = static_cast<global_index>(plan.recv_order.size());
+  sparse::CooMatrix coo(nlocal, nlocal + total_halo);
   for (global_index i = row_begin; i < row_end; ++i) {
     const auto cols = global.row_cols(i);
     const auto vals = global.row_values(i);
@@ -103,12 +159,58 @@ LocalPlan make_local_plan(const sparse::CrsMatrix& global,
   }
   coo.compress();
   plan.local = sparse::CrsMatrix(coo);
+
+  // Frontier operator: halo slots of layers 1..depth-1 as redundantly
+  // computable rows.  Row nlocal + j is slot j's global row with its entries
+  // in the OWNER's accumulation order — owner-window columns ascending
+  // first, then the rest ascending (the owner's halo references are all in
+  // its own layer 1, whose slots ascend by column at any depth) — so the
+  // redundant sweep reproduces the owner's per-row arithmetic bit for bit.
+  if (depth > 1) {
+    const global_index nfront = plan.layer_offsets[static_cast<std::size_t>(
+        depth - 1)];
+    aligned_vector<global_index> fptr(
+        static_cast<std::size_t>(nlocal + nfront) + 1, 0);
+    aligned_vector<local_index> fcol;
+    aligned_vector<complex_t> fval;
+    const auto local_col = [&](global_index gc) {
+      return static_cast<local_index>(gc >= row_begin && gc < row_end
+                                          ? gc - row_begin
+                                          : nlocal + halo_slot.at(gc));
+    };
+    for (global_index j = 0; j < nfront; ++j) {
+      const global_index g = plan.recv_order[static_cast<std::size_t>(j)];
+      const int owner = part.owner(g);
+      const global_index ob = part.begin(owner);
+      const global_index oe = part.end(owner);
+      const auto cols = global.row_cols(g);
+      const auto vals = global.row_values(g);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] >= ob && cols[k] < oe) {
+          fcol.push_back(local_col(cols[k]));
+          fval.push_back(vals[k]);
+        }
+      }
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] < ob || cols[k] >= oe) {
+          fcol.push_back(local_col(cols[k]));
+          fval.push_back(vals[k]);
+        }
+      }
+      fptr[static_cast<std::size_t>(nlocal + j) + 1] =
+          static_cast<global_index>(fcol.size());
+    }
+    plan.frontier =
+        sparse::CrsMatrix(nlocal + nfront, nlocal + total_halo,
+                          std::move(fptr), std::move(fcol), std::move(fval));
+  }
   return plan;
 }
 
 void DistributedMatrix::rebuild(Communicator& comm) {
   send_rows_.clear();
   recv_slots_.clear();
+  recv_runs_.clear();
   send_channel_.clear();
   recv_channel_.clear();
   interior_runs_.clear();
@@ -118,17 +220,42 @@ void DistributedMatrix::rebuild(Communicator& comm) {
   interior_end_ = 0;
   const global_index nlocal = part_.local_rows(rank_);
 
-  LocalPlan plan = make_local_plan(*global_, part_, rank_);
+  LocalPlan plan = make_local_plan(*global_, part_, rank_, opts_);
   local_ = std::move(plan.local);
+  frontier_ = std::move(plan.frontier);
+  layer_offsets_ = std::move(plan.layer_offsets);
   recv_order_ = std::move(plan.recv_order);
+  // Slot index of every peer's requested columns, in request-list order:
+  // recv_order is in slot order and needed[] partitions it by owner, so
+  // each peer's k-th requested column's slot is recovered by a single
+  // ordered walk over the slot space.
   recv_slots_.assign(static_cast<std::size_t>(comm.size()), {});
   {
-    global_index slot = 0;
-    for (int peer = 0; peer < comm.size(); ++peer) {
-      for (std::size_t k = 0;
-           k < plan.needed[static_cast<std::size_t>(peer)].size(); ++k) {
-        recv_slots_[static_cast<std::size_t>(peer)].push_back(slot++);
-      }
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(comm.size()), 0);
+    for (std::size_t slot = 0; slot < recv_order_.size(); ++slot) {
+      const int owner = part_.owner(recv_order_[slot]);
+      const auto& want = plan.needed[static_cast<std::size_t>(owner)];
+      require(cursor[static_cast<std::size_t>(owner)] < want.size() &&
+                  want[cursor[static_cast<std::size_t>(owner)]] ==
+                      recv_order_[slot],
+              "halo plan: request list out of slot order");
+      ++cursor[static_cast<std::size_t>(owner)];
+      recv_slots_[static_cast<std::size_t>(owner)].push_back(
+          static_cast<global_index>(slot));
+    }
+  }
+  // Compress each peer's slot list (strictly ascending) into contiguous
+  // runs — the receive scatter's memcpy units.  One run per (peer, layer)
+  // at most; exactly one per peer at depth 1.
+  recv_runs_.assign(static_cast<std::size_t>(comm.size()), {});
+  for (int peer = 0; peer < comm.size(); ++peer) {
+    const auto& slots = recv_slots_[static_cast<std::size_t>(peer)];
+    auto& runs = recv_runs_[static_cast<std::size_t>(peer)];
+    for (std::size_t k = 0; k < slots.size();) {
+      std::size_t j = k + 1;
+      while (j < slots.size() && slots[j] == slots[j - 1] + 1) ++j;
+      runs.push_back({slots[k], slots[j - 1] + 1});
+      k = j;
     }
   }
 
@@ -160,7 +287,7 @@ void DistributedMatrix::rebuild(Communicator& comm) {
   // by the handshake above.
   send_channel_.assign(static_cast<std::size_t>(comm.size()), -1);
   recv_channel_.assign(static_cast<std::size_t>(comm.size()), -1);
-  if (transport_ == HaloTransport::persistent) {
+  if (transport() == HaloTransport::persistent) {
     const int key = comm.hub().next_collective_key(rank_);
     for (int peer = 0; peer < comm.size(); ++peer) {
       if (peer == rank_) continue;
@@ -234,7 +361,7 @@ void DistributedMatrix::repartition(
   // plan locally, no handshake.  Channels of the migration live in a fresh
   // collective key space (each repartition is a new negotiation; the per-
   // rank key counters stay in lockstep because this call is collective).
-  const bool channels = transport_ == HaloTransport::persistent;
+  const bool channels = transport() == HaloTransport::persistent;
   const int key = channels ? comm.hub().next_collective_key(rank_) : 0;
 
   // Post all sends first (gathered from the still-intact old vectors); a
@@ -368,7 +495,7 @@ void DistributedMatrix::start_halo_exchange(Communicator& comm,
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     const auto& rows = send_rows_[static_cast<std::size_t>(peer)];
-    if (transport_ == HaloTransport::persistent) {
+    if (transport() == HaloTransport::persistent) {
       if (rows.empty()) continue;
       const int id = send_channel_[static_cast<std::size_t>(peer)];
       ChannelWrite msg(comm.hub(), id,
@@ -386,30 +513,113 @@ void DistributedMatrix::start_halo_exchange(Communicator& comm,
   }
 }
 
+void DistributedMatrix::scatter_from(blas::BlockVector& v, int peer,
+                                     const std::byte* payload) const {
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(v.width()) * sizeof(complex_t);
+  const global_index nlocal = local_rows();
+  for (const auto& run : recv_runs_[static_cast<std::size_t>(peer)]) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(run.end - run.begin) * row_bytes;
+    std::memcpy(&v(nlocal + run.begin, 0), payload, bytes);
+    payload += bytes;
+  }
+}
+
 void DistributedMatrix::finish_halo_exchange(Communicator& comm,
                                              blas::BlockVector& v) const {
   const int width = v.width();
-  const global_index nlocal = local_rows();
   for (int peer = 0; peer < comm.size(); ++peer) {
     if (peer == rank_) continue;
     const auto& slots = recv_slots_[static_cast<std::size_t>(peer)];
     const std::size_t bytes = slots.size() *
                               static_cast<std::size_t>(width) *
                               sizeof(complex_t);
-    if (transport_ == HaloTransport::persistent) {
+    if (transport() == HaloTransport::persistent) {
       if (slots.empty()) continue;
       const int id = recv_channel_[static_cast<std::size_t>(peer)];
       const ChannelRead msg(comm.hub(), id);
       require(msg.data().size() == bytes,
               "halo exchange: payload size mismatch");
-      // One peer's slots are contiguous ascending: single block scatter.
-      std::memcpy(&v(nlocal + slots.front(), 0), msg.data().data(), bytes);
+      // One memcpy per contiguous slot run (one per peer at depth 1).
+      scatter_from(v, peer, msg.data().data());
     } else {
       const auto payload = comm.recv_bytes(peer, tag_halo);
       require(payload.size() == bytes, "halo exchange: payload size mismatch");
-      if (!slots.empty()) {
-        std::memcpy(&v(nlocal + slots.front(), 0), payload.data(), bytes);
-      }
+      scatter_from(v, peer, payload.data());
+    }
+  }
+}
+
+void DistributedMatrix::exchange_round_halo(Communicator& comm,
+                                            blas::BlockVector& v,
+                                            blas::BlockVector& w) const {
+  start_round_exchange(comm, v, w);
+  finish_round_exchange(comm, v, w);
+}
+
+void DistributedMatrix::start_round_exchange(Communicator& comm,
+                                             const blas::BlockVector& v,
+                                             const blas::BlockVector& w) const {
+  require(v.rows() == extended_rows() && w.rows() == extended_rows(),
+          "round exchange: block vectors must have local+halo rows");
+  require(v.layout() == blas::Layout::row_major &&
+              w.layout() == blas::Layout::row_major,
+          "round exchange: row-major block vectors required");
+  require(v.width() == w.width(), "round exchange: width mismatch");
+  const int width = v.width();
+  // One fused message per directed peer: the peer's requested rows of v
+  // followed by the same rows of w.  Both recurrence vectors must be valid
+  // on every halo layer at a round start (step t reads w on the rows it
+  // computes, which step t-2 of THIS round only covers for t >= 2), and
+  // fusing them keeps the message count — the latency term — at one round
+  // per s sweeps.
+  for (int peer = 0; peer < comm.size(); ++peer) {
+    if (peer == rank_) continue;
+    const auto& rows = send_rows_[static_cast<std::size_t>(peer)];
+    const std::size_t half = rows.size() * static_cast<std::size_t>(width) *
+                             sizeof(complex_t);
+    if (transport() == HaloTransport::persistent) {
+      if (rows.empty()) continue;
+      const int id = send_channel_[static_cast<std::size_t>(peer)];
+      ChannelWrite msg(comm.hub(), id, 2 * half);
+      gather_into(v, rows, reinterpret_cast<complex_t*>(msg.data().data()));
+      gather_into(w, rows,
+                  reinterpret_cast<complex_t*>(msg.data().data() + half));
+      msg.post();
+    } else {
+      std::vector<std::byte> buffer(2 * half);
+      gather_into(v, rows, reinterpret_cast<complex_t*>(buffer.data()));
+      gather_into(w, rows,
+                  reinterpret_cast<complex_t*>(buffer.data() + half));
+      comm.send_bytes(peer, tag_round, std::move(buffer));
+    }
+  }
+}
+
+void DistributedMatrix::finish_round_exchange(Communicator& comm,
+                                              blas::BlockVector& v,
+                                              blas::BlockVector& w) const {
+  const int width = v.width();
+  for (int peer = 0; peer < comm.size(); ++peer) {
+    if (peer == rank_) continue;
+    const auto& slots = recv_slots_[static_cast<std::size_t>(peer)];
+    const std::size_t half = slots.size() * static_cast<std::size_t>(width) *
+                             sizeof(complex_t);
+    if (transport() == HaloTransport::persistent) {
+      if (slots.empty()) continue;
+      const int id = recv_channel_[static_cast<std::size_t>(peer)];
+      const ChannelRead msg(comm.hub(), id);
+      require(msg.data().size() == 2 * half,
+              "round exchange: payload size mismatch");
+      scatter_from(v, peer, msg.data().data());
+      scatter_from(w, peer, msg.data().data() + half);
+    } else {
+      const auto payload = comm.recv_bytes(peer, tag_round);
+      require(payload.size() == 2 * half,
+              "round exchange: payload size mismatch");
+      scatter_from(v, peer, payload.data());
+      scatter_from(w, peer, payload.data() + half);
     }
   }
 }
@@ -421,6 +631,12 @@ std::int64_t DistributedMatrix::send_bytes_per_exchange(int width) const {
              bytes_per_element;
   }
   return total;
+}
+
+int DistributedMatrix::messages_per_exchange() const noexcept {
+  int count = 0;
+  for (const auto& rows : send_rows_) count += rows.empty() ? 0 : 1;
+  return count;
 }
 
 }  // namespace kpm::runtime

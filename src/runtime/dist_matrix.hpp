@@ -21,6 +21,7 @@
 //    payload per message.  Kept as the benchmark baseline.
 #pragma once
 
+#include <algorithm>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -31,19 +32,51 @@
 #include "sparse/crs.hpp"
 #include "util/schedule.hpp"
 
+namespace kpm::sparse {
+class StencilOperator;
+}  // namespace kpm::sparse
+
 namespace kpm::runtime {
 
 /// Per-iteration halo transport selection (see file header).
 enum class HaloTransport { persistent, staged };
 
+/// Construction/repartition knobs of a DistributedMatrix (DESIGN §5j).
+struct DistMatrixOptions {
+  HaloTransport transport = HaloTransport::persistent;
+  /// Ghost-zone depth s >= 1: the halo carries the s-hop column closure and
+  /// one fused exchange per s sweeps replaces the per-sweep exchange (the
+  /// communication-avoiding matrix-powers scheme).  Depth 1 is exactly the
+  /// classic per-sweep plan.
+  int halo_depth = 1;
+  /// Optional stencil whose term-delta geometry enumerates row patterns for
+  /// the k-hop closure directly — no walk over the assembled pattern.  Must
+  /// describe the same matrix as `global` (the assembled operator still
+  /// supplies the frontier values).  May be null.
+  const sparse::StencilOperator* pattern = nullptr;
+};
+
 /// One rank's communication-free share of a partitioned operator: the local
 /// matrix with columns remapped owned-first-then-halo, the global column of
-/// every halo slot (peer-ascending, column-ascending within a peer — the
-/// DistributedMatrix receive order), and the per-owner halo request lists.
+/// every halo slot (layer-major: the 1-hop layer first, column-ascending
+/// within a layer — so the depth-1 prefix of a depth-s plan is the classic
+/// plan, and owned-row column remaps are depth-invariant), and the per-owner
+/// halo request lists in slot order.
 struct LocalPlan {
   sparse::CrsMatrix local;
+  /// Ghost rows the intermediate sweeps of an s-step round redundantly
+  /// compute: (local_rows + F) x local.ncols() with rows [0, local_rows)
+  /// empty and row local_rows + j holding halo slot j's global row in its
+  /// OWNER's accumulation order (owner-window columns ascending, then the
+  /// rest ascending) — bitwise the owner's per-row arithmetic.  F covers
+  /// layers 1..depth-1; default-empty at depth 1.
+  sparse::CrsMatrix frontier;
   std::vector<global_index> recv_order;  ///< global col of each halo slot
   std::vector<std::vector<global_index>> needed;  ///< halo cols per owner
+  /// layer_offsets[l] = number of halo slots in layers 1..l (size depth+1,
+  /// layer_offsets[0] = 0, layer_offsets[depth] = recv_order.size()).
+  std::vector<global_index> layer_offsets;
+  int halo_depth = 1;
   global_index row_begin = 0;
   global_index row_end = 0;
 };
@@ -55,6 +88,12 @@ struct LocalPlan {
 /// runtime's shadow executor re-executes a straggler's chunk through this.
 [[nodiscard]] LocalPlan make_local_plan(const sparse::CrsMatrix& global,
                                         const RowPartition& part, int rank);
+/// Depth-parameterized overload: computes the halo_depth-hop column closure
+/// (layered, see LocalPlan) and the frontier operator.  With halo_depth == 1
+/// (and any pattern) this is byte-identical to the classic plan above.
+[[nodiscard]] LocalPlan make_local_plan(const sparse::CrsMatrix& global,
+                                        const RowPartition& part, int rank,
+                                        const DistMatrixOptions& opts);
 
 class DistributedMatrix {
  public:
@@ -66,6 +105,11 @@ class DistributedMatrix {
   DistributedMatrix(Communicator& comm, const sparse::CrsMatrix& global,
                     const RowPartition& partition,
                     HaloTransport transport = HaloTransport::persistent);
+  /// Options overload: selects the transport AND the ghost-zone depth (and
+  /// optionally the stencil-geometry closure).  Collective, like above.
+  DistributedMatrix(Communicator& comm, const sparse::CrsMatrix& global,
+                    const RowPartition& partition,
+                    const DistMatrixOptions& opts);
 
   /// Live repartition (the adaptive balancer's migration path).  Collective:
   /// every rank calls this together with the same `new_part`.  Re-extracts
@@ -101,7 +145,28 @@ class DistributedMatrix {
     return local_rows() + halo_size();
   }
   [[nodiscard]] const RowPartition& partition() const noexcept { return part_; }
-  [[nodiscard]] HaloTransport transport() const noexcept { return transport_; }
+  [[nodiscard]] HaloTransport transport() const noexcept {
+    return opts_.transport;
+  }
+  [[nodiscard]] int halo_depth() const noexcept { return opts_.halo_depth; }
+
+  /// Ghost-row operator of the s-step rounds (see LocalPlan::frontier);
+  /// shape (local_rows + frontier) x local().ncols(), default-empty at
+  /// depth 1.
+  [[nodiscard]] const sparse::CrsMatrix& frontier() const noexcept {
+    return frontier_;
+  }
+  /// layer_offsets()[l] = halo slots in layers 1..l (size halo_depth()+1).
+  [[nodiscard]] std::span<const global_index> layer_offsets() const noexcept {
+    return layer_offsets_;
+  }
+  /// Ghost rows an intermediate sweep must redundantly compute when
+  /// `remaining` more sweeps of the round follow it: the slot-prefix
+  /// covering layers 1..min(remaining, depth-1).  0 for the last sweep.
+  [[nodiscard]] global_index frontier_rows(int remaining) const noexcept {
+    const int l = std::min<int>(remaining, opts_.halo_depth - 1);
+    return l <= 0 ? 0 : layer_offsets_[static_cast<std::size_t>(l)];
+  }
 
   /// Global column of each halo slot in slot order: halo slot s is column
   /// local_rows() + s of local().  This is the column layout
@@ -125,6 +190,20 @@ class DistributedMatrix {
   void start_halo_exchange(Communicator& comm,
                            const blas::BlockVector& v) const;
   void finish_halo_exchange(Communicator& comm, blas::BlockVector& v) const;
+
+  /// Fused round exchange of the s-step loop (DESIGN §5j): refreshes ALL
+  /// halo layers of BOTH recurrence vectors in ONE message per directed
+  /// peer — the single communication round that a depth-s plan amortizes
+  /// over s sweeps.  Valid at any depth; the per-sweep drivers use it only
+  /// for halo_depth() > 1 (at depth 1 the v-only exchange_halo is cheaper).
+  void exchange_round_halo(Communicator& comm, blas::BlockVector& v,
+                           blas::BlockVector& w) const;
+  /// Split-phase round exchange, for overlapping the round's first sweep's
+  /// interior rows with the messages in flight.
+  void start_round_exchange(Communicator& comm, const blas::BlockVector& v,
+                            const blas::BlockVector& w) const;
+  void finish_round_exchange(Communicator& comm, blas::BlockVector& v,
+                             blas::BlockVector& w) const;
 
   /// All local rows whose matrix rows reference no halo column, as ascending
   /// disjoint runs — every one of them is safe to process between
@@ -158,6 +237,15 @@ class DistributedMatrix {
 
   /// Payload bytes this rank sends per exchange of a width-R block.
   [[nodiscard]] std::int64_t send_bytes_per_exchange(int width) const;
+  /// Payload bytes this rank sends per fused v+w round exchange (2x the
+  /// single-vector exchange: both recurrence vectors ride the same round).
+  [[nodiscard]] std::int64_t send_bytes_per_round(int width) const {
+    return 2 * send_bytes_per_exchange(width);
+  }
+  /// Directed peers this rank messages per exchange (and per fused round —
+  /// v and w share one message).  The numerator of the measured
+  /// messages-per-sweep the communication-avoiding model predicts.
+  [[nodiscard]] int messages_per_exchange() const noexcept;
 
  private:
   /// (Re)extracts the local operator, halo plan and channels for `part_`
@@ -166,19 +254,29 @@ class DistributedMatrix {
   void gather_into(const blas::BlockVector& v,
                    std::span<const global_index> rows,
                    complex_t* out) const;
+  /// Scatters peer `peer`'s packed payload (in its request-list order) into
+  /// the halo slots of `v` — one memcpy per contiguous slot run (exactly one
+  /// run per (peer, layer) thanks to partition contiguity; one total at
+  /// depth 1).
+  void scatter_from(blas::BlockVector& v, int peer,
+                    const std::byte* payload) const;
 
   int rank_ = 0;
   const sparse::CrsMatrix* global_ = nullptr;
   RowPartition part_;
-  HaloTransport transport_ = HaloTransport::persistent;
+  DistMatrixOptions opts_;
   sparse::CrsMatrix local_;
+  sparse::CrsMatrix frontier_;
+  std::vector<global_index> layer_offsets_;
   /// Global row indices this rank must send, grouped by destination rank.
   std::vector<std::vector<global_index>> send_rows_;
   /// Order in which received halo entries fill the slots: for each peer,
-  /// the halo slot indices of its block (contiguous ascending by
-  /// construction — entries arrive in the order of the request list sent to
-  /// that peer, and slots are assigned peer by peer).
+  /// the halo slot indices of its block in request-list order (strictly
+  /// ascending: layer-major slot assignment visits each peer's columns in
+  /// layer order, ascending within a layer).
   std::vector<std::vector<global_index>> recv_slots_;
+  /// recv_slots_ compressed to contiguous runs for the scatter memcpys.
+  std::vector<std::vector<IndexRange<global_index>>> recv_runs_;
   std::vector<global_index> recv_order_;  // global col of each halo slot
   /// Persistent channel ids per peer (-1 where no traffic flows).
   std::vector<int> send_channel_;

@@ -1,6 +1,7 @@
 #include "runtime/elastic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,7 +32,9 @@ struct SimulatedFault : std::runtime_error {
   SimulatedFault() : std::runtime_error("elastic: injected rank failure") {}
 };
 
-constexpr char kMagic[8] = {'K', 'P', 'M', 'E', 'L', '0', '0', '1'};
+// Version 002: adds the halo_depth field (communication-avoiding s-step
+// plans, DESIGN §5j).  001 checkpoints are rejected by the magic check.
+constexpr char kMagic[8] = {'K', 'P', 'M', 'E', 'L', '0', '0', '2'};
 
 void put_u64(std::vector<std::byte>& b, std::uint64_t x) {
   for (int i = 0; i < 8; ++i) {
@@ -137,6 +140,10 @@ ElasticRuntime::ElasticRuntime(const sparse::CrsMatrix& h,
           "ElasticRuntime: num_moments must be even and >= 2");
   require(p.num_random >= 1, "ElasticRuntime: num_random >= 1");
   require(opts_.chunk_sweeps >= 1, "ElasticRuntime: chunk_sweeps >= 1");
+  require(opts_.halo_depth >= 1, "ElasticRuntime: halo_depth >= 1");
+  require(opts_.chunk_sweeps % opts_.halo_depth == 0,
+          "ElasticRuntime: chunk_sweeps must be a multiple of halo_depth so "
+          "commits land on round boundaries");
 }
 
 ElasticRuntime::ElasticRuntime(const sparse::StencilOperator& stencil,
@@ -183,6 +190,10 @@ ElasticResult ElasticRuntime::run(int initial_ranks) {
     require(c.u64() == (stencil_ != nullptr ? 1u : 0u),
             "ElasticRuntime: checkpoint operator mode (stencil/assembled) "
             "mismatch");
+    require(c.u64() == static_cast<std::uint64_t>(opts_.halo_depth),
+            "ElasticRuntime: checkpoint halo depth does not match this run — "
+            "resuming a depth-s solve under a different s would re-chunk the "
+            "commits and break the bitwise replay contract");
     require(c.u64() == static_cast<std::uint64_t>(p_.num_moments) &&
                 c.u64() == static_cast<std::uint64_t>(width) &&
                 c.u64() == p_.seed &&
@@ -288,6 +299,7 @@ void ElasticRuntime::write_checkpoint_locked(Ctx& ctx) const {
              reinterpret_cast<const std::byte*>(kMagic) + 8);
   put_u64(buf, ctx.fp);
   put_u64(buf, stencil_ != nullptr ? 1u : 0u);
+  put_u64(buf, static_cast<std::uint64_t>(opts_.halo_depth));
   put_u64(buf, static_cast<std::uint64_t>(p_.num_moments));
   put_u64(buf, static_cast<std::uint64_t>(width));
   put_u64(buf, p_.seed);
@@ -579,7 +591,10 @@ void ElasticRuntime::solve(Ctx& ctx) {
     const int rank = comm.rank();
     const int R = comm.size();
     const RowPartition& P = ctx.part;
-    DistributedMatrix dist(comm, *global_, P, opts_.transport);
+    DistributedMatrix dist(
+        comm, *global_, P,
+        DistMatrixOptions{.transport = opts_.transport,
+                          .halo_depth = opts_.halo_depth});
     std::optional<sparse::StencilOperator> lst;
     if (stencil_ != nullptr) {
       lst.emplace(stencil_->localize(P.begin(rank), P.end(rank),
@@ -627,13 +642,40 @@ void ElasticRuntime::solve(Ctx& ctx) {
           }
         }
         if (s > 0) std::swap(v, w);
-        dist.exchange_halo(comm, v);
         const auto sc =
             s == 0 ? sparse::AugScalars::startup(s_.a, s_.b) : rec;
-        if (lst) {
-          sparse::aug_spmmv(*lst, sc, v, w, dvv, dwv);
+        const int depth = dist.halo_depth();
+        if (depth == 1) {
+          dist.exchange_halo(comm, v);
+          if (lst) {
+            sparse::aug_spmmv(*lst, sc, v, w, dvv, dwv);
+          } else {
+            sparse::aug_spmmv(dist.local(), sc, v, w, dvv, dwv);
+          }
         } else {
-          sparse::aug_spmmv(dist.local(), sc, v, w, dvv, dwv);
+          // Communication-avoiding rounds within the chunk.  Chunks start at
+          // round boundaries (chunk_sweeps % halo_depth == 0, and an epoch
+          // cut re-stages + re-exchanges), so k % depth is the round phase;
+          // the final round of an epoch-truncated chunk is simply shorter.
+          const int phase = k % depth;
+          const int round_len = std::min(depth, steps - (k - phase));
+          if (phase == 0) dist.exchange_round_halo(comm, v, w);
+          std::fill(dvv.begin(), dvv.end(), complex_t{});
+          std::fill(dwv.begin(), dwv.end(), complex_t{});
+          const std::array<IndexRange<global_index>, 1> owned{
+              {{0, nlocal}}};
+          if (lst) {
+            sparse::aug_spmmv_runs(*lst, sc, v, w, owned, dvv, dwv);
+          } else {
+            sparse::aug_spmmv_runs(dist.local(), sc, v, w, owned, dvv, dwv);
+          }
+          const global_index nfr =
+              dist.frontier_rows(round_len - 1 - phase);
+          if (nfr > 0) {
+            const std::array<IndexRange<global_index>, 1> fr{
+                {{nlocal, nlocal + nfr}}};
+            sparse::aug_spmmv_runs(dist.frontier(), sc, v, w, fr, {}, {});
+          }
         }
         for (int c = 0; c < width; ++c) {
           ceta[static_cast<std::size_t>(c) * w2 + 2 * k] =

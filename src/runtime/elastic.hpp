@@ -95,6 +95,12 @@ struct ElasticOptions {
   /// partition => moments reproducible only via the recorded schedule).
   BalanceOptions balance;
   HaloTransport transport = HaloTransport::persistent;
+  /// Communication-avoiding ghost-zone depth (DESIGN §5j): each chunk runs
+  /// in rounds of `halo_depth` sweeps with ONE fused v+w exchange per round.
+  /// chunk_sweeps must be a multiple of it so commits align to round
+  /// boundaries; checkpoints record it and a resume under a different depth
+  /// is rejected.  Owned-row moments are bitwise independent of the depth.
+  int halo_depth = 1;
 };
 
 struct ElasticReport {

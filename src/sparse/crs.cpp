@@ -29,6 +29,33 @@ CrsMatrix::CrsMatrix(const CooMatrix& coo)
   }
 }
 
+CrsMatrix::CrsMatrix(global_index nrows, global_index ncols,
+                     aligned_vector<global_index> row_ptr,
+                     aligned_vector<local_index> col_idx,
+                     aligned_vector<complex_t> values)
+    : nrows_(nrows),
+      ncols_(ncols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  require(nrows_ >= 0 && ncols_ >= 0, "CRS: negative shape");
+  require(ncols_ <= std::numeric_limits<local_index>::max(),
+          "CRS: column count exceeds local (32-bit) index range");
+  require(row_ptr_.size() == static_cast<std::size_t>(nrows_) + 1,
+          "CRS: row_ptr must have nrows + 1 entries");
+  require(row_ptr_.front() == 0 &&
+              row_ptr_.back() == static_cast<global_index>(col_idx_.size()) &&
+              col_idx_.size() == values_.size(),
+          "CRS: row_ptr does not index the entry arrays");
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    require(row_ptr_[i] >= row_ptr_[i - 1], "CRS: row_ptr must be monotone");
+  }
+  for (const auto c : col_idx_) {
+    require(c >= 0 && static_cast<global_index>(c) < ncols_,
+            "CRS: column index out of range");
+  }
+}
+
 double CrsMatrix::avg_nnz_per_row() const noexcept {
   return nrows_ == 0 ? 0.0
                      : static_cast<double>(nnz()) / static_cast<double>(nrows_);

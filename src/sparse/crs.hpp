@@ -19,6 +19,15 @@ class CrsMatrix {
   CrsMatrix() = default;
   /// Builds from a compressed COO matrix (sorted, duplicate-free).
   explicit CrsMatrix(const CooMatrix& coo);
+  /// Builds from raw CRS arrays, preserving the given per-row entry order
+  /// (no sorting).  The distributed frontier matrix stores each ghost row in
+  /// its *owner's* accumulation order — which is not ascending under the
+  /// borrowing rank's column remap — so the depth-s redundant sweeps
+  /// reproduce the owner's per-row arithmetic bit for bit (DESIGN §5j).
+  CrsMatrix(global_index nrows, global_index ncols,
+            aligned_vector<global_index> row_ptr,
+            aligned_vector<local_index> col_idx,
+            aligned_vector<complex_t> values);
 
   [[nodiscard]] global_index nrows() const noexcept { return nrows_; }
   [[nodiscard]] global_index ncols() const noexcept { return ncols_; }

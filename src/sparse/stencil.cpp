@@ -172,6 +172,41 @@ void StencilOperator::build_rows(
   }
 }
 
+void StencilOperator::append_row_pattern(global_index row,
+                                         std::vector<global_index>& out) const {
+  require(global_form_, "stencil: append_row_pattern() needs the global form");
+  require(row >= 0 && row < nrows_, "stencil: pattern row out of range");
+  // Locate the segment of `row` (segments are ascending and disjoint).
+  const auto it = std::upper_bound(
+      segs_.begin(), segs_.end(), row,
+      [](global_index r, const Segment& s) { return r < s.begin; });
+  require(it != segs_.begin(), "stencil: row precedes the first segment");
+  const Segment& seg = *(it - 1);
+  require(row >= seg.begin && row < seg.end, "stencil: segment lookup failed");
+  if (!seg.interior) {
+    const auto ord = static_cast<std::size_t>(seg.bnd_row0 + (row - seg.begin));
+    for (global_index k = bnd_ptr_[ord]; k < bnd_ptr_[ord + 1]; ++k) {
+      out.push_back(static_cast<global_index>(
+          bnd_col_[static_cast<std::size_t>(k)]));
+    }
+    return;
+  }
+  const int b = block_dim_;
+  const std::uint16_t rbits = row_bits(b);
+  const global_index s = row / b;
+  const int ib = static_cast<int>(row % b);
+  // Terms ascend by delta and jb ascends within a term, so the appended
+  // columns ascend — the assembled-CRS entry order.
+  for (const Term& t : terms_) {
+    std::uint16_t m = static_cast<std::uint16_t>((t.mask >> ib) & rbits);
+    while (m != 0) {
+      const int jb = std::countr_zero(m) / b;
+      m = static_cast<std::uint16_t>(m & (m - 1));
+      out.push_back((s + t.delta) * b + jb);
+    }
+  }
+}
+
 std::size_t StencilOperator::stored_bytes() const noexcept {
   return terms_.size() * sizeof(Term) + diag_.size() * sizeof(double) +
          bnd_ptr_.size() * sizeof(global_index) +

@@ -134,6 +134,16 @@ class StencilOperator {
   /// stored_bytes()/nnz() — see perfmodel::stencil_format().
   [[nodiscard]] std::size_t stored_bytes() const noexcept;
 
+  /// Appends the global columns of row `row`'s stored entries to `out`, in
+  /// ascending column order — the assembled-CRS pattern of the row without
+  /// assembling anything: boundary rows replay their stored entry list,
+  /// interior rows enumerate the term-delta offsets straight from the
+  /// occupancy masks.  This is the depth-s halo closure's fast path
+  /// (DESIGN §5j): the k-hop column closure walks the stencil geometry
+  /// instead of an assembled pattern.  Only valid on a global operator.
+  void append_row_pattern(global_index row, std::vector<global_index>& out)
+      const;
+
   /// Rebinds the global operator to one rank's contiguous row window
   /// [row_begin, row_end) with `halo_global_cols[slot]` appended as columns
   /// row_count + slot — the layout of DistributedMatrix::local().  Rows

@@ -192,6 +192,13 @@ TEST(TileTuner, CacheKeyDistinguishesShapeFormatThreadsWidth) {
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 8, 32));
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 64));
   EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 2));
+  // Communication-avoiding depth-s plans sweep extra frontier rows, so a
+  // depth-s distributed probe must never recall a depth-1 tile entry.
+  EXPECT_NE(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 1, 4));
+  EXPECT_NE(AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 2, 2),
+            AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 2, 4));
+  // Depth 1 is the default and adds no component (old keys stay valid).
+  EXPECT_EQ(base, AutoTuner::cache_key("crs", 1000, 5000, 4, 32, 1, 1));
 }
 
 TEST(TileTuner, FormatTagCarriesPrecisionAndIndexWidth) {
@@ -212,6 +219,36 @@ TEST(TileTuner, FormatTagCarriesPrecisionAndIndexWidth) {
                            h.nnz(), 4, 32),
       AutoTuner::cache_key(runtime::format_tag(b32).c_str(), h.nrows(),
                            h.nnz(), 4, 32));
+}
+
+TEST(TileTuner, PreviousSchemaVersionForcesReProbe) {
+  // A v2 cache file (the schema immediately before the halo-depth key
+  // component) parses structurally but must be rejected wholesale: its
+  // depth-ambiguous keys could silently serve a depth-s probe a depth-1
+  // tile shape.
+  const auto h = tune_matrix();
+  CacheFileGuard cache("tile_cache_v2.json");
+  const auto p = small_tile_params();
+  std::FILE* f = std::fopen(cache.path().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f,
+               "{\n  \"version\": 2,\n  \"entries\": [\n"
+               "    {\"key\": \"crs:%lld:%lld:t%d:w32\", \"tile_width\": -1, "
+               "\"band_rows\": 0, \"nt_stores\": 0, \"seconds\": 1.0e-9}\n"
+               "  ]\n}\n",
+               static_cast<long long>(h.nrows()),
+               static_cast<long long>(h.nnz()), max_threads());
+  std::fclose(f);
+
+  runtime::AutoTuner tuner(cache.path());
+  EXPECT_FALSE(tuner.cache_loaded());
+  EXPECT_EQ(tuner.cache_entries(), 0u);
+  const auto res = tuner.tune_tiles(h, 32, p);
+  EXPECT_FALSE(res.from_cache);
+  EXPECT_GT(res.timed_probes, 0);
+  runtime::AutoTuner reread(cache.path());
+  EXPECT_TRUE(reread.cache_loaded());
+  EXPECT_EQ(reread.cache_entries(), 1u);
 }
 
 TEST(TileTuner, StaleSchemaVersionForcesReProbe) {
@@ -410,6 +447,61 @@ TEST(AutoTune, CollectiveTileProbeSharesOneCacheEntry) {
   });
   runtime::AutoTuner reread(cache.path());
   EXPECT_EQ(reread.cache_entries(), 1u);
+}
+
+TEST(AutoTune, HaloDepthProbeAgreesAcrossRanksAndCoversCandidates) {
+  const auto h = tune_matrix();
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 2);
+  runtime::run_ranks(2, [&](runtime::Communicator& c) {
+    runtime::HaloDepthTuneParams p;
+    p.candidates = {1, 2, 4};
+    p.rounds_per_probe = 1;
+    const auto res = runtime::tune_halo_depth(c, h, part, 4, p);
+    ASSERT_EQ(res.probed.size(), 3u);
+    bool winner_listed = false;
+    for (std::size_t i = 0; i < res.probed.size(); ++i) {
+      EXPECT_EQ(res.probed[i].depth, p.candidates[i]);
+      EXPECT_GT(res.probed[i].seconds_per_sweep, 0.0);
+      if (res.probed[i].depth == res.depth) {
+        winner_listed = true;
+        EXPECT_DOUBLE_EQ(res.probed[i].seconds_per_sweep,
+                         res.seconds_per_sweep);
+      }
+    }
+    EXPECT_TRUE(winner_listed);
+    // Collective determinism: the allreduced times make every rank pick the
+    // same depth — cross-check via a one-hot exchange.
+    std::vector<double> depths(2, 0.0);
+    depths[static_cast<std::size_t>(c.rank())] =
+        static_cast<double>(res.depth);
+    c.allreduce_sum(std::span<double>(depths));
+    EXPECT_EQ(depths[0], depths[1]);
+  });
+}
+
+TEST(SStepModel, LatencyBoundPrefersDeepPlansAndFlopsBoundShallow) {
+  // Latency-dominated regime: amortizing the message latency wins.
+  cluster::SStepParams lat;
+  lat.seconds_per_row = 1e-9;
+  lat.owned_rows = 1000;
+  lat.layer_rows = 50;
+  lat.peers = 2;
+  lat.latency_seconds = 50e-6;  // 100 us/round vs ~1 us of compute
+  lat.layer_bytes = 50 * 16.0;
+  lat.bandwidth = 10e9;
+  const std::vector<int> cands{1, 2, 4, 8};
+  EXPECT_GT(cluster::sstep_optimal_depth(lat, cands), 1);
+  EXPECT_LT(cluster::sstep_sweep_seconds(lat, 4),
+            cluster::sstep_sweep_seconds(lat, 1));
+  // Flops-dominated regime: redundant frontier rows cost more than the
+  // latency saved, so depth 1 wins.
+  cluster::SStepParams flops = lat;
+  flops.latency_seconds = 1e-9;
+  flops.layer_rows = 500;  // frontier ~ owned: redundancy is ruinous
+  EXPECT_EQ(cluster::sstep_optimal_depth(flops, cands), 1);
+  // Message count amortizes exactly as 1/s.
+  EXPECT_DOUBLE_EQ(cluster::sstep_messages_per_sweep(lat, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cluster::sstep_messages_per_sweep(lat, 4), 0.5);
 }
 
 TEST(PipelinedHalo, FasterThanSequentialForLargeBuffers) {

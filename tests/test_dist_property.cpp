@@ -411,6 +411,223 @@ TEST(DistProperty, FaultInjectionSweepBitwiseMatchesUninterrupted) {
   }
 }
 
+// --- communication-avoiding depth-s sweep (DESIGN §5j) ----------------------
+//
+// A depth-s ghost-zone plan amortizes ONE fused v+w exchange over s sweeps by
+// redundantly advancing a shrinking frontier of ghost rows.  Owned rows keep
+// the depth-1 accumulation order and dot partition exactly, so the moments
+// must be BITWISE identical to the depth-1 run of the same partition — for
+// the assembled CRS and the matrix-free stencil path, plain and overlapped,
+// on every partition shape (randomized, empty ranks, periodic wrap).
+void expect_sstep_bitwise(const sparse::CrsMatrix& h,
+                          const sparse::StencilOperator* st,
+                          const runtime::RowPartition& part, int width,
+                          int nranks, const char* what) {
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 16;  // 8 sweeps: 2 full rounds at depth 4, ragged at 3
+  mp.num_random = width;
+  const auto serial = st != nullptr ? core::moments_aug_spmmv(*st, s, mp)
+                                    : core::moments_aug_spmmv(h, s, mp);
+  const int total_sweeps = mp.num_moments / 2;
+  runtime::run_ranks(nranks, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix d1(c, h, part);
+    const auto solve = [&](runtime::DistributedMatrix& d, bool over) {
+      if (st != nullptr) {
+        return over ? runtime::distributed_moments_overlapped(c, d, *st, s, mp)
+                    : runtime::distributed_moments(c, d, *st, s, mp);
+      }
+      return over ? runtime::distributed_moments_overlapped(c, d, s, mp)
+                  : runtime::distributed_moments(c, d, s, mp);
+    };
+    const auto ref_plain = solve(d1, false);
+    const auto ref_over = solve(d1, true);
+    EXPECT_EQ(ref_plain.message_rounds, total_sweeps);
+    for (const int depth : {2, 3, 4}) {
+      runtime::DistMatrixOptions o;
+      o.halo_depth = depth;
+      runtime::DistributedMatrix ds(c, h, part, o);
+      EXPECT_EQ(ds.halo_depth(), depth);
+      const auto plain = solve(ds, false);
+      const auto over = solve(ds, true);
+      // One exchange per round of `depth` sweeps (last round may be short).
+      EXPECT_EQ(plain.message_rounds, (total_sweeps + depth - 1) / depth)
+          << what << " depth=" << depth;
+      ASSERT_EQ(plain.mu.size(), ref_plain.mu.size());
+      for (std::size_t m = 0; m < ref_plain.mu.size(); ++m) {
+        EXPECT_EQ(plain.mu[m], ref_plain.mu[m])
+            << what << " plain s=" << depth << " vs s=1, R=" << width
+            << " ranks=" << nranks << " m=" << m;
+        EXPECT_EQ(over.mu[m], ref_over.mu[m])
+            << what << " overlapped s=" << depth << " vs s=1, R=" << width
+            << " ranks=" << nranks << " m=" << m;
+        EXPECT_NEAR(plain.mu[m], serial.mu[m], 1e-9)
+            << what << " s=" << depth << " vs serial, m=" << m;
+      }
+    }
+  });
+}
+
+TEST(DistProperty, SStepRandomizedPartitionsBitwiseMatchDepthOne) {
+  const auto h = ti_matrix();
+  std::mt19937 rng(4242);
+  std::uniform_real_distribution<double> weight(0.05, 1.0);
+  for (const int width : {1, 4, 32}) {
+    for (const int nranks : {2, 5}) {
+      std::vector<double> weights(static_cast<std::size_t>(nranks));
+      for (auto& w : weights) w = weight(rng);
+      const auto part = runtime::RowPartition::weighted(h.nrows(), weights);
+      expect_sstep_bitwise(h, nullptr, part, width, nranks, "sstep-random");
+    }
+  }
+}
+
+TEST(DistProperty, SStepEmptyRankPartitions) {
+  const auto h = ti_matrix();
+  const int nranks = 4;
+  std::vector<double> weights(static_cast<std::size_t>(nranks), 1e-9);
+  weights.front() = 1.0;
+  weights.back() = 1.0;
+  const auto part =
+      runtime::RowPartition::weighted(h.nrows(), weights, /*min_rows=*/0);
+  for (const int width : {1, 4}) {
+    expect_sstep_bitwise(h, nullptr, part, width, nranks, "sstep-empty-rank");
+  }
+}
+
+TEST(DistProperty, SStepStencilPeriodicWrapBitwise) {
+  // The TI lattice wraps periodically in x and y, so deep ghost zones reach
+  // around the domain; the stencil path builds its layers from term-delta
+  // geometry (append_row_pattern) rather than a CRS pattern walk.
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  for (const int nranks : {2, 4}) {
+    const auto part = runtime::RowPartition::uniform(h.nrows(), nranks);
+    for (const int width : {1, 4, 32}) {
+      expect_sstep_bitwise(h, &st, part, width, nranks, "sstep-stencil-wrap");
+    }
+  }
+}
+
+TEST(DistProperty, SStepStagedTransportMatchesPersistent) {
+  // The fused round exchange has a persistent-channel and a staged-mailbox
+  // body; both must scatter identical bytes.
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 12;
+  mp.num_random = 4;
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 3);
+  runtime::run_ranks(3, [&](runtime::Communicator& c) {
+    runtime::DistMatrixOptions po;
+    po.halo_depth = 3;
+    runtime::DistributedMatrix dp(c, h, part, po);
+    runtime::DistMatrixOptions so;
+    so.transport = runtime::HaloTransport::staged;
+    so.halo_depth = 3;
+    runtime::DistributedMatrix dst(c, h, part, so);
+    const auto a = runtime::distributed_moments(c, dp, s, mp);
+    const auto b = runtime::distributed_moments(c, dst, s, mp);
+    ASSERT_EQ(a.mu.size(), b.mu.size());
+    for (std::size_t m = 0; m < a.mu.size(); ++m) {
+      EXPECT_EQ(a.mu[m], b.mu[m]) << "staged-vs-persistent m=" << m;
+    }
+  });
+}
+
+TEST(DistProperty, SStepFrontierLayersShrinkAndLayerOneMatchesDepthOne) {
+  // Structural invariants of the layered plan: layer offsets ascend, the
+  // depth-1 prefix of the halo order is exactly the depth-1 plan's order
+  // (the owned-column-remap invariance the bitwise contract rests on), and
+  // frontier_rows(remaining) clamps to the plan depth.
+  const auto h = ti_matrix();
+  const auto part = runtime::RowPartition::uniform(h.nrows(), 4);
+  runtime::run_ranks(4, [&](runtime::Communicator& c) {
+    runtime::DistributedMatrix d1(c, h, part);
+    runtime::DistMatrixOptions o;
+    o.halo_depth = 3;
+    runtime::DistributedMatrix d3(c, h, part, o);
+    const auto& off = d3.layer_offsets();
+    ASSERT_EQ(off.size(), 4u);  // depth + 1 entries, [0] == 0
+    EXPECT_EQ(off.front(), 0);
+    for (std::size_t l = 1; l < off.size(); ++l) {
+      EXPECT_GE(off[l], off[l - 1]) << "layer " << l;
+    }
+    // Layer 1 of the deep plan == the whole depth-1 halo, same order.
+    ASSERT_EQ(off[1], d1.halo_size());
+    for (global_index j = 0; j < off[1]; ++j) {
+      EXPECT_EQ(d3.halo_global_cols()[static_cast<std::size_t>(j)],
+                d1.halo_global_cols()[static_cast<std::size_t>(j)])
+          << "slot " << j;
+    }
+    EXPECT_EQ(d3.frontier_rows(0), 0);
+    EXPECT_EQ(d3.frontier_rows(1), off[1]);
+    EXPECT_EQ(d3.frontier_rows(2), off[2]);
+    EXPECT_EQ(d3.frontier_rows(99), off[2]);  // clamps to depth - 1 layers
+    // The frontier operator covers exactly the first depth-1 layers.
+    EXPECT_EQ(d3.frontier().nrows(), d3.local_rows() + off[2]);
+    EXPECT_EQ(d3.frontier().ncols(), d3.local_rows() + d3.halo_size());
+  });
+}
+
+TEST(DistProperty, SStepElasticKillReplaceBitwise) {
+  // Elastic recovery under a depth-2 plan: kill + same-partition replacement
+  // must reproduce the uninterrupted depth-2 run bitwise, and the depth-2
+  // uninterrupted run must match depth-1 bitwise (owned rows are depth-
+  // invariant, and chunk commits land on round boundaries).
+  const auto p = ti_params();
+  const auto h = physics::build_ti_hamiltonian(p);
+  const auto st = physics::make_ti_stencil(p);
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 16;
+  mp.num_random = 4;
+  for (const bool matrix_free : {false, true}) {
+    const auto make_runtime = [&](const runtime::ElasticOptions& o) {
+      return matrix_free ? runtime::ElasticRuntime(st, h, s, mp, o)
+                         : runtime::ElasticRuntime(h, s, mp, o);
+    };
+    runtime::ElasticOptions base;
+    base.chunk_sweeps = 4;
+    const auto d1 = make_runtime(base).run(3);
+    runtime::ElasticOptions deep = base;
+    deep.halo_depth = 2;
+    const auto d2 = make_runtime(deep).run(3);
+    ASSERT_EQ(d2.mu.size(), d1.mu.size());
+    for (std::size_t m = 0; m < d1.mu.size(); ++m) {
+      EXPECT_EQ(d2.mu[m], d1.mu[m])
+          << "depth-2 vs depth-1 clean, stencil=" << matrix_free
+          << " m=" << m;
+    }
+    runtime::ElasticOptions faulty = deep;
+    runtime::ElasticEvent ev;
+    ev.kind = runtime::ElasticEvent::Kind::fail;
+    ev.sweep = 5;  // mid-chunk AND mid-round of the depth-2 schedule
+    ev.rank = 1;
+    faulty.events.push_back(ev);
+    const auto healed = make_runtime(faulty).run(3);
+    EXPECT_EQ(healed.report.failures_recovered, 1);
+    ASSERT_EQ(healed.mu.size(), d2.mu.size());
+    for (std::size_t m = 0; m < d2.mu.size(); ++m) {
+      EXPECT_EQ(healed.mu[m], d2.mu[m])
+          << "healed depth-2, stencil=" << matrix_free << " m=" << m;
+    }
+  }
+}
+
+TEST(DistProperty, SStepRejectsMisalignedChunks) {
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  core::MomentParams mp;
+  mp.num_moments = 8;
+  mp.num_random = 1;
+  runtime::ElasticOptions o;
+  o.chunk_sweeps = 3;
+  o.halo_depth = 2;  // 3 % 2 != 0: commits would split a round
+  EXPECT_THROW(runtime::ElasticRuntime(h, s, mp, o), contract_error);
+}
+
 TEST(DistProperty, TunedSweepsMatchUntunedMoments) {
   // DistKpmOptions::tune_tiles installs a probed TileConfig on all ranks;
   // the blocking is bitwise-invisible to the kernel output, so moments must

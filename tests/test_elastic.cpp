@@ -166,6 +166,49 @@ TEST(Elastic, CheckpointRestartReproducesUninterruptedBits) {
   EXPECT_EQ(resumed.report.final_ranks, 3);  // rank set from the checkpoint
 }
 
+TEST(Elastic, SStepCheckpointRestartReproducesUninterruptedBits) {
+  // Depth-2 communication-avoiding chunks: a solve stopped mid-way and
+  // resumed in a fresh runtime must finish with the uninterrupted depth-2
+  // bits — which themselves equal the depth-1 bits (owned rows are depth-
+  // invariant).  chunk_sweeps = 4 is a multiple of the depth, so every
+  // commit (and therefore the checkpoint) lands on a round boundary.
+  const auto h = ti_matrix();
+  const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
+  const auto mp = params(4, /*moments=*/24);
+  runtime::ElasticOptions base;
+  base.chunk_sweeps = 4;
+  base.halo_depth = 2;
+  const auto uninterrupted = runtime::ElasticRuntime(h, s, mp, base).run(3);
+
+  runtime::ElasticOptions flat = base;
+  flat.halo_depth = 1;
+  const auto depth1 = runtime::ElasticRuntime(h, s, mp, flat).run(3);
+  expect_bitwise(uninterrupted.mu, depth1.mu, "sstep-clean-vs-depth1");
+
+  const std::string path = scratch_path("sstep_restart");
+  std::remove(path.c_str());
+  runtime::ElasticOptions first = base;
+  first.checkpoint_path = path;
+  first.stop_after_sweep = 7;
+  const auto partial = runtime::ElasticRuntime(h, s, mp, first).run(3);
+  EXPECT_GE(partial.report.checkpoints_written, 1);
+
+  // Resuming under a different depth re-chunks the rounds — rejected.
+  runtime::ElasticOptions wrong = base;
+  wrong.checkpoint_path = path;
+  wrong.resume = true;
+  wrong.halo_depth = 4;
+  EXPECT_THROW((void)runtime::ElasticRuntime(h, s, mp, wrong).run(1),
+               contract_error);
+
+  runtime::ElasticOptions second = base;
+  second.checkpoint_path = path;
+  second.resume = true;
+  const auto resumed = runtime::ElasticRuntime(h, s, mp, second).run(1);
+  std::remove(path.c_str());
+  expect_bitwise(resumed.mu, uninterrupted.mu, "sstep-checkpoint-restart");
+}
+
 TEST(Elastic, ResumeRejectsMismatchedOperatorOrParams) {
   const auto h = ti_matrix();
   const auto s = physics::make_scaling(physics::gershgorin_bounds(h), 0.05);
